@@ -1,0 +1,34 @@
+# Developer conveniences for the fauré reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench bench-tables examples lint-self clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# the paper's tables/figures in their printed layout
+bench-tables:
+	$(PYTHON) benchmarks/bench_table4.py
+	$(PYTHON) benchmarks/bench_lossless.py
+	$(PYTHON) benchmarks/bench_verification.py
+	$(PYTHON) benchmarks/bench_ablation.py
+	$(PYTHON) benchmarks/bench_scale.py
+	$(PYTHON) benchmarks/bench_incremental.py
+
+examples:
+	@for f in examples/*.py; do \
+		echo "=== $$f ==="; \
+		$(PYTHON) $$f || exit 1; \
+		echo; \
+	done
+
+clean:
+	find . -type d -name __pycache__ -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis build *.egg-info src/*.egg-info

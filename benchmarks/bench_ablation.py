@@ -1,0 +1,256 @@
+"""Ablations of fauré's design choices (DESIGN.md §5).
+
+Four knobs, each isolating one mechanism:
+
+* **solver pruning on/off** — the paper's step 3.  Without it,
+  contradictory tuples survive and inflate every later join.
+* **eager vs lazy pruning** — prune inside each operator (small
+  intermediates) or once at the end (the paper's staged pipeline).
+* **solver backend** — exact finite-domain enumeration vs the DPLL(T)
+  driver on identical queries (forced via the enumeration limit).
+* **condition locality** — parallel (local conditions, the RIB shape) vs
+  chain (every condition mentions every link): fauré's best and worst
+  cases for the same world count.
+
+Run: ``pytest benchmarks/bench_ablation.py --benchmark-only``
+or   ``python benchmarks/bench_ablation.py``.
+"""
+
+import pytest
+
+from repro.engine.algebra import ColumnRef, Join, Pred, Scan, Selection
+from repro.engine.pipeline import run_eager, run_lazy
+from repro.engine.stats import EvalStats
+from repro.faurelog.evaluation import FaureEvaluator
+from repro.network.forwarding import compile_forwarding
+from repro.network.reachability import ReachabilityAnalyzer, reachability_program
+from repro.solver.interface import ConditionSolver
+from repro.workloads.ribgen import RibConfig, generate_rib
+
+try:
+    from .bench_lossless import chain_frr, parallel_frr
+except ImportError:
+    from bench_lossless import chain_frr, parallel_frr
+
+RIB_PREFIXES = 60
+
+
+@pytest.fixture(scope="module")
+def rib():
+    routes = generate_rib(RibConfig(prefixes=RIB_PREFIXES, as_count=80, seed=7))
+    return compile_forwarding(routes)
+
+
+def evaluate_reachability(compiled, prune: bool) -> EvalStats:
+    solver = ConditionSolver(compiled.domains)
+    evaluator = FaureEvaluator(compiled.database(), solver=solver, prune=prune)
+    evaluator.evaluate(reachability_program(per_flow=True))
+    return evaluator.stats
+
+
+class TestSolverPruning:
+    """Step-3 pruning on vs off during fixpoint evaluation."""
+
+    def test_pruning_on(self, benchmark, rib):
+        stats = benchmark.pedantic(
+            lambda: evaluate_reachability(rib, prune=True), rounds=1, iterations=1
+        )
+        benchmark.extra_info["tuples"] = stats.tuples_generated
+        benchmark.extra_info["pruned"] = stats.tuples_pruned
+
+    def test_pruning_off(self, benchmark, rib):
+        stats = benchmark.pedantic(
+            lambda: evaluate_reachability(rib, prune=False), rounds=1, iterations=1
+        )
+        benchmark.extra_info["tuples"] = stats.tuples_generated
+        benchmark.extra_info["pruned"] = stats.tuples_pruned
+
+
+class TestPipelineStaging:
+    """Eager (per-operator) vs lazy (final-pass) solver pruning."""
+
+    def _plan_and_db(self, rib):
+        from repro.ctable.table import Database
+        from repro.engine.algebra import Rename
+
+        db = Database([rib.table.copy("F1"), rib.table.copy("F2")])
+        right = Rename(
+            Scan("F2"), {"flow": "flow2", "n1": "m1", "n2": "m2"}, name="F2r"
+        )
+        # two-hop pairs: join F1.n2 = F2.n1 (per-flow join keys are
+        # constants, conditions compose)
+        plan = Join(Scan("F1"), right, on=[("n2", "m1")], project_right=["m2"])
+        return plan, db
+
+    def test_eager(self, benchmark, rib):
+        plan, db = self._plan_and_db(rib)
+        solver = ConditionSolver(rib.domains)
+        _, stats = benchmark.pedantic(
+            lambda: run_eager(plan, db, ConditionSolver(rib.domains)),
+            rounds=1,
+            iterations=1,
+        )
+        benchmark.extra_info["tuples"] = stats.tuples_generated
+        benchmark.extra_info["pruned"] = stats.tuples_pruned
+
+    def test_lazy(self, benchmark, rib):
+        plan, db = self._plan_and_db(rib)
+        _, stats = benchmark.pedantic(
+            lambda: run_lazy(plan, db, ConditionSolver(rib.domains)),
+            rounds=1,
+            iterations=1,
+        )
+        benchmark.extra_info["tuples"] = stats.tuples_generated
+        benchmark.extra_info["pruned"] = stats.tuples_pruned
+
+
+class TestSolverBackend:
+    """Exact enumeration vs DPLL(T) on the same satisfiability load."""
+
+    def _conditions(self, rib):
+        return [t.condition for t in rib.table][:800]
+
+    def test_enumeration_backend(self, benchmark, rib):
+        conditions = self._conditions(rib)
+
+        def run():
+            solver = ConditionSolver(rib.domains)  # enumeration fits
+            return sum(1 for c in conditions if solver.is_satisfiable(c))
+
+        sat = benchmark.pedantic(run, rounds=1, iterations=1)
+        benchmark.extra_info["sat_conditions"] = sat
+
+    def test_dpll_backend(self, benchmark, rib):
+        conditions = self._conditions(rib)
+
+        def run():
+            solver = ConditionSolver(rib.domains, enumeration_limit=0)  # force DPLL
+            return sum(1 for c in conditions if solver.is_satisfiable(c))
+
+        sat = benchmark.pedantic(run, rounds=1, iterations=1)
+        benchmark.extra_info["sat_conditions"] = sat
+
+
+class TestGoalSpecialization:
+    """q7-style point queries: bottom-up everything vs goal-directed."""
+
+    def _goal(self, rib):
+        from repro.ctable.terms import Variable
+        from repro.faurelog.ast import Atom
+
+        route_prefix = next(iter(rib.path_vars))
+        return Atom("R", [route_prefix, Variable("a"), Variable("b")])
+
+    def test_bottom_up_then_select(self, benchmark, rib):
+        from repro.ctable.terms import Constant
+
+        goal = self._goal(rib)
+
+        def run():
+            solver = ConditionSolver(rib.domains)
+            evaluator = FaureEvaluator(rib.database(), solver=solver)
+            result = evaluator.evaluate(reachability_program(per_flow=True))
+            flow = goal.terms[0]
+            return [t for t in result.table("R") if t.values[0] == flow]
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        benchmark.extra_info["rows"] = len(rows)
+
+    def test_goal_directed(self, benchmark, rib):
+        from repro.faurelog.specialize import solve_goal
+
+        goal = self._goal(rib)
+
+        def run():
+            solver = ConditionSolver(rib.domains)
+            return solve_goal(
+                reachability_program(per_flow=True), rib.database(), goal, solver=solver
+            )
+
+        table = benchmark.pedantic(run, rounds=1, iterations=1)
+        benchmark.extra_info["rows"] = len(table)
+
+
+class TestConditionLocality:
+    """Parallel (local) vs chain (global) condition structure, equal k."""
+
+    K = 7
+
+    def _run(self, config):
+        solver = ConditionSolver(config.domain_map())
+        analyzer = ReachabilityAnalyzer(config.database(), solver)
+        analyzer.compute()
+        return analyzer.stats
+
+    def test_parallel_local_conditions(self, benchmark):
+        stats = benchmark.pedantic(
+            lambda: self._run(parallel_frr(self.K)), rounds=1, iterations=1
+        )
+        benchmark.extra_info["tuples"] = stats.tuples_generated
+
+    def test_chain_global_conditions(self, benchmark):
+        stats = benchmark.pedantic(
+            lambda: self._run(chain_frr(self.K)), rounds=1, iterations=1
+        )
+        benchmark.extra_info["tuples"] = stats.tuples_generated
+
+
+def main() -> None:
+    import time
+
+    routes = generate_rib(RibConfig(prefixes=RIB_PREFIXES, as_count=80, seed=7))
+    compiled = compile_forwarding(routes)
+
+    print("Ablation 1 — solver pruning during evaluation")
+    for prune in (True, False):
+        t0 = time.perf_counter()
+        stats = evaluate_reachability(compiled, prune=prune)
+        wall = time.perf_counter() - t0
+        label = "on " if prune else "off"
+        print(
+            f"  pruning {label}: {wall:6.2f}s  "
+            f"{stats.tuples_generated} tuples ({stats.tuples_pruned} pruned)"
+        )
+
+    print("\nAblation 2 — condition locality (k=7 protected links)")
+    for name, config in (("parallel", parallel_frr(7)), ("chain", chain_frr(7))):
+        solver = ConditionSolver(config.domain_map())
+        analyzer = ReachabilityAnalyzer(config.database(), solver)
+        t0 = time.perf_counter()
+        analyzer.compute()
+        print(f"  {name:>8}: {time.perf_counter() - t0:6.2f}s  {analyzer.stats.tuples_generated} tuples")
+
+    print("\nAblation 3 — goal-directed vs bottom-up for a point query")
+    from repro.ctable.terms import Variable
+    from repro.faurelog.ast import Atom
+    from repro.faurelog.specialize import solve_goal
+
+    prefix0 = next(iter(compiled.path_vars))
+    goal = Atom("R", [prefix0, Variable("a"), Variable("b")])
+    t0 = time.perf_counter()
+    solver = ConditionSolver(compiled.domains)
+    evaluator = FaureEvaluator(compiled.database(), solver=solver)
+    full = evaluator.evaluate(reachability_program(per_flow=True))
+    bottom_up = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    goal_table = solve_goal(
+        reachability_program(per_flow=True),
+        compiled.database(),
+        goal,
+        solver=ConditionSolver(compiled.domains),
+    )
+    goal_time = time.perf_counter() - t0
+    print(f"    bottom-up: {bottom_up:6.3f}s ({len(full.table('R'))} tuples total)")
+    print(f"    goal-dir : {goal_time:6.3f}s ({len(goal_table)} tuples for the flow)")
+
+    print("\nAblation 4 — solver backend on the RIB condition load")
+    conditions = [t.condition for t in compiled.table][:800]
+    for name, limit in (("enumeration", 1 << 20), ("dpll", 0)):
+        solver = ConditionSolver(compiled.domains, enumeration_limit=limit)
+        t0 = time.perf_counter()
+        sat = sum(1 for c in conditions if solver.is_satisfiable(c))
+        print(f"  {name:>11}: {time.perf_counter() - t0:6.3f}s  ({sat} satisfiable)")
+
+
+if __name__ == "__main__":
+    main()

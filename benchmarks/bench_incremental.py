@@ -1,0 +1,97 @@
+"""Incremental maintenance vs recompute-from-scratch (§7 context).
+
+A stream of new route announcements arrives (new F edges for existing
+flows).  Two ways to keep the reachability view current:
+
+* **recompute** — re-run q4/q5 after every change (the stateless
+  baseline);
+* **incremental** — semi-naive propagation from the delta
+  (:class:`repro.faurelog.incremental.IncrementalEvaluator`).
+
+Expected shape: recompute cost grows with the full database per event;
+incremental cost tracks the (small) set of new derivations — the gap
+widens with base size, which is exactly the argument incremental
+verifiers (Jinjing, INCV) make, here reproduced on top of c-tables.
+
+Run: ``pytest benchmarks/bench_incremental.py --benchmark-only``
+or   ``python benchmarks/bench_incremental.py``.
+"""
+
+import pytest
+
+from repro.ctable.table import Database
+from repro.faurelog.evaluation import evaluate
+from repro.faurelog.incremental import IncrementalEvaluator
+from repro.network.forwarding import compile_forwarding
+from repro.network.reachability import reachability_program
+from repro.solver.interface import ConditionSolver
+from repro.workloads.ribgen import RibConfig, generate_rib
+
+BASE_PREFIXES = 40
+EVENTS = 12
+
+PROGRAM = reachability_program(per_flow=True)
+
+
+def _workload():
+    routes = generate_rib(RibConfig(prefixes=BASE_PREFIXES, as_count=70, seed=23))
+    compiled = compile_forwarding(routes)
+    # the event stream: fresh edges extending existing flows
+    events = []
+    for i, route in enumerate(routes[:EVENTS]):
+        head = route.paths[0][0]
+        events.append((route.prefix, f"NEW{i}", head))
+    return compiled, events
+
+
+def run_incremental() -> int:
+    compiled, events = _workload()
+    solver = ConditionSolver(compiled.domains)
+    inc = IncrementalEvaluator(PROGRAM, compiled.database(), solver=solver)
+    new = 0
+    for flow, src, dst in events:
+        new += inc.insert("F", [flow, src, dst])
+    return new
+
+
+def run_recompute() -> int:
+    compiled, events = _workload()
+    solver = ConditionSolver(compiled.domains)
+    db = compiled.database()
+    total = 0
+    for flow, src, dst in events:
+        db.table("F").add([flow, src, dst])
+        result = evaluate(PROGRAM, db, solver=solver)
+        total = len(result.table("R"))
+    return total
+
+
+def test_incremental(benchmark):
+    new = benchmark.pedantic(run_incremental, rounds=1, iterations=1)
+    benchmark.extra_info["events"] = EVENTS
+    benchmark.extra_info["new_derivations"] = new
+
+
+def test_recompute(benchmark):
+    total = benchmark.pedantic(run_recompute, rounds=1, iterations=1)
+    benchmark.extra_info["events"] = EVENTS
+    benchmark.extra_info["final_tuples"] = total
+
+
+def main() -> None:
+    import time
+
+    t0 = time.perf_counter()
+    run_incremental()
+    inc = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_recompute()
+    rec = time.perf_counter() - t0
+    print(f"{EVENTS} announcement events over a {BASE_PREFIXES}-prefix base:")
+    print(f"  incremental: {inc:6.2f}s (includes the initial evaluation)")
+    print(f"  recompute  : {rec:6.2f}s (full q4/q5 per event)")
+    print(f"  speedup    : {rec / max(inc, 1e-9):5.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Loss-less modeling vs the complete approach (§4's implicit claim).
+
+The paper's motivation: enumerating the data planes of an uncertain
+network blows up exponentially in the number of uncertainty events, while
+one c-table evaluation handles them all.  This bench measures both sides
+on growing fast-reroute configurations:
+
+* **fauré**: one recursive fauré-log evaluation over the c-table;
+* **baseline**: instantiate each of the 2^k failure worlds and run a
+  conventional (ground datalog) reachability query in each.
+
+Expected shape: baseline time doubles per added protected link; fauré
+grows polynomially with the (linearly growing) c-table.
+
+Run: ``pytest benchmarks/bench_lossless.py --benchmark-only``
+or   ``python benchmarks/bench_lossless.py``.
+"""
+
+import itertools
+
+import pytest
+
+from repro.ctable.worlds import instantiate_database, iter_assignments
+from repro.network.frr import FrrConfig
+from repro.network.reachability import ReachabilityAnalyzer, reachability_program
+from repro.solver.interface import ConditionSolver
+from repro.verify.baseline import GroundEvaluator
+
+#: Number of protected links (the uncertainty knob): 2^k worlds.
+LINK_COUNTS = [2, 4, 6, 8, 10]
+
+
+def parallel_frr(protected_links: int) -> FrrConfig:
+    """``k`` independent protected segments (local uncertainty).
+
+    Each segment i is its own little Figure-1 gadget: source s_i with a
+    protected primary to t_i and a detour through d_i.  Failures are
+    *local* — exactly the structure of the RIB workload, where each
+    prefix carries its own path-state variables — so every derived
+    condition mentions one link variable, while the complete approach
+    still faces the global 2^k world product.
+    """
+    config = FrrConfig()
+    for i in range(protected_links):
+        src, dst, detour = f"s{i}", f"t{i}", f"d{i}"
+        config.protect(src, dst, backups=[detour], state_var=f"p{i}")
+        config.add_link(detour, dst)
+    return config
+
+
+# Backwards-compatible alias used by the ablation bench: the *chain*
+# topology (end-to-end reachability depends on every link) is fauré's
+# adversarial case and lives in bench_ablation.
+def chain_frr(protected_links: int) -> FrrConfig:
+    """A chain of protected hops — conditions accumulate every variable."""
+    config = FrrConfig()
+    for i in range(protected_links):
+        detour = f"d{i}"
+        config.protect(i, i + 1, backups=[detour], state_var=f"p{i}")
+        config.add_link(detour, i + 1)
+    return config
+
+
+def run_faure(config: FrrConfig) -> int:
+    solver = ConditionSolver(config.domain_map())
+    analyzer = ReachabilityAnalyzer(config.database(), solver)
+    return len(analyzer.compute())
+
+
+def run_baseline(config: FrrConfig) -> int:
+    program = reachability_program()
+    db = config.database()
+    domains = config.domain_map()
+    cvars = sorted(db.cvariables(), key=lambda v: v.name)
+    total = 0
+    for assignment in iter_assignments(cvars, domains):
+        ground = GroundEvaluator(instantiate_database(db, assignment))
+        total += len(ground.run(program)["R"])
+    return total
+
+
+@pytest.mark.parametrize("links", LINK_COUNTS)
+def test_faure_single_evaluation(benchmark, links):
+    config = parallel_frr(links)
+    tuples = benchmark.pedantic(lambda: run_faure(config), rounds=1, iterations=1)
+    benchmark.extra_info["protected_links"] = links
+    benchmark.extra_info["worlds_covered"] = 2 ** links
+    benchmark.extra_info["tuples"] = tuples
+
+
+@pytest.mark.parametrize("links", LINK_COUNTS)
+def test_baseline_world_enumeration(benchmark, links):
+    config = parallel_frr(links)
+    total = benchmark.pedantic(lambda: run_baseline(config), rounds=1, iterations=1)
+    benchmark.extra_info["protected_links"] = links
+    benchmark.extra_info["worlds_enumerated"] = 2 ** links
+    benchmark.extra_info["ground_tuples_total"] = total
+
+
+def main() -> None:
+    import time
+
+    print("Loss-less modeling: one c-table evaluation vs 2^k world enumeration")
+    print(f"{'links':>6} {'worlds':>7} {'faure (s)':>10} {'baseline (s)':>13} {'speedup':>8}")
+    for links in LINK_COUNTS:
+        config = parallel_frr(links)
+        t0 = time.perf_counter()
+        run_faure(config)
+        faure = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        run_baseline(config)
+        base = time.perf_counter() - t0
+        print(
+            f"{links:>6} {2**links:>7} {faure:>10.3f} {base:>13.3f} "
+            f"{base / max(faure, 1e-9):>8.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

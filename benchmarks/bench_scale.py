@@ -1,0 +1,83 @@
+"""Scaling fauré on standard topology families.
+
+Not a paper table — a robustness sweep showing that one fauré evaluation
+covers astronomically many failure worlds when conditions stay local:
+
+* **fat-tree** (datacenter): per-pod protected uplinks, path conditions
+  touch ≤2 link variables → world count 2^8…2^18, evaluation stays
+  polynomial in topology size;
+* **grid**: paths share protected links, conditions compound — a
+  middle ground;
+* **ring**: the adversarial extreme (every long path crosses many
+  protected links), kept small by design.
+
+Run: ``pytest benchmarks/bench_scale.py --benchmark-only``
+or   ``python benchmarks/bench_scale.py``.
+"""
+
+import pytest
+
+from repro.network.reachability import ReachabilityAnalyzer
+from repro.solver.interface import ConditionSolver
+from repro.workloads.topologen import fat_tree_frr, grid_frr, ring_frr
+
+FAT_TREE_ARITIES = [2, 4]
+GRID_SIZES = [(2, 2), (2, 3)]
+RING_SIZES = [4, 6]
+
+
+def run(config):
+    solver = ConditionSolver(config.domain_map())
+    analyzer = ReachabilityAnalyzer(config.database(), solver)
+    analyzer.compute()
+    return analyzer
+
+
+@pytest.mark.parametrize("k", FAT_TREE_ARITIES)
+def test_fat_tree(benchmark, k):
+    config = fat_tree_frr(k)
+    analyzer = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    benchmark.extra_info["protected"] = len(config.state_variables)
+    benchmark.extra_info["worlds"] = 2 ** len(config.state_variables)
+    benchmark.extra_info["tuples"] = analyzer.stats.tuples_generated
+
+
+@pytest.mark.parametrize("size", GRID_SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+def test_grid(benchmark, size):
+    config = grid_frr(*size)
+    analyzer = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    benchmark.extra_info["protected"] = len(config.state_variables)
+    benchmark.extra_info["tuples"] = analyzer.stats.tuples_generated
+
+
+@pytest.mark.parametrize("n", RING_SIZES)
+def test_ring(benchmark, n):
+    config = ring_frr(n)
+    analyzer = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    benchmark.extra_info["protected"] = len(config.state_variables)
+    benchmark.extra_info["tuples"] = analyzer.stats.tuples_generated
+
+
+def main() -> None:
+    import time
+
+    print("Scaling across topology families (one evaluation, all worlds)")
+    print(f"{'topology':>12} {'nodes':>6} {'protected':>9} {'worlds':>10} {'time (s)':>9} {'tuples':>7}")
+    cases = (
+        [(f"fat-tree k={k}", fat_tree_frr(k)) for k in FAT_TREE_ARITIES]
+        + [(f"grid {r}x{c}", grid_frr(r, c)) for r, c in GRID_SIZES]
+        + [(f"ring {n}", ring_frr(n)) for n in RING_SIZES]
+    )
+    for name, config in cases:
+        t0 = time.perf_counter()
+        analyzer = run(config)
+        wall = time.perf_counter() - t0
+        protected = len(config.state_variables)
+        print(
+            f"{name:>12} {len(config.topology):>6} {protected:>9} "
+            f"{2**protected:>10} {wall:>9.3f} {analyzer.stats.tuples_generated:>7}"
+        )
+
+
+if __name__ == "__main__":
+    main()

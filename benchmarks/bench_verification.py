@@ -1,0 +1,121 @@
+"""Relative-complete verification vs the complete approach (§5, §7).
+
+§7's claim: "fauré's relative-complete verifiers use constraint
+subsumption, a reasoning process that entirely eliminates the need to
+access network state."  This bench quantifies it along two axes:
+
+* **state size** — random enterprises with more subnets/servers: the
+  category (i) subsumption test should stay flat (it never reads the
+  state), while direct evaluation grows with the state;
+* **uncertainty** — more unknown (c-variable) entries: the
+  possible-worlds baseline doubles per unknown, direct c-table
+  evaluation grows gently, subsumption stays flat.
+
+Run: ``pytest benchmarks/bench_verification.py --benchmark-only``
+or   ``python benchmarks/bench_verification.py``.
+"""
+
+import pytest
+
+from repro.solver.interface import ConditionSolver
+from repro.verify.baseline import sweep_constraint
+from repro.verify.constraints import Constraint
+from repro.verify.subsumption import check_subsumption
+from repro.workloads.enterprisegen import ScenarioConfig, generate_scenario
+
+#: State-size sweep: (subnets, servers).
+STATE_SIZES = [(2, 2), (4, 4), (6, 6), (8, 8)]
+
+#: Uncertainty sweep: number of unknown entries.
+UNKNOWN_COUNTS = [0, 2, 4, 6, 8]
+
+
+def scenario_for(size=(2, 2), unknowns=0):
+    subnets, servers = size
+    return generate_scenario(
+        ScenarioConfig(
+            subnets=subnets, servers=servers, unknown_entries=unknowns, seed=42
+        )
+    )
+
+
+def run_subsumption(scenario):
+    solver = ConditionSolver(scenario.domains)
+    return check_subsumption(
+        Constraint("target", scenario.target),
+        [Constraint("policy", p) for p in scenario.policies],
+        solver,
+        schemas=scenario.schemas,
+        column_domains=scenario.column_domains,
+    )
+
+
+def run_direct(scenario):
+    solver = ConditionSolver(scenario.domains)
+    return Constraint("target", scenario.target).check(scenario.database, solver)
+
+
+def run_world_sweep(scenario):
+    return sweep_constraint(
+        scenario.target, scenario.database, scenario.domains
+    )
+
+
+@pytest.mark.parametrize("size", STATE_SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+def test_subsumption_vs_state_size(benchmark, size):
+    """Category (i): should be flat — it never touches the state."""
+    scenario = scenario_for(size=size)
+    result = benchmark.pedantic(lambda: run_subsumption(scenario), rounds=1, iterations=1)
+    benchmark.extra_info["state_rows"] = len(scenario.database.table("R"))
+    benchmark.extra_info["verdict"] = str(result)
+
+
+@pytest.mark.parametrize("size", STATE_SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+def test_direct_check_vs_state_size(benchmark, size):
+    """Direct evaluation reads the state: grows with it."""
+    scenario = scenario_for(size=size)
+    result = benchmark.pedantic(lambda: run_direct(scenario), rounds=1, iterations=1)
+    benchmark.extra_info["state_rows"] = len(scenario.database.table("R"))
+    benchmark.extra_info["status"] = result.status.value
+
+
+@pytest.mark.parametrize("unknowns", UNKNOWN_COUNTS)
+def test_direct_check_vs_uncertainty(benchmark, unknowns):
+    """C-table evaluation under growing uncertainty (stays polynomial)."""
+    scenario = scenario_for(unknowns=unknowns)
+    benchmark.pedantic(lambda: run_direct(scenario), rounds=1, iterations=1)
+    benchmark.extra_info["unknown_entries"] = unknowns
+
+
+@pytest.mark.parametrize("unknowns", UNKNOWN_COUNTS)
+def test_baseline_sweep_vs_uncertainty(benchmark, unknowns):
+    """The complete approach: world count multiplies per unknown."""
+    scenario = scenario_for(unknowns=unknowns)
+    sweep = benchmark.pedantic(lambda: run_world_sweep(scenario), rounds=1, iterations=1)
+    benchmark.extra_info["unknown_entries"] = unknowns
+    benchmark.extra_info["worlds"] = sweep.worlds
+
+
+def main() -> None:
+    import time
+
+    print("Category (i) subsumption vs direct check, growing STATE size")
+    print(f"{'state':>8} {'R rows':>7} {'subsume (s)':>12} {'direct (s)':>11}")
+    for size in STATE_SIZES:
+        scenario = scenario_for(size=size)
+        t0 = time.perf_counter(); run_subsumption(scenario); sub = time.perf_counter() - t0
+        t0 = time.perf_counter(); run_direct(scenario); direct = time.perf_counter() - t0
+        rows = len(scenario.database.table("R"))
+        print(f"{size[0]}x{size[1]:<6} {rows:>7} {sub:>12.3f} {direct:>11.3f}")
+
+    print("\nDirect c-table check vs possible-worlds sweep, growing UNCERTAINTY")
+    print(f"{'unknowns':>9} {'worlds':>7} {'direct (s)':>11} {'sweep (s)':>10}")
+    for unknowns in UNKNOWN_COUNTS:
+        scenario = scenario_for(unknowns=unknowns)
+        t0 = time.perf_counter(); run_direct(scenario); direct = time.perf_counter() - t0
+        t0 = time.perf_counter(); sweep = run_world_sweep(scenario); sw = time.perf_counter() - t0
+        print(f"{unknowns:>9} {sweep.worlds:>7} {direct:>11.3f} {sw:>10.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Shared workload fixtures for the benchmark harness.
+
+RIB sizes are scaled to laptop-friendly values (the paper ran 1 000 to
+922 067 prefixes on a 1.4 GHz laptop over hours; we keep the default
+sweep under a minute).  Set ``FAURE_BENCH_SCALE`` to multiply the prefix
+counts, e.g. ``FAURE_BENCH_SCALE=10 pytest benchmarks/``.
+"""
+
+import os
+
+import pytest
+
+from repro.network.forwarding import compile_forwarding
+from repro.solver.interface import ConditionSolver
+from repro.workloads.ribgen import RibConfig, generate_rib
+
+SCALE = float(os.environ.get("FAURE_BENCH_SCALE", "1"))
+
+#: The #prefix sweep standing in for the paper's {1000, 10000, 100000, 922067}.
+PREFIX_SIZES = [max(10, int(n * SCALE)) for n in (50, 100, 200)]
+
+
+@pytest.fixture(scope="session")
+def rib_workloads():
+    """prefix-count → (routes, compiled forwarding)."""
+    out = {}
+    for prefixes in PREFIX_SIZES:
+        routes = generate_rib(
+            RibConfig(prefixes=prefixes, as_count=max(60, prefixes // 4), seed=20210610)
+        )
+        out[prefixes] = (routes, compile_forwarding(routes))
+    return out

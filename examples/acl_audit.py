@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Auditing an ACL you can only partially see.
+
+The security team's ACL contains a deny rule whose subnet field the
+auditing team cannot read (an unknown — a c-variable), plus visible
+permit rules with port ranges.  The audit answers, per flow of interest:
+
+* *always permitted* — whatever the hidden field is;
+* *never permitted* — blocked in every completion;
+* *conditional* — with the exact condition on the hidden field, so the
+  auditor knows precisely which question to ask the security team.
+
+Run:  python examples/acl_audit.py
+"""
+
+from repro import ConditionSolver, DomainMap, FiniteDomain, IntRange, cvar
+from repro.network.acl import ANY, Acl
+
+FLOWS = [
+    ("Mkt", "CS", 7000),
+    ("Mkt", "CS", 22),
+    ("R&D", "GS", 8080),
+    ("R&D", "CS", 7000),
+    ("Guest", "CS", 7000),
+]
+
+
+def main() -> None:
+    hidden = cvar("hidden_subnet")  # the field we cannot read
+
+    acl = (
+        Acl(default="deny")
+        .deny(hidden, "CS", ANY)          # rule 1: hidden subnet barred from CS
+        .deny(ANY, ANY, (0, 1023))        # rule 2: no well-known ports
+        .permit(ANY, "CS", 7000)          # rule 3: application port to CS
+        .permit("R&D", ANY, (7000, 9000)) # rule 4: R&D's dev range
+    )
+
+    domains = DomainMap()
+    domains.declare(hidden, FiniteDomain(["Mkt", "R&D", "Guest"]))
+    solver = ConditionSolver(domains)
+
+    print("ACL audit with one unreadable field (hidden_subnet):\n")
+    for src, dst, port in FLOWS:
+        verdict = acl.permits(src, dst, port, solver)
+        condition = acl.decision_condition(src, dst, port)
+        if verdict == "conditional":
+            simplified = solver.simplify(condition)
+            print(f"  {src:>6} -> {dst:<3} :{port:<5} {verdict:<12} iff {simplified}")
+        else:
+            print(f"  {src:>6} -> {dst:<3} :{port:<5} {verdict}")
+
+    print("\nCompiled permitted-flows c-table (solver-pruned):")
+    table = acl.permitted_table(FLOWS)
+    from repro.engine.pipeline import solver_prune
+
+    print(solver_prune(table, solver).pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Limited visibility across domains (§1's second motivation).
+
+An operator at AS1 announces a prefix and wants to know where it can
+propagate.  Policies inside the operator's own cone are known; external
+ASes' export policies are not — each invisible adjacency becomes a {0,1}
+c-variable, and one fauré-log evaluation answers, per AS:
+
+* *certain*: the announcement arrives whatever the foreign policies are;
+* *possible*: it arrives under some policies (with an actionable
+  example assignment);
+* *never*: no policy combination delivers it.
+
+Run:  python examples/interdomain_visibility.py
+"""
+
+from repro.network.interdomain import ExportPolicy, InterdomainNetwork
+
+
+def main() -> None:
+    net = InterdomainNetwork()
+
+    # The operator's own cone: AS1 exports to its providers AS2 and AS3.
+    net.add_link("AS1", "AS2", ExportPolicy.EXPORTS)
+    net.add_link("AS1", "AS3", ExportPolicy.EXPORTS)
+
+    # AS2 is a cooperating peer: its policy toward AS4 is visible.
+    net.add_link("AS2", "AS4", ExportPolicy.EXPORTS)
+
+    # AS3's behaviour is invisible; AS4 filters toward AS6 (known).
+    net.add_link("AS3", "AS5", ExportPolicy.UNKNOWN)
+    net.add_link("AS4", "AS6", ExportPolicy.BLOCKS)
+
+    # Two invisible ways into AS7: via AS5 or via AS6.
+    net.add_link("AS5", "AS7", ExportPolicy.UNKNOWN)
+    net.add_link("AS6", "AS7", ExportPolicy.UNKNOWN)
+    net.add_link("AS4", "AS7", ExportPolicy.UNKNOWN)
+
+    analysis = net.analyze("AS1")
+
+    print("Prefix announced by AS1 — propagation under unknown policies:\n")
+    for asn, verdict in sorted(analysis.classification().items()):
+        condition = analysis.reachability_condition(asn)
+        print(f"  {asn}: {verdict:<8}  [{condition}]")
+
+    print("\nActionable example — policies that deliver the route to AS7:")
+    needed = analysis.required_policies("AS7")
+    if needed is None:
+        print("  impossible under any foreign policy")
+    else:
+        for var, value in sorted(needed.items(), key=lambda kv: kv[0].name):
+            verb = "must export" if value == 1 else "may filter"
+            print(f"  {var.name}: {verb}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: c-tables, fauré-log, and the paper's Table 2 in 5 minutes.
+
+Builds the PATH' database of the paper's §3 — a routing table where one
+destination's path is *unknown* (one of two candidates) and another row
+applies to every destination except 1.2.3.4 — then runs the paper's
+queries q2 and q3 over it, with both the fauré-log and the mini-SQL
+front-ends.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ConditionSolver,
+    CTable,
+    Database,
+    DomainMap,
+    SqlEngine,
+    Unbounded,
+    cvar,
+    disjoin,
+    eq,
+    evaluate,
+    ne,
+    parse_program,
+)
+
+ABC = ("A", "B", "C")
+ADEC = ("A", "D", "E", "C")
+ABE = ("A", "B", "E")
+
+
+def build_database() -> Database:
+    """PATH' = {P^i, C}: the paper's Table 2, partial information included."""
+    xp = cvar("xp")  # the unknown path of 1.2.3.4   (x̄ in the paper)
+    yd = cvar("yd")  # "any destination but 1.2.3.4" (ȳ in the paper)
+
+    p = CTable("P", ["dest", "path"])
+    p.add(["1.2.3.4", xp], disjoin([eq(xp, ABC), eq(xp, ADEC)]))
+    p.add([yd, ABE], ne(yd, "1.2.3.4"))
+    p.add(["1.2.3.6", ADEC])
+
+    c = CTable("C", ["path", "cost"])
+    c.add([ABC, 3])
+    c.add([ADEC, 4])
+    c.add([ABE, 3])
+    return Database([p, c])
+
+
+def main() -> None:
+    db = build_database()
+    solver = ConditionSolver(DomainMap(default=Unbounded("string")))
+
+    print("The partial routing table (a c-table):\n")
+    print(db.table("P").pretty())
+
+    # --- q2: what does reaching 1.2.3.4 cost?  (answer is conditional) ---
+    q2 = parse_program("ans(z) :- P('1.2.3.4', y), C(y, z).")
+    result = evaluate(q2, db, solver=solver)
+    print("\nq2 — cost of reaching 1.2.3.4 (unknown path):")
+    for tup in result.table("ans"):
+        print(f"  cost {tup.values[0]}  when  {tup.condition}")
+
+    # --- q3: implicit pattern matching against the c-variable row ---
+    q3 = parse_program("ans(z) :- P('1.2.3.5', y), C(y, z).")
+    result = evaluate(q3, db, solver=solver)
+    print("\nq3 — cost of reaching 1.2.3.5 (matches the ȳd row):")
+    for tup in result.table("ans"):
+        print(f"  cost {tup.values[0]}  when  {tup.condition}")
+
+    # --- the same q2 through the SQL front-end (the paper's PostgreSQL) ---
+    engine = SqlEngine(db, solver=solver)
+    sql_result = engine.execute(
+        "SELECT C.cost FROM P, C WHERE P.dest = '1.2.3.4' AND P.path = C.path"
+    )
+    print("\nSame q2 via mini-SQL:")
+    print(sql_result.pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Continuous constraint monitoring over a stream of network events.
+
+The verification team leaves a monitor running.  As reachability facts
+stream in (flow discoveries, config pushes), each constraint's panic
+query is maintained *incrementally* — no recomputation — and alarms
+carry the exact condition of the violation, which over a partial state
+distinguishes "violated, full stop" from "violated only if the unknown
+firewall isn't where we hope".
+
+Run:  python examples/streaming_monitor.py
+"""
+
+from repro import ConditionSolver, Constraint, Database, DomainMap, cvar, eq
+from repro.solver import BOOL_DOMAIN, Unbounded
+from repro.verify.monitor import ConstraintMonitor
+
+EVENTS = [
+    ("R", ["R&D", "CS"], None),   # fine: R&D→CS is firewalled
+    ("R", ["Mkt", "GS"], None),   # conditional: firewall there only if x̄=1
+    ("R", ["Mkt", "CS"], None),   # hard violation: no firewall at all
+]
+
+
+def main() -> None:
+    x = cvar("x")
+    db = Database()
+    db.create_table("R", ["subnet", "server"])
+    fw = db.create_table("Fw", ["subnet", "server"])
+    fw.add(["R&D", "CS"])
+    fw.add(["Mkt", "GS"], eq(x, 1))  # deployment status unknown
+
+    t1 = Constraint.from_text(
+        "T1", "panic :- R(Mkt, $y), not Fw(Mkt, $y).",
+        "all Mkt traffic must be firewalled",
+    )
+    solver = ConditionSolver(DomainMap({x: BOOL_DOMAIN}, default=Unbounded()))
+    monitor = ConstraintMonitor([t1], db, solver)
+
+    print("monitor armed; streaming events:\n")
+    for predicate, values, condition in EVENTS:
+        print(f"event: +{predicate}({', '.join(map(str, values))})")
+        alarms = monitor.insert(predicate, values, condition)
+        if not alarms:
+            print("   ok\n")
+            continue
+        for alarm in alarms:
+            print(f"   ALARM {alarm}")
+            print(f"   ({alarm.new_derivations} new panic derivation(s))\n")
+
+    print("final status:", {k: v.value for k, v in monitor.status().items()})
+
+    # the violation is real — ask for repairs
+    from repro.verify.repair import suggest_repairs
+
+    final_db = Database()
+    r = final_db.create_table("R", ["subnet", "server"])
+    for _, values, _ in EVENTS:
+        r.add(values)
+    fw2 = final_db.create_table("Fw", ["subnet", "server"])
+    fw2.add(["R&D", "CS"])
+    fw2.add(["Mkt", "GS"], eq(x, 1))
+    print("\nsuggested repairs:")
+    for repair in suggest_repairs(t1, final_db, solver):
+        print(f"  {repair}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Checking a multi-step change plan (the §5 setting, extended).
+
+The TE team wants to move load balancing from (Mkt, CS) to (R&D, GS).
+There are two natural orderings — and one of them transiently breaks T2
+("R&D traffic must be load balanced") at an intermediate step even
+though both end in the same compliant state.  The plan checker verifies
+the constraint after *every* prefix of the plan, preferring the
+state-free subsumption test and falling back to direct evaluation.
+
+Run:  python examples/update_plan.py
+"""
+
+from repro import ConditionSolver, Constraint
+from repro.faurelog.rewrite import Deletion, Insertion
+from repro.network.enterprise import (
+    EnterpriseModel,
+    SCHEMAS,
+    column_domains,
+    constraint_T2,
+    policy_C_lb,
+    policy_C_s,
+)
+from repro.verify.plans import check_plan
+
+
+def main() -> None:
+    model = EnterpriseModel.paper_state()
+    state = model.database()
+    solver = ConditionSolver(model.domain_map())
+    t2 = Constraint("T2", constraint_T2(), "R&D traffic must be load balanced")
+    known = [
+        Constraint("C_lb", policy_C_lb()),
+        Constraint("C_s", policy_C_s()),
+    ]
+
+    plans = {
+        "insert-then-delete (make before break)": [
+            Insertion("Lb", ("R&D", "GS")),
+            Deletion("Lb", ("Mkt", "CS")),
+        ],
+        "risky reshuffle (break before make)": [
+            Deletion("Lb", ("R&D", "GS")),
+            Insertion("Lb", ("R&D", "GS")),
+            Deletion("Lb", ("Mkt", "CS")),
+        ],
+    }
+
+    for name, plan in plans.items():
+        print(f"=== plan: {name} ===")
+        report = check_plan(
+            t2,
+            plan,
+            known=known,
+            solver=solver,
+            state=state,
+            schemas=SCHEMAS,
+            column_domains=column_domains(),
+        )
+        print(report)
+        if not report.safe:
+            bad = report.first_unsafe_step
+            print(f"  -> first problem at step {bad.step}: {bad.operation}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""Fauré: a partial approach to network analysis — full reproduction.
+
+Reproduces Lan, Gui & Wang, *Fauré: A Partial Approach to Network
+Analysis* (HotNets '21): c-tables for loss-less modeling of uncertain
+networks, the fauré-log datalog extension that queries them, and the
+relative-complete verification ladder (constraint subsumption via
+containment-to-evaluation reduction, plus update rewriting).
+
+Package map
+-----------
+``repro.ctable``
+    The c-table data model: c-domain terms, conditions, tables,
+    possible-worlds semantics.
+``repro.solver``
+    Decision procedures over conditions (the Z3 substitute).
+``repro.engine``
+    In-memory relational engine with the paper's three-phase pipeline
+    and a mini-SQL front-end (the PostgreSQL substitute).
+``repro.faurelog``
+    The fauré-log language: AST, parser, c-valuation, stratified
+    fixpoint evaluation, containment, update rewrite.
+``repro.network``
+    Network substrate: topologies, fast-reroute configs, per-prefix
+    forwarding, the enterprise scenario.
+``repro.verify``
+    Relative-complete verification and the complete-approach baseline.
+``repro.workloads``
+    Synthetic RIBs, failure-pattern families, scenario generators.
+
+Quickstart
+----------
+>>> from repro import paper_figure1, ReachabilityAnalyzer, ConditionSolver
+>>> config = paper_figure1()
+>>> solver = ConditionSolver(config.domain_map())
+>>> analyzer = ReachabilityAnalyzer(config.database(), solver)
+>>> table = analyzer.compute()   # all-pairs reachability, all failure worlds
+"""
+
+from .ctable import (
+    CTable,
+    CTuple,
+    Condition,
+    Constant,
+    CVariable,
+    Database,
+    FALSE,
+    LinearAtom,
+    TRUE,
+    Variable,
+    conjoin,
+    cvar,
+    disjoin,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+    var,
+)
+from .engine import EvalStats, SqlEngine
+from .faurelog import (
+    Atom,
+    Deletion,
+    FaureEvaluator,
+    Insertion,
+    Literal,
+    Program,
+    Rule,
+    apply_update,
+    contains,
+    evaluate,
+    parse_program,
+    rewrite_constraint,
+)
+from .network import (
+    EnterpriseModel,
+    FrrConfig,
+    PrefixRoutes,
+    ReachabilityAnalyzer,
+    Topology,
+    compile_forwarding,
+    paper_figure1,
+)
+from .solver import BOOL_DOMAIN, ConditionSolver, DomainMap, FiniteDomain, IntRange, Unbounded
+from .verify import (
+    Constraint,
+    RelativeCompleteVerifier,
+    Status,
+    check_subsumption,
+    check_with_update,
+    sweep_constraint,
+)
+from .workloads import RibConfig, generate_rib, parse_rib
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CTable",
+    "CTuple",
+    "Condition",
+    "Constant",
+    "CVariable",
+    "Database",
+    "FALSE",
+    "LinearAtom",
+    "TRUE",
+    "Variable",
+    "conjoin",
+    "cvar",
+    "disjoin",
+    "eq",
+    "ge",
+    "gt",
+    "le",
+    "lt",
+    "ne",
+    "var",
+    "EvalStats",
+    "SqlEngine",
+    "Atom",
+    "Deletion",
+    "FaureEvaluator",
+    "Insertion",
+    "Literal",
+    "Program",
+    "Rule",
+    "apply_update",
+    "contains",
+    "evaluate",
+    "parse_program",
+    "rewrite_constraint",
+    "EnterpriseModel",
+    "FrrConfig",
+    "PrefixRoutes",
+    "ReachabilityAnalyzer",
+    "Topology",
+    "compile_forwarding",
+    "paper_figure1",
+    "BOOL_DOMAIN",
+    "ConditionSolver",
+    "DomainMap",
+    "FiniteDomain",
+    "IntRange",
+    "Unbounded",
+    "Constraint",
+    "RelativeCompleteVerifier",
+    "Status",
+    "check_subsumption",
+    "check_with_update",
+    "sweep_constraint",
+    "RibConfig",
+    "generate_rib",
+    "parse_rib",
+    "__version__",
+]

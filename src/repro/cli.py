@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``rib generate``
+    Synthesize a route-views-like RIB dump (the §6 workload).
+``rib analyze``
+    Compile a RIB dump into the forwarding c-table and run the q4/q5
+    all-pairs reachability analysis, reporting the Table 4 row.
+``query``
+    Run a fauré-log program (file or inline) against a c-table database
+    stored in the JSON interchange format of :mod:`repro.ctable.io`.
+``verify``
+    Run the relative-complete verification ladder on constraint files,
+    optionally with an update (``+Pred(a,b)`` / ``-Pred(a,b)`` specs)
+    and/or a state database.
+``examples``
+    List the bundled example scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .ctable.io import dump_database, load_database
+from .ctable.parse import ParseError, TokenStream, parse_term, tokenize
+from .ctable.terms import Constant
+from .engine.stats import EvalStats
+from .faurelog.evaluation import evaluate
+from .faurelog.parser import parse_program
+from .faurelog.rewrite import Deletion, Insertion
+from .network.forwarding import compile_forwarding
+from .network.reachability import ReachabilityAnalyzer
+from .solver.interface import ConditionSolver
+from .verify.constraints import Constraint
+from .verify.verifier import RelativeCompleteVerifier
+from .workloads.ribgen import RibConfig, dump_rib, generate_rib, parse_rib
+
+__all__ = ["main", "parse_update_spec"]
+
+
+def parse_update_spec(spec: str):
+    """Parse ``+Pred(v1, v2)`` / ``-Pred(v1, _, v3)`` into an operation."""
+    spec = spec.strip()
+    if not spec or spec[0] not in "+-":
+        raise ValueError(f"update spec must start with + or -: {spec!r}")
+    insert = spec[0] == "+"
+    body = spec[1:].strip()
+    open_paren = body.find("(")
+    if open_paren < 0 or not body.endswith(")"):
+        raise ValueError(f"malformed update spec {spec!r}")
+    predicate = body[:open_paren].strip()
+    inner = body[open_paren + 1:-1]
+    values = []
+    for cell in inner.split(","):
+        cell = cell.strip()
+        if cell == "_":
+            if insert:
+                raise ValueError("wildcards are only allowed in deletions")
+            values.append(None)
+            continue
+        stream = TokenStream(tokenize(cell), cell)
+        term = parse_term(stream, resolve_ident=lambda n: Constant(n))
+        values.append(term)
+    if insert:
+        return Insertion(predicate, tuple(values))
+    return Deletion(predicate, tuple(values))
+
+
+def _cmd_rib_generate(args) -> int:
+    config = RibConfig(
+        prefixes=args.prefixes,
+        paths_per_prefix=args.paths,
+        as_count=args.ases,
+        seed=args.seed,
+    )
+    routes = generate_rib(config)
+    text = dump_rib(routes)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {len(routes)} prefixes to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_rib_analyze(args) -> int:
+    routes = parse_rib(Path(args.rib).read_text())
+    compiled = compile_forwarding(routes)
+    solver = ConditionSolver(compiled.domains)
+    analyzer = ReachabilityAnalyzer(compiled.database(), solver, per_flow=True)
+    reach = analyzer.compute()
+    stats = analyzer.stats
+    print(f"prefixes:       {len(routes)}")
+    print(f"F entries:      {len(compiled.table)}")
+    print(f"R tuples:       {len(reach)}")
+    print(f"sql seconds:    {stats.sql_seconds:.3f}")
+    print(f"solver seconds: {stats.solver_seconds:.3f}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    db, domains = load_database(Path(args.db).read_text())
+    if args.program_file:
+        text = Path(args.program_file).read_text()
+    else:
+        text = args.program
+    program = parse_program(text)
+    solver = ConditionSolver(domains)
+    stats = EvalStats()
+    result = evaluate(program, db, solver=solver, stats=stats)
+    names = [args.output] if args.output else sorted(result.names())
+    for name in names:
+        print(result.table(name).pretty(max_rows=args.limit))
+        print()
+    print(
+        f"-- {stats.tuples_generated} tuples derived "
+        f"(sql {stats.sql_seconds:.3f}s, solver {stats.solver_seconds:.3f}s)"
+    )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    target = Constraint(
+        Path(args.target).stem, parse_program(Path(args.target).read_text())
+    )
+    known = [
+        Constraint(Path(p).stem, parse_program(Path(p).read_text()))
+        for p in args.known
+    ]
+    update = [parse_update_spec(s) for s in args.update] if args.update else None
+    state = None
+    domains = None
+    if args.db:
+        state, domains = load_database(Path(args.db).read_text())
+    from .solver.domains import DomainMap, Unbounded
+
+    solver = ConditionSolver(domains if domains is not None else DomainMap(default=Unbounded("any")))
+    verifier = RelativeCompleteVerifier(known, solver)
+    verdict = verifier.verify(target, update=update, state=state)
+    print(f"{target.name}: {verdict}")
+    for step in verdict.trail:
+        print(f"  {step}")
+    return 0 if verdict.ok else 1
+
+
+def _cmd_sql(args) -> int:
+    from .engine.sql import SqlEngine
+    from .solver.domains import DomainMap, Unbounded
+
+    if args.db:
+        db, domains = load_database(Path(args.db).read_text())
+    else:
+        from .ctable.table import Database
+
+        db, domains = Database(), DomainMap(default=Unbounded("any"))
+    engine = SqlEngine(db, solver=ConditionSolver(domains))
+    statements = (
+        Path(args.script).read_text() if args.script else " ".join(args.statement)
+    )
+    result = engine.script(statements)
+    if result is not None:
+        print(result.pretty(max_rows=args.limit))
+    if args.save:
+        Path(args.save).write_text(dump_database(db, domains))
+        print(f"saved database to {args.save}")
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from .faurelog.analyze import lint_program
+
+    program = parse_program(Path(args.program).read_text())
+    findings = lint_program(
+        program, edb=args.edb or (), outputs=args.outputs or ()
+    )
+    for finding in findings:
+        print(finding)
+    errors = sum(1 for f in findings if f.severity == "error")
+    print(f"{len(findings)} finding(s), {errors} error(s)")
+    return 1 if errors else 0
+
+
+def _cmd_examples(_args) -> int:
+    examples = [
+        ("quickstart.py", "c-tables + fauré-log on the paper's Table 2"),
+        ("fast_reroute.py", "§4 loss-less reachability under failures"),
+        ("multi_team_verification.py", "§5 relative-complete verification"),
+        ("rib_reachability.py", "§6 RIB pipeline with Table 4 reporting"),
+        ("sql_session.py", "the mini-SQL face of the engine"),
+        ("interdomain_visibility.py", "limited visibility across domains"),
+        ("update_plan.py", "multi-step change-plan safety"),
+        ("acl_audit.py", "auditing a partially visible ACL"),
+        ("streaming_monitor.py", "incremental constraint monitoring"),
+    ]
+    for name, blurb in examples:
+        print(f"  examples/{name:<28} {blurb}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="fauré: partial network analysis"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rib = sub.add_parser("rib", help="synthetic RIB workloads")
+    rib_sub = rib.add_subparsers(dest="rib_command", required=True)
+    gen = rib_sub.add_parser("generate", help="generate a RIB dump")
+    gen.add_argument("--prefixes", type=int, default=100)
+    gen.add_argument("--paths", type=int, default=5)
+    gen.add_argument("--ases", type=int, default=120)
+    gen.add_argument("--seed", type=int, default=20210610)
+    gen.add_argument("-o", "--output")
+    gen.set_defaults(func=_cmd_rib_generate)
+    ana = rib_sub.add_parser("analyze", help="reachability analysis of a dump")
+    ana.add_argument("rib")
+    ana.set_defaults(func=_cmd_rib_analyze)
+
+    query = sub.add_parser("query", help="run a fauré-log program")
+    query.add_argument("--db", required=True, help="database JSON file")
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--program", help="inline program text")
+    group.add_argument("--program-file", help="program file")
+    query.add_argument("--output", help="only print this predicate")
+    query.add_argument("--limit", type=int, default=30, help="max rows shown")
+    query.set_defaults(func=_cmd_query)
+
+    verify = sub.add_parser("verify", help="relative-complete verification")
+    verify.add_argument("--target", required=True, help="target constraint file")
+    verify.add_argument("--known", nargs="*", default=[], help="known constraint files")
+    verify.add_argument(
+        "--update", nargs="*", help="update specs like '+Lb(R&D, GS)' '-Lb(Mkt, CS)'"
+    )
+    verify.add_argument("--db", help="state database JSON (enables level 3)")
+    verify.set_defaults(func=_cmd_verify)
+
+    sql = sub.add_parser("sql", help="run mini-SQL statements on c-tables")
+    sql.add_argument("statement", nargs="*", help="inline ;-separated statements")
+    sql.add_argument("--db", help="database JSON to load first")
+    sql.add_argument("--script", help="file of statements instead of inline")
+    sql.add_argument("--save", help="write the resulting database JSON here")
+    sql.add_argument("--limit", type=int, default=30)
+    sql.set_defaults(func=_cmd_sql)
+
+    lint = sub.add_parser("lint", help="static checks on a fauré-log file")
+    lint.add_argument("program", help="program file")
+    lint.add_argument("--edb", nargs="*", help="declared stored relations")
+    lint.add_argument("--outputs", nargs="*", help="output predicates")
+    lint.set_defaults(func=_cmd_lint)
+
+    examples = sub.add_parser("examples", help="list bundled examples")
+    examples.set_defaults(func=_cmd_examples)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ParseError, ValueError, KeyError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

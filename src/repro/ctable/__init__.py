@@ -1,0 +1,80 @@
+"""C-tables: the incomplete-information data model at fauré's core.
+
+Exposes terms of the c-domain (:class:`Constant`, :class:`CVariable`,
+:class:`Variable`), the condition language, conditional tuples/tables,
+and the possible-worlds semantics that grounds the loss-less-modeling
+claim.
+"""
+
+from .condition import (
+    And,
+    Comparison,
+    Condition,
+    FALSE,
+    LinearAtom,
+    Not,
+    Or,
+    TRUE,
+    conjoin,
+    disjoin,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+)
+from .io import dump_database, load_database
+from .table import CTable, CTuple, Database, Schema
+from .terms import Constant, CVariable, Term, Variable, as_term, constant, cvar, var
+from .worlds import (
+    certain_rows,
+    instantiate_database,
+    instantiate_table,
+    instantiate_tuple,
+    iter_assignments,
+    iter_worlds,
+    possible_rows,
+    world_count,
+)
+
+__all__ = [
+    "And",
+    "Comparison",
+    "Condition",
+    "FALSE",
+    "LinearAtom",
+    "Not",
+    "Or",
+    "TRUE",
+    "conjoin",
+    "disjoin",
+    "eq",
+    "ge",
+    "gt",
+    "le",
+    "lt",
+    "ne",
+    "CTable",
+    "CTuple",
+    "Database",
+    "Schema",
+    "dump_database",
+    "load_database",
+    "Constant",
+    "CVariable",
+    "Term",
+    "Variable",
+    "as_term",
+    "constant",
+    "cvar",
+    "var",
+    "certain_rows",
+    "instantiate_database",
+    "instantiate_table",
+    "instantiate_tuple",
+    "iter_assignments",
+    "iter_worlds",
+    "possible_rows",
+    "world_count",
+]

@@ -1,0 +1,597 @@
+"""The condition language attached to c-table tuples.
+
+A condition (paper, §3) is a boolean combination of *atoms* over the
+c-domain.  Two atom forms cover everything the paper uses:
+
+* :class:`Comparison` — ``t1 op t2`` with ``op`` one of
+  ``= != < <= > >=`` and ``t1``/``t2`` constants or c-variables
+  (e.g. ``ȳ ≠ 1.2.3.4``);
+* :class:`LinearAtom` — ``c1·x̄1 + … + cn·x̄n op k`` over numeric
+  c-variables (e.g. the failure-pattern condition ``x̄ + ȳ + z̄ = 1``).
+
+Conditions are immutable trees.  :data:`TRUE` is the empty condition of
+the paper's third Table 2 tuple.  Satisfiability, implication and
+simplification live in :mod:`repro.solver`; this module only provides
+structure: construction, substitution, free variables, evaluation under a
+total assignment, and normalization helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from .terms import Constant, CVariable, Term, Variable, as_term
+
+__all__ = [
+    "Condition",
+    "Comparison",
+    "LinearAtom",
+    "And",
+    "Or",
+    "Not",
+    "TrueCond",
+    "FalseCond",
+    "TRUE",
+    "FALSE",
+    "Op",
+    "NEGATED_OP",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "conjoin",
+    "disjoin",
+]
+
+#: Comparison operators in canonical spelling.
+Op = str
+
+_OPS: Tuple[Op, ...] = ("=", "!=", "<", "<=", ">", ">=")
+
+#: Operator produced by negating the key operator.
+NEGATED_OP: Dict[Op, Op] = {
+    "=": "!=",
+    "!=": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+_FLIPPED_OP: Dict[Op, Op] = {
+    "=": "=",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
+
+
+def _apply_op(op: Op, a, b) -> bool:
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    # Ordering comparisons require mutually comparable payloads.
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise ValueError(f"unknown operator {op!r}")
+
+
+class Condition:
+    """Abstract base of condition trees."""
+
+    __slots__ = ()
+
+    def cvariables(self) -> FrozenSet[CVariable]:
+        """All c-variables occurring in this condition."""
+        out: set = set()
+        self._collect_cvars(out)
+        return frozenset(out)
+
+    def _collect_cvars(self, out: set) -> None:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[CVariable, Term]) -> "Condition":
+        """Replace c-variables by other terms (used by valuation)."""
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Mapping[CVariable, Constant]) -> bool:
+        """Truth value under a *total* assignment of the free c-variables.
+
+        Raises ``KeyError`` if some free c-variable is unassigned.
+        """
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator["Condition"]:
+        """Yield the atomic sub-conditions (comparisons and linear atoms)."""
+        raise NotImplementedError
+
+    def negate(self) -> "Condition":
+        """Structural negation with atom-level push-down where trivial."""
+        return Not(self)
+
+    # -- convenience boolean composition ---------------------------------
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return conjoin([self, other])
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return disjoin([self, other])
+
+    def __invert__(self) -> "Condition":
+        return self.negate()
+
+
+class TrueCond(Condition):
+    """The empty (always-true) condition."""
+
+    __slots__ = ()
+
+    def _collect_cvars(self, out: set) -> None:
+        pass
+
+    def substitute(self, mapping) -> "Condition":
+        return self
+
+    def evaluate(self, assignment) -> bool:
+        return True
+
+    def atoms(self):
+        return iter(())
+
+    def negate(self) -> "Condition":
+        return FALSE
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TrueCond)
+
+    def __hash__(self) -> int:
+        return hash("TRUE")
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+class FalseCond(Condition):
+    """The unsatisfiable condition."""
+
+    __slots__ = ()
+
+    def _collect_cvars(self, out: set) -> None:
+        pass
+
+    def substitute(self, mapping) -> "Condition":
+        return self
+
+    def evaluate(self, assignment) -> bool:
+        return False
+
+    def atoms(self):
+        return iter(())
+
+    def negate(self) -> "Condition":
+        return TRUE
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FalseCond)
+
+    def __hash__(self) -> int:
+        return hash("FALSE")
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+    def __str__(self) -> str:
+        return "⊥"
+
+
+TRUE = TrueCond()
+FALSE = FalseCond()
+
+
+class Comparison(Condition):
+    """An atomic comparison ``lhs op rhs`` over the c-domain.
+
+    During rule processing a side may transiently hold a program
+    :class:`~repro.ctable.terms.Variable`; stored c-tables must not
+    contain variables (the valuation removes them).
+    """
+
+    __slots__ = ("lhs", "op", "rhs")
+
+    def __init__(self, lhs, op: Op, rhs):
+        if op not in _OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        lhs = as_term(lhs)
+        rhs = as_term(rhs)
+        # Canonical orientation: constants on the right when possible, and
+        # symmetric operators sorted by repr for structural dedup.
+        if lhs.is_constant and not rhs.is_constant:
+            lhs, rhs = rhs, lhs
+            op = _FLIPPED_OP[op]
+        elif op in ("=", "!=") and repr(rhs) < repr(lhs):
+            lhs, rhs = rhs, lhs
+        object.__setattr__(self, "lhs", lhs)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "rhs", rhs)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("Comparison is immutable")
+
+    def _collect_cvars(self, out: set) -> None:
+        for t in (self.lhs, self.rhs):
+            if isinstance(t, CVariable):
+                out.add(t)
+
+    def substitute(self, mapping) -> Condition:
+        lhs = (
+            mapping.get(self.lhs, self.lhs)
+            if isinstance(self.lhs, (CVariable, Variable))
+            else self.lhs
+        )
+        rhs = (
+            mapping.get(self.rhs, self.rhs)
+            if isinstance(self.rhs, (CVariable, Variable))
+            else self.rhs
+        )
+        if lhs is self.lhs and rhs is self.rhs:
+            return self
+        new = Comparison(lhs, self.op, rhs)
+        return new.constant_fold()
+
+    def constant_fold(self) -> Condition:
+        """Reduce to TRUE/FALSE when both sides are constants or identical."""
+        if isinstance(self.lhs, Constant) and isinstance(self.rhs, Constant):
+            try:
+                return TRUE if _apply_op(self.op, self.lhs.value, self.rhs.value) else FALSE
+            except TypeError:
+                # Incomparable payloads: = is False, != is True; order
+                # comparisons stay symbolic (the solver rejects them).
+                if self.op == "=":
+                    return FALSE
+                if self.op == "!=":
+                    return TRUE
+                return self
+        if self.lhs == self.rhs:
+            if self.op in ("=", "<=", ">="):
+                return TRUE
+            if self.op in ("!=", "<", ">"):
+                return FALSE
+        return self
+
+    def evaluate(self, assignment) -> bool:
+        def val(t: Term):
+            if isinstance(t, Constant):
+                return t.value
+            if isinstance(t, CVariable):
+                return assignment[t].value
+            raise TypeError(f"cannot evaluate program variable {t!r}")
+
+        return _apply_op(self.op, val(self.lhs), val(self.rhs))
+
+    def atoms(self):
+        yield self
+
+    def negate(self) -> Condition:
+        return Comparison(self.lhs, NEGATED_OP[self.op], self.rhs)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and self.op == other.op
+            and self.lhs == other.lhs
+            and self.rhs == other.rhs
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cmp", self.lhs, self.op, self.rhs))
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.lhs!r}, {self.op!r}, {self.rhs!r})"
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.op} {self.rhs}"
+
+
+class LinearAtom(Condition):
+    """A linear constraint ``sum(coeff_i * cvar_i) op constant``.
+
+    Models failure-pattern conditions such as ``x̄ + ȳ + z̄ = 1``
+    (Listing 2).  Coefficients and the bound are numbers; the c-variables
+    must range over numeric domains.
+    """
+
+    __slots__ = ("coeffs", "op", "bound")
+
+    def __init__(self, coeffs, op: Op, bound):
+        if op not in _OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        if isinstance(coeffs, Mapping):
+            items = coeffs.items()
+        else:
+            items = [(v, 1) for v in coeffs]
+        norm: Dict[CVariable, float] = {}
+        for v, c in items:
+            if not isinstance(v, CVariable):
+                raise TypeError(f"LinearAtom over non-c-variable {v!r}")
+            if not isinstance(c, (int, float)):
+                raise TypeError(f"non-numeric coefficient {c!r}")
+            norm[v] = norm.get(v, 0) + c
+        norm = {v: c for v, c in norm.items() if c != 0}
+        if not isinstance(bound, (int, float)):
+            raise TypeError(f"non-numeric bound {bound!r}")
+        frozen = tuple(sorted(norm.items(), key=lambda item: item[0].name))
+        object.__setattr__(self, "coeffs", frozen)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "bound", bound)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("LinearAtom is immutable")
+
+    def _collect_cvars(self, out: set) -> None:
+        for v, _ in self.coeffs:
+            out.add(v)
+
+    def substitute(self, mapping) -> Condition:
+        if not any(v in mapping for v, _ in self.coeffs):
+            return self
+        residual: Dict[CVariable, float] = {}
+        shift = 0.0
+        for v, c in self.coeffs:
+            target = mapping.get(v, v)
+            if isinstance(target, Constant):
+                if not isinstance(target.value, (int, float)) or isinstance(target.value, bool):
+                    if not isinstance(target.value, (int, float)):
+                        raise TypeError(
+                            f"cannot substitute non-numeric {target!r} into linear atom"
+                        )
+                shift += c * target.value
+            elif isinstance(target, CVariable):
+                residual[target] = residual.get(target, 0) + c
+            else:
+                raise TypeError(f"cannot substitute {target!r} into linear atom")
+        new_bound = self.bound - shift
+        if not residual:
+            return TRUE if _apply_op(self.op, 0, new_bound) else FALSE
+        return LinearAtom(residual, self.op, new_bound)
+
+    def evaluate(self, assignment) -> bool:
+        total = 0.0
+        for v, c in self.coeffs:
+            val = assignment[v].value
+            if not isinstance(val, (int, float)):
+                raise TypeError(f"non-numeric value {val!r} for {v!r} in linear atom")
+            total += c * val
+        return _apply_op(self.op, total, self.bound)
+
+    def atoms(self):
+        yield self
+
+    def negate(self) -> Condition:
+        return LinearAtom(dict(self.coeffs), NEGATED_OP[self.op], self.bound)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, LinearAtom)
+            and self.coeffs == other.coeffs
+            and self.op == other.op
+            and self.bound == other.bound
+        )
+
+    def __hash__(self) -> int:
+        return hash(("lin", self.coeffs, self.op, self.bound))
+
+    def __repr__(self) -> str:
+        return f"LinearAtom({dict(self.coeffs)!r}, {self.op!r}, {self.bound!r})"
+
+    def __str__(self) -> str:
+        parts = []
+        for v, c in self.coeffs:
+            parts.append(str(v) if c == 1 else f"{c}*{v}")
+        return f"{' + '.join(parts) or '0'} {self.op} {self.bound}"
+
+
+class _NaryCondition(Condition):
+    """Shared machinery of :class:`And` / :class:`Or`."""
+
+    __slots__ = ("children",)
+    _symbol = "?"
+
+    def __init__(self, children: Sequence[Condition]):
+        flat = []
+        for child in children:
+            if not isinstance(child, Condition):
+                raise TypeError(f"non-condition child {child!r}")
+            if type(child) is type(self):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        # Structural dedup, preserving order.
+        seen: set = set()
+        uniq = []
+        for child in flat:
+            if child not in seen:
+                seen.add(child)
+                uniq.append(child)
+        object.__setattr__(self, "children", tuple(uniq))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("condition nodes are immutable")
+
+    def _collect_cvars(self, out: set) -> None:
+        for child in self.children:
+            child._collect_cvars(out)
+
+    def atoms(self):
+        for child in self.children:
+            yield from child.atoms()
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.children))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({list(self.children)!r})"
+
+    def __str__(self) -> str:
+        sep = f" {self._symbol} "
+        return "(" + sep.join(str(c) for c in self.children) + ")"
+
+
+class And(_NaryCondition):
+    """Conjunction.  Prefer the :func:`conjoin` smart constructor."""
+
+    __slots__ = ()
+    _symbol = "∧"
+
+    def substitute(self, mapping) -> Condition:
+        return conjoin([c.substitute(mapping) for c in self.children])
+
+    def evaluate(self, assignment) -> bool:
+        return all(c.evaluate(assignment) for c in self.children)
+
+    def negate(self) -> Condition:
+        return disjoin([c.negate() for c in self.children])
+
+
+class Or(_NaryCondition):
+    """Disjunction.  Prefer the :func:`disjoin` smart constructor."""
+
+    __slots__ = ()
+    _symbol = "∨"
+
+    def substitute(self, mapping) -> Condition:
+        return disjoin([c.substitute(mapping) for c in self.children])
+
+    def evaluate(self, assignment) -> bool:
+        return any(c.evaluate(assignment) for c in self.children)
+
+    def negate(self) -> Condition:
+        return conjoin([c.negate() for c in self.children])
+
+
+class Not(Condition):
+    """Negation of a compound condition (atoms negate into atoms)."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Condition):
+        if not isinstance(child, Condition):
+            raise TypeError(f"non-condition child {child!r}")
+        object.__setattr__(self, "child", child)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("Not is immutable")
+
+    def _collect_cvars(self, out: set) -> None:
+        self.child._collect_cvars(out)
+
+    def substitute(self, mapping) -> Condition:
+        return self.child.substitute(mapping).negate()
+
+    def evaluate(self, assignment) -> bool:
+        return not self.child.evaluate(assignment)
+
+    def atoms(self):
+        yield from self.child.atoms()
+
+    def negate(self) -> Condition:
+        return self.child
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Not) and self.child == other.child
+
+    def __hash__(self) -> int:
+        return hash(("not", self.child))
+
+    def __repr__(self) -> str:
+        return f"Not({self.child!r})"
+
+    def __str__(self) -> str:
+        return f"¬{self.child}"
+
+
+def conjoin(conditions: Iterable[Condition]) -> Condition:
+    """Smart conjunction: flattens, dedups, short-circuits TRUE/FALSE."""
+    parts = []
+    for cond in conditions:
+        if isinstance(cond, FalseCond):
+            return FALSE
+        if isinstance(cond, TrueCond):
+            continue
+        parts.append(cond)
+    merged = And(parts)
+    if not merged.children:
+        return TRUE
+    if len(merged.children) == 1:
+        return merged.children[0]
+    if any(isinstance(c, FalseCond) for c in merged.children):
+        return FALSE
+    return merged
+
+
+def disjoin(conditions: Iterable[Condition]) -> Condition:
+    """Smart disjunction: flattens, dedups, short-circuits TRUE/FALSE."""
+    parts = []
+    for cond in conditions:
+        if isinstance(cond, TrueCond):
+            return TRUE
+        if isinstance(cond, FalseCond):
+            continue
+        parts.append(cond)
+    merged = Or(parts)
+    if not merged.children:
+        return FALSE
+    if len(merged.children) == 1:
+        return merged.children[0]
+    if any(isinstance(c, TrueCond) for c in merged.children):
+        return TRUE
+    return merged
+
+
+# -- tiny comparison constructors -----------------------------------------
+
+
+def eq(lhs, rhs) -> Condition:
+    """``lhs = rhs`` with constant folding."""
+    return Comparison(lhs, "=", rhs).constant_fold()
+
+
+def ne(lhs, rhs) -> Condition:
+    """``lhs != rhs`` with constant folding."""
+    return Comparison(lhs, "!=", rhs).constant_fold()
+
+
+def lt(lhs, rhs) -> Condition:
+    """``lhs < rhs`` with constant folding."""
+    return Comparison(lhs, "<", rhs).constant_fold()
+
+
+def le(lhs, rhs) -> Condition:
+    """``lhs <= rhs`` with constant folding."""
+    return Comparison(lhs, "<=", rhs).constant_fold()
+
+
+def gt(lhs, rhs) -> Condition:
+    """``lhs > rhs`` with constant folding."""
+    return Comparison(lhs, ">", rhs).constant_fold()
+
+
+def ge(lhs, rhs) -> Condition:
+    """``lhs >= rhs`` with constant folding."""
+    return Comparison(lhs, ">=", rhs).constant_fold()

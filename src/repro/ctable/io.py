@@ -1,0 +1,200 @@
+"""Serialization of c-table databases and domain maps.
+
+A small, explicit JSON encoding so partial network states can be saved,
+shipped, and reloaded (the CLI's interchange format).  Every node is
+typed — ``{"const": ...}``, ``{"cvar": "x"}`` — so the reader never has
+to guess whether ``"x"`` was a string or a variable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..solver.domains import Domain, DomainMap, FiniteDomain, IntRange, Unbounded
+from .condition import (
+    And,
+    Comparison,
+    Condition,
+    FALSE,
+    FalseCond,
+    LinearAtom,
+    Not,
+    Or,
+    TRUE,
+    TrueCond,
+)
+from .table import CTable, CTuple, Database
+from .terms import Constant, CVariable, Term
+
+__all__ = [
+    "term_to_obj",
+    "term_from_obj",
+    "condition_to_obj",
+    "condition_from_obj",
+    "database_to_obj",
+    "database_from_obj",
+    "domains_to_obj",
+    "domains_from_obj",
+    "dump_database",
+    "load_database",
+]
+
+
+def term_to_obj(term: Term) -> Any:
+    if isinstance(term, Constant):
+        value = term.value
+        if isinstance(value, tuple):
+            return {"const": {"tuple": list(value)}}
+        return {"const": value}
+    if isinstance(term, CVariable):
+        return {"cvar": term.name}
+    raise TypeError(f"cannot serialize term {term!r}")
+
+
+def term_from_obj(obj: Any) -> Term:
+    if not isinstance(obj, dict) or len(obj) != 1:
+        raise ValueError(f"malformed term object {obj!r}")
+    if "const" in obj:
+        value = obj["const"]
+        if isinstance(value, dict) and "tuple" in value:
+            return Constant(tuple(value["tuple"]))
+        return Constant(value)
+    if "cvar" in obj:
+        return CVariable(obj["cvar"])
+    raise ValueError(f"malformed term object {obj!r}")
+
+
+def condition_to_obj(condition: Condition) -> Any:
+    if isinstance(condition, TrueCond):
+        return {"true": True}
+    if isinstance(condition, FalseCond):
+        return {"false": True}
+    if isinstance(condition, Comparison):
+        return {
+            "cmp": {
+                "lhs": term_to_obj(condition.lhs),
+                "op": condition.op,
+                "rhs": term_to_obj(condition.rhs),
+            }
+        }
+    if isinstance(condition, LinearAtom):
+        return {
+            "linear": {
+                "coeffs": [[v.name, c] for v, c in condition.coeffs],
+                "op": condition.op,
+                "bound": condition.bound,
+            }
+        }
+    if isinstance(condition, And):
+        return {"and": [condition_to_obj(c) for c in condition.children]}
+    if isinstance(condition, Or):
+        return {"or": [condition_to_obj(c) for c in condition.children]}
+    if isinstance(condition, Not):
+        return {"not": condition_to_obj(condition.child)}
+    raise TypeError(f"cannot serialize condition {condition!r}")
+
+
+def condition_from_obj(obj: Any) -> Condition:
+    if not isinstance(obj, dict) or len(obj) != 1:
+        raise ValueError(f"malformed condition object {obj!r}")
+    (kind, payload), = obj.items()
+    if kind == "true":
+        return TRUE
+    if kind == "false":
+        return FALSE
+    if kind == "cmp":
+        return Comparison(
+            term_from_obj(payload["lhs"]), payload["op"], term_from_obj(payload["rhs"])
+        )
+    if kind == "linear":
+        coeffs = {CVariable(name): c for name, c in payload["coeffs"]}
+        return LinearAtom(coeffs, payload["op"], payload["bound"])
+    if kind == "and":
+        return And([condition_from_obj(c) for c in payload])
+    if kind == "or":
+        return Or([condition_from_obj(c) for c in payload])
+    if kind == "not":
+        return Not(condition_from_obj(payload))
+    raise ValueError(f"unknown condition kind {kind!r}")
+
+
+def database_to_obj(db: Database) -> Dict[str, Any]:
+    tables = []
+    for table in db:
+        rows = []
+        for tup in table:
+            row: Dict[str, Any] = {"values": [term_to_obj(v) for v in tup.values]}
+            if not isinstance(tup.condition, TrueCond):
+                row["condition"] = condition_to_obj(tup.condition)
+            rows.append(row)
+        tables.append({"name": table.name, "schema": list(table.schema), "rows": rows})
+    return {"tables": tables}
+
+
+def database_from_obj(obj: Dict[str, Any]) -> Database:
+    db = Database()
+    for table_obj in obj.get("tables", []):
+        table = db.create_table(table_obj["name"], table_obj["schema"])
+        for row in table_obj.get("rows", []):
+            values = [term_from_obj(v) for v in row["values"]]
+            condition = (
+                condition_from_obj(row["condition"]) if "condition" in row else TRUE
+            )
+            table.add(values, condition)
+    return db
+
+
+def _domain_to_obj(domain: Domain) -> Any:
+    if isinstance(domain, FiniteDomain):
+        values = []
+        for c in domain.values():
+            values.append({"tuple": list(c.value)} if isinstance(c.value, tuple) else c.value)
+        return {"finite": values}
+    if isinstance(domain, IntRange):
+        return {"range": [domain.lo, domain.hi]}
+    if isinstance(domain, Unbounded):
+        return {"unbounded": domain.kind}
+    raise TypeError(f"cannot serialize domain {domain!r}")
+
+
+def _domain_from_obj(obj: Any) -> Domain:
+    (kind, payload), = obj.items()
+    if kind == "finite":
+        values = [tuple(v["tuple"]) if isinstance(v, dict) else v for v in payload]
+        return FiniteDomain(values)
+    if kind == "range":
+        return IntRange(payload[0], payload[1])
+    if kind == "unbounded":
+        return Unbounded(payload)
+    raise ValueError(f"unknown domain kind {kind!r}")
+
+
+def domains_to_obj(domains: DomainMap) -> Dict[str, Any]:
+    return {
+        "domains": {
+            var.name: _domain_to_obj(domains.domain_of(var))
+            for var in sorted(domains.declared(), key=lambda v: v.name)
+        }
+    }
+
+
+def domains_from_obj(obj: Dict[str, Any]) -> DomainMap:
+    domains = DomainMap()
+    for name, dom_obj in obj.get("domains", {}).items():
+        domains.declare(name, _domain_from_obj(dom_obj))
+    return domains
+
+
+def dump_database(db: Database, domains: DomainMap | None = None, indent: int = 2) -> str:
+    """JSON text of a database (and optional domain declarations)."""
+    obj = database_to_obj(db)
+    if domains is not None:
+        obj.update(domains_to_obj(domains))
+    return json.dumps(obj, indent=indent)
+
+
+def load_database(text: str) -> tuple:
+    """Parse JSON text back into (Database, DomainMap)."""
+    obj = json.loads(text)
+    return database_from_obj(obj), domains_from_obj(obj)

@@ -1,0 +1,312 @@
+"""Shared textual syntax for terms and conditions.
+
+Both the mini-SQL front-end and the fauré-log parser need to read terms
+of the c-domain and boolean conditions over them.  The surface syntax:
+
+* ``$x`` — a c-variable (the paper's overbarred x̄);
+* ``x`` (lowercase identifier) — resolved by the host parser: a program
+  variable in fauré-log, a column reference in SQL;
+* ``Mkt``, ``CS`` (capitalized identifiers), quoted strings, numbers —
+  constants; dotted/slashed number-led tokens (``1.2.3.4``,
+  ``10.0.0.0/8``) are string constants (addresses, prefixes);
+* ``[A B C]`` — a tuple constant (an AS path, as in the paper's Table 2);
+* conditions — comparisons ``t1 op t2`` with ``op`` in
+  ``= == != <> < <= > >=``, linear sums ``$x + $y + $z = 1``, composed
+  with ``AND``/``,``, ``OR``, ``NOT``, and parentheses.
+
+The host parser supplies ``resolve_ident`` to decide what a lowercase
+identifier means, which is the only point where the two dialects differ.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional, Tuple, Union
+
+from .condition import Comparison, Condition, LinearAtom, conjoin, disjoin
+from .terms import Constant, CVariable, Term, Variable
+
+__all__ = ["Token", "tokenize", "TokenStream", "parse_term", "parse_condition", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Syntax error with position information."""
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        context = ""
+        if position >= 0 and text:
+            snippet = text[max(0, position - 20):position + 20]
+            context = f" near ...{snippet!r}..."
+        super().__init__(f"{message}{context}")
+        self.position = position
+
+
+#: (kind, value, position)
+Token = Tuple[str, str, int]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>%[^\n]*)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<cvar>\$[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<addr>\d[\w.:/-]*[./:][\w.:/-]+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_&-]*)
+  | (?P<op><=|>=|==|!=|<>|:-|[=<>+\-*(),\[\].¬!:])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"AND", "OR", "NOT"}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize; comments (% to end of line) and whitespace are dropped."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos, text)
+        kind = match.lastgroup
+        value = match.group()
+        if kind not in ("ws", "comment"):
+            if kind == "ident" and value.upper() in _KEYWORDS:
+                tokens.append(("kw", value.upper(), pos))
+            elif kind == "addr" and re.fullmatch(r"\d+\.\d+", value):
+                tokens.append(("number", value, pos))  # plain decimal
+            else:
+                tokens.append((kind, value, pos))
+        pos = match.end()
+    tokens.append(("eof", "", len(text)))
+    return _merge_qualified_names(tokens)
+
+
+def _merge_qualified_names(tokens: List[Token]) -> List[Token]:
+    """Join strictly adjacent ``ident . ident`` into one dotted name.
+
+    Qualified column references (``P.dest``) read as a single identifier;
+    a rule-terminating period (``... Mkt.``) stays separate because the
+    next token is not glued to the dot.
+    """
+    merged: List[Token] = []
+    i = 0
+    while i < len(tokens):
+        kind, value, pos = tokens[i]
+        if kind == "ident":
+            while (
+                i + 2 < len(tokens)
+                and tokens[i + 1][:2] == ("op", ".")
+                and tokens[i + 1][2] == pos + len(value)
+                and tokens[i + 2][0] == "ident"
+                and tokens[i + 2][2] == tokens[i + 1][2] + 1
+            ):
+                value = f"{value}.{tokens[i + 2][1]}"
+                i += 2
+            merged.append(("ident", value, pos))
+        else:
+            merged.append(tokens[i])
+        i += 1
+    return merged
+
+
+class TokenStream:
+    """Cursor over a token list with peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token], text: str = ""):
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        i = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok[0] != "eof":
+            self.index += 1
+        return tok
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok[0] == kind and (value is None or tok[1] == value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            got = self.peek()
+            want = value or kind
+            raise ParseError(f"expected {want!r}, got {got[1]!r}", got[2], self.text)
+        return tok
+
+    @property
+    def exhausted(self) -> bool:
+        return self.peek()[0] == "eof"
+
+
+#: Maps a lowercase identifier to a Term (host-dialect dependent).
+IdentResolver = Callable[[str], Term]
+
+
+def default_resolver(name: str) -> Term:
+    """fauré-log convention: capitalized → constant, else program variable."""
+    if name[0].isupper():
+        return Constant(name)
+    return Variable(name)
+
+
+def _unquote(raw: str) -> str:
+    body = raw[1:-1]
+    return body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_term(stream: TokenStream, resolve_ident: IdentResolver = default_resolver) -> Term:
+    """Parse one term of the c-domain (or a program variable)."""
+    tok = stream.peek()
+    kind, value, pos = tok
+    if kind == "op" and value == "-":
+        nxt = stream.peek(1)
+        if nxt[0] == "number":
+            stream.next()
+            stream.next()
+            num = float(nxt[1]) if "." in nxt[1] else int(nxt[1])
+            return Constant(-num)
+    if kind == "cvar":
+        stream.next()
+        return CVariable(value[1:])
+    if kind == "string":
+        stream.next()
+        return Constant(_unquote(value))
+    if kind == "addr":
+        stream.next()
+        return Constant(value)
+    if kind == "number":
+        stream.next()
+        return Constant(float(value) if "." in value else int(value))
+    if kind == "ident":
+        stream.next()
+        return resolve_ident(value)
+    if kind == "op" and value == "[":
+        stream.next()
+        elements: List = []
+        while not stream.accept("op", "]"):
+            inner = stream.next()
+            if inner[0] == "eof":
+                raise ParseError("unterminated path literal", pos, stream.text)
+            if inner[0] == "op" and inner[1] == ",":
+                continue
+            if inner[0] == "string":
+                elements.append(_unquote(inner[1]))
+            elif inner[0] == "number":
+                elements.append(float(inner[1]) if "." in inner[1] else int(inner[1]))
+            else:
+                elements.append(inner[1])
+        return Constant(tuple(elements))
+    raise ParseError(f"expected a term, got {value!r}", pos, stream.text)
+
+
+_OP_CANON = {"==": "=", "<>": "!="}
+_CMP_OPS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def _parse_sum(
+    stream: TokenStream, resolve_ident: IdentResolver
+) -> List[Tuple[int, Term]]:
+    """Parse ``term (+ term | - term)*`` as signed addends."""
+    addends = [(1, parse_term(stream, resolve_ident))]
+    while True:
+        if stream.accept("op", "+"):
+            addends.append((1, parse_term(stream, resolve_ident)))
+        elif stream.peek()[:2] == ("op", "-"):
+            stream.next()
+            addends.append((-1, parse_term(stream, resolve_ident)))
+        else:
+            return addends
+
+
+def _sum_to_condition(
+    lhs: List[Tuple[int, Term]],
+    op: str,
+    rhs: List[Tuple[int, Term]],
+    pos: int,
+    text: str,
+) -> Condition:
+    """Build a Comparison (1 term vs 1 term) or LinearAtom (sums)."""
+    op = _OP_CANON.get(op, op)
+    if len(lhs) == 1 and len(rhs) == 1 and lhs[0][0] == 1 and rhs[0][0] == 1:
+        return Comparison(lhs[0][1], op, rhs[0][1]).constant_fold()
+    coeffs = {}
+    shift = 0.0
+    for sign, side in ((1, lhs), (-1, rhs)):
+        for addend_sign, term in side:
+            total_sign = sign * addend_sign
+            if isinstance(term, CVariable):
+                coeffs[term] = coeffs.get(term, 0) + total_sign
+            elif isinstance(term, Constant) and isinstance(term.value, (int, float)):
+                shift += total_sign * term.value
+            else:
+                raise ParseError(
+                    f"linear atoms allow only numeric constants and c-variables, got {term}",
+                    pos,
+                    text,
+                )
+    # coeffs (lhs - rhs variables)  op  -shift
+    bound = -shift
+    if isinstance(bound, float) and bound.is_integer():
+        bound = int(bound)
+    return LinearAtom(coeffs, op, bound)
+
+
+def _parse_atom(stream: TokenStream, resolve_ident: IdentResolver) -> Condition:
+    if stream.accept("op", "("):
+        inner = _parse_or(stream, resolve_ident)
+        stream.expect("op", ")")
+        return inner
+    if stream.accept("kw", "NOT") or stream.accept("op", "¬") or stream.accept("op", "!"):
+        return _parse_atom(stream, resolve_ident).negate()
+    pos = stream.peek()[2]
+    lhs = _parse_sum(stream, resolve_ident)
+    tok = stream.peek()
+    if tok[0] == "op" and tok[1] in _CMP_OPS:
+        stream.next()
+        rhs = _parse_sum(stream, resolve_ident)
+        return _sum_to_condition(lhs, tok[1], rhs, pos, stream.text)
+    raise ParseError(f"expected comparison operator, got {tok[1]!r}", tok[2], stream.text)
+
+
+def _parse_and(stream: TokenStream, resolve_ident: IdentResolver) -> Condition:
+    parts = [_parse_atom(stream, resolve_ident)]
+    while stream.accept("kw", "AND"):
+        parts.append(_parse_atom(stream, resolve_ident))
+    return conjoin(parts)
+
+
+def _parse_or(stream: TokenStream, resolve_ident: IdentResolver) -> Condition:
+    parts = [_parse_and(stream, resolve_ident)]
+    while stream.accept("kw", "OR"):
+        parts.append(_parse_and(stream, resolve_ident))
+    return disjoin(parts)
+
+
+def parse_condition(
+    text_or_stream: Union[str, TokenStream],
+    resolve_ident: IdentResolver = default_resolver,
+) -> Condition:
+    """Parse a condition expression.
+
+    When given a string the whole input must be consumed; when given a
+    stream, parsing stops at the first token that cannot extend the
+    condition (so hosts can embed conditions in larger grammars).
+    """
+    if isinstance(text_or_stream, str):
+        stream = TokenStream(tokenize(text_or_stream), text_or_stream)
+        cond = _parse_or(stream, resolve_ident)
+        if not stream.exhausted:
+            tok = stream.peek()
+            raise ParseError(f"trailing input {tok[1]!r}", tok[2], text_or_stream)
+        return cond
+    return _parse_or(text_or_stream, resolve_ident)

@@ -1,0 +1,122 @@
+"""Possible-worlds semantics of c-tables.
+
+A c-table T together with domain declarations for its c-variables
+represents the set of regular relations ``rep(T) = { world(T, v) | v a
+total assignment }`` — each assignment instantiates the c-variables and
+keeps exactly the tuples whose conditions hold.  This module implements
+that semantics directly; it is the ground-truth oracle against which the
+loss-less-modeling claim (§4) is tested: any fauré-log query answered on
+the c-table must coincide with answering it in every possible world.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..solver.domains import DomainMap
+from .condition import Condition, TRUE
+from .table import CTable, CTuple, Database
+from .terms import Constant, CVariable, Term
+
+__all__ = [
+    "instantiate_tuple",
+    "instantiate_table",
+    "instantiate_database",
+    "iter_assignments",
+    "iter_worlds",
+    "world_count",
+    "certain_rows",
+    "possible_rows",
+]
+
+Assignment = Mapping[CVariable, Constant]
+Row = Tuple[Constant, ...]
+
+
+def instantiate_tuple(tup: CTuple, assignment: Assignment) -> Optional[Row]:
+    """The regular row this tuple denotes under ``assignment``.
+
+    Returns ``None`` when the tuple's condition is false (the tuple does
+    not exist in that world).  Every c-variable of the tuple must be
+    assigned.
+    """
+    if not tup.condition.evaluate(assignment):
+        return None
+    row: List[Constant] = []
+    for v in tup.values:
+        if isinstance(v, CVariable):
+            row.append(assignment[v])
+        else:
+            row.append(v)  # type: ignore[arg-type]
+    return tuple(row)
+
+
+def instantiate_table(table: CTable, assignment: Assignment) -> FrozenSet[Row]:
+    """The regular relation (set of rows) in the world of ``assignment``."""
+    rows = set()
+    for tup in table:
+        row = instantiate_tuple(tup, assignment)
+        if row is not None:
+            rows.add(row)
+    return frozenset(rows)
+
+
+def instantiate_database(db: Database, assignment: Assignment) -> Dict[str, FrozenSet[Row]]:
+    """Instantiate every table of a database under one assignment."""
+    return {t.name: instantiate_table(t, assignment) for t in db}
+
+
+def iter_assignments(
+    cvariables: Sequence[CVariable],
+    domains: DomainMap,
+) -> Iterator[Dict[CVariable, Constant]]:
+    """All total assignments of the given c-variables (finite domains)."""
+    cvars = sorted(set(cvariables), key=lambda v: v.name)
+    value_lists = []
+    for v in cvars:
+        dom = domains.domain_of(v)
+        if not dom.is_finite:
+            raise ValueError(f"cannot enumerate worlds: {v.name} is unbounded")
+        value_lists.append(dom.values())
+    for combo in product(*value_lists):
+        yield dict(zip(cvars, combo))
+
+
+def iter_worlds(
+    db: Database,
+    domains: DomainMap,
+) -> Iterator[Tuple[Dict[CVariable, Constant], Dict[str, FrozenSet[Row]]]]:
+    """Enumerate (assignment, instantiated database) pairs."""
+    cvars = sorted(db.cvariables(), key=lambda v: v.name)
+    for assignment in iter_assignments(cvars, domains):
+        yield assignment, instantiate_database(db, assignment)
+
+
+def world_count(db: Database, domains: DomainMap) -> int:
+    """Number of possible worlds (product of domain sizes)."""
+    size = domains.enumeration_size(db.cvariables())
+    if size is None:
+        raise ValueError("database has c-variables over unbounded domains")
+    return size
+
+
+def certain_rows(table: CTable, domains: DomainMap) -> FrozenSet[Row]:
+    """Rows present in *every* possible world of the table."""
+    cvars = sorted(table.cvariables(), key=lambda v: v.name)
+    result: Optional[set] = None
+    for assignment in iter_assignments(cvars, domains):
+        rows = set(instantiate_table(table, assignment))
+        result = rows if result is None else result & rows
+        if not result:
+            break
+    return frozenset(result or set())
+
+
+def possible_rows(table: CTable, domains: DomainMap) -> FrozenSet[Row]:
+    """Rows present in *some* possible world of the table."""
+    cvars = sorted(table.cvariables(), key=lambda v: v.name)
+    result: set = set()
+    for assignment in iter_assignments(cvars, domains):
+        result |= instantiate_table(table, assignment)
+    return frozenset(result)

@@ -1,0 +1,87 @@
+"""Aggregates over c-tables: counting with uncertainty.
+
+Over a regular relation, COUNT is one number; over a c-table it is a
+*range* — different possible worlds contain different tuple subsets.
+This module computes:
+
+* :func:`count_bounds` — the tight [min, max] of ``COUNT(*)`` across
+  worlds.  The max is cheap (possible tuples with pairwise-distinct data
+  parts…); the exact bounds in general require looking at how conditions
+  interact, so we solve exactly by branch-and-bound over the tuple
+  conditions with the solver deciding joint satisfiability, falling back
+  to exhaustive world enumeration for small domains.
+* :func:`certain_count` / :func:`possible_count` — the classical lower
+  and upper approximations (tuples present in all worlds / in some
+  world), which bound the true range and are often what dashboards want.
+
+Distinct-data-part semantics: two stored tuples with the same data part
+count once (set semantics), matching the rest of the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ctable.condition import Condition, TRUE, conjoin, disjoin
+from ..ctable.table import CTable
+from ..ctable.terms import Term
+from ..ctable.worlds import instantiate_table, iter_assignments
+from ..solver.interface import ConditionSolver
+
+__all__ = ["certain_count", "possible_count", "count_bounds"]
+
+
+def _grouped_conditions(table: CTable) -> Dict[Tuple[Term, ...], Condition]:
+    """Data part → disjoined existence condition."""
+    grouped: Dict[Tuple[Term, ...], List[Condition]] = {}
+    for tup in table:
+        grouped.setdefault(tup.data_key(), []).append(tup.condition)
+    return {key: disjoin(conds) for key, conds in grouped.items()}
+
+
+def certain_count(table: CTable, solver: ConditionSolver) -> int:
+    """Rows present in every world (data parts fully constant, valid)."""
+    count = 0
+    for key, condition in _grouped_conditions(table).items():
+        if any(not t.is_constant for t in key):
+            continue  # a c-variable data part may collide across worlds
+        if condition is TRUE or solver.is_valid(condition):
+            count += 1
+    return count
+
+
+def possible_count(table: CTable, solver: ConditionSolver) -> int:
+    """Distinct data parts present in at least one world."""
+    count = 0
+    for _, condition in _grouped_conditions(table).items():
+        if solver.is_satisfiable(condition):
+            count += 1
+    return count
+
+
+def count_bounds(
+    table: CTable,
+    solver: ConditionSolver,
+    enumeration_limit: int = 1 << 16,
+) -> Tuple[int, int]:
+    """Tight [min, max] of the per-world row count.
+
+    Exact when the table's c-variables have finite domains of product at
+    most ``enumeration_limit`` (direct sweep); otherwise bounded by the
+    certain/possible approximations — still correct, possibly not tight
+    when data-part c-variables collide.
+    """
+    cvars = sorted(table.cvariables(), key=lambda v: v.name)
+    size = solver.domains.enumeration_size(cvars)
+    if size is not None and size <= enumeration_limit:
+        lo: Optional[int] = None
+        hi: Optional[int] = None
+        for assignment in iter_assignments(cvars, solver.domains):
+            n = len(instantiate_table(table, assignment))
+            lo = n if lo is None else min(lo, n)
+            hi = n if hi is None else max(hi, n)
+        if lo is None:  # no c-variables at all
+            n = len(table.data_parts())
+            return n, n
+        return lo, hi
+    return certain_count(table, solver), possible_count(table, solver)

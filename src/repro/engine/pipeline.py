@@ -1,0 +1,72 @@
+"""The paper's three-phase evaluation pipeline.
+
+§6 describes the PostgreSQL implementation as three steps:
+
+1. generate the **data part** of the result c-table in pure SQL;
+2. attach the proper **conditions** (including fauré-log pattern
+   matching) by a sequence of SQL UPDATEs;
+3. invoke **Z3** to remove tuples with contradictory conditions.
+
+Our algebra fuses steps 1–2 (each operator emits data and condition
+together — semantically identical, since conditions are a function of the
+matched tuples), so the pipeline exposes the same two execution
+strategies the evaluation cares about:
+
+* :func:`run_lazy` — relational work first, one solver pass at the end
+  (the paper's staging; the "sql"/"z3" split of Table 4);
+* :func:`run_eager` — solver-prune inside every operator, keeping
+  intermediate relations minimal (the ablation variant).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..ctable.table import CTable, Database
+from ..solver.interface import ConditionSolver
+from .algebra import PlanNode, evaluate_plan
+from .stats import EvalStats, Stopwatch
+
+__all__ = ["run_lazy", "run_eager", "solver_prune"]
+
+
+def solver_prune(
+    table: CTable, solver: ConditionSolver, stats: Optional[EvalStats] = None
+) -> CTable:
+    """Phase 3: drop tuples whose conditions are unsatisfiable."""
+    stats = stats if stats is not None else EvalStats()
+    watch = Stopwatch()
+    out = CTable(table.name, table.schema)
+    with watch.measure():
+        for tup in table:
+            if solver.is_satisfiable(tup.condition):
+                out.add(tup)
+            else:
+                stats.tuples_pruned += 1
+    stats.solver_seconds += watch.seconds
+    return out
+
+
+def run_lazy(
+    plan: PlanNode,
+    db: Database,
+    solver: ConditionSolver,
+    stats: Optional[EvalStats] = None,
+) -> Tuple[CTable, EvalStats]:
+    """Phases 1–2 without pruning, then one final solver pass (phase 3)."""
+    stats = stats if stats is not None else EvalStats()
+    raw = evaluate_plan(plan, db, solver=None, prune=False, stats=stats)
+    pruned = solver_prune(raw, solver, stats)
+    return pruned, stats
+
+
+def run_eager(
+    plan: PlanNode,
+    db: Database,
+    solver: ConditionSolver,
+    stats: Optional[EvalStats] = None,
+) -> Tuple[CTable, EvalStats]:
+    """Prune inside every operator (intermediate relations stay small)."""
+    stats = stats if stats is not None else EvalStats()
+    result = evaluate_plan(plan, db, solver=solver, prune=True, stats=stats)
+    return result, stats

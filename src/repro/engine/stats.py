@@ -1,0 +1,78 @@
+"""Timing and cardinality instrumentation for the evaluation pipeline.
+
+The paper's Table 4 reports, per query, the *SQL time* (relational work:
+generating data parts and attaching conditions) and the *Z3 time*
+(deciding which generated tuples have contradictory conditions)
+separately, plus the number of tuples generated.  :class:`EvalStats`
+captures the same split for our engine so the benchmark harness can print
+the paper's rows.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["EvalStats", "Stopwatch"]
+
+
+class Stopwatch:
+    """Accumulating stopwatch with a context-manager interface."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds += time.perf_counter() - start
+
+    def reset(self) -> None:
+        self.seconds = 0.0
+
+
+@dataclass
+class EvalStats:
+    """Per-evaluation accounting mirroring Table 4's columns."""
+
+    sql_seconds: float = 0.0
+    solver_seconds: float = 0.0
+    tuples_generated: int = 0
+    tuples_pruned: int = 0
+    iterations: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.sql_seconds + self.solver_seconds
+
+    def add(self, other: "EvalStats") -> None:
+        self.sql_seconds += other.sql_seconds
+        self.solver_seconds += other.solver_seconds
+        self.tuples_generated += other.tuples_generated
+        self.tuples_pruned += other.tuples_pruned
+        self.iterations += other.iterations
+        for k, v in other.extra.items():
+            self.extra[k] = self.extra.get(k, 0.0) + v
+
+    def reset(self) -> None:
+        self.sql_seconds = 0.0
+        self.solver_seconds = 0.0
+        self.tuples_generated = 0
+        self.tuples_pruned = 0
+        self.iterations = 0
+        self.extra.clear()
+
+    def row(self) -> Dict[str, float]:
+        """A flat dict suitable for tabular reporting."""
+        return {
+            "sql": round(self.sql_seconds, 4),
+            "solver": round(self.solver_seconds, 4),
+            "tuples": self.tuples_generated,
+            "pruned": self.tuples_pruned,
+        }

@@ -1,0 +1,140 @@
+"""Indexed storage over c-tables.
+
+The paper implements fauré-log inside PostgreSQL explicitly so that
+"existing database structure (e.g., indexing)" accelerates evaluation.
+This module provides the equivalent for our in-memory engine: per-column
+hash indexes over the *constant* entries of a c-table.  Entries that are
+c-variables cannot be hashed to a single key — they may match anything —
+so they live in a per-column wildcard bucket that every probe also
+returns, preserving c-table matching semantics.
+
+Indexes are built lazily on first probe and maintained incrementally on
+insert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ctable.table import CTable, CTuple, Database
+from ..ctable.terms import Constant, CVariable, Term
+
+__all__ = ["ColumnIndex", "IndexedTable", "Storage"]
+
+
+class ColumnIndex:
+    """Hash index on one column: constant → tuples, plus a wildcard bucket."""
+
+    def __init__(self) -> None:
+        self.by_constant: Dict[Constant, List[CTuple]] = {}
+        self.wildcard: List[CTuple] = []
+
+    def insert(self, value: Term, tup: CTuple) -> None:
+        if isinstance(value, Constant):
+            self.by_constant.setdefault(value, []).append(tup)
+        else:
+            self.wildcard.append(tup)
+
+    def probe(self, value: Constant) -> Iterable[CTuple]:
+        """All tuples that could match ``value`` in this column."""
+        yield from self.by_constant.get(value, ())
+        yield from self.wildcard
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self.by_constant.values()) + len(self.wildcard)
+
+
+class IndexedTable:
+    """A c-table plus lazily built per-column indexes."""
+
+    def __init__(self, table: CTable):
+        self.table = table
+        self._indexes: Dict[int, ColumnIndex] = {}
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self.table.schema
+
+    def add(self, row, condition=None) -> bool:
+        """Insert (delegates to the table) and maintain live indexes."""
+        if condition is None:
+            added = self.table.add(row)
+        else:
+            added = self.table.add(row, condition)
+        if added and self._indexes:
+            tup = self.table.tuples()[-1]
+            for col, index in self._indexes.items():
+                index.insert(tup.values[col], tup)
+        return added
+
+    def index_on(self, column: int) -> ColumnIndex:
+        """Get (building if needed) the index for one column position."""
+        index = self._indexes.get(column)
+        if index is None:
+            index = ColumnIndex()
+            for tup in self.table:
+                index.insert(tup.values[column], tup)
+            self._indexes[column] = index
+        return index
+
+    def candidates(self, pattern: Sequence[Optional[Constant]]) -> Iterable[CTuple]:
+        """Tuples possibly matching a pattern of per-column constants.
+
+        ``pattern[i]`` is a :class:`Constant` to match in column ``i`` or
+        ``None`` for "anything".  Uses the most selective single-column
+        index among the constant positions; falls back to a full scan
+        when the pattern has no constants.
+        """
+        best_col = None
+        best_size = None
+        for col, want in enumerate(pattern):
+            if want is None:
+                continue
+            index = self.index_on(col)
+            size = len(index.by_constant.get(want, ())) + len(index.wildcard)
+            if best_size is None or size < best_size:
+                best_col, best_size = col, size
+        if best_col is None:
+            return iter(self.table)
+        return self._indexes[best_col].probe(pattern[best_col])
+
+    def __iter__(self):
+        return iter(self.table)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+class Storage:
+    """A database whose tables are wrapped with indexes.
+
+    Acts as a drop-in layer above :class:`~repro.ctable.table.Database`
+    for components that want indexed probes (the fauré-log evaluator).
+    """
+
+    def __init__(self, db: Optional[Database] = None):
+        self.db = db if db is not None else Database()
+        self._indexed: Dict[str, IndexedTable] = {}
+
+    def indexed(self, name: str) -> IndexedTable:
+        wrapper = self._indexed.get(name)
+        table = self.db.table(name)
+        if wrapper is None or wrapper.table is not table:
+            wrapper = IndexedTable(table)
+            self._indexed[name] = wrapper
+        return wrapper
+
+    def create_table(self, name: str, schema: Sequence[str]) -> IndexedTable:
+        self.db.create_table(name, schema)
+        return self.indexed(name)
+
+    def invalidate(self, name: str) -> None:
+        """Drop cached indexes after out-of-band table mutation."""
+        self._indexed.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.db

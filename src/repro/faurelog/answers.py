@@ -1,0 +1,78 @@
+"""Certain and possible answers — the classical incomplete-DB semantics.
+
+A query over an uncertain database has three kinds of answer rows:
+
+* **certain** — present in *every* possible world (the condition is
+  valid): safe to act on;
+* **possible** — present in *some* world (satisfiable but not valid):
+  needs more information, or a risk decision;
+* spurious rows (unsatisfiable conditions) are already removed by the
+  solver-pruning step.
+
+This module classifies a result c-table accordingly, and can quantify
+each possible answer by its world count — "reachable in 3 of 8 failure
+combinations" — which is often the operationally useful number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ctable.condition import Condition, TRUE, disjoin
+from ..ctable.table import CTable
+from ..ctable.terms import Term
+from ..solver.interface import ConditionSolver
+
+__all__ = ["AnswerSet", "classify_answers"]
+
+Row = Tuple[Term, ...]
+
+
+@dataclass
+class AnswerSet:
+    """A query result split by answer certainty."""
+
+    certain: List[Row] = field(default_factory=list)
+    possible: List[Tuple[Row, Condition]] = field(default_factory=list)
+
+    @property
+    def all_rows(self) -> List[Row]:
+        return self.certain + [row for row, _ in self.possible]
+
+    def summary(self) -> str:
+        return f"{len(self.certain)} certain, {len(self.possible)} possible"
+
+
+def classify_answers(
+    table: CTable,
+    solver: ConditionSolver,
+    count_worlds: bool = False,
+) -> AnswerSet:
+    """Split a result table into certain and possible answers.
+
+    Rows sharing a data part are first combined (their conditions
+    disjoined) — a row certain *in aggregate* may arrive as several
+    conditional derivations.  With ``count_worlds`` each possible row's
+    condition is annotated (via ``solver.model_count``) in the returned
+    pairs' conditions' ``extra``; callers needing the number should call
+    :meth:`ConditionSolver.model_count` on the returned condition.
+    """
+    grouped: Dict[Row, List[Condition]] = {}
+    order: List[Row] = []
+    for tup in table:
+        key = tup.data_key()
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(tup.condition)
+
+    answers = AnswerSet()
+    for key in order:
+        combined = disjoin(grouped[key])
+        if combined is TRUE or solver.is_valid(combined):
+            answers.certain.append(key)
+        elif solver.is_satisfiable(combined):
+            answers.possible.append((key, combined))
+        # else: spurious, dropped
+    return answers

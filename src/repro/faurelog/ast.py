@@ -1,0 +1,348 @@
+"""Abstract syntax of fauré-log programs.
+
+A fauré-log rule (paper, eq. 3) has the shape::
+
+    H(u)[cond] :- B1(u1)[cond1], ..., Bn(un)[condn], C1, ..., Cm.
+
+where the ``u``'s are free tuples over program variables and the c-domain
+(constants and c-variables), the bracketed annotations name or constrain
+tuple conditions, and the ``C``'s are explicit comparison/linear atoms.
+
+Symbol roles in a rule (see §3's c-valuation):
+
+* **program variables** (``x``) — bind to any c-domain element;
+* **c-variables** (``$x`` / the paper's x̄) appearing in *body atom
+  argument positions* — also bind, to whatever the matched entry is (this
+  is how the variable-free constraint rules of Listing 3 range over
+  unknowns);
+* **c-variables appearing only in conditions/comparisons** — refer to the
+  *global* c-variables of the database (e.g. the link-state variables of
+  Listing 2) and pass through to derived conditions verbatim;
+* **constants** — match themselves outright, or a c-variable entry under
+  the generated equality condition (implicit pattern matching).
+
+Condition annotations: a body-literal annotation may capture the matched
+tuple's condition in a named condition variable (``[phi]``) and/or add
+filter atoms (``[$x != Mkt]``, as in Listing 4).  The head annotation is
+descriptive — evaluation always constructs the derived condition per
+eq. 3: the conjunction of all matched tuple conditions, all body
+annotation filters, and all comparison atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..ctable.condition import Condition, TRUE, conjoin
+from ..ctable.terms import Constant, CVariable, Term, Variable, as_term
+
+__all__ = ["Atom", "Literal", "BodyItem", "Rule", "Program", "ProgramError"]
+
+
+class ProgramError(ValueError):
+    """A malformed program (unsafe rule, arity clash, bad stratification)."""
+
+
+class Atom:
+    """A predicate applied to terms: ``R(f, n1, $x)``."""
+
+    __slots__ = ("predicate", "terms")
+
+    def __init__(self, predicate: str, terms: Sequence = ()):
+        if not predicate:
+            raise ProgramError("empty predicate name")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", tuple(as_term(t) for t in terms))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("Atom is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    def cvariables(self) -> FrozenSet[CVariable]:
+        return frozenset(t for t in self.terms if isinstance(t, CVariable))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self.predicate == other.predicate
+            and self.terms == other.terms
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.predicate, self.terms))
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate!r}, {list(self.terms)!r})"
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return self.predicate
+        return f"{self.predicate}({', '.join(str(t) for t in self.terms)})"
+
+
+class Literal:
+    """A possibly negated atom with an optional condition annotation.
+
+    ``condition_var`` names the captured tuple condition (``[phi]``);
+    ``annotation`` is a filter condition conjoined onto the match
+    (``[$x != Mkt]``).  Both may be present.
+    """
+
+    __slots__ = ("atom", "negated", "condition_var", "annotation")
+
+    def __init__(
+        self,
+        atom: Atom,
+        negated: bool = False,
+        condition_var: Optional[str] = None,
+        annotation: Condition = TRUE,
+    ):
+        object.__setattr__(self, "atom", atom)
+        object.__setattr__(self, "negated", bool(negated))
+        object.__setattr__(self, "condition_var", condition_var)
+        object.__setattr__(self, "annotation", annotation)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("Literal is immutable")
+
+    @property
+    def predicate(self) -> str:
+        return self.atom.predicate
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Literal)
+            and self.atom == other.atom
+            and self.negated == other.negated
+            and self.condition_var == other.condition_var
+            and self.annotation == other.annotation
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.atom, self.negated, self.condition_var, self.annotation))
+
+    def __repr__(self) -> str:
+        return (
+            f"Literal({self.atom!r}, negated={self.negated}, "
+            f"condition_var={self.condition_var!r}, annotation={self.annotation!r})"
+        )
+
+    def __str__(self) -> str:
+        prefix = "not " if self.negated else ""
+        suffix = ""
+        ann_parts = []
+        if self.condition_var:
+            ann_parts.append(self.condition_var)
+        if self.annotation is not TRUE:
+            ann_parts.append(str(self.annotation))
+        if ann_parts:
+            suffix = f"[{' AND '.join(ann_parts)}]"
+        return f"{prefix}{self.atom}{suffix}"
+
+
+#: A body element: a (possibly negated, annotated) literal or a bare
+#: comparison/linear condition.
+BodyItem = Union[Literal, Condition]
+
+
+class Rule:
+    """One fauré-log rule; facts are rules with an empty body."""
+
+    __slots__ = ("head", "body", "label", "head_annotation")
+
+    def __init__(
+        self,
+        head: Atom,
+        body: Sequence[BodyItem] = (),
+        label: Optional[str] = None,
+        head_annotation: Optional[str] = None,
+    ):
+        body = tuple(body)
+        for item in body:
+            if not isinstance(item, (Literal, Condition)):
+                raise ProgramError(f"bad body item {item!r}")
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "head_annotation", head_annotation)
+        self._check_safety()
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("Rule is immutable")
+
+    # -- structure accessors -------------------------------------------------
+
+    def literals(self) -> Iterator[Literal]:
+        for item in self.body:
+            if isinstance(item, Literal):
+                yield item
+
+    def positive_literals(self) -> Iterator[Literal]:
+        for lit in self.literals():
+            if not lit.negated:
+                yield lit
+
+    def negative_literals(self) -> Iterator[Literal]:
+        for lit in self.literals():
+            if lit.negated:
+                yield lit
+
+    def comparisons(self) -> Iterator[Condition]:
+        for item in self.body:
+            if isinstance(item, Condition):
+                yield item
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def body_predicates(self) -> FrozenSet[str]:
+        return frozenset(lit.predicate for lit in self.literals())
+
+    def variables(self) -> FrozenSet[Variable]:
+        out: Set[Variable] = set(self.head.variables())
+        for lit in self.literals():
+            out |= lit.atom.variables()
+        return frozenset(out)
+
+    def bindable_cvariables(self) -> FrozenSet[CVariable]:
+        """C-variables in *positive body atom positions* (they bind)."""
+        out: Set[CVariable] = set()
+        for lit in self.positive_literals():
+            out |= lit.atom.cvariables()
+        return frozenset(out)
+
+    # -- safety ----------------------------------------------------------------
+
+    def _check_safety(self) -> None:
+        bound: Set[Term] = set()
+        for lit in self.positive_literals():
+            for t in lit.atom.terms:
+                if isinstance(t, (Variable, CVariable)):
+                    bound.add(t)
+        # Head variables must be bound by some positive literal.
+        for t in self.head.terms:
+            if isinstance(t, Variable) and t not in bound:
+                raise ProgramError(
+                    f"unsafe rule {self}: head variable {t} not bound in body"
+                )
+        # Negated-literal variables must be bound positively.
+        for lit in self.negative_literals():
+            for t in lit.atom.terms:
+                if isinstance(t, Variable) and t not in bound:
+                    raise ProgramError(
+                        f"unsafe rule {self}: variable {t} occurs only under negation"
+                    )
+        # Comparison variables must be bound positively (c-variables are
+        # exempt: unbound ones are global references).
+        for cond in self.comparisons():
+            for atom in cond.atoms():
+                for t in _condition_terms(atom):
+                    if isinstance(t, Variable) and t not in bound:
+                        raise ProgramError(
+                            f"unsafe rule {self}: comparison variable {t} unbound"
+                        )
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Rule) and self.head == other.head and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.body))
+
+    def __repr__(self) -> str:
+        return f"Rule({self.head!r}, {list(self.body)!r}, label={self.label!r})"
+
+    def __str__(self) -> str:
+        prefix = f"{self.label}: " if self.label else ""
+        if self.is_fact:
+            return f"{prefix}{self.head}."
+        body = ", ".join(str(item) for item in self.body)
+        return f"{prefix}{self.head} :- {body}."
+
+
+def _condition_terms(atom) -> Iterator[Term]:
+    from ..ctable.condition import Comparison, LinearAtom
+
+    if isinstance(atom, Comparison):
+        yield atom.lhs
+        yield atom.rhs
+    elif isinstance(atom, LinearAtom):
+        for v, _ in atom.coeffs:
+            yield v
+
+
+class Program:
+    """A finite collection of fauré-log rules."""
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self.rules: List[Rule] = list(rules)
+        self._check_arities()
+
+    def _check_arities(self) -> None:
+        arities: Dict[str, int] = {}
+        for rule in self.rules:
+            atoms = [rule.head] + [lit.atom for lit in rule.literals()]
+            for atom in atoms:
+                known = arities.get(atom.predicate)
+                if known is None:
+                    arities[atom.predicate] = atom.arity
+                elif known != atom.arity:
+                    raise ProgramError(
+                        f"predicate {atom.predicate} used with arities {known} and {atom.arity}"
+                    )
+
+    def add(self, rule: Rule) -> None:
+        self.rules.append(rule)
+        self._check_arities()
+
+    def idb_predicates(self) -> FrozenSet[str]:
+        """Predicates defined by some rule head."""
+        return frozenset(r.head.predicate for r in self.rules)
+
+    def edb_predicates(self) -> FrozenSet[str]:
+        """Predicates referenced but never defined (stored c-tables)."""
+        idb = self.idb_predicates()
+        out: Set[str] = set()
+        for rule in self.rules:
+            for lit in rule.literals():
+                if lit.predicate not in idb:
+                    out.add(lit.predicate)
+        return frozenset(out)
+
+    def rules_for(self, predicate: str) -> List[Rule]:
+        return [r for r in self.rules if r.head.predicate == predicate]
+
+    def arity_of(self, predicate: str) -> Optional[int]:
+        for rule in self.rules:
+            if rule.head.predicate == predicate:
+                return rule.head.arity
+            for lit in rule.literals():
+                if lit.predicate == predicate:
+                    return lit.atom.arity
+        return None
+
+    def extended(self, other: Union["Program", Iterable[Rule]]) -> "Program":
+        """A new program with the rules of ``other`` appended."""
+        extra = other.rules if isinstance(other, Program) else list(other)
+        return Program(self.rules + list(extra))
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Program) and self.rules == other.rules
+
+    def __repr__(self) -> str:
+        return f"Program({self.rules!r})"
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)

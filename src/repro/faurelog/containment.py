@@ -1,0 +1,584 @@
+"""Program containment via reduction to fauré-log evaluation (§5).
+
+The paper's category-(i) verification test checks whether known-good
+constraints *subsume* a target constraint — datalog program containment,
+normally NP-complete.  Fauré's trick: rewrite the containee's rules into
+variable-free form (program variables become fresh c-variables), treat
+the rewritten body as a canonical c-table database, and *evaluate* the
+container on it.  Containment holds when the container derives ``panic``
+under a condition entailed by the containee's witness condition θ.
+
+Implementation notes beyond the paper's sketch:
+
+* **Unfolding.**  Constraints may define ``panic`` through intermediate
+  predicates (Listing 3's ``Vt``/``Vs``), and — after an update rewrite —
+  may *negate* derived predicates (Listing 4's ``Lb2``).  Non-recursive
+  programs are unfolded into a union of conjunctive queries over EDB
+  predicates.  Negated IDB literals are expanded by De Morgan (each
+  defining rule must be falsified; one body element per rule is chosen
+  to falsify, producing a cross-product of disjuncts); this requires the
+  negated predicate's rules to have no existential body variables — the
+  exact shape produced by the update rewrite.
+
+* **Column domains.**  Frozen and generic c-variables inherit the
+  attribute domain of the column they stand for.  This is load-bearing:
+  the paper's ``T2' ⊆ {C_lb, C_s}`` holds only because the enterprise's
+  server attribute ranges over {CS, GS}.
+
+* **Generic tuples.**  A world satisfying the containee's body may hold
+  *additional* rows in any EDB relation.  Each relation in the canonical
+  database therefore receives *generic* tuples: fresh c-variables per
+  column guarded by a fresh {0,1} existence flag, carrying the
+  complement of the containee's negated-literal patterns (rows the
+  containee's body provably excludes).  The coverage implication must
+  hold for every assignment of generic values and flags — i.e. in every
+  extension world.  The per-relation generic count defaults to the
+  containers' negated-literal total (the adversary budget needed to
+  falsify their negations); within that budget the test is sound, and it
+  is conservative otherwise (it can answer "not shown", never a wrong
+  "contained").
+
+The result is tri-state in spirit: ``contained=True`` is definitive for
+the supported fragment; ``False`` means "not shown" — the
+relative-complete "I don't know".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ctable.condition import Comparison, Condition, FalseCond, TRUE, TrueCond, conjoin, disjoin
+from ..ctable.table import CTable, Database
+from ..ctable.terms import Constant, CVariable, Term, Variable
+from ..solver.domains import Domain, DomainMap, FiniteDomain
+from ..solver.interface import ConditionSolver
+from .ast import Atom, Literal, Program, ProgramError, Rule
+from .evaluation import evaluate
+from .stratify import is_recursive
+
+__all__ = [
+    "ConjunctiveQuery",
+    "unfold",
+    "freeze",
+    "FrozenQuery",
+    "ContainmentResult",
+    "contains",
+    "equivalent_constraints",
+]
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """One disjunct of an unfolded constraint: EDB literals + comparisons."""
+
+    positives: Tuple[Literal, ...]
+    negatives: Tuple[Literal, ...]
+    comparisons: Tuple[Condition, ...]
+
+    def predicates(self) -> Set[str]:
+        return {l.predicate for l in self.positives} | {
+            l.predicate for l in self.negatives
+        }
+
+    def __str__(self) -> str:
+        parts = [str(l) for l in self.positives]
+        parts += [str(l) for l in self.negatives]
+        parts += [str(c) for c in self.comparisons]
+        return ", ".join(parts)
+
+
+class _Renamer:
+    """Fresh-symbol renaming so unfolded rule copies never collide."""
+
+    def __init__(self) -> None:
+        self.counter = itertools.count()
+
+    def fresh_mapping(self, rule: Rule) -> Dict[Term, Term]:
+        mapping: Dict[Term, Term] = {}
+        n = next(self.counter)
+        symbols: Set[Term] = set(rule.variables()) | set(rule.bindable_cvariables())
+        for t in rule.head.terms:
+            if isinstance(t, (Variable, CVariable)):
+                symbols.add(t)
+        for sym in symbols:
+            if isinstance(sym, Variable):
+                mapping[sym] = Variable(f"{sym.name}_u{n}")
+            else:
+                mapping[sym] = CVariable(f"{sym.name}_u{n}")
+        return mapping
+
+
+def _substitute_atom(atom: Atom, mapping: Dict[Term, Term]) -> Atom:
+    return Atom(atom.predicate, [mapping.get(t, t) for t in atom.terms])
+
+
+def _substitute_literal(literal: Literal, mapping: Dict[Term, Term]) -> Literal:
+    return Literal(
+        _substitute_atom(literal.atom, mapping),
+        negated=literal.negated,
+        condition_var=literal.condition_var,
+        annotation=literal.annotation.substitute(mapping),
+    )
+
+
+def _rule_has_existentials(rule: Rule) -> bool:
+    """Body symbols not occurring in the head (breaks ¬IDB expansion)."""
+    head_syms = {
+        t for t in rule.head.terms if isinstance(t, (Variable, CVariable))
+    }
+    for lit in rule.literals():
+        for t in lit.atom.terms:
+            if isinstance(t, (Variable, CVariable)) and t not in head_syms:
+                return True
+    return False
+
+
+def unfold(program: Program, target: str = "panic") -> List[ConjunctiveQuery]:
+    """Expand a non-recursive constraint into a union of CQs over EDB.
+
+    Positive IDB literals resolve against their defining rules (renamed
+    apart, heads unified with calls).  Negated IDB literals expand by De
+    Morgan over their defining rules (no-existential shape required).
+    Literal annotations are normalized into comparisons.
+    """
+    if is_recursive(program):
+        raise ProgramError("cannot unfold a recursive program")
+    idb = program.idb_predicates()
+    renamer = _Renamer()
+    results: List[ConjunctiveQuery] = []
+
+    def unify_call(
+        call_terms: Sequence[Term], head_terms: Sequence[Term]
+    ) -> Optional[Tuple[Dict[Term, Term], List[Condition]]]:
+        """Unify a call with a renamed head.
+
+        Returns (substitution over symbols, residual equations) — the
+        residuals arise when a head constant meets a call variable and
+        appear as conditions rather than bindings (needed under
+        negation).  ``None`` on definite constant clash.
+        """
+        subst: Dict[Term, Term] = {}
+        residual: List[Condition] = []
+
+        def walk(t: Term) -> Term:
+            seen = set()
+            while t in subst and t not in seen:
+                seen.add(t)
+                t = subst[t]
+            return t
+
+        for call_t, head_t in zip(call_terms, head_terms):
+            a, b = walk(call_t), walk(head_t)
+            if a == b:
+                continue
+            if isinstance(a, Constant) and isinstance(b, Constant):
+                return None
+            if isinstance(b, (Variable, CVariable)):
+                subst[b] = a
+            elif isinstance(a, (Variable, CVariable)):
+                # Head is a constant, call side is a symbol: residual.
+                residual.append(Comparison(a, "=", b).constant_fold())
+            else:  # pragma: no cover - both constants handled above
+                return None
+        flat = {k: walk(k) for k in subst}
+        return flat, residual
+
+    def expand_negated_idb(literal: Literal) -> Optional[List[List[object]]]:
+        """DNF choices falsifying every rule of a negated IDB predicate.
+
+        Returns a list of item-lists (each item a Literal or Condition);
+        the caller must branch on them.  ``None`` means the negation is
+        unsatisfiable (some rule matches unconditionally).
+        """
+        if literal.annotation is not TRUE:
+            raise ProgramError(
+                f"annotation on negated IDB literal {literal} is not supported"
+            )
+        all_choice_sets: List[List[List[object]]] = []
+        for rule in program.rules_for(literal.predicate):
+            if _rule_has_existentials(rule):
+                raise ProgramError(
+                    f"cannot negate {literal.predicate}: rule {rule} has "
+                    "existential body variables"
+                )
+            mapping = renamer.fresh_mapping(rule)
+            head = _substitute_atom(rule.head, mapping)
+            unified = unify_call(literal.atom.terms, head.terms)
+            if unified is None:
+                # This rule can never produce a matching head: nothing to
+                # falsify; it contributes the no-op choice.
+                all_choice_sets.append([[]])
+                continue
+            subst, residual = unified
+            elements: List[object] = [c for c in residual if not isinstance(c, TrueCond)]
+            if any(isinstance(c, FalseCond) for c in residual):
+                # Residual equation definitely false: rule can't match.
+                all_choice_sets.append([[]])
+                continue
+            for item in rule.body:
+                if isinstance(item, Literal):
+                    lit = _substitute_literal(_substitute_literal(item, mapping), subst)
+                    if lit.annotation is not TRUE:
+                        elements.append(lit.annotation)
+                        lit = Literal(lit.atom, negated=lit.negated)
+                    elements.append(lit)
+                else:
+                    cond = item.substitute(mapping).substitute(subst)
+                    if isinstance(cond, FalseCond):
+                        elements = None  # rule body already false
+                        break
+                    if not isinstance(cond, TrueCond):
+                        elements.append(cond)
+            if elements is None:
+                all_choice_sets.append([[]])
+                continue
+            if not elements:
+                # Rule fires unconditionally on the call: ¬P(u) is false.
+                return None
+            choices: List[List[object]] = []
+            for element in elements:
+                if isinstance(element, Condition):
+                    neg = element.negate()
+                    if isinstance(neg, FalseCond):
+                        continue
+                    choices.append([neg])
+                else:
+                    flipped = Literal(element.atom, negated=not element.negated)
+                    choices.append([flipped])
+            if not choices:
+                return None
+            all_choice_sets.append(choices)
+        # Cross product over rules.
+        combos: List[List[object]] = [[]]
+        for choices in all_choice_sets:
+            combos = [base + pick for base in combos for pick in choices]
+        return combos
+
+    def expand(
+        pending: List[object],
+        positives: List[Literal],
+        negatives: List[Literal],
+        comparisons: List[Condition],
+    ) -> None:
+        if not pending:
+            results.append(
+                ConjunctiveQuery(tuple(positives), tuple(negatives), tuple(comparisons))
+            )
+            return
+        item, rest = pending[0], pending[1:]
+        if isinstance(item, Condition):
+            if isinstance(item, FalseCond):
+                return
+            if isinstance(item, TrueCond):
+                expand(rest, positives, negatives, comparisons)
+            else:
+                expand(rest, positives, negatives, comparisons + [item])
+            return
+        literal: Literal = item
+        if literal.predicate not in idb:
+            extra_cmps: List[Condition] = []
+            norm = literal
+            if literal.annotation is not TRUE:
+                if literal.negated:
+                    raise ProgramError(
+                        f"annotation on negated literal {literal} is not supported "
+                        "in constraints"
+                    )
+                extra_cmps.append(literal.annotation)
+                norm = Literal(literal.atom, negated=literal.negated)
+            if norm.negated:
+                expand(rest, positives, negatives + [norm], comparisons + extra_cmps)
+            else:
+                expand(rest, positives + [norm], negatives, comparisons + extra_cmps)
+            return
+        if literal.negated:
+            combos = expand_negated_idb(literal)
+            if combos is None:
+                return  # negation unsatisfiable: branch dies
+            for combo in combos:
+                expand(list(combo) + list(rest), positives, negatives, comparisons)
+            return
+        # Positive IDB literal: resolve against each defining rule.
+        call_cmps: List[Condition] = []
+        call = literal
+        if literal.annotation is not TRUE:
+            call_cmps.append(literal.annotation)
+            call = Literal(literal.atom, negated=False)
+        for rule in program.rules_for(call.predicate):
+            mapping = renamer.fresh_mapping(rule)
+            head = _substitute_atom(rule.head, mapping)
+            unified = unify_call(call.atom.terms, head.terms)
+            if unified is None:
+                continue
+            subst, residual = unified
+            new_items: List[object] = list(residual)
+            for body_item in rule.body:
+                if isinstance(body_item, Literal):
+                    new_items.append(
+                        _substitute_literal(
+                            _substitute_literal(body_item, mapping), subst
+                        )
+                    )
+                else:
+                    new_items.append(body_item.substitute(mapping).substitute(subst))
+            # The unifier may bind symbols already present in the outer
+            # query: apply it everywhere.
+            pos2 = [_substitute_literal(l, subst) for l in positives]
+            neg2 = [_substitute_literal(l, subst) for l in negatives]
+            cmps2 = [c.substitute(subst) for c in comparisons + call_cmps]
+            rest2 = [
+                _substitute_literal(i, subst)
+                if isinstance(i, Literal)
+                else i.substitute(subst)
+                for i in rest
+            ]
+            expand(new_items + rest2, pos2, neg2, cmps2)
+
+    for rule in program.rules_for(target):
+        mapping = renamer.fresh_mapping(rule)
+        pending: List[object] = []
+        for item in rule.body:
+            if isinstance(item, Literal):
+                pending.append(_substitute_literal(item, mapping))
+            else:
+                pending.append(item.substitute(mapping))
+        expand(pending, [], [], [])
+    return results
+
+
+@dataclass
+class FrozenQuery:
+    """The canonical c-table database of one containee disjunct."""
+
+    database: Database
+    theta: Condition
+    frozen_vars: Dict[Term, CVariable] = field(default_factory=dict)
+    var_domains: Dict[CVariable, Domain] = field(default_factory=dict)
+    generic_flags: List[CVariable] = field(default_factory=list)
+
+
+def freeze(
+    cq: ConjunctiveQuery,
+    container_programs: Sequence[Program],
+    schemas: Optional[Dict[str, Sequence[str]]] = None,
+    column_domains: Optional[Dict[str, Domain]] = None,
+    generic_rows: Optional[int] = None,
+    tag: str = "f",
+) -> FrozenQuery:
+    """Build the canonical database for one disjunct.
+
+    ``schemas`` names the columns of the EDB predicates; frozen and
+    generic c-variables inherit ``column_domains[column]`` when declared.
+    ``generic_rows`` overrides the per-relation generic-tuple count
+    (default: the containers' negated-literal total; 0 reproduces the
+    paper's plain reduction).
+    """
+    counter = itertools.count()
+    frozen: Dict[Term, CVariable] = {}
+    var_domains: Dict[CVariable, Domain] = {}
+    schemas = schemas or {}
+    column_domains = column_domains or {}
+
+    # Relations needed: everything the containee or containers mention.
+    predicates: Dict[str, int] = {}
+    for lit in list(cq.positives) + list(cq.negatives):
+        predicates[lit.predicate] = lit.atom.arity
+    for prog in container_programs:
+        for pred in prog.edb_predicates():
+            arity = prog.arity_of(pred)
+            if arity is not None:
+                predicates.setdefault(pred, arity)
+
+    def schema_for(pred: str) -> List[str]:
+        return list(schemas.get(pred, [f"c{i}" for i in range(predicates[pred])]))
+
+    def freeze_term(t: Term, pred: str, position: int) -> Term:
+        if isinstance(t, Constant):
+            return t
+        got = frozen.get(t)
+        if got is None:
+            got = CVariable(f"{tag}{next(counter)}")
+            frozen[t] = got
+            column = schema_for(pred)[position]
+            if column in column_domains:
+                var_domains[got] = column_domains[column]
+        return got
+
+    if generic_rows is None:
+        generic_rows = sum(
+            sum(1 for _ in rule.negative_literals())
+            for prog in container_programs
+            for rule in prog
+        )
+
+    db = Database()
+    tables: Dict[str, CTable] = {}
+    for pred in predicates:
+        tables[pred] = db.create_table(pred, schema_for(pred))
+
+    theta_parts: List[Condition] = []
+    for lit in cq.positives:
+        values = [
+            freeze_term(t, lit.predicate, i) for i, t in enumerate(lit.atom.terms)
+        ]
+        tables[lit.predicate].add(values)
+
+    for cmp_cond in cq.comparisons:
+        theta_parts.append(cmp_cond.substitute(dict(frozen)))
+
+    exclusions: Dict[str, List[List[Term]]] = {}
+    for lit in cq.negatives:
+        values = [
+            freeze_term(t, lit.predicate, i) for i, t in enumerate(lit.atom.terms)
+        ]
+        exclusions.setdefault(lit.predicate, []).append(values)
+
+    flags: List[CVariable] = []
+    for pred, arity in predicates.items():
+        positive_rows = list(tables[pred])
+        for row_index in range(generic_rows):
+            gvars: List[CVariable] = []
+            for i in range(arity):
+                gv = CVariable(f"{tag}g_{pred}_{row_index}_{i}")
+                gvars.append(gv)
+                column = schema_for(pred)[i]
+                if column in column_domains:
+                    var_domains[gv] = column_domains[column]
+            flag = CVariable(f"{tag}e_{pred}_{row_index}")
+            flags.append(flag)
+            parts: List[Condition] = [Comparison(flag, "=", Constant(1))]
+            for pattern in exclusions.get(pred, ()):
+                eqs = [
+                    Comparison(g, "=", p).constant_fold()
+                    for g, p in zip(gvars, pattern)
+                ]
+                parts.append(conjoin(eqs).negate())
+            tables[pred].add(gvars, conjoin(parts))
+        # Positive facts must not match the containee's negations either:
+        # that constrains the witness worlds, so it lands in theta.
+        for pattern in exclusions.get(pred, ()):
+            for tup in positive_rows:
+                eqs = [
+                    Comparison(v, "=", p).constant_fold()
+                    for v, p in zip(tup.values, pattern)
+                ]
+                clash = conjoin(eqs + [tup.condition])
+                theta_parts.append(clash.negate())
+
+    return FrozenQuery(
+        database=db,
+        theta=conjoin(theta_parts),
+        frozen_vars=dict(frozen),
+        var_domains=var_domains,
+        generic_flags=flags,
+    )
+
+
+@dataclass
+class ContainmentResult:
+    """Outcome of a containment test.
+
+    ``contained`` True is definitive; False means "not shown" (the
+    relative-complete *unknown*, to be retried with more information).
+    ``per_disjunct`` records, for each containee disjunct, whether it was
+    covered and under which container panic condition.
+    """
+
+    contained: bool
+    per_disjunct: List[Tuple[ConjunctiveQuery, bool, Condition]] = field(
+        default_factory=list
+    )
+
+    def __bool__(self) -> bool:
+        return self.contained
+
+
+def contains(
+    containee: Program,
+    containers: Sequence[Program],
+    solver: ConditionSolver,
+    schemas: Optional[Dict[str, Sequence[str]]] = None,
+    column_domains: Optional[Dict[str, Domain]] = None,
+    target: str = "panic",
+    generic_rows: Optional[int] = None,
+) -> ContainmentResult:
+    """Does every panic of ``containee`` imply some container panic?
+
+    For each disjunct of the unfolded containee: freeze, evaluate every
+    container on the canonical database, and check that the disjunct's
+    witness condition θ entails the disjunction of derived panic
+    conditions.  Vacuous disjuncts (θ unsatisfiable) are trivially
+    covered.
+    """
+    disjuncts = unfold(containee, target=target)
+    per: List[Tuple[ConjunctiveQuery, bool, Condition]] = []
+    all_ok = True
+    for cq in disjuncts:
+        frozen = freeze(
+            cq,
+            containers,
+            schemas=schemas,
+            column_domains=column_domains,
+            generic_rows=generic_rows,
+        )
+        local_domains = solver.domains.copy()
+        for var, domain in frozen.var_domains.items():
+            local_domains.declare(var, domain)
+        for flag in frozen.generic_flags:
+            local_domains.declare(flag, FiniteDomain([0, 1]))
+        local_solver = solver.with_domains(local_domains)
+        if not local_solver.is_satisfiable(frozen.theta):
+            per.append((cq, True, TRUE))
+            continue
+        panic_conditions: List[Condition] = []
+        for prog in containers:
+            result = evaluate(prog, frozen.database, solver=local_solver)
+            if target in result:
+                for tup in result.table(target):
+                    # Generic-row negations often contribute tautological
+                    # conjuncts; simplifying keeps the coverage
+                    # implication small.
+                    panic_conditions.append(local_solver.simplify(tup.condition))
+        covered = bool(panic_conditions) and (
+            # cheap sufficient pass: a single disjunct may already cover
+            any(
+                local_solver.implies(frozen.theta, cond)
+                for cond in panic_conditions
+            )
+            or local_solver.implies(frozen.theta, disjoin(panic_conditions))
+        )
+        per.append(
+            (cq, covered, disjoin(panic_conditions) if panic_conditions else TRUE)
+        )
+        if not covered:
+            all_ok = False
+    return ContainmentResult(contained=all_ok, per_disjunct=per)
+
+
+def equivalent_constraints(
+    a: Program,
+    b: Program,
+    solver: ConditionSolver,
+    schemas: Optional[Dict[str, Sequence[str]]] = None,
+    column_domains: Optional[Dict[str, Domain]] = None,
+    target: str = "panic",
+    generic_rows: Optional[int] = None,
+) -> bool:
+    """Mutual containment: the two constraints panic on the same worlds.
+
+    Like :func:`contains`, a True answer is definitive for the supported
+    fragment; False means "not shown equivalent".
+    """
+    forward = contains(
+        a, [b], solver, schemas=schemas, column_domains=column_domains,
+        target=target, generic_rows=generic_rows,
+    )
+    if not forward.contained:
+        return False
+    backward = contains(
+        b, [a], solver, schemas=schemas, column_domains=column_domains,
+        target=target, generic_rows=generic_rows,
+    )
+    return backward.contained

@@ -1,0 +1,280 @@
+"""Stratified (semi-naive) fixpoint evaluation of fauré-log programs.
+
+Evaluation follows the paper's recipe: the classic datalog fixpoint, with
+the c-valuation of :mod:`repro.faurelog.valuation` in place of plain
+variable valuation, stratification for negation, and the solver in two
+roles —
+
+* **pruning** (the paper's step 3): derived tuples whose conditions are
+  unsatisfiable are dropped;
+* **condition-aware dedup**: a derived tuple is *new* only when its
+  condition is not implied by the disjunction of the conditions already
+  recorded for the same data part.  This is what makes recursion over
+  c-tables terminate: once the recorded conditions cover all worlds in
+  which a fact holds, further derivations stop contributing.
+
+Time spent in the solver is charged to ``stats.solver_seconds``; the
+remainder of the evaluation wall time is the "sql" bucket, giving the
+same split Table 4 reports.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..ctable.condition import Condition, FalseCond, TRUE, disjoin
+from ..ctable.table import CTable, Database
+from ..ctable.terms import Term
+from ..engine.stats import EvalStats
+from ..engine.storage import IndexedTable, Storage
+from ..solver.interface import ConditionSolver
+from .ast import Program, ProgramError, Rule
+from .stratify import stratify
+from .valuation import build_head, derive
+
+__all__ = ["FaureEvaluator", "evaluate"]
+
+
+class _ConditionIndex:
+    """Per-relation map: data part → conditions recorded so far."""
+
+    def __init__(self) -> None:
+        self._by_key: Dict[Tuple[Term, ...], List[Condition]] = {}
+
+    def is_new(
+        self,
+        key: Tuple[Term, ...],
+        condition: Condition,
+        solver: Optional[ConditionSolver],
+    ) -> bool:
+        existing = self._by_key.get(key)
+        if existing is None:
+            return True
+        if condition in existing:
+            return False
+        if any(e is TRUE for e in existing):
+            return False
+        if solver is None:
+            return True
+        return not solver.implies(condition, disjoin(existing))
+
+    def record(self, key: Tuple[Term, ...], condition: Condition) -> None:
+        self._by_key.setdefault(key, []).append(condition)
+
+
+class FaureEvaluator:
+    """Evaluates fauré-log programs over a c-table database.
+
+    Parameters
+    ----------
+    database:
+        The EDB: stored c-tables the program's body may reference.
+    solver:
+        Condition solver used for pruning and dedup.  ``None`` disables
+        both (an ablation mode; recursion may then fail to terminate on
+        cyclic inputs).
+    max_iterations:
+        Safety valve for the fixpoint loop (per stratum); ``None`` means
+        unbounded.
+    prune:
+        When False, unsatisfiable-condition tuples are kept (ablation of
+        the paper's step 3); dedup still uses the solver if present.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        solver: Optional[ConditionSolver] = None,
+        max_iterations: Optional[int] = None,
+        prune: bool = True,
+        storage: Optional[Storage] = None,
+        record_provenance: bool = False,
+    ):
+        self.database = database
+        self.solver = solver
+        self.max_iterations = max_iterations
+        self.prune = prune and solver is not None
+        self.stats = EvalStats()
+        self.record_provenance = record_provenance
+        #: (predicate, data part, condition, rule label) per derived tuple,
+        #: in derivation order — populated when record_provenance is set.
+        self.provenance: List[Tuple[str, Tuple[Term, ...], Condition, Optional[str]]] = []
+        if storage is not None and storage.db is not database:
+            raise ValueError("storage must wrap the same database")
+        self._storage = storage
+
+    # -- solver accounting ---------------------------------------------------
+
+    def _timed_sat(self, condition: Condition) -> bool:
+        start = time.perf_counter()
+        try:
+            return self.solver.is_satisfiable(condition)
+        finally:
+            self.stats.solver_seconds += time.perf_counter() - start
+
+    def _keep(self, condition: Condition) -> bool:
+        if isinstance(condition, FalseCond):
+            self.stats.tuples_pruned += 1
+            return False
+        if not self.prune:
+            return True
+        if self._timed_sat(condition):
+            return True
+        self.stats.tuples_pruned += 1
+        return False
+
+    # -- main entry ---------------------------------------------------------------
+
+    def evaluate(self, program: Program) -> Database:
+        """Run the program to fixpoint; returns the IDB as a database.
+
+        The result database contains one c-table per IDB predicate
+        (empty predicates yield empty tables when their arity is known).
+        """
+        wall_start = time.perf_counter()
+        solver_before = self.stats.solver_seconds
+        result = self._evaluate_inner(program)
+        wall = time.perf_counter() - wall_start
+        solver_delta = self.stats.solver_seconds - solver_before
+        self.stats.sql_seconds += max(0.0, wall - solver_delta)
+        return result
+
+    def _evaluate_inner(self, program: Program) -> Database:
+        edb_names = set(self.database.names())
+        idb = program.idb_predicates()
+        clash = idb & edb_names
+        if clash:
+            raise ProgramError(
+                f"IDB predicates shadow stored tables: {sorted(clash)}"
+            )
+
+        # Working storage: EDB tables plus IDB tables as they are built.
+        # A caller-supplied storage lets repeated evaluations over the
+        # same database reuse its (lazily built) indexes.
+        working = self._storage if self._storage is not None else Storage(self.database)
+        derived = Database()
+        indexes: Dict[str, _ConditionIndex] = {}
+        tables: Dict[str, CTable] = {}
+
+        def ensure_table(predicate: str, arity: int) -> CTable:
+            table = tables.get(predicate)
+            if table is None:
+                schema = [f"c{i}" for i in range(arity)]
+                table = CTable(predicate, schema)
+                tables[predicate] = table
+                indexes[predicate] = _ConditionIndex()
+                self.database.add_table(table)  # visible to body matching
+            return table
+
+        added_to_db: List[str] = []
+        try:
+            for predicate in idb:
+                arity = program.arity_of(predicate)
+                if arity is not None and predicate not in tables:
+                    ensure_table(predicate, arity)
+                    added_to_db.append(predicate)
+
+            for stratum in stratify(program):
+                self._run_stratum(program, stratum, working, tables, indexes)
+        finally:
+            for name in added_to_db:
+                self.database.drop_table(name)
+                working.invalidate(name)
+
+        for predicate, table in tables.items():
+            derived.add_table(table)
+        return derived
+
+    # -- stratum fixpoint -------------------------------------------------------
+
+    def _run_stratum(
+        self,
+        program: Program,
+        stratum: FrozenSet[str],
+        working: Storage,
+        tables: Dict[str, CTable],
+        indexes: Dict[str, _ConditionIndex],
+    ) -> None:
+        rules = [r for r in program if r.head.predicate in stratum]
+
+        def insert(rule: Rule, head_values: Tuple[Term, ...], condition: Condition) -> bool:
+            predicate = rule.head.predicate
+            table = tables[predicate]
+            index = indexes[predicate]
+            if not self._keep(condition):
+                return False
+            start = time.perf_counter()
+            try:
+                new = index.is_new(head_values, condition, self.solver)
+            finally:
+                self.stats.solver_seconds += time.perf_counter() - start
+            if not new:
+                return False
+            index.record(head_values, condition)
+            working.indexed(predicate).add(list(head_values), condition)
+            self.stats.tuples_generated += 1
+            if self.record_provenance:
+                self.provenance.append(
+                    (predicate, head_values, condition, rule.label)
+                )
+            return True
+
+        # Round 0: fire every rule on the full database.
+        delta: Dict[str, CTable] = {p: CTable(p, tables[p].schema) for p in stratum}
+        for rule in rules:
+            for bindings, condition in derive(rule, working):
+                values = build_head(rule, bindings)
+                if insert(rule, values, condition):
+                    delta[rule.head.predicate].add(list(values), condition)
+        self.stats.iterations += 1
+
+        # Semi-naive rounds: re-fire only rules that read this stratum,
+        # once per in-stratum positive literal bound to the delta.
+        iteration = 1
+        while any(len(t) for t in delta.values()):
+            if self.max_iterations is not None and iteration > self.max_iterations:
+                raise ProgramError(
+                    f"fixpoint exceeded {self.max_iterations} iterations"
+                )
+            delta_indexed = {
+                name: IndexedTable(table) for name, table in delta.items() if len(table)
+            }
+            next_delta: Dict[str, CTable] = {
+                p: CTable(p, tables[p].schema) for p in stratum
+            }
+            for rule in rules:
+                positives = list(rule.positive_literals())
+                for position, literal in enumerate(positives):
+                    if literal.predicate not in delta_indexed:
+                        continue
+                    for bindings, condition in derive(
+                        rule,
+                        working,
+                        delta_override=delta_indexed,
+                        delta_position=position,
+                    ):
+                        values = build_head(rule, bindings)
+                        if insert(rule, values, condition):
+                            next_delta[rule.head.predicate].add(list(values), condition)
+            delta = next_delta
+            iteration += 1
+            self.stats.iterations += 1
+
+
+def evaluate(
+    program: Program,
+    database: Database,
+    solver: Optional[ConditionSolver] = None,
+    stats: Optional[EvalStats] = None,
+    max_iterations: Optional[int] = None,
+    prune: bool = True,
+) -> Database:
+    """One-shot convenience wrapper around :class:`FaureEvaluator`."""
+    evaluator = FaureEvaluator(
+        database, solver=solver, max_iterations=max_iterations, prune=prune
+    )
+    result = evaluator.evaluate(program)
+    if stats is not None:
+        stats.add(evaluator.stats)
+    return result

@@ -1,0 +1,182 @@
+"""Incremental maintenance of fauré-log results under EDB growth.
+
+§7 contrasts fauré with incremental verifiers (Jinjing, INCV) that
+maintain results as the network changes.  The two compose: c-tables
+absorb *anticipated* change (failures as conditions), and incremental
+evaluation absorbs *unanticipated* monotone change — a new route
+announcement, a new ACL row — without recomputing from scratch.
+
+:class:`IncrementalEvaluator` evaluates a program once, then maintains
+the IDB under
+
+* :meth:`insert` — add a (possibly conditional, possibly partial) EDB
+  fact and propagate via semi-naive rounds seeded from the delta;
+* :meth:`weaken` — *widen* an existing fact's condition (e.g. a link
+  once thought conditional turns out unconditional), which is also a
+  monotone growth of the represented worlds.
+
+Deletions are deliberately out of scope — the paper's answer to
+retraction is to model it as a condition up front (a tuple that may
+disappear carries a c-variable guard), after which "deletion" is just
+assigning the guard, no recomputation needed.  Monotonicity is enforced:
+programs whose results could shrink under EDB growth (any negation on a
+path from the touched relation) are rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..ctable.condition import Condition, TRUE, disjoin
+from ..ctable.table import CTable, Database
+from ..ctable.terms import Term
+from ..engine.stats import EvalStats
+from ..engine.storage import IndexedTable, Storage
+from ..solver.interface import ConditionSolver
+from .ast import Program, ProgramError, Rule
+from .evaluation import FaureEvaluator
+from .stratify import dependency_graph, stratify
+from .valuation import build_head, derive
+
+__all__ = ["IncrementalEvaluator"]
+
+
+class IncrementalEvaluator:
+    """Evaluate once, then maintain under monotone EDB changes."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        solver: Optional[ConditionSolver] = None,
+    ):
+        self.program = program
+        self.database = database
+        self.solver = solver
+        self.stats = EvalStats()
+        self._graph = dependency_graph(program)
+        self._strata = stratify(program)
+        self._stratum_of: Dict[str, int] = {}
+        for i, stratum in enumerate(self._strata):
+            for pred in stratum:
+                self._stratum_of[pred] = i
+        # initial full evaluation
+        evaluator = FaureEvaluator(database, solver=solver)
+        self.result = evaluator.evaluate(program)
+        self.stats.add(evaluator.stats)
+        # combined EDB+IDB view used for incremental matching
+        self._combined = Database(
+            [t for t in database] + [t for t in self.result]
+        )
+        self._storage = Storage(self._combined)
+        # per-predicate condition bookkeeping for subsumption dedup
+        self._conditions: Dict[str, Dict[Tuple[Term, ...], List[Condition]]] = {}
+        for table in self.result:
+            per = self._conditions.setdefault(table.name, {})
+            for tup in table:
+                per.setdefault(tup.data_key(), []).append(tup.condition)
+
+    # -- monotonicity guard ----------------------------------------------
+
+    def _affected_predicates(self, predicate: str) -> Set[str]:
+        """IDB predicates downstream of the touched relation."""
+        if predicate not in self._graph:
+            return set()
+        return set(nx.descendants(self._graph, predicate))
+
+    def _check_monotone(self, predicate: str) -> None:
+        affected = self._affected_predicates(predicate) | {predicate}
+        for u, v, data in self._graph.edges(data=True):
+            if data.get("negative") and u in affected:
+                raise ProgramError(
+                    f"cannot maintain incrementally: growth of {predicate} "
+                    f"flows through negation of {u} into {v}"
+                )
+
+    # -- the maintenance operations ------------------------------------------
+
+    def insert(self, predicate: str, values: Sequence, condition: Condition = TRUE) -> int:
+        """Add an EDB fact; returns the number of new IDB derivations."""
+        if predicate in self.program.idb_predicates():
+            raise ProgramError(f"{predicate} is derived; insert into the EDB only")
+        self._check_monotone(predicate)
+        table = self._combined.table(predicate)
+        added = self._storage.indexed(predicate).add(list(values), condition)
+        # mirror into the caller's database so both views stay consistent
+        self.database.table(predicate).add(list(values), condition)
+        if not added:
+            return 0
+        new_tuple = table.tuples()[-1]
+        delta = CTable(predicate, table.schema)
+        delta.add(new_tuple)
+        return self._propagate({predicate: delta})
+
+    def weaken(self, predicate: str, values: Sequence, extra_condition: Condition) -> int:
+        """Widen a fact's worlds: add the same data part under a new condition."""
+        return self.insert(predicate, values, extra_condition)
+
+    # -- propagation ------------------------------------------------------------
+
+    def _is_new(self, predicate: str, key: Tuple[Term, ...], condition: Condition) -> bool:
+        per = self._conditions.setdefault(predicate, {})
+        existing = per.get(key)
+        if existing is None:
+            return True
+        if condition in existing:
+            return False
+        if self.solver is None:
+            return True
+        return not self.solver.implies(condition, disjoin(existing))
+
+    def _record(self, predicate: str, key: Tuple[Term, ...], condition: Condition) -> None:
+        self._conditions.setdefault(predicate, {}).setdefault(key, []).append(condition)
+
+    def _propagate(self, initial_delta: Dict[str, CTable]) -> int:
+        new_count = 0
+        delta = dict(initial_delta)
+        # rounds proceed until no rule derives anything new anywhere
+        while delta:
+            delta_indexed = {
+                name: IndexedTable(table) for name, table in delta.items() if len(table)
+            }
+            if not delta_indexed:
+                break
+            next_delta: Dict[str, CTable] = {}
+            for rule in self.program:
+                positives = list(rule.positive_literals())
+                for position, literal in enumerate(positives):
+                    if literal.predicate not in delta_indexed:
+                        continue
+                    for bindings, condition in derive(
+                        rule,
+                        self._storage,
+                        delta_override=delta_indexed,
+                        delta_position=position,
+                    ):
+                        if self.solver is not None and not self.solver.is_satisfiable(
+                            condition
+                        ):
+                            self.stats.tuples_pruned += 1
+                            continue
+                        head = build_head(rule, bindings)
+                        pred = rule.head.predicate
+                        if not self._is_new(pred, head, condition):
+                            continue
+                        self._record(pred, head, condition)
+                        self._storage.indexed(pred).add(list(head), condition)
+                        bucket = next_delta.setdefault(
+                            pred, CTable(pred, self.result.table(pred).schema)
+                        )
+                        bucket.add(list(head), condition)
+                        new_count += 1
+                        self.stats.tuples_generated += 1
+            delta = next_delta
+        return new_count
+
+    # -- views -------------------------------------------------------------------
+
+    def table(self, predicate: str) -> CTable:
+        """Current state of an IDB (or EDB) relation."""
+        return self._combined.table(predicate)

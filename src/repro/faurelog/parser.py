@@ -1,0 +1,171 @@
+"""Textual syntax for fauré-log programs.
+
+Grammar (one or more rules, ``%`` comments allowed anywhere)::
+
+    rule      := [label ':'] head [annotation] (':-' body)? '.'
+    head      := atom
+    body      := item (',' item)*
+    item      := ['not'|'¬'|'!'] atom [annotation]    -- literal
+               | condition-atom                        -- comparison / linear
+    atom      := pred ['(' term (',' term)* ')']
+    annotation:= '[' ann-item (AND|',') ann-item ... ']'
+    ann-item  := ident                                  -- condition variable
+               | condition-atom                         -- filter
+
+Terms follow :mod:`repro.ctable.parse`: ``$x`` c-variables, lowercase
+identifiers as program variables, capitalized identifiers / quoted
+strings / numbers / ``[A B C]`` paths as constants.  The paper's rules in
+Listings 2–4 transcribe directly, e.g.::
+
+    q5: R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).
+    q6: T1(f, n1, n2) :- R(f, n1, n2), $x + $y + $z = 1.
+    q9: panic :- R(Mkt, CS, $p), not Fw(Mkt, CS).
+    q21: Lb2($x, $y) :- Lb1($x, $y)[$x != Mkt].
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ctable.condition import Condition, TRUE, conjoin
+from ..ctable.parse import (
+    ParseError,
+    TokenStream,
+    default_resolver,
+    parse_condition,
+    parse_term,
+    tokenize,
+)
+from ..ctable.terms import Constant, Term, Variable
+from .ast import Atom, BodyItem, Literal, Program, Rule
+
+__all__ = ["parse_program", "parse_rule", "ParseError"]
+
+_CMP_START = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def _looks_like_atom(stream: TokenStream) -> bool:
+    """An identifier not followed by a comparison/sum is a predicate."""
+    tok = stream.peek()
+    if tok[0] != "ident":
+        return False
+    nxt = stream.peek(1)
+    if nxt[0] == "op" and nxt[1] == "(":
+        return True
+    # 0-ary predicate (e.g. `panic`): followed by rule punctuation.
+    if nxt[0] == "op" and nxt[1] in (",", ".", ":-", "["):
+        return True
+    if nxt[0] == "eof":
+        return True
+    return False
+
+
+def _parse_atom(stream: TokenStream) -> Atom:
+    tok = stream.expect("ident")
+    predicate = tok[1]
+    terms: List[Term] = []
+    if stream.accept("op", "("):
+        while True:
+            terms.append(parse_term(stream, default_resolver))
+            if stream.accept("op", ")"):
+                break
+            stream.expect("op", ",")
+    return Atom(predicate, terms)
+
+
+def _parse_annotation(stream: TokenStream) -> Tuple[Optional[str], Condition]:
+    """Parse ``[...]``: condition variables and/or filter atoms."""
+    cond_var: Optional[str] = None
+    filters: List[Condition] = []
+    while True:
+        tok = stream.peek()
+        nxt = stream.peek(1)
+        is_bare_ident = (
+            tok[0] == "ident"
+            and nxt[0] == "op"
+            and nxt[1] in ("]", ",")
+        ) or (tok[0] == "ident" and nxt[0] == "kw")
+        if is_bare_ident:
+            stream.next()
+            if cond_var is None:
+                cond_var = tok[1]
+            # Extra condition variables are redundant under eq. 3
+            # semantics; accept and ignore.
+        else:
+            filters.append(parse_condition(stream, default_resolver))
+        if stream.accept("op", "]"):
+            break
+        if not (stream.accept("op", ",") or stream.accept("kw", "AND")):
+            got = stream.peek()
+            raise ParseError(
+                f"expected ',' or AND or ']' in annotation, got {got[1]!r}",
+                got[2],
+                stream.text,
+            )
+    return cond_var, conjoin(filters)
+
+
+def _parse_literal(stream: TokenStream) -> Literal:
+    negated = False
+    if (
+        stream.accept("kw", "NOT")
+        or stream.accept("op", "¬")
+        or stream.accept("op", "!")
+    ):
+        negated = True
+    atom = _parse_atom(stream)
+    cond_var: Optional[str] = None
+    annotation: Condition = TRUE
+    if stream.accept("op", "["):
+        cond_var, annotation = _parse_annotation(stream)
+    return Literal(atom, negated=negated, condition_var=cond_var, annotation=annotation)
+
+
+def _parse_body_item(stream: TokenStream) -> BodyItem:
+    tok = stream.peek()
+    if tok[0] == "kw" and tok[1] == "NOT":
+        return _parse_literal(stream)
+    if tok[0] == "op" and tok[1] in ("¬", "!"):
+        return _parse_literal(stream)
+    if _looks_like_atom(stream):
+        return _parse_literal(stream)
+    # Otherwise a comparison / linear atom over terms.
+    return parse_condition(stream, default_resolver)
+
+
+def parse_rule(stream: TokenStream) -> Rule:
+    """Parse one rule (label optional, terminating '.' required)."""
+    label: Optional[str] = None
+    tok = stream.peek()
+    nxt = stream.peek(1)
+    if tok[0] == "ident" and nxt[0] == "op" and nxt[1] == ":":
+        label = tok[1]
+        stream.next()
+        stream.next()
+    head = _parse_atom(stream)
+    head_annotation: Optional[str] = None
+    if stream.accept("op", "["):
+        cond_var, filters = _parse_annotation(stream)
+        parts = []
+        if cond_var:
+            parts.append(cond_var)
+        if filters is not TRUE:
+            parts.append(str(filters))
+        head_annotation = " AND ".join(parts) if parts else None
+    body: List[BodyItem] = []
+    if stream.accept("op", ":-"):
+        while True:
+            body.append(_parse_body_item(stream))
+            if not stream.accept("op", ","):
+                break
+    stream.expect("op", ".")
+    return Rule(head, body, label=label, head_annotation=head_annotation)
+
+
+def parse_program(text: str) -> Program:
+    """Parse a whole program (rule labels may be written ``qN:``)."""
+    stream = TokenStream(tokenize(text), text)
+    rules: List[Rule] = []
+    while not stream.exhausted:
+        rules.append(parse_rule(stream))
+    return Program(rules)

@@ -1,0 +1,146 @@
+"""Pretty-printing fauré-log back to parseable text.
+
+``str(rule)`` is readable; this module guarantees the stronger property
+that ``parse_program(format_program(p))`` reproduces ``p`` exactly —
+constants are quoted whenever the bare spelling would re-parse as
+something else (a program variable, a number, an address, a keyword).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..ctable.condition import (
+    And,
+    Comparison,
+    Condition,
+    FalseCond,
+    LinearAtom,
+    Not,
+    Or,
+    TrueCond,
+)
+from ..ctable.terms import Constant, CVariable, Term, Variable
+from .ast import Atom, Literal, Program, Rule
+
+__all__ = [
+    "format_term",
+    "format_condition",
+    "format_atom",
+    "format_literal",
+    "format_rule",
+    "format_program",
+]
+
+_BARE_CONSTANT = re.compile(r"^[A-Z][A-Za-z0-9_&-]*$")
+_KEYWORDS = {"AND", "OR", "NOT"}
+
+
+def _quote(text: str) -> str:
+    return "'" + text.replace("\\", "\\\\").replace("'", "\\'") + "'"
+
+
+def format_term(term: Term) -> str:
+    """One term, in a spelling the tokenizer maps back to the same term."""
+    if isinstance(term, CVariable):
+        return f"${term.name}"
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Constant):
+        value = term.value
+        if isinstance(value, bool):
+            # bools are not expressible bare; quote via int-like? keep 0/1
+            return str(int(value))
+        if isinstance(value, (int, float)):
+            return repr(value)
+        if isinstance(value, tuple):
+            return "[" + " ".join(_path_element(v) for v in value) + "]"
+        if isinstance(value, str):
+            if _BARE_CONSTANT.match(value) and value.upper() not in _KEYWORDS:
+                return value
+            return _quote(value)
+    raise TypeError(f"cannot format term {term!r}")
+
+
+def _path_element(value) -> str:
+    if isinstance(value, str):
+        if re.match(r"^[A-Za-z0-9_.&/:-]+$", value):
+            return value
+        return _quote(value)
+    return repr(value)
+
+
+def format_condition(condition: Condition) -> str:
+    """A condition in the shared syntax (parenthesized where needed)."""
+    if isinstance(condition, TrueCond):
+        return "1 = 1"
+    if isinstance(condition, FalseCond):
+        return "1 = 2"
+    if isinstance(condition, Comparison):
+        return f"{format_term(condition.lhs)} {condition.op} {format_term(condition.rhs)}"
+    if isinstance(condition, LinearAtom):
+        parts: List[str] = []
+        if len(condition.coeffs) == 1 and condition.coeffs[0][1] == 1:
+            # a bare "$a op k" would re-parse as a Comparison; keep the
+            # sum shape with a harmless zero addend
+            parts.append("0")
+        for var, coeff in condition.coeffs:
+            if coeff == 1:
+                parts.append(f"${var.name}")
+            else:
+                # integer multiples unroll; fractional coefficients are
+                # outside the textual syntax
+                if coeff != int(coeff) or coeff < 1:
+                    raise ValueError(
+                        f"linear coefficient {coeff} is not expressible in text"
+                    )
+                parts.extend([f"${var.name}"] * int(coeff))
+        bound = condition.bound
+        bound_text = repr(int(bound)) if float(bound).is_integer() else repr(bound)
+        return f"{' + '.join(parts)} {condition.op} {bound_text}"
+    if isinstance(condition, And):
+        return "(" + " AND ".join(format_condition(c) for c in condition.children) + ")"
+    if isinstance(condition, Or):
+        return "(" + " OR ".join(format_condition(c) for c in condition.children) + ")"
+    if isinstance(condition, Not):
+        return f"NOT ({format_condition(condition.child)})"
+    raise TypeError(f"cannot format condition {condition!r}")
+
+
+def format_atom(atom: Atom) -> str:
+    if not atom.terms:
+        return atom.predicate
+    return f"{atom.predicate}({', '.join(format_term(t) for t in atom.terms)})"
+
+
+def format_literal(literal: Literal) -> str:
+    prefix = "not " if literal.negated else ""
+    suffix = ""
+    parts: List[str] = []
+    if literal.condition_var:
+        parts.append(literal.condition_var)
+    if not isinstance(literal.annotation, TrueCond):
+        parts.append(format_condition(literal.annotation))
+    if parts:
+        suffix = f"[{', '.join(parts)}]"
+    return f"{prefix}{format_atom(literal.atom)}{suffix}"
+
+
+def format_rule(rule: Rule) -> str:
+    label = f"{rule.label}: " if rule.label else ""
+    head = format_atom(rule.head)
+    if rule.head_annotation:
+        head += f"[{rule.head_annotation}]"
+    if rule.is_fact:
+        return f"{label}{head}."
+    body = ", ".join(
+        format_literal(item) if isinstance(item, Literal) else format_condition(item)
+        for item in rule.body
+    )
+    return f"{label}{head} :- {body}."
+
+
+def format_program(program: Program) -> str:
+    """The whole program, one rule per line, re-parseable."""
+    return "\n".join(format_rule(rule) for rule in program)

@@ -1,0 +1,209 @@
+"""Update rewrite — incorporating network changes into constraints (§5).
+
+The category-(ii) test verifies a constraint C *after* an update U by
+rewriting C into C′ such that C′ holds before U iff C holds after U
+(following Levy–Sagiv "queries independent of updates", the paper's
+[37]).  Listing 4 shows the pattern: insertions become a copy rule plus a
+fact; a deletion of tuple (a, b) becomes one rule per attribute keeping
+the tuples that differ there; the constraint then reads the final
+rewritten relation instead of the original.
+
+The generated rules are deliberately existential-free, which is exactly
+the shape :func:`repro.faurelog.containment.unfold` can push negation
+through — so the rewritten constraint feeds straight into the
+category-(i) containment machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ctable.condition import Comparison, Condition, FalseCond, TRUE, TrueCond, conjoin
+from ..ctable.table import CTable, Database
+from ..ctable.terms import Constant, CVariable, Term, Variable, as_term
+from .ast import Atom, Literal, Program, ProgramError, Rule
+
+__all__ = [
+    "Insertion",
+    "Deletion",
+    "Update",
+    "rewrite_constraint",
+    "apply_update",
+]
+
+
+@dataclass(frozen=True)
+class Insertion:
+    """Add one tuple to a relation (values: constants or c-variables)."""
+
+    predicate: str
+    values: Tuple
+
+    def __str__(self) -> str:
+        vals = ", ".join(str(as_term(v)) for v in self.values)
+        return f"+{self.predicate}({vals})"
+
+
+@dataclass(frozen=True)
+class Deletion:
+    """Remove tuples matching a pattern (``None`` = wildcard position)."""
+
+    predicate: str
+    pattern: Tuple
+
+    def __str__(self) -> str:
+        cells = ", ".join("_" if v is None else str(as_term(v)) for v in self.pattern)
+        return f"-{self.predicate}({cells})"
+
+
+#: An update is an ordered sequence of insertions and deletions.
+Update = Sequence[Union[Insertion, Deletion]]
+
+
+def _arity_of_op(op: Union[Insertion, Deletion]) -> int:
+    return len(op.values) if isinstance(op, Insertion) else len(op.pattern)
+
+
+def rewrite_constraint(
+    constraint: Program,
+    update: Update,
+    suffix: str = "u",
+) -> Program:
+    """Fold an update into a constraint program (Listing 4's rewrite).
+
+    Every relation touched by the update gains a chain of versioned
+    predicates (``Lb__u1``, ``Lb__u2``, ...), one step per operation;
+    the constraint's references to the relation are redirected to the
+    final version.  The returned program holds *before* the update iff
+    the original constraint holds *after* it.
+    """
+    version: Dict[str, int] = {}
+    current_name: Dict[str, str] = {}
+    extra_rules: List[Rule] = []
+
+    def step_name(pred: str) -> str:
+        version[pred] = version.get(pred, 0) + 1
+        name = f"{pred}__{suffix}{version[pred]}"
+        return name
+
+    for op in update:
+        pred = op.predicate
+        arity = _arity_of_op(op)
+        prev = current_name.get(pred, pred)
+        new = step_name(pred)
+        head_vars = [Variable(f"v{i}") for i in range(arity)]
+        if isinstance(op, Insertion):
+            # copy rule + inserted fact
+            extra_rules.append(
+                Rule(
+                    Atom(new, head_vars),
+                    [Literal(Atom(prev, head_vars))],
+                    label=f"{new}_copy",
+                )
+            )
+            extra_rules.append(
+                Rule(
+                    Atom(new, [as_term(v) for v in op.values]),
+                    [],
+                    label=f"{new}_insert",
+                )
+            )
+        else:
+            # one keep-rule per constrained position
+            concrete = [
+                (i, as_term(v)) for i, v in enumerate(op.pattern) if v is not None
+            ]
+            if not concrete:
+                # Deleting everything: the new relation has no rules and
+                # is empty; still register the name redirect.
+                current_name[pred] = new
+                continue
+            for i, value in concrete:
+                extra_rules.append(
+                    Rule(
+                        Atom(new, head_vars),
+                        [
+                            Literal(Atom(prev, head_vars)),
+                            Comparison(head_vars[i], "!=", value),
+                        ],
+                        label=f"{new}_keep{i}",
+                    )
+                )
+        current_name[pred] = new
+
+    def redirect_literal(literal: Literal) -> Literal:
+        target = current_name.get(literal.predicate)
+        if target is None:
+            return literal
+        return Literal(
+            Atom(target, literal.atom.terms),
+            negated=literal.negated,
+            condition_var=literal.condition_var,
+            annotation=literal.annotation,
+        )
+
+    rewritten: List[Rule] = []
+    for rule in constraint:
+        if rule.head.predicate in current_name:
+            raise ProgramError(
+                f"constraint defines {rule.head.predicate}, which the update modifies"
+            )
+        body = [
+            redirect_literal(item) if isinstance(item, Literal) else item
+            for item in rule.body
+        ]
+        rewritten.append(
+            Rule(rule.head, body, label=rule.label, head_annotation=rule.head_annotation)
+        )
+    return Program(rewritten + extra_rules)
+
+
+def apply_update(database: Database, update: Update) -> Database:
+    """Materialize an update on a c-table database (returns a copy).
+
+    Insertions append the tuple.  Deletions respect c-table semantics: a
+    stored tuple whose entries *may* equal the deletion pattern (because
+    they are c-variables) survives with the negated match conjoined onto
+    its condition; certain matches are dropped outright.
+    """
+    result = database.copy()
+    for op in update:
+        table = result.table(op.predicate)
+        if isinstance(op, Insertion):
+            if len(op.values) != table.arity:
+                raise ProgramError(
+                    f"insertion arity {len(op.values)} != {table.arity} "
+                    f"for {op.predicate}"
+                )
+            table.add([as_term(v) for v in op.values])
+            continue
+        if len(op.pattern) != table.arity:
+            raise ProgramError(
+                f"deletion arity {len(op.pattern)} != {table.arity} for {op.predicate}"
+            )
+        pattern = [None if v is None else as_term(v) for v in op.pattern]
+        replacement = CTable(table.name, table.schema)
+        for tup in table:
+            eqs: List[Condition] = []
+            dead_match = False
+            for entry, want in zip(tup.values, pattern):
+                if want is None:
+                    continue
+                cond = Comparison(entry, "=", want).constant_fold()
+                if isinstance(cond, FalseCond):
+                    dead_match = True
+                    break
+                if not isinstance(cond, TrueCond):
+                    eqs.append(cond)
+            if dead_match:
+                replacement.add(tup)  # cannot match: keep unchanged
+                continue
+            match_cond = conjoin(eqs)
+            if isinstance(match_cond, TrueCond) and isinstance(tup.condition, TrueCond):
+                continue  # certain match of an unconditional tuple: drop
+            survived = conjoin([tup.condition, match_cond.negate()])
+            if not isinstance(survived, FalseCond):
+                replacement.add(tup.values, survived)
+        result.replace_table(replacement)
+    return result

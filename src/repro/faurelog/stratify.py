@@ -1,0 +1,93 @@
+"""Stratification of fauré-log programs.
+
+The paper notes (§6) that recursive fauré-log is "implemented by
+stratification to correctly process the conditions": negation must not
+occur inside a recursive cycle, and predicates are evaluated stratum by
+stratum so a negated relation is complete before its complement condition
+is computed.
+
+This module builds the predicate dependency graph (positive and negative
+edges), condenses it into strongly connected components, and orders the
+components bottom-up.  A negative edge inside a component is a
+stratification error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import networkx as nx
+
+from .ast import Program, ProgramError
+
+__all__ = ["dependency_graph", "stratify", "is_recursive"]
+
+
+def dependency_graph(program: Program) -> "nx.DiGraph":
+    """Directed graph over predicates; edge B → H when H's body uses B.
+
+    Edge attribute ``negative`` is True when some rule uses B under
+    negation to derive H.
+    """
+    graph = nx.DiGraph()
+    for rule in program:
+        graph.add_node(rule.head.predicate)
+        for lit in rule.literals():
+            graph.add_node(lit.predicate)
+            if graph.has_edge(lit.predicate, rule.head.predicate):
+                if lit.negated:
+                    graph[lit.predicate][rule.head.predicate]["negative"] = True
+            else:
+                graph.add_edge(lit.predicate, rule.head.predicate, negative=lit.negated)
+    return graph
+
+
+def stratify(program: Program) -> List[FrozenSet[str]]:
+    """Partition the IDB predicates into evaluation strata.
+
+    Returns a list of predicate sets; stratum *i* may depend positively
+    on itself and on strata ``<= i``, and negatively only on strata
+    ``< i``.  Raises :class:`ProgramError` when negation occurs in a
+    cycle.  EDB predicates are excluded (they are stratum "-1": always
+    available).
+    """
+    idb = program.idb_predicates()
+    graph = dependency_graph(program)
+    sccs = list(nx.strongly_connected_components(graph))
+    component_of: Dict[str, int] = {}
+    for i, scc in enumerate(sccs):
+        for pred in scc:
+            component_of[pred] = i
+
+    for u, v, data in graph.edges(data=True):
+        if data.get("negative") and component_of[u] == component_of[v]:
+            raise ProgramError(
+                f"program is not stratifiable: negation of {u} in a cycle with {v}"
+            )
+
+    condensed = nx.DiGraph()
+    condensed.add_nodes_from(range(len(sccs)))
+    for u, v in graph.edges():
+        cu, cv = component_of[u], component_of[v]
+        if cu != cv:
+            condensed.add_edge(cu, cv)
+
+    strata: List[FrozenSet[str]] = []
+    for comp_index in nx.topological_sort(condensed):
+        preds = frozenset(p for p in sccs[comp_index] if p in idb)
+        if preds:
+            strata.append(preds)
+    return strata
+
+
+def is_recursive(program: Program) -> bool:
+    """True when some predicate (transitively) depends on itself."""
+    graph = dependency_graph(program)
+    idb = program.idb_predicates()
+    for scc in nx.strongly_connected_components(graph):
+        if len(scc) > 1 and scc & idb:
+            return True
+        (only,) = scc if len(scc) == 1 else (None,)
+        if only is not None and graph.has_edge(only, only):
+            return True
+    return False

@@ -1,0 +1,140 @@
+"""Packet filters (ACLs) over partially known rule sets.
+
+The §5 firewall relation ``Fw(subnet, server)`` records *where* a
+firewall sits; this module models *what it does*: ordered
+permit/deny rules over (source, destination, port-range) — including
+rules whose fields are **unknown** (c-variables), e.g. an ACL managed by
+another team of which only the shape is visible.
+
+Compilation follows first-match semantics into a single c-table
+``Acl(src, dst, port)`` of *permitted* flows: rule *i* contributes its
+match set minus the match sets of rules 0..i-1, expressed as conditions
+— the same once-for-all encoding §4 uses for failures.  Port ranges
+become order comparisons over the port attribute, exercising the
+solver's interval reasoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..ctable.condition import (
+    Comparison,
+    Condition,
+    TRUE,
+    conjoin,
+    eq,
+    ge,
+    le,
+)
+from ..ctable.table import CTable, Database
+from ..ctable.terms import Constant, CVariable, Term, as_term
+
+__all__ = ["AclRule", "Acl", "ANY"]
+
+#: Wildcard field value.
+ANY = None
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """One permit/deny rule; ``None`` fields match anything.
+
+    ``src``/``dst`` may be constants or c-variables (unknown endpoints);
+    ``ports`` is a (lo, hi) range, a single port, or ``None`` for all.
+    """
+
+    action: str  # "permit" | "deny"
+    src: Optional[Union[str, CVariable]] = ANY
+    dst: Optional[Union[str, CVariable]] = ANY
+    ports: Optional[Union[int, Tuple[int, int]]] = ANY
+
+    def __post_init__(self):
+        if self.action not in ("permit", "deny"):
+            raise ValueError(f"action must be permit/deny, got {self.action!r}")
+
+    def match_condition(self, src: Term, dst: Term, port: Term) -> Condition:
+        """The condition under which this rule matches a packet tuple."""
+        parts: List[Condition] = []
+        if self.src is not ANY:
+            parts.append(Comparison(src, "=", as_term(self.src)).constant_fold())
+        if self.dst is not ANY:
+            parts.append(Comparison(dst, "=", as_term(self.dst)).constant_fold())
+        if self.ports is not ANY:
+            if isinstance(self.ports, tuple):
+                lo, hi = self.ports
+                parts.append(Comparison(port, ">=", Constant(lo)).constant_fold())
+                parts.append(Comparison(port, "<=", Constant(hi)).constant_fold())
+            else:
+                parts.append(Comparison(port, "=", Constant(self.ports)).constant_fold())
+        return conjoin(parts)
+
+
+class Acl:
+    """An ordered rule list with first-match semantics.
+
+    ``default`` applies when no rule matches (real ACLs default-deny).
+    """
+
+    def __init__(self, rules: Sequence[AclRule] = (), default: str = "deny"):
+        if default not in ("permit", "deny"):
+            raise ValueError(f"default must be permit/deny, got {default!r}")
+        self.rules: List[AclRule] = list(rules)
+        self.default = default
+
+    def permit(self, src=ANY, dst=ANY, ports=ANY) -> "Acl":
+        self.rules.append(AclRule("permit", src, dst, ports))
+        return self
+
+    def deny(self, src=ANY, dst=ANY, ports=ANY) -> "Acl":
+        self.rules.append(AclRule("deny", src, dst, ports))
+        return self
+
+    def decision_condition(self, src: Term, dst: Term, port: Term) -> Condition:
+        """The condition under which the packet is *permitted*.
+
+        First-match: rule i decides iff it matches and no earlier rule
+        does; the permit condition is the union over permitting rules of
+        (match_i ∧ ∧_{j<i} ¬match_j), plus the default branch.
+        """
+        src, dst, port = as_term(src), as_term(dst), as_term(port)
+        permitted: List[Condition] = []
+        earlier: List[Condition] = []
+        for rule in self.rules:
+            match = rule.match_condition(src, dst, port)
+            decides = conjoin([match] + [m.negate() for m in earlier])
+            if rule.action == "permit":
+                permitted.append(decides)
+            earlier.append(match)
+        if self.default == "permit":
+            permitted.append(conjoin([m.negate() for m in earlier]))
+        from ..ctable.condition import disjoin
+
+        return disjoin(permitted)
+
+    def permits(self, src, dst, port, solver) -> str:
+        """'always' / 'never' / 'conditional' for a concrete packet."""
+        condition = self.decision_condition(src, dst, port)
+        if solver.is_valid(condition):
+            return "always"
+        if not solver.is_satisfiable(condition):
+            return "never"
+        return "conditional"
+
+    def permitted_table(
+        self,
+        flows: Sequence[Tuple],
+        name: str = "Acl",
+    ) -> CTable:
+        """Compile candidate flows into the permitted-flows c-table.
+
+        Each (src, dst, port) candidate becomes a tuple carrying its
+        permit condition (solver pruning later drops never-permitted
+        ones); entries may themselves be c-variables.
+        """
+        table = CTable(name, ["src", "dst", "port"])
+        for src, dst, port in flows:
+            condition = self.decision_condition(src, dst, port)
+            table.add([as_term(src), as_term(dst), as_term(port)], condition)
+        return table

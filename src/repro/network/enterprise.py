@@ -1,0 +1,190 @@
+"""The §5 multi-team enterprise scenario, as a reusable model.
+
+Two frontend subnets (market management *Mkt*, research & development
+*R&D*), two backend servers (critical *CS*, general-purpose *GS*), a
+security team owning the firewall deployment (``Fw``), a traffic
+engineering team owning the load balancers (``Lb``), and a reachability
+relation ``R(subnet, server, port)`` for allowed traffic.
+
+This module provides the c-table schemas and domains, the paper's
+constraints (T1, T2, C_lb, C_s as Listing 3 programs), the Listing 4
+update, and builders for concrete (possibly partial) network states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ctable.condition import Condition, TRUE
+from ..ctable.table import CTable, Database
+from ..ctable.terms import Constant, CVariable, Term
+from ..faurelog.ast import Program
+from ..faurelog.parser import parse_program
+from ..faurelog.rewrite import Deletion, Insertion, Update
+from ..solver.domains import Domain, DomainMap, FiniteDomain, Unbounded
+
+__all__ = [
+    "SUBNETS",
+    "SERVERS",
+    "PORTS",
+    "SCHEMAS",
+    "column_domains",
+    "EnterpriseModel",
+    "constraint_T1",
+    "constraint_T2",
+    "policy_C_lb",
+    "policy_C_s",
+    "listing4_update",
+]
+
+SUBNETS: Tuple[str, ...] = ("Mkt", "R&D")
+SERVERS: Tuple[str, ...] = ("CS", "GS")
+PORTS: Tuple[int, ...] = (80, 344, 7000)
+
+SCHEMAS: Dict[str, List[str]] = {
+    "R": ["subnet", "server", "port"],
+    "Lb": ["subnet", "server"],
+    "Fw": ["subnet", "server"],
+}
+
+
+def column_domains() -> Dict[str, Domain]:
+    """The paper's attribute domains for the enterprise relations."""
+    return {
+        "subnet": FiniteDomain(SUBNETS),
+        "server": FiniteDomain(SERVERS),
+        "port": FiniteDomain(PORTS),
+    }
+
+
+def constraint_T1() -> Program:
+    """T1: Mkt traffic to CS must pass a firewall (q9)."""
+    return parse_program("q9: panic :- R(Mkt, CS, $p), not Fw(Mkt, CS).")
+
+
+def constraint_T2() -> Program:
+    """T2: R&D traffic to all servers must pass a load balancer (q10)."""
+    return parse_program("q10: panic :- R('R&D', $y, 7000), not Lb('R&D', $y).")
+
+
+def policy_C_lb() -> Program:
+    """C_lb: the TE team's load-balancing policy (q11, q13–q15)."""
+    return parse_program(
+        """
+        q11: panic :- Vt(x, y, p).
+        q13: Vt($x, CS, $p) :- R($x, CS, $p), $x != Mkt, $x != 'R&D'.
+        q14: Vt($x, CS, $p) :- R($x, CS, $p), not Lb($x, CS).
+        q15: Vt($x, CS, $p) :- R($x, CS, $p), $p != 7000.
+        """
+    )
+
+
+def policy_C_s() -> Program:
+    """C_s: the security team's policy (q16–q18)."""
+    return parse_program(
+        """
+        q16: panic :- Vs(x, y, p).
+        q17: Vs($x, $y, $p) :- R($x, $y, $p), not Fw($x, $y).
+        q18: Vs($x, $y, $p) :- R($x, $y, $p), $p != 80, $p != 344, $p != 7000.
+        """
+    )
+
+
+def listing4_update() -> List:
+    """The §5 update: +Lb(R&D, GS), −Lb(Mkt, CS)."""
+    return [Insertion("Lb", ("R&D", "GS")), Deletion("Lb", ("Mkt", "CS"))]
+
+
+@dataclass
+class EnterpriseModel:
+    """A (possibly partial) enterprise network state Net = {R, Lb, Fw}.
+
+    Rows may contain c-variables; :meth:`domain_map` declares their
+    domains from the column they occupy.
+    """
+
+    reach: List[Tuple[Term, Term, Term, Condition]] = field(default_factory=list)
+    load_balancers: List[Tuple[Term, Term, Condition]] = field(default_factory=list)
+    firewalls: List[Tuple[Term, Term, Condition]] = field(default_factory=list)
+    extra_domains: Dict[CVariable, Domain] = field(default_factory=dict)
+
+    # -- builders ----------------------------------------------------------
+
+    def allow(self, subnet, server, port, condition: Condition = TRUE) -> "EnterpriseModel":
+        self.reach.append((subnet, server, port, condition))
+        return self
+
+    def balance(self, subnet, server, condition: Condition = TRUE) -> "EnterpriseModel":
+        self.load_balancers.append((subnet, server, condition))
+        return self
+
+    def firewall(self, subnet, server, condition: Condition = TRUE) -> "EnterpriseModel":
+        self.firewalls.append((subnet, server, condition))
+        return self
+
+    def declare(self, var, domain) -> "EnterpriseModel":
+        if isinstance(var, str):
+            var = CVariable(var)
+        if not isinstance(domain, Domain):
+            domain = FiniteDomain(domain)
+        self.extra_domains[var] = domain
+        return self
+
+    # -- exports ----------------------------------------------------------------
+
+    def database(self) -> Database:
+        r = CTable("R", SCHEMAS["R"])
+        for subnet, server, port, cond in self.reach:
+            r.add([subnet, server, port], cond)
+        lb = CTable("Lb", SCHEMAS["Lb"])
+        for subnet, server, cond in self.load_balancers:
+            lb.add([subnet, server], cond)
+        fw = CTable("Fw", SCHEMAS["Fw"])
+        for subnet, server, cond in self.firewalls:
+            fw.add([subnet, server], cond)
+        return Database([r, lb, fw])
+
+    def domain_map(self) -> DomainMap:
+        """Column-derived domains for every c-variable in the state."""
+        domains = DomainMap(default=Unbounded("any"))
+        coldoms = column_domains()
+        columns = {
+            "R": SCHEMAS["R"],
+            "Lb": SCHEMAS["Lb"],
+            "Fw": SCHEMAS["Fw"],
+        }
+        rows = (
+            [("R", row[:3]) for row in self.reach]
+            + [("Lb", row[:2]) for row in self.load_balancers]
+            + [("Fw", row[:2]) for row in self.firewalls]
+        )
+        for table, values in rows:
+            for column, value in zip(columns[table], values):
+                if isinstance(value, CVariable):
+                    domains.declare(value, coldoms[column])
+        for var, domain in self.extra_domains.items():
+            domains.declare(var, domain)
+        return domains
+
+    @staticmethod
+    def paper_state() -> "EnterpriseModel":
+        """A concrete state consistent with §5's running example.
+
+        Chosen so that C_lb and C_s hold both before and after the
+        Listing 4 update (the §5 setting assumes the teams' policies
+        hold after the change): Mkt sends no traffic to CS, so removing
+        the Mkt–CS load balancer violates nothing.
+        """
+        model = EnterpriseModel()
+        model.allow("R&D", "CS", 7000)
+        model.allow("R&D", "GS", 7000)
+        model.allow("Mkt", "GS", 80)
+        model.balance("Mkt", "CS")
+        model.balance("R&D", "CS")
+        model.balance("R&D", "GS")
+        model.firewall("Mkt", "CS")
+        model.firewall("R&D", "CS")
+        model.firewall("R&D", "GS")
+        model.firewall("Mkt", "GS")
+        return model

@@ -1,0 +1,86 @@
+"""Per-prefix forwarding state from ranked AS paths (§6's workload).
+
+The paper derives forwarding entries from a BGP RIB: per prefix, five AS
+paths — one primary, four backups with fixed preference order, "a backup
+will be used only when the primary and all the backups with higher
+preferences have failed".  This module compiles such ranked routes into
+the per-flow forwarding c-table ``F(flow, n1, n2)`` that Listing 2's
+q4/q5 consume:
+
+* path *k* of a prefix is active under the condition
+  ``u0 = 0 ∧ … ∧ u(k-1) = 0 ∧ uk = 1`` over the prefix's path-state
+  c-variables (1 = usable, 0 = failed);
+* every consecutive AS pair of an active path contributes one F row
+  carrying that path's activation condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ctable.condition import Condition, conjoin, eq
+from ..ctable.table import CTable, Database
+from ..ctable.terms import CVariable
+from ..solver.domains import BOOL_DOMAIN, DomainMap
+
+__all__ = ["PrefixRoutes", "CompiledForwarding", "compile_forwarding"]
+
+
+@dataclass(frozen=True)
+class PrefixRoutes:
+    """Ranked routes of one prefix: ``paths[0]`` primary, rest backups."""
+
+    prefix: str
+    paths: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self):
+        if not self.paths:
+            raise ValueError(f"prefix {self.prefix} has no paths")
+        for path in self.paths:
+            if len(path) < 2:
+                raise ValueError(f"path {path} of {self.prefix} is degenerate")
+
+
+@dataclass
+class CompiledForwarding:
+    """The F c-table plus the bookkeeping the queries need."""
+
+    table: CTable
+    domains: DomainMap
+    path_vars: Dict[str, Tuple[CVariable, ...]]  # prefix -> per-path state vars
+
+    def database(self) -> Database:
+        return Database([self.table])
+
+    def variables_of(self, prefix: str) -> Tuple[CVariable, ...]:
+        return self.path_vars[prefix]
+
+
+def compile_forwarding(
+    routes: Iterable[PrefixRoutes],
+    name: str = "F",
+    base_domains: Optional[DomainMap] = None,
+) -> CompiledForwarding:
+    """Compile ranked per-prefix routes into a per-flow c-table.
+
+    Path-state c-variables are named ``u<i>_<k>`` (prefix index, path
+    rank) and declared over {0, 1}.
+    """
+    table = CTable(name, ["flow", "n1", "n2"])
+    domains = base_domains.copy() if base_domains is not None else DomainMap()
+    path_vars: Dict[str, Tuple[CVariable, ...]] = {}
+    for index, route in enumerate(routes):
+        variables = tuple(
+            CVariable(f"u{index}_{k}") for k in range(len(route.paths))
+        )
+        path_vars[route.prefix] = variables
+        for var in variables:
+            domains.declare(var, BOOL_DOMAIN)
+        for k, path in enumerate(route.paths):
+            activation: List[Condition] = [eq(variables[j], 0) for j in range(k)]
+            activation.append(eq(variables[k], 1))
+            condition = conjoin(activation)
+            for a, b in zip(path, path[1:]):
+                table.add([route.prefix, a, b], condition)
+    return CompiledForwarding(table=table, domains=domains, path_vars=path_vars)

@@ -1,0 +1,150 @@
+"""Fast-reroute configurations and their c-table encoding (§4).
+
+A :class:`FrrConfig` captures the paper's Figure 1 pattern: *protected*
+primary links, each with a ranked list of backup next-hops used as a
+detour when the primary fails.  The whole space of forwarding behaviours
+under arbitrary failures compiles **once and for all** into a single
+c-table ``F(node, node)`` whose conditions mention one {0,1} c-variable
+per protected link — 1 normal, 0 failed (Table 3).
+
+Compilation rule per node with a protected primary (ranked backups
+``b1 < b2 < ...``):
+
+* primary next-hop under ``link_var = 1``;
+* backup ``bk`` under ``link_var = 0`` and, if backup links are
+  themselves protected, the failure of every higher-ranked backup.
+
+Unprotected links forward unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..ctable.condition import Condition, TRUE, conjoin, eq
+from ..ctable.table import CTable, Database
+from ..ctable.terms import CVariable
+from ..solver.domains import BOOL_DOMAIN, DomainMap
+from .topology import Link, Node, Topology
+
+__all__ = ["ProtectedLink", "FrrConfig", "paper_figure1"]
+
+
+@dataclass(frozen=True)
+class ProtectedLink:
+    """A primary link with its state variable and ranked backups.
+
+    ``backups`` are next-hop nodes tried in order when the link fails.
+    """
+
+    source: Node
+    target: Node
+    state_var: CVariable
+    backups: Tuple[Node, ...] = ()
+
+
+class FrrConfig:
+    """A fast-reroute configuration over a topology."""
+
+    def __init__(self, topology: Optional[Topology] = None):
+        self.topology = topology if topology is not None else Topology()
+        self._protected: List[ProtectedLink] = []
+        self._plain_links: List[Link] = []
+        self._vars: Dict[str, CVariable] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def protect(
+        self,
+        source: Node,
+        target: Node,
+        backups: Sequence[Node] = (),
+        state_var: Optional[str] = None,
+    ) -> ProtectedLink:
+        """Declare a protected primary link with ranked backup next-hops."""
+        name = state_var or f"l_{source}_{target}"
+        if name in self._vars:
+            raise ValueError(f"state variable {name!r} already used")
+        var = CVariable(name)
+        self._vars[name] = var
+        link = ProtectedLink(source, target, var, tuple(backups))
+        self._protected.append(link)
+        self.topology.add_link(source, target)
+        for backup in backups:
+            self.topology.add_link(source, backup)
+        return link
+
+    def add_link(self, source: Node, target: Node) -> None:
+        """An unconditional (unprotected) link."""
+        self._plain_links.append((source, target))
+        self.topology.add_link(source, target)
+
+    @property
+    def protected_links(self) -> Tuple[ProtectedLink, ...]:
+        return tuple(self._protected)
+
+    @property
+    def state_variables(self) -> Tuple[CVariable, ...]:
+        return tuple(p.state_var for p in self._protected)
+
+    # -- compilation ---------------------------------------------------------
+
+    def domain_map(self, base: Optional[DomainMap] = None) -> DomainMap:
+        """Domains: every link-state variable ranges over {0, 1}."""
+        domains = base.copy() if base is not None else DomainMap()
+        for var in self.state_variables:
+            domains.declare(var, BOOL_DOMAIN)
+        return domains
+
+    def forwarding_table(self, name: str = "F") -> CTable:
+        """Compile to the single c-table of all possible behaviours.
+
+        The protection of the *backup* links themselves is respected:
+        backup ``b_k`` of link ``l`` activates under ``l = 0`` and the
+        failure of every higher-ranked backup that is itself a protected
+        link from the same source.
+        """
+        table = CTable(name, ["n1", "n2"])
+        protected_by_pair: Dict[Link, ProtectedLink] = {
+            (p.source, p.target): p for p in self._protected
+        }
+        for p in self._protected:
+            table.add([p.source, p.target], eq(p.state_var, 1))
+            prior_failures: List[Condition] = [eq(p.state_var, 0)]
+            for backup in p.backups:
+                table.add([p.source, backup], conjoin(prior_failures))
+                # If the backup link is protected too, the *next* backup
+                # engages only after this one also fails.
+                backup_link = protected_by_pair.get((p.source, backup))
+                if backup_link is not None:
+                    prior_failures = prior_failures + [eq(backup_link.state_var, 0)]
+        for src, dst in self._plain_links:
+            table.add([src, dst], TRUE)
+        return table
+
+    def database(self, name: str = "F") -> Database:
+        return Database([self.forwarding_table(name)])
+
+    def world_of(self, failed_links: Iterable[Link]) -> Dict[CVariable, int]:
+        """The assignment for a concrete failure set (1 = up, 0 = down)."""
+        failed = set(failed_links)
+        return {
+            p.state_var: 0 if (p.source, p.target) in failed else 1
+            for p in self._protected
+        }
+
+
+def paper_figure1() -> FrrConfig:
+    """The Figure 1 excerpt: 5 nodes, protected links x̄, ȳ, z̄.
+
+    Primary chain 1→2→3→5 with per-hop detours through 3 and 4; matches
+    the F fragment of Table 3 (F(1,2)[x̄=1], F(1,3)[x̄=0], F(2,3)[ȳ=1],
+    F(2,4)[ȳ=0], ...).
+    """
+    config = FrrConfig()
+    config.protect(1, 2, backups=[3], state_var="x")
+    config.protect(2, 3, backups=[4], state_var="y")
+    config.protect(3, 5, backups=[4], state_var="z")
+    config.add_link(4, 5)
+    return config

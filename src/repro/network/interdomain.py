@@ -1,0 +1,188 @@
+"""Inter-domain analysis under limited visibility (§1's second motivation).
+
+"In the global Internet, the inability to obtain the BGP configuration
+inputs from external domains leaves most attempts to verify the global
+routing behavior futile."  Fauré's answer: model what you *cannot see*
+as c-variables and still compute everything the visible information
+determines.
+
+Here, an operator analyses where a prefix announcement can propagate:
+
+* links whose export policy is **known** (your own AS, cooperating
+  peers) are unconditional edges or known-absent;
+* every other link gets a {0,1} c-variable — "does that AS export the
+  route on this adjacency?";
+* propagation is plain fauré-log reachability over the resulting
+  c-table, so each AS ends up with the exact condition — over the
+  *unknown foreign policies* — under which it learns the route.
+
+Three query levels fall out for free:
+
+* :meth:`AnnouncementAnalysis.certainly_reaches` — true in *every*
+  policy world (decided from visible info alone);
+* :meth:`AnnouncementAnalysis.possibly_reaches` — true in *some* world;
+* :meth:`AnnouncementAnalysis.reachability_condition` — the exact
+  condition, for downstream reasoning (e.g. "AS 7 sees the prefix iff
+  AS 3 exports to it or AS 5 exports to AS 6").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..ctable.condition import Condition, FALSE, TRUE, disjoin, eq
+from ..ctable.table import CTable, Database
+from ..ctable.terms import Constant, CVariable
+from ..faurelog.ast import Atom, Literal, Program, Rule
+from ..faurelog.evaluation import FaureEvaluator
+from ..ctable.terms import Variable
+from ..solver.domains import BOOL_DOMAIN, DomainMap
+from ..solver.interface import ConditionSolver
+
+__all__ = ["ExportPolicy", "InterdomainNetwork", "AnnouncementAnalysis"]
+
+As = Hashable
+
+
+class ExportPolicy(enum.Enum):
+    """What the operator knows about one adjacency's export behaviour."""
+
+    EXPORTS = "exports"          # known to propagate the route
+    BLOCKS = "blocks"            # known to filter it
+    UNKNOWN = "unknown"          # invisible foreign policy
+
+
+class InterdomainNetwork:
+    """An AS-level adjacency map with per-link visibility."""
+
+    def __init__(self) -> None:
+        self._links: Dict[Tuple[As, As], ExportPolicy] = {}
+        self._vars: Dict[Tuple[As, As], CVariable] = {}
+
+    def add_link(
+        self, exporter: As, importer: As, policy: ExportPolicy = ExportPolicy.UNKNOWN
+    ) -> None:
+        """Declare that ``exporter`` may announce routes to ``importer``."""
+        if exporter == importer:
+            raise ValueError(f"self adjacency on {exporter!r}")
+        self._links[(exporter, importer)] = policy
+
+    def ases(self) -> List[As]:
+        out = []
+        for a, b in self._links:
+            for x in (a, b):
+                if x not in out:
+                    out.append(x)
+        return out
+
+    def policy_variable(self, exporter: As, importer: As) -> CVariable:
+        """The c-variable standing for an unknown adjacency policy."""
+        key = (exporter, importer)
+        if self._links.get(key) is not ExportPolicy.UNKNOWN:
+            raise KeyError(f"link {key} has no unknown policy")
+        var = self._vars.get(key)
+        if var is None:
+            var = CVariable(f"e_{exporter}_{importer}")
+            self._vars[key] = var
+        return var
+
+    def unknown_links(self) -> List[Tuple[As, As]]:
+        return [k for k, p in self._links.items() if p is ExportPolicy.UNKNOWN]
+
+    # -- compilation -------------------------------------------------------
+
+    def edge_table(self, name: str = "E") -> CTable:
+        """One c-table of all adjacencies: unknown policies conditioned."""
+        table = CTable(name, ["exporter", "importer"])
+        for (exporter, importer), policy in self._links.items():
+            if policy is ExportPolicy.BLOCKS:
+                continue
+            condition = TRUE
+            if policy is ExportPolicy.UNKNOWN:
+                condition = eq(self.policy_variable(exporter, importer), 1)
+            table.add([exporter, importer], condition)
+        return table
+
+    def domain_map(self, base: Optional[DomainMap] = None) -> DomainMap:
+        domains = base.copy() if base is not None else DomainMap()
+        for exporter, importer in self.unknown_links():
+            domains.declare(self.policy_variable(exporter, importer), BOOL_DOMAIN)
+        return domains
+
+    def analyze(self, origin: As) -> "AnnouncementAnalysis":
+        """Propagate an announcement from ``origin`` through all worlds."""
+        return AnnouncementAnalysis(self, origin)
+
+
+def _propagation_program() -> Program:
+    a, b = Variable("a"), Variable("b")
+    return Program(
+        [
+            Rule(Atom("Ann", [b]), [Literal(Atom("Orig", [b]))], label="seed"),
+            Rule(
+                Atom("Ann", [b]),
+                [Literal(Atom("Ann", [a])), Literal(Atom("E", [a, b]))],
+                label="step",
+            ),
+        ]
+    )
+
+
+class AnnouncementAnalysis:
+    """Where can the announcement go, given what we can(not) see?"""
+
+    def __init__(self, network: InterdomainNetwork, origin: As):
+        self.network = network
+        self.origin = origin
+        self.domains = network.domain_map()
+        self.solver = ConditionSolver(self.domains)
+        db = Database([network.edge_table()])
+        orig = db.create_table("Orig", ["asn"])
+        orig.add([origin])
+        evaluator = FaureEvaluator(db, solver=self.solver)
+        result = evaluator.evaluate(_propagation_program())
+        self.stats = evaluator.stats
+        self._conditions: Dict[As, List[Condition]] = {}
+        for tup in result.table("Ann"):
+            self._conditions.setdefault(tup.values[0].value, []).append(tup.condition)
+
+    def reachability_condition(self, asn: As) -> Condition:
+        """The exact condition under which ``asn`` learns the route."""
+        conditions = self._conditions.get(asn)
+        if not conditions:
+            return FALSE
+        return disjoin(conditions)
+
+    def certainly_reaches(self, asn: As) -> bool:
+        """True when every assignment of unknown policies delivers it."""
+        return self.solver.is_valid(self.reachability_condition(asn))
+
+    def possibly_reaches(self, asn: As) -> bool:
+        """True when some assignment of unknown policies delivers it."""
+        return self.solver.is_satisfiable(self.reachability_condition(asn))
+
+    def classification(self) -> Dict[As, str]:
+        """Every AS → 'certain' / 'possible' / 'never'."""
+        out: Dict[As, str] = {}
+        for asn in self.network.ases():
+            if self.certainly_reaches(asn):
+                out[asn] = "certain"
+            elif self.possibly_reaches(asn):
+                out[asn] = "possible"
+            else:
+                out[asn] = "never"
+        return out
+
+    def required_policies(self, asn: As) -> Optional[Dict[CVariable, int]]:
+        """One assignment of unknown policies that delivers the route.
+
+        ``None`` when no assignment does.  Useful as an actionable
+        answer: "ask AS x to export on (x, y)".
+        """
+        condition = self.reachability_condition(asn)
+        model = self.solver.model(condition)
+        if model is None:
+            return None
+        return {var: const.value for var, const in model.items()}

@@ -1,0 +1,140 @@
+"""Failure-tolerance analysis on top of conditional reachability.
+
+Once reachability is a *condition* over link states (§4), classic
+resilience questions become solver queries instead of enumeration:
+
+* **tolerance** of a pair — the largest k such that the pair stays
+  connected under *every* combination of at most k failures:
+  ``tolerance >= k  ⟺  (Σ up-states >= n-k) ⊨ reach-condition``;
+* **critical link sets** — minimal failure sets that disconnect a pair,
+  read off the reachability condition's complement;
+* a network-wide **tolerance profile** (how many pairs survive k
+  failures for each k), the summary a capacity planner actually reads.
+
+All of it reuses the single R table one fauré evaluation produced — no
+per-k re-analysis.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..ctable.condition import Condition, FALSE, disjoin
+from ..ctable.terms import Constant, CVariable
+from ..solver.interface import ConditionSolver
+from ..workloads.failures import at_most_k_failures
+from .frr import FrrConfig
+from .reachability import ReachabilityAnalyzer
+
+__all__ = ["ResilienceReport", "analyze_resilience", "pair_tolerance", "critical_sets"]
+
+
+def _pair_condition(analyzer: ReachabilityAnalyzer, src, dst) -> Condition:
+    conditions = [
+        t.condition
+        for t in analyzer.reach_table
+        if t.values == (Constant(src), Constant(dst))
+    ]
+    return disjoin(conditions) if conditions else FALSE
+
+
+def pair_tolerance(
+    analyzer: ReachabilityAnalyzer,
+    variables: Sequence[CVariable],
+    src,
+    dst,
+) -> int:
+    """Largest k with src→dst reachable under every ≤k-failure world.
+
+    -1 when the pair is unreachable even with zero failures.
+    """
+    condition = _pair_condition(analyzer, src, dst)
+    solver = analyzer.solver
+    tolerance = -1
+    for k in range(len(variables) + 1):
+        if solver.implies(at_most_k_failures(list(variables), k), condition):
+            tolerance = k
+        else:
+            break
+    return tolerance
+
+
+def critical_sets(
+    analyzer: ReachabilityAnalyzer,
+    config: FrrConfig,
+    src,
+    dst,
+    max_size: Optional[int] = None,
+) -> List[FrozenSet[Tuple]]:
+    """Minimal protected-link failure sets that disconnect src→dst.
+
+    A failure set S is disconnecting when the reachability condition is
+    false in the world failing exactly S; minimality prunes supersets.
+    """
+    condition = _pair_condition(analyzer, src, dst)
+    links = [(p.source, p.target) for p in config.protected_links]
+    var_of = {(p.source, p.target): p.state_var for p in config.protected_links}
+    limit = max_size if max_size is not None else len(links)
+    minimal: List[FrozenSet[Tuple]] = []
+    for size in range(0, limit + 1):
+        for subset in combinations(links, size):
+            failed = frozenset(subset)
+            if any(previous <= failed for previous in minimal):
+                continue
+            assignment = {
+                var_of[link]: Constant(0 if link in failed else 1)
+                for link in links
+            }
+            if not condition.evaluate(assignment):
+                minimal.append(failed)
+    return minimal
+
+
+class ResilienceReport:
+    """Tolerance per pair + the k-survivors profile."""
+
+    def __init__(self, tolerances: Dict[Tuple, int], link_count: int):
+        self.tolerances = tolerances
+        self.link_count = link_count
+
+    def survivors(self, k: int) -> int:
+        """Number of pairs still connected under every ≤k-failure world."""
+        return sum(1 for t in self.tolerances.values() if t >= k)
+
+    def profile(self) -> List[Tuple[int, int]]:
+        """(k, #pairs tolerant to k) for k = 0..#links."""
+        return [(k, self.survivors(k)) for k in range(self.link_count + 1)]
+
+    def weakest_pairs(self) -> List[Tuple]:
+        """Pairs with the lowest tolerance."""
+        if not self.tolerances:
+            return []
+        worst = min(self.tolerances.values())
+        return [pair for pair, t in self.tolerances.items() if t == worst]
+
+    def __str__(self) -> str:
+        lines = ["k-failure survivors:"]
+        for k, n in self.profile():
+            lines.append(f"  <= {k} failures: {n} pairs")
+        return "\n".join(lines)
+
+
+def analyze_resilience(
+    config: FrrConfig,
+    solver: Optional[ConditionSolver] = None,
+    pairs: Optional[Sequence[Tuple]] = None,
+) -> ResilienceReport:
+    """Tolerance of every (given) pair on a fast-reroute configuration."""
+    solver = solver if solver is not None else ConditionSolver(config.domain_map())
+    analyzer = ReachabilityAnalyzer(config.database(), solver)
+    analyzer.compute()
+    variables = list(config.state_variables)
+    if pairs is None:
+        nodes = sorted(config.topology.nodes, key=str)
+        pairs = [(a, b) for a in nodes for b in nodes if a != b]
+    tolerances = {
+        (src, dst): pair_tolerance(analyzer, variables, src, dst)
+        for src, dst in pairs
+    }
+    return ResilienceReport(tolerances, len(variables))

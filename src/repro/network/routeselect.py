@@ -1,0 +1,111 @@
+"""Route selection under unknown preferences.
+
+BGP's decision process picks, per prefix, the candidate route with the
+highest local preference.  When some preferences are invisible (set by
+another team, or learned from an external neighbor), the *selected*
+route becomes uncertain — and the c-table answer is the exact condition
+on the unknown preferences under which each candidate wins.
+
+:func:`selection_conditions` computes, per candidate, the win condition
+``pref_i > pref_j`` for all j (ties broken by announcement order, as
+routers do with deterministic tie-breakers); :func:`selection_table`
+compiles the result into a c-table usable as a FIB input for the
+reachability machinery.  This exercises the solver's ordering fragment —
+conditions here are conjunctions of ``>``/``>=`` atoms over numeric
+c-variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ctable.condition import Comparison, Condition, TRUE, conjoin
+from ..ctable.table import CTable
+from ..ctable.terms import Constant, CVariable, Term, as_term
+from ..solver.interface import ConditionSolver
+
+__all__ = ["CandidateRoute", "selection_conditions", "selection_table", "classify_selection"]
+
+
+@dataclass(frozen=True)
+class CandidateRoute:
+    """One candidate: next hop plus a (possibly unknown) preference.
+
+    ``preference`` is a number or a c-variable; higher wins.
+    """
+
+    prefix: str
+    next_hop: str
+    preference: Union[int, float, CVariable]
+
+    @property
+    def preference_term(self) -> Term:
+        return as_term(self.preference)
+
+
+def selection_conditions(
+    candidates: Sequence[CandidateRoute],
+) -> List[Tuple[CandidateRoute, Condition]]:
+    """Per candidate, the condition under which it is selected.
+
+    Candidate *i* wins iff its preference strictly exceeds every earlier
+    candidate's and is at least every later candidate's (the
+    deterministic earlier-wins tie-break).  Distinct prefixes may be
+    mixed; comparisons happen within a prefix.
+    """
+    by_prefix: Dict[str, List[CandidateRoute]] = {}
+    for candidate in candidates:
+        by_prefix.setdefault(candidate.prefix, []).append(candidate)
+
+    results: List[Tuple[CandidateRoute, Condition]] = []
+    for prefix, group in by_prefix.items():
+        for i, candidate in enumerate(group):
+            parts: List[Condition] = []
+            for j, other in enumerate(group):
+                if i == j:
+                    continue
+                op = ">=" if i < j else ">"
+                parts.append(
+                    Comparison(
+                        candidate.preference_term, op, other.preference_term
+                    ).constant_fold()
+                )
+            results.append((candidate, conjoin(parts)))
+    return results
+
+
+def selection_table(
+    candidates: Sequence[CandidateRoute],
+    name: str = "Fib",
+    solver: Optional[ConditionSolver] = None,
+) -> CTable:
+    """The selected-route c-table ``Fib(prefix, next_hop)``.
+
+    With a solver, candidates that can never win are pruned (the
+    paper's step 3).
+    """
+    table = CTable(name, ["prefix", "next_hop"])
+    for candidate, condition in selection_conditions(candidates):
+        if solver is not None and not solver.is_satisfiable(condition):
+            continue
+        table.add([candidate.prefix, candidate.next_hop], condition)
+    return table
+
+
+def classify_selection(
+    candidates: Sequence[CandidateRoute],
+    solver: ConditionSolver,
+) -> Dict[str, Dict[str, str]]:
+    """Per prefix and next hop: 'always' / 'possible' / 'never' selected."""
+    out: Dict[str, Dict[str, str]] = {}
+    for candidate, condition in selection_conditions(candidates):
+        per = out.setdefault(candidate.prefix, {})
+        if solver.is_valid(condition):
+            verdict = "always"
+        elif solver.is_satisfiable(condition):
+            verdict = "possible"
+        else:
+            verdict = "never"
+        per[candidate.next_hop] = verdict
+    return out

@@ -1,0 +1,84 @@
+"""Network topology: nodes and directed links.
+
+A light structural layer under the fast-reroute and reachability
+modules.  Nodes are "abstract addressable routing/forwarding entities"
+(paper, §4) — any hashable label works.  Links are directed (forwarding
+is directional); undirected physical links are added as two arcs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+__all__ = ["Link", "Topology"]
+
+Node = Hashable
+Link = Tuple[Node, Node]
+
+
+class Topology:
+    """A directed graph of forwarding entities."""
+
+    def __init__(self, links: Iterable[Link] = (), nodes: Iterable[Node] = ()):
+        self._nodes: Set[Node] = set(nodes)
+        self._links: List[Link] = []
+        self._link_set: Set[Link] = set()
+        for link in links:
+            self.add_link(*link)
+
+    def add_node(self, node: Node) -> None:
+        self._nodes.add(node)
+
+    def add_link(self, src: Node, dst: Node) -> None:
+        """Add a directed link (idempotent)."""
+        if src == dst:
+            raise ValueError(f"self-loop on {src!r}")
+        self._nodes.add(src)
+        self._nodes.add(dst)
+        if (src, dst) not in self._link_set:
+            self._link_set.add((src, dst))
+            self._links.append((src, dst))
+
+    def add_undirected(self, a: Node, b: Node) -> None:
+        self.add_link(a, b)
+        self.add_link(b, a)
+
+    @property
+    def nodes(self) -> FrozenSet[Node]:
+        return frozenset(self._nodes)
+
+    @property
+    def links(self) -> Tuple[Link, ...]:
+        return tuple(self._links)
+
+    def has_link(self, src: Node, dst: Node) -> bool:
+        return (src, dst) in self._link_set
+
+    def successors(self, node: Node) -> List[Node]:
+        return [dst for src, dst in self._links if src == node]
+
+    def to_networkx(self) -> "nx.DiGraph":
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._nodes)
+        graph.add_edges_from(self._links)
+        return graph
+
+    def reachable_pairs(self) -> Set[Tuple[Node, Node]]:
+        """All (src, dst) pairs with src ≠ dst and a directed path."""
+        graph = self.to_networkx()
+        out: Set[Tuple[Node, Node]] = set()
+        for src in self._nodes:
+            for dst in nx.descendants(graph, src):
+                out.add((src, dst))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._nodes
+
+    def __repr__(self) -> str:
+        return f"Topology({len(self._nodes)} nodes, {len(self._links)} links)"

@@ -1,0 +1,157 @@
+"""Branch-and-check satisfiability for compound conditions.
+
+For conditions over unbounded domains (where exact enumeration is
+unavailable) we lazily explore the DNF branches of the condition in
+negation normal form, checking every partial branch against the
+conjunction-level theory solver so contradictory prefixes are pruned
+before they multiply.  This is a DPLL(T)-style driver specialized to the
+tree-shaped formulas fauré-log produces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..ctable.condition import (
+    And,
+    Comparison,
+    Condition,
+    FALSE,
+    FalseCond,
+    LinearAtom,
+    Not,
+    Or,
+    TRUE,
+    TrueCond,
+)
+from .domains import DomainMap
+from .theory import SAT, UNSAT, check_conjunction
+
+__all__ = ["to_nnf", "iter_branches", "is_satisfiable_dpll"]
+
+
+def to_nnf(condition: Condition) -> Condition:
+    """Push negations down to atoms (atoms negate into atoms)."""
+    if isinstance(condition, Not):
+        return to_nnf(condition.child.negate())
+    if isinstance(condition, And):
+        return And([to_nnf(c) for c in condition.children])
+    if isinstance(condition, Or):
+        return Or([to_nnf(c) for c in condition.children])
+    return condition
+
+
+def iter_branches(condition: Condition) -> Iterator[List[Condition]]:
+    """Yield the DNF branches (lists of atoms) of an NNF condition."""
+    if isinstance(condition, TrueCond):
+        yield []
+        return
+    if isinstance(condition, FalseCond):
+        return
+    if isinstance(condition, (Comparison, LinearAtom)):
+        yield [condition]
+        return
+    if isinstance(condition, Or):
+        for child in condition.children:
+            yield from iter_branches(child)
+        return
+    if isinstance(condition, And):
+
+        def product(idx: int, acc: List[Condition]) -> Iterator[List[Condition]]:
+            if idx == len(condition.children):
+                yield list(acc)
+                return
+            for branch in iter_branches(condition.children[idx]):
+                yield from product(idx + 1, acc + branch)
+
+        yield from product(0, [])
+        return
+    raise TypeError(f"condition not in NNF: {condition!r}")
+
+
+def _branch_sat(atoms: List[Condition], domains: DomainMap) -> bool:
+    """Exact satisfiability of one conjunction of atoms.
+
+    The theory solver decides quickly; its SAT verdict is then confirmed
+    exactly by finite-domain enumeration of the branch when every
+    variable involved is finite (conjunction branches are narrow, so the
+    substitute-and-fold pruning of the enumerator makes this cheap).
+    Branches with unbounded variables rely on the theory verdict, which
+    is complete for the supported fragment.
+    """
+    from ..ctable.condition import conjoin
+    from .enumerate import find_model
+
+    verdict = check_conjunction(atoms, domains)
+    if verdict == UNSAT:
+        return False
+    conj = conjoin(atoms)
+    cvars = conj.cvariables()
+    if domains.all_finite(cvars):
+        return find_model(conj, domains) is not None
+    return True
+
+
+def is_satisfiable_dpll(condition: Condition, domains: DomainMap) -> bool:
+    """Satisfiability by branch exploration with theory pruning.
+
+    Explores DNF branches of the NNF'd condition; intermediate prefixes
+    are pruned by the (fast, sound-for-UNSAT) theory solver, and a branch
+    is accepted only after exact confirmation by :func:`_branch_sat`.
+    """
+    nnf = to_nnf(condition)
+
+    def explore(cond: Condition, prefix: List[Condition]) -> bool:
+        if isinstance(cond, TrueCond):
+            return _branch_sat(prefix, domains)
+        if isinstance(cond, FalseCond):
+            return False
+        if isinstance(cond, (Comparison, LinearAtom)):
+            return _branch_sat(prefix + [cond], domains)
+        if isinstance(cond, Or):
+            return any(explore(child, prefix) for child in cond.children)
+        if isinstance(cond, And):
+            return _explore_and(list(cond.children), 0, prefix)
+        raise TypeError(f"condition not in NNF: {cond!r}")
+
+    def _explore_and(children: List[Condition], idx: int, prefix: List[Condition]) -> bool:
+        # Consume atomic children first: they extend the prefix cheaply
+        # and prune before we branch on the compound ones.
+        atoms = [c for c in children[idx:] if isinstance(c, (Comparison, LinearAtom))]
+        compounds = [
+            c
+            for c in children[idx:]
+            if not isinstance(c, (Comparison, LinearAtom, TrueCond))
+        ]
+        if any(isinstance(c, FalseCond) for c in children[idx:]):
+            return False
+        new_prefix = prefix + atoms
+        if check_conjunction(new_prefix, domains) == UNSAT:
+            return False
+        if not compounds:
+            return _branch_sat(new_prefix, domains)
+
+        def rec(i: int, pref: List[Condition]) -> bool:
+            if i == len(compounds):
+                return _branch_sat(pref, domains)
+            node = compounds[i]
+            if isinstance(node, Or):
+                return any(
+                    rec_branch(child, i, pref) for child in node.children
+                )
+            if isinstance(node, And):
+                return rec_branch(node, i, pref)
+            raise TypeError(f"unexpected node {node!r}")
+
+        def rec_branch(node: Condition, i: int, pref: List[Condition]) -> bool:
+            for branch in iter_branches(node):
+                candidate = pref + branch
+                if check_conjunction(candidate, domains) == UNSAT:
+                    continue
+                if rec(i + 1, candidate):
+                    return True
+            return False
+
+        return rec(0, new_prefix)
+
+    return explore(nnf, [])

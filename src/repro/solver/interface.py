@@ -1,0 +1,194 @@
+"""The solver façade: the drop-in replacement for the paper's Z3 calls.
+
+:class:`ConditionSolver` exposes exactly the decision services fauré
+needs — satisfiability (step 3 of the evaluation pipeline prunes tuples
+with unsatisfiable conditions), implication (condition subsumption during
+fixpoint dedup and containment checking), equivalence, model enumeration
+(the possible-worlds oracle), and simplification.
+
+Routing: conditions whose c-variables all carry finite domains of
+tractable product size go through exact enumeration; everything else
+through the DPLL(T) branch-and-check driver.  Verdicts are cached per
+condition, and wall-clock spent inside the solver is accounted in
+:class:`SolverStats` so the benchmark harness can report the paper's
+"sql time vs Z3 time" split.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..ctable.condition import (
+    And,
+    Condition,
+    FALSE,
+    FalseCond,
+    TRUE,
+    TrueCond,
+    conjoin,
+    disjoin,
+)
+from ..ctable.terms import Constant, CVariable
+from .domains import DomainMap
+from .dpll import is_satisfiable_dpll
+from .enumerate import Assignment, count_models, find_model, iter_models
+
+__all__ = ["ConditionSolver", "SolverStats"]
+
+
+@dataclass
+class SolverStats:
+    """Call and time accounting for solver usage."""
+
+    sat_calls: int = 0
+    implication_calls: int = 0
+    cache_hits: int = 0
+    enumeration_used: int = 0
+    dpll_used: int = 0
+    time_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.sat_calls = 0
+        self.implication_calls = 0
+        self.cache_hits = 0
+        self.enumeration_used = 0
+        self.dpll_used = 0
+        self.time_seconds = 0.0
+
+
+class ConditionSolver:
+    """Decision procedure over the fauré condition language.
+
+    Parameters
+    ----------
+    domains:
+        Domain declarations for the c-variables in play.
+    enumeration_limit:
+        Maximum product of domain sizes for which exact enumeration is
+        attempted; larger (or unbounded) instances use DPLL(T).
+    """
+
+    def __init__(self, domains: Optional[DomainMap] = None, enumeration_limit: int = 1 << 20):
+        self.domains = domains if domains is not None else DomainMap()
+        self.enumeration_limit = enumeration_limit
+        self.stats = SolverStats()
+        self._sat_cache: Dict[Condition, bool] = {}
+
+    # -- core decisions ----------------------------------------------------
+
+    def is_satisfiable(self, condition: Condition) -> bool:
+        """True when some assignment of the c-variables satisfies it."""
+        self.stats.sat_calls += 1
+        if isinstance(condition, TrueCond):
+            return True
+        if isinstance(condition, FalseCond):
+            return False
+        cached = self._sat_cache.get(condition)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        start = time.perf_counter()
+        try:
+            result = self._decide_sat(condition)
+        finally:
+            self.stats.time_seconds += time.perf_counter() - start
+        self._sat_cache[condition] = result
+        return result
+
+    def _decide_sat(self, condition: Condition) -> bool:
+        cvars = condition.cvariables()
+        size = self.domains.enumeration_size(cvars)
+        if size is not None and size <= self.enumeration_limit:
+            self.stats.enumeration_used += 1
+            return find_model(condition, self.domains) is not None
+        self.stats.dpll_used += 1
+        return is_satisfiable_dpll(condition, self.domains)
+
+    def is_valid(self, condition: Condition) -> bool:
+        """True when every assignment satisfies the condition."""
+        return not self.is_satisfiable(condition.negate())
+
+    def implies(self, antecedent: Condition, consequent: Condition) -> bool:
+        """Entailment: every model of ``antecedent`` satisfies ``consequent``."""
+        self.stats.implication_calls += 1
+        if isinstance(consequent, TrueCond) or isinstance(antecedent, FalseCond):
+            return True
+        if antecedent == consequent:
+            return True
+        return not self.is_satisfiable(conjoin([antecedent, consequent.negate()]))
+
+    def equivalent(self, a: Condition, b: Condition) -> bool:
+        """Mutual entailment."""
+        return self.implies(a, b) and self.implies(b, a)
+
+    # -- model services ------------------------------------------------------
+
+    def models(
+        self,
+        condition: Condition,
+        variables: Optional[List[CVariable]] = None,
+    ) -> Iterator[Assignment]:
+        """Enumerate satisfying assignments (finite domains required)."""
+        return iter_models(condition, self.domains, variables)
+
+    def model(self, condition: Condition) -> Optional[Assignment]:
+        """One satisfying assignment, or ``None``."""
+        if not condition.cvariables():
+            # Variable-free: truth is fixed.
+            return {} if self.is_satisfiable(condition) else None
+        cvars = condition.cvariables()
+        if self.domains.all_finite(cvars):
+            return find_model(condition, self.domains)
+        if self.is_satisfiable(condition):
+            raise ValueError("model extraction requires finite domains")
+        return None
+
+    def model_count(self, condition: Condition) -> int:
+        """Exact model count over the condition's c-variables."""
+        return count_models(condition, self.domains)
+
+    # -- simplification --------------------------------------------------------
+
+    def prune(self, condition: Condition) -> Condition:
+        """Collapse to FALSE when unsatisfiable, TRUE when valid."""
+        if not self.is_satisfiable(condition):
+            return FALSE
+        if self.is_valid(condition):
+            return TRUE
+        return condition
+
+    def simplify(self, condition: Condition) -> Condition:
+        """Cheap semantic minimization.
+
+        Collapses unsatisfiable/valid conditions, drops redundant
+        conjuncts (conjuncts implied by the remaining ones) and dead
+        disjuncts (unsatisfiable arms).  Result is equivalent to the
+        input under the solver's domain map.
+        """
+        pruned = self.prune(condition)
+        if isinstance(pruned, (TrueCond, FalseCond)):
+            return pruned
+        if isinstance(pruned, And):
+            children = list(pruned.children)
+            kept: List[Condition] = []
+            for i, child in enumerate(children):
+                rest = kept + children[i + 1:]
+                if rest and self.implies(conjoin(rest), child):
+                    continue
+                kept.append(child)
+            return conjoin(kept)
+        if hasattr(pruned, "children") and pruned.__class__.__name__ == "Or":
+            kept = [c for c in pruned.children if self.is_satisfiable(c)]
+            return disjoin(kept)
+        return pruned
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        self._sat_cache.clear()
+
+    def with_domains(self, domains: DomainMap) -> "ConditionSolver":
+        """A sibling solver over different domain declarations."""
+        return ConditionSolver(domains, self.enumeration_limit)

@@ -1,0 +1,139 @@
+"""Semantic condition minimization over finite domains.
+
+Fixpoint evaluation composes conditions mechanically (matched tuple
+conditions ∧ equalities ∧ comparisons), so derived conditions accumulate
+redundancy — Table 3's ``(x̄=1 ∧ ȳ=1 ∧ z̄=1)`` rows may arrive as deeply
+nested equivalents.  For finite-domain c-variables the *semantic* content
+is just the satisfying assignment set, so we can re-synthesize a compact
+equivalent:
+
+1. enumerate the models over the condition's variables (cubes of one
+   assignment each);
+2. repeatedly merge cubes that differ in a single variable whose whole
+   domain is covered (dropping that variable);
+3. emit the disjunction of the surviving cubes.
+
+The result is equivalent by construction (validated by the property
+tests) and canonical enough for human display and structural dedup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..ctable.condition import (
+    Condition,
+    FALSE,
+    TRUE,
+    conjoin,
+    disjoin,
+    eq,
+)
+from ..ctable.terms import Constant, CVariable
+from .domains import DomainMap
+from .enumerate import iter_models
+
+__all__ = ["minimize", "cubes_of", "MinimizeError"]
+
+#: A cube: per-variable value, or absent = "any value".
+Cube = Tuple[Tuple[CVariable, Constant], ...]
+
+
+class MinimizeError(ValueError):
+    """Minimization impossible (unbounded domains, too many models)."""
+
+
+def cubes_of(
+    condition: Condition,
+    domains: DomainMap,
+    model_limit: int = 4096,
+) -> Optional[List[Dict[CVariable, Constant]]]:
+    """The satisfying assignments, or ``None`` when over the limit."""
+    cvars = condition.cvariables()
+    if not domains.all_finite(cvars):
+        raise MinimizeError("minimization requires finite domains")
+    size = domains.enumeration_size(cvars)
+    if size is not None and size > model_limit:
+        return None
+    return list(iter_models(condition, domains))
+
+
+def _merge_pass(
+    cubes: Set[Cube], variables: Sequence[CVariable], domains: DomainMap
+) -> Set[Cube]:
+    """One round of cube merging; returns the (possibly) smaller set."""
+    for var in variables:
+        dom_values = set(domains.domain_of(var).values())
+        groups: Dict[Cube, Set[Constant]] = {}
+        for cube in cubes:
+            entries = dict(cube)
+            if var not in entries:
+                continue
+            value = entries.pop(var)
+            rest = tuple(sorted(entries.items(), key=lambda kv: kv[0].name))
+            groups.setdefault(rest, set()).add(value)
+        for rest, values in groups.items():
+            if values == dom_values:
+                # the variable is irrelevant given `rest`: merge
+                merged = set()
+                for cube in cubes:
+                    entries = dict(cube)
+                    if var in entries:
+                        value = entries.pop(var)
+                        key = tuple(sorted(entries.items(), key=lambda kv: kv[0].name))
+                        if key == rest:
+                            continue  # absorbed
+                    merged.add(cube)
+                merged.add(rest)
+                return merged
+    return cubes
+
+
+def _subsumption_pass(cubes: Set[Cube]) -> Set[Cube]:
+    """Drop cubes implied by more general (smaller) cubes."""
+    out: Set[Cube] = set()
+    for cube in sorted(cubes, key=len):
+        entries = dict(cube)
+        if any(all(entries.get(v) == val for v, val in other) for other in out):
+            continue
+        out.add(cube)
+    return out
+
+
+def minimize(
+    condition: Condition,
+    domains: DomainMap,
+    model_limit: int = 4096,
+) -> Condition:
+    """An equivalent, compact disjunction-of-conjunctions form.
+
+    Falls back to the input unchanged when the model space exceeds
+    ``model_limit`` (minimization is an optimization, never a
+    requirement).
+    """
+    cvars = sorted(condition.cvariables(), key=lambda v: v.name)
+    if not cvars:
+        return condition
+    models = cubes_of(condition, domains, model_limit)
+    if models is None:
+        return condition
+    if not models:
+        return FALSE
+    total = domains.enumeration_size(cvars)
+    if total is not None and len(models) == total:
+        return TRUE
+    cubes: Set[Cube] = {
+        tuple(sorted(m.items(), key=lambda kv: kv[0].name)) for m in models
+    }
+    while True:
+        merged = _merge_pass(cubes, cvars, domains)
+        if merged == cubes:
+            break
+        cubes = merged
+    cubes = _subsumption_pass(cubes)
+    disjuncts = []
+    for cube in sorted(cubes, key=lambda c: (len(c), str(c))):
+        if not cube:
+            return TRUE
+        disjuncts.append(conjoin([eq(v, value) for v, value in cube]))
+    return disjoin(disjuncts)

@@ -1,0 +1,442 @@
+"""Conjunction-level theory solver.
+
+Decides (un)satisfiability of a *conjunction of atoms* over the c-domain:
+comparisons between c-variables and constants, plus linear atoms.  This is
+the "T" in the DPLL(T) driver of :mod:`repro.solver.dpll` and replaces the
+paper's use of Z3 for pruning contradictory tuple conditions.
+
+The procedure layers:
+
+1. **Equality**: union–find over c-variables and constants; merging two
+   distinct constants is a conflict.
+2. **Disequality**: recorded per representative pair; a disequality whose
+   two sides collapse into one class is a conflict.
+3. **Domains**: each class keeps the intersection of its members'
+   declared finite domains (and the pinned constant, if any); an empty
+   intersection is a conflict.  A clique of pairwise-disequal classes
+   sharing a finite domain smaller than the clique is detected by the
+   finite-enumeration backend, not here.
+4. **Ordering** (numerics): interval bounds per class from comparisons
+   with constants, plus a Bellman–Ford pass over variable–variable
+   ordering edges (difference logic: ``x < y``, ``x <= y``) to detect
+   cycles with net strictness.
+5. **Linear atoms**: interval reasoning (min/max of the sum against the
+   bound); exact treatment is delegated to enumeration when domains are
+   finite.
+
+Verdicts are sound: :data:`UNSAT` is definitive.  :data:`SAT` is
+definitive whenever every variable involved is finite-domain (the caller
+routes those through :mod:`repro.solver.enumerate`); for unbounded
+domains the checks above are complete for the fragment the paper uses
+(equality + disequality + difference-logic orderings + interval linear
+reasoning), which we document as the supported condition language.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..ctable.condition import Comparison, Condition, FalseCond, LinearAtom, TrueCond
+from ..ctable.terms import Constant, CVariable, Term
+from .domains import Domain, DomainMap, FiniteDomain, IntRange
+
+__all__ = ["TheoryResult", "check_conjunction", "UnsupportedCondition"]
+
+#: Tri-state verdicts.
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+TheoryResult = str
+
+
+class UnsupportedCondition(ValueError):
+    """Raised when a condition falls outside the supported fragment."""
+
+
+class _UnionFind:
+    """Union–find over terms with constant pinning."""
+
+    def __init__(self) -> None:
+        self.parent: Dict[Term, Term] = {}
+        self.pinned: Dict[Term, Constant] = {}
+
+    def add(self, t: Term) -> None:
+        if t not in self.parent:
+            self.parent[t] = t
+            if isinstance(t, Constant):
+                self.pinned[t] = t
+
+    def find(self, t: Term) -> Term:
+        self.add(t)
+        root = t
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[t] != root:
+            self.parent[t], t = root, self.parent[t]
+        return root
+
+    def union(self, a: Term, b: Term) -> bool:
+        """Merge classes; returns False on constant conflict."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return True
+        ca, cb = self.pinned.get(ra), self.pinned.get(rb)
+        if ca is not None and cb is not None and ca != cb:
+            return False
+        self.parent[ra] = rb
+        if ca is not None:
+            self.pinned[rb] = ca
+        return True
+
+    def constant_of(self, t: Term) -> Optional[Constant]:
+        return self.pinned.get(self.find(t))
+
+    def classes(self) -> Dict[Term, List[Term]]:
+        out: Dict[Term, List[Term]] = {}
+        for t in self.parent:
+            out.setdefault(self.find(t), []).append(t)
+        return out
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _domain_bounds(dom: Domain) -> Tuple[float, float]:
+    """Numeric [lo, hi] bounds implied by a domain (±inf when unbounded)."""
+    if isinstance(dom, IntRange):
+        return float(dom.lo), float(dom.hi)
+    if isinstance(dom, FiniteDomain):
+        nums = [v.value for v in dom.values() if _is_number(v.value)]
+        if not nums:
+            return math.inf, -math.inf  # no numeric value possible
+        return float(min(nums)), float(max(nums))
+    return -math.inf, math.inf
+
+
+def check_conjunction(
+    atoms: Iterable[Condition],
+    domains: DomainMap,
+) -> TheoryResult:
+    """Decide a conjunction of atomic conditions.
+
+    Returns ``'unsat'`` on definite contradiction, ``'sat'`` when the
+    propagation layers find no conflict (definitive for the supported
+    fragment), and ``'unknown'`` only for constructs the propagation
+    cannot certify (the caller then falls back to enumeration or reports
+    the condition as unsupported).
+    """
+    uf = _UnionFind()
+    disequalities: List[Tuple[Term, Term]] = []
+    order_edges: List[Tuple[Term, Term, bool]] = []  # (a, b, strict) meaning a < b / a <= b
+    linear: List[LinearAtom] = []
+
+    for atom in atoms:
+        if isinstance(atom, TrueCond):
+            continue
+        if isinstance(atom, FalseCond):
+            return UNSAT
+        if isinstance(atom, LinearAtom):
+            linear.append(atom)
+            for v, _ in atom.coeffs:
+                uf.add(v)
+            continue
+        if not isinstance(atom, Comparison):
+            raise UnsupportedCondition(f"not an atom: {atom!r}")
+        lhs, op, rhs = atom.lhs, atom.op, atom.rhs
+        if lhs.is_variable or rhs.is_variable:
+            raise UnsupportedCondition(f"program variable in condition: {atom}")
+        uf.add(lhs)
+        uf.add(rhs)
+        if op == "=":
+            if not uf.union(lhs, rhs):
+                return UNSAT
+        elif op == "!=":
+            disequalities.append((lhs, rhs))
+        elif op == "<":
+            order_edges.append((lhs, rhs, True))
+        elif op == "<=":
+            order_edges.append((lhs, rhs, False))
+        elif op == ">":
+            order_edges.append((rhs, lhs, True))
+        elif op == ">=":
+            order_edges.append((rhs, lhs, False))
+
+    # Disequality check against the final equality classes.
+    for a, b in disequalities:
+        ra, rb = uf.find(a), uf.find(b)
+        if ra == rb:
+            return UNSAT
+
+    # Domain feasibility per class.
+    class_domain: Dict[Term, Optional[Set[Constant]]] = {}
+    for rep, members in uf.classes().items():
+        pinned = uf.pinned.get(rep)
+        feasible: Optional[Set[Constant]] = None  # None == unconstrained
+        for m in members:
+            if isinstance(m, CVariable):
+                dom = domains.domain_of(m)
+                if dom.is_finite:
+                    vals = set(dom.values())
+                    feasible = vals if feasible is None else feasible & vals
+        if pinned is not None:
+            if feasible is not None and pinned not in feasible:
+                return UNSAT
+            feasible = {pinned}
+        if feasible is not None and not feasible:
+            return UNSAT
+        class_domain[rep] = feasible
+
+    # Disequality against singleton feasible sets: x != y with both pinned
+    # to the same single value.
+    for a, b in disequalities:
+        fa = class_domain.get(uf.find(a))
+        fb = class_domain.get(uf.find(b))
+        if fa is not None and fb is not None and len(fa) == 1 and fa == fb:
+            return UNSAT
+
+    if order_edges and not _orderings_consistent(order_edges, uf, class_domain, domains):
+        return UNSAT
+
+    if linear and not _linear_feasible(linear, uf, class_domain, domains):
+        return UNSAT
+
+    return SAT
+
+
+def _numeric_interval(
+    rep: Term,
+    feasible: Optional[Set[Constant]],
+    members: List[Term],
+    domains: DomainMap,
+) -> Tuple[float, float]:
+    """Numeric bounds of one equality class."""
+    if feasible is not None:
+        nums = [c.value for c in feasible if _is_number(c.value)]
+        if not nums:
+            return math.inf, -math.inf
+        return float(min(nums)), float(max(nums))
+    lo, hi = -math.inf, math.inf
+    for m in members:
+        if isinstance(m, CVariable):
+            dlo, dhi = _domain_bounds(domains.domain_of(m))
+            lo, hi = max(lo, dlo), min(hi, dhi)
+    return lo, hi
+
+
+def _orderings_consistent(
+    edges: List[Tuple[Term, Term, bool]],
+    uf: _UnionFind,
+    class_domain: Dict[Term, Optional[Set[Constant]]],
+    domains: DomainMap,
+) -> bool:
+    """Difference-logic consistency of ordering atoms.
+
+    Works on equality-class representatives.  Constants participate via
+    their pinned value; classes carry interval bounds.  A negative-ish
+    cycle (a cycle whose edges include a strict one) is a contradiction,
+    as is an interval emptied by bound propagation.
+    """
+    classes = uf.classes()
+    lo: Dict[Term, float] = {}
+    hi: Dict[Term, float] = {}
+    nodes: Set[Term] = set()
+    for a, b, _ in edges:
+        nodes.add(uf.find(a))
+        nodes.add(uf.find(b))
+    for rep in nodes:
+        members = classes.get(rep, [rep])
+        pinned = uf.pinned.get(rep)
+        if pinned is not None:
+            if not _is_number(pinned.value):
+                # Ordering over non-numeric constants: compare lexically
+                # only in the all-constant case, handled below.
+                lo[rep], hi[rep] = math.nan, math.nan
+            else:
+                lo[rep] = hi[rep] = float(pinned.value)
+        else:
+            lo[rep], hi[rep] = _numeric_interval(
+                rep, class_domain.get(rep), members, domains
+            )
+
+    rep_edges = [(uf.find(a), uf.find(b), strict) for a, b, strict in edges]
+
+    # Integer granularity: strict edges between integer-valued classes
+    # separate the bounds by a whole unit.
+    def is_integer_class(rep: Term) -> bool:
+        pinned = uf.pinned.get(rep)
+        if pinned is not None:
+            return isinstance(pinned.value, int) and not isinstance(pinned.value, bool)
+        feasible = class_domain.get(rep)
+        if feasible is not None:
+            return all(
+                isinstance(c.value, int) and not isinstance(c.value, bool)
+                for c in feasible
+            )
+        for member in classes.get(rep, [rep]):
+            if isinstance(member, CVariable):
+                dom = domains.domain_of(member)
+                if isinstance(dom, IntRange):
+                    return True
+                if isinstance(dom, FiniteDomain) and all(
+                    isinstance(c.value, int) and not isinstance(c.value, bool)
+                    for c in dom.values()
+                ):
+                    return True
+        return False
+
+    integer_node = {rep: is_integer_class(rep) for rep in nodes}
+
+    # All-constant comparisons (including strings) check directly.
+    remaining: List[Tuple[Term, Term, bool]] = []
+    for a, b, strict in rep_edges:
+        ca, cb = uf.pinned.get(a), uf.pinned.get(b)
+        if ca is not None and cb is not None:
+            try:
+                ok = ca.value < cb.value if strict else ca.value <= cb.value
+            except TypeError:
+                return False
+            if not ok:
+                return False
+        else:
+            remaining.append((a, b, strict))
+
+    if not remaining:
+        return True
+
+    for rep in nodes:
+        if math.isnan(lo.get(rep, 0.0)):
+            # Non-numeric pinned constant mixed with variable ordering.
+            return False
+
+    # Bound propagation to a fixpoint.  Strict edges between integer
+    # classes separate bounds by a whole unit; a propagation that keeps
+    # changing past n rounds implies a strict cycle.
+    n = len(nodes) + 1
+    for round_idx in range(n * 4 + 1):
+        changed = False
+        for a, b, strict in remaining:
+            gap = 1.0 if strict and integer_node[a] and integer_node[b] else 0.0
+            if hi[a] > hi[b] - gap:
+                hi[a] = hi[b] - gap
+                changed = True
+            if lo[b] < lo[a] + gap:
+                lo[b] = lo[a] + gap
+                changed = True
+            if lo[a] > hi[a] or lo[b] > hi[b]:
+                return False
+        if not changed:
+            break
+        if round_idx == n * 4:
+            return False
+
+    for a, b, strict in remaining:
+        if strict and lo[a] == hi[a] == lo[b] == hi[b]:
+            return False
+    # Strict-cycle detection: collapse <= SCCs, any strict edge inside an
+    # SCC of the ordering graph is a contradiction.
+    return not _strict_cycle(remaining)
+
+
+def _strict_cycle(edges: List[Tuple[Term, Term, bool]]) -> bool:
+    """True when the ordering graph has a cycle containing a strict edge."""
+    adj: Dict[Term, List[Tuple[Term, bool]]] = {}
+    for a, b, strict in edges:
+        adj.setdefault(a, []).append((b, strict))
+        adj.setdefault(b, [])
+
+    index: Dict[Term, int] = {}
+    low: Dict[Term, int] = {}
+    on_stack: Set[Term] = set()
+    stack: List[Term] = []
+    counter = [0]
+    scc_of: Dict[Term, int] = {}
+    scc_counter = [0]
+
+    def strongconnect(v: Term) -> None:
+        work = [(v, iter(adj[v]))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w, _ in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(adj[w])))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc_of[w] = scc_counter[0]
+                    if w == node:
+                        break
+                scc_counter[0] += 1
+
+    for v in adj:
+        if v not in index:
+            strongconnect(v)
+
+    return any(strict and scc_of[a] == scc_of[b] for a, b, strict in edges)
+
+
+def _linear_feasible(
+    atoms: List[LinearAtom],
+    uf: _UnionFind,
+    class_domain: Dict[Term, Optional[Set[Constant]]],
+    domains: DomainMap,
+) -> bool:
+    """Interval check of linear atoms (sound, conservative)."""
+    classes = uf.classes()
+    for atom in atoms:
+        smin = 0.0
+        smax = 0.0
+        for v, coeff in atom.coeffs:
+            rep = uf.find(v)
+            members = classes.get(rep, [v])
+            lo, hi = _numeric_interval(rep, class_domain.get(rep), members, domains)
+            pinned = uf.pinned.get(rep)
+            if pinned is not None:
+                if not _is_number(pinned.value):
+                    return False
+                lo = hi = float(pinned.value)
+            if lo > hi:
+                return False
+            if coeff >= 0:
+                smin += coeff * lo
+                smax += coeff * hi
+            else:
+                smin += coeff * hi
+                smax += coeff * lo
+        b = atom.bound
+        op = atom.op
+        if op == "=" and (b < smin or b > smax):
+            return False
+        if op == "!=" and smin == smax == b:
+            return False
+        if op == "<" and smin >= b:
+            return False
+        if op == "<=" and smin > b:
+            return False
+        if op == ">" and smax <= b:
+            return False
+        if op == ">=" and smax < b:
+            return False
+    return True

@@ -1,0 +1,45 @@
+"""Relative-complete verification (paper, §5).
+
+Constraints as 0-ary panic queries, the category (i) subsumption test,
+the category (ii) update-rewrite test, the information-ladder verifier,
+and the complete-approach (possible-worlds) baseline.
+"""
+
+from .baseline import GroundEvaluator, WorldSweep, sweep_constraint, sweep_query
+from .constraints import CheckResult, Constraint, Status
+from .monitor import Alarm, ConstraintMonitor
+from .plans import PlanReport, StepVerdict, check_plan
+from .repair import Repair, suggest_repairs
+from .subsumption import SubsumptionResult, SubsumptionVerdict, check_subsumption
+from .updates import check_after_update_directly, check_with_update, rewrite_target
+from .verifier import Level, RelativeCompleteVerifier, Verdict
+from .witness import Witness, extract_compliant_world, extract_witness
+
+__all__ = [
+    "GroundEvaluator",
+    "WorldSweep",
+    "sweep_constraint",
+    "sweep_query",
+    "CheckResult",
+    "Constraint",
+    "Alarm",
+    "ConstraintMonitor",
+    "PlanReport",
+    "StepVerdict",
+    "check_plan",
+    "Repair",
+    "suggest_repairs",
+    "Status",
+    "SubsumptionResult",
+    "SubsumptionVerdict",
+    "check_subsumption",
+    "check_after_update_directly",
+    "check_with_update",
+    "rewrite_target",
+    "Level",
+    "RelativeCompleteVerifier",
+    "Verdict",
+    "Witness",
+    "extract_compliant_world",
+    "extract_witness",
+]

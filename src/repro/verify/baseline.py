@@ -1,0 +1,191 @@
+"""The complete-approach baseline: enumerate every possible world.
+
+The de-facto workflow the paper departs from — instantiate each possible
+concrete network and run a conventional (definite) check on it.  This is
+the comparator for two claims:
+
+* **loss-less modeling** (§4): one fauré-log query over the c-table must
+  agree with running the query in all 2^k worlds;
+* **cost**: world enumeration scales as the product of the c-variable
+  domain sizes, while fauré's partial evaluation and the subsumption
+  tests do not.
+
+The ground evaluator here is deliberately conventional: plain datalog
+over regular relations (no conditions), implemented independently of the
+fauré-log machinery so the comparison is meaningful.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..ctable.condition import Comparison, Condition, FalseCond, LinearAtom, TrueCond
+from ..ctable.table import Database
+from ..ctable.terms import Constant, CVariable, Term, Variable
+from ..ctable.worlds import instantiate_database, iter_assignments
+from ..faurelog.ast import Literal, Program, ProgramError, Rule
+from ..faurelog.stratify import stratify
+from ..solver.domains import DomainMap
+
+__all__ = ["GroundEvaluator", "WorldSweep", "sweep_constraint", "sweep_query"]
+
+Row = Tuple[Constant, ...]
+Relations = Dict[str, Set[Row]]
+
+
+class GroundEvaluator:
+    """Stratified datalog over regular (condition-free) relations."""
+
+    def __init__(self, relations: Mapping[str, Iterable[Row]]):
+        self.relations: Relations = {
+            name: set(rows) for name, rows in relations.items()
+        }
+
+    def run(self, program: Program) -> Relations:
+        derived: Relations = {p: set() for p in program.idb_predicates()}
+        full = dict(self.relations)
+        for pred, rows in derived.items():
+            full[pred] = rows
+        for stratum in stratify(program):
+            rules = [r for r in program if r.head.predicate in stratum]
+            changed = True
+            while changed:
+                changed = False
+                for rule in rules:
+                    for binding in self._matches(rule, full):
+                        row = self._head_row(rule, binding)
+                        if row not in full[rule.head.predicate]:
+                            full[rule.head.predicate].add(row)
+                            changed = True
+        return derived
+
+    # -- matching -----------------------------------------------------------
+
+    def _matches(self, rule: Rule, full: Relations):
+        positives = list(rule.positive_literals())
+        negatives = list(rule.negative_literals())
+        comparisons = list(rule.comparisons())
+
+        def resolve(term: Term, binding: Dict[Term, Constant]) -> Optional[Constant]:
+            if isinstance(term, Constant):
+                return term
+            return binding.get(term)
+
+        def check_comparisons(binding: Dict[Term, Constant]) -> bool:
+            for cond in comparisons:
+                mapped = cond.substitute(binding)
+                if isinstance(mapped, FalseCond):
+                    return False
+                if isinstance(mapped, TrueCond):
+                    continue
+                # Residual c-variables here mean the program references
+                # global unknowns — not a *ground* instance.
+                raise ProgramError(
+                    f"ground evaluation hit unresolved condition {mapped}"
+                )
+            return True
+
+        def rec(idx: int, binding: Dict[Term, Constant]):
+            if idx == len(positives):
+                if not check_comparisons(binding):
+                    return
+                for neg in negatives:
+                    row = tuple(resolve(t, binding) for t in neg.atom.terms)
+                    if any(v is None for v in row):
+                        raise ProgramError(f"unbound term in negated {neg}")
+                    if row in full.get(neg.predicate, set()):
+                        return
+                yield dict(binding)
+                return
+            literal = positives[idx]
+            # snapshot: the caller may extend the relation mid-iteration
+            rows = list(full.get(literal.predicate, set()))
+            for row in rows:
+                new_binding = dict(binding)
+                ok = True
+                for term, value in zip(literal.atom.terms, row):
+                    if isinstance(term, Constant):
+                        if term != value:
+                            ok = False
+                            break
+                    else:
+                        bound = new_binding.get(term)
+                        if bound is None:
+                            new_binding[term] = value
+                        elif bound != value:
+                            ok = False
+                            break
+                if ok:
+                    yield from rec(idx + 1, new_binding)
+
+        yield from rec(0, {})
+
+    def _head_row(self, rule: Rule, binding: Dict[Term, Constant]) -> Row:
+        row: List[Constant] = []
+        for term in rule.head.terms:
+            if isinstance(term, Constant):
+                row.append(term)
+            else:
+                value = binding.get(term)
+                if value is None:
+                    raise ProgramError(f"unbound head term {term} in {rule}")
+                row.append(value)
+        return tuple(row)
+
+
+@dataclass
+class WorldSweep:
+    """Aggregate of a query/constraint over every possible world."""
+
+    worlds: int = 0
+    violating_worlds: int = 0
+    per_world: List[Tuple[Dict[CVariable, Constant], bool]] = field(default_factory=list)
+
+    @property
+    def holds_everywhere(self) -> bool:
+        return self.violating_worlds == 0
+
+    @property
+    def violated_everywhere(self) -> bool:
+        return self.worlds > 0 and self.violating_worlds == self.worlds
+
+
+def sweep_constraint(
+    program: Program,
+    database: Database,
+    domains: DomainMap,
+    target: str = "panic",
+    record_worlds: bool = False,
+) -> WorldSweep:
+    """Check a panic constraint in every possible world (the baseline)."""
+    cvars = sorted(database.cvariables(), key=lambda v: v.name)
+    sweep = WorldSweep()
+    for assignment in iter_assignments(cvars, domains):
+        ground = GroundEvaluator(instantiate_database(database, assignment))
+        derived = ground.run(program)
+        violated = bool(derived.get(target))
+        sweep.worlds += 1
+        if violated:
+            sweep.violating_worlds += 1
+        if record_worlds:
+            sweep.per_world.append((dict(assignment), violated))
+    return sweep
+
+
+def sweep_query(
+    program: Program,
+    database: Database,
+    domains: DomainMap,
+    output: str,
+) -> Dict[Row, int]:
+    """Run a query in every world; returns answer-row → #worlds seen."""
+    cvars = sorted(database.cvariables(), key=lambda v: v.name)
+    counts: Dict[Row, int] = {}
+    for assignment in iter_assignments(cvars, domains):
+        ground = GroundEvaluator(instantiate_database(database, assignment))
+        derived = ground.run(program)
+        for row in derived.get(output, set()):
+            counts[row] = counts.get(row, 0) + 1
+    return counts

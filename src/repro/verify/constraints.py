@@ -1,0 +1,89 @@
+"""Constraints as 0-ary fauré-log queries (§5).
+
+A network constraint is a fauré-log program deriving the 0-ary predicate
+``panic``: if the query evaluates to ∅ the constraint holds; a derived
+``panic`` signals violation.  Over a *partial* state the answer can be
+conditional — panic derived under a satisfiable-but-not-valid condition
+means the constraint holds in some possible worlds and fails in others.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ctable.condition import Condition, FALSE, TRUE, disjoin
+from ..ctable.table import Database
+from ..faurelog.ast import Program
+from ..faurelog.evaluation import evaluate
+from ..faurelog.parser import parse_program
+from ..solver.interface import ConditionSolver
+
+__all__ = ["Constraint", "Status", "CheckResult"]
+
+
+class Status(enum.Enum):
+    """Outcome of checking a constraint against a (partial) state."""
+
+    HOLDS = "holds"  # no possible world violates
+    VIOLATED = "violated"  # every possible world violates
+    CONDITIONAL = "conditional"  # violated exactly in the worlds of the condition
+    UNKNOWN = "unknown"  # the test could not decide (needs more information)
+
+
+@dataclass
+class CheckResult:
+    """Status plus the violation condition (for CONDITIONAL/VIOLATED)."""
+
+    status: Status
+    violation_condition: Condition = FALSE
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is Status.HOLDS
+
+    def __str__(self) -> str:
+        if self.status is Status.CONDITIONAL:
+            return f"{self.status.value} [{self.violation_condition}]"
+        return self.status.value
+
+
+@dataclass
+class Constraint:
+    """A named panic-query constraint over the network schema."""
+
+    name: str
+    program: Program
+    description: str = ""
+
+    @staticmethod
+    def from_text(name: str, text: str, description: str = "") -> "Constraint":
+        """Parse the program from fauré-log source."""
+        return Constraint(name=name, program=parse_program(text), description=description)
+
+    def check(
+        self,
+        database: Database,
+        solver: ConditionSolver,
+        target: str = "panic",
+    ) -> CheckResult:
+        """Direct evaluation against a (possibly partial) state.
+
+        This is the *most informed* test — it requires the full c-table
+        state.  The violation condition is the disjunction of derived
+        panic conditions; HOLDS/VIOLATED are its unsat/valid collapses.
+        """
+        result = evaluate(self.program, database, solver=solver)
+        conditions: List[Condition] = []
+        if target in result:
+            conditions = [t.condition for t in result.table(target)]
+        if not conditions:
+            return CheckResult(Status.HOLDS)
+        combined = disjoin(conditions)
+        if not solver.is_satisfiable(combined):
+            return CheckResult(Status.HOLDS)
+        if solver.is_valid(combined):
+            return CheckResult(Status.VIOLATED, TRUE)
+        return CheckResult(Status.CONDITIONAL, combined)

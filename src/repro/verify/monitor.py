@@ -1,0 +1,113 @@
+"""Runtime constraint monitoring over a stream of network events.
+
+The verification ladder answers one-shot questions; operators also want
+the continuous version: as facts stream in (route announcements, new ACL
+rows, discovered reachability), tell me *the moment* a constraint can be
+violated — and in exactly which worlds.
+
+:class:`ConstraintMonitor` maintains each constraint's panic relation
+incrementally (via :class:`repro.faurelog.incremental.IncrementalEvaluator`)
+and reports, per inserted fact, the *newly possible* violations with
+their conditions.  Because the state is a c-table, the monitor
+distinguishes "now violated in every world" from "violated only if the
+unknowns land badly" — the partial-information alarm levels.
+
+Constraints whose panic depends *negatively* on the streamed relation
+cannot be maintained monotonically; the monitor rejects inserts into
+such relations (model the retraction as a condition instead, per the
+package docs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ctable.condition import Condition, FALSE, disjoin
+from ..ctable.table import Database
+from ..solver.interface import ConditionSolver
+from .constraints import Constraint, Status
+
+__all__ = ["Alarm", "ConstraintMonitor"]
+
+
+@dataclass
+class Alarm:
+    """One constraint's status change caused by an inserted fact."""
+
+    constraint: str
+    status: Status
+    condition: Condition
+    new_derivations: int
+
+    def __str__(self) -> str:
+        if self.status is Status.CONDITIONAL:
+            return f"{self.constraint}: {self.status.value} [{self.condition}]"
+        return f"{self.constraint}: {self.status.value}"
+
+
+class ConstraintMonitor:
+    """Continuously checks constraints as facts arrive."""
+
+    def __init__(
+        self,
+        constraints: Sequence[Constraint],
+        database: Database,
+        solver: ConditionSolver,
+    ):
+        from ..faurelog.incremental import IncrementalEvaluator
+
+        self.solver = solver
+        # each evaluator owns an isolated copy of the state: incremental
+        # index maintenance must see every insert go through it
+        self._evaluators: List[Tuple[Constraint, IncrementalEvaluator]] = []
+        for constraint in constraints:
+            evaluator = IncrementalEvaluator(
+                constraint.program, database.copy(), solver=solver
+            )
+            self._evaluators.append((constraint, evaluator))
+
+    # -- status -------------------------------------------------------------
+
+    def _status_of(self, evaluator) -> Tuple[Status, Condition]:
+        panic = evaluator.table("panic")
+        conditions = [t.condition for t in panic]
+        if not conditions:
+            return Status.HOLDS, FALSE
+        combined = disjoin(conditions)
+        if not self.solver.is_satisfiable(combined):
+            return Status.HOLDS, FALSE
+        if self.solver.is_valid(combined):
+            from ..ctable.condition import TRUE
+
+            return Status.VIOLATED, TRUE
+        return Status.CONDITIONAL, combined
+
+    def status(self) -> Dict[str, Status]:
+        """Current status of every monitored constraint."""
+        return {
+            constraint.name: self._status_of(evaluator)[0]
+            for constraint, evaluator in self._evaluators
+        }
+
+    # -- the event feed -------------------------------------------------------
+
+    def insert(self, predicate: str, values: Sequence, condition=None) -> List[Alarm]:
+        """Feed one fact; returns alarms for constraints that changed.
+
+        An alarm is raised when a constraint gains new panic derivations
+        (its violation worlds grew), with the fresh overall status.
+        """
+        from ..ctable.condition import TRUE
+
+        condition = condition if condition is not None else TRUE
+        alarms: List[Alarm] = []
+        for constraint, evaluator in self._evaluators:
+            if predicate not in evaluator.database:
+                continue  # the constraint does not read this relation
+            new = evaluator.insert(predicate, values, condition)
+            if new:
+                status, cond = self._status_of(evaluator)
+                if status is not Status.HOLDS:
+                    alarms.append(Alarm(constraint.name, status, cond, new))
+        return alarms

@@ -1,0 +1,121 @@
+"""Verification of multi-step update plans.
+
+Real networks change through *sequences* of updates (the paper's §5
+motivation cites global WANs "undergoing frequent and increasingly
+complicated updates"), and an invariant must hold not only at the end
+but after **every intermediate step** — a plan that transiently removes
+a firewall is unsafe even if the final state is compliant.
+
+:func:`check_plan` verifies a constraint across all prefixes of an
+update plan, each via the strongest available test:
+
+* with only constraints known, each prefix is checked by folding the
+  prefix's updates into the target (category ii applied per step);
+* with the initial state available, each intermediate state is also
+  checked directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ctable.table import Database
+from ..faurelog.rewrite import Deletion, Insertion, Update, apply_update
+from ..solver.domains import Domain
+from ..solver.interface import ConditionSolver
+from .constraints import CheckResult, Constraint, Status
+from .subsumption import SubsumptionVerdict
+from .updates import check_with_update
+
+__all__ = ["StepVerdict", "PlanReport", "check_plan"]
+
+
+@dataclass
+class StepVerdict:
+    """Outcome after applying the plan's first ``step + 1`` operations."""
+
+    step: int
+    operation: str
+    status: Status
+    by_subsumption: bool = False
+    detail: str = ""
+
+
+@dataclass
+class PlanReport:
+    """Per-step verdicts plus the overall safety call."""
+
+    steps: List[StepVerdict] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        """True when every step is HOLDS."""
+        return all(s.status is Status.HOLDS for s in self.steps)
+
+    @property
+    def first_unsafe_step(self) -> Optional[StepVerdict]:
+        for step in self.steps:
+            if step.status is not Status.HOLDS:
+                return step
+        return None
+
+    def __str__(self) -> str:
+        lines = []
+        for s in self.steps:
+            how = "subsumption" if s.by_subsumption else "direct"
+            lines.append(f"  step {s.step} ({s.operation}): {s.status.value} [{how}]")
+        verdict = "SAFE" if self.safe else "UNSAFE-OR-UNKNOWN"
+        return f"plan {verdict}\n" + "\n".join(lines)
+
+
+def check_plan(
+    target: Constraint,
+    plan: Update,
+    known: Sequence[Constraint] = (),
+    solver: Optional[ConditionSolver] = None,
+    state: Optional[Database] = None,
+    schemas: Optional[Dict[str, Sequence[str]]] = None,
+    column_domains: Optional[Dict[str, Domain]] = None,
+) -> PlanReport:
+    """Verify the constraint after every prefix of the plan.
+
+    Each step first tries the state-free category (ii) test (known
+    constraints + the prefix of updates); on UNKNOWN it falls back to
+    direct evaluation when ``state`` is supplied, else records UNKNOWN.
+    """
+    if solver is None:
+        raise ValueError("a solver is required")
+    report = PlanReport()
+    operations = list(plan)
+    for index in range(len(operations)):
+        prefix = operations[: index + 1]
+        op_text = str(operations[index])
+        verdict: Optional[StepVerdict] = None
+        if known:
+            result = check_with_update(
+                target,
+                known,
+                prefix,
+                solver,
+                schemas=schemas,
+                column_domains=column_domains,
+            )
+            if result.verdict is SubsumptionVerdict.SUBSUMED:
+                verdict = StepVerdict(
+                    index, op_text, Status.HOLDS, by_subsumption=True
+                )
+        if verdict is None and state is not None:
+            updated = apply_update(state, prefix)
+            direct = target.check(updated, solver)
+            verdict = StepVerdict(
+                index,
+                op_text,
+                direct.status,
+                by_subsumption=False,
+                detail=str(direct),
+            )
+        if verdict is None:
+            verdict = StepVerdict(index, op_text, Status.UNKNOWN)
+        report.steps.append(verdict)
+    return report

@@ -1,0 +1,136 @@
+"""Repair suggestions for violated constraints.
+
+A verdict of VIOLATED/CONDITIONAL tells the operator *that* something is
+wrong; the natural follow-up is *what is the smallest change that fixes
+it*.  Every panic derivation of a constraint is a conjunction of
+positive facts, absent (negated) facts, and comparisons — so candidate
+single-operation repairs fall out structurally:
+
+* **delete** a fact matching one of the derivation's positive literals
+  (remove the offending traffic/route);
+* **insert** a fact matching one of its negated literals (deploy the
+  missing firewall/load balancer).
+
+Candidates are generated from the actual derivations (via the same
+c-valuation the evaluator uses), then *validated*: each is applied to a
+copy of the state and re-checked.  Returned repairs are classified as
+``full`` (the constraint then holds in every world) or ``partial``
+(strictly fewer violating worlds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..ctable.condition import Condition, FALSE, disjoin
+from ..ctable.table import Database
+from ..ctable.terms import Constant, CVariable, Term, Variable
+from ..engine.storage import Storage
+from ..faurelog.ast import Atom, Literal, Program, Rule
+from ..faurelog.containment import unfold
+from ..faurelog.rewrite import Deletion, Insertion, apply_update
+from ..faurelog.valuation import derive
+from ..solver.interface import ConditionSolver
+from .constraints import Constraint, Status
+
+__all__ = ["Repair", "suggest_repairs"]
+
+
+@dataclass
+class Repair:
+    """One validated single-operation fix."""
+
+    operation: Union[Insertion, Deletion]
+    effect: str  # "full" | "partial"
+    remaining_condition: Condition = FALSE
+
+    def __str__(self) -> str:
+        tail = "" if self.effect == "full" else f" (remaining: {self.remaining_condition})"
+        return f"{self.operation} [{self.effect}]{tail}"
+
+
+def _resolve(term: Term, bindings) -> Term:
+    if isinstance(term, (Variable, CVariable)):
+        return bindings.get(term, term)
+    return term
+
+
+def _candidates(
+    constraint: Constraint,
+    database: Database,
+    solver: ConditionSolver,
+    max_derivations: int,
+) -> List[Union[Insertion, Deletion]]:
+    storage = Storage(database)
+    seen = set()
+    out: List[Union[Insertion, Deletion]] = []
+    for cq in unfold(constraint.program):
+        body = list(cq.positives) + list(cq.negatives) + list(cq.comparisons)
+        rule = Rule(Atom("panic"), body)
+        count = 0
+        for bindings, condition in derive(rule, storage):
+            if not solver.is_satisfiable(condition):
+                continue
+            count += 1
+            if count > max_derivations:
+                break
+            for literal in cq.positives:
+                values = tuple(_resolve(t, bindings) for t in literal.atom.terms)
+                key = ("-", literal.predicate, values)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(Deletion(literal.predicate, values))
+            for literal in cq.negatives:
+                values = tuple(_resolve(t, bindings) for t in literal.atom.terms)
+                if any(isinstance(v, Variable) for v in values):
+                    continue
+                key = ("+", literal.predicate, values)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(Insertion(literal.predicate, values))
+    return out
+
+
+def suggest_repairs(
+    constraint: Constraint,
+    database: Database,
+    solver: ConditionSolver,
+    max_suggestions: int = 10,
+    max_derivations: int = 50,
+) -> List[Repair]:
+    """Validated single-operation repairs, full fixes first.
+
+    Empty when the constraint already holds, or when no single insert /
+    delete helps (e.g. several independent violations).
+    """
+    before = constraint.check(database, solver)
+    if before.status is Status.HOLDS:
+        return []
+    before_condition = before.violation_condition
+
+    repairs: List[Repair] = []
+    for operation in _candidates(constraint, database, solver, max_derivations):
+        # deleting via a pattern containing c-variables deletes
+        # conditionally; that is fine — apply_update handles it
+        try:
+            patched = apply_update(database, [operation])
+        except Exception:
+            continue
+        after = constraint.check(patched, solver)
+        if after.status is Status.HOLDS:
+            repairs.append(Repair(operation, "full"))
+        else:
+            improved = solver.implies(
+                after.violation_condition, before_condition
+            ) and not solver.implies(
+                before_condition, after.violation_condition
+            )
+            if improved:
+                repairs.append(
+                    Repair(operation, "partial", after.violation_condition)
+                )
+        if len([r for r in repairs if r.effect == "full"]) >= max_suggestions:
+            break
+    repairs.sort(key=lambda r: (r.effect != "full", str(r.operation)))
+    return repairs[:max_suggestions]

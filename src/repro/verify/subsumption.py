@@ -1,0 +1,73 @@
+"""Category (i) test: constraint subsumption (§5).
+
+With only the constraint *definitions* visible — no network state, no
+update — the one opportunity is to show the target constraint is
+subsumed by constraints already known to hold.  Subsumption of panic
+queries is program containment, decided here by the fauré-log
+freeze-and-evaluate reduction of :mod:`repro.faurelog.containment`.
+
+The test is relative-complete: ``SUBSUMED`` is definitive; ``UNKNOWN``
+means "more information needed" — hand the problem to the category (ii)
+test once the update is known, or to direct checking once the state is.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..faurelog.ast import Program
+from ..faurelog.containment import ContainmentResult, contains
+from ..solver.domains import Domain
+from ..solver.interface import ConditionSolver
+from .constraints import Constraint
+
+__all__ = ["SubsumptionVerdict", "SubsumptionResult", "check_subsumption"]
+
+
+class SubsumptionVerdict(enum.Enum):
+    SUBSUMED = "subsumed"  # target holds whenever the known constraints do
+    UNKNOWN = "unknown"  # not shown — more information needed
+
+
+@dataclass
+class SubsumptionResult:
+    verdict: SubsumptionVerdict
+    containment: Optional[ContainmentResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict is SubsumptionVerdict.SUBSUMED
+
+    def __str__(self) -> str:
+        return self.verdict.value
+
+
+def check_subsumption(
+    target: Constraint,
+    known: Sequence[Constraint],
+    solver: ConditionSolver,
+    schemas: Optional[Dict[str, Sequence[str]]] = None,
+    column_domains: Optional[Dict[str, Domain]] = None,
+    generic_rows: Optional[int] = None,
+) -> SubsumptionResult:
+    """Does the violation of ``target`` imply a violation of ``known``?
+
+    Equivalently (contrapositive): if every known constraint holds, the
+    target holds.  ``schemas``/``column_domains`` ground the canonical
+    database in the network's attribute domains, which can be decisive
+    (see the paper's T2′ example).
+    """
+    result = contains(
+        target.program,
+        [c.program for c in known],
+        solver,
+        schemas=schemas,
+        column_domains=column_domains,
+        generic_rows=generic_rows,
+    )
+    verdict = (
+        SubsumptionVerdict.SUBSUMED if result.contained else SubsumptionVerdict.UNKNOWN
+    )
+    return SubsumptionResult(verdict=verdict, containment=result)

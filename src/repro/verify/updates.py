@@ -1,0 +1,66 @@
+"""Category (ii) test: constraints + update information (§5).
+
+When the update is also visible, fold it into the target constraint by
+the Listing 4 rewrite (C′ holds before the update iff C holds after) and
+re-run the category (i) subsumption machinery on C′.  Strictly more
+powerful than category (i): the paper's T2 is unknown from the
+constraints alone but decidable once the Lb update is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..faurelog.rewrite import Update, apply_update, rewrite_constraint
+from ..solver.domains import Domain
+from ..solver.interface import ConditionSolver
+from .constraints import CheckResult, Constraint
+from .subsumption import SubsumptionResult, check_subsumption
+
+__all__ = ["rewrite_target", "check_with_update", "check_after_update_directly"]
+
+
+def rewrite_target(target: Constraint, update: Update) -> Constraint:
+    """The rewritten constraint C′ reflecting the update."""
+    return Constraint(
+        name=f"{target.name}'",
+        program=rewrite_constraint(target.program, update),
+        description=f"{target.name} with update folded in",
+    )
+
+
+def check_with_update(
+    target: Constraint,
+    known: Sequence[Constraint],
+    update: Update,
+    solver: ConditionSolver,
+    schemas: Optional[Dict[str, Sequence[str]]] = None,
+    column_domains: Optional[Dict[str, Domain]] = None,
+    generic_rows: Optional[int] = None,
+) -> SubsumptionResult:
+    """Category (ii): subsumption of the update-rewritten target."""
+    rewritten = rewrite_target(target, update)
+    return check_subsumption(
+        rewritten,
+        known,
+        solver,
+        schemas=schemas,
+        column_domains=column_domains,
+        generic_rows=generic_rows,
+    )
+
+
+def check_after_update_directly(
+    target: Constraint,
+    database,
+    update: Update,
+    solver: ConditionSolver,
+) -> CheckResult:
+    """Reference check: materialize the update, evaluate the constraint.
+
+    Requires the full network state — the information level *above* the
+    relative-complete ladder; used as ground truth in tests and benches.
+    """
+    updated = apply_update(database, update)
+    return target.check(updated, solver)

@@ -1,0 +1,142 @@
+"""The relative-complete verifier: a ladder of increasingly informed tests.
+
+Fauré's verification philosophy (§2, §5): instead of one conclusive
+verifier demanding the whole network, run the *strongest test the
+available information permits*, and answer "unknown" only when more
+information is genuinely needed:
+
+1. **constraints only** → category (i) subsumption;
+2. **+ update** → category (ii) rewrite-then-subsume;
+3. **+ network state** → direct (possibly conditional) evaluation.
+
+:class:`RelativeCompleteVerifier` runs the ladder in order and reports
+which level decided, so callers can see exactly what information bought
+the verdict.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ctable.condition import Condition, FALSE
+from ..ctable.table import Database
+from ..faurelog.rewrite import Update, apply_update
+from ..solver.domains import Domain
+from ..solver.interface import ConditionSolver
+from .constraints import CheckResult, Constraint, Status
+from .subsumption import SubsumptionVerdict, check_subsumption
+from .updates import check_with_update
+
+__all__ = ["Level", "Verdict", "RelativeCompleteVerifier"]
+
+
+class Level(enum.Enum):
+    """Information levels, weakest first."""
+
+    CONSTRAINTS = "constraints-only"
+    UPDATE = "constraints+update"
+    STATE = "full-state"
+
+
+@dataclass
+class Verdict:
+    """The ladder's answer: status, deciding level, and the trail."""
+
+    status: Status
+    decided_by: Optional[Level] = None
+    violation_condition: Condition = FALSE
+    trail: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is Status.HOLDS
+
+    def __str__(self) -> str:
+        by = f" (by {self.decided_by.value})" if self.decided_by else ""
+        return f"{self.status.value}{by}"
+
+
+class RelativeCompleteVerifier:
+    """Runs the strongest applicable test for the information at hand.
+
+    Parameters
+    ----------
+    known_constraints:
+        Constraints maintained by other teams, assumed to hold (after
+        the update, per §5's setting).
+    solver:
+        Shared condition solver.
+    schemas / column_domains:
+        Ground the containment tests in the network's attribute domains.
+    """
+
+    def __init__(
+        self,
+        known_constraints: Sequence[Constraint],
+        solver: ConditionSolver,
+        schemas: Optional[Dict[str, Sequence[str]]] = None,
+        column_domains: Optional[Dict[str, Domain]] = None,
+        generic_rows: Optional[int] = None,
+    ):
+        self.known = list(known_constraints)
+        self.solver = solver
+        self.schemas = schemas
+        self.column_domains = column_domains
+        self.generic_rows = generic_rows
+
+    def verify(
+        self,
+        target: Constraint,
+        update: Optional[Update] = None,
+        state: Optional[Database] = None,
+    ) -> Verdict:
+        """Climb the ladder with whatever is supplied.
+
+        ``update=None`` stops after category (i); ``state=None`` stops
+        after category (ii).  The verdict's trail records each attempt.
+        """
+        trail: List[str] = []
+
+        # Level 1: constraints only.
+        sub = check_subsumption(
+            target,
+            self.known,
+            self.solver,
+            schemas=self.schemas,
+            column_domains=self.column_domains,
+            generic_rows=self.generic_rows,
+        )
+        trail.append(f"category(i) subsumption: {sub}")
+        if sub.verdict is SubsumptionVerdict.SUBSUMED:
+            return Verdict(Status.HOLDS, Level.CONSTRAINTS, trail=trail)
+
+        # Level 2: + update.
+        if update is not None:
+            sub2 = check_with_update(
+                target,
+                self.known,
+                update,
+                self.solver,
+                schemas=self.schemas,
+                column_domains=self.column_domains,
+                generic_rows=self.generic_rows,
+            )
+            trail.append(f"category(ii) rewrite+subsumption: {sub2}")
+            if sub2.verdict is SubsumptionVerdict.SUBSUMED:
+                return Verdict(Status.HOLDS, Level.UPDATE, trail=trail)
+
+        # Level 3: + full state (direct, possibly conditional, check).
+        if state is not None:
+            checked_state = apply_update(state, update) if update is not None else state
+            result = target.check(checked_state, self.solver)
+            trail.append(f"direct check: {result}")
+            return Verdict(
+                result.status,
+                Level.STATE,
+                violation_condition=result.violation_condition,
+                trail=trail,
+            )
+
+        return Verdict(Status.UNKNOWN, None, trail=trail)

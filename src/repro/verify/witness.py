@@ -1,0 +1,119 @@
+"""Counterexample extraction from conditional verdicts.
+
+A CONDITIONAL check result says "the constraint is violated exactly in
+the worlds satisfying this condition".  For an operator the useful next
+step is one *concrete* such world: an assignment of every unknown, the
+regular network state it induces, and confirmation that the constraint's
+panic query really fires there.  This module extracts it — and, for
+contrast, a compliant world when one exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..ctable.condition import Condition
+from ..ctable.table import Database
+from ..ctable.terms import Constant, CVariable
+from ..ctable.worlds import instantiate_database
+from ..faurelog.ast import Program
+from ..solver.interface import ConditionSolver
+from .baseline import GroundEvaluator
+from .constraints import CheckResult, Constraint, Status
+
+__all__ = ["Witness", "extract_witness", "extract_compliant_world"]
+
+Row = Tuple[Constant, ...]
+
+
+@dataclass
+class Witness:
+    """One concrete world exhibiting (or refuting) a violation."""
+
+    assignment: Dict[CVariable, Constant]
+    state: Dict[str, FrozenSet[Row]]
+    violated: bool
+
+    def describe(self) -> str:
+        """A short human-readable account of the world."""
+        lines = ["world:"]
+        for var in sorted(self.assignment, key=lambda v: v.name):
+            lines.append(f"  {var.name} = {self.assignment[var].value}")
+        lines.append("state:")
+        for name in sorted(self.state):
+            rows = sorted(
+                tuple(v.value for v in row) for row in self.state[name]
+            )
+            lines.append(f"  {name}: {rows}")
+        lines.append(f"constraint {'VIOLATED' if self.violated else 'holds'} here")
+        return "\n".join(lines)
+
+
+def _world_for(
+    condition: Condition,
+    constraint: Constraint,
+    database: Database,
+    solver: ConditionSolver,
+    expect_violation: bool,
+) -> Optional[Witness]:
+    # The model must cover every c-variable of the database, not just the
+    # ones in the condition — unconstrained unknowns still need values.
+    all_vars = sorted(
+        set(database.cvariables()) | set(condition.cvariables()),
+        key=lambda v: v.name,
+    )
+    if not solver.domains.all_finite(all_vars):
+        raise ValueError(
+            "witness extraction needs finite domains for every c-variable"
+        )
+    from ..solver.enumerate import iter_models
+
+    for assignment in iter_models(condition, solver.domains, variables=all_vars):
+        state = instantiate_database(database, assignment)
+        ground = GroundEvaluator(state)
+        violated = bool(ground.run(constraint.program).get("panic"))
+        if violated == expect_violation:
+            return Witness(assignment=dict(assignment), state=state, violated=violated)
+    return None
+
+
+def extract_witness(
+    constraint: Constraint,
+    database: Database,
+    solver: ConditionSolver,
+    result: Optional[CheckResult] = None,
+) -> Optional[Witness]:
+    """A concrete violating world, or ``None`` when the constraint holds.
+
+    ``result`` may be a prior :meth:`Constraint.check` outcome to avoid
+    re-evaluation; the returned witness is re-validated with the ground
+    evaluator, so a non-None answer is a genuine counterexample.
+    """
+    if result is None:
+        result = constraint.check(database, solver)
+    if result.status is Status.HOLDS:
+        return None
+    return _world_for(
+        result.violation_condition, constraint, database, solver, expect_violation=True
+    )
+
+
+def extract_compliant_world(
+    constraint: Constraint,
+    database: Database,
+    solver: ConditionSolver,
+    result: Optional[CheckResult] = None,
+) -> Optional[Witness]:
+    """A world where the constraint holds, or ``None`` if none exists."""
+    if result is None:
+        result = constraint.check(database, solver)
+    if result.status is Status.VIOLATED:
+        return None
+    return _world_for(
+        result.violation_condition.negate(),
+        constraint,
+        database,
+        solver,
+        expect_violation=False,
+    )

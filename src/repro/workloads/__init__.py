@@ -1,0 +1,37 @@
+"""Workload generators for the benchmark harness.
+
+Synthetic BGP RIBs (the route-views substitute of §6), failure-pattern
+families (Listing 2 generalizations), and random multi-team enterprise
+scenarios (§5 at scale).
+"""
+
+from .enterprisegen import Scenario, ScenarioConfig, generate_scenario
+from .failures import (
+    all_up,
+    at_least_k_failures,
+    at_most_k_failures,
+    exactly_k_failures,
+    must_include_failure,
+)
+from .ribgen import RibConfig, dump_rib, generate_as_graph, generate_rib, parse_rib
+from .topologen import fat_tree_frr, grid_frr, random_frr, ring_frr
+
+__all__ = [
+    "Scenario",
+    "ScenarioConfig",
+    "generate_scenario",
+    "all_up",
+    "at_least_k_failures",
+    "at_most_k_failures",
+    "exactly_k_failures",
+    "must_include_failure",
+    "RibConfig",
+    "dump_rib",
+    "generate_as_graph",
+    "generate_rib",
+    "parse_rib",
+    "fat_tree_frr",
+    "grid_frr",
+    "random_frr",
+    "ring_frr",
+]

@@ -1,0 +1,128 @@
+"""Random multi-team enterprise scenarios for the verification benches.
+
+Scales the §5 running example: *n* subnets, *m* servers, a port universe,
+random reachability/loadbalancer/firewall deployments, optionally with
+*k* c-variable (unknown) entries — the knob that grows the possible-world
+count the complete-approach baseline must enumerate while fauré's
+subsumption test stays state-independent.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ctable.condition import TRUE
+from ..ctable.table import CTable, Database
+from ..ctable.terms import CVariable
+from ..faurelog.ast import Program
+from ..faurelog.parser import parse_program
+from ..solver.domains import Domain, DomainMap, FiniteDomain, Unbounded
+
+__all__ = ["ScenarioConfig", "Scenario", "generate_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Size and uncertainty knobs for a generated enterprise."""
+
+    subnets: int = 2
+    servers: int = 2
+    ports: Tuple[int, ...] = (80, 344, 7000)
+    reach_density: float = 0.5
+    deploy_density: float = 0.6
+    unknown_entries: int = 0  # number of c-variable cells across tables
+    seed: int = 7
+
+
+@dataclass
+class Scenario:
+    """A generated enterprise: state, domains, and its policies."""
+
+    database: Database
+    domains: DomainMap
+    subnets: Tuple[str, ...]
+    servers: Tuple[str, ...]
+    ports: Tuple[int, ...]
+    target: Program
+    policies: List[Program]
+    schemas: Dict[str, List[str]]
+    column_domains: Dict[str, Domain]
+
+
+def generate_scenario(config: ScenarioConfig) -> Scenario:
+    """Build a random scenario in the shape of §5.
+
+    The target constraint requires the first subnet's traffic to the
+    first server to pass a firewall; the policy set mirrors C_s (all
+    traffic firewalled on known ports), so the target is always subsumed
+    — the benches compare *how* the two verification approaches scale,
+    not their verdicts.
+    """
+    rng = random.Random(config.seed)
+    subnets = tuple(f"S{i}" for i in range(config.subnets))
+    servers = tuple(f"H{j}" for j in range(config.servers))
+    ports = tuple(config.ports)
+
+    r_table = CTable("R", ["subnet", "server", "port"])
+    lb_table = CTable("Lb", ["subnet", "server"])
+    fw_table = CTable("Fw", ["subnet", "server"])
+    domains = DomainMap(default=Unbounded("any"))
+    coldoms: Dict[str, Domain] = {
+        "subnet": FiniteDomain(subnets),
+        "server": FiniteDomain(servers),
+        "port": FiniteDomain(ports),
+    }
+
+    unknown_budget = config.unknown_entries
+    var_counter = 0
+
+    def maybe_unknown(column: str, concrete):
+        nonlocal unknown_budget, var_counter
+        if unknown_budget > 0 and rng.random() < 0.5:
+            unknown_budget -= 1
+            var = CVariable(f"w{var_counter}")
+            var_counter += 1
+            domains.declare(var, coldoms[column])
+            return var
+        return concrete
+
+    for subnet in subnets:
+        for server in servers:
+            for port in ports:
+                if rng.random() < config.reach_density:
+                    r_table.add(
+                        [
+                            maybe_unknown("subnet", subnet),
+                            maybe_unknown("server", server),
+                            maybe_unknown("port", port),
+                        ]
+                    )
+            if rng.random() < config.deploy_density:
+                lb_table.add([subnet, server])
+            fw_table.add([maybe_unknown("subnet", subnet), server])
+
+    target = parse_program(
+        f"panic :- R('{subnets[0]}', '{servers[0]}', $p), "
+        f"not Fw('{subnets[0]}', '{servers[0]}')."
+    )
+    port_guards = ", ".join(f"$p != {p}" for p in ports)
+    policy = parse_program(
+        f"""
+        panic :- V(x, y, p).
+        V($x, $y, $p) :- R($x, $y, $p), not Fw($x, $y).
+        V($x, $y, $p) :- R($x, $y, $p), {port_guards}.
+        """
+    )
+    return Scenario(
+        database=Database([r_table, lb_table, fw_table]),
+        domains=domains,
+        subnets=subnets,
+        servers=servers,
+        ports=ports,
+        target=target,
+        policies=[policy],
+        schemas={"R": ["subnet", "server", "port"], "Lb": ["subnet", "server"], "Fw": ["subnet", "server"]},
+        column_domains=coldoms,
+    )

@@ -1,0 +1,66 @@
+"""Failure-pattern workload families for the reachability benches.
+
+Listing 2 demonstrates three pattern shapes; this module generalizes
+them into parameterized families over any set of link-state c-variables:
+
+* :func:`exactly_k_failures` — q6's shape (`k` of `n` links down);
+* :func:`must_include_failure` — q7's shape (a designated link down,
+  composed with another pattern);
+* :func:`at_least_k_failures` — q8's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..ctable.condition import Condition, LinearAtom, conjoin, eq
+from ..ctable.terms import CVariable
+
+__all__ = [
+    "exactly_k_failures",
+    "at_least_k_failures",
+    "at_most_k_failures",
+    "must_include_failure",
+    "all_up",
+]
+
+
+def _vars(variables: Iterable[CVariable]) -> List[CVariable]:
+    out = list(variables)
+    if not out:
+        raise ValueError("no link-state variables given")
+    return out
+
+
+def exactly_k_failures(variables: Iterable[CVariable], k: int) -> Condition:
+    """Exactly ``k`` of the links are down (sum of up-states = n - k)."""
+    vs = _vars(variables)
+    if not 0 <= k <= len(vs):
+        raise ValueError(f"k={k} out of range for {len(vs)} links")
+    return LinearAtom(vs, "=", len(vs) - k)
+
+
+def at_least_k_failures(variables: Iterable[CVariable], k: int) -> Condition:
+    """At least ``k`` links down (sum of up-states <= n - k)."""
+    vs = _vars(variables)
+    if not 0 <= k <= len(vs):
+        raise ValueError(f"k={k} out of range for {len(vs)} links")
+    return LinearAtom(vs, "<=", len(vs) - k)
+
+
+def at_most_k_failures(variables: Iterable[CVariable], k: int) -> Condition:
+    """At most ``k`` links down (sum of up-states >= n - k)."""
+    vs = _vars(variables)
+    if not 0 <= k <= len(vs):
+        raise ValueError(f"k={k} out of range for {len(vs)} links")
+    return LinearAtom(vs, ">=", len(vs) - k)
+
+
+def must_include_failure(pattern: Condition, failed: CVariable) -> Condition:
+    """Compose a pattern with "this particular link is down" (q7 shape)."""
+    return conjoin([pattern, eq(failed, 0)])
+
+
+def all_up(variables: Iterable[CVariable]) -> Condition:
+    """The no-failure world."""
+    return conjoin([eq(v, 1) for v in _vars(variables)])

@@ -1,0 +1,180 @@
+"""Synthetic BGP RIB generation — the stand-in for route-views (§6).
+
+The paper infers forwarding configuration from the route-views2 RIB of
+2021-06-10: per prefix, five AS paths (one primary, four ranked
+backups).  Offline we synthesize a RIB with the same structure:
+
+* an AS-level topology whose degree distribution is heavy-tailed
+  (preferential attachment, as observed at the AS level);
+* prefixes announced by random edge ASes;
+* per prefix, ``paths_per_prefix`` distinct loop-free AS paths toward
+  the origin from a common vantage AS, with realistic lengths (the
+  route-views mean is ≈4 hops);
+* a textual RIB dump format (``prefix|path|path|...``) plus a parser, so
+  the benchmark harness exercises the same parse-then-compile pipeline
+  the paper ran against the real file.
+
+All randomness flows from an explicit seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..network.forwarding import PrefixRoutes
+
+__all__ = [
+    "RibConfig",
+    "generate_as_graph",
+    "generate_rib",
+    "dump_rib",
+    "parse_rib",
+]
+
+
+@dataclass(frozen=True)
+class RibConfig:
+    """Knobs of the synthetic RIB."""
+
+    prefixes: int = 1000
+    paths_per_prefix: int = 5
+    as_count: int = 200
+    attachment: int = 3  # preferential-attachment edges per new AS
+    max_path_len: int = 6
+    seed: int = 2021_06_10
+
+
+def generate_as_graph(config: RibConfig) -> "nx.Graph":
+    """A heavy-tailed AS-level graph (Barabási–Albert)."""
+    m = min(config.attachment, max(1, config.as_count - 1))
+    return nx.barabasi_albert_graph(config.as_count, m, seed=config.seed)
+
+
+def _as_name(index: int) -> str:
+    return f"AS{index}"
+
+
+def _sample_paths(
+    graph: "nx.Graph",
+    origin: int,
+    vantage: int,
+    count: int,
+    max_len: int,
+    rng: random.Random,
+) -> List[Tuple[str, ...]]:
+    """Distinct loop-free vantage→origin paths, shortest-ish first.
+
+    Uses randomized walks biased toward the origin (falling back to
+    shortest paths) so path lengths cluster around the AS-level mean.
+    """
+    paths: List[Tuple[str, ...]] = []
+    seen: Set[Tuple[int, ...]] = set()
+
+    try:
+        base = nx.shortest_path(graph, vantage, origin)
+    except nx.NetworkXNoPath:
+        return []
+    if len(base) <= max_len + 1:
+        seen.add(tuple(base))
+        paths.append(tuple(_as_name(a) for a in base))
+
+    attempts = 0
+    while len(paths) < count and attempts < count * 60:
+        attempts += 1
+        walk = [vantage]
+        visited = {vantage}
+        ok = False
+        while len(walk) <= max_len:
+            here = walk[-1]
+            if here == origin:
+                ok = True
+                break
+            neighbors = [n for n in graph.neighbors(here) if n not in visited]
+            if not neighbors:
+                break
+            # Bias: with probability 0.6 step along a shortest path.
+            if rng.random() < 0.6:
+                try:
+                    nxt = nx.shortest_path(graph, here, origin)[1]
+                    if nxt in visited:
+                        nxt = rng.choice(neighbors)
+                except (nx.NetworkXNoPath, IndexError):
+                    nxt = rng.choice(neighbors)
+            else:
+                nxt = rng.choice(neighbors)
+            walk.append(nxt)
+            visited.add(nxt)
+        if ok and walk[-1] == origin:
+            key = tuple(walk)
+            if key not in seen and len(walk) >= 2:
+                seen.add(key)
+                paths.append(tuple(_as_name(a) for a in walk))
+    return paths
+
+
+def generate_rib(config: RibConfig) -> List[PrefixRoutes]:
+    """Synthesize per-prefix ranked routes.
+
+    The primary is the first (shortest) path; backup preference order is
+    randomized, as in the paper's setup.
+    """
+    rng = random.Random(config.seed)
+    graph = generate_as_graph(config)
+    nodes = list(graph.nodes())
+    vantage = max(nodes, key=graph.degree)  # the route collector peer
+    routes: List[PrefixRoutes] = []
+    prefix_index = 0
+    guard = 0
+    while len(routes) < config.prefixes and guard < config.prefixes * 20:
+        guard += 1
+        origin = rng.choice(nodes)
+        if origin == vantage:
+            continue
+        paths = _sample_paths(
+            graph,
+            origin,
+            vantage,
+            config.paths_per_prefix,
+            config.max_path_len,
+            rng,
+        )
+        if not paths:
+            continue
+        primary, backups = paths[0], paths[1:]
+        rng.shuffle(backups)
+        a = (prefix_index >> 16) & 0xFF
+        b = (prefix_index >> 8) & 0xFF
+        c = prefix_index & 0xFF
+        prefix = f"10.{a}.{b}.{c}/24"
+        prefix_index += 1
+        routes.append(PrefixRoutes(prefix=prefix, paths=(primary, *backups)))
+    return routes
+
+
+def dump_rib(routes: Iterable[PrefixRoutes]) -> str:
+    """Serialize to the textual dump format ``prefix|A B C|A D C|...``."""
+    lines = []
+    for route in routes:
+        cells = [route.prefix] + [" ".join(path) for path in route.paths]
+        lines.append("|".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def parse_rib(text: str) -> List[PrefixRoutes]:
+    """Parse the dump format back into ranked routes."""
+    routes: List[PrefixRoutes] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        cells = line.split("|")
+        if len(cells) < 2:
+            raise ValueError(f"line {lineno}: expected 'prefix|path|...', got {line!r}")
+        prefix = cells[0].strip()
+        paths = tuple(tuple(cell.split()) for cell in cells[1:] if cell.strip())
+        routes.append(PrefixRoutes(prefix=prefix, paths=paths))
+    return routes

@@ -1,0 +1,136 @@
+"""Topology generators and failure-protected configurations at scale.
+
+The paper's §4 example is a 5-node excerpt; these generators produce the
+same *kind* of fast-reroute configuration on standard topology families,
+so the loss-less machinery can be exercised (and benchmarked) on
+realistically shaped networks:
+
+* :func:`ring_frr` — a ring where each clockwise link is protected by
+  the counter-clockwise detour;
+* :func:`grid_frr` — an n×m grid with protected east/south primaries and
+  orthogonal backups;
+* :func:`fat_tree_frr` — a k-ary fat-tree (the datacenter staple) with
+  protected edge→aggregation uplinks backed by the sibling aggregation
+  switch;
+* :func:`random_frr` — preferential-attachment graphs with a random
+  subset of protected links.
+
+Every generator returns a :class:`~repro.network.frr.FrrConfig`;
+failures per protected link are independent {0,1} c-variables, so world
+counts grow as 2^protected.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from ..network.frr import FrrConfig
+
+__all__ = ["ring_frr", "grid_frr", "fat_tree_frr", "random_frr"]
+
+
+def ring_frr(nodes: int) -> FrrConfig:
+    """A ring: clockwise primaries, counter-clockwise detours.
+
+    Node ``i``'s primary goes to ``i+1``; its backup next-hop is ``i-1``
+    (the long way round).  All counter-clockwise links are unprotected.
+    """
+    if nodes < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    config = FrrConfig()
+    for i in range(nodes):
+        nxt = (i + 1) % nodes
+        prv = (i - 1) % nodes
+        config.protect(i, nxt, backups=[prv], state_var=f"r{i}")
+    for i in range(nodes):
+        prv = (i - 1) % nodes
+        config.add_link(i, prv)
+    return config
+
+
+def grid_frr(rows: int, cols: int) -> FrrConfig:
+    """An n×m grid: east/south primaries protected, backups orthogonal."""
+    if rows < 2 or cols < 2:
+        raise ValueError("grid needs at least 2x2")
+    config = FrrConfig()
+
+    def node(r: int, c: int) -> str:
+        return f"g{r}_{c}"
+
+    for r in range(rows):
+        for c in range(cols):
+            here = node(r, c)
+            if c + 1 < cols:
+                backups = [node(r + 1, c)] if r + 1 < rows else []
+                config.protect(here, node(r, c + 1), backups=backups,
+                               state_var=f"e{r}_{c}")
+            if r + 1 < rows:
+                backups = [node(r, c + 1)] if c + 1 < cols else []
+                config.protect(here, node(r + 1, c), backups=backups,
+                               state_var=f"s{r}_{c}")
+    return config
+
+
+def fat_tree_frr(k: int = 4) -> FrrConfig:
+    """A k-ary fat-tree with protected edge→aggregation uplinks.
+
+    k pods, each with k/2 edge and k/2 aggregation switches; (k/2)²
+    cores.  Each edge switch's primary uplink (to its first aggregation
+    switch) is protected, backed by the pod's other aggregation
+    switches.  Aggregation→core and downlinks are unprotected.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity must be even and >= 2")
+    half = k // 2
+    config = FrrConfig()
+    cores = [f"core{i}" for i in range(half * half)]
+    for pod in range(k):
+        aggs = [f"p{pod}_agg{a}" for a in range(half)]
+        edges = [f"p{pod}_edge{e}" for e in range(half)]
+        for e, edge in enumerate(edges):
+            primary, *rest = aggs
+            config.protect(edge, primary, backups=rest, state_var=f"u{pod}_{e}")
+            for agg in aggs:
+                config.add_link(agg, edge)  # downlinks unprotected
+        for a, agg in enumerate(aggs):
+            for i in range(half):
+                core = cores[a * half + i]
+                config.add_link(agg, core)
+                config.add_link(core, agg)
+    return config
+
+
+def random_frr(
+    nodes: int,
+    protected: int,
+    seed: int = 0,
+    attachment: int = 2,
+) -> FrrConfig:
+    """Preferential-attachment graph; a random subset of links protected.
+
+    Protected links get up to two backups chosen from the source's other
+    neighbors, mirroring the Figure 1 pattern on an organic topology.
+    """
+    rng = random.Random(seed)
+    graph = nx.barabasi_albert_graph(nodes, min(attachment, nodes - 1), seed=seed)
+    config = FrrConfig()
+    links: List[Tuple[int, int]] = []
+    for a, b in graph.edges():
+        links.append((a, b))
+        links.append((b, a))
+    rng.shuffle(links)
+    if protected > len(links):
+        raise ValueError(f"cannot protect {protected} of {len(links)} links")
+    chosen = links[:protected]
+    chosen_set = set(chosen)
+    for index, (src, dst) in enumerate(chosen):
+        neighbors = [n for n in graph.neighbors(src) if n != dst]
+        rng.shuffle(neighbors)
+        config.protect(src, dst, backups=neighbors[:2], state_var=f"v{index}")
+    for src, dst in links:
+        if (src, dst) not in chosen_set:
+            config.add_link(src, dst)
+    return config

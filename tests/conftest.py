@@ -1,0 +1,92 @@
+"""Shared fixtures: the paper's running examples, ready to use."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ctable import CTable, Database, cvar, disjoin, eq, ne
+from repro.network.enterprise import (
+    EnterpriseModel,
+    SCHEMAS,
+    column_domains,
+    constraint_T1,
+    constraint_T2,
+    listing4_update,
+    policy_C_lb,
+    policy_C_s,
+)
+from repro.network.frr import paper_figure1
+from repro.solver import BOOL_DOMAIN, ConditionSolver, DomainMap, FiniteDomain, Unbounded
+
+
+@pytest.fixture
+def bool_solver():
+    """Solver where x, y, z are {0,1} link states."""
+    domains = DomainMap(
+        {cvar("x"): BOOL_DOMAIN, cvar("y"): BOOL_DOMAIN, cvar("z"): BOOL_DOMAIN}
+    )
+    return ConditionSolver(domains)
+
+
+@pytest.fixture
+def string_solver():
+    """Solver over unbounded string-ish domains."""
+    return ConditionSolver(DomainMap(default=Unbounded("string")))
+
+
+@pytest.fixture
+def path_database():
+    """The paper's Table 2: PATH' = {P^i, C}."""
+    xp, yd = cvar("xp"), cvar("yd")
+    p = CTable("P", ["dest", "path"])
+    p.add(
+        ["1.2.3.4", xp],
+        disjoin([eq(xp, ("A", "B", "C")), eq(xp, ("A", "D", "E", "C"))]),
+    )
+    p.add([yd, ("A", "B", "E")], ne(yd, "1.2.3.4"))
+    p.add(["1.2.3.6", ("A", "D", "E", "C")])
+    c = CTable("C", ["path", "cost"])
+    c.add([("A", "B", "C"), 3])
+    c.add([("A", "D", "E", "C"), 4])
+    c.add([("A", "B", "E"), 3])
+    return Database([p, c])
+
+
+@pytest.fixture
+def path_domains():
+    """Finite domains for the Table 2 c-variables (world enumeration)."""
+    return DomainMap(
+        {
+            cvar("xp"): FiniteDomain([("A", "B", "C"), ("A", "D", "E", "C")]),
+            cvar("yd"): FiniteDomain(["1.2.3.4", "1.2.3.5", "1.2.3.6"]),
+        }
+    )
+
+
+@pytest.fixture
+def figure1():
+    """The §4 fast-reroute configuration."""
+    return paper_figure1()
+
+
+@pytest.fixture
+def figure1_solver(figure1):
+    return ConditionSolver(figure1.domain_map())
+
+
+@pytest.fixture
+def enterprise():
+    """The §5 paper state with its solver, constraints, and update."""
+    model = EnterpriseModel.paper_state()
+    return {
+        "model": model,
+        "database": model.database(),
+        "solver": ConditionSolver(model.domain_map()),
+        "schemas": SCHEMAS,
+        "column_domains": column_domains(),
+        "T1": constraint_T1(),
+        "T2": constraint_T2(),
+        "C_lb": policy_C_lb(),
+        "C_s": policy_C_s(),
+        "update": listing4_update(),
+    }

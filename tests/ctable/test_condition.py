@@ -1,0 +1,203 @@
+"""The condition language: construction, folding, substitution, evaluation."""
+
+import pytest
+
+from repro.ctable.condition import (
+    And,
+    Comparison,
+    FALSE,
+    LinearAtom,
+    Not,
+    Or,
+    TRUE,
+    conjoin,
+    disjoin,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+)
+from repro.ctable.terms import Constant, CVariable, Variable
+
+X, Y, Z = CVariable("x"), CVariable("y"), CVariable("z")
+
+
+def assignment(**kwargs):
+    return {CVariable(k): Constant(v) for k, v in kwargs.items()}
+
+
+class TestComparison:
+    def test_constant_folding_equal(self):
+        assert eq(1, 1) is TRUE
+        assert eq(1, 2) is FALSE
+        assert ne(1, 2) is TRUE
+        assert lt(1, 2) is TRUE
+        assert ge(1, 2) is FALSE
+
+    def test_incomparable_constants(self):
+        # strings vs ints: equality decides, ordering stays symbolic
+        assert eq("a", 1) is FALSE
+        assert ne("a", 1) is TRUE
+
+    def test_identical_symbolic_sides(self):
+        assert eq(X, X) is TRUE
+        assert ne(X, X) is FALSE
+        assert le(X, X) is TRUE
+        assert lt(X, X) is FALSE
+
+    def test_symbolic_comparison_stays(self):
+        c = eq(X, 1)
+        assert isinstance(c, Comparison)
+        assert c.cvariables() == frozenset({X})
+
+    def test_canonical_orientation_constant_right(self):
+        c = Comparison(Constant(1), "<", X)
+        # flipped to x > 1
+        assert c.lhs == X and c.op == ">" and c.rhs == Constant(1)
+
+    def test_symmetric_ops_sorted(self):
+        assert eq(X, Y) == eq(Y, X)
+        assert ne(X, Y) == ne(Y, X)
+
+    def test_evaluate(self):
+        c = eq(X, 1)
+        assert c.evaluate(assignment(x=1))
+        assert not c.evaluate(assignment(x=0))
+
+    def test_evaluate_ordering(self):
+        assert lt(X, 5).evaluate(assignment(x=3))
+        assert not gt(X, 5).evaluate(assignment(x=3))
+
+    def test_negate(self):
+        assert eq(X, 1).negate() == ne(X, 1)
+        assert lt(X, 1).negate() == ge(X, 1)
+        assert le(X, 1).negate() == gt(X, 1)
+
+    def test_substitute_to_constant_folds(self):
+        c = eq(X, 1)
+        assert c.substitute({X: Constant(1)}) is TRUE
+        assert c.substitute({X: Constant(2)}) is FALSE
+
+    def test_substitute_to_other_cvariable(self):
+        c = eq(X, 1)
+        out = c.substitute({X: Y})
+        assert out == eq(Y, 1)
+
+    def test_rejects_bad_operator(self):
+        with pytest.raises(ValueError):
+            Comparison(X, "~", Y)
+
+
+class TestLinearAtom:
+    def test_construction_from_list(self):
+        a = LinearAtom([X, Y, Z], "=", 1)
+        assert dict(a.coeffs) == {X: 1, Y: 1, Z: 1}
+
+    def test_construction_from_mapping_merges(self):
+        a = LinearAtom({X: 1, Y: 2}, "<=", 3)
+        assert dict(a.coeffs) == {X: 1, Y: 2}
+
+    def test_zero_coefficients_dropped(self):
+        a = LinearAtom({X: 1, Y: 0}, "=", 1)
+        assert dict(a.coeffs) == {X: 1}
+
+    def test_evaluate(self):
+        a = LinearAtom([X, Y, Z], "=", 1)
+        assert a.evaluate(assignment(x=1, y=0, z=0))
+        assert not a.evaluate(assignment(x=1, y=1, z=0))
+
+    def test_negate(self):
+        a = LinearAtom([X, Y], "<=", 1)
+        assert a.negate() == LinearAtom([X, Y], ">", 1)
+
+    def test_substitute_partial(self):
+        a = LinearAtom([X, Y, Z], "=", 1)
+        out = a.substitute({X: Constant(0)})
+        assert out == LinearAtom([Y, Z], "=", 1)
+
+    def test_substitute_full_folds(self):
+        a = LinearAtom([X, Y], "=", 1)
+        assert a.substitute({X: Constant(1), Y: Constant(0)}) is TRUE
+        assert a.substitute({X: Constant(1), Y: Constant(1)}) is FALSE
+
+    def test_substitute_var_to_var_merges(self):
+        a = LinearAtom([X, Y], "=", 1)
+        out = a.substitute({Y: X})
+        assert dict(out.coeffs) == {X: 2}
+
+    def test_rejects_non_cvariable(self):
+        with pytest.raises(TypeError):
+            LinearAtom([Variable("v")], "=", 1)
+
+    def test_rejects_non_numeric_substitution(self):
+        a = LinearAtom([X], "=", 1)
+        with pytest.raises(TypeError):
+            a.substitute({X: Constant("str")})
+
+
+class TestBooleanStructure:
+    def test_conjoin_flattens_and_dedups(self):
+        c = conjoin([eq(X, 1), conjoin([eq(Y, 1), eq(X, 1)])])
+        assert isinstance(c, And)
+        assert len(c.children) == 2
+
+    def test_conjoin_short_circuits(self):
+        assert conjoin([eq(X, 1), FALSE]) is FALSE
+        assert conjoin([TRUE, TRUE]) is TRUE
+        assert conjoin([]) is TRUE
+        assert conjoin([eq(X, 1)]) == eq(X, 1)
+
+    def test_disjoin_short_circuits(self):
+        assert disjoin([eq(X, 1), TRUE]) is TRUE
+        assert disjoin([]) is FALSE
+        assert disjoin([FALSE, eq(X, 1)]) == eq(X, 1)
+
+    def test_demorgan_negation(self):
+        c = conjoin([eq(X, 1), eq(Y, 0)])
+        n = c.negate()
+        assert isinstance(n, Or)
+        assert set(n.children) == {ne(X, 1), ne(Y, 0)}
+
+    def test_not_wraps_and_unwraps(self):
+        c = conjoin([eq(X, 1), eq(Y, 0)])
+        n = Not(c)
+        assert n.negate() is c
+
+    def test_evaluate_compound(self):
+        c = disjoin([conjoin([eq(X, 1), eq(Y, 1)]), eq(Z, 0)])
+        assert c.evaluate(assignment(x=1, y=1, z=1))
+        assert c.evaluate(assignment(x=0, y=0, z=0))
+        assert not c.evaluate(assignment(x=0, y=1, z=1))
+
+    def test_substitution_recurses(self):
+        c = conjoin([eq(X, 1), disjoin([eq(Y, 0), eq(Z, 1)])])
+        out = c.substitute({X: Constant(1), Y: Constant(0)})
+        assert out is TRUE
+
+    def test_cvariables_collects_all(self):
+        c = conjoin([eq(X, 1), LinearAtom([Y, Z], "=", 1)])
+        assert c.cvariables() == frozenset({X, Y, Z})
+
+    def test_atoms_iteration(self):
+        c = conjoin([eq(X, 1), disjoin([ne(Y, 0), LinearAtom([Z], "<", 1)])])
+        kinds = {type(a).__name__ for a in c.atoms()}
+        assert kinds == {"Comparison", "LinearAtom"}
+
+    def test_operators(self):
+        c = eq(X, 1) & eq(Y, 1)
+        assert isinstance(c, And)
+        d = eq(X, 1) | eq(Y, 1)
+        assert isinstance(d, Or)
+        assert (~eq(X, 1)) == ne(X, 1)
+
+
+class TestTrueFalse:
+    def test_singletons_behave(self):
+        assert TRUE.evaluate({}) is True
+        assert FALSE.evaluate({}) is False
+        assert TRUE.negate() is FALSE
+        assert FALSE.negate() is TRUE
+        assert list(TRUE.atoms()) == []
+        assert TRUE.substitute({X: Constant(1)}) is TRUE

@@ -1,0 +1,117 @@
+"""Database / domain serialization roundtrips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ctable.condition import (
+    And,
+    Comparison,
+    LinearAtom,
+    Not,
+    Or,
+    TRUE,
+    conjoin,
+    disjoin,
+    eq,
+    ne,
+)
+from repro.ctable.io import (
+    condition_from_obj,
+    condition_to_obj,
+    database_from_obj,
+    database_to_obj,
+    domains_from_obj,
+    domains_to_obj,
+    dump_database,
+    load_database,
+    term_from_obj,
+    term_to_obj,
+)
+from repro.ctable.table import CTable, Database
+from repro.ctable.terms import Constant, CVariable
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, FiniteDomain, IntRange, Unbounded
+
+X, Y = CVariable("x"), CVariable("y")
+
+
+class TestTermRoundtrip:
+    @pytest.mark.parametrize(
+        "term",
+        [
+            Constant("Mkt"),
+            Constant(7000),
+            Constant(2.5),
+            Constant(("A", "B", "C")),
+            CVariable("x"),
+        ],
+    )
+    def test_roundtrip(self, term):
+        assert term_from_obj(term_to_obj(term)) == term
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            term_from_obj({"nope": 1})
+        with pytest.raises(ValueError):
+            term_from_obj("bare")
+
+
+class TestConditionRoundtrip:
+    @pytest.mark.parametrize(
+        "cond",
+        [
+            TRUE,
+            eq(X, 1),
+            ne(X, "Mkt"),
+            conjoin([eq(X, 1), ne(Y, 0)]),
+            disjoin([eq(X, 1), eq(X, 2)]),
+            Not(conjoin([eq(X, 1), eq(Y, 1)])),
+            LinearAtom({X: 1, Y: 2}, "<=", 3),
+        ],
+    )
+    def test_roundtrip(self, cond):
+        assert condition_from_obj(condition_to_obj(cond)) == cond
+
+    def test_json_serializable(self):
+        obj = condition_to_obj(conjoin([eq(X, ("A", "B")), ne(Y, 1)]))
+        assert condition_from_obj(json.loads(json.dumps(obj))) is not None
+
+
+class TestDatabaseRoundtrip:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        t = database.create_table("F", ["n1", "n2"])
+        t.add([1, 2], eq(X, 1))
+        t.add([X, ("A", "B")])
+        database.create_table("Empty", ["a"])
+        return database
+
+    def test_obj_roundtrip(self, db):
+        clone = database_from_obj(database_to_obj(db))
+        assert clone.names() == db.names()
+        assert clone.table("F").tuples() == db.table("F").tuples()
+        assert len(clone.table("Empty")) == 0
+
+    def test_text_roundtrip(self, db):
+        domains = DomainMap({X: BOOL_DOMAIN})
+        text = dump_database(db, domains)
+        loaded_db, loaded_domains = load_database(text)
+        assert loaded_db.table("F").tuples() == db.table("F").tuples()
+        assert loaded_domains.domain_of(X) == BOOL_DOMAIN
+
+
+class TestDomainsRoundtrip:
+    def test_all_kinds(self):
+        domains = DomainMap(
+            {
+                X: FiniteDomain([1, "a", ("P", "Q")]),
+                Y: IntRange(0, 5),
+                CVariable("z"): Unbounded("string"),
+            }
+        )
+        clone = domains_from_obj(domains_to_obj(domains))
+        assert clone.domain_of(X) == domains.domain_of(X)
+        assert clone.domain_of(Y) == domains.domain_of(Y)
+        assert clone.domain_of(CVariable("z")) == Unbounded("string")

@@ -1,0 +1,137 @@
+"""The shared term/condition syntax."""
+
+import pytest
+
+from repro.ctable.condition import And, Comparison, LinearAtom, Or
+from repro.ctable.parse import (
+    ParseError,
+    TokenStream,
+    parse_condition,
+    parse_term,
+    tokenize,
+)
+from repro.ctable.terms import Constant, CVariable, Variable
+
+
+def term_of(text, **kwargs):
+    return parse_term(TokenStream(tokenize(text), text), **kwargs)
+
+
+class TestTokenizer:
+    def test_cvar_token(self):
+        assert tokenize("$x")[0] == ("cvar", "$x", 0)
+
+    def test_address_token(self):
+        kinds = [t[0] for t in tokenize("1.2.3.4")]
+        assert kinds[0] == "addr"
+
+    def test_prefix_token(self):
+        assert tokenize("10.0.0.0/8")[0][0] == "addr"
+
+    def test_plain_decimal_reclassified_as_number(self):
+        assert tokenize("1.5")[0][0] == "number"
+
+    def test_number_then_period(self):
+        kinds = [(t[0], t[1]) for t in tokenize("1.")[:2]]
+        assert kinds == [("number", "1"), ("op", ".")]
+
+    def test_comments_dropped(self):
+        toks = tokenize("a % comment here\nb")
+        assert [t[1] for t in toks[:-1]] == ["a", "b"]
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("and")[0] == ("kw", "AND", 0)
+        assert tokenize("Not")[0][1] == "NOT"
+
+    def test_rule_operator(self):
+        assert (":-" in [t[1] for t in tokenize("a :- b")])
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+
+class TestTermParsing:
+    def test_cvariable(self):
+        assert term_of("$port") == CVariable("port")
+
+    def test_quoted_string(self):
+        assert term_of("'R&D'") == Constant("R&D")
+        assert term_of('"hello world"') == Constant("hello world")
+
+    def test_capitalized_is_constant(self):
+        assert term_of("Mkt") == Constant("Mkt")
+
+    def test_lowercase_is_variable(self):
+        assert term_of("n1") == Variable("n1")
+
+    def test_numbers(self):
+        assert term_of("7000") == Constant(7000)
+        assert term_of("3.5") == Constant(3.5)
+
+    def test_address_is_string_constant(self):
+        assert term_of("1.2.3.4") == Constant("1.2.3.4")
+
+    def test_path_literal(self):
+        assert term_of("[A B C]") == Constant(("A", "B", "C"))
+
+    def test_path_with_numbers(self):
+        assert term_of("[1 2 3]") == Constant((1, 2, 3))
+
+    def test_custom_resolver(self):
+        out = term_of("anything", resolve_ident=lambda n: Constant(n.upper()))
+        assert out == Constant("ANYTHING")
+
+
+class TestConditionParsing:
+    def test_simple_comparison(self):
+        c = parse_condition("$x = 1")
+        assert isinstance(c, Comparison)
+
+    def test_operator_spellings(self):
+        assert parse_condition("$x == 1") == parse_condition("$x = 1")
+        assert parse_condition("$x <> 1") == parse_condition("$x != 1")
+
+    def test_linear_atom(self):
+        c = parse_condition("$x + $y + $z = 1")
+        assert isinstance(c, LinearAtom)
+        assert c.bound == 1
+
+    def test_linear_with_constant_shift(self):
+        c = parse_condition("$x + 1 = 2")
+        assert isinstance(c, LinearAtom)
+        assert c.bound == 1
+
+    def test_and_or_structure(self):
+        c = parse_condition("$x = 1 AND ($y = 0 OR $z = 0)")
+        assert isinstance(c, And)
+        assert any(isinstance(ch, Or) for ch in c.children)
+
+    def test_not_pushes_to_atom(self):
+        c = parse_condition("NOT $x = 1")
+        assert c == parse_condition("$x != 1")
+
+    def test_string_comparison(self):
+        c = parse_condition("$s != 'Mkt'")
+        assert isinstance(c, Comparison)
+
+    def test_folding(self):
+        from repro.ctable.condition import TRUE, FALSE
+
+        assert parse_condition("1 = 1") is TRUE
+        assert parse_condition("1 = 2") is FALSE
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_condition("$x = 1 bogus extra")
+
+    def test_linear_over_non_numeric_rejected(self):
+        with pytest.raises(ParseError):
+            parse_condition("$x + Mkt = 1")
+
+    def test_stream_mode_stops_at_boundary(self):
+        text = "$x = 1, rest"
+        stream = TokenStream(tokenize(text), text)
+        c = parse_condition(stream)
+        assert isinstance(c, Comparison)
+        assert stream.peek()[1] == ","

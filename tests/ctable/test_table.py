@@ -1,0 +1,159 @@
+"""C-tables and databases: storage semantics."""
+
+import pytest
+
+from repro.ctable.condition import TRUE, eq, ne
+from repro.ctable.table import CTable, CTuple, Database
+from repro.ctable.terms import Constant, CVariable, Variable
+
+X = CVariable("x")
+
+
+class TestCTuple:
+    def test_values_coerced_to_terms(self):
+        t = CTuple(["a", 1, X])
+        assert t.values == (Constant("a"), Constant(1), X)
+
+    def test_rejects_program_variables(self):
+        with pytest.raises(ValueError):
+            CTuple([Variable("v")])
+
+    def test_default_condition_is_true(self):
+        assert CTuple([1]).condition is TRUE
+
+    def test_is_certain(self):
+        assert CTuple([1, "a"]).is_certain
+        assert not CTuple([X]).is_certain
+        assert not CTuple([1], eq(X, 1)).is_certain
+
+    def test_cvariables_from_data_and_condition(self):
+        t = CTuple([X, 1], eq(CVariable("y"), 0))
+        assert t.cvariables() == frozenset({X, CVariable("y")})
+
+    def test_and_condition(self):
+        t = CTuple([1], eq(X, 1))
+        t2 = t.and_condition(ne(X, 0))
+        assert t2.values == t.values
+        assert t2.condition != t.condition
+
+    def test_substitute(self):
+        t = CTuple([X], eq(X, 1))
+        out = t.substitute({X: Constant(1)})
+        assert out.values == (Constant(1),)
+        assert out.condition is TRUE
+
+    def test_equality_includes_condition(self):
+        assert CTuple([1], eq(X, 1)) != CTuple([1], eq(X, 0))
+        assert CTuple([1], eq(X, 1)) == CTuple([1], eq(X, 1))
+
+
+class TestCTable:
+    def test_schema_validation(self):
+        with pytest.raises(ValueError):
+            CTable("T", ["a", "a"])
+        with pytest.raises(ValueError):
+            CTable("", ["a"])
+
+    def test_add_and_iterate(self):
+        t = CTable("T", ["a", "b"])
+        assert t.add([1, 2])
+        assert t.add([3, 4], eq(X, 1))
+        assert len(t) == 2
+        assert [tuple(v.value for v in row.values) for row in t] == [(1, 2), (3, 4)]
+
+    def test_duplicate_collapses(self):
+        t = CTable("T", ["a"])
+        assert t.add([1])
+        assert not t.add([1])
+        assert len(t) == 1
+
+    def test_same_data_different_condition_kept(self):
+        t = CTable("T", ["a"])
+        t.add([1], eq(X, 1))
+        t.add([1], eq(X, 0))
+        assert len(t) == 2
+
+    def test_arity_mismatch(self):
+        t = CTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add([1])
+
+    def test_condition_inside_ctuple_only(self):
+        t = CTable("T", ["a"])
+        with pytest.raises(ValueError):
+            t.add(CTuple([1]), eq(X, 1))
+
+    def test_is_regular(self):
+        t = CTable("T", ["a"])
+        t.add([1])
+        assert t.is_regular()
+        t.add([X])
+        assert not t.is_regular()
+
+    def test_attribute_index(self):
+        t = CTable("T", ["a", "b"])
+        assert t.attribute_index("b") == 1
+        with pytest.raises(KeyError):
+            t.attribute_index("zz")
+
+    def test_copy_is_independent(self):
+        t = CTable("T", ["a"])
+        t.add([1])
+        c = t.copy()
+        c.add([2])
+        assert len(t) == 1 and len(c) == 2
+
+    def test_pretty_contains_condition_column(self):
+        t = CTable("T", ["a"])
+        t.add([X], eq(X, 1))
+        text = t.pretty()
+        assert "condition" in text
+        assert "T" in text.splitlines()[0]
+
+    def test_pretty_truncates(self):
+        t = CTable("T", ["a"])
+        for i in range(40):
+            t.add([i])
+        text = t.pretty(max_rows=5)
+        assert "more" in text
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        db = Database()
+        t = db.create_table("T", ["a"])
+        assert db.table("T") is t
+        assert "T" in db
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("T", ["a"])
+        with pytest.raises(ValueError):
+            db.create_table("T", ["a"])
+
+    def test_missing_table(self):
+        with pytest.raises(KeyError):
+            Database().table("nope")
+
+    def test_cvariables_across_tables(self):
+        db = Database()
+        t1 = db.create_table("A", ["a"])
+        t1.add([X])
+        t2 = db.create_table("B", ["b"])
+        t2.add([1], eq(CVariable("y"), 1))
+        assert db.cvariables() == frozenset({X, CVariable("y")})
+
+    def test_copy_deep_enough(self):
+        db = Database()
+        db.create_table("T", ["a"]).add([1])
+        clone = db.copy()
+        clone.table("T").add([2])
+        assert len(db.table("T")) == 1
+
+    def test_replace_table(self):
+        db = Database()
+        db.create_table("T", ["a"])
+        replacement = CTable("T", ["a"])
+        replacement.add([9])
+        db.replace_table(replacement)
+        assert len(db.table("T")) == 1

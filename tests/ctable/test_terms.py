@@ -1,0 +1,114 @@
+"""Terms of the c-domain: construction, identity, immutability."""
+
+import pytest
+
+from repro.ctable.terms import (
+    Constant,
+    CVariable,
+    Term,
+    Variable,
+    as_term,
+    constant,
+    cvar,
+    is_ground,
+    var,
+)
+
+
+class TestConstant:
+    def test_string_payload(self):
+        c = Constant("Mkt")
+        assert c.value == "Mkt"
+        assert c.is_constant and not c.is_cvariable and not c.is_variable
+
+    def test_numeric_payloads(self):
+        assert Constant(7000).value == 7000
+        assert Constant(3.5).value == 3.5
+        assert Constant(True).value is True
+
+    def test_list_becomes_tuple(self):
+        c = Constant(["A", "B", "C"])
+        assert c.value == ("A", "B", "C")
+
+    def test_wrapping_constant_unwraps(self):
+        inner = Constant(5)
+        assert Constant(inner).value == 5
+
+    def test_rejects_unsupported_payload(self):
+        with pytest.raises(TypeError):
+            Constant({"a": 1})
+        with pytest.raises(TypeError):
+            Constant(None)
+
+    def test_equality_and_hash(self):
+        assert Constant("x") == Constant("x")
+        assert Constant("x") != Constant("y")
+        assert Constant(1) != Constant("1") or Constant(1).value != "1"
+        assert hash(Constant(("A", "B"))) == hash(Constant(("A", "B")))
+
+    def test_constant_not_equal_to_cvariable_of_same_name(self):
+        assert Constant("x") != CVariable("x")
+        assert hash(Constant("x")) != hash(CVariable("x"))
+
+    def test_immutable(self):
+        c = Constant(1)
+        with pytest.raises(AttributeError):
+            c.value = 2
+
+    def test_str_of_path(self):
+        assert str(Constant(("A", "B", "C"))) == "[A B C]"
+
+
+class TestCVariable:
+    def test_name(self):
+        assert CVariable("x").name == "x"
+
+    def test_name_validation(self):
+        with pytest.raises(ValueError):
+            CVariable("")
+        with pytest.raises(ValueError):
+            CVariable("1x")
+        with pytest.raises(ValueError):
+            CVariable("has space")
+
+    def test_allows_domain_style_names(self):
+        assert CVariable("l_1_2").name == "l_1_2"
+
+    def test_identity(self):
+        assert CVariable("x") == CVariable("x")
+        assert CVariable("x") != CVariable("y")
+        assert CVariable("x") != Variable("x")
+
+    def test_usable_as_dict_key(self):
+        d = {CVariable("x"): 1}
+        assert d[CVariable("x")] == 1
+
+
+class TestVariable:
+    def test_identity(self):
+        assert Variable("n1") == Variable("n1")
+        assert Variable("n1") != Variable("n2")
+
+    def test_kind_flags(self):
+        v = Variable("n")
+        assert v.is_variable and not v.is_constant and not v.is_cvariable
+
+
+class TestHelpers:
+    def test_as_term_coerces_raw_values(self):
+        assert as_term("a") == Constant("a")
+        assert as_term(5) == Constant(5)
+        assert as_term(("A", "B")) == Constant(("A", "B"))
+
+    def test_as_term_passes_terms_through(self):
+        v = Variable("x")
+        assert as_term(v) is v
+
+    def test_shorthand_constructors(self):
+        assert constant(1) == Constant(1)
+        assert cvar("x") == CVariable("x")
+        assert var("y") == Variable("y")
+
+    def test_is_ground(self):
+        assert is_ground([Constant(1), CVariable("x")])
+        assert not is_ground([Constant(1), Variable("y")])

@@ -1,0 +1,100 @@
+"""Possible-worlds semantics: instantiation and enumeration."""
+
+import pytest
+
+from repro.ctable.condition import eq, ne
+from repro.ctable.table import CTable, CTuple, Database
+from repro.ctable.terms import Constant, CVariable
+from repro.ctable.worlds import (
+    certain_rows,
+    instantiate_database,
+    instantiate_table,
+    instantiate_tuple,
+    iter_assignments,
+    iter_worlds,
+    possible_rows,
+    world_count,
+)
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, FiniteDomain, Unbounded
+
+X, Y = CVariable("x"), CVariable("y")
+
+
+@pytest.fixture
+def bool_domains():
+    return DomainMap({X: BOOL_DOMAIN, Y: BOOL_DOMAIN})
+
+
+class TestInstantiation:
+    def test_tuple_values_substituted(self):
+        t = CTuple([X, "k"])
+        row = instantiate_tuple(t, {X: Constant(1)})
+        assert row == (Constant(1), Constant("k"))
+
+    def test_tuple_absent_when_condition_false(self):
+        t = CTuple([1], eq(X, 1))
+        assert instantiate_tuple(t, {X: Constant(0)}) is None
+
+    def test_table_instantiation_dedups(self):
+        t = CTable("T", ["a"])
+        t.add([X], eq(X, 1))
+        t.add([1], eq(X, 1))
+        rows = instantiate_table(t, {X: Constant(1)})
+        assert rows == frozenset({(Constant(1),)})
+
+    def test_database_instantiation(self):
+        db = Database()
+        db.create_table("A", ["a"]).add([X])
+        db.create_table("B", ["b"]).add([0])
+        worlds = instantiate_database(db, {X: Constant(1)})
+        assert worlds["A"] == frozenset({(Constant(1),)})
+        assert worlds["B"] == frozenset({(Constant(0),)})
+
+
+class TestEnumeration:
+    def test_assignment_count(self, bool_domains):
+        assignments = list(iter_assignments([X, Y], bool_domains))
+        assert len(assignments) == 4
+        assert all(set(a) == {X, Y} for a in assignments)
+
+    def test_unbounded_rejected(self):
+        domains = DomainMap(default=Unbounded())
+        with pytest.raises(ValueError):
+            list(iter_assignments([X], domains))
+
+    def test_world_count(self, bool_domains):
+        db = Database()
+        db.create_table("T", ["a"]).add([X], eq(Y, 1))
+        assert world_count(db, bool_domains) == 4
+
+    def test_iter_worlds_covers_all(self, bool_domains):
+        db = Database()
+        db.create_table("T", ["a"]).add([X], eq(X, 1))
+        worlds = list(iter_worlds(db, bool_domains))
+        assert len(worlds) == 2  # only x occurs
+        present = [bool(w["T"]) for _, w in worlds]
+        assert sorted(present) == [False, True]
+
+
+class TestCertainAndPossible:
+    def test_certain_rows(self, bool_domains):
+        t = CTable("T", ["a"])
+        t.add([7])           # always present
+        t.add([X])           # value varies: 0 or 1
+        t.add([9], eq(X, 1))  # conditional
+        certain = certain_rows(t, bool_domains)
+        assert (Constant(7),) in certain
+        assert (Constant(9),) not in certain
+
+    def test_possible_rows(self, bool_domains):
+        t = CTable("T", ["a"])
+        t.add([X])
+        possible = possible_rows(t, bool_domains)
+        assert possible == frozenset({(Constant(0),), (Constant(1),)})
+
+    def test_certain_empty_when_table_varies_fully(self, bool_domains):
+        t = CTable("T", ["a"])
+        t.add([0], eq(X, 0))
+        t.add([1], eq(X, 1))
+        assert certain_rows(t, bool_domains) == frozenset()
+        assert len(possible_rows(t, bool_domains)) == 2

@@ -1,0 +1,77 @@
+"""Counting over c-tables."""
+
+import pytest
+
+from repro.ctable.condition import TRUE, conjoin, disjoin, eq, ne
+from repro.ctable.table import CTable
+from repro.ctable.terms import Constant, CVariable
+from repro.engine.aggregates import certain_count, count_bounds, possible_count
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, FiniteDomain, Unbounded
+from repro.solver.interface import ConditionSolver
+
+X, Y = CVariable("x"), CVariable("y")
+
+
+@pytest.fixture
+def solver():
+    return ConditionSolver(
+        DomainMap({X: BOOL_DOMAIN, Y: FiniteDomain(["a", "b"])})
+    )
+
+
+class TestApproximations:
+    def test_regular_table(self, solver):
+        t = CTable("T", ["a"])
+        t.add([1])
+        t.add([2])
+        assert certain_count(t, solver) == 2
+        assert possible_count(t, solver) == 2
+        assert count_bounds(t, solver) == (2, 2)
+
+    def test_conditional_row(self, solver):
+        t = CTable("T", ["a"])
+        t.add([1])
+        t.add([2], eq(X, 1))
+        assert certain_count(t, solver) == 1
+        assert possible_count(t, solver) == 2
+        assert count_bounds(t, solver) == (1, 2)
+
+    def test_complementary_conditions_certain_in_disjunction(self, solver):
+        t = CTable("T", ["a"])
+        t.add([1], eq(X, 0))
+        t.add([1], eq(X, 1))
+        assert certain_count(t, solver) == 1
+        assert count_bounds(t, solver) == (1, 1)
+
+    def test_cvariable_data_part_not_counted_certain(self, solver):
+        t = CTable("T", ["a"])
+        t.add([Y])
+        t.add(["a"])
+        # in the world y="a" the rows coincide: only one distinct row
+        assert certain_count(t, solver) == 1
+        assert count_bounds(t, solver) == (1, 2)
+
+    def test_exclusive_rows_never_coexist(self, solver):
+        t = CTable("T", ["a"])
+        t.add([1], eq(X, 0))
+        t.add([2], eq(X, 1))
+        assert count_bounds(t, solver) == (1, 1)
+
+    def test_unsat_rows_ignored(self, solver):
+        t = CTable("T", ["a"])
+        t.add([1], conjoin([eq(X, 0), eq(X, 1)]))
+        assert possible_count(t, solver) == 0
+        assert count_bounds(t, solver) == (0, 0)
+
+    def test_fallback_on_unbounded(self):
+        solver = ConditionSolver(DomainMap(default=Unbounded("any")))
+        z = CVariable("z")
+        t = CTable("T", ["a"])
+        t.add([1])
+        t.add([2], eq(z, "k"))
+        lo, hi = count_bounds(t, solver)
+        assert (lo, hi) == (1, 2)
+
+    def test_empty_table(self, solver):
+        t = CTable("T", ["a"])
+        assert count_bounds(t, solver) == (0, 0)

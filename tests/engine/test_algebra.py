@@ -1,0 +1,190 @@
+"""Extended relational algebra over c-tables."""
+
+import pytest
+
+from repro.ctable.condition import And, Or, TRUE, conjoin, disjoin, eq, ne
+from repro.ctable.table import CTable, Database
+from repro.ctable.terms import Constant, CVariable
+from repro.engine.algebra import (
+    ColumnRef,
+    ConditionSelection,
+    Distinct,
+    Join,
+    Pred,
+    Product,
+    Projection,
+    Rename,
+    Scan,
+    Selection,
+    Union,
+    evaluate_plan,
+    resolve_condition,
+)
+from repro.engine.stats import EvalStats
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, Unbounded
+from repro.solver.interface import ConditionSolver
+
+X, Y = CVariable("x"), CVariable("y")
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    t = database.create_table("T", ["a", "b"])
+    t.add([1, "p"])
+    t.add([2, "q"], eq(X, 1))
+    t.add([X, "r"])
+    u = database.create_table("U", ["b", "c"])
+    u.add(["p", 10])
+    u.add(["q", 20])
+    u.add([Y, 30], ne(Y, "p"))
+    return database
+
+
+@pytest.fixture
+def solver():
+    return ConditionSolver(DomainMap(default=Unbounded("any")))
+
+
+class TestScanRename:
+    def test_scan(self, db):
+        out = evaluate_plan(Scan("T"), db)
+        assert len(out) == 3
+        assert out.schema == ("a", "b")
+
+    def test_rename(self, db):
+        out = evaluate_plan(Rename(Scan("T"), {"a": "x"}), db)
+        assert out.schema == ("x", "b")
+
+
+class TestSelection:
+    def test_constant_match_filters(self, db):
+        out = evaluate_plan(Selection(Scan("T"), [Pred(ColumnRef("a"), "=", 1)]), db)
+        # row (1,p) matches outright; row (x̄,r) matches conditionally
+        data = {tuple(v for v in t.values) for t in out}
+        assert (Constant(1), Constant("p")) in data
+        assert any(X in t.values for t in out)
+        assert len(out) == 2
+
+    def test_selection_on_cvariable_conjoins(self, db):
+        out = evaluate_plan(Selection(Scan("T"), [Pred(ColumnRef("a"), "=", 5)]), db)
+        (tup,) = out.tuples()
+        assert tup.values[0] == X
+        assert tup.condition == eq(X, 5)
+
+    def test_pred_via_col_on_both_sides(self, db):
+        out = evaluate_plan(
+            Selection(Scan("T"), [Pred(ColumnRef("a"), "!=", ColumnRef("a"))]), db
+        )
+        assert len(out) == 0
+
+    def test_pruning_drops_contradictions(self, db, solver):
+        plan = Selection(
+            Scan("T"),
+            [Pred(ColumnRef("a"), "=", 1), Pred(ColumnRef("a"), "=", 2)],
+        )
+        out = evaluate_plan(plan, db, solver=solver)
+        assert len(out) == 0
+
+
+class TestConditionSelection:
+    def test_boolean_where(self, db):
+        template = disjoin([eq(ColumnRef("a"), 1), eq(ColumnRef("b"), "q")])
+        out = evaluate_plan(ConditionSelection(Scan("T"), template), db)
+        assert len(out) == 3  # (1,p), (2,q) and (x̄, r) conditionally
+
+    def test_resolve_condition_substitutes(self):
+        template = conjoin([eq(ColumnRef("a"), 1), ne(ColumnRef("b"), "z")])
+        out = resolve_condition(template, ["a", "b"], [Constant(1), Constant("w")])
+        assert out is TRUE
+
+    def test_resolve_condition_unknown_column(self):
+        with pytest.raises(KeyError):
+            resolve_condition(eq(ColumnRef("zz"), 1), ["a"], [Constant(1)])
+
+
+class TestProjectionDistinct:
+    def test_projection_keeps_conditions(self, db):
+        out = evaluate_plan(Projection(Scan("T"), ["b"]), db)
+        assert out.schema == ("b",)
+        assert len(out) == 3
+
+    def test_projection_merges_same_data(self, db):
+        database = Database()
+        t = database.create_table("V", ["a", "b"])
+        t.add([1, 2], eq(X, 1))
+        t.add([1, 3], eq(X, 0))
+        out = evaluate_plan(Projection(Scan("V"), ["a"]), database)
+        (tup,) = out.tuples()
+        assert isinstance(tup.condition, Or)
+
+    def test_distinct(self, db):
+        database = Database()
+        t = database.create_table("V", ["a"])
+        t.add([1], eq(X, 1))
+        t.add([1], eq(X, 0))
+        out = evaluate_plan(Distinct(Scan("V")), database)
+        assert len(out) == 1
+
+
+class TestJoinProduct:
+    def test_product_arity(self, db):
+        out = evaluate_plan(Product(Rename(Scan("T"), {"b": "tb"}), Scan("U")), db)
+        assert out.schema == ("a", "tb", "b", "c")
+        assert len(out) == 9
+
+    def test_product_name_clash(self, db):
+        with pytest.raises(ValueError):
+            evaluate_plan(Product(Scan("T"), Scan("U")), db)
+
+    def test_join_on_constants(self, db):
+        out = evaluate_plan(Join(Scan("T"), Scan("U"), on=[("b", "b")]), db)
+        # (1,p)-(p,10): certain; (2,q)-(q,20): cond x=1;
+        # plus symbolic matches through ȳ and via T's c-var rows
+        data = {(t.values[0], t.values[-1]) for t in out}
+        assert (Constant(1), Constant(10)) in data
+        assert (Constant(2), Constant(20)) in data
+
+    def test_join_condition_composition(self, solver):
+        database = Database()
+        a = database.create_table("A", ["k"])
+        a.add([X], eq(X, 1))
+        b = database.create_table("B", ["k"])
+        b.add([1])
+        b.add([2])
+        out = evaluate_plan(
+            Join(Scan("A"), Scan("B"), on=[("k", "k")]), database, solver=solver
+        )
+        # x̄ joins 1 (consistent with x=1) but joining 2 contradicts
+        assert len(out) == 1
+        (tup,) = out.tuples()
+        assert solver.implies(tup.condition, eq(X, 1))
+
+    def test_join_project_right(self, db):
+        out = evaluate_plan(
+            Join(Scan("T"), Scan("U"), on=[("b", "b")], project_right=[]), db
+        )
+        assert out.schema == ("a", "b")
+
+
+class TestUnion:
+    def test_union_merges(self, db):
+        out = evaluate_plan(Union([Scan("T"), Scan("T")]), db)
+        assert len(out) == 3  # exact duplicates collapse
+
+    def test_union_arity_mismatch(self, db):
+        with pytest.raises(ValueError):
+            evaluate_plan(Union([Scan("T"), Projection(Scan("U"), ["b"])]), db)
+
+
+class TestStats:
+    def test_sql_and_solver_buckets(self, db, solver):
+        stats = EvalStats()
+        evaluate_plan(
+            Selection(Scan("T"), [Pred(ColumnRef("a"), "=", 1)]),
+            db,
+            solver=solver,
+            stats=stats,
+        )
+        assert stats.sql_seconds >= 0
+        assert stats.tuples_generated > 0

@@ -1,0 +1,75 @@
+"""The AntiJoin operator (NOT EXISTS with c-table complement)."""
+
+import pytest
+
+from repro.ctable.condition import FALSE, TRUE, conjoin, eq, ne
+from repro.ctable.table import Database
+from repro.ctable.terms import Constant, CVariable
+from repro.engine.algebra import AntiJoin, Rename, Scan, evaluate_plan
+from repro.ctable.worlds import instantiate_table, iter_assignments
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, FiniteDomain
+from repro.solver.interface import ConditionSolver
+
+X = CVariable("x")
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    left = database.create_table("L", ["k", "v"])
+    left.add([1, "a"])
+    left.add([2, "b"])
+    left.add([3, "c"])
+    right = database.create_table("Rt", ["k2"])
+    right.add([1])
+    right.add([2], eq(X, 1))
+    return database
+
+
+@pytest.fixture
+def solver():
+    return ConditionSolver(DomainMap({X: BOOL_DOMAIN}))
+
+
+class TestAntiJoin:
+    def test_certain_match_removed(self, db, solver):
+        plan = AntiJoin(Scan("L"), Scan("Rt"), on=[("k", "k2")])
+        out = evaluate_plan(plan, db, solver=solver)
+        keys = {t.values[0].value for t in out}
+        assert 1 not in keys
+        assert 3 in keys
+
+    def test_conditional_match_constrains(self, db, solver):
+        plan = AntiJoin(Scan("L"), Scan("Rt"), on=[("k", "k2")])
+        out = evaluate_plan(plan, db, solver=solver)
+        (row2,) = [t for t in out if t.values[0] == Constant(2)]
+        assert solver.equivalent(row2.condition, ne(X, 1))
+
+    def test_empty_right_keeps_everything(self, solver):
+        database = Database()
+        database.create_table("L", ["k"]).add([1])
+        database.create_table("Rt", ["k2"])
+        plan = AntiJoin(Scan("L"), Scan("Rt"), on=[("k", "k2")])
+        out = evaluate_plan(plan, database, solver=solver)
+        assert len(out) == 1
+        assert out.tuples()[0].condition is TRUE
+
+    def test_no_join_keys_means_right_nonempty_kills(self, db, solver):
+        # on=[]: "no right tuple exists at all"
+        plan = AntiJoin(Scan("L"), Scan("Rt"), on=[])
+        out = evaluate_plan(plan, db, solver=solver)
+        # right has an unconditional tuple: left survives nowhere... except
+        # worlds don't matter for the certain tuple: everything dies
+        assert len(out) == 0
+
+    def test_world_level_semantics(self, db, solver):
+        plan = AntiJoin(Scan("L"), Scan("Rt"), on=[("k", "k2")])
+        out = evaluate_plan(plan, db, solver=solver)
+        for assignment in iter_assignments([X], solver.domains):
+            left_rows = instantiate_table(db.table("L"), assignment)
+            right_keys = {
+                row[0] for row in instantiate_table(db.table("Rt"), assignment)
+            }
+            expected = {row for row in left_rows if row[0] not in right_keys}
+            got = instantiate_table(out, assignment)
+            assert got == expected, assignment

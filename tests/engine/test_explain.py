@@ -1,0 +1,78 @@
+"""Plan explanation."""
+
+import pytest
+
+from repro.ctable.table import Database
+from repro.engine.algebra import (
+    ColumnRef,
+    ConditionSelection,
+    Distinct,
+    Join,
+    Pred,
+    Product,
+    Projection,
+    Rename,
+    Scan,
+    Selection,
+    Union,
+)
+from repro.engine.explain import explain
+from repro.ctable.condition import eq
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    t = database.create_table("T", ["a", "b"])
+    t.add([1, 2])
+    t.add([3, 4])
+    database.create_table("U", ["b", "c"])
+    return database
+
+
+class TestExplain:
+    def test_scan_shows_cardinality(self, db):
+        out = explain(Scan("T"), db)
+        assert "Scan T" in out and "[2 rows]" in out
+
+    def test_alias_rendered(self, db):
+        out = explain(Scan("T", alias="t1"), db)
+        assert "as t1" in out
+
+    def test_tree_indentation(self, db):
+        plan = Projection(
+            Selection(Scan("T"), [Pred(ColumnRef("a"), "=", 1)]), ["b"]
+        )
+        out = explain(plan, db)
+        lines = out.splitlines()
+        assert lines[0].startswith("-> Project")
+        assert lines[1].startswith("  -> Select")
+        assert lines[2].startswith("    -> Scan")
+
+    def test_join_and_product(self, db):
+        plan = Join(Scan("T"), Scan("U"), on=[("b", "b")])
+        out = explain(plan, db)
+        assert "HashJoin [on b=b]" in out
+        plan2 = Product(Scan("T"), Rename(Scan("U"), {"b": "b2"}))
+        assert "Product" in explain(plan2, db)
+
+    def test_condition_selection(self, db):
+        plan = ConditionSelection(Scan("T"), eq(ColumnRef("a"), 1))
+        assert "SelectWhere" in explain(plan, db)
+
+    def test_union_distinct(self, db):
+        plan = Distinct(Union([Scan("T"), Scan("T")]))
+        out = explain(plan, db)
+        assert "Distinct" in out and "Union [2 inputs]" in out
+
+    def test_schemas_shown(self, db):
+        out = explain(Projection(Scan("T"), ["a"]), db)
+        assert "(a)" in out.splitlines()[0]
+
+    def test_antijoin_rendered_with_children(self, db):
+        from repro.engine.algebra import AntiJoin
+
+        plan = AntiJoin(Scan("T"), Scan("U"), on=[("b", "b")])
+        out = explain(plan, db)
+        assert "AntiJoin [on b=b]" in out
+        assert out.count("Scan") == 2

@@ -1,0 +1,59 @@
+"""The three-phase pipeline: lazy vs eager solver pruning."""
+
+import pytest
+
+from repro.ctable.condition import conjoin, eq, ne
+from repro.ctable.table import Database
+from repro.ctable.terms import CVariable
+from repro.engine.algebra import ColumnRef, Pred, Scan, Selection
+from repro.engine.pipeline import run_eager, run_lazy, solver_prune
+from repro.engine.stats import EvalStats
+from repro.solver.domains import BOOL_DOMAIN, DomainMap
+from repro.solver.interface import ConditionSolver
+
+X = CVariable("x")
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    t = database.create_table("T", ["a"])
+    t.add([1], eq(X, 1))
+    t.add([2], conjoin([eq(X, 1), eq(X, 0)]))  # contradictory
+    t.add([3])
+    return database
+
+
+@pytest.fixture
+def solver():
+    return ConditionSolver(DomainMap({X: BOOL_DOMAIN}))
+
+
+class TestSolverPrune:
+    def test_drops_unsat(self, db, solver):
+        stats = EvalStats()
+        out = solver_prune(db.table("T"), solver, stats)
+        assert len(out) == 2
+        assert stats.tuples_pruned == 1
+        assert stats.solver_seconds >= 0
+
+
+class TestStrategies:
+    def test_lazy_equals_eager_result(self, db, solver):
+        plan = Selection(Scan("T"), [Pred(ColumnRef("a"), "!=", 99)])
+        lazy, _ = run_lazy(plan, db, solver)
+        eager, _ = run_eager(plan, db, solver)
+        assert lazy.data_parts() == eager.data_parts()
+        assert len(lazy) == len(eager) == 2
+
+    def test_lazy_stats_split(self, db, solver):
+        plan = Scan("T")
+        _, stats = run_lazy(plan, db, solver)
+        assert stats.solver_seconds > 0  # final prune pass
+        assert stats.tuples_pruned == 1
+
+    def test_eager_prunes_inside_operators(self, db, solver):
+        plan = Selection(Scan("T"), [Pred(ColumnRef("a"), "=", 2)])
+        out, stats = run_eager(plan, db, solver)
+        assert len(out) == 0
+        assert stats.tuples_pruned >= 1

@@ -1,0 +1,143 @@
+"""The mini-SQL front-end over c-tables."""
+
+import pytest
+
+from repro.ctable.condition import Or, TRUE
+from repro.ctable.terms import Constant, CVariable
+from repro.engine.sql import SqlEngine, SqlError
+from repro.solver.domains import DomainMap, Unbounded
+from repro.solver.interface import ConditionSolver
+
+
+@pytest.fixture
+def engine():
+    eng = SqlEngine(solver=ConditionSolver(DomainMap(default=Unbounded("any"))))
+    eng.execute("CREATE TABLE P (dest, path)")
+    eng.execute(
+        "INSERT INTO P VALUES ('1.2.3.4', $xp) "
+        "CONDITION $xp = [A B C] OR $xp = [A D E C]"
+    )
+    eng.execute("INSERT INTO P VALUES ($yd, [A B E]) CONDITION $yd != '1.2.3.4'")
+    eng.execute("INSERT INTO P VALUES ('1.2.3.6', [A D E C])")
+    eng.execute("CREATE TABLE C (path, cost)")
+    eng.execute("INSERT INTO C VALUES ([A B C], 3)")
+    eng.execute("INSERT INTO C VALUES ([A D E C], 4)")
+    eng.execute("INSERT INTO C VALUES ([A B E], 3)")
+    return eng
+
+
+class TestDdlDml:
+    def test_create_duplicate_rejected(self, engine):
+        with pytest.raises(SqlError):
+            engine.execute("CREATE TABLE P (a)")
+
+    def test_drop(self, engine):
+        engine.execute("DROP TABLE C")
+        assert "C" not in engine.db
+
+    def test_insert_unknown_table(self, engine):
+        with pytest.raises(KeyError):
+            engine.execute("INSERT INTO nope VALUES (1)")
+
+    def test_insert_condition_stored(self, engine):
+        rows = engine.db.table("P").tuples()
+        assert isinstance(rows[0].condition, Or)
+        assert rows[2].condition is TRUE
+
+    def test_unsupported_statement(self, engine):
+        with pytest.raises(SqlError):
+            engine.execute("GRANT ALL ON P")
+
+
+class TestSelect:
+    def test_paper_q2(self, engine):
+        out = engine.execute(
+            "SELECT C.cost FROM P, C WHERE P.dest = '1.2.3.4' AND P.path = C.path"
+        )
+        costs = sorted(t.values[0].value for t in out)
+        assert costs == [3, 4]
+        assert all(t.condition is not TRUE for t in out)
+
+    def test_paper_q3_pattern_matching(self, engine):
+        out = engine.execute(
+            "SELECT C.cost FROM P, C WHERE P.dest = '1.2.3.5' AND P.path = C.path"
+        )
+        assert [t.values[0].value for t in out] == [3]
+
+    def test_star_select(self, engine):
+        out = engine.execute("SELECT * FROM C")
+        assert out.schema == ("path", "cost")
+        assert len(out) == 3
+
+    def test_alias_and_as(self, engine):
+        out = engine.execute("SELECT p1.dest AS d FROM P p1 WHERE p1.dest = '1.2.3.6'")
+        assert out.schema == ("d",)
+        # the certain row, plus the ȳd row matching conditionally
+        assert len(out) == 2
+        assert any(t.values[0] == Constant("1.2.3.6") and t.condition is TRUE for t in out)
+
+    def test_unqualified_column(self, engine):
+        out = engine.execute("SELECT cost FROM C WHERE cost = 3")
+        # set semantics: the two cost-3 rows merge after projection
+        assert len(out) == 1
+        assert out.tuples()[0].values[0] == Constant(3)
+
+    def test_ambiguous_column_rejected(self, engine):
+        engine.execute("CREATE TABLE D (cost)")
+        engine.execute("INSERT INTO D VALUES (3)")
+        with pytest.raises(SqlError):
+            engine.execute("SELECT cost FROM C, D")
+
+    def test_into_stores_result(self, engine):
+        engine.execute("SELECT C.cost FROM C WHERE C.cost = 3 INTO Res")
+        assert "Res" in engine.db
+        assert len(engine.db.table("Res")) == 1  # merged duplicates
+
+    def test_where_with_or(self, engine):
+        out = engine.execute(
+            "SELECT C.cost FROM C WHERE C.cost = 3 OR C.cost = 4"
+        )
+        assert len(out) == 2  # 3 merges (two paths cost 3)
+
+    def test_where_cvariable_literal(self, engine):
+        out = engine.execute("SELECT P.dest FROM P WHERE P.dest = $q")
+        # every row matches conditionally on the free c-variable $q
+        assert len(out) >= 1
+
+    def test_unknown_column(self, engine):
+        with pytest.raises(SqlError):
+            engine.execute("SELECT nope FROM C")
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(SqlError):
+            engine.execute("SELECT * FROM missing")
+
+    def test_trailing_garbage(self, engine):
+        with pytest.raises(SqlError):
+            engine.execute("SELECT * FROM C garbage trailing here")
+
+
+class TestScript:
+    def test_script_runs_statements_and_returns_last_select(self, engine):
+        out = engine.script(
+            """
+            CREATE TABLE S (v);
+            INSERT INTO S VALUES (1);
+            INSERT INTO S VALUES (2);
+            SELECT S.v FROM S WHERE S.v = 2
+            """
+        )
+        assert len(out) == 1
+
+    def test_stats_accumulate(self, engine):
+        engine.stats.reset()
+        engine.execute("SELECT * FROM C")
+        assert engine.stats.tuples_generated > 0
+
+
+class TestIntoOverwrite:
+    def test_into_replaces_existing_result(self, engine):
+        engine.execute("SELECT C.cost FROM C WHERE C.cost = 3 INTO Res")
+        engine.execute("SELECT C.cost FROM C WHERE C.cost = 4 INTO Res")
+        rows = [t.values[0].value for t in engine.db.table("Res")]
+        assert rows == [4]

@@ -1,0 +1,110 @@
+"""SQL DELETE / UPDATE with c-table split semantics."""
+
+import pytest
+
+from repro.ctable.condition import TRUE, conjoin, eq, ne
+from repro.ctable.terms import Constant, CVariable
+from repro.engine.sql import SqlEngine, SqlError
+from repro.solver.domains import DomainMap, FiniteDomain, Unbounded
+from repro.solver.interface import ConditionSolver
+
+X = CVariable("x")
+
+
+@pytest.fixture
+def engine():
+    domains = DomainMap(default=Unbounded("any"))
+    domains.declare("x", FiniteDomain([1, 2, 3]))
+    eng = SqlEngine(solver=ConditionSolver(domains))
+    eng.execute("CREATE TABLE T (a, b)")
+    eng.execute("INSERT INTO T VALUES (1, 'p')")
+    eng.execute("INSERT INTO T VALUES (2, 'q')")
+    eng.execute("INSERT INTO T VALUES ($x, 'r')")
+    return eng
+
+
+def rows(engine, name="T"):
+    return {
+        (tuple(str(v) for v in t.values), str(t.condition))
+        for t in engine.db.table(name)
+    }
+
+
+class TestDelete:
+    def test_certain_match_removed(self, engine):
+        engine.execute("DELETE FROM T WHERE a = 2")
+        remaining = {t.values for t in engine.db.table("T")}
+        assert (Constant(2), Constant("q")) not in remaining
+        assert len(engine.db.table("T")) == 2
+
+    def test_conditional_match_constrains(self, engine):
+        engine.execute("DELETE FROM T WHERE a = 2")
+        (cvar_row,) = [t for t in engine.db.table("T") if t.values[0] == X]
+        solver = engine.solver
+        assert solver.equivalent(cvar_row.condition, ne(X, 2))
+
+    def test_delete_all_without_where(self, engine):
+        engine.execute("DELETE FROM T")
+        assert len(engine.db.table("T")) == 0
+
+    def test_no_match_noop(self, engine):
+        engine.execute("DELETE FROM T WHERE b = 'zzz'")
+        assert len(engine.db.table("T")) == 3
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(KeyError):
+            engine.execute("DELETE FROM missing")
+
+    def test_trailing_garbage(self, engine):
+        with pytest.raises(SqlError):
+            engine.execute("DELETE FROM T WHERE a = 1 nonsense")
+
+
+class TestUpdate:
+    def test_certain_update(self, engine):
+        engine.execute("UPDATE T SET b = 'z' WHERE a = 1")
+        updated = [t for t in engine.db.table("T") if t.values[0] == Constant(1)]
+        assert updated[0].values[1] == Constant("z")
+
+    def test_conditional_update_splits_row(self, engine):
+        engine.execute("UPDATE T SET b = 'z' WHERE a = 1")
+        cvar_rows = [t for t in engine.db.table("T") if t.values[0] == X]
+        assert len(cvar_rows) == 2  # updated copy + surviving original
+        conds = {str(t.values[1]): t.condition for t in cvar_rows}
+        solver = engine.solver
+        assert solver.equivalent(conds["z"], eq(X, 1))
+        assert solver.equivalent(conds["r"], ne(X, 1))
+
+    def test_update_without_where_rewrites_all(self, engine):
+        engine.execute("UPDATE T SET b = 'w'")
+        assert all(t.values[1] == Constant("w") for t in engine.db.table("T"))
+
+    def test_multi_column_set(self, engine):
+        engine.execute("UPDATE T SET a = 9, b = 'n' WHERE a = 2")
+        updated = [t for t in engine.db.table("T") if t.values[0] == Constant(9)]
+        assert updated and updated[0].values[1] == Constant("n")
+
+    def test_set_cvariable_value(self, engine):
+        engine.execute("UPDATE T SET b = $y WHERE a = 1")
+        updated = [t for t in engine.db.table("T") if t.values[0] == Constant(1)]
+        assert updated[0].values[1] == CVariable("y")
+
+    def test_unknown_column(self, engine):
+        with pytest.raises(KeyError):
+            engine.execute("UPDATE T SET zzz = 1")
+
+    def test_worlds_preserved(self, engine):
+        """Per-world, UPDATE behaves like classical row update."""
+        from repro.ctable.worlds import instantiate_table, iter_assignments
+
+        before = engine.db.table("T").copy("before")
+        engine.execute("UPDATE T SET b = 'z' WHERE a = 1")
+        after = engine.db.table("T")
+        for assignment in iter_assignments([X], engine.solver.domains):
+            old_rows = instantiate_table(before, assignment)
+            new_rows = instantiate_table(after, assignment)
+            expected = {
+                (row[0], Constant("z")) if row[0] == Constant(1) else row
+                for row in old_rows
+            }
+            assert new_rows == expected, assignment

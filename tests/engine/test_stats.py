@@ -1,0 +1,54 @@
+"""Timing instrumentation."""
+
+import time
+
+from repro.engine.stats import EvalStats, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure():
+            time.sleep(0.01)
+        first = watch.seconds
+        with watch.measure():
+            time.sleep(0.01)
+        assert watch.seconds > first >= 0.005
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch.measure():
+            pass
+        watch.reset()
+        assert watch.seconds == 0.0
+
+
+class TestEvalStats:
+    def test_add_merges(self):
+        a = EvalStats(sql_seconds=1.0, solver_seconds=0.5, tuples_generated=10)
+        b = EvalStats(sql_seconds=2.0, solver_seconds=0.5, tuples_pruned=3, iterations=2)
+        b.extra["x"] = 1.0
+        a.add(b)
+        assert a.sql_seconds == 3.0
+        assert a.solver_seconds == 1.0
+        assert a.tuples_generated == 10
+        assert a.tuples_pruned == 3
+        assert a.iterations == 2
+        assert a.extra["x"] == 1.0
+
+    def test_total(self):
+        s = EvalStats(sql_seconds=1.0, solver_seconds=2.0)
+        assert s.total_seconds == 3.0
+
+    def test_row_shape(self):
+        row = EvalStats(sql_seconds=0.12345).row()
+        assert set(row) == {"sql", "solver", "tuples", "pruned"}
+        assert row["sql"] == 0.1234 or row["sql"] == 0.1235
+
+    def test_reset(self):
+        s = EvalStats(sql_seconds=1.0, tuples_generated=5)
+        s.extra["k"] = 2.0
+        s.reset()
+        assert s.sql_seconds == 0.0
+        assert s.tuples_generated == 0
+        assert not s.extra

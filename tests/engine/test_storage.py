@@ -1,0 +1,97 @@
+"""Indexed storage."""
+
+import pytest
+
+from repro.ctable.condition import eq
+from repro.ctable.table import CTable, Database
+from repro.ctable.terms import Constant, CVariable
+from repro.engine.storage import ColumnIndex, IndexedTable, Storage
+
+X = CVariable("x")
+
+
+@pytest.fixture
+def table():
+    t = CTable("T", ["a", "b"])
+    t.add([1, "p"])
+    t.add([2, "q"])
+    t.add([X, "r"], eq(X, 1))
+    return t
+
+
+class TestColumnIndex:
+    def test_probe_returns_constants_and_wildcards(self, table):
+        idx = ColumnIndex()
+        for tup in table:
+            idx.insert(tup.values[0], tup)
+        hits = list(idx.probe(Constant(1)))
+        assert len(hits) == 2  # the 1-row and the x̄ wildcard
+        assert len(idx) == 3
+
+    def test_probe_missing_constant_still_returns_wildcards(self, table):
+        idx = ColumnIndex()
+        for tup in table:
+            idx.insert(tup.values[0], tup)
+        hits = list(idx.probe(Constant(99)))
+        assert len(hits) == 1
+
+
+class TestIndexedTable:
+    def test_lazy_index_built_on_probe(self, table):
+        wrapped = IndexedTable(table)
+        hits = list(wrapped.candidates([Constant(2), None]))
+        assert len(hits) == 2  # (2,q) + wildcard
+
+    def test_index_maintained_on_insert(self, table):
+        wrapped = IndexedTable(table)
+        list(wrapped.candidates([Constant(1), None]))  # build index
+        wrapped.add([1, "new"])
+        hits = list(wrapped.candidates([Constant(1), None]))
+        data = {tuple(v.value if not isinstance(v, CVariable) else "?" for v in t.values) for t in hits}
+        assert (1, "new") in data
+
+    def test_full_scan_without_constants(self, table):
+        wrapped = IndexedTable(table)
+        assert len(list(wrapped.candidates([None, None]))) == 3
+
+    def test_most_selective_column_chosen(self, table):
+        wrapped = IndexedTable(table)
+        hits = list(wrapped.candidates([Constant(1), Constant("zzz")]))
+        # b="zzz" has no matches: selective index returns nothing
+        assert len(hits) == 0
+
+    def test_duplicate_insert_not_double_indexed(self, table):
+        wrapped = IndexedTable(table)
+        wrapped.index_on(0)
+        assert not wrapped.add([1, "p"])  # duplicate
+        hits = list(wrapped.candidates([Constant(1), None]))
+        assert len([h for h in hits if h.values[1] == Constant("p")]) == 1
+
+
+class TestStorage:
+    def test_wraps_database_tables(self, table):
+        storage = Storage(Database([table]))
+        assert "T" in storage
+        assert storage.indexed("T").name == "T"
+
+    def test_create_table(self):
+        storage = Storage()
+        wrapped = storage.create_table("N", ["a"])
+        wrapped.add([1])
+        assert len(storage.db.table("N")) == 1
+
+    def test_invalidate_rebuilds(self, table):
+        storage = Storage(Database([table]))
+        first = storage.indexed("T")
+        storage.invalidate("T")
+        second = storage.indexed("T")
+        assert first is not second
+
+    def test_rewrap_after_table_replacement(self, table):
+        db = Database([table])
+        storage = Storage(db)
+        storage.indexed("T")
+        replacement = CTable("T", ["a", "b"])
+        replacement.add([9, "z"])
+        db.replace_table(replacement)
+        assert len(list(storage.indexed("T"))) == 1

@@ -1,0 +1,72 @@
+"""Certain/possible answer classification."""
+
+import pytest
+
+from repro.ctable.condition import TRUE, conjoin, disjoin, eq, ne
+from repro.ctable.table import CTable
+from repro.ctable.terms import Constant, CVariable
+from repro.faurelog.answers import AnswerSet, classify_answers
+from repro.solver.domains import BOOL_DOMAIN, DomainMap
+from repro.solver.interface import ConditionSolver
+
+X, Y = CVariable("x"), CVariable("y")
+
+
+@pytest.fixture
+def solver():
+    return ConditionSolver(DomainMap({X: BOOL_DOMAIN, Y: BOOL_DOMAIN}))
+
+
+def table_with(*rows):
+    t = CTable("T", ["a"])
+    for value, cond in rows:
+        t.add([value], cond)
+    return t
+
+
+class TestClassify:
+    def test_unconditional_is_certain(self, solver):
+        answers = classify_answers(table_with((1, TRUE)), solver)
+        assert answers.certain == [(Constant(1),)]
+        assert not answers.possible
+
+    def test_valid_condition_is_certain(self, solver):
+        cond = disjoin([eq(X, 0), eq(X, 1)])
+        answers = classify_answers(table_with((1, cond)), solver)
+        assert answers.certain == [(Constant(1),)]
+
+    def test_satisfiable_condition_is_possible(self, solver):
+        answers = classify_answers(table_with((1, eq(X, 1))), solver)
+        assert not answers.certain
+        assert len(answers.possible) == 1
+        row, cond = answers.possible[0]
+        assert solver.model_count(cond) == 1
+
+    def test_split_rows_aggregate_to_certain(self, solver):
+        # the same data part derived under x=0 and under x=1: certain
+        answers = classify_answers(
+            table_with((1, eq(X, 0)), (1, eq(X, 1))), solver
+        )
+        assert answers.certain == [(Constant(1),)]
+
+    def test_spurious_rows_dropped(self, solver):
+        answers = classify_answers(
+            table_with((1, conjoin([eq(X, 0), eq(X, 1)]))), solver
+        )
+        assert not answers.certain and not answers.possible
+
+    def test_mixed(self, solver):
+        answers = classify_answers(
+            table_with((1, TRUE), (2, eq(Y, 1)), (3, eq(X, 0))), solver
+        )
+        assert answers.certain == [(Constant(1),)]
+        assert {row[0].value for row, _ in answers.possible} == {2, 3}
+        assert answers.summary() == "1 certain, 2 possible"
+        assert len(answers.all_rows) == 3
+
+    def test_reachability_use_case(self, solver):
+        """Reachable in 3 of 4 worlds: possible, quantified."""
+        cond = disjoin([eq(X, 1), eq(Y, 1)])
+        answers = classify_answers(table_with(("dst", cond)), solver)
+        (_, got) = answers.possible[0]
+        assert solver.model_count(got) == 3

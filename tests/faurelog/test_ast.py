@@ -1,0 +1,129 @@
+"""fauré-log AST: structure and safety checks."""
+
+import pytest
+
+from repro.ctable.condition import TRUE, eq, ne
+from repro.ctable.terms import Constant, CVariable, Variable
+from repro.faurelog.ast import Atom, Literal, Program, ProgramError, Rule
+
+X = CVariable("x")
+V, W = Variable("v"), Variable("w")
+
+
+class TestAtom:
+    def test_terms_coerced(self):
+        a = Atom("R", ["Mkt", 1, V])
+        assert a.terms == (Constant("Mkt"), Constant(1), V)
+        assert a.arity == 3
+
+    def test_zero_ary(self):
+        assert Atom("panic").arity == 0
+
+    def test_variable_sets(self):
+        a = Atom("R", [V, X, "c"])
+        assert a.variables() == frozenset({V})
+        assert a.cvariables() == frozenset({X})
+
+    def test_str(self):
+        assert str(Atom("R", [V, "c"])) == "R(v, c)"
+        assert str(Atom("panic")) == "panic"
+
+
+class TestLiteral:
+    def test_defaults(self):
+        lit = Literal(Atom("R", [V]))
+        assert not lit.negated
+        assert lit.annotation is TRUE
+        assert lit.condition_var is None
+
+    def test_str_with_annotation(self):
+        lit = Literal(Atom("R", [X]), annotation=ne(X, "Mkt"))
+        assert "[" in str(lit)
+
+    def test_negated_str(self):
+        assert str(Literal(Atom("R", [V]), negated=True)).startswith("not ")
+
+
+class TestRuleSafety:
+    def test_fact(self):
+        r = Rule(Atom("R", ["a"]))
+        assert r.is_fact
+
+    def test_safe_rule(self):
+        r = Rule(Atom("H", [V]), [Literal(Atom("B", [V]))])
+        assert list(r.positive_literals())
+
+    def test_unsafe_head_variable(self):
+        with pytest.raises(ProgramError):
+            Rule(Atom("H", [V]), [Literal(Atom("B", [W]))])
+
+    def test_head_cvariable_allowed_unbound(self):
+        # c-variables are global unknowns; a fact may introduce one
+        Rule(Atom("H", [X]))
+
+    def test_negated_only_variable_unsafe(self):
+        with pytest.raises(ProgramError):
+            Rule(
+                Atom("H", [V]),
+                [Literal(Atom("B", [V])), Literal(Atom("C", [W]), negated=True)],
+            )
+
+    def test_comparison_variable_unsafe(self):
+        with pytest.raises(ProgramError):
+            Rule(Atom("panic"), [eq(V, 1)])
+
+    def test_comparison_cvariable_safe(self):
+        # unbound c-variables in comparisons are global references
+        Rule(Atom("panic"), [Literal(Atom("B", ["k"])), eq(X, 1)])
+
+    def test_bindable_cvariables(self):
+        r = Rule(
+            Atom("H", [X]),
+            [Literal(Atom("B", [X])), Literal(Atom("C", [CVariable("y")]), negated=True)],
+        )
+        assert r.bindable_cvariables() == frozenset({X})
+
+    def test_str_roundtrip_shape(self):
+        r = Rule(Atom("H", [V]), [Literal(Atom("B", [V])), ne(X, 1)], label="q1")
+        s = str(r)
+        assert s.startswith("q1: H(v) :- B(v)")
+        assert s.endswith(".")
+
+
+class TestProgram:
+    def test_idb_edb_partition(self):
+        p = Program(
+            [
+                Rule(Atom("H", [V]), [Literal(Atom("B", [V]))]),
+                Rule(Atom("G", [V]), [Literal(Atom("H", [V]))]),
+            ]
+        )
+        assert p.idb_predicates() == frozenset({"H", "G"})
+        assert p.edb_predicates() == frozenset({"B"})
+
+    def test_arity_clash_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(
+                [
+                    Rule(Atom("H", [V]), [Literal(Atom("B", [V]))]),
+                    Rule(Atom("H", [V, V]), [Literal(Atom("B", [V]))]),
+                ]
+            )
+
+    def test_rules_for(self):
+        r1 = Rule(Atom("H", [V]), [Literal(Atom("B", [V]))])
+        r2 = Rule(Atom("H", ["k"]))
+        p = Program([r1, r2])
+        assert p.rules_for("H") == [r1, r2]
+        assert p.rules_for("B") == []
+
+    def test_arity_of(self):
+        p = Program([Rule(Atom("H", [V]), [Literal(Atom("B", [V, V]))])])
+        assert p.arity_of("H") == 1
+        assert p.arity_of("B") == 2
+        assert p.arity_of("zz") is None
+
+    def test_extended(self):
+        p = Program([Rule(Atom("H", ["k"]))])
+        q = p.extended([Rule(Atom("G", ["j"]))])
+        assert len(q) == 2 and len(p) == 1

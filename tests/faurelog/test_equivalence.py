@@ -1,0 +1,64 @@
+"""Constraint equivalence via mutual containment."""
+
+import pytest
+
+from repro.faurelog.containment import equivalent_constraints
+from repro.faurelog.parser import parse_program
+from repro.solver.domains import DomainMap, FiniteDomain, Unbounded
+from repro.solver.interface import ConditionSolver
+
+
+@pytest.fixture
+def solver():
+    return ConditionSolver(DomainMap(default=Unbounded("any")))
+
+
+class TestEquivalence:
+    def test_alpha_renaming(self, solver):
+        a = parse_program("panic :- R($x), $x != Mkt.")
+        b = parse_program("panic :- R($other), $other != Mkt.")
+        assert equivalent_constraints(a, b, solver)
+
+    def test_intermediate_predicate_irrelevant(self, solver):
+        a = parse_program("panic :- R($x), not Fw($x).")
+        b = parse_program(
+            """
+            panic :- V(x).
+            V($x) :- R($x), not Fw($x).
+            """
+        )
+        assert equivalent_constraints(a, b, solver)
+
+    def test_strict_subset_not_equivalent(self, solver):
+        a = parse_program("panic :- R($x).")
+        b = parse_program("panic :- R($x), $x != Mkt.")
+        assert not equivalent_constraints(a, b, solver)
+        assert not equivalent_constraints(b, a, solver)
+
+    def test_union_order_irrelevant(self, solver):
+        a = parse_program(
+            """
+            panic :- R($x), $x = Mkt.
+            panic :- S($y).
+            """
+        )
+        b = parse_program(
+            """
+            panic :- S($y).
+            panic :- R($x), $x = Mkt.
+            """
+        )
+        assert equivalent_constraints(a, b, solver)
+
+    def test_domain_sensitive_equivalence(self):
+        # over {Mkt, R&D}: "x != Mkt" and "x = R&D" coincide
+        solver = ConditionSolver(DomainMap(default=Unbounded("any")))
+        a = parse_program("panic :- R($x), $x != Mkt.")
+        b = parse_program("panic :- R($x), $x = 'R&D'.")
+        coldoms = {"subnet": FiniteDomain(["Mkt", "R&D"])}
+        schemas = {"R": ["subnet"]}
+        assert equivalent_constraints(
+            a, b, solver, schemas=schemas, column_domains=coldoms
+        )
+        # without the domain restriction they differ
+        assert not equivalent_constraints(a, b, solver, schemas=schemas)

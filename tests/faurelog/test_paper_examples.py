@@ -1,0 +1,124 @@
+"""Paper §3: Table 2 and queries q1–q3, verified against the text.
+
+q1 (pure datalog on PATH):   q1(PATH) = {⟨3⟩}
+q2 (fauré-log on PATH'):     {⟨3⟩[x̄=[ABC]], ⟨4⟩[x̄=[ADEC]]}
+q3 (implicit pattern match): q3(PATH') = {⟨3⟩}
+"""
+
+import pytest
+
+from repro.ctable.condition import TRUE, eq
+from repro.ctable.table import CTable, Database
+from repro.ctable.terms import Constant, CVariable
+from repro.ctable.worlds import iter_worlds
+from repro.faurelog.evaluation import evaluate
+from repro.faurelog.parser import parse_program
+from repro.solver.interface import ConditionSolver
+from repro.verify.baseline import GroundEvaluator
+
+XP, YD = CVariable("xp"), CVariable("yd")
+ABC = ("A", "B", "C")
+ADEC = ("A", "D", "E", "C")
+ABE = ("A", "B", "E")
+
+
+@pytest.fixture
+def regular_path_db():
+    """PATH = {P, C} with the regular P of Table 2."""
+    p = CTable("P", ["dest", "path"])
+    p.add(["1.2.3.4", ABC])
+    p.add(["1.2.3.5", ABE])
+    p.add(["1.2.3.6", ADEC])
+    c = CTable("C", ["path", "cost"])
+    c.add([ABC, 3])
+    c.add([ADEC, 4])
+    c.add([ABE, 3])
+    return Database([p, c])
+
+
+def answers(result_db, name="ans"):
+    return {
+        tuple(v.value for v in t.values): t.condition
+        for t in result_db.table(name)
+    }
+
+
+class TestQ1OnRegularDatabase:
+    def test_q1(self, regular_path_db, string_solver):
+        out = evaluate(
+            parse_program("ans(z) :- P('1.2.3.4', y), C(y, z)."),
+            regular_path_db,
+            solver=string_solver,
+        )
+        assert answers(out) == {(3,): TRUE}
+
+
+class TestQ2Q3OnCTable:
+    def test_q2_explicit_equality(self, path_database, string_solver):
+        out = evaluate(
+            parse_program("ans(z) :- P(x, y), C(y, z), x = '1.2.3.4'."),
+            path_database,
+            solver=string_solver,
+        )
+        got = answers(out)
+        assert set(got) == {(3,), (4,)}
+        assert string_solver.implies(got[(3,)], eq(XP, ABC))
+        assert string_solver.implies(got[(4,)], eq(XP, ADEC))
+
+    def test_q2_implicit_form_equivalent(self, path_database, string_solver):
+        out = evaluate(
+            parse_program("ans(z) :- P('1.2.3.4', y), C(y, z)."),
+            path_database,
+            solver=string_solver,
+        )
+        assert set(answers(out)) == {(3,), (4,)}
+
+    def test_q3_pattern_matches_cvariable(self, path_database, string_solver):
+        out = evaluate(
+            parse_program("ans(z) :- P('1.2.3.5', y), C(y, z)."),
+            path_database,
+            solver=string_solver,
+        )
+        got = answers(out)
+        assert set(got) == {(3,)}
+        # the condition records ȳd = 1.2.3.5 (consistent with ȳd ≠ 1.2.3.4)
+        assert string_solver.is_satisfiable(got[(3,)])
+
+    def test_q3_contradictory_pattern_pruned(self, path_database, string_solver):
+        # dest = 1.2.3.4 cannot match the ȳd row (ȳd ≠ 1.2.3.4)
+        out = evaluate(
+            parse_program("ans(z) :- P('1.2.3.4', y), C(y, z), y = [A B E]."),
+            path_database,
+            solver=string_solver,
+        )
+        assert len(out.table("ans")) == 0
+
+
+class TestLossLessOnTable2:
+    def test_query_agrees_with_every_world(self, path_database, path_domains):
+        """The loss-less property on the paper's own example.
+
+        Evaluating q3 on the c-table equals evaluating it separately in
+        each possible world of PATH'.
+        """
+        from repro.solver.interface import ConditionSolver
+
+        solver = ConditionSolver(path_domains)
+        program = parse_program("ans(z) :- P('1.2.3.5', y), C(y, z).")
+        out = evaluate(program, path_database, solver=solver)
+        ctable_answers = {
+            tuple(v.value for v in t.values): t.condition
+            for t in out.table("ans")
+        }
+        for assignment, world in iter_worlds(path_database, path_domains):
+            ground = GroundEvaluator(world)
+            derived = ground.run(program)
+            world_rows = {
+                tuple(c.value for c in row) for row in derived.get("ans", set())
+            }
+            faure_rows = {
+                row
+                for row, cond in ctable_answers.items()
+                if cond.evaluate(assignment)
+            }
+            assert world_rows == faure_rows, assignment

@@ -1,0 +1,147 @@
+"""The fauré-log textual syntax."""
+
+import pytest
+
+from repro.ctable.condition import Comparison, LinearAtom, TRUE, ne
+from repro.ctable.terms import Constant, CVariable, Variable
+from repro.faurelog.ast import Literal
+from repro.faurelog.parser import ParseError, parse_program
+
+
+class TestBasicRules:
+    def test_simple_rule(self):
+        p = parse_program("R(n1, n2) :- F(n1, n2).")
+        (rule,) = p.rules
+        assert rule.head.predicate == "R"
+        assert rule.head.terms == (Variable("n1"), Variable("n2"))
+
+    def test_fact(self):
+        p = parse_program("Lb('R&D', GS).")
+        (rule,) = p.rules
+        assert rule.is_fact
+        assert rule.head.terms == (Constant("R&D"), Constant("GS"))
+
+    def test_label(self):
+        p = parse_program("q5: R(a, b) :- F(a, b).")
+        assert p.rules[0].label == "q5"
+
+    def test_multiple_rules_and_comments(self):
+        p = parse_program(
+            """
+            % all-pairs reachability
+            q4: R(n1, n2) :- F(n1, n2).
+            q5: R(n1, n2) :- F(n1, n3), R(n3, n2).  % recursion
+            """
+        )
+        assert len(p) == 2
+        assert p.rules[1].label == "q5"
+
+    def test_zero_ary_head(self):
+        p = parse_program("panic :- R(Mkt, CS, $p).")
+        assert p.rules[0].head.arity == 0
+
+
+class TestBodyItems:
+    def test_negation_spellings(self):
+        for spelling in ["not Fw(Mkt, CS)", "¬Fw(Mkt, CS)", "!Fw(Mkt, CS)"]:
+            p = parse_program(f"panic :- R(Mkt, CS, $p), {spelling}.")
+            negs = list(p.rules[0].negative_literals())
+            assert len(negs) == 1
+            assert negs[0].predicate == "Fw"
+
+    def test_comparisons_in_body(self):
+        p = parse_program("V($x) :- R($x), $x != Mkt, $x != 'R&D'.")
+        cmps = list(p.rules[0].comparisons())
+        assert len(cmps) == 2
+        assert all(isinstance(c, Comparison) for c in cmps)
+
+    def test_linear_atom_in_body(self):
+        p = parse_program("T(n) :- R(n), $x + $y + $z = 1.")
+        (cmp_,) = p.rules[0].comparisons()
+        assert isinstance(cmp_, LinearAtom)
+
+    def test_constants_kinds(self):
+        p = parse_program("H(x) :- B(x, 7000, '1.2.3.4', [A B C], Mkt).")
+        terms = list(p.rules[0].literals())[0].atom.terms
+        assert terms[1] == Constant(7000)
+        assert terms[2] == Constant("1.2.3.4")
+        assert terms[3] == Constant(("A", "B", "C"))
+        assert terms[4] == Constant("Mkt")
+
+    def test_address_without_quotes(self):
+        p = parse_program("H(x) :- B(x, 1.2.3.4).")
+        terms = list(p.rules[0].literals())[0].atom.terms
+        assert terms[1] == Constant("1.2.3.4")
+
+
+class TestAnnotations:
+    def test_condition_variable_annotation(self):
+        p = parse_program("R(f, n1, n2)[phi] :- F(f, n1, n2)[phi].")
+        lit = list(p.rules[0].literals())[0]
+        assert lit.condition_var == "phi"
+        assert lit.annotation is TRUE
+
+    def test_filter_annotation(self):
+        p = parse_program("Lb2($x, $y) :- Lb1($x, $y)[$x != Mkt].")
+        lit = list(p.rules[0].literals())[0]
+        assert lit.annotation == ne(CVariable("x"), "Mkt")
+
+    def test_mixed_annotation(self):
+        p = parse_program("T(n)[phi AND $x = 1] :- R(n)[phi, $x = 1].")
+        lit = list(p.rules[0].literals())[0]
+        assert lit.condition_var == "phi"
+        assert lit.annotation is not TRUE
+        assert p.rules[0].head_annotation is not None
+
+
+class TestErrors:
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_program("R(a) :- F(a)")
+
+    def test_unsafe_rule_surfaces(self):
+        from repro.faurelog.ast import ProgramError
+
+        with pytest.raises(ProgramError):
+            parse_program("H(v) :- B(w).")
+
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse_program("== what.")
+
+
+class TestPaperListings:
+    def test_listing2_parses(self):
+        text = """
+        q4: R(f, n1, n2) :- F(f, n1, n2).
+        q5: R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).
+        q6: T1(f, n1, n2) :- R(f, n1, n2), $x + $y + $z = 1.
+        q7: T2(f, 2, 5) :- T1(f, 2, 5), $y = 0.
+        q8: T3(f, 1, n2) :- R(f, 1, n2), $y + $z < 2.
+        """
+        p = parse_program(text)
+        assert len(p) == 5
+        assert p.idb_predicates() == frozenset({"R", "T1", "T2", "T3"})
+
+    def test_listing3_parses(self):
+        text = """
+        q9: panic :- R(Mkt, CS, $p), not Fw(Mkt, CS).
+        q10: panic :- R('R&D', $y, 7000), not Lb('R&D', $y).
+        q11: panic :- Vt(x, y, p).
+        q13: Vt($x, CS, $p) :- R($x, CS, $p), $x != Mkt, $x != 'R&D'.
+        q14: Vt($x, CS, $p) :- R($x, CS, $p), not Lb($x, CS).
+        q15: Vt($x, CS, $p) :- R($x, CS, $p), $p != 7000.
+        """
+        p = parse_program(text)
+        assert len(p) == 6
+
+    def test_listing4_parses(self):
+        text = """
+        q19: Lb1('R&D', GS).
+        q20: Lb1($x, $y) :- Lb($x, $y).
+        q21: Lb2($x, $y) :- Lb1($x, $y)[$x != Mkt].
+        q22: Lb2($x, $y) :- Lb1($x, $y)[$y != CS].
+        q24: panic :- R('R&D', $y, 7000), not Lb2('R&D', $y).
+        """
+        p = parse_program(text)
+        assert len(p) == 5

@@ -1,0 +1,64 @@
+"""Parser robustness: arbitrary input never crashes with a foreign error.
+
+The contract: :func:`parse_program` either returns a Program or raises
+``ParseError`` / ``ProgramError`` — never an ``IndexError`` or an
+infinite loop.  Random garbage, truncations of valid programs, and
+near-miss mutations all go through.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faurelog.ast import Program, ProgramError
+from repro.faurelog.parser import ParseError, parse_program
+
+VALID = """
+q4: R(f, n1, n2) :- F(f, n1, n2).
+q5: R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).
+q9: panic :- R(Mkt, CS, $p), not Fw(Mkt, CS).
+q21: Lb2($x, $y) :- Lb1($x, $y)[$x != Mkt].
+q6: T1(f, n1, n2) :- R(f, n1, n2), $x + $y + $z = 1.
+"""
+
+
+def try_parse(text: str):
+    try:
+        out = parse_program(text)
+        assert isinstance(out, Program)
+    except (ParseError, ProgramError):
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=120))
+def test_arbitrary_text(text):
+    try_parse(text)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.text(
+        alphabet=":-(),.$[]%!=<>+ \nabcXYZ0139'\"",
+        max_size=120,
+    )
+)
+def test_syntax_shaped_garbage(text):
+    try_parse(text)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(min_value=0, max_value=len(VALID)))
+def test_truncations_of_valid_program(cut):
+    try_parse(VALID[:cut])
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=len(VALID) - 1),
+    st.sampled_from(list(".,()[]$:-=!")),
+)
+def test_single_character_mutations(position, replacement):
+    mutated = VALID[:position] + replacement + VALID[position + 1:]
+    try_parse(mutated)

@@ -1,0 +1,126 @@
+"""Pretty-printer: format → parse must be the identity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ctable.condition import Comparison, LinearAtom, TRUE, conjoin, disjoin, eq, ne
+from repro.ctable.terms import Constant, CVariable, Variable
+from repro.faurelog.ast import Atom, Literal, Program, Rule
+from repro.faurelog.parser import parse_program
+from repro.faurelog.printer import (
+    format_condition,
+    format_program,
+    format_rule,
+    format_term,
+)
+from repro.ctable.parse import TokenStream, parse_condition, parse_term, tokenize
+
+
+class TestFormatTerm:
+    def test_cvariable(self):
+        assert format_term(CVariable("x")) == "$x"
+
+    def test_variable(self):
+        assert format_term(Variable("n1")) == "n1"
+
+    def test_bare_constant(self):
+        assert format_term(Constant("Mkt")) == "Mkt"
+
+    def test_lowercase_constant_quoted(self):
+        assert format_term(Constant("mkt")) == "'mkt'"
+
+    def test_address_quoted(self):
+        # addresses re-parse as addr constants either way; quoting is safe
+        out = format_term(Constant("1.2.3.4"))
+        stream = TokenStream(tokenize(out), out)
+        assert parse_term(stream) == Constant("1.2.3.4")
+
+    def test_keywordish_quoted(self):
+        assert format_term(Constant("And")) == "'And'"
+
+    def test_numbers(self):
+        assert format_term(Constant(7000)) == "7000"
+        assert format_term(Constant(2.5)) == "2.5"
+
+    def test_path(self):
+        assert format_term(Constant(("A", "B", "C"))) == "[A B C]"
+
+    def test_quote_escaping(self):
+        out = format_term(Constant("it's"))
+        stream = TokenStream(tokenize(out), out)
+        assert parse_term(stream) == Constant("it's")
+
+
+class TestConditionRoundtrip:
+    @pytest.mark.parametrize(
+        "cond",
+        [
+            eq(CVariable("x"), 1),
+            ne(CVariable("x"), "Mkt"),
+            conjoin([eq(CVariable("x"), 1), ne(CVariable("y"), 0)]),
+            disjoin([eq(CVariable("x"), 1), eq(CVariable("x"), 2)]),
+            LinearAtom([CVariable("x"), CVariable("y")], "=", 1),
+            LinearAtom({CVariable("x"): 2}, "<=", 3),
+        ],
+    )
+    def test_roundtrip(self, cond):
+        text = format_condition(cond)
+        assert parse_condition(text) == cond
+
+
+PAPER_PROGRAMS = [
+    """
+    q4: R(f, n1, n2) :- F(f, n1, n2).
+    q5: R(f, n1, n2) :- F(f, n1, n3), R(f, n3, n2).
+    q6: T1(f, n1, n2) :- R(f, n1, n2), $x + $y + $z = 1.
+    """,
+    """
+    q9: panic :- R(Mkt, CS, $p), not Fw(Mkt, CS).
+    q13: Vt($x, CS, $p) :- R($x, CS, $p), $x != Mkt, $x != 'R&D'.
+    """,
+    """
+    q19: Lb1('R&D', GS).
+    q21: Lb2($x, $y) :- Lb1($x, $y)[$x != Mkt].
+    """,
+]
+
+
+class TestProgramRoundtrip:
+    @pytest.mark.parametrize("text", PAPER_PROGRAMS)
+    def test_paper_listings_roundtrip(self, text):
+        program = parse_program(text)
+        assert parse_program(format_program(program)) == program
+
+    def test_labels_preserved(self):
+        program = parse_program("q4: R(a, b) :- F(a, b).")
+        out = format_program(program)
+        assert out.startswith("q4:")
+        assert parse_program(out).rules[0].label == "q4"
+
+    def test_negation_and_annotation(self):
+        program = parse_program(
+            "panic :- R($x)[phi, $x != Mkt], not Fw($x)."
+        )
+        reparsed = parse_program(format_program(program))
+        assert reparsed == program
+
+
+def terms():
+    constants = st.one_of(
+        st.integers(min_value=-5, max_value=9999),
+        st.sampled_from(["Mkt", "CS", "r&d", "1.2.3.4", "hello world", "A"]),
+        st.tuples(st.sampled_from(["A", "B", "C"])),
+    ).map(Constant)
+    return st.one_of(
+        constants,
+        st.sampled_from([CVariable("x"), CVariable("y")]),
+        st.sampled_from([Variable("u"), Variable("v")]),
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(terms())
+def test_term_roundtrip_property(term):
+    text = format_term(term)
+    stream = TokenStream(tokenize(text), text)
+    assert parse_term(stream) == term

@@ -1,0 +1,94 @@
+"""Random program generation → format → parse is the identity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ctable.condition import Comparison, LinearAtom, TRUE
+from repro.ctable.terms import Constant, CVariable, Variable
+from repro.faurelog.ast import Atom, Literal, Program, Rule
+from repro.faurelog.parser import parse_program
+from repro.faurelog.printer import format_program
+
+VARS = [Variable("x"), Variable("y"), Variable("z")]
+CVARS = [CVariable("a"), CVariable("b")]
+CONSTS = [Constant("Mkt"), Constant(7000), Constant("1.2.3.4"),
+          Constant(("A", "B")), Constant("lower case")]
+
+
+def terms():
+    return st.one_of(
+        st.sampled_from(VARS), st.sampled_from(CVARS), st.sampled_from(CONSTS)
+    )
+
+
+def body_atoms():
+    return st.builds(
+        Atom,
+        st.sampled_from(["E", "F", "G"]),
+        st.lists(terms(), min_size=1, max_size=3),
+    )
+
+
+def comparisons():
+    cvar_cmp = st.builds(
+        lambda a, op, b: Comparison(a, op, b).constant_fold(),
+        st.sampled_from(CVARS),
+        st.sampled_from(["=", "!=", "<", ">="]),
+        st.sampled_from([Constant(1), Constant("Mkt"), CVARS[0]]),
+    )
+    linear = st.builds(
+        lambda vs, k: LinearAtom(list(vs), "=", k),
+        st.lists(st.sampled_from(CVARS), min_size=1, max_size=2, unique=True),
+        st.integers(min_value=0, max_value=3),
+    )
+    return st.one_of(cvar_cmp, linear).filter(lambda c: c is not TRUE)
+
+
+@st.composite
+def rules(draw):
+    positives = draw(st.lists(body_atoms(), min_size=1, max_size=3))
+    body = [Literal(a) for a in positives]
+    # negated literal over bound symbols only (safety)
+    bound = {
+        t for a in positives for t in a.terms if isinstance(t, (Variable, CVariable))
+    }
+    if draw(st.booleans()) and bound:
+        neg_terms = draw(
+            st.lists(
+                st.sampled_from(sorted(bound, key=str) + CONSTS),
+                min_size=1,
+                max_size=2,
+            )
+        )
+        body.append(Literal(Atom("N", neg_terms), negated=True))
+    body.extend(draw(st.lists(comparisons(), max_size=2)))
+    # head over bound variables / constants
+    head_pool = sorted(
+        (t for t in bound if isinstance(t, (Variable, CVariable))), key=str
+    ) + CONSTS
+    head_terms = draw(st.lists(st.sampled_from(head_pool), max_size=3))
+    label = draw(st.sampled_from([None, "q1", "rule_a"]))
+    return Rule(Atom("Out", head_terms), body, label=label)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(rules(), min_size=1, max_size=4))
+def test_program_roundtrip(rule_list):
+    # Arity consistency: rename Out per arity to avoid clashes.
+    renamed = []
+    for rule in rule_list:
+        head = Atom(f"Out{rule.head.arity}", rule.head.terms)
+        body = []
+        for item in rule.body:
+            if isinstance(item, Literal):
+                atom = Atom(
+                    f"{item.atom.predicate}{item.atom.arity}", item.atom.terms
+                )
+                body.append(Literal(atom, negated=item.negated,
+                                    condition_var=item.condition_var,
+                                    annotation=item.annotation))
+            else:
+                body.append(item)
+        renamed.append(Rule(head, body, label=rule.label))
+    program = Program(renamed)
+    text = format_program(program)
+    assert parse_program(text) == program, text

@@ -1,0 +1,60 @@
+"""Provenance recording in the evaluator."""
+
+import pytest
+
+from repro.ctable.table import Database
+from repro.ctable.terms import Constant
+from repro.faurelog.evaluation import FaureEvaluator
+from repro.faurelog.parser import parse_program
+from repro.solver.domains import DomainMap, Unbounded
+from repro.solver.interface import ConditionSolver
+
+
+@pytest.fixture
+def solver():
+    return ConditionSolver(DomainMap(default=Unbounded()))
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    e = database.create_table("E", ["a", "b"])
+    e.add([1, 2])
+    e.add([2, 3])
+    return database
+
+
+PROGRAM = parse_program(
+    """
+    base: T(a, b) :- E(a, b).
+    step: T(a, b) :- E(a, c), T(c, b).
+    """
+)
+
+
+class TestProvenance:
+    def test_disabled_by_default(self, db, solver):
+        evaluator = FaureEvaluator(db, solver=solver)
+        evaluator.evaluate(PROGRAM)
+        assert evaluator.provenance == []
+
+    def test_labels_recorded(self, db, solver):
+        evaluator = FaureEvaluator(db, solver=solver, record_provenance=True)
+        evaluator.evaluate(PROGRAM)
+        by_rule = {}
+        for predicate, values, condition, label in evaluator.provenance:
+            by_rule.setdefault(label, []).append(values)
+        assert len(by_rule["base"]) == 2
+        assert (Constant(1), Constant(3)) in by_rule["step"]
+
+    def test_every_derived_tuple_has_an_entry(self, db, solver):
+        evaluator = FaureEvaluator(db, solver=solver, record_provenance=True)
+        result = evaluator.evaluate(PROGRAM)
+        assert len(evaluator.provenance) == len(result.table("T"))
+
+    def test_order_is_derivation_order(self, db, solver):
+        evaluator = FaureEvaluator(db, solver=solver, record_provenance=True)
+        evaluator.evaluate(PROGRAM)
+        labels = [label for _, _, _, label in evaluator.provenance]
+        # all base-rule derivations precede the recursive ones
+        assert labels.index("step") > labels.index("base")

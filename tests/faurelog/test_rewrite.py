@@ -1,0 +1,135 @@
+"""Update rewrite: program transformation and database materialization."""
+
+import pytest
+
+from repro.ctable.condition import TRUE, eq, ne
+from repro.ctable.table import CTable, Database
+from repro.ctable.terms import Constant, CVariable
+from repro.faurelog.ast import ProgramError
+from repro.faurelog.evaluation import evaluate
+from repro.faurelog.parser import parse_program
+from repro.faurelog.rewrite import Deletion, Insertion, apply_update, rewrite_constraint
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, Unbounded
+from repro.solver.interface import ConditionSolver
+
+X = CVariable("x")
+
+
+@pytest.fixture
+def solver():
+    return ConditionSolver(DomainMap({X: BOOL_DOMAIN}, default=Unbounded()))
+
+
+@pytest.fixture
+def lb_db():
+    db = Database()
+    lb = db.create_table("Lb", ["subnet", "server"])
+    lb.add(["Mkt", "CS"])
+    lb.add(["R&D", "CS"])
+    return db
+
+
+class TestRewriteConstraint:
+    def test_insertion_generates_copy_and_fact(self):
+        c = parse_program("panic :- R($y), not Lb($y).")
+        out = rewrite_constraint(c, [Insertion("Lb", ("GS",))])
+        preds = out.idb_predicates()
+        assert "Lb__u1" in preds
+        rules = out.rules_for("Lb__u1")
+        assert any(r.is_fact for r in rules)
+        assert any(not r.is_fact for r in rules)
+
+    def test_deletion_generates_keep_rules(self):
+        c = parse_program("panic :- R($y), not Lb($y, $z).")
+        out = rewrite_constraint(c, [Deletion("Lb", ("Mkt", "CS"))])
+        keeps = out.rules_for("Lb__u1")
+        assert len(keeps) == 2  # one per constrained column
+
+    def test_deletion_wildcards_skip_columns(self):
+        c = parse_program("panic :- R($y), not Lb($y, $z).")
+        out = rewrite_constraint(c, [Deletion("Lb", (None, "CS"))])
+        keeps = out.rules_for("Lb__u1")
+        assert len(keeps) == 1
+
+    def test_constraint_references_redirected(self):
+        c = parse_program("panic :- R($y), not Lb($y).")
+        out = rewrite_constraint(
+            c, [Insertion("Lb", ("GS",)), Deletion("Lb", ("CS",))]
+        )
+        panic_rule = out.rules_for("panic")[0]
+        negs = list(panic_rule.negative_literals())
+        assert negs[0].predicate == "Lb__u2"
+
+    def test_untouched_predicates_unchanged(self):
+        c = parse_program("panic :- R($y), not Lb($y).")
+        out = rewrite_constraint(c, [Insertion("Fw", ("GS",))])
+        panic_rule = out.rules_for("panic")[0]
+        assert list(panic_rule.negative_literals())[0].predicate == "Lb"
+
+    def test_update_of_idb_rejected(self):
+        c = parse_program("panic :- V($y). V($y) :- R($y).")
+        with pytest.raises(ProgramError):
+            rewrite_constraint(c, [Insertion("V", ("k",))])
+
+    def test_rewrite_semantics_on_concrete_state(self, lb_db, solver):
+        """C' on the old state == C on the updated state."""
+        lb_db.create_table("R", ["server"]).add(["GS"])
+        c = parse_program("panic :- R($y), not Lb('R&D', $y).")
+        update = [Insertion("Lb", ("R&D", "GS"))]
+        rewritten = rewrite_constraint(c, update)
+        before = evaluate(rewritten, lb_db, solver=solver)
+        after_db = apply_update(lb_db, update)
+        after = evaluate(c, after_db, solver=solver)
+        assert bool(len(before.table("panic"))) == bool(len(after.table("panic")))
+        assert len(after.table("panic")) == 0  # GS now balanced
+
+
+class TestApplyUpdate:
+    def test_insertion_appends(self, lb_db):
+        out = apply_update(lb_db, [Insertion("Lb", ("R&D", "GS"))])
+        assert len(out.table("Lb")) == 3
+        assert len(lb_db.table("Lb")) == 2  # original untouched
+
+    def test_certain_deletion_removes(self, lb_db):
+        out = apply_update(lb_db, [Deletion("Lb", ("Mkt", "CS"))])
+        rows = {tuple(v.value for v in t.values) for t in out.table("Lb")}
+        assert rows == {("R&D", "CS")}
+
+    def test_wildcard_deletion(self, lb_db):
+        out = apply_update(lb_db, [Deletion("Lb", (None, "CS"))])
+        assert len(out.table("Lb")) == 0
+
+    def test_conditional_deletion_of_cvariable_row(self, solver):
+        db = Database()
+        lb = db.create_table("Lb", ["subnet"])
+        lb.add([X])  # unknown subnet
+        out = apply_update(db, [Deletion("Lb", ("Mkt",))])
+        (tup,) = out.table("Lb").tuples()
+        # the row survives exactly when x̄ ≠ Mkt
+        assert solver.equivalent(tup.condition, ne(X, "Mkt"))
+
+    def test_conditional_row_certain_match_dropped(self):
+        db = Database()
+        lb = db.create_table("Lb", ["subnet"])
+        lb.add(["Mkt"], eq(X, 1))
+        out = apply_update(db, [Deletion("Lb", ("Mkt",))])
+        assert len(out.table("Lb")) == 0
+
+    def test_arity_validation(self, lb_db):
+        with pytest.raises(ProgramError):
+            apply_update(lb_db, [Insertion("Lb", ("only-one",))])
+        with pytest.raises(ProgramError):
+            apply_update(lb_db, [Deletion("Lb", ("a", "b", "c"))])
+
+    def test_sequence_order_matters(self, lb_db):
+        update = [
+            Deletion("Lb", ("R&D", "GS")),
+            Insertion("Lb", ("R&D", "GS")),
+        ]
+        out = apply_update(lb_db, update)
+        rows = {tuple(v.value for v in t.values) for t in out.table("Lb")}
+        assert ("R&D", "GS") in rows  # delete-then-insert keeps it
+
+    def test_str_representations(self):
+        assert str(Insertion("Lb", ("a",))) == "+Lb(a)"
+        assert str(Deletion("Lb", (None, "b"))) == "-Lb(_, b)"

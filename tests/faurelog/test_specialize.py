@@ -1,0 +1,139 @@
+"""Goal-directed evaluation by specialization."""
+
+import pytest
+
+from repro.ctable.condition import eq
+from repro.ctable.table import CTable, Database
+from repro.ctable.terms import Constant, CVariable
+from repro.engine.stats import EvalStats
+from repro.faurelog.ast import Atom, ProgramError
+from repro.faurelog.evaluation import evaluate
+from repro.faurelog.parser import parse_program
+from repro.faurelog.specialize import solve_goal, specialize
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, Unbounded
+from repro.solver.interface import ConditionSolver
+from repro.ctable.terms import Variable
+
+REACH = parse_program(
+    """
+    R(f, a, b) :- F(f, a, b).
+    R(f, a, b) :- F(f, a, c), R(f, c, b).
+    """
+)
+
+X = CVariable("x")
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    f = database.create_table("F", ["flow", "n1", "n2"])
+    f.add(["p0", 1, 2])
+    f.add(["p0", 2, 3], eq(X, 1))
+    f.add(["p1", 1, 2])
+    f.add(["p1", 2, 4])
+    return database
+
+
+@pytest.fixture
+def solver():
+    return ConditionSolver(DomainMap({X: BOOL_DOMAIN}, default=Unbounded()))
+
+
+class TestSpecialize:
+    def test_constant_pushed_into_edb_atoms(self):
+        specialized, goal = specialize(REACH, Atom("R", ["p0", Variable("a"), Variable("b")]))
+        texts = [str(r) for r in specialized]
+        assert all("p0" in t for t in texts)
+        assert goal.predicate != "R"
+
+    def test_recursive_call_specialized_once(self):
+        specialized, _ = specialize(REACH, Atom("R", ["p0", Variable("a"), Variable("b")]))
+        # two rules, not an infinite expansion
+        assert len(specialized) == 2
+
+    def test_unbound_goal_is_identity_shape(self):
+        specialized, goal = specialize(
+            REACH, Atom("R", [Variable("f"), Variable("a"), Variable("b")])
+        )
+        assert goal.predicate == "R"
+        assert len(specialized) == 2
+
+    def test_goal_on_edb_rejected(self):
+        with pytest.raises(ProgramError):
+            specialize(REACH, Atom("F", ["p0", Variable("a"), Variable("b")]))
+
+    def test_head_constant_conflict_drops_rule(self):
+        program = parse_program(
+            """
+            H(Mkt, $p) :- A($p).
+            H(GS, $p) :- B($p).
+            """
+        )
+        specialized, _ = specialize(program, Atom("H", ["Mkt", Variable("p")]))
+        assert len(specialized) == 1
+        assert "A" in {l.predicate for r in specialized for l in r.literals()}
+
+
+class TestSolveGoal:
+    def test_matches_bottom_up(self, db, solver):
+        full = evaluate(REACH, db, solver=solver).table("R")
+        expected = {
+            (t.values, t.condition)
+            for t in full
+            if t.values[0] == Constant("p0")
+        }
+        goal_table = solve_goal(
+            REACH, db, Atom("R", ["p0", Variable("a"), Variable("b")]), solver=solver
+        )
+        got = {(t.values, t.condition) for t in goal_table}
+        assert {v for v, _ in got} == {v for v, _ in expected}
+
+    def test_point_goal_selected(self, db, solver):
+        goal_table = solve_goal(REACH, db, Atom("R", ["p0", 1, 3]), solver=solver)
+        assert len(goal_table) == 1
+        (tup,) = goal_table.tuples()
+        assert solver.equivalent(tup.condition, eq(X, 1))
+
+    def test_unreachable_goal_empty(self, db, solver):
+        goal_table = solve_goal(REACH, db, Atom("R", ["p0", 3, 1]), solver=solver)
+        assert len(goal_table) == 0
+
+    def test_flows_isolated(self, db, solver):
+        goal_table = solve_goal(
+            REACH, db, Atom("R", ["p1", Variable("a"), Variable("b")]), solver=solver
+        )
+        assert all(t.values[0] == Constant("p1") for t in goal_table)
+        pairs = {(t.values[1].value, t.values[2].value) for t in goal_table}
+        assert pairs == {(1, 2), (2, 4), (1, 4)}
+
+    def test_fewer_tuples_than_bottom_up(self, db, solver):
+        stats_goal = EvalStats()
+        solve_goal(
+            REACH,
+            db,
+            Atom("R", ["p0", Variable("a"), Variable("b")]),
+            solver=solver,
+            stats=stats_goal,
+        )
+        stats_full = EvalStats()
+        evaluate(REACH, db, solver=solver, stats=stats_full)
+        assert stats_goal.tuples_generated < stats_full.tuples_generated
+
+    def test_negation_dependency_fully_computed(self, solver):
+        database = Database()
+        node = database.create_table("Node", ["n"])
+        node.add([1])
+        node.add([2])
+        broken = database.create_table("Broken", ["n"])
+        broken.add([2])
+        program = parse_program(
+            """
+            Bad(n) :- Broken(n).
+            Good(n) :- Node(n), not Bad(n).
+            """
+        )
+        table = solve_goal(program, database, Atom("Good", [1]), solver=solver)
+        assert len(table) == 1
+        empty = solve_goal(program, database, Atom("Good", [2]), solver=solver)
+        assert len(empty) == 0

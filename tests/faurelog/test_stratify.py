@@ -1,0 +1,99 @@
+"""Stratification and dependency analysis."""
+
+import pytest
+
+from repro.faurelog.ast import ProgramError
+from repro.faurelog.parser import parse_program
+from repro.faurelog.stratify import dependency_graph, is_recursive, stratify
+
+
+class TestDependencyGraph:
+    def test_edges_and_negativity(self):
+        p = parse_program(
+            """
+            H(a) :- B(a).
+            G(a) :- H(a), not K(a).
+            """
+        )
+        g = dependency_graph(p)
+        assert g.has_edge("B", "H")
+        assert not g["B"]["H"]["negative"]
+        assert g["K"]["G"]["negative"]
+
+    def test_negative_edge_sticks(self):
+        p = parse_program(
+            """
+            H(a) :- B(a).
+            H(a) :- C(a), not B(a).
+            """
+        )
+        g = dependency_graph(p)
+        assert g["B"]["H"]["negative"]
+
+
+class TestStratify:
+    def test_single_stratum_recursion(self):
+        p = parse_program(
+            """
+            R(a, b) :- F(a, b).
+            R(a, b) :- F(a, c), R(c, b).
+            """
+        )
+        strata = stratify(p)
+        assert strata == [frozenset({"R"})]
+
+    def test_negation_forces_lower_stratum(self):
+        p = parse_program(
+            """
+            Good(a) :- Node(a), not Bad(a).
+            Bad(a) :- Broken(a).
+            """
+        )
+        strata = stratify(p)
+        assert strata.index(frozenset({"Bad"})) < strata.index(frozenset({"Good"}))
+
+    def test_unstratifiable_rejected(self):
+        p = parse_program(
+            """
+            P(a) :- N(a), not Q(a).
+            Q(a) :- N(a), not P(a).
+            """
+        )
+        with pytest.raises(ProgramError):
+            stratify(p)
+
+    def test_mutual_recursion_one_stratum(self):
+        p = parse_program(
+            """
+            E(a, b) :- L(a, b).
+            O(a, b) :- L(a, c), E(c, b).
+            E(a, b) :- L(a, c), O(c, b).
+            """
+        )
+        strata = stratify(p)
+        assert frozenset({"E", "O"}) in strata
+
+    def test_edb_not_in_strata(self):
+        p = parse_program("H(a) :- B(a).")
+        strata = stratify(p)
+        assert all("B" not in s for s in strata)
+
+
+class TestIsRecursive:
+    def test_nonrecursive(self):
+        p = parse_program("H(a) :- B(a). G(a) :- H(a).")
+        assert not is_recursive(p)
+
+    def test_self_recursive(self):
+        p = parse_program("R(a, b) :- F(a, b). R(a, b) :- F(a, c), R(c, b).")
+        assert is_recursive(p)
+
+    def test_mutually_recursive(self):
+        p = parse_program(
+            """
+            A(x) :- B0(x).
+            A(x) :- C0(x), B(x).
+            B(x) :- C0(x), A(x).
+            """
+        )
+        assert is_recursive(p)

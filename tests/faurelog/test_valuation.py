@@ -1,0 +1,170 @@
+"""The c-valuation: unification, derivations, negation conditions."""
+
+import pytest
+
+from repro.ctable.condition import Comparison, FALSE, TRUE, conjoin, eq, ne
+from repro.ctable.table import CTable, Database
+from repro.ctable.terms import Constant, CVariable, Variable
+from repro.engine.storage import IndexedTable, Storage
+from repro.faurelog.ast import Atom, Literal, ProgramError, Rule
+from repro.faurelog.parser import parse_program
+from repro.faurelog.valuation import (
+    build_head,
+    derive,
+    negation_condition,
+    unify_value,
+)
+
+X, Y = CVariable("x"), CVariable("y")
+V = Variable("v")
+
+
+class TestUnifyValue:
+    def test_identical(self):
+        assert unify_value(Constant(1), Constant(1)) is TRUE
+        assert unify_value(X, X) is TRUE
+
+    def test_distinct_constants(self):
+        assert unify_value(Constant(1), Constant(2)) is None
+
+    def test_constant_vs_cvariable(self):
+        cond = unify_value(Constant(1), X)
+        assert cond == eq(X, 1)
+
+    def test_two_cvariables(self):
+        cond = unify_value(X, Y)
+        assert cond == eq(X, Y)
+
+
+def derivations(rule_text, database):
+    program = parse_program(rule_text)
+    (rule,) = program.rules
+    return list(derive(rule, Storage(database))), rule
+
+
+class TestDerive:
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        f = database.create_table("F", ["a", "b"])
+        f.add([1, 2], eq(X, 1))
+        f.add([1, 3], eq(X, 0))
+        f.add([Y, 4])
+        return database
+
+    def test_plain_match(self, db):
+        ds, rule = derivations("H(a, b) :- F(a, b).", db)
+        assert len(ds) == 3
+        for bindings, cond in ds:
+            assert Variable("a") in bindings
+
+    def test_constant_pattern_filters(self, db):
+        ds, _ = derivations("H(b) :- F(1, b).", db)
+        # rows (1,2), (1,3) match outright; (ȳ,4) matches under ȳ=1
+        assert len(ds) == 3
+        symbolic = [cond for _, cond in ds if eq(Y, 1) in list(cond.atoms())]
+        assert symbolic
+
+    def test_conditions_conjoin(self, db):
+        ds, rule = derivations("H(b) :- F(1, b).", db)
+        for bindings, cond in ds:
+            if bindings[Variable("b")] == Constant(2):
+                assert cond == eq(X, 1)
+
+    def test_join_shares_bindings(self, db):
+        db.create_table("G", ["b", "c"]).add([2, "k"])
+        ds, _ = derivations("H(a, c) :- F(a, b), G(b, c).", db)
+        # F rows with b=2: (1,2) directly; (ȳ,4) needs 4=2 → dead
+        assert len(ds) == 1
+        bindings, cond = ds[0]
+        assert bindings[Variable("c")] == Constant("k")
+
+    def test_comparison_prunes_early(self, db):
+        ds, _ = derivations("H(a, b) :- F(a, b), b != 4.", db)
+        values = {bindings[Variable("b")].value for bindings, _ in ds}
+        assert values == {2, 3}
+
+    def test_cvariable_binds_in_atom_position(self, db):
+        ds, _ = derivations("H($w) :- F($w, 4).", db)
+        (d,) = ds
+        bindings, cond = d
+        assert bindings[CVariable("w")] == Y
+
+    def test_comparison_on_bound_cvariable_substituted(self, db):
+        ds, _ = derivations("H($w, b) :- F($w, b), $w != 1.", db)
+        # row (1,2): $w=1 → 1!=1 false → dropped; row (1,3) same;
+        # row (ȳ,4): condition ȳ != 1
+        assert len(ds) == 1
+        _, cond = ds[0]
+        assert ne(Y, 1) in list(cond.atoms())
+
+    def test_global_cvariable_passes_through(self, db):
+        ds, _ = derivations("H(a, b) :- F(a, b), $g = 1.", db)
+        for _, cond in ds:
+            assert eq(CVariable("g"), 1) in list(cond.atoms())
+
+    def test_annotation_filters(self, db):
+        ds, _ = derivations("H(a, b) :- F(a, b)[a != 1].", db)
+        # rows with a=1 dead; (ȳ,4) gets condition ȳ != 1
+        assert len(ds) == 1
+
+    def test_repeated_variable_in_atom(self, db):
+        db.create_table("E", ["p", "q"]).add([5, 5])
+        db.table("E").add([6, 7])
+        ds, _ = derivations("H(p) :- E(p, p).", db)
+        assert len(ds) == 1
+
+    def test_head_construction(self, db):
+        ds, rule = derivations("H(b, a) :- F(a, b).", db)
+        heads = {build_head(rule, b) for b, _ in ds}
+        assert (Constant(2), Constant(1)) in heads
+        assert (Constant(4), Y) in heads
+
+
+class TestNegation:
+    def test_negation_over_empty_is_true(self):
+        db = Database()
+        db.create_table("Fw", ["a", "b"])
+        lit = Literal(Atom("Fw", ["Mkt", "CS"]), negated=True)
+        cond = negation_condition(lit, IndexedTable(db.table("Fw")), {})
+        assert cond is TRUE
+
+    def test_negation_over_missing_table_is_true(self):
+        lit = Literal(Atom("Fw", ["Mkt", "CS"]), negated=True)
+        assert negation_condition(lit, None, {}) is TRUE
+
+    def test_negation_certain_match_is_false(self):
+        db = Database()
+        db.create_table("Fw", ["a", "b"]).add(["Mkt", "CS"])
+        lit = Literal(Atom("Fw", ["Mkt", "CS"]), negated=True)
+        cond = negation_condition(lit, IndexedTable(db.table("Fw")), {})
+        assert cond is FALSE
+
+    def test_negation_conditional_match(self):
+        db = Database()
+        db.create_table("Fw", ["a", "b"]).add([X, "CS"], ne(X, "Mkt"))
+        lit = Literal(Atom("Fw", ["Mkt", "CS"]), negated=True)
+        cond = negation_condition(lit, IndexedTable(db.table("Fw")), {})
+        # ¬(x̄=Mkt ∧ x̄≠Mkt) = TRUE after folding... the matcher keeps it
+        # symbolic: condition must at least be satisfiable-as-true
+        assert cond is not FALSE
+
+    def test_negation_unbound_variable_rejected(self):
+        db = Database()
+        db.create_table("Fw", ["a"])
+        lit = Literal(Atom("Fw", [V]), negated=True)
+        with pytest.raises(ProgramError):
+            negation_condition(lit, IndexedTable(db.table("Fw")), {})
+
+    def test_negation_through_derive(self):
+        db = Database()
+        r = db.create_table("R", ["a"])
+        r.add(["Mkt"])
+        r.add(["R&D"])
+        db.create_table("Fw", ["a"]).add(["Mkt"])
+        ds = list(
+            derive(parse_program("panic :- R(a), not Fw(a).").rules[0], Storage(db))
+        )
+        live = [(b, c) for b, c in ds if c is not FALSE]
+        assert len(live) == 1
+        assert live[0][0][Variable("a")] == Constant("R&D")

@@ -1,0 +1,96 @@
+"""Empirical soundness of the containment reduction.
+
+Whenever ``contains(Q, [P])`` answers *contained*, then on every concrete
+database (here: exhaustively enumerated small regular databases over a
+tiny universe), a world violating Q must also violate P.  A single
+counterexample would falsify the freeze-and-evaluate reduction.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faurelog.containment import contains
+from repro.faurelog.parser import parse_program
+from repro.solver.domains import DomainMap, FiniteDomain, Unbounded
+from repro.solver.interface import ConditionSolver
+from repro.verify.baseline import GroundEvaluator
+
+UNIVERSE = ["A", "B"]
+SCHEMAS = {"R": ["col"], "S": ["col"]}
+COLDOMS = {"col": FiniteDomain(UNIVERSE)}
+
+
+def random_constraint(rng: random.Random) -> str:
+    """A small random panic program over R(col), S(col)."""
+    rules = []
+    for _ in range(rng.randint(1, 2)):
+        body = [f"R($v)"]
+        if rng.random() < 0.5:
+            body.append(rng.choice(["not S($v)", "S($v)"]))
+        if rng.random() < 0.6:
+            body.append(f"$v != {rng.choice(UNIVERSE)}")
+        rules.append("panic :- " + ", ".join(body) + ".")
+    return "\n".join(rules)
+
+
+def all_databases():
+    """Every regular database over R, S with universe {a, b}."""
+    rows = [(v,) for v in UNIVERSE]
+    subsets = list(
+        itertools.chain.from_iterable(
+            itertools.combinations(rows, k) for k in range(len(rows) + 1)
+        )
+    )
+    for r_rows in subsets:
+        for s_rows in subsets:
+            yield {"R": set(r_rows), "S": set(s_rows)}
+
+
+def panics(program, relations) -> bool:
+    from repro.ctable.terms import Constant
+
+    ground = GroundEvaluator(
+        {
+            name: {tuple(Constant(v) for v in row) for row in rows}
+            for name, rows in relations.items()
+        }
+    )
+    return bool(ground.run(program).get("panic"))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_contained_verdicts_are_sound(seed):
+    rng = random.Random(seed)
+    q_text = random_constraint(rng)
+    p_text = random_constraint(rng)
+    q = parse_program(q_text)
+    p = parse_program(p_text)
+    solver = ConditionSolver(DomainMap(default=Unbounded("any")))
+    verdict = contains(
+        q, [p], solver, schemas=SCHEMAS, column_domains=COLDOMS
+    )
+    if not verdict.contained:
+        return  # "not shown" makes no claim
+    for relations in all_databases():
+        if panics(q, relations):
+            assert panics(p, relations), (q_text, p_text, relations)
+
+
+def test_known_noncontainment_has_concrete_witness():
+    """Sanity: when the verdict is 'not shown' for a genuinely larger
+    containee, some database separates the two."""
+    q = parse_program("panic :- R($v).")
+    p = parse_program("panic :- R($v), $v != A.")
+    solver = ConditionSolver(DomainMap(default=Unbounded("any")))
+    verdict = contains(q, [p], solver, schemas=SCHEMAS, column_domains=COLDOMS)
+    assert not verdict.contained
+    separating = [
+        relations
+        for relations in all_databases()
+        if panics(q, relations) and not panics(p, relations)
+    ]
+    assert separating

@@ -1,0 +1,151 @@
+"""The loss-less modeling claim (§4), tested at property level.
+
+For randomly generated fast-reroute configurations, the fauré-log
+reachability computed *once* on the c-table must agree, world by world,
+with conventional graph reachability computed in every possible failure
+combination.  This is the paper's central semantic guarantee.
+"""
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ctable.terms import Constant, CVariable
+from repro.network.frr import FrrConfig
+from repro.network.reachability import ReachabilityAnalyzer
+from repro.solver.interface import ConditionSolver
+from repro.verify.baseline import GroundEvaluator
+from repro.ctable.worlds import instantiate_database, iter_assignments
+
+
+def random_frr(seed: int, nodes: int = 5, protected: int = 3) -> FrrConfig:
+    """A random FRR config: ring skeleton + protected chords + backups."""
+    rng = random.Random(seed)
+    config = FrrConfig()
+    labels = list(range(nodes))
+    # skeleton ring (unprotected) keeps the graph connected-ish
+    for a, b in zip(labels, labels[1:]):
+        config.add_link(a, b)
+    for k in range(protected):
+        src, dst = rng.sample(labels, 2)
+        candidates = [n for n in labels if n not in (src, dst)]
+        backups = rng.sample(candidates, k=min(len(candidates), rng.randint(0, 2)))
+        config.protect(src, dst, backups=backups, state_var=f"s{k}")
+    return config
+
+
+def world_graph(config: FrrConfig, assignment):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(config.topology.nodes)
+    for tup in config.forwarding_table():
+        if tup.condition.evaluate(assignment):
+            graph.add_edge(tup.values[0].value, tup.values[1].value)
+    return graph
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_reachability_lossless_on_random_frr(seed):
+    config = random_frr(seed)
+    solver = ConditionSolver(config.domain_map())
+    analyzer = ReachabilityAnalyzer(config.database(), solver)
+    analyzer.compute()
+    variables = list(config.state_variables)
+    nodes = sorted(config.topology.nodes)
+    for bits in itertools.product([0, 1], repeat=len(variables)):
+        int_assign = dict(zip(variables, bits))
+        assignment = {v: Constant(b) for v, b in int_assign.items()}
+        graph = world_graph(config, assignment)
+        for src in nodes:
+            for dst in nodes:
+                if src == dst:
+                    continue
+                truth = nx.has_path(graph, src, dst)
+                faure = analyzer.holds_in_world(src, dst, int_assign)
+                assert truth == faure, (seed, bits, src, dst)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=3),
+)
+def test_failure_pattern_queries_lossless(seed, k):
+    """q6-style pattern results agree with filtering enumerated worlds."""
+    config = random_frr(seed)
+    variables = list(config.state_variables)
+    if k > len(variables):
+        k = len(variables)
+    solver = ConditionSolver(config.domain_map())
+    analyzer = ReachabilityAnalyzer(config.database(), solver)
+    analyzer.compute()
+    table, _ = analyzer.exactly_k_up(variables, k)
+    answers = [(t.values, t.condition) for t in table]
+    nodes = sorted(config.topology.nodes)
+    for bits in itertools.product([0, 1], repeat=len(variables)):
+        if sum(bits) != k:
+            continue
+        int_assign = dict(zip(variables, bits))
+        assignment = {v: Constant(b) for v, b in int_assign.items()}
+        graph = world_graph(config, assignment)
+        for src in nodes:
+            for dst in nodes:
+                if src == dst:
+                    continue
+                truth = nx.has_path(graph, src, dst)
+                faure = any(
+                    values == (Constant(src), Constant(dst))
+                    and cond.evaluate(assignment)
+                    for values, cond in answers
+                )
+                assert truth == faure, (seed, bits, src, dst)
+
+
+class TestLossLessGeneralQueries:
+    """Loss-lessness for arbitrary fauré-log programs on random c-tables."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_join_query_agrees_with_worlds(self, seed):
+        from repro.ctable.condition import eq, ne
+        from repro.ctable.table import CTable, Database
+        from repro.faurelog.evaluation import evaluate
+        from repro.faurelog.parser import parse_program
+        from repro.solver.domains import BOOL_DOMAIN, DomainMap, FiniteDomain
+
+        rng = random.Random(seed)
+        x, y = CVariable("x"), CVariable("y")
+        domains = DomainMap({x: BOOL_DOMAIN, y: FiniteDomain(["a", "b"])})
+        a = CTable("A", ["k", "v"])
+        b = CTable("B", ["v", "w"])
+        values = ["a", "b"]
+        for _ in range(rng.randint(1, 4)):
+            key = rng.randint(0, 2)
+            val = rng.choice(values + [y])
+            cond = rng.choice([eq(x, 0), eq(x, 1), ne(y, "a")])
+            a.add([key, val], cond)
+        for _ in range(rng.randint(1, 4)):
+            val = rng.choice(values + [y])
+            b.add([val, rng.randint(0, 2)])
+        db = Database([a, b])
+        solver = ConditionSolver(domains)
+        program = parse_program("H(k, w) :- A(k, v), B(v, w).")
+        out = evaluate(program, db, solver=solver)
+        answers = [(t.values, t.condition) for t in out.table("H")]
+        for assignment in iter_assignments(sorted(db.cvariables(), key=lambda v: v.name), domains):
+            ground = GroundEvaluator(instantiate_database(db, assignment))
+            truth = {
+                tuple(c.value for c in row) for row in ground.run(program)["H"]
+            }
+            faure = {
+                tuple(
+                    (assignment[v] if isinstance(v, CVariable) else v).value
+                    for v in values_
+                )
+                for values_, cond in answers
+                if cond.evaluate(assignment)
+            }
+            assert truth == faure, (seed, assignment)

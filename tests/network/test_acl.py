@@ -1,0 +1,121 @@
+"""ACLs over partially known rule sets."""
+
+import pytest
+
+from repro.ctable.condition import FALSE, TRUE
+from repro.ctable.terms import Constant, CVariable
+from repro.network.acl import ANY, Acl, AclRule
+from repro.solver.domains import DomainMap, FiniteDomain, IntRange, Unbounded
+from repro.solver.interface import ConditionSolver
+
+
+@pytest.fixture
+def solver():
+    domains = DomainMap(default=Unbounded("any"))
+    domains.declare("who", FiniteDomain(["Mkt", "R&D"]))
+    domains.declare("p", IntRange(1, 65535))
+    return ConditionSolver(domains)
+
+
+class TestAclRule:
+    def test_action_validated(self):
+        with pytest.raises(ValueError):
+            AclRule("drop")
+
+    def test_wildcard_matches_everything(self):
+        rule = AclRule("permit")
+        assert rule.match_condition(
+            Constant("a"), Constant("b"), Constant(80)
+        ) is TRUE
+
+    def test_port_range(self):
+        rule = AclRule("permit", ports=(1000, 2000))
+        cond = rule.match_condition(Constant("a"), Constant("b"), Constant(80))
+        assert cond is FALSE
+        cond = rule.match_condition(Constant("a"), Constant("b"), Constant(1500))
+        assert cond is TRUE
+
+    def test_single_port(self):
+        rule = AclRule("permit", ports=443)
+        assert rule.match_condition(Constant("a"), Constant("b"), Constant(443)) is TRUE
+
+
+class TestFirstMatch:
+    def test_deny_shadows_later_permit(self, solver):
+        acl = Acl().deny("Mkt", "CS", ANY).permit(ANY, "CS", ANY)
+        assert acl.permits("Mkt", "CS", 80, solver) == "never"
+        assert acl.permits("R&D", "CS", 80, solver) == "always"
+
+    def test_default_deny(self, solver):
+        acl = Acl().permit("Mkt", ANY, ANY)
+        assert acl.permits("R&D", "GS", 80, solver) == "never"
+
+    def test_default_permit(self, solver):
+        acl = Acl(default="permit").deny("Mkt", ANY, ANY)
+        assert acl.permits("R&D", "GS", 80, solver) == "always"
+        assert acl.permits("Mkt", "GS", 80, solver) == "never"
+
+    def test_port_range_split(self, solver):
+        acl = Acl().deny(ANY, ANY, (0, 1023)).permit(ANY, ANY, ANY)
+        assert acl.permits("a", "b", 80, solver) == "never"
+        assert acl.permits("a", "b", 8080, solver) == "always"
+
+    def test_bad_default(self):
+        with pytest.raises(ValueError):
+            Acl(default="drop")
+
+
+class TestPartialAcls:
+    def test_unknown_rule_endpoint_conditional(self, solver):
+        who = CVariable("who")
+        acl = Acl().deny(who, "CS", ANY).permit(ANY, "CS", ANY)
+        assert acl.permits("Mkt", "CS", 80, solver) == "conditional"
+        cond = acl.decision_condition("Mkt", "CS", 80)
+        # permitted exactly when the unknown deny is NOT about Mkt
+        from repro.ctable.condition import ne
+
+        assert solver.equivalent(cond, ne(who, "Mkt"))
+
+    def test_unknown_packet_port(self, solver):
+        p = CVariable("p")
+        acl = Acl().permit(ANY, ANY, (1000, 2000))
+        cond = acl.decision_condition("a", "b", p)
+        assert acl.permits("a", "b", p, solver) == "conditional"
+        # the condition is the port interval itself
+        assert solver.is_satisfiable(cond)
+        from repro.ctable.condition import conjoin, ge, le
+
+        assert solver.equivalent(cond, conjoin([ge(p, 1000), le(p, 2000)]))
+
+    def test_permitted_table_conditions(self, solver):
+        who = CVariable("who")
+        acl = Acl().deny(who, ANY, ANY).permit(ANY, ANY, ANY)
+        table = acl.permitted_table(
+            [("Mkt", "CS", 80), ("R&D", "GS", 443)]
+        )
+        assert len(table) == 2
+        for tup in table:
+            assert tup.condition is not TRUE
+            assert solver.is_satisfiable(tup.condition)
+
+    def test_worlds_agree_with_direct_evaluation(self, solver):
+        """Per-world, the compiled condition equals naive rule walking."""
+        who = CVariable("who")
+        acl = Acl().deny(who, "CS", ANY).permit(ANY, ANY, (0, 100))
+        cond = acl.decision_condition("Mkt", "CS", 80)
+        for value in ("Mkt", "R&D"):
+            assignment = {who: Constant(value)}
+            # naive: walk rules with who := value
+            naive = None
+            for rule in acl.rules:
+                src = value if rule.src is who else rule.src
+                concrete = AclRule(rule.action, src, rule.dst, rule.ports)
+                match = concrete.match_condition(
+                    Constant("Mkt"), Constant("CS"), Constant(80)
+                )
+                if match is TRUE:
+                    naive = rule.action == "permit"
+                    break
+            if naive is None:
+                naive = acl.default == "permit"
+            assert cond.evaluate(assignment) == naive, value

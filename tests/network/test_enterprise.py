@@ -1,0 +1,83 @@
+"""The §5 enterprise model builders."""
+
+import pytest
+
+from repro.ctable.condition import TRUE
+from repro.ctable.terms import Constant, CVariable
+from repro.network.enterprise import (
+    EnterpriseModel,
+    PORTS,
+    SCHEMAS,
+    SERVERS,
+    SUBNETS,
+    column_domains,
+    constraint_T1,
+    constraint_T2,
+    listing4_update,
+    policy_C_lb,
+    policy_C_s,
+)
+from repro.solver.domains import FiniteDomain
+
+
+class TestConstants:
+    def test_paper_universe(self):
+        assert SUBNETS == ("Mkt", "R&D")
+        assert SERVERS == ("CS", "GS")
+        assert PORTS == (80, 344, 7000)
+
+    def test_schemas(self):
+        assert SCHEMAS["R"] == ["subnet", "server", "port"]
+
+    def test_column_domains_finite(self):
+        doms = column_domains()
+        assert doms["server"] == FiniteDomain(["CS", "GS"])
+
+
+class TestPrograms:
+    def test_constraints_parse_to_panic(self):
+        for prog in [constraint_T1(), constraint_T2(), policy_C_lb(), policy_C_s()]:
+            assert "panic" in prog.idb_predicates()
+
+    def test_policies_have_violation_rules(self):
+        assert len(policy_C_lb().rules_for("Vt")) == 3
+        assert len(policy_C_s().rules_for("Vs")) == 2
+
+    def test_update_shape(self):
+        update = listing4_update()
+        assert len(update) == 2
+        assert update[0].predicate == "Lb"
+
+
+class TestModel:
+    def test_builder_chain(self):
+        model = (
+            EnterpriseModel()
+            .allow("Mkt", "CS", 7000)
+            .balance("Mkt", "CS")
+            .firewall("Mkt", "CS")
+        )
+        db = model.database()
+        assert len(db.table("R")) == 1
+        assert len(db.table("Lb")) == 1
+        assert len(db.table("Fw")) == 1
+
+    def test_partial_state_domains_from_columns(self):
+        v = CVariable("who")
+        model = EnterpriseModel().allow(v, "CS", 7000)
+        domains = model.domain_map()
+        assert domains.domain_of(v) == FiniteDomain(["Mkt", "R&D"])
+
+    def test_declare_overrides(self):
+        v = CVariable("who")
+        model = EnterpriseModel().allow(v, "CS", 7000).declare(v, ["Mkt"])
+        assert model.domain_map().domain_of(v) == FiniteDomain(["Mkt"])
+
+    def test_paper_state_consistent(self):
+        db = EnterpriseModel.paper_state().database()
+        r_rows = {tuple(v.value for v in t.values) for t in db.table("R")}
+        assert ("R&D", "CS", 7000) in r_rows
+        # no Mkt→CS traffic: the Listing 4 update must not break C_lb
+        assert not any(r[:2] == ("Mkt", "CS") for r in r_rows)
+        fw_rows = {tuple(v.value for v in t.values) for t in db.table("Fw")}
+        assert ("R&D", "CS") in fw_rows

@@ -1,0 +1,69 @@
+"""Per-prefix forwarding compilation."""
+
+import pytest
+
+from repro.ctable.condition import conjoin, eq
+from repro.ctable.terms import Constant, CVariable
+from repro.network.forwarding import PrefixRoutes, compile_forwarding
+from repro.solver.domains import BOOL_DOMAIN
+
+
+class TestPrefixRoutes:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefixRoutes("p", ())
+        with pytest.raises(ValueError):
+            PrefixRoutes("p", (("A",),))  # degenerate path
+
+    def test_primary_is_first(self):
+        r = PrefixRoutes("p", (("A", "B"), ("A", "C", "B")))
+        assert r.paths[0] == ("A", "B")
+
+
+class TestCompile:
+    def test_rows_per_hop(self):
+        routes = [PrefixRoutes("p", (("A", "B", "C"),))]
+        compiled = compile_forwarding(routes)
+        assert len(compiled.table) == 2  # A→B, B→C
+
+    def test_activation_conditions_ranked(self):
+        routes = [PrefixRoutes("p", (("A", "B"), ("A", "C"), ("A", "D")))]
+        compiled = compile_forwarding(routes)
+        u0, u1, u2 = compiled.variables_of("p")
+        conds = {
+            (t.values[1].value, t.values[2].value): t.condition
+            for t in compiled.table
+        }
+        assert conds[("A", "B")] == eq(u0, 1)
+        assert conds[("A", "C")] == conjoin([eq(u0, 0), eq(u1, 1)])
+        assert conds[("A", "D")] == conjoin([eq(u0, 0), eq(u1, 0), eq(u2, 1)])
+
+    def test_flow_column_carries_prefix(self):
+        routes = [PrefixRoutes("10.0.0.0/24", (("A", "B"),))]
+        compiled = compile_forwarding(routes)
+        (tup,) = compiled.table.tuples()
+        assert tup.values[0] == Constant("10.0.0.0/24")
+
+    def test_domains_are_boolean(self):
+        routes = [PrefixRoutes("p", (("A", "B"), ("A", "C")))]
+        compiled = compile_forwarding(routes)
+        for var in compiled.variables_of("p"):
+            assert compiled.domains.domain_of(var) == BOOL_DOMAIN
+
+    def test_distinct_prefixes_distinct_variables(self):
+        routes = [
+            PrefixRoutes("p0", (("A", "B"),)),
+            PrefixRoutes("p1", (("A", "B"),)),
+        ]
+        compiled = compile_forwarding(routes)
+        assert set(compiled.variables_of("p0")).isdisjoint(
+            compiled.variables_of("p1")
+        )
+
+    def test_shared_edges_kept_separately_per_flow(self):
+        routes = [
+            PrefixRoutes("p0", (("A", "B"),)),
+            PrefixRoutes("p1", (("A", "B"),)),
+        ]
+        compiled = compile_forwarding(routes)
+        assert len(compiled.table) == 2

@@ -1,0 +1,91 @@
+"""Fast-reroute configurations and their compilation."""
+
+import pytest
+
+from repro.ctable.condition import TRUE, conjoin, eq
+from repro.ctable.terms import Constant, CVariable
+from repro.network.frr import FrrConfig, paper_figure1
+from repro.solver.domains import BOOL_DOMAIN
+
+
+def rows_of(table):
+    return {
+        (t.values[0].value, t.values[1].value): t.condition for t in table
+    }
+
+
+class TestFrrConfig:
+    def test_protect_creates_state_variable(self):
+        config = FrrConfig()
+        link = config.protect("a", "b", backups=["c"], state_var="s")
+        assert link.state_var == CVariable("s")
+        assert config.state_variables == (CVariable("s"),)
+
+    def test_duplicate_state_var_rejected(self):
+        config = FrrConfig()
+        config.protect("a", "b", state_var="s")
+        with pytest.raises(ValueError):
+            config.protect("c", "d", state_var="s")
+
+    def test_topology_includes_backups(self):
+        config = FrrConfig()
+        config.protect("a", "b", backups=["c", "d"])
+        assert config.topology.has_link("a", "c")
+        assert config.topology.has_link("a", "d")
+
+    def test_domain_map_declares_bools(self):
+        config = FrrConfig()
+        config.protect("a", "b", state_var="s")
+        domains = config.domain_map()
+        assert domains.domain_of(CVariable("s")) == BOOL_DOMAIN
+
+    def test_compilation_primary_and_backup(self):
+        config = FrrConfig()
+        config.protect("a", "b", backups=["c"], state_var="s")
+        rows = rows_of(config.forwarding_table())
+        s = CVariable("s")
+        assert rows[("a", "b")] == eq(s, 1)
+        assert rows[("a", "c")] == eq(s, 0)
+
+    def test_unprotected_link_unconditional(self):
+        config = FrrConfig()
+        config.add_link("a", "b")
+        rows = rows_of(config.forwarding_table())
+        assert rows[("a", "b")] is TRUE
+
+    def test_ranked_backups_respect_protection_chain(self):
+        # primary a→b (s); backups: first a→c (itself protected, t), then a→d
+        config = FrrConfig()
+        config.protect("a", "b", backups=["c", "d"], state_var="s")
+        config.protect("a", "c", backups=[], state_var="t")
+        rows = rows_of(config.forwarding_table())
+        s, t = CVariable("s"), CVariable("t")
+        assert rows[("a", "d")] == conjoin([eq(s, 0), eq(t, 0)])
+
+    def test_world_of(self):
+        config = FrrConfig()
+        config.protect(1, 2, state_var="s")
+        config.protect(2, 3, state_var="t")
+        world = config.world_of([(1, 2)])
+        assert world[CVariable("s")] == 0
+        assert world[CVariable("t")] == 1
+
+
+class TestPaperFigure1:
+    def test_shape(self):
+        config = paper_figure1()
+        assert len(config.state_variables) == 3
+        assert {v.name for v in config.state_variables} == {"x", "y", "z"}
+
+    def test_table3_fragment(self):
+        """F(1,2)[x̄=1], F(1,3)[x̄=0], F(2,3)[ȳ=1], F(2,4)[ȳ=0]."""
+        rows = rows_of(paper_figure1().forwarding_table())
+        x, y = CVariable("x"), CVariable("y")
+        assert rows[(1, 2)] == eq(x, 1)
+        assert rows[(1, 3)] == eq(x, 0)
+        assert rows[(2, 3)] == eq(y, 1)
+        assert rows[(2, 4)] == eq(y, 0)
+
+    def test_detour_link_unconditional(self):
+        rows = rows_of(paper_figure1().forwarding_table())
+        assert rows[(4, 5)] is TRUE

@@ -1,0 +1,86 @@
+"""§4 / Table 3: reachability under failures on the Figure 1 network.
+
+Checks the R fragment the paper prints: the conditions under which node 1
+reaches node 5, and (2,3) reachability — then validates the whole table
+against brute-force world enumeration (the loss-less claim).
+"""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.ctable.condition import conjoin, disjoin, eq
+from repro.ctable.terms import Constant, CVariable
+from repro.network.frr import paper_figure1
+from repro.network.reachability import ReachabilityAnalyzer
+from repro.solver.interface import ConditionSolver
+
+X, Y, Z = CVariable("x"), CVariable("y"), CVariable("z")
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    config = paper_figure1()
+    solver = ConditionSolver(config.domain_map())
+    an = ReachabilityAnalyzer(config.database(), solver)
+    an.compute()
+    return config, solver, an
+
+
+def conditions_for(analyzer, src, dst):
+    table = analyzer.reach_table
+    return [
+        t.condition
+        for t in table
+        if t.values == (Constant(src), Constant(dst))
+    ]
+
+
+class TestTable3Fragment:
+    def test_1_to_5_paper_conditions(self, analyzer):
+        """The four (1,5) rows of Table 3 are all derivable."""
+        _, solver, an = analyzer
+        combined = disjoin(conditions_for(an, 1, 5))
+        paper_rows = [
+            conjoin([eq(X, 1), eq(Y, 1), eq(Z, 1)]),
+            conjoin([eq(X, 0), eq(Z, 1)]),
+            conjoin([eq(X, 0), eq(Z, 0)]),
+            conjoin([eq(X, 1), eq(Y, 0)]),
+        ]
+        for row in paper_rows:
+            assert solver.implies(row, combined), f"missing world {row}"
+
+    def test_2_to_3_requires_y_up_or_detour(self, analyzer):
+        _, solver, an = analyzer
+        combined = disjoin(conditions_for(an, 2, 3))
+        assert solver.implies(eq(Y, 1), combined)
+
+    def test_1_to_5_universal(self, analyzer):
+        """On this FRR config node 1 reaches 5 under *every* failure combo."""
+        _, solver, an = analyzer
+        combined = disjoin(conditions_for(an, 1, 5))
+        assert solver.is_valid(combined)
+
+
+class TestLossLessAgainstEnumeration:
+    def test_every_pair_every_world(self, analyzer):
+        """Full §4 loss-less check: 2^3 worlds × all node pairs."""
+        config, _, an = analyzer
+        forwarding = config.forwarding_table()
+        nodes = sorted(config.topology.nodes)
+        for bits in itertools.product([0, 1], repeat=3):
+            assign_int = dict(zip([X, Y, Z], bits))
+            assignment = {v: Constant(b) for v, b in assign_int.items()}
+            graph = nx.DiGraph()
+            graph.add_nodes_from(nodes)
+            for tup in forwarding:
+                if tup.condition.evaluate(assignment):
+                    graph.add_edge(tup.values[0].value, tup.values[1].value)
+            for src in nodes:
+                for dst in nodes:
+                    if src == dst:
+                        continue
+                    truth = nx.has_path(graph, src, dst)
+                    faure = an.holds_in_world(src, dst, assign_int)
+                    assert truth == faure, (src, dst, bits)

@@ -1,0 +1,119 @@
+"""Inter-domain analysis under limited visibility."""
+
+import pytest
+
+from repro.ctable.condition import FALSE, TRUE
+from repro.ctable.terms import CVariable
+from repro.network.interdomain import (
+    AnnouncementAnalysis,
+    ExportPolicy,
+    InterdomainNetwork,
+)
+
+
+@pytest.fixture
+def diamond():
+    """AS1 → {AS2 known, AS3 unknown} → AS4 (both unknown)."""
+    net = InterdomainNetwork()
+    net.add_link("AS1", "AS2", ExportPolicy.EXPORTS)
+    net.add_link("AS1", "AS3", ExportPolicy.UNKNOWN)
+    net.add_link("AS2", "AS4", ExportPolicy.UNKNOWN)
+    net.add_link("AS3", "AS4", ExportPolicy.UNKNOWN)
+    return net
+
+
+class TestNetwork:
+    def test_self_link_rejected(self):
+        net = InterdomainNetwork()
+        with pytest.raises(ValueError):
+            net.add_link("AS1", "AS1")
+
+    def test_policy_variable_only_for_unknown(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.policy_variable("AS1", "AS2")
+        var = diamond.policy_variable("AS1", "AS3")
+        assert var == CVariable("e_AS1_AS3")
+
+    def test_edge_table_shapes(self, diamond):
+        table = diamond.edge_table()
+        conds = {
+            (t.values[0].value, t.values[1].value): t.condition for t in table
+        }
+        assert conds[("AS1", "AS2")] is TRUE
+        assert conds[("AS1", "AS3")] is not TRUE
+
+    def test_blocked_links_absent(self):
+        net = InterdomainNetwork()
+        net.add_link("AS1", "AS2", ExportPolicy.BLOCKS)
+        assert len(net.edge_table()) == 0
+
+    def test_domain_map_boolean(self, diamond):
+        domains = diamond.domain_map()
+        var = diamond.policy_variable("AS2", "AS4")
+        assert domains.domain_of(var).is_finite
+
+
+class TestAnalysis:
+    def test_origin_certain(self, diamond):
+        analysis = diamond.analyze("AS1")
+        assert analysis.certainly_reaches("AS1")
+
+    def test_known_export_certain(self, diamond):
+        analysis = diamond.analyze("AS1")
+        assert analysis.certainly_reaches("AS2")
+
+    def test_unknown_link_possible(self, diamond):
+        analysis = diamond.analyze("AS1")
+        assert analysis.possibly_reaches("AS3")
+        assert not analysis.certainly_reaches("AS3")
+
+    def test_disjunctive_paths(self, diamond):
+        analysis = diamond.analyze("AS1")
+        # AS4 reachable via AS2 (needs e_AS2_AS4) or AS3 (needs two)
+        assert analysis.possibly_reaches("AS4")
+        cond = analysis.reachability_condition("AS4")
+        assert cond.cvariables()  # genuinely conditional
+
+    def test_unreachable_is_never(self):
+        net = InterdomainNetwork()
+        net.add_link("AS1", "AS2", ExportPolicy.EXPORTS)
+        net.add_link("AS3", "AS4", ExportPolicy.UNKNOWN)
+        analysis = net.analyze("AS1")
+        assert analysis.reachability_condition("AS4") is FALSE
+        assert not analysis.possibly_reaches("AS4")
+
+    def test_classification(self, diamond):
+        analysis = diamond.analyze("AS1")
+        classes = analysis.classification()
+        assert classes["AS1"] == "certain"
+        assert classes["AS2"] == "certain"
+        assert classes["AS3"] == "possible"
+        assert classes["AS4"] == "possible"
+
+    def test_required_policies_actionable(self, diamond):
+        analysis = diamond.analyze("AS1")
+        needed = analysis.required_policies("AS4")
+        assert needed is not None
+        # applying the returned assignment must indeed deliver the route
+        cond = analysis.reachability_condition("AS4")
+        from repro.ctable.terms import Constant
+
+        assignment = {var: Constant(v) for var, v in needed.items()}
+        # fill unconstrained variables arbitrarily
+        for var in cond.cvariables():
+            assignment.setdefault(var, Constant(0))
+        assert cond.evaluate(assignment)
+
+    def test_required_policies_none_when_impossible(self):
+        net = InterdomainNetwork()
+        net.add_link("AS1", "AS2", ExportPolicy.BLOCKS)
+        analysis = net.analyze("AS1")
+        assert analysis.required_policies("AS2") is None
+
+    def test_cycle_terminates(self):
+        net = InterdomainNetwork()
+        net.add_link("AS1", "AS2", ExportPolicy.UNKNOWN)
+        net.add_link("AS2", "AS1", ExportPolicy.UNKNOWN)
+        net.add_link("AS2", "AS3", ExportPolicy.UNKNOWN)
+        analysis = net.analyze("AS1")
+        assert analysis.possibly_reaches("AS3")

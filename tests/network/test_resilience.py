@@ -1,0 +1,126 @@
+"""Failure-tolerance analysis."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.ctable.terms import Constant
+from repro.network.frr import FrrConfig, paper_figure1
+from repro.network.reachability import ReachabilityAnalyzer
+from repro.network.resilience import (
+    ResilienceReport,
+    analyze_resilience,
+    critical_sets,
+    pair_tolerance,
+)
+from repro.solver.interface import ConditionSolver
+
+
+@pytest.fixture(scope="module")
+def figure1_analysis():
+    config = paper_figure1()
+    solver = ConditionSolver(config.domain_map())
+    analyzer = ReachabilityAnalyzer(config.database(), solver)
+    analyzer.compute()
+    return config, analyzer
+
+
+class TestPairTolerance:
+    def test_fully_protected_pair(self, figure1_analysis):
+        config, analyzer = figure1_analysis
+        # 1→5 survives every combination of the three protected failures
+        assert pair_tolerance(analyzer, config.state_variables, 1, 5) == 3
+
+    def test_unprotected_single_link(self, figure1_analysis):
+        config, analyzer = figure1_analysis
+        # 4→5 is unconditional: tolerant to everything
+        assert pair_tolerance(analyzer, config.state_variables, 4, 5) == 3
+
+    def test_fragile_pair(self, figure1_analysis):
+        config, analyzer = figure1_analysis
+        # 1→2 requires x̄=1: any budget that can fail (1,2) breaks it
+        assert pair_tolerance(analyzer, config.state_variables, 1, 2) == 0
+
+    def test_unreachable_pair(self, figure1_analysis):
+        config, analyzer = figure1_analysis
+        # 5 has no outgoing links
+        assert pair_tolerance(analyzer, config.state_variables, 5, 1) == -1
+
+    def test_tolerance_matches_bruteforce(self, figure1_analysis):
+        """Cross-check against graph enumeration for every pair."""
+        config, analyzer = figure1_analysis
+        variables = list(config.state_variables)
+        forwarding = config.forwarding_table()
+        nodes = sorted(config.topology.nodes)
+
+        def reachable(bits, src, dst):
+            assignment = {
+                v: Constant(b) for v, b in zip(variables, bits)
+            }
+            graph = nx.DiGraph()
+            graph.add_nodes_from(nodes)
+            for tup in forwarding:
+                if tup.condition.evaluate(assignment):
+                    graph.add_edge(tup.values[0].value, tup.values[1].value)
+            return nx.has_path(graph, src, dst)
+
+        for src, dst in [(1, 5), (1, 3), (2, 5), (3, 5), (1, 2)]:
+            got = pair_tolerance(analyzer, variables, src, dst)
+            truth = -1
+            for k in range(len(variables) + 1):
+                ok = all(
+                    reachable(bits, src, dst)
+                    for bits in itertools.product([0, 1], repeat=len(variables))
+                    if bits.count(0) <= k
+                )
+                if ok:
+                    truth = k
+                else:
+                    break
+            assert got == truth, (src, dst)
+
+
+class TestCriticalSets:
+    def test_fragile_pair_single_link(self, figure1_analysis):
+        config, analyzer = figure1_analysis
+        sets = critical_sets(analyzer, config, 1, 2)
+        assert frozenset({(1, 2)}) in sets
+
+    def test_protected_pair_has_no_critical_set(self, figure1_analysis):
+        config, analyzer = figure1_analysis
+        assert critical_sets(analyzer, config, 1, 5) == []
+
+    def test_minimality(self, figure1_analysis):
+        config, analyzer = figure1_analysis
+        sets = critical_sets(analyzer, config, 1, 3)
+        for a in sets:
+            for b in sets:
+                if a is not b:
+                    assert not a < b
+
+
+class TestReport:
+    def test_profile_monotone(self, figure1_analysis):
+        config, _ = figure1_analysis
+        report = analyze_resilience(config)
+        profile = report.profile()
+        counts = [n for _, n in profile]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_survivors_at_zero_counts_reachable_pairs(self, figure1_analysis):
+        config, _ = figure1_analysis
+        report = analyze_resilience(config)
+        # pairs reachable in the no-failure world
+        assert report.survivors(0) >= report.survivors(3)
+        assert report.survivors(3) >= 2  # (1,5) and (4,5) at least
+
+    def test_weakest_pairs_nonempty(self, figure1_analysis):
+        config, _ = figure1_analysis
+        report = analyze_resilience(config, pairs=[(1, 2), (1, 5)])
+        assert report.weakest_pairs() == [(1, 2)]
+
+    def test_str_renders(self, figure1_analysis):
+        config, _ = figure1_analysis
+        report = analyze_resilience(config, pairs=[(1, 5)])
+        assert "survivors" in str(report)

@@ -1,0 +1,124 @@
+"""Route selection under unknown preferences."""
+
+import pytest
+
+from repro.ctable.condition import gt
+from repro.ctable.terms import Constant, CVariable
+from repro.network.routeselect import (
+    CandidateRoute,
+    classify_selection,
+    selection_conditions,
+    selection_table,
+)
+from repro.solver.domains import DomainMap, FiniteDomain, IntRange, Unbounded
+from repro.solver.interface import ConditionSolver
+
+P = CVariable("p")
+Q = CVariable("q")
+
+
+@pytest.fixture
+def solver():
+    domains = DomainMap(default=Unbounded("int"))
+    domains.declare(P, IntRange(0, 200))
+    domains.declare(Q, IntRange(0, 200))
+    return ConditionSolver(domains)
+
+
+class TestKnownPreferences:
+    def test_highest_wins(self, solver):
+        candidates = [
+            CandidateRoute("10.0/16", "A", 100),
+            CandidateRoute("10.0/16", "B", 200),
+        ]
+        classes = classify_selection(candidates, solver)
+        assert classes["10.0/16"] == {"A": "never", "B": "always"}
+
+    def test_tie_break_earlier_wins(self, solver):
+        candidates = [
+            CandidateRoute("10.0/16", "A", 100),
+            CandidateRoute("10.0/16", "B", 100),
+        ]
+        classes = classify_selection(candidates, solver)
+        assert classes["10.0/16"] == {"A": "always", "B": "never"}
+
+    def test_single_candidate_always(self, solver):
+        classes = classify_selection([CandidateRoute("10.0/16", "A", 5)], solver)
+        assert classes["10.0/16"]["A"] == "always"
+
+
+class TestUnknownPreferences:
+    def test_unknown_vs_known(self, solver):
+        candidates = [
+            CandidateRoute("10.0/16", "A", P),
+            CandidateRoute("10.0/16", "B", 100),
+        ]
+        classes = classify_selection(candidates, solver)
+        assert classes["10.0/16"] == {"A": "possible", "B": "possible"}
+        conditions = dict(
+            (c.next_hop, cond) for c, cond in selection_conditions(candidates)
+        )
+        # A wins iff p >= 100 (ties break toward the earlier candidate)
+        from repro.ctable.condition import ge
+
+        assert solver.equivalent(conditions["A"], ge(P, 100))
+        assert solver.equivalent(conditions["B"], gt(Constant(100), P))
+
+    def test_two_unknowns(self, solver):
+        candidates = [
+            CandidateRoute("10.0/16", "A", P),
+            CandidateRoute("10.0/16", "B", Q),
+        ]
+        classes = classify_selection(candidates, solver)
+        assert set(classes["10.0/16"].values()) == {"possible"}
+
+    def test_unknown_bounded_out(self, solver):
+        # q <= 200 by domain; a known preference of 500 always beats it
+        candidates = [
+            CandidateRoute("10.0/16", "A", 500),
+            CandidateRoute("10.0/16", "B", Q),
+        ]
+        classes = classify_selection(candidates, solver)
+        assert classes["10.0/16"] == {"A": "always", "B": "never"}
+
+    def test_selection_table_prunes_dead_candidates(self, solver):
+        candidates = [
+            CandidateRoute("10.0/16", "A", 500),
+            CandidateRoute("10.0/16", "B", Q),
+        ]
+        table = selection_table(candidates, solver=solver)
+        assert len(table) == 1
+        assert table.tuples()[0].values[1] == Constant("A")
+
+    def test_prefixes_independent(self, solver):
+        candidates = [
+            CandidateRoute("10.0/16", "A", 10),
+            CandidateRoute("10.1/16", "B", 5),
+        ]
+        classes = classify_selection(candidates, solver)
+        assert classes["10.0/16"]["A"] == "always"
+        assert classes["10.1/16"]["B"] == "always"
+
+    def test_exactly_one_winner_per_world(self, solver):
+        """In every world the selection picks exactly one next hop."""
+        from repro.solver.enumerate import iter_models
+
+        domains = DomainMap()
+        domains.declare(P, FiniteDomain([0, 1, 2]))
+        domains.declare(Q, FiniteDomain([0, 1, 2]))
+        small = ConditionSolver(domains)
+        candidates = [
+            CandidateRoute("x", "A", P),
+            CandidateRoute("x", "B", Q),
+            CandidateRoute("x", "C", 1),
+        ]
+        conds = selection_conditions(candidates)
+        for assignment in iter_models(
+            __import__("repro.ctable.condition", fromlist=["TRUE"]).TRUE,
+            domains,
+            variables=[P, Q],
+        ):
+            winners = [
+                c.next_hop for c, cond in conds if cond.evaluate(assignment)
+            ]
+            assert len(winners) == 1, assignment

@@ -1,0 +1,46 @@
+"""Topology structure."""
+
+import pytest
+
+from repro.network.topology import Topology
+
+
+class TestTopology:
+    def test_links_directed(self):
+        t = Topology([(1, 2)])
+        assert t.has_link(1, 2)
+        assert not t.has_link(2, 1)
+
+    def test_add_undirected(self):
+        t = Topology()
+        t.add_undirected(1, 2)
+        assert t.has_link(1, 2) and t.has_link(2, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Topology([(1, 1)])
+
+    def test_idempotent_links(self):
+        t = Topology([(1, 2), (1, 2)])
+        assert len(t.links) == 1
+
+    def test_nodes_inferred(self):
+        t = Topology([(1, 2), (2, 3)])
+        assert t.nodes == frozenset({1, 2, 3})
+
+    def test_isolated_node(self):
+        t = Topology(nodes=[9])
+        assert 9 in t
+
+    def test_successors(self):
+        t = Topology([(1, 2), (1, 3), (2, 3)])
+        assert sorted(t.successors(1)) == [2, 3]
+
+    def test_networkx_roundtrip(self):
+        t = Topology([(1, 2), (2, 3)])
+        g = t.to_networkx()
+        assert set(g.edges()) == {(1, 2), (2, 3)}
+
+    def test_reachable_pairs(self):
+        t = Topology([(1, 2), (2, 3)])
+        assert t.reachable_pairs() == {(1, 2), (2, 3), (1, 3)}

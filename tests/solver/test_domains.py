@@ -1,0 +1,106 @@
+"""Domain declarations."""
+
+import pytest
+
+from repro.ctable.terms import Constant, CVariable
+from repro.solver.domains import (
+    BOOL_DOMAIN,
+    DomainMap,
+    FiniteDomain,
+    IntRange,
+    Unbounded,
+)
+
+X, Y = CVariable("x"), CVariable("y")
+
+
+class TestFiniteDomain:
+    def test_values_and_size(self):
+        d = FiniteDomain([1, 2, 3])
+        assert d.size() == 3
+        assert d.is_finite
+        assert Constant(2) in d.values()
+
+    def test_dedup(self):
+        assert FiniteDomain([1, 1, 2]).size() == 2
+
+    def test_contains(self):
+        d = FiniteDomain(["a", "b"])
+        assert d.contains("a")
+        assert d.contains(Constant("b"))
+        assert not d.contains("c")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteDomain([])
+
+    def test_bool_domain(self):
+        assert BOOL_DOMAIN.size() == 2
+        assert BOOL_DOMAIN.contains(0) and BOOL_DOMAIN.contains(1)
+
+
+class TestIntRange:
+    def test_basic(self):
+        d = IntRange(1, 3)
+        assert d.size() == 3
+        assert d.contains(2)
+        assert not d.contains(0)
+        assert not d.contains(2.5)
+        assert [v.value for v in d.values()] == [1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IntRange(3, 1)
+
+
+class TestUnbounded:
+    def test_everything_goes(self):
+        d = Unbounded("string")
+        assert not d.is_finite
+        assert d.contains("anything")
+        assert d.size() is None
+        with pytest.raises(ValueError):
+            d.values()
+
+
+class TestDomainMap:
+    def test_declare_and_lookup(self):
+        m = DomainMap()
+        m.declare(X, BOOL_DOMAIN)
+        assert m.domain_of(X) is BOOL_DOMAIN
+        assert X in m
+
+    def test_declare_by_name_and_iterable(self):
+        m = DomainMap()
+        m.declare("x", [1, 2])
+        assert m.domain_of(X) == FiniteDomain([1, 2])
+
+    def test_default_unbounded(self):
+        m = DomainMap()
+        assert not m.domain_of(Y).is_finite
+
+    def test_custom_default(self):
+        m = DomainMap(default=BOOL_DOMAIN)
+        assert m.domain_of(Y) is BOOL_DOMAIN
+
+    def test_all_finite_and_size(self):
+        m = DomainMap({X: BOOL_DOMAIN, Y: FiniteDomain([1, 2, 3])})
+        assert m.all_finite([X, Y])
+        assert m.enumeration_size([X, Y]) == 6
+
+    def test_enumeration_size_none_when_unbounded(self):
+        m = DomainMap({X: BOOL_DOMAIN})
+        assert m.enumeration_size([X, Y]) is None
+
+    def test_copy_independent(self):
+        m = DomainMap({X: BOOL_DOMAIN})
+        c = m.copy()
+        c.declare(Y, BOOL_DOMAIN)
+        assert Y not in m and Y in c
+
+    def test_merged_with(self):
+        a = DomainMap({X: BOOL_DOMAIN})
+        b = DomainMap({X: FiniteDomain([5]), Y: BOOL_DOMAIN})
+        merged = a.merged_with(b)
+        assert merged.domain_of(X) == FiniteDomain([5])
+        assert Y in merged

@@ -1,0 +1,102 @@
+"""Branch-and-check satisfiability over compound conditions."""
+
+import pytest
+
+from repro.ctable.condition import (
+    And,
+    FALSE,
+    LinearAtom,
+    Not,
+    Or,
+    TRUE,
+    conjoin,
+    disjoin,
+    eq,
+    lt,
+    ne,
+)
+from repro.ctable.terms import CVariable
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, FiniteDomain, Unbounded
+from repro.solver.dpll import is_satisfiable_dpll, iter_branches, to_nnf
+
+X, Y, Z = CVariable("x"), CVariable("y"), CVariable("z")
+UNB = DomainMap(default=Unbounded("any"))
+
+
+class TestNnf:
+    def test_negation_pushed_to_atoms(self):
+        cond = Not(conjoin([eq(X, 1), eq(Y, 0)]))
+        nnf = to_nnf(cond)
+        assert isinstance(nnf, Or)
+        assert all(not isinstance(c, Not) for c in nnf.children)
+
+    def test_double_negation(self):
+        cond = Not(Not(eq(X, 1)))
+        assert to_nnf(cond) == eq(X, 1)
+
+    def test_nested(self):
+        cond = Not(disjoin([eq(X, 1), Not(eq(Y, 1))]))
+        nnf = to_nnf(cond)
+        assert nnf == conjoin([ne(X, 1), eq(Y, 1)])
+
+
+class TestBranches:
+    def test_atom_single_branch(self):
+        assert list(iter_branches(eq(X, 1))) == [[eq(X, 1)]]
+
+    def test_or_branches(self):
+        branches = list(iter_branches(disjoin([eq(X, 1), eq(X, 0)])))
+        assert len(branches) == 2
+
+    def test_and_product(self):
+        cond = conjoin([disjoin([eq(X, 1), eq(X, 0)]), disjoin([eq(Y, 1), eq(Y, 0)])])
+        assert len(list(iter_branches(cond))) == 4
+
+    def test_true_false(self):
+        assert list(iter_branches(TRUE)) == [[]]
+        assert list(iter_branches(FALSE)) == []
+
+
+class TestSatisfiability:
+    def test_simple_sat(self):
+        assert is_satisfiable_dpll(eq(X, 1), UNB)
+
+    def test_conjunction_contradiction(self):
+        assert not is_satisfiable_dpll(conjoin([eq(X, 1), eq(X, 2)]), UNB)
+
+    def test_disjunction_rescues(self):
+        cond = conjoin([disjoin([eq(X, 1), eq(X, 2)]), ne(X, 1)])
+        assert is_satisfiable_dpll(cond, UNB)
+
+    def test_all_branches_dead(self):
+        cond = conjoin(
+            [disjoin([eq(X, 1), eq(X, 2)]), ne(X, 1), ne(X, 2)]
+        )
+        assert not is_satisfiable_dpll(cond, UNB)
+
+    def test_negated_compound(self):
+        cond = conjoin([Not(disjoin([eq(X, 1), eq(X, 2)])), eq(X, 1)])
+        assert not is_satisfiable_dpll(cond, UNB)
+
+    def test_finite_domain_exactness(self):
+        # x != 0 and x != 1 over {0,1}: needs the exact confirmation pass
+        domains = DomainMap({X: BOOL_DOMAIN})
+        assert not is_satisfiable_dpll(conjoin([ne(X, 0), ne(X, 1)]), domains)
+
+    def test_finite_domain_clique(self):
+        # three pairwise-distinct variables over a 2-value domain
+        domains = DomainMap({X: BOOL_DOMAIN, Y: BOOL_DOMAIN, Z: BOOL_DOMAIN})
+        cond = conjoin([ne(X, Y), ne(Y, Z), ne(X, Z)])
+        assert not is_satisfiable_dpll(cond, domains)
+
+    def test_mixed_finite_unbounded(self):
+        domains = DomainMap({X: BOOL_DOMAIN})  # y unbounded
+        cond = conjoin([disjoin([eq(X, 0), eq(X, 1)]), lt(Y, 10)])
+        assert is_satisfiable_dpll(cond, domains)
+
+    def test_linear_in_branches(self):
+        domains = DomainMap({X: BOOL_DOMAIN, Y: BOOL_DOMAIN, Z: BOOL_DOMAIN})
+        cond = conjoin(
+            [LinearAtom([X, Y, Z], "=", 1), disjoin([eq(X, 1), eq(Y, 1)]), eq(Z, 1)]
+        )
+        assert not is_satisfiable_dpll(cond, domains)

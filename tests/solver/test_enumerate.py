@@ -1,0 +1,65 @@
+"""Exact finite-domain model enumeration."""
+
+import pytest
+
+from repro.ctable.condition import FALSE, LinearAtom, TRUE, conjoin, disjoin, eq, ne
+from repro.ctable.terms import Constant, CVariable
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, FiniteDomain, Unbounded
+from repro.solver.enumerate import count_models, find_model, is_satisfiable_enum, iter_models
+
+X, Y, Z = CVariable("x"), CVariable("y"), CVariable("z")
+BOOLS = DomainMap({X: BOOL_DOMAIN, Y: BOOL_DOMAIN, Z: BOOL_DOMAIN})
+
+
+class TestIterModels:
+    def test_simple_equality(self):
+        models = list(iter_models(eq(X, 1), BOOLS))
+        assert models == [{X: Constant(1)}]
+
+    def test_linear_sum(self):
+        models = list(iter_models(LinearAtom([X, Y, Z], "=", 1), BOOLS))
+        assert len(models) == 3
+        for m in models:
+            assert sum(v.value for v in m.values()) == 1
+
+    def test_disjunction(self):
+        cond = disjoin([eq(X, 0), eq(Y, 0)])
+        assert count_models(cond, BOOLS) == 3  # of 4
+
+    def test_explicit_variable_set_widens(self):
+        models = list(iter_models(eq(X, 1), BOOLS, variables=[X, Y]))
+        assert len(models) == 2  # y free
+
+    def test_unsat(self):
+        cond = conjoin([eq(X, 1), eq(X, 0)])
+        assert list(iter_models(cond, BOOLS)) == []
+
+    def test_unbounded_variable_rejected(self):
+        domains = DomainMap({X: BOOL_DOMAIN})
+        with pytest.raises(ValueError):
+            list(iter_models(eq(Y, 1), domains))
+
+    def test_models_are_total(self):
+        for m in iter_models(LinearAtom([X, Y], "<=", 1), BOOLS):
+            assert set(m) == {X, Y}
+
+
+class TestHelpers:
+    def test_find_model_returns_satisfying(self):
+        m = find_model(conjoin([ne(X, 0), eq(Y, 0)]), BOOLS)
+        assert m[X] == Constant(1) and m[Y] == Constant(0)
+
+    def test_find_model_none(self):
+        assert find_model(conjoin([eq(X, 1), eq(X, 0)]), BOOLS) is None
+
+    def test_count_matches_manual(self):
+        # x = y over bools: 2 models
+        assert count_models(eq(X, Y), BOOLS) == 2
+
+    def test_satisfiable_shortcuts(self):
+        assert is_satisfiable_enum(TRUE, BOOLS)
+        assert not is_satisfiable_enum(FALSE, BOOLS)
+
+    def test_larger_domain(self):
+        domains = DomainMap({X: FiniteDomain(list(range(10)))})
+        assert count_models(conjoin([ne(X, 3), ne(X, 7)]), domains) == 8

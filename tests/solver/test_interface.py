@@ -1,0 +1,139 @@
+"""The ConditionSolver façade."""
+
+import pytest
+
+from repro.ctable.condition import (
+    FALSE,
+    LinearAtom,
+    TRUE,
+    conjoin,
+    disjoin,
+    eq,
+    lt,
+    ne,
+)
+from repro.ctable.terms import Constant, CVariable
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, FiniteDomain, Unbounded
+from repro.solver.interface import ConditionSolver
+
+X, Y, Z = CVariable("x"), CVariable("y"), CVariable("z")
+
+
+@pytest.fixture
+def bools():
+    return ConditionSolver(DomainMap({X: BOOL_DOMAIN, Y: BOOL_DOMAIN, Z: BOOL_DOMAIN}))
+
+
+@pytest.fixture
+def unbounded():
+    return ConditionSolver(DomainMap(default=Unbounded("any")))
+
+
+class TestSat:
+    def test_true_false(self, bools):
+        assert bools.is_satisfiable(TRUE)
+        assert not bools.is_satisfiable(FALSE)
+
+    def test_enumeration_route(self, bools):
+        assert bools.is_satisfiable(LinearAtom([X, Y, Z], "=", 2))
+        assert not bools.is_satisfiable(LinearAtom([X, Y, Z], "=", 5))
+        assert bools.stats.enumeration_used > 0
+        assert bools.stats.dpll_used == 0
+
+    def test_dpll_route(self, unbounded):
+        assert unbounded.is_satisfiable(eq(X, "a"))
+        assert unbounded.stats.dpll_used > 0
+
+    def test_cache(self, bools):
+        cond = eq(X, 1)
+        bools.is_satisfiable(cond)
+        before = bools.stats.cache_hits
+        bools.is_satisfiable(cond)
+        assert bools.stats.cache_hits == before + 1
+
+    def test_enumeration_limit_falls_back_to_dpll(self):
+        domains = DomainMap({X: FiniteDomain(list(range(100))), Y: FiniteDomain(list(range(100)))})
+        solver = ConditionSolver(domains, enumeration_limit=10)
+        assert solver.is_satisfiable(eq(X, Y))
+        assert solver.stats.dpll_used == 1
+
+
+class TestValidityImplication:
+    def test_is_valid(self, bools):
+        assert bools.is_valid(disjoin([eq(X, 0), eq(X, 1)]))
+        assert not bools.is_valid(eq(X, 1))
+
+    def test_implies_basic(self, bools):
+        assert bools.implies(conjoin([eq(X, 1), eq(Y, 0)]), eq(X, 1))
+        assert not bools.implies(eq(X, 1), eq(Y, 0))
+
+    def test_implies_with_linear(self, bools):
+        # x=1 ∧ y=0 ∧ z=0 implies x+y+z=1
+        ante = conjoin([eq(X, 1), eq(Y, 0), eq(Z, 0)])
+        assert bools.implies(ante, LinearAtom([X, Y, Z], "=", 1))
+
+    def test_implies_trivia(self, bools):
+        assert bools.implies(FALSE, eq(X, 1))
+        assert bools.implies(eq(X, 1), TRUE)
+        assert bools.implies(eq(X, 1), eq(X, 1))
+
+    def test_equivalent(self, bools):
+        a = ne(X, 0)
+        b = eq(X, 1)
+        assert bools.equivalent(a, b)  # over {0,1}
+        assert not bools.equivalent(a, eq(Y, 1))
+
+
+class TestModels:
+    def test_models_enumeration(self, bools):
+        models = list(bools.models(LinearAtom([X, Y], "=", 1)))
+        assert len(models) == 2
+
+    def test_model_count(self, bools):
+        assert bools.model_count(disjoin([eq(X, 1), eq(Y, 1)])) == 3
+
+    def test_model_none_for_unsat(self, bools):
+        assert bools.model(conjoin([eq(X, 1), eq(X, 0)])) is None
+
+    def test_model_variable_free(self, bools):
+        assert bools.model(TRUE) == {}
+        assert bools.model(FALSE) is None
+
+    def test_model_unbounded_raises_when_sat(self, unbounded):
+        with pytest.raises(ValueError):
+            unbounded.model(eq(X, "k"))
+
+
+class TestSimplify:
+    def test_prune_unsat_to_false(self, bools):
+        assert bools.prune(conjoin([eq(X, 1), eq(X, 0)])) is FALSE
+
+    def test_prune_valid_to_true(self, bools):
+        assert bools.prune(disjoin([eq(X, 0), eq(X, 1)])) is TRUE
+
+    def test_simplify_drops_redundant_conjunct(self, bools):
+        cond = conjoin([eq(X, 1), ne(X, 0)])  # second implied by first
+        out = bools.simplify(cond)
+        assert out == eq(X, 1) or out == ne(X, 0)
+
+    def test_simplify_preserves_semantics(self, bools):
+        cond = conjoin([LinearAtom([X, Y, Z], "=", 1), eq(X, 1)])
+        out = bools.simplify(cond)
+        assert bools.equivalent(cond, out)
+
+
+class TestStats:
+    def test_time_accounted(self, bools):
+        bools.is_satisfiable(LinearAtom([X, Y, Z], "=", 1))
+        assert bools.stats.time_seconds >= 0
+        assert bools.stats.sat_calls >= 1
+
+    def test_reset(self, bools):
+        bools.is_satisfiable(eq(X, 1))
+        bools.stats.reset()
+        assert bools.stats.sat_calls == 0
+
+    def test_with_domains_creates_sibling(self, bools):
+        other = bools.with_domains(DomainMap(default=Unbounded()))
+        assert other is not bools
+        assert other.enumeration_limit == bools.enumeration_limit

@@ -1,0 +1,114 @@
+"""Semantic condition minimization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ctable.condition import (
+    And,
+    Comparison,
+    LinearAtom,
+    Or,
+    FALSE,
+    TRUE,
+    conjoin,
+    disjoin,
+    eq,
+    ne,
+)
+from repro.ctable.terms import Constant, CVariable
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, FiniteDomain, Unbounded
+from repro.solver.interface import ConditionSolver
+from repro.solver.minimize import MinimizeError, minimize
+
+X, Y, Z = CVariable("x"), CVariable("y"), CVariable("z")
+BOOLS = DomainMap({X: BOOL_DOMAIN, Y: BOOL_DOMAIN, Z: BOOL_DOMAIN})
+
+
+class TestMinimize:
+    def test_unsat_to_false(self):
+        assert minimize(conjoin([eq(X, 1), eq(X, 0)]), BOOLS) is FALSE
+
+    def test_valid_to_true(self):
+        assert minimize(disjoin([eq(X, 0), eq(X, 1)]), BOOLS) is TRUE
+
+    def test_irrelevant_variable_dropped(self):
+        # (x=1 ∧ y=0) ∨ (x=1 ∧ y=1)  ≡  x=1
+        cond = disjoin(
+            [conjoin([eq(X, 1), eq(Y, 0)]), conjoin([eq(X, 1), eq(Y, 1)])]
+        )
+        assert minimize(cond, BOOLS) == eq(X, 1)
+
+    def test_nested_redundancy_flattened(self):
+        cond = conjoin([eq(X, 1), disjoin([eq(X, 1), eq(Y, 0)])])
+        assert minimize(cond, BOOLS) == eq(X, 1)
+
+    def test_linear_atom_expanded_compactly(self):
+        cond = LinearAtom([X, Y], "=", 2)  # both must be 1
+        out = minimize(cond, BOOLS)
+        solver = ConditionSolver(BOOLS)
+        assert solver.equivalent(out, conjoin([eq(X, 1), eq(Y, 1)]))
+
+    def test_subsumed_cube_dropped(self):
+        cond = disjoin([eq(X, 1), conjoin([eq(X, 1), eq(Y, 1)])])
+        assert minimize(cond, BOOLS) == eq(X, 1)
+
+    def test_over_limit_returns_input(self):
+        domains = DomainMap({v: FiniteDomain(list(range(10))) for v in (X, Y, Z)})
+        cond = conjoin([ne(X, 1), ne(Y, 2), ne(Z, 3)])
+        assert minimize(cond, domains, model_limit=10) is cond
+
+    def test_unbounded_rejected(self):
+        with pytest.raises(MinimizeError):
+            minimize(eq(X, "k"), DomainMap(default=Unbounded()))
+
+    def test_condition_without_variables_passthrough(self):
+        assert minimize(TRUE, BOOLS) is TRUE
+        assert minimize(FALSE, BOOLS) is FALSE
+
+
+def conditions():
+    atoms = st.one_of(
+        st.builds(
+            lambda v, op, c: Comparison(v, op, Constant(c)).constant_fold(),
+            st.sampled_from([X, Y, Z]),
+            st.sampled_from(["=", "!="]),
+            st.sampled_from([0, 1]),
+        ),
+        st.builds(
+            lambda vs, b: LinearAtom(list(vs), "=", b),
+            st.lists(st.sampled_from([X, Y, Z]), min_size=1, max_size=3, unique=True),
+            st.integers(min_value=0, max_value=3),
+        ),
+    )
+    return st.recursive(
+        atoms,
+        lambda sub: st.one_of(
+            st.builds(lambda cs: conjoin(cs), st.lists(sub, min_size=1, max_size=3)),
+            st.builds(lambda cs: disjoin(cs), st.lists(sub, min_size=1, max_size=3)),
+            st.builds(lambda c: c.negate(), sub),
+        ),
+        max_leaves=6,
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(conditions())
+def test_minimize_preserves_semantics(cond):
+    solver = ConditionSolver(BOOLS)
+    out = minimize(cond, BOOLS)
+    assert solver.equivalent(cond, out)
+
+
+@settings(max_examples=60, deadline=None)
+@given(conditions())
+def test_minimize_never_grows_model_count(cond):
+    solver = ConditionSolver(BOOLS)
+    out = minimize(cond, BOOLS)
+    cvars = sorted(cond.cvariables() | out.cvariables(), key=lambda v: v.name)
+    if not cvars:
+        return
+    from repro.solver.enumerate import count_models
+
+    assert count_models(out, BOOLS, variables=cvars) == count_models(
+        cond, BOOLS, variables=cvars
+    )

@@ -1,0 +1,94 @@
+"""Property-based solver tests: the two backends must agree.
+
+Random conditions over finite domains are decided both by exact
+enumeration and by the DPLL(T) driver; any disagreement is a solver bug.
+Implication is cross-checked against its model-theoretic definition.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ctable.condition import (
+    Comparison,
+    Condition,
+    LinearAtom,
+    conjoin,
+    disjoin,
+)
+from repro.ctable.terms import Constant, CVariable
+from repro.solver.domains import DomainMap, FiniteDomain
+from repro.solver.dpll import is_satisfiable_dpll
+from repro.solver.enumerate import is_satisfiable_enum, iter_models
+from repro.solver.interface import ConditionSolver
+
+VARS = [CVariable(f"v{i}") for i in range(4)]
+VALUES = [0, 1, 2]
+DOMAINS = DomainMap({v: FiniteDomain(VALUES) for v in VARS})
+
+
+def atoms() -> st.SearchStrategy[Condition]:
+    comparison = st.builds(
+        lambda a, op, b: Comparison(a, op, b).constant_fold(),
+        st.sampled_from(VARS),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.one_of(st.sampled_from(VARS), st.sampled_from([Constant(v) for v in VALUES])),
+    )
+    linear = st.builds(
+        lambda vs, op, bound: LinearAtom(list(vs), op, bound),
+        st.lists(st.sampled_from(VARS), min_size=1, max_size=3, unique=True),
+        st.sampled_from(["=", "<=", ">="]),
+        st.integers(min_value=-1, max_value=7),
+    )
+    return st.one_of(comparison, linear)
+
+
+def conditions(depth: int = 2) -> st.SearchStrategy[Condition]:
+    if depth == 0:
+        return atoms()
+    sub = conditions(depth - 1)
+    return st.one_of(
+        atoms(),
+        st.builds(lambda cs: conjoin(cs), st.lists(sub, min_size=1, max_size=3)),
+        st.builds(lambda cs: disjoin(cs), st.lists(sub, min_size=1, max_size=3)),
+        st.builds(lambda c: c.negate(), sub),
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(conditions())
+def test_enumeration_and_dpll_agree(cond):
+    assert is_satisfiable_enum(cond, DOMAINS) == is_satisfiable_dpll(cond, DOMAINS)
+
+
+@settings(max_examples=80, deadline=None)
+@given(conditions(), conditions())
+def test_implies_matches_model_semantics(a, b):
+    solver = ConditionSolver(DOMAINS)
+    claimed = solver.implies(a, b)
+    cvars = sorted(a.cvariables() | b.cvariables(), key=lambda v: v.name)
+    truth = all(
+        b.evaluate(m) for m in iter_models(a, DOMAINS, variables=cvars)
+    )
+    assert claimed == truth
+
+
+@settings(max_examples=80, deadline=None)
+@given(conditions())
+def test_negation_involutive_semantics(cond):
+    solver = ConditionSolver(DOMAINS)
+    assert solver.equivalent(cond, cond.negate().negate())
+
+
+@settings(max_examples=80, deadline=None)
+@given(conditions())
+def test_condition_and_negation_partition_worlds(cond):
+    cvars = sorted(cond.cvariables(), key=lambda v: v.name)
+    models = sum(1 for _ in iter_models(cond, DOMAINS, variables=cvars))
+    anti = sum(1 for _ in iter_models(cond.negate(), DOMAINS, variables=cvars))
+    assert models + anti == len(VALUES) ** len(cvars)
+
+
+@settings(max_examples=60, deadline=None)
+@given(conditions())
+def test_simplify_preserves_equivalence(cond):
+    solver = ConditionSolver(DOMAINS)
+    assert solver.equivalent(cond, solver.simplify(cond))

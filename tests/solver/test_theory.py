@@ -1,0 +1,121 @@
+"""Conjunction-level theory solver."""
+
+import pytest
+
+from repro.ctable.condition import Comparison, FALSE, LinearAtom, TRUE, eq, ge, gt, le, lt, ne
+from repro.ctable.terms import Constant, CVariable, Variable
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, FiniteDomain, IntRange, Unbounded
+from repro.solver.theory import SAT, UNSAT, UnsupportedCondition, check_conjunction
+
+X, Y, Z = CVariable("x"), CVariable("y"), CVariable("z")
+UNB = DomainMap(default=Unbounded("any"))
+BOOLS = DomainMap({X: BOOL_DOMAIN, Y: BOOL_DOMAIN, Z: BOOL_DOMAIN})
+
+
+class TestEquality:
+    def test_consistent_chain(self):
+        assert check_conjunction([eq(X, Y), eq(Y, Z)], UNB) == SAT
+
+    def test_constant_conflict_through_chain(self):
+        atoms = [eq(X, 1), eq(X, Y), eq(Y, 2)]
+        assert check_conjunction(atoms, UNB) == UNSAT
+
+    def test_equal_constants_fine(self):
+        assert check_conjunction([eq(X, 1), eq(Y, 1), eq(X, Y)], UNB) == SAT
+
+    def test_disequality_violated_by_merge(self):
+        assert check_conjunction([eq(X, Y), ne(X, Y)], UNB) == UNSAT
+
+    def test_disequality_to_different_constants(self):
+        assert check_conjunction([eq(X, 1), ne(X, 2)], UNB) == SAT
+
+    def test_disequality_same_constant(self):
+        assert check_conjunction([eq(X, 1), ne(X, 1)], UNB) == UNSAT
+
+    def test_false_atom_short_circuits(self):
+        assert check_conjunction([FALSE], UNB) == UNSAT
+        assert check_conjunction([TRUE], UNB) == SAT
+
+    def test_program_variable_rejected(self):
+        with pytest.raises(UnsupportedCondition):
+            check_conjunction([Comparison(Variable("v"), "=", Constant(1))], UNB)
+
+
+class TestDomains:
+    def test_pinned_constant_outside_domain(self):
+        assert check_conjunction([eq(X, 7)], BOOLS) == UNSAT
+
+    def test_pinned_constant_inside_domain(self):
+        assert check_conjunction([eq(X, 1)], BOOLS) == SAT
+
+    def test_domain_intersection_empty(self):
+        domains = DomainMap({X: FiniteDomain([1, 2]), Y: FiniteDomain([3, 4])})
+        assert check_conjunction([eq(X, Y)], domains) == UNSAT
+
+    def test_domain_intersection_nonempty(self):
+        domains = DomainMap({X: FiniteDomain([1, 2]), Y: FiniteDomain([2, 3])})
+        assert check_conjunction([eq(X, Y)], domains) == SAT
+
+
+class TestOrdering:
+    def test_strict_cycle(self):
+        assert check_conjunction([lt(X, Y), lt(Y, X)], UNB) == UNSAT
+
+    def test_mixed_cycle_with_strict_edge(self):
+        assert check_conjunction([le(X, Y), le(Y, Z), lt(Z, X)], UNB) == UNSAT
+
+    def test_nonstrict_cycle_ok(self):
+        assert check_conjunction([le(X, Y), le(Y, X)], UNB) == SAT
+
+    def test_chain_sat(self):
+        assert check_conjunction([lt(X, Y), lt(Y, Z)], UNB) == SAT
+
+    def test_bounds_conflict(self):
+        assert check_conjunction([gt(X, 5), lt(X, 3)], UNB) == UNSAT
+
+    def test_bounds_through_variable(self):
+        # x < y, y < 3, x > 5  →  unsat
+        atoms = [lt(X, Y), lt(Y, 3), gt(X, 5)]
+        assert check_conjunction(atoms, UNB) == UNSAT
+
+    def test_constant_ordering_folds(self):
+        # (2 < 1) never constructed — constant_fold handles; ordering of
+        # pinned classes:
+        atoms = [eq(X, 2), eq(Y, 1), lt(X, Y)]
+        assert check_conjunction(atoms, UNB) == UNSAT
+
+    def test_string_ordering_constants(self):
+        atoms = [eq(X, "a"), eq(Y, "b"), lt(X, Y)]
+        assert check_conjunction(atoms, UNB) == SAT
+
+    def test_ordering_within_finite_domain(self):
+        atoms = [lt(X, Y)]
+        assert check_conjunction(atoms, BOOLS) == SAT
+        atoms = [lt(X, Y), lt(Y, Z)]  # needs 3 distinct values in {0,1}
+        assert check_conjunction(atoms, BOOLS) == UNSAT
+
+
+class TestLinear:
+    def test_sum_feasible(self):
+        assert check_conjunction([LinearAtom([X, Y, Z], "=", 1)], BOOLS) == SAT
+
+    def test_sum_over_max(self):
+        assert check_conjunction([LinearAtom([X, Y], "=", 3)], BOOLS) == UNSAT
+
+    def test_sum_under_min(self):
+        assert check_conjunction([LinearAtom([X, Y], "=", -1)], BOOLS) == UNSAT
+
+    def test_sum_with_pinned_values(self):
+        atoms = [eq(X, 0), eq(Y, 0), LinearAtom([X, Y, Z], "=", 2)]
+        assert check_conjunction(atoms, BOOLS) == UNSAT
+
+    def test_negative_coefficients(self):
+        atom = LinearAtom({X: 1, Y: -1}, ">", 0)
+        assert check_conjunction([atom], BOOLS) == SAT
+        assert check_conjunction([atom, eq(X, 0)], BOOLS) == UNSAT
+
+    def test_inequality_directions(self):
+        assert check_conjunction([LinearAtom([X], "<", 0)], BOOLS) == UNSAT
+        assert check_conjunction([LinearAtom([X], ">=", 1)], BOOLS) == SAT
+        assert check_conjunction([LinearAtom([X], ">", 1)], BOOLS) == UNSAT
+        assert check_conjunction([LinearAtom([X], "<=", 0)], BOOLS) == SAT

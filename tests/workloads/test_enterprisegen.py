@@ -1,0 +1,48 @@
+"""Random enterprise scenario generation."""
+
+import pytest
+
+from repro.ctable.terms import CVariable
+from repro.solver.interface import ConditionSolver
+from repro.verify.constraints import Constraint
+from repro.verify.subsumption import SubsumptionVerdict, check_subsumption
+from repro.workloads.enterprisegen import ScenarioConfig, generate_scenario
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_scenario(ScenarioConfig(seed=3))
+        b = generate_scenario(ScenarioConfig(seed=3))
+        assert a.database.table("R").tuples() == b.database.table("R").tuples()
+
+    def test_sizes_scale(self):
+        small = generate_scenario(ScenarioConfig(subnets=2, servers=2, seed=1))
+        large = generate_scenario(ScenarioConfig(subnets=4, servers=4, seed=1))
+        assert len(large.subnets) == 4
+        assert len(large.database.table("Fw")) >= len(
+            small.database.table("Fw")
+        )
+
+    def test_unknown_entries_budgeted(self):
+        scenario = generate_scenario(ScenarioConfig(unknown_entries=4, seed=9))
+        cvars = scenario.database.cvariables()
+        assert 0 < len(cvars) <= 4
+        # every unknown got a domain from its column
+        for v in cvars:
+            assert scenario.domains.domain_of(v).is_finite
+
+    def test_zero_unknowns_regular(self):
+        scenario = generate_scenario(ScenarioConfig(unknown_entries=0, seed=9))
+        assert not scenario.database.cvariables()
+
+    def test_target_subsumed_by_policy(self):
+        scenario = generate_scenario(ScenarioConfig(seed=4))
+        solver = ConditionSolver(scenario.domains)
+        result = check_subsumption(
+            Constraint("target", scenario.target),
+            [Constraint("policy", scenario.policies[0])],
+            solver,
+            schemas=scenario.schemas,
+            column_domains=scenario.column_domains,
+        )
+        assert result.verdict is SubsumptionVerdict.SUBSUMED

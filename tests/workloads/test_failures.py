@@ -1,0 +1,65 @@
+"""Failure-pattern families."""
+
+import pytest
+
+from repro.ctable.condition import LinearAtom
+from repro.ctable.terms import Constant, CVariable
+from repro.solver.domains import BOOL_DOMAIN, DomainMap
+from repro.solver.enumerate import count_models
+from repro.workloads.failures import (
+    all_up,
+    at_least_k_failures,
+    at_most_k_failures,
+    exactly_k_failures,
+    must_include_failure,
+)
+
+VARS = [CVariable(f"l{i}") for i in range(4)]
+DOMAINS = DomainMap({v: BOOL_DOMAIN for v in VARS})
+
+
+def worlds(cond):
+    return count_models(cond, DOMAINS, variables=VARS)
+
+
+class TestPatterns:
+    def test_exactly_k(self):
+        # C(4,2) = 6 worlds with exactly 2 failures
+        assert worlds(exactly_k_failures(VARS, 2)) == 6
+
+    def test_exactly_zero_is_all_up(self):
+        assert worlds(exactly_k_failures(VARS, 0)) == 1
+        assert worlds(all_up(VARS)) == 1
+
+    def test_at_least_k(self):
+        # ≥1 failure: 16 - 1 = 15
+        assert worlds(at_least_k_failures(VARS, 1)) == 15
+
+    def test_at_most_k(self):
+        # ≤1 failure: 1 + 4 = 5
+        assert worlds(at_most_k_failures(VARS, 1)) == 5
+
+    def test_complementarity(self):
+        for k in range(5):
+            total = worlds(at_most_k_failures(VARS, k)) + worlds(
+                at_least_k_failures(VARS, k + 1) if k < 4 else exactly_k_failures(VARS, 0)
+            )
+            if k < 4:
+                assert total == 16
+
+    def test_must_include_failure(self):
+        cond = must_include_failure(exactly_k_failures(VARS, 2), VARS[0])
+        # l0 down + one of the remaining 3 down: 3 worlds
+        assert worlds(cond) == 3
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            exactly_k_failures(VARS, 5)
+        with pytest.raises(ValueError):
+            at_least_k_failures(VARS, -1)
+        with pytest.raises(ValueError):
+            exactly_k_failures([], 0)
+
+    def test_shapes(self):
+        assert isinstance(exactly_k_failures(VARS, 1), LinearAtom)
+        assert isinstance(at_least_k_failures(VARS, 1), LinearAtom)

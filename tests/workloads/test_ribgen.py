@@ -1,0 +1,74 @@
+"""Synthetic RIB generation and its dump format."""
+
+import pytest
+
+from repro.workloads.ribgen import (
+    RibConfig,
+    dump_rib,
+    generate_as_graph,
+    generate_rib,
+    parse_rib,
+)
+
+
+@pytest.fixture(scope="module")
+def routes():
+    return generate_rib(RibConfig(prefixes=40, as_count=60, seed=11))
+
+
+class TestGeneration:
+    def test_requested_count(self, routes):
+        assert len(routes) == 40
+
+    def test_deterministic(self, routes):
+        again = generate_rib(RibConfig(prefixes=40, as_count=60, seed=11))
+        assert again == routes
+
+    def test_seed_changes_output(self, routes):
+        other = generate_rib(RibConfig(prefixes=40, as_count=60, seed=12))
+        assert other != routes
+
+    def test_paths_per_prefix(self, routes):
+        # the generator aims for 5; graph structure may yield fewer
+        assert all(1 <= len(r.paths) <= 5 for r in routes)
+        assert sum(len(r.paths) for r in routes) / len(routes) > 3
+
+    def test_paths_loop_free(self, routes):
+        for r in routes:
+            for path in r.paths:
+                assert len(set(path)) == len(path)
+
+    def test_paths_share_endpoints(self, routes):
+        for r in routes:
+            starts = {p[0] for p in r.paths}
+            ends = {p[-1] for p in r.paths}
+            assert len(starts) == 1 and len(ends) == 1
+
+    def test_realistic_lengths(self, routes):
+        lengths = [len(p) for r in routes for p in r.paths]
+        assert max(lengths) <= RibConfig().max_path_len + 1
+        assert 2 <= sum(lengths) / len(lengths) <= 7
+
+    def test_unique_prefixes(self, routes):
+        prefixes = [r.prefix for r in routes]
+        assert len(set(prefixes)) == len(prefixes)
+
+    def test_as_graph_heavy_tailed(self):
+        graph = generate_as_graph(RibConfig(as_count=100, seed=5))
+        degrees = sorted((d for _, d in graph.degree()), reverse=True)
+        assert degrees[0] > 3 * degrees[len(degrees) // 2]
+
+
+class TestDumpFormat:
+    def test_roundtrip(self, routes):
+        assert parse_rib(dump_rib(routes)) == routes
+
+    def test_comments_and_blank_lines(self):
+        text = "# a comment\n\np0|A B|A C B\n"
+        (route,) = parse_rib(text)
+        assert route.prefix == "p0"
+        assert route.paths == (("A", "B"), ("A", "C", "B"))
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError):
+            parse_rib("justaprefix\n")
