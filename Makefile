@@ -2,13 +2,17 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-tables examples lint-self clean
+.PHONY: install test test-robustness bench bench-tables examples lint-self clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# governor / degradation / fault-injection suite only
+test-robustness:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/robustness/ -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -35,12 +35,87 @@ from .faurelog.parser import parse_program
 from .faurelog.rewrite import Deletion, Insertion
 from .network.forwarding import compile_forwarding
 from .network.reachability import ReachabilityAnalyzer
+from .robustness.errors import BudgetExceeded, ConditionTooLarge, FaureError, SolverFailure
+from .robustness.governor import Governor, ON_BUDGET_MODES
 from .solver.interface import ConditionSolver
 from .verify.constraints import Constraint
 from .verify.verifier import RelativeCompleteVerifier
 from .workloads.ribgen import RibConfig, dump_rib, generate_rib, parse_rib
 
 __all__ = ["main", "parse_update_spec"]
+
+# Distinct exit codes so scripts can tell failure classes apart:
+#   2 — parse/usage errors (bad program text, malformed specs, missing files)
+#   3 — a resource budget or deadline ran out (``--on-budget fail``)
+#   4 — a solver routine failed outright
+EXIT_PARSE_ERROR = 2
+EXIT_BUDGET = 3
+EXIT_SOLVER_FAILURE = 4
+
+
+def _add_governor_args(parser: argparse.ArgumentParser) -> None:
+    """Resource-governance knobs shared by the query-running commands."""
+    group = parser.add_argument_group("resource governance")
+    group.add_argument(
+        "--deadline",
+        type=float,
+        help="per-query wall-clock deadline in seconds",
+    )
+    group.add_argument(
+        "--solver-budget",
+        type=int,
+        help="maximum number of solver calls per query",
+    )
+    group.add_argument(
+        "--solver-steps",
+        type=int,
+        help="cooperative step budget per solver call",
+    )
+    group.add_argument(
+        "--max-condition-atoms",
+        type=int,
+        help="refuse conditions with more atoms than this",
+    )
+    group.add_argument(
+        "--on-budget",
+        choices=ON_BUDGET_MODES,
+        default="degrade",
+        help="on budget exhaustion: degrade soundly (default) or fail",
+    )
+
+
+def _governor_from_args(args) -> Optional[Governor]:
+    """Build (and arm) a governor when any knob was supplied."""
+    knobs = (
+        getattr(args, "deadline", None),
+        getattr(args, "solver_budget", None),
+        getattr(args, "solver_steps", None),
+        getattr(args, "max_condition_atoms", None),
+    )
+    if all(k is None for k in knobs):
+        return None
+    governor = Governor(
+        deadline_seconds=args.deadline,
+        solver_call_budget=args.solver_budget,
+        steps_per_call=args.solver_steps,
+        max_condition_atoms=args.max_condition_atoms,
+        on_budget=args.on_budget,
+    )
+    governor.start()
+    return governor
+
+
+def _report_governor(governor: Optional[Governor]) -> None:
+    if governor is None:
+        return
+    events = governor.events
+    if events.budget_hits or events.unknown_verdicts or events.condition_rejections:
+        print(
+            f"-- governor: {events.unknown_verdicts} unknown verdict(s), "
+            f"{events.budget_hits} budget hit(s), "
+            f"{events.fallbacks} fallback(s), "
+            f"{events.condition_rejections} oversized condition(s)"
+        )
 
 
 def parse_update_spec(spec: str):
@@ -91,7 +166,8 @@ def _cmd_rib_generate(args) -> int:
 def _cmd_rib_analyze(args) -> int:
     routes = parse_rib(Path(args.rib).read_text())
     compiled = compile_forwarding(routes)
-    solver = ConditionSolver(compiled.domains)
+    governor = _governor_from_args(args)
+    solver = ConditionSolver(compiled.domains, governor=governor)
     analyzer = ReachabilityAnalyzer(compiled.database(), solver, per_flow=True)
     reach = analyzer.compute()
     stats = analyzer.stats
@@ -100,6 +176,7 @@ def _cmd_rib_analyze(args) -> int:
     print(f"R tuples:       {len(reach)}")
     print(f"sql seconds:    {stats.sql_seconds:.3f}")
     print(f"solver seconds: {stats.solver_seconds:.3f}")
+    _report_governor(governor)
     return 0
 
 
@@ -110,17 +187,21 @@ def _cmd_query(args) -> int:
     else:
         text = args.program
     program = parse_program(text)
-    solver = ConditionSolver(domains)
+    governor = _governor_from_args(args)
+    solver = ConditionSolver(domains, governor=governor)
     stats = EvalStats()
     result = evaluate(program, db, solver=solver, stats=stats)
     names = [args.output] if args.output else sorted(result.names())
     for name in names:
         print(result.table(name).pretty(max_rows=args.limit))
         print()
+    status = " [PARTIAL: budget exhausted]" if stats.partial_results else ""
     print(
         f"-- {stats.tuples_generated} tuples derived "
-        f"(sql {stats.sql_seconds:.3f}s, solver {stats.solver_seconds:.3f}s)"
+        f"(sql {stats.sql_seconds:.3f}s, solver {stats.solver_seconds:.3f}s, "
+        f"{stats.unknown_kept} kept-unknown){status}"
     )
+    _report_governor(governor)
     return 0
 
 
@@ -139,12 +220,17 @@ def _cmd_verify(args) -> int:
         state, domains = load_database(Path(args.db).read_text())
     from .solver.domains import DomainMap, Unbounded
 
-    solver = ConditionSolver(domains if domains is not None else DomainMap(default=Unbounded("any")))
+    governor = _governor_from_args(args)
+    solver = ConditionSolver(
+        domains if domains is not None else DomainMap(default=Unbounded("any")),
+        governor=governor,
+    )
     verifier = RelativeCompleteVerifier(known, solver)
     verdict = verifier.verify(target, update=update, state=state)
     print(f"{target.name}: {verdict}")
     for step in verdict.trail:
         print(f"  {step}")
+    _report_governor(governor)
     return 0 if verdict.ok else 1
 
 
@@ -158,7 +244,8 @@ def _cmd_sql(args) -> int:
         from .ctable.table import Database
 
         db, domains = Database(), DomainMap(default=Unbounded("any"))
-    engine = SqlEngine(db, solver=ConditionSolver(domains))
+    governor = _governor_from_args(args)
+    engine = SqlEngine(db, solver=ConditionSolver(domains, governor=governor))
     statements = (
         Path(args.script).read_text() if args.script else " ".join(args.statement)
     )
@@ -219,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen.set_defaults(func=_cmd_rib_generate)
     ana = rib_sub.add_parser("analyze", help="reachability analysis of a dump")
     ana.add_argument("rib")
+    _add_governor_args(ana)
     ana.set_defaults(func=_cmd_rib_analyze)
 
     query = sub.add_parser("query", help="run a fauré-log program")
@@ -228,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--program-file", help="program file")
     query.add_argument("--output", help="only print this predicate")
     query.add_argument("--limit", type=int, default=30, help="max rows shown")
+    _add_governor_args(query)
     query.set_defaults(func=_cmd_query)
 
     verify = sub.add_parser("verify", help="relative-complete verification")
@@ -237,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--update", nargs="*", help="update specs like '+Lb(R&D, GS)' '-Lb(Mkt, CS)'"
     )
     verify.add_argument("--db", help="state database JSON (enables level 3)")
+    _add_governor_args(verify)
     verify.set_defaults(func=_cmd_verify)
 
     sql = sub.add_parser("sql", help="run mini-SQL statements on c-tables")
@@ -245,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--script", help="file of statements instead of inline")
     sql.add_argument("--save", help="write the resulting database JSON here")
     sql.add_argument("--limit", type=int, default=30)
+    _add_governor_args(sql)
     sql.set_defaults(func=_cmd_sql)
 
     lint = sub.add_parser("lint", help="static checks on a fauré-log file")
@@ -263,6 +354,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except (BudgetExceeded, ConditionTooLarge) as exc:
+        print(f"budget error: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except SolverFailure as exc:
+        print(f"solver error: {exc}", file=sys.stderr)
+        return EXIT_SOLVER_FAILURE
+    except FaureError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SOLVER_FAILURE
     except (ParseError, ValueError, KeyError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_PARSE_ERROR

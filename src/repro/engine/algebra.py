@@ -36,6 +36,7 @@ from ..ctable.condition import (
 )
 from ..ctable.table import CTable, CTuple, Database
 from ..ctable.terms import Constant, CVariable, Term, as_term
+from ..robustness.verdict import Verdict
 from ..solver.interface import ConditionSolver
 from .stats import EvalStats, Stopwatch
 
@@ -201,7 +202,12 @@ class ExecutionContext:
         self._solver_watch = Stopwatch()
 
     def keep(self, condition: Condition) -> bool:
-        """Solver-check a condition; charge time to the solver bucket."""
+        """Solver-check a condition; charge time to the solver bucket.
+
+        Three-valued degradation: an ``UNKNOWN`` verdict under a
+        resource governor keeps the tuple (sound — pruning is only an
+        optimisation) and is counted in ``stats.unknown_kept``.
+        """
         if isinstance(condition, FalseCond):
             self.stats.tuples_pruned += 1
             return False
@@ -209,11 +215,14 @@ class ExecutionContext:
             return True
         start_seconds = self._solver_watch.seconds
         with self._solver_watch.measure():
-            sat = self.solver.is_satisfiable(condition)
+            verdict = self.solver.sat_verdict(condition)
         self.stats.solver_seconds += self._solver_watch.seconds - start_seconds
-        if not sat:
+        if verdict is Verdict.UNSAT:
             self.stats.tuples_pruned += 1
-        return sat
+            return False
+        if verdict is Verdict.UNKNOWN:
+            self.stats.unknown_kept += 1
+        return True
 
 
 class PlanNode:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..ctable.table import CTable, Database
+from ..robustness.verdict import Verdict
 from ..solver.interface import ConditionSolver
 from .algebra import PlanNode, evaluate_plan
 from .stats import EvalStats, Stopwatch
@@ -33,16 +34,25 @@ __all__ = ["run_lazy", "run_eager", "solver_prune"]
 def solver_prune(
     table: CTable, solver: ConditionSolver, stats: Optional[EvalStats] = None
 ) -> CTable:
-    """Phase 3: drop tuples whose conditions are unsatisfiable."""
+    """Phase 3: drop tuples whose conditions are unsatisfiable.
+
+    Pruning is an optimisation, never a correctness requirement: a
+    tuple whose condition comes back ``UNKNOWN`` under a resource
+    governor is *kept* (counted in ``stats.unknown_kept``), leaving the
+    result loss-less but less simplified.
+    """
     stats = stats if stats is not None else EvalStats()
     watch = Stopwatch()
     out = CTable(table.name, table.schema)
     with watch.measure():
         for tup in table:
-            if solver.is_satisfiable(tup.condition):
-                out.add(tup)
-            else:
+            verdict = solver.sat_verdict(tup.condition)
+            if verdict is Verdict.UNSAT:
                 stats.tuples_pruned += 1
+                continue
+            if verdict is Verdict.UNKNOWN:
+                stats.unknown_kept += 1
+            out.add(tup)
     stats.solver_seconds += watch.seconds
     return out
 
@@ -55,6 +65,8 @@ def run_lazy(
 ) -> Tuple[CTable, EvalStats]:
     """Phases 1–2 without pruning, then one final solver pass (phase 3)."""
     stats = stats if stats is not None else EvalStats()
+    if solver.governor is not None:
+        solver.governor.ensure_started()
     raw = evaluate_plan(plan, db, solver=None, prune=False, stats=stats)
     pruned = solver_prune(raw, solver, stats)
     return pruned, stats
@@ -68,5 +80,7 @@ def run_eager(
 ) -> Tuple[CTable, EvalStats]:
     """Prune inside every operator (intermediate relations stay small)."""
     stats = stats if stats is not None else EvalStats()
+    if solver.governor is not None:
+        solver.governor.ensure_started()
     result = evaluate_plan(plan, db, solver=solver, prune=True, stats=stats)
     return result, stats

@@ -45,11 +45,21 @@ class EvalStats:
     tuples_generated: int = 0
     tuples_pruned: int = 0
     iterations: int = 0
+    #: Tuples kept because their condition came back UNKNOWN under a
+    #: resource governor (sound: pruning is only an optimisation).
+    unknown_kept: int = 0
+    #: Evaluations cut short by a budget/deadline (partial fixpoint).
+    partial_results: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
         return self.sql_seconds + self.solver_seconds
+
+    @property
+    def degraded(self) -> bool:
+        """Did any governed degradation fire during this evaluation?"""
+        return self.unknown_kept > 0 or self.partial_results > 0
 
     def add(self, other: "EvalStats") -> None:
         self.sql_seconds += other.sql_seconds
@@ -57,6 +67,8 @@ class EvalStats:
         self.tuples_generated += other.tuples_generated
         self.tuples_pruned += other.tuples_pruned
         self.iterations += other.iterations
+        self.unknown_kept += other.unknown_kept
+        self.partial_results += other.partial_results
         for k, v in other.extra.items():
             self.extra[k] = self.extra.get(k, 0.0) + v
 
@@ -66,6 +78,8 @@ class EvalStats:
         self.tuples_generated = 0
         self.tuples_pruned = 0
         self.iterations = 0
+        self.unknown_kept = 0
+        self.partial_results = 0
         self.extra.clear()
 
     def row(self) -> Dict[str, float]:
@@ -75,4 +89,5 @@ class EvalStats:
             "solver": round(self.solver_seconds, 4),
             "tuples": self.tuples_generated,
             "pruned": self.tuples_pruned,
+            "unknown": self.unknown_kept,
         }

@@ -28,6 +28,9 @@ from ..ctable.table import CTable, Database
 from ..ctable.terms import Term
 from ..engine.stats import EvalStats
 from ..engine.storage import IndexedTable, Storage
+from ..robustness.errors import BudgetExceeded
+from ..robustness.governor import Governor
+from ..robustness.verdict import Trivalent, Verdict
 from ..solver.interface import ConditionSolver
 from .ast import Program, ProgramError, Rule
 from .stratify import stratify
@@ -57,7 +60,12 @@ class _ConditionIndex:
             return False
         if solver is None:
             return True
-        return not solver.implies(condition, disjoin(existing))
+        # Three-valued dedup: only a *definite* "implied by what's
+        # recorded" may skip the insert.  UNKNOWN (budget exhausted)
+        # treats the tuple as new — recording a redundant condition is
+        # sound (possible worlds are unchanged), dropping a novel one
+        # would lose worlds.
+        return solver.implies_verdict(condition, disjoin(existing)) is not Trivalent.TRUE
 
     def record(self, key: Tuple[Term, ...], condition: Condition) -> None:
         self._by_key.setdefault(key, []).append(condition)
@@ -80,6 +88,14 @@ class FaureEvaluator:
     prune:
         When False, unsatisfiable-condition tuples are kept (ablation of
         the paper's step 3); dedup still uses the solver if present.
+    governor:
+        Resource governor for the fixpoint loop; defaults to the
+        solver's own governor.  Under ``degrade`` policy a mid-iteration
+        :class:`BudgetExceeded` stops the loop cleanly: the evaluator
+        returns what was derived so far, sets :attr:`partial`, and
+        counts the event in ``stats.partial_results`` (a partial
+        fixpoint under-approximates, so downstream verdicts report
+        inconclusive rather than "holds").
     """
 
     def __init__(
@@ -90,6 +106,7 @@ class FaureEvaluator:
         prune: bool = True,
         storage: Optional[Storage] = None,
         record_provenance: bool = False,
+        governor: Optional[Governor] = None,
     ):
         self.database = database
         self.solver = solver
@@ -97,6 +114,11 @@ class FaureEvaluator:
         self.prune = prune and solver is not None
         self.stats = EvalStats()
         self.record_provenance = record_provenance
+        self.governor = governor if governor is not None else (
+            solver.governor if solver is not None else None
+        )
+        #: True when the last evaluation was cut short by a budget.
+        self.partial = False
         #: (predicate, data part, condition, rule label) per derived tuple,
         #: in derivation order — populated when record_provenance is set.
         self.provenance: List[Tuple[str, Tuple[Term, ...], Condition, Optional[str]]] = []
@@ -106,10 +128,10 @@ class FaureEvaluator:
 
     # -- solver accounting ---------------------------------------------------
 
-    def _timed_sat(self, condition: Condition) -> bool:
+    def _timed_sat_verdict(self, condition: Condition) -> Verdict:
         start = time.perf_counter()
         try:
-            return self.solver.is_satisfiable(condition)
+            return self.solver.sat_verdict(condition)
         finally:
             self.stats.solver_seconds += time.perf_counter() - start
 
@@ -119,10 +141,14 @@ class FaureEvaluator:
             return False
         if not self.prune:
             return True
-        if self._timed_sat(condition):
-            return True
-        self.stats.tuples_pruned += 1
-        return False
+        verdict = self._timed_sat_verdict(condition)
+        if verdict is Verdict.UNSAT:
+            self.stats.tuples_pruned += 1
+            return False
+        if verdict is Verdict.UNKNOWN:
+            # Keep-on-UNKNOWN: sound, the table is merely less simplified.
+            self.stats.unknown_kept += 1
+        return True
 
     # -- main entry ---------------------------------------------------------------
 
@@ -134,10 +160,15 @@ class FaureEvaluator:
         """
         wall_start = time.perf_counter()
         solver_before = self.stats.solver_seconds
-        result = self._evaluate_inner(program)
-        wall = time.perf_counter() - wall_start
-        solver_delta = self.stats.solver_seconds - solver_before
-        self.stats.sql_seconds += max(0.0, wall - solver_delta)
+        self.partial = False
+        if self.governor is not None:
+            self.governor.ensure_started()
+        try:
+            result = self._evaluate_inner(program)
+        finally:
+            wall = time.perf_counter() - wall_start
+            solver_delta = self.stats.solver_seconds - solver_before
+            self.stats.sql_seconds += max(0.0, wall - solver_delta)
         return result
 
     def _evaluate_inner(self, program: Program) -> Database:
@@ -177,6 +208,14 @@ class FaureEvaluator:
 
             for stratum in stratify(program):
                 self._run_stratum(program, stratum, working, tables, indexes)
+        except BudgetExceeded:
+            # Mid-iteration exhaustion: in degrade mode terminate with a
+            # flagged partial result (the finally below restores the EDB
+            # either way, so no state is corrupted); otherwise propagate.
+            if self.governor is None or not self.governor.degrade:
+                raise
+            self.partial = True
+            self.stats.partial_results += 1
         finally:
             for name in added_to_db:
                 self.database.drop_table(name)
@@ -223,6 +262,8 @@ class FaureEvaluator:
         # Round 0: fire every rule on the full database.
         delta: Dict[str, CTable] = {p: CTable(p, tables[p].schema) for p in stratum}
         for rule in rules:
+            if self.governor is not None:
+                self.governor.check_deadline()
             for bindings, condition in derive(rule, working):
                 values = build_head(rule, bindings)
                 if insert(rule, values, condition):
@@ -233,6 +274,11 @@ class FaureEvaluator:
         # once per in-stratum positive literal bound to the delta.
         iteration = 1
         while any(len(t) for t in delta.values()):
+            if self.governor is not None:
+                # Cooperative mid-iteration cancellation point: a blown
+                # deadline stops the fixpoint between rounds, never
+                # mid-insert, so tables stay internally consistent.
+                self.governor.check_deadline()
             if self.max_iterations is not None and iteration > self.max_iterations:
                 raise ProgramError(
                     f"fixpoint exceeded {self.max_iterations} iterations"
@@ -269,10 +315,19 @@ def evaluate(
     stats: Optional[EvalStats] = None,
     max_iterations: Optional[int] = None,
     prune: bool = True,
+    governor: Optional[Governor] = None,
 ) -> Database:
-    """One-shot convenience wrapper around :class:`FaureEvaluator`."""
+    """One-shot convenience wrapper around :class:`FaureEvaluator`.
+
+    Partial-result status (budget-interrupted fixpoint) is surfaced via
+    ``stats.partial_results`` when a ``stats`` object is supplied.
+    """
     evaluator = FaureEvaluator(
-        database, solver=solver, max_iterations=max_iterations, prune=prune
+        database,
+        solver=solver,
+        max_iterations=max_iterations,
+        prune=prune,
+        governor=governor,
     )
     result = evaluator.evaluate(program)
     if stats is not None:

@@ -1,0 +1,108 @@
+"""Deterministic fault injection for the solver stack.
+
+The degradation paths built into the governor are only trustworthy if
+they are *exercised*: a timeout that never fires in CI is a timeout that
+breaks in production.  :class:`FaultInjector` deterministically injects
+the three failure classes the governor can produce —
+
+* **timeouts** (:class:`BudgetExceeded`), as if a budget ran out
+  mid-call;
+* **spurious failures** (:class:`SolverFailure`), as if a backend died;
+* **oversized conditions** (:class:`ConditionTooLarge`), as if a
+  condition blew past the size ceiling —
+
+on a fixed every-Nth-call schedule, so a test run is exactly
+reproducible: the same plan over the same query injects the same faults
+at the same call indices.  Injection flows through
+:meth:`Governor.begin_solver_call`, the same chokepoint real exhaustion
+uses, so an injected fault takes precisely the degradation path a real
+one would.
+
+The soundness property the test-suite proves with this harness: for any
+injection plan, ``rep(degraded c-table) = rep(exact c-table)`` — kept
+UNKNOWN tuples carry unsatisfiable or redundant conditions that add no
+rows to any possible world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .errors import BudgetExceeded, ConditionTooLarge, SolverFailure
+
+__all__ = ["FaultPlan", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every-Nth-call schedule for each fault class.
+
+    ``timeout_every=3`` injects a timeout on every third solver call
+    (1/3 ≈ 33% of calls).  ``start_after`` lets the first N calls
+    through untouched, which keeps query *setup* (domain probing,
+    trivial prunes) deterministic while stressing the main workload.
+    When two classes land on the same call, precedence is timeout >
+    failure > oversize; at most one fault fires per call.
+    """
+
+    timeout_every: Optional[int] = None
+    failure_every: Optional[int] = None
+    oversize_every: Optional[int] = None
+    start_after: int = 0
+
+    def __post_init__(self):
+        for name in ("timeout_every", "failure_every", "oversize_every"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            v is not None
+            for v in (self.timeout_every, self.failure_every, self.oversize_every)
+        )
+
+
+class FaultInjector:
+    """Counts solver calls and fires the plan's faults deterministically."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.calls = 0
+        self.injected: Dict[str, int] = {"timeout": 0, "failure": 0, "oversize": 0}
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def reset(self) -> None:
+        self.calls = 0
+        for key in self.injected:
+            self.injected[key] = 0
+
+    def _fire(self, kind: str, governor) -> None:
+        self.injected[kind] += 1
+        if governor is not None:
+            governor.events.injected_faults += 1
+
+    def on_solver_call(self, governor=None) -> None:
+        """Hook invoked by :meth:`Governor.begin_solver_call`."""
+        self.calls += 1
+        n = self.calls - self.plan.start_after
+        if n <= 0:
+            return
+        if self.plan.timeout_every is not None and n % self.plan.timeout_every == 0:
+            self._fire("timeout", governor)
+            raise BudgetExceeded(
+                f"injected solver timeout (call #{self.calls})", resource="injected"
+            )
+        if self.plan.failure_every is not None and n % self.plan.failure_every == 0:
+            self._fire("failure", governor)
+            raise SolverFailure(f"injected solver failure (call #{self.calls})")
+        if self.plan.oversize_every is not None and n % self.plan.oversize_every == 0:
+            self._fire("oversize", governor)
+            raise ConditionTooLarge(
+                f"injected oversized condition (call #{self.calls})"
+            )

@@ -1,0 +1,81 @@
+"""Three-valued solver verdicts.
+
+Under resource governance a decision procedure has three honest answers,
+not two: ``SAT``, ``UNSAT``, or ``UNKNOWN`` ("the budget ran out before
+I could tell").  :class:`Verdict` is the satisfiability lattice;
+:class:`Trivalent` is the matching lattice for derived boolean questions
+(implication, validity), where ``UNKNOWN`` propagates Kleene-style.
+
+The key soundness fact exploited by every governed call-site: for a
+c-table, *pruning is an optimisation, never a correctness requirement*.
+A tuple whose condition is ``UNKNOWN`` can be kept — an unsatisfiable
+condition contributes no rows to any possible world, so keeping it
+leaves ``rep(T)`` unchanged.  Degradation therefore trades
+simplification, never information.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .errors import BudgetExceeded
+
+__all__ = ["Verdict", "Trivalent"]
+
+
+class Verdict(enum.Enum):
+    """Three-valued satisfiability verdict."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_definite(self) -> bool:
+        return self is not Verdict.UNKNOWN
+
+    @staticmethod
+    def from_bool(value: bool) -> "Verdict":
+        return Verdict.SAT if value else Verdict.UNSAT
+
+    def as_bool(self) -> bool:
+        """Collapse to a boolean; a definite answer is required."""
+        if self is Verdict.SAT:
+            return True
+        if self is Verdict.UNSAT:
+            return False
+        raise BudgetExceeded(
+            "no definite satisfiability verdict available (budget exhausted)",
+            resource="verdict",
+        )
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Trivalent(enum.Enum):
+    """Kleene three-valued answer to a boolean question."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_definite(self) -> bool:
+        return self is not Trivalent.UNKNOWN
+
+    @staticmethod
+    def from_bool(value: bool) -> "Trivalent":
+        return Trivalent.TRUE if value else Trivalent.FALSE
+
+    def as_bool(self) -> bool:
+        if self is Trivalent.TRUE:
+            return True
+        if self is Trivalent.FALSE:
+            return False
+        raise BudgetExceeded(
+            "no definite answer available (budget exhausted)", resource="verdict"
+        )
+
+    def __str__(self) -> str:
+        return self.value

@@ -15,6 +15,9 @@ package implements the decidable fragment fauré actually needs:
   with caching and time accounting.
 """
 
+from ..robustness.errors import BudgetExceeded, ConditionTooLarge, FaureError, SolverFailure
+from ..robustness.governor import Governor
+from ..robustness.verdict import Trivalent, Verdict
 from .domains import BOOL_DOMAIN, Domain, DomainMap, FiniteDomain, IntRange, Unbounded
 from .enumerate import Assignment, count_models, find_model, iter_models
 from .interface import ConditionSolver, SolverStats
@@ -22,6 +25,13 @@ from .minimize import MinimizeError, minimize
 from .theory import UnsupportedCondition, check_conjunction
 
 __all__ = [
+    "FaureError",
+    "BudgetExceeded",
+    "SolverFailure",
+    "ConditionTooLarge",
+    "Governor",
+    "Verdict",
+    "Trivalent",
     "BOOL_DOMAIN",
     "Domain",
     "DomainMap",

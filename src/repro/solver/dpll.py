@@ -69,7 +69,7 @@ def iter_branches(condition: Condition) -> Iterator[List[Condition]]:
     raise TypeError(f"condition not in NNF: {condition!r}")
 
 
-def _branch_sat(atoms: List[Condition], domains: DomainMap) -> bool:
+def _branch_sat(atoms: List[Condition], domains: DomainMap, ticker=None) -> bool:
     """Exact satisfiability of one conjunction of atoms.
 
     The theory solver decides quickly; its SAT verdict is then confirmed
@@ -82,32 +82,39 @@ def _branch_sat(atoms: List[Condition], domains: DomainMap) -> bool:
     from ..ctable.condition import conjoin
     from .enumerate import find_model
 
+    if ticker is not None:
+        ticker.tick()
     verdict = check_conjunction(atoms, domains)
     if verdict == UNSAT:
         return False
     conj = conjoin(atoms)
     cvars = conj.cvariables()
     if domains.all_finite(cvars):
-        return find_model(conj, domains) is not None
+        return find_model(conj, domains, ticker=ticker) is not None
     return True
 
 
-def is_satisfiable_dpll(condition: Condition, domains: DomainMap) -> bool:
+def is_satisfiable_dpll(condition: Condition, domains: DomainMap, ticker=None) -> bool:
     """Satisfiability by branch exploration with theory pruning.
 
     Explores DNF branches of the NNF'd condition; intermediate prefixes
     are pruned by the (fast, sound-for-UNSAT) theory solver, and a branch
     is accepted only after exact confirmation by :func:`_branch_sat`.
+    ``ticker`` is a cooperative cancellation token (see
+    :class:`~repro.robustness.governor.WorkTicket`) ticked once per
+    explored node, so the governor can stop a pathological exploration.
     """
     nnf = to_nnf(condition)
 
     def explore(cond: Condition, prefix: List[Condition]) -> bool:
+        if ticker is not None:
+            ticker.tick()
         if isinstance(cond, TrueCond):
-            return _branch_sat(prefix, domains)
+            return _branch_sat(prefix, domains, ticker)
         if isinstance(cond, FalseCond):
             return False
         if isinstance(cond, (Comparison, LinearAtom)):
-            return _branch_sat(prefix + [cond], domains)
+            return _branch_sat(prefix + [cond], domains, ticker)
         if isinstance(cond, Or):
             return any(explore(child, prefix) for child in cond.children)
         if isinstance(cond, And):
@@ -129,11 +136,11 @@ def is_satisfiable_dpll(condition: Condition, domains: DomainMap) -> bool:
         if check_conjunction(new_prefix, domains) == UNSAT:
             return False
         if not compounds:
-            return _branch_sat(new_prefix, domains)
+            return _branch_sat(new_prefix, domains, ticker)
 
         def rec(i: int, pref: List[Condition]) -> bool:
             if i == len(compounds):
-                return _branch_sat(pref, domains)
+                return _branch_sat(pref, domains, ticker)
             node = compounds[i]
             if isinstance(node, Or):
                 return any(
@@ -145,6 +152,8 @@ def is_satisfiable_dpll(condition: Condition, domains: DomainMap) -> bool:
 
         def rec_branch(node: Condition, i: int, pref: List[Condition]) -> bool:
             for branch in iter_branches(node):
+                if ticker is not None:
+                    ticker.tick()
                 candidate = pref + branch
                 if check_conjunction(candidate, domains) == UNSAT:
                     continue

@@ -51,16 +51,22 @@ def iter_models(
     condition: Condition,
     domains: DomainMap,
     variables: Optional[Iterable[CVariable]] = None,
+    ticker=None,
 ) -> Iterator[Assignment]:
     """Yield every total assignment satisfying ``condition``.
 
     ``variables`` widens (or narrows — not recommended) the enumeration
     set; by default the condition's own c-variables are used.  All
-    enumerated variables must have finite domains.
+    enumerated variables must have finite domains.  ``ticker`` is an
+    optional :class:`~repro.robustness.governor.WorkTicket`-like object
+    whose ``tick()`` is called once per search node, giving the governor
+    a cooperative cancellation point inside the exponential loop.
     """
     order = _ordered_variables(condition, domains, variables)
 
     def recurse(idx: int, residual: Condition, partial: Assignment) -> Iterator[Assignment]:
+        if ticker is not None:
+            ticker.tick()
         if isinstance(residual, FalseCond):
             return
         if idx == len(order):
@@ -80,9 +86,10 @@ def find_model(
     condition: Condition,
     domains: DomainMap,
     variables: Optional[Iterable[CVariable]] = None,
+    ticker=None,
 ) -> Optional[Assignment]:
     """First satisfying assignment, or ``None`` when unsatisfiable."""
-    for model in iter_models(condition, domains, variables):
+    for model in iter_models(condition, domains, variables, ticker=ticker):
         return model
     return None
 
@@ -91,9 +98,10 @@ def count_models(
     condition: Condition,
     domains: DomainMap,
     variables: Optional[Iterable[CVariable]] = None,
+    ticker=None,
 ) -> int:
     """Number of satisfying total assignments."""
-    return sum(1 for _ in iter_models(condition, domains, variables))
+    return sum(1 for _ in iter_models(condition, domains, variables, ticker=ticker))
 
 
 def is_satisfiable_enum(condition: Condition, domains: DomainMap) -> bool:

@@ -12,6 +12,20 @@ through the DPLL(T) branch-and-check driver.  Verdicts are cached per
 condition, and wall-clock spent inside the solver is accounted in
 :class:`SolverStats` so the benchmark harness can report the paper's
 "sql time vs Z3 time" split.
+
+Resource governance: when a
+:class:`~repro.robustness.governor.Governor` is attached, every
+decision flows through it — call budgets, deadlines, condition-size
+ceilings, and injected faults all surface as
+:class:`~repro.robustness.errors.BudgetExceeded` (or siblings) inside a
+call.  The three-valued entry points (:meth:`sat_verdict`,
+:meth:`implies_verdict`, :meth:`valid_verdict`) convert those to
+``UNKNOWN`` in ``degrade`` mode; the boolean legacy entry points
+(:meth:`is_satisfiable`, :meth:`implies`, ...) demand a definite answer
+and raise when none is available.  Escalation order inside one call:
+exact enumeration (half the step budget) → DPLL(T) (the remainder) →
+``UNKNOWN``.  Without a governor, behavior is byte-identical to the
+ungoverned solver.
 """
 
 from __future__ import annotations
@@ -31,11 +45,17 @@ from ..ctable.condition import (
     disjoin,
 )
 from ..ctable.terms import Constant, CVariable
+from ..robustness.errors import BudgetExceeded, ConditionTooLarge, SolverFailure
+from ..robustness.governor import Governor
+from ..robustness.verdict import Trivalent, Verdict
 from .domains import DomainMap
 from .dpll import is_satisfiable_dpll
 from .enumerate import Assignment, count_models, find_model, iter_models
 
 __all__ = ["ConditionSolver", "SolverStats"]
+
+#: Failure classes the governor can signal from inside a decision call.
+_GOVERNED_FAILURES = (BudgetExceeded, SolverFailure, ConditionTooLarge)
 
 
 @dataclass
@@ -48,6 +68,9 @@ class SolverStats:
     enumeration_used: int = 0
     dpll_used: int = 0
     time_seconds: float = 0.0
+    unknown_verdicts: int = 0
+    budget_hits: int = 0
+    fallbacks: int = 0
 
     def reset(self) -> None:
         self.sat_calls = 0
@@ -56,6 +79,9 @@ class SolverStats:
         self.enumeration_used = 0
         self.dpll_used = 0
         self.time_seconds = 0.0
+        self.unknown_verdicts = 0
+        self.budget_hits = 0
+        self.fallbacks = 0
 
 
 class ConditionSolver:
@@ -68,56 +94,130 @@ class ConditionSolver:
     enumeration_limit:
         Maximum product of domain sizes for which exact enumeration is
         attempted; larger (or unbounded) instances use DPLL(T).
+    governor:
+        Optional resource governor; see the module docstring.  ``None``
+        (the default) disables governance entirely.
     """
 
-    def __init__(self, domains: Optional[DomainMap] = None, enumeration_limit: int = 1 << 20):
+    def __init__(
+        self,
+        domains: Optional[DomainMap] = None,
+        enumeration_limit: int = 1 << 20,
+        governor: Optional[Governor] = None,
+    ):
         self.domains = domains if domains is not None else DomainMap()
         self.enumeration_limit = enumeration_limit
+        self.governor = governor
         self.stats = SolverStats()
         self._sat_cache: Dict[Condition, bool] = {}
 
     # -- core decisions ----------------------------------------------------
 
-    def is_satisfiable(self, condition: Condition) -> bool:
-        """True when some assignment of the c-variables satisfies it."""
+    def sat_verdict(self, condition: Condition) -> Verdict:
+        """Three-valued satisfiability.
+
+        ``UNKNOWN`` is returned (never cached) when the governor's
+        budget runs out in ``degrade`` mode; in ``fail`` mode (or from
+        the boolean entry points) the failure propagates instead.
+        """
         self.stats.sat_calls += 1
         if isinstance(condition, TrueCond):
-            return True
+            return Verdict.SAT
         if isinstance(condition, FalseCond):
-            return False
+            return Verdict.UNSAT
         cached = self._sat_cache.get(condition)
         if cached is not None:
             self.stats.cache_hits += 1
-            return cached
+            return Verdict.from_bool(cached)
         start = time.perf_counter()
         try:
             result = self._decide_sat(condition)
+        except _GOVERNED_FAILURES as exc:
+            if isinstance(exc, BudgetExceeded):
+                self.stats.budget_hits += 1
+            if self.governor is None or not self.governor.degrade:
+                raise
+            self.stats.unknown_verdicts += 1
+            self.governor.events.unknown_verdicts += 1
+            return Verdict.UNKNOWN
         finally:
+            # try/finally so wall-clock is accounted even when a solver
+            # routine raises (budget exhaustion, injected faults, ...).
             self.stats.time_seconds += time.perf_counter() - start
         self._sat_cache[condition] = result
-        return result
+        return Verdict.from_bool(result)
+
+    def is_satisfiable(self, condition: Condition) -> bool:
+        """True when some assignment of the c-variables satisfies it.
+
+        Boolean façade over :meth:`sat_verdict`; demands a definite
+        answer, so budget exhaustion raises instead of degrading.
+        """
+        return self.sat_verdict(condition).as_bool()
 
     def _decide_sat(self, condition: Condition) -> bool:
+        """Two-stage decision with governed escalation.
+
+        Stage 1 — exact enumeration when every domain is finite and the
+        product is tractable, under half the per-call step budget.
+        Stage 2 — on a stage-1 step-budget exhaustion, *fall over* to
+        the DPLL(T) driver with the remaining budget (its theory-guided
+        pruning often decides instances enumeration cannot).  A failure
+        in the final stage propagates to :meth:`sat_verdict`.
+        """
+        gov = self.governor
+        ticket = gov.begin_solver_call(condition) if gov is not None else None
         cvars = condition.cvariables()
         size = self.domains.enumeration_size(cvars)
         if size is not None and size <= self.enumeration_limit:
             self.stats.enumeration_used += 1
-            return find_model(condition, self.domains) is not None
+            if ticket is None:
+                return find_model(condition, self.domains) is not None
+            try:
+                sub = ticket.sub(0.5)
+                return find_model(condition, self.domains, ticker=sub) is not None
+            except BudgetExceeded as exc:
+                if exc.resource != "steps":
+                    raise  # deadline/injected: no point retrying in-call
+                self.stats.fallbacks += 1
+                gov.events.fallbacks += 1
+                self.stats.dpll_used += 1
+                return is_satisfiable_dpll(
+                    condition, self.domains, ticker=ticket.sub(1.0)
+                )
         self.stats.dpll_used += 1
-        return is_satisfiable_dpll(condition, self.domains)
+        return is_satisfiable_dpll(condition, self.domains, ticker=ticket)
+
+    def valid_verdict(self, condition: Condition) -> Trivalent:
+        """Three-valued validity (truth in every assignment)."""
+        verdict = self.sat_verdict(condition.negate())
+        if verdict is Verdict.UNSAT:
+            return Trivalent.TRUE
+        if verdict is Verdict.SAT:
+            return Trivalent.FALSE
+        return Trivalent.UNKNOWN
 
     def is_valid(self, condition: Condition) -> bool:
         """True when every assignment satisfies the condition."""
-        return not self.is_satisfiable(condition.negate())
+        return self.valid_verdict(condition).as_bool()
+
+    def implies_verdict(self, antecedent: Condition, consequent: Condition) -> Trivalent:
+        """Three-valued entailment."""
+        self.stats.implication_calls += 1
+        if isinstance(consequent, TrueCond) or isinstance(antecedent, FalseCond):
+            return Trivalent.TRUE
+        if antecedent == consequent:
+            return Trivalent.TRUE
+        verdict = self.sat_verdict(conjoin([antecedent, consequent.negate()]))
+        if verdict is Verdict.UNSAT:
+            return Trivalent.TRUE
+        if verdict is Verdict.SAT:
+            return Trivalent.FALSE
+        return Trivalent.UNKNOWN
 
     def implies(self, antecedent: Condition, consequent: Condition) -> bool:
         """Entailment: every model of ``antecedent`` satisfies ``consequent``."""
-        self.stats.implication_calls += 1
-        if isinstance(consequent, TrueCond) or isinstance(antecedent, FalseCond):
-            return True
-        if antecedent == consequent:
-            return True
-        return not self.is_satisfiable(conjoin([antecedent, consequent.negate()]))
+        return self.implies_verdict(antecedent, consequent).as_bool()
 
     def equivalent(self, a: Condition, b: Condition) -> bool:
         """Mutual entailment."""
@@ -140,22 +240,37 @@ class ConditionSolver:
             return {} if self.is_satisfiable(condition) else None
         cvars = condition.cvariables()
         if self.domains.all_finite(cvars):
-            return find_model(condition, self.domains)
+            start = time.perf_counter()
+            try:
+                return find_model(condition, self.domains)
+            finally:
+                self.stats.time_seconds += time.perf_counter() - start
         if self.is_satisfiable(condition):
             raise ValueError("model extraction requires finite domains")
         return None
 
     def model_count(self, condition: Condition) -> int:
         """Exact model count over the condition's c-variables."""
-        return count_models(condition, self.domains)
+        start = time.perf_counter()
+        try:
+            return count_models(condition, self.domains)
+        finally:
+            self.stats.time_seconds += time.perf_counter() - start
 
     # -- simplification --------------------------------------------------------
 
     def prune(self, condition: Condition) -> Condition:
-        """Collapse to FALSE when unsatisfiable, TRUE when valid."""
-        if not self.is_satisfiable(condition):
+        """Collapse to FALSE when unsatisfiable, TRUE when valid.
+
+        Degrades soundly: an ``UNKNOWN`` verdict leaves the condition
+        untouched (equivalent, merely unsimplified).
+        """
+        verdict = self.sat_verdict(condition)
+        if verdict is Verdict.UNSAT:
             return FALSE
-        if self.is_valid(condition):
+        if verdict is Verdict.UNKNOWN:
+            return condition
+        if self.valid_verdict(condition) is Trivalent.TRUE:
             return TRUE
         return condition
 
@@ -165,7 +280,8 @@ class ConditionSolver:
         Collapses unsatisfiable/valid conditions, drops redundant
         conjuncts (conjuncts implied by the remaining ones) and dead
         disjuncts (unsatisfiable arms).  Result is equivalent to the
-        input under the solver's domain map.
+        input under the solver's domain map.  Every rewrite requires a
+        *definite* verdict, so ``UNKNOWN`` keeps the subterm.
         """
         pruned = self.prune(condition)
         if isinstance(pruned, (TrueCond, FalseCond)):
@@ -175,12 +291,12 @@ class ConditionSolver:
             kept: List[Condition] = []
             for i, child in enumerate(children):
                 rest = kept + children[i + 1:]
-                if rest and self.implies(conjoin(rest), child):
+                if rest and self.implies_verdict(conjoin(rest), child) is Trivalent.TRUE:
                     continue
                 kept.append(child)
             return conjoin(kept)
         if hasattr(pruned, "children") and pruned.__class__.__name__ == "Or":
-            kept = [c for c in pruned.children if self.is_satisfiable(c)]
+            kept = [c for c in pruned.children if self.sat_verdict(c) is not Verdict.UNSAT]
             return disjoin(kept)
         return pruned
 
@@ -191,4 +307,4 @@ class ConditionSolver:
 
     def with_domains(self, domains: DomainMap) -> "ConditionSolver":
         """A sibling solver over different domain declarations."""
-        return ConditionSolver(domains, self.enumeration_limit)
+        return ConditionSolver(domains, self.enumeration_limit, governor=self.governor)

@@ -16,8 +16,9 @@ from typing import Dict, List, Optional, Sequence
 from ..ctable.condition import Condition, FALSE, TRUE, disjoin
 from ..ctable.table import Database
 from ..faurelog.ast import Program
-from ..faurelog.evaluation import evaluate
+from ..faurelog.evaluation import FaureEvaluator
 from ..faurelog.parser import parse_program
+from ..robustness.verdict import Trivalent, Verdict
 from ..solver.interface import ConditionSolver
 
 __all__ = ["Constraint", "Status", "CheckResult"]
@@ -30,6 +31,10 @@ class Status(enum.Enum):
     VIOLATED = "violated"  # every possible world violates
     CONDITIONAL = "conditional"  # violated exactly in the worlds of the condition
     UNKNOWN = "unknown"  # the test could not decide (needs more information)
+    # A resource budget ran out before the test finished: *not* a
+    # verdict about the network — retry with a larger budget.  Distinct
+    # from UNKNOWN, which means "needs more information".
+    INCONCLUSIVE = "inconclusive"
 
 
 @dataclass
@@ -74,16 +79,57 @@ class Constraint:
         This is the *most informed* test — it requires the full c-table
         state.  The violation condition is the disjunction of derived
         panic conditions; HOLDS/VIOLATED are its unsat/valid collapses.
+
+        Degradation is explicit, never silently wrong: if the fixpoint
+        was cut short by a budget, or the solver cannot decide the
+        combined condition, the result is ``INCONCLUSIVE`` — a partial
+        fixpoint under-approximates the panic set, so "no panic found"
+        does not mean "holds".  ``VIOLATED``/``CONDITIONAL`` from
+        partial evidence remain sound in the violation direction (every
+        derived panic is real) and carry a clarifying ``detail``.
         """
-        result = evaluate(self.program, database, solver=solver)
+        evaluator = FaureEvaluator(database, solver=solver)
+        result = evaluator.evaluate(self.program)
+        partial = evaluator.partial
         conditions: List[Condition] = []
         if target in result:
             conditions = [t.condition for t in result.table(target)]
         if not conditions:
+            if partial:
+                return CheckResult(
+                    Status.INCONCLUSIVE,
+                    detail="fixpoint interrupted by budget; no panic derived so far",
+                )
             return CheckResult(Status.HOLDS)
         combined = disjoin(conditions)
-        if not solver.is_satisfiable(combined):
+        sat = solver.sat_verdict(combined)
+        if sat is Verdict.UNKNOWN:
+            return CheckResult(
+                Status.INCONCLUSIVE,
+                combined,
+                detail="solver budget exhausted on the violation condition",
+            )
+        if sat is Verdict.UNSAT:
+            if partial:
+                return CheckResult(
+                    Status.INCONCLUSIVE,
+                    detail="fixpoint interrupted by budget; derived panics unsatisfiable",
+                )
             return CheckResult(Status.HOLDS)
-        if solver.is_valid(combined):
-            return CheckResult(Status.VIOLATED, TRUE)
+        valid = solver.valid_verdict(combined)
+        if valid is Trivalent.TRUE:
+            detail = "derived from a partial fixpoint" if partial else ""
+            return CheckResult(Status.VIOLATED, TRUE, detail=detail)
+        if valid is Trivalent.UNKNOWN:
+            return CheckResult(
+                Status.INCONCLUSIVE,
+                combined,
+                detail="solver budget exhausted on the validity check",
+            )
+        if partial:
+            return CheckResult(
+                Status.INCONCLUSIVE,
+                combined,
+                detail="fixpoint interrupted by budget; violation condition is a lower bound",
+            )
         return CheckResult(Status.CONDITIONAL, combined)

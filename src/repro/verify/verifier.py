@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from ..ctable.condition import Condition, FALSE
 from ..ctable.table import Database
 from ..faurelog.rewrite import Update, apply_update
+from ..robustness.errors import FaureError
 from ..solver.domains import Domain
 from ..solver.interface import ConditionSolver
 from .constraints import CheckResult, Constraint, Status
@@ -79,12 +80,19 @@ class RelativeCompleteVerifier:
         schemas: Optional[Dict[str, Sequence[str]]] = None,
         column_domains: Optional[Dict[str, Domain]] = None,
         generic_rows: Optional[int] = None,
+        budget_retries: int = 1,
+        budget_growth: float = 4.0,
     ):
         self.known = list(known_constraints)
         self.solver = solver
         self.schemas = schemas
         self.column_domains = column_domains
         self.generic_rows = generic_rows
+        #: Verification wants definite answers: an INCONCLUSIVE direct
+        #: check is retried up to this many times, scaling every budget
+        #: of the solver's governor by ``budget_growth`` each attempt.
+        self.budget_retries = budget_retries
+        self.budget_growth = budget_growth
 
     def verify(
         self,
@@ -98,40 +106,73 @@ class RelativeCompleteVerifier:
         after category (ii).  The verdict's trail records each attempt.
         """
         trail: List[str] = []
+        degrade = self.solver.governor is not None and self.solver.governor.degrade
 
-        # Level 1: constraints only.
-        sub = check_subsumption(
-            target,
-            self.known,
-            self.solver,
-            schemas=self.schemas,
-            column_domains=self.column_domains,
-            generic_rows=self.generic_rows,
-        )
-        trail.append(f"category(i) subsumption: {sub}")
-        if sub.verdict is SubsumptionVerdict.SUBSUMED:
-            return Verdict(Status.HOLDS, Level.CONSTRAINTS, trail=trail)
-
-        # Level 2: + update.
-        if update is not None:
-            sub2 = check_with_update(
+        # Level 1: constraints only.  The subsumption tests internally
+        # demand definite solver answers; under a degrading governor a
+        # budget failure is not an error, just "this level cannot
+        # decide" — fall through to the next rung of the ladder.
+        try:
+            sub = check_subsumption(
                 target,
                 self.known,
-                update,
                 self.solver,
                 schemas=self.schemas,
                 column_domains=self.column_domains,
                 generic_rows=self.generic_rows,
             )
-            trail.append(f"category(ii) rewrite+subsumption: {sub2}")
-            if sub2.verdict is SubsumptionVerdict.SUBSUMED:
-                return Verdict(Status.HOLDS, Level.UPDATE, trail=trail)
+        except FaureError as exc:
+            if not degrade:
+                raise
+            trail.append(f"category(i) subsumption: inconclusive ({exc})")
+        else:
+            trail.append(f"category(i) subsumption: {sub}")
+            if sub.verdict is SubsumptionVerdict.SUBSUMED:
+                return Verdict(Status.HOLDS, Level.CONSTRAINTS, trail=trail)
+
+        # Level 2: + update.
+        if update is not None:
+            try:
+                sub2 = check_with_update(
+                    target,
+                    self.known,
+                    update,
+                    self.solver,
+                    schemas=self.schemas,
+                    column_domains=self.column_domains,
+                    generic_rows=self.generic_rows,
+                )
+            except FaureError as exc:
+                if not degrade:
+                    raise
+                trail.append(f"category(ii) rewrite+subsumption: inconclusive ({exc})")
+            else:
+                trail.append(f"category(ii) rewrite+subsumption: {sub2}")
+                if sub2.verdict is SubsumptionVerdict.SUBSUMED:
+                    return Verdict(Status.HOLDS, Level.UPDATE, trail=trail)
 
         # Level 3: + full state (direct, possibly conditional, check).
         if state is not None:
             checked_state = apply_update(state, update) if update is not None else state
             result = target.check(checked_state, self.solver)
             trail.append(f"direct check: {result}")
+            # Retry-with-larger-budget: verification is where a definite
+            # answer matters, so an INCONCLUSIVE (budget-starved) check
+            # escalates — scale the governor's budgets and re-run.
+            governor = self.solver.governor
+            attempt = 0
+            while (
+                result.status is Status.INCONCLUSIVE
+                and governor is not None
+                and attempt < self.budget_retries
+            ):
+                attempt += 1
+                governor.scale(self.budget_growth)
+                governor.start()
+                result = target.check(checked_state, self.solver)
+                trail.append(
+                    f"direct check (budget x{self.budget_growth ** attempt:g}): {result}"
+                )
             return Verdict(
                 result.status,
                 Level.STATE,

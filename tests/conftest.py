@@ -1,6 +1,15 @@
-"""Shared fixtures: the paper's running examples, ready to use."""
+"""Shared fixtures: the paper's running examples, ready to use.
+
+Also installs a global per-test wall-clock timeout (SIGALRM based, so no
+extra dependency): solver routines are worst-case exponential, and a
+future hang should fail one test fast instead of wedging the whole
+suite.  Override with ``FAURE_TEST_TIMEOUT=<seconds>`` (0 disables).
+"""
 
 from __future__ import annotations
+
+import os
+import signal
 
 import pytest
 
@@ -17,6 +26,30 @@ from repro.network.enterprise import (
 )
 from repro.network.frr import paper_figure1
 from repro.solver import BOOL_DOMAIN, ConditionSolver, DomainMap, FiniteDomain, Unbounded
+
+
+_TEST_TIMEOUT_SECONDS = float(os.environ.get("FAURE_TEST_TIMEOUT", "120"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if _TEST_TIMEOUT_SECONDS <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the global {_TEST_TIMEOUT_SECONDS:g}s timeout "
+            f"(set FAURE_TEST_TIMEOUT to change)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -42,7 +42,7 @@ class TestEvalStats:
 
     def test_row_shape(self):
         row = EvalStats(sql_seconds=0.12345).row()
-        assert set(row) == {"sql", "solver", "tuples", "pruned"}
+        assert set(row) == {"sql", "solver", "tuples", "pruned", "unknown"}
         assert row["sql"] == 0.1234 or row["sql"] == 0.1235
 
     def test_reset(self):

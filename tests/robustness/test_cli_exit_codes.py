@@ -1,0 +1,127 @@
+"""Distinct CLI exit codes for distinct failure classes.
+
+Scripts wrapping ``python -m repro`` need to tell "your input is broken"
+(exit 2) apart from "the resource budget ran out" (exit 3) and "the
+solver itself failed" (exit 4).
+"""
+
+import pytest
+
+from repro.cli import (
+    EXIT_BUDGET,
+    EXIT_PARSE_ERROR,
+    EXIT_SOLVER_FAILURE,
+    main,
+)
+from repro.ctable import Database, cvar, eq
+from repro.ctable.io import dump_database
+from repro.robustness import SolverFailure
+from repro.solver import BOOL_DOMAIN, DomainMap
+
+RECURSIVE = "R(a,b) :- F(a,b). R(a,b) :- F(a,c), R(c,b)."
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    db = Database()
+    t = db.create_table("F", ["a", "b"])
+    t.add([1, 2], eq(cvar("x"), 1))
+    t.add([2, 3])
+    path = tmp_path / "db.json"
+    path.write_text(dump_database(db, DomainMap({cvar("x"): BOOL_DOMAIN})))
+    return path
+
+
+def test_parse_error_is_exit_2(db_file, capsys):
+    code = main(["query", "--db", str(db_file), "--program", "((("])
+    assert code == EXIT_PARSE_ERROR
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_file_is_exit_2():
+    assert main(
+        ["query", "--db", "/no/such.json", "--program", "A(a) :- F(a, b)."]
+    ) == EXIT_PARSE_ERROR
+
+
+def test_blown_deadline_in_fail_mode_is_exit_3(db_file, capsys):
+    code = main(
+        [
+            "query",
+            "--db",
+            str(db_file),
+            "--program",
+            RECURSIVE,
+            "--deadline",
+            "0",
+            "--on-budget",
+            "fail",
+        ]
+    )
+    assert code == EXIT_BUDGET
+    assert "budget error:" in capsys.readouterr().err
+
+
+def test_exhausted_call_budget_in_fail_mode_is_exit_3(db_file):
+    code = main(
+        [
+            "query",
+            "--db",
+            str(db_file),
+            "--program",
+            RECURSIVE,
+            "--solver-budget",
+            "0",
+            "--on-budget",
+            "fail",
+        ]
+    )
+    assert code == EXIT_BUDGET
+
+
+def test_degrade_mode_exits_zero_with_partial_banner(db_file, capsys):
+    code = main(
+        [
+            "query",
+            "--db",
+            str(db_file),
+            "--program",
+            RECURSIVE,
+            "--deadline",
+            "0",
+            "--on-budget",
+            "degrade",
+        ]
+    )
+    assert code == 0
+    assert "[PARTIAL: budget exhausted]" in capsys.readouterr().out
+
+
+def test_governed_run_without_pressure_is_exit_zero(db_file, capsys):
+    code = main(
+        [
+            "query",
+            "--db",
+            str(db_file),
+            "--program",
+            RECURSIVE,
+            "--deadline",
+            "300",
+            "--solver-budget",
+            "100000",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tuples derived" in out
+    assert "PARTIAL" not in out
+
+
+def test_solver_failure_is_exit_4(monkeypatch, db_file, capsys):
+    def explode(args):
+        raise SolverFailure("backend crashed")
+
+    monkeypatch.setattr("repro.cli._cmd_query", explode)
+    code = main(["query", "--db", str(db_file), "--program", "A(a) :- F(a, b)."])
+    assert code == EXIT_SOLVER_FAILURE
+    assert "solver error:" in capsys.readouterr().err

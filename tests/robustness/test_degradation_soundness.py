@@ -1,0 +1,168 @@
+"""Property-style soundness of every degradation path.
+
+The central claim of ``docs/ROBUSTNESS.md``: keep-on-UNKNOWN changes
+*nothing* about the possible-worlds semantics of a result c-table.  For
+randomly generated small databases and a pool of program shapes, a run
+with ≥ 30% of solver calls fault-injected to UNKNOWN must satisfy
+
+    possible_worlds(degraded result) = possible_worlds(exact result)
+
+world by world (⊇ holds trivially since = does), and with injection off
+the governed run must be byte-identical to the ungoverned seed behavior
+with zero UNKNOWN verdicts.
+"""
+
+import random
+
+import pytest
+
+from repro.ctable.condition import TRUE, conjoin, disjoin, eq, ne
+from repro.ctable.table import CTable, Database
+from repro.ctable.terms import CVariable
+from repro.ctable.worlds import instantiate_table, iter_assignments
+from repro.engine.algebra import ColumnRef, Join, Pred, Scan, Selection
+from repro.engine.pipeline import run_eager, run_lazy
+from repro.engine.stats import EvalStats
+from repro.faurelog.evaluation import FaureEvaluator
+from repro.faurelog.parser import parse_program
+from repro.robustness import FaultInjector, FaultPlan, Governor
+from repro.solver.domains import DomainMap, FiniteDomain
+from repro.solver.interface import ConditionSolver
+
+UNIVERSE = [0, 1, 2]
+CVARS = [CVariable("w0"), CVariable("w1")]
+DOMAINS = DomainMap({v: FiniteDomain(UNIVERSE) for v in CVARS})
+
+PROGRAMS = [
+    "Out(x, z) :- B(x, y), B(y, z).",
+    "Out(x, y) :- B(x, y), A(x).",
+    "Out(x, y) :- B(x, y), x != y.",
+    "Out(x) :- A(x), not Blocked(x). Blocked(x) :- B(x, x).",
+    "Out(x, y) :- B(x, y). Out(x, y) :- B(x, z), Out(z, y).",
+]
+
+
+def random_database(rng: random.Random) -> Database:
+    conditions = [
+        TRUE,
+        eq(CVARS[0], 0),
+        ne(CVARS[0], 1),
+        eq(CVARS[1], 2),
+        conjoin([eq(CVARS[0], 0), ne(CVARS[1], 0)]),
+        disjoin([eq(CVARS[0], 1), eq(CVARS[1], 1)]),
+    ]
+
+    def value():
+        if rng.random() < 0.25:
+            return rng.choice(CVARS)
+        return rng.choice(UNIVERSE)
+
+    db = Database()
+    a = db.create_table("A", ["x"])
+    for _ in range(rng.randint(0, 3)):
+        a.add([value()], rng.choice(conditions))
+    b = db.create_table("B", ["x", "y"])
+    for _ in range(rng.randint(1, 5)):
+        b.add([value(), value()], rng.choice(conditions))
+    return db
+
+
+def worlds_of(table: CTable):
+    """Map each total assignment to the instantiated relation."""
+    cvars = sorted(table.cvariables(), key=lambda v: v.name)
+    return {
+        tuple(sorted((v.name, a[v]) for v in cvars)): instantiate_table(table, a)
+        for a in iter_assignments(cvars, DOMAINS)
+    }
+
+
+def merged_worlds(tables):
+    """World-by-world union across the result tables of one predicate set."""
+    out = {}
+    for table in tables:
+        for key, rows in worlds_of(table).items():
+            out.setdefault(key, frozenset())
+            out[key] = out[key] | rows
+    return out
+
+
+def injected_solver(plan: FaultPlan) -> ConditionSolver:
+    gov = Governor(injector=FaultInjector(plan), on_budget="degrade")
+    gov.start()
+    return ConditionSolver(DOMAINS, governor=gov)
+
+
+@pytest.mark.parametrize("program_text", PROGRAMS)
+@pytest.mark.parametrize("seed", [1, 7, 42, 2026])
+def test_fixpoint_worlds_equal_under_injection(program_text, seed):
+    """Degraded fixpoint results denote exactly the same possible worlds."""
+    rng = random.Random(seed)
+    db = random_database(rng)
+    program = parse_program(program_text)
+
+    exact = FaureEvaluator(db, solver=ConditionSolver(DOMAINS))
+    exact_out = exact.evaluate(program).table("Out")
+
+    solver = injected_solver(FaultPlan(timeout_every=2))  # 50% of calls
+    degraded = FaureEvaluator(db, solver=solver)
+    degraded_out = degraded.evaluate(program).table("Out")
+
+    injector = solver.governor.injector
+    if injector.calls >= 4:
+        assert injector.total_injected / injector.calls >= 0.3
+    # Every possible world agrees: degradation trades simplification,
+    # never information (= implies the required ⊇).
+    assert worlds_of(degraded_out) == worlds_of(exact_out), (program_text, seed)
+    # The degraded table can only be larger (kept tuples, skipped merges).
+    assert len(degraded_out) >= len(exact_out)
+
+
+@pytest.mark.parametrize("seed", [3, 11, 99])
+@pytest.mark.parametrize("plan", [
+    FaultPlan(timeout_every=2),
+    FaultPlan(timeout_every=3, failure_every=4),
+    FaultPlan(timeout_every=3, failure_every=5, oversize_every=7),
+])
+def test_pipeline_prune_worlds_equal_under_injection(seed, plan):
+    """run_lazy / run_eager degrade soundly under mixed fault classes."""
+    rng = random.Random(seed)
+    db = random_database(rng)
+    plan_node = Selection(
+        Join(Scan("B"), Scan("A"), on=[("y", "x")]),
+        [Pred(ColumnRef("x"), "!=", ColumnRef("y"))],
+    )
+
+    exact, _ = run_lazy(plan_node, db, ConditionSolver(DOMAINS))
+    for runner in (run_lazy, run_eager):
+        solver = injected_solver(plan)
+        stats = EvalStats()
+        degraded, _ = runner(plan_node, db, solver, stats)
+        assert worlds_of(degraded) == worlds_of(exact), (seed, runner.__name__)
+        assert len(degraded) >= len(exact)
+        # Kept-unknown tuples are surfaced in the stats ledger.
+        assert stats.unknown_kept == solver.stats.unknown_verdicts or stats.unknown_kept <= solver.stats.unknown_verdicts
+
+
+@pytest.mark.parametrize("program_text", PROGRAMS)
+def test_no_injection_is_byte_identical(program_text):
+    """A governed run without faults equals the ungoverned run exactly."""
+    rng = random.Random(1234)
+    db = random_database(rng)
+    program = parse_program(program_text)
+
+    baseline = FaureEvaluator(db, solver=ConditionSolver(DOMAINS))
+    baseline_out = baseline.evaluate(program).table("Out")
+
+    gov = Governor(
+        deadline_seconds=300.0, solver_call_budget=10**9, steps_per_call=10**9
+    )
+    gov.start()
+    governed = FaureEvaluator(db, solver=ConditionSolver(DOMAINS, governor=gov))
+    governed_out = governed.evaluate(program).table("Out")
+
+    assert [(t.values, t.condition) for t in governed_out] == [
+        (t.values, t.condition) for t in baseline_out
+    ]
+    assert governed.stats.unknown_kept == 0
+    assert governed.partial is False
+    assert gov.events.unknown_verdicts == 0

@@ -1,0 +1,136 @@
+"""Determinism and scheduling of the fault-injection harness."""
+
+import pytest
+
+from repro.ctable.condition import eq
+from repro.ctable.terms import CVariable
+from repro.robustness import (
+    BudgetExceeded,
+    ConditionTooLarge,
+    FaultInjector,
+    FaultPlan,
+    Governor,
+    SolverFailure,
+    Verdict,
+)
+from repro.solver.domains import BOOL_DOMAIN, DomainMap
+from repro.solver.interface import ConditionSolver
+
+
+def fire_kinds(injector, calls):
+    """Drive the injector ``calls`` times; record which fault (if any) fired."""
+    kinds = []
+    for _ in range(calls):
+        try:
+            injector.on_solver_call()
+            kinds.append(None)
+        except BudgetExceeded:
+            kinds.append("timeout")
+        except SolverFailure:
+            kinds.append("failure")
+        except ConditionTooLarge:
+            kinds.append("oversize")
+    return kinds
+
+
+class TestFaultPlan:
+    def test_rejects_zero_period(self):
+        with pytest.raises(ValueError):
+            FaultPlan(timeout_every=0)
+
+    def test_enabled(self):
+        assert not FaultPlan().enabled
+        assert FaultPlan(failure_every=2).enabled
+
+
+class TestFaultInjector:
+    def test_every_nth_schedule(self):
+        injector = FaultInjector(FaultPlan(timeout_every=3))
+        kinds = fire_kinds(injector, 9)
+        assert kinds == [None, None, "timeout"] * 3
+        assert injector.injected["timeout"] == 3
+
+    def test_deterministic_replay(self):
+        plan = FaultPlan(timeout_every=2, failure_every=3)
+        first = fire_kinds(FaultInjector(plan), 12)
+        second = fire_kinds(FaultInjector(plan), 12)
+        assert first == second
+
+    def test_precedence_timeout_over_failure(self):
+        # Call 6 matches both schedules; only the timeout fires.
+        injector = FaultInjector(FaultPlan(timeout_every=2, failure_every=3))
+        kinds = fire_kinds(injector, 6)
+        assert kinds[5] == "timeout"
+        assert kinds[2] == "failure"  # call 3: failure only
+
+    def test_start_after_grace_period(self):
+        injector = FaultInjector(FaultPlan(timeout_every=1, start_after=4))
+        kinds = fire_kinds(injector, 6)
+        assert kinds == [None, None, None, None, "timeout", "timeout"]
+
+    def test_oversize_schedule(self):
+        injector = FaultInjector(FaultPlan(oversize_every=2))
+        kinds = fire_kinds(injector, 4)
+        assert kinds == [None, "oversize", None, "oversize"]
+
+    def test_reset(self):
+        injector = FaultInjector(FaultPlan(timeout_every=1))
+        fire_kinds(injector, 3)
+        injector.reset()
+        assert injector.calls == 0 and injector.total_injected == 0
+
+    def test_governor_ledger_counts_injections(self):
+        injector = FaultInjector(FaultPlan(timeout_every=2))
+        gov = Governor(injector=injector)
+        gov.start()
+        gov.begin_solver_call()
+        with pytest.raises(BudgetExceeded):
+            gov.begin_solver_call()
+        assert gov.events.injected_faults == 1
+
+
+class TestInjectionThroughSolver:
+    """Injected faults must surface as UNKNOWN (degrade) or raise (fail)."""
+
+    def setup_method(self):
+        self.x = CVariable("x")
+        self.domains = DomainMap({self.x: BOOL_DOMAIN})
+        self.condition = eq(self.x, 1)
+
+    def solver(self, on_budget, plan):
+        gov = Governor(injector=FaultInjector(plan), on_budget=on_budget)
+        gov.start()
+        return ConditionSolver(self.domains, governor=gov)
+
+    def test_degrade_mode_yields_unknown(self):
+        solver = self.solver("degrade", FaultPlan(timeout_every=1))
+        assert solver.sat_verdict(self.condition) is Verdict.UNKNOWN
+        assert solver.stats.unknown_verdicts == 1
+        assert solver.governor.events.unknown_verdicts == 1
+
+    def test_fail_mode_raises(self):
+        solver = self.solver("fail", FaultPlan(timeout_every=1))
+        with pytest.raises(BudgetExceeded):
+            solver.sat_verdict(self.condition)
+
+    def test_spurious_failure_degrades(self):
+        solver = self.solver("degrade", FaultPlan(failure_every=1))
+        assert solver.sat_verdict(self.condition) is Verdict.UNKNOWN
+
+    def test_oversize_degrades(self):
+        solver = self.solver("degrade", FaultPlan(oversize_every=1))
+        assert solver.sat_verdict(self.condition) is Verdict.UNKNOWN
+
+    def test_unknown_is_not_cached(self):
+        # Call 1 injected → UNKNOWN; call 2 clean → definite, proving the
+        # UNKNOWN was never cached.
+        solver = self.solver("degrade", FaultPlan(timeout_every=2, start_after=-1))
+        assert solver.sat_verdict(self.condition) is Verdict.UNKNOWN
+        assert solver.sat_verdict(self.condition) is Verdict.SAT
+
+    def test_time_accounted_even_when_raising(self):
+        solver = self.solver("fail", FaultPlan(timeout_every=1))
+        with pytest.raises(BudgetExceeded):
+            solver.sat_verdict(self.condition)
+        assert solver.stats.time_seconds >= 0.0
+        assert solver.stats.sat_calls == 1

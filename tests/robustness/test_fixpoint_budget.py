@@ -1,0 +1,122 @@
+"""Fixpoint evaluation under mid-iteration budget exhaustion.
+
+A blown deadline must stop the semi-naive loop cleanly: terminate (no
+spin), report partial-result status, and leave the input database
+exactly as it was (the IDB scratch tables are always unwound).
+"""
+
+import pytest
+
+from repro.ctable.condition import eq
+from repro.ctable.table import Database
+from repro.ctable.terms import CVariable
+from repro.faurelog.ast import ProgramError
+from repro.faurelog.evaluation import FaureEvaluator, evaluate
+from repro.faurelog.parser import parse_program
+from repro.robustness import BudgetExceeded, Governor
+from repro.solver.domains import DomainMap, FiniteDomain
+from repro.solver.interface import ConditionSolver
+
+
+class SteppingClock:
+    """Advances a fixed amount every time it is read."""
+
+    def __init__(self, step):
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+CHAIN = "Path(x, y) :- Edge(x, y). Path(x, y) :- Edge(x, z), Path(z, y)."
+
+
+def chain_database(n=6):
+    db = Database()
+    edge = db.create_table("Edge", ["x", "y"])
+    for i in range(n):
+        edge.add([i, i + 1])
+    return db
+
+
+def make_solver(on_budget, clock_step=1.0, deadline=1.0):
+    # With clock_step=1.0 the clock reads 1.0 at start() (deadline_at =
+    # 2.0), passes the first per-rule deadline check at 2.0, and blows
+    # the deadline at the second check (3.0) — i.e. deterministically
+    # mid-iteration, after rule 1 fired and before rule 2 does.
+    gov = Governor(
+        deadline_seconds=deadline,
+        on_budget=on_budget,
+        clock=SteppingClock(clock_step),
+    )
+    gov.start()
+    return ConditionSolver(DomainMap(), governor=gov)
+
+
+def test_degrade_terminates_with_partial_status():
+    db = chain_database()
+    before = {name: len(db.table(name)) for name in db.names()}
+    evaluator = FaureEvaluator(db, solver=make_solver("degrade"))
+    result = evaluator.evaluate(parse_program(CHAIN))
+    assert evaluator.partial is True
+    assert evaluator.stats.partial_results == 1
+    # Partial output under-approximates: strictly fewer Path facts than
+    # the full transitive closure (6+5+4+3+2+1 = 21).
+    assert len(result.table("Path")) < 21
+    # Input database untouched: same tables, same sizes, no leaked IDB.
+    assert {name: len(db.table(name)) for name in db.names()} == before
+    assert "Path" not in db.names()
+
+
+def test_fail_mode_raises_and_restores_database():
+    db = chain_database()
+    evaluator = FaureEvaluator(db, solver=make_solver("fail"))
+    with pytest.raises(BudgetExceeded):
+        evaluator.evaluate(parse_program(CHAIN))
+    assert "Path" not in db.names()
+    assert set(db.names()) == {"Edge"}
+
+
+def test_unexhausted_budget_is_not_partial():
+    db = chain_database()
+    evaluator = FaureEvaluator(
+        db, solver=make_solver("degrade", clock_step=0.0, deadline=60.0)
+    )
+    result = evaluator.evaluate(parse_program(CHAIN))
+    assert evaluator.partial is False
+    assert evaluator.stats.partial_results == 0
+    assert len(result.table("Path")) == 21
+
+
+def test_partial_flag_resets_between_runs():
+    db = chain_database()
+    solver = make_solver("degrade")
+    evaluator = FaureEvaluator(db, solver=solver)
+    evaluator.evaluate(parse_program(CHAIN))
+    assert evaluator.partial is True
+    # Re-arm generously: the second evaluation must clear the flag.
+    solver.governor.deadline_seconds = 1e9
+    solver.governor.start()
+    evaluator.evaluate(parse_program(CHAIN))
+    assert evaluator.partial is False
+
+
+def test_partial_status_flows_into_stats():
+    from repro.engine.stats import EvalStats
+
+    db = chain_database()
+    stats = EvalStats()
+    evaluate(parse_program(CHAIN), db, solver=make_solver("degrade"), stats=stats)
+    assert stats.partial_results == 1
+    assert stats.degraded
+
+
+def test_max_iterations_safety_valve_still_works():
+    db = chain_database()
+    evaluator = FaureEvaluator(
+        db, solver=ConditionSolver(DomainMap()), max_iterations=1
+    )
+    with pytest.raises(ProgramError):
+        evaluator.evaluate(parse_program(CHAIN))

@@ -1,0 +1,170 @@
+"""Unit tests for the Governor: budgets, deadlines, ceilings, tickets."""
+
+import pytest
+
+from repro.ctable.condition import conjoin, disjoin, eq, ne
+from repro.ctable.terms import CVariable
+from repro.robustness import (
+    BudgetExceeded,
+    ConditionTooLarge,
+    FaureError,
+    Governor,
+    SolverFailure,
+    Trivalent,
+    Verdict,
+    WorkTicket,
+)
+
+
+class FakeClock:
+    """Deterministic clock; advances only when told to."""
+
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+x = CVariable("x")
+y = CVariable("y")
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_faure_error(self):
+        for cls in (BudgetExceeded, SolverFailure, ConditionTooLarge):
+            assert issubclass(cls, FaureError)
+
+    def test_budget_resource_tag(self):
+        exc = BudgetExceeded("out of time", resource="deadline")
+        assert exc.resource == "deadline"
+
+    def test_condition_too_large_payload(self):
+        exc = ConditionTooLarge("too big", atoms=12, limit=4)
+        assert exc.atoms == 12 and exc.limit == 4
+
+
+class TestVerdicts:
+    def test_from_bool_roundtrip(self):
+        assert Verdict.from_bool(True) is Verdict.SAT
+        assert Verdict.from_bool(False) is Verdict.UNSAT
+        assert Verdict.SAT.as_bool() is True
+        assert Verdict.UNSAT.as_bool() is False
+
+    def test_unknown_as_bool_raises(self):
+        with pytest.raises(BudgetExceeded):
+            Verdict.UNKNOWN.as_bool()
+        with pytest.raises(BudgetExceeded):
+            Trivalent.UNKNOWN.as_bool()
+
+    def test_definiteness(self):
+        assert Verdict.SAT.is_definite and Verdict.UNSAT.is_definite
+        assert not Verdict.UNKNOWN.is_definite
+
+
+class TestGovernorBudgets:
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError):
+            Governor(on_budget="explode")
+
+    def test_call_budget_exhaustion(self):
+        gov = Governor(solver_call_budget=2)
+        gov.start()
+        gov.begin_solver_call()
+        gov.begin_solver_call()
+        with pytest.raises(BudgetExceeded) as info:
+            gov.begin_solver_call()
+        assert info.value.resource == "solver-calls"
+        assert gov.events.budget_hits == 1
+
+    def test_start_resets_call_counter(self):
+        gov = Governor(solver_call_budget=1)
+        gov.start()
+        gov.begin_solver_call()
+        gov.start()
+        gov.begin_solver_call()  # fresh query, fresh budget
+
+    def test_deadline(self):
+        clock = FakeClock()
+        gov = Governor(deadline_seconds=5.0, clock=clock)
+        gov.start()
+        gov.check_deadline()  # within budget
+        clock.advance(6.0)
+        with pytest.raises(BudgetExceeded) as info:
+            gov.check_deadline()
+        assert info.value.resource == "deadline"
+
+    def test_ensure_started_is_idempotent(self):
+        clock = FakeClock()
+        gov = Governor(deadline_seconds=5.0, clock=clock)
+        gov.ensure_started()
+        clock.advance(3.0)
+        gov.ensure_started()  # must NOT re-arm from the new now
+        clock.advance(3.0)
+        with pytest.raises(BudgetExceeded):
+            gov.check_deadline()
+
+    def test_condition_ceiling(self):
+        gov = Governor(max_condition_atoms=2)
+        gov.start()
+        small = conjoin([eq(x, 1), ne(y, 2)])
+        gov.admit(small)  # exactly at the ceiling
+        big = disjoin([eq(x, 1), eq(x, 2), eq(x, 3)])
+        with pytest.raises(ConditionTooLarge) as info:
+            gov.admit(big)
+        assert info.value.atoms == 3 and info.value.limit == 2
+        assert gov.events.condition_rejections == 1
+
+    def test_scale_grows_budgets(self):
+        gov = Governor(deadline_seconds=1.0, solver_call_budget=10, steps_per_call=100)
+        gov.scale(4.0)
+        assert gov.deadline_seconds == 4.0
+        assert gov.solver_call_budget == 40
+        assert gov.steps_per_call == 400
+        assert gov.events.retries == 1
+
+    def test_events_ledger_roundtrip(self):
+        gov = Governor(solver_call_budget=100)
+        gov.start()
+        gov.begin_solver_call()
+        snapshot = gov.events.as_dict()
+        assert snapshot["solver_calls"] == 1
+        gov.events.reset()
+        assert gov.events.as_dict()["solver_calls"] == 0
+
+
+class TestWorkTicket:
+    def test_step_budget(self):
+        ticket = WorkTicket(None, steps=3)
+        ticket.tick()
+        ticket.tick(2)
+        with pytest.raises(BudgetExceeded) as info:
+            ticket.tick()
+        assert info.value.resource == "steps"
+
+    def test_unlimited_ticket(self):
+        ticket = WorkTicket(None, steps=None)
+        for _ in range(10_000):
+            ticket.tick()
+        assert ticket.remaining is None
+
+    def test_sub_ticket_fractions(self):
+        ticket = WorkTicket(None, steps=100)
+        half = ticket.sub(0.5)
+        assert half.steps == 50
+        assert ticket.sub(1.0).steps == 100
+        ticket.tick(40)
+        assert ticket.sub(0.5).steps == 30
+
+    def test_ticket_checks_governor_deadline(self):
+        clock = FakeClock()
+        gov = Governor(deadline_seconds=1.0, clock=clock)
+        gov.start()
+        ticket = WorkTicket(gov, steps=None)
+        clock.advance(2.0)
+        with pytest.raises(BudgetExceeded):
+            for _ in range(300):  # deadline checked every 256 ticks
+                ticket.tick()

@@ -1,0 +1,122 @@
+"""Acceptance: the §6 pipeline survives heavy solver faulting.
+
+With ≥ 30% of solver calls forced to UNKNOWN, every pipeline query must
+still terminate inside its deadline and produce a *sound* reachability
+c-table — world-for-world the same answers as the exact run, since
+keep-on-UNKNOWN never changes what any concrete failure combination can
+observe.  With injection off, the governed run is byte-identical to the
+ungoverned seed behavior and reports zero UNKNOWN verdicts.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.network.forwarding import compile_forwarding
+from repro.network.reachability import ReachabilityAnalyzer
+from repro.robustness import FaultInjector, FaultPlan, Governor
+from repro.solver.interface import ConditionSolver
+from repro.workloads.failures import exactly_k_failures
+from repro.workloads.ribgen import RibConfig, generate_rib
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    routes = generate_rib(RibConfig(prefixes=8, as_count=24, seed=7))
+    return routes, compile_forwarding(routes)
+
+
+def exact_analyzer(compiled_fw):
+    analyzer = ReachabilityAnalyzer(
+        compiled_fw.database(), ConditionSolver(compiled_fw.domains), per_flow=True
+    )
+    analyzer.compute()
+    return analyzer
+
+
+def injected_analyzer(compiled_fw, plan, deadline=30.0):
+    governor = Governor(
+        deadline_seconds=deadline,
+        injector=FaultInjector(plan),
+        on_budget="degrade",
+    )
+    governor.start()
+    solver = ConditionSolver(compiled_fw.domains, governor=governor)
+    analyzer = ReachabilityAnalyzer(compiled_fw.database(), solver, per_flow=True)
+    analyzer.compute()
+    return analyzer
+
+
+def sample_worlds(variables, rng, count=6):
+    """All-up, all-down, and a few random link-state combinations."""
+    worlds = [
+        {v: 1 for v in variables},
+        {v: 0 for v in variables},
+    ]
+    for _ in range(count):
+        worlds.append({v: rng.randint(0, 1) for v in variables})
+    return worlds
+
+
+def test_pipeline_terminates_and_stays_sound_at_50pct_unknown(compiled):
+    routes, compiled_fw = compiled
+    exact = exact_analyzer(compiled_fw)
+    degraded = injected_analyzer(compiled_fw, FaultPlan(timeout_every=2))
+
+    injector = degraded.solver.governor.injector
+    if injector.calls:
+        assert injector.total_injected / injector.calls >= 0.3
+
+    rng = random.Random(2026)
+    for route in routes:
+        variables = list(compiled_fw.variables_of(route.prefix))
+        endpoints = {(p[0], p[-1]) for p in route.paths}
+        for assignment in sample_worlds(variables, rng):
+            for src, dst in endpoints:
+                assert degraded.holds_in_world(
+                    src, dst, assignment, flow=route.prefix
+                ) == exact.holds_in_world(src, dst, assignment, flow=route.prefix), (
+                    route.prefix,
+                    src,
+                    dst,
+                )
+
+
+@pytest.mark.parametrize(
+    "plan",
+    [
+        FaultPlan(timeout_every=3, failure_every=4),
+        FaultPlan(timeout_every=2, oversize_every=5),
+    ],
+)
+def test_pattern_queries_terminate_under_mixed_faults(compiled, plan):
+    routes, compiled_fw = compiled
+    degraded = injected_analyzer(compiled_fw, plan)
+    route = next(r for r in routes if len(r.paths) >= 2)
+    variables = list(compiled_fw.variables_of(route.prefix))
+    table, stats = degraded.under_pattern(
+        exactly_k_failures(variables, 1), flow=route.prefix
+    )
+    # Terminated (no hang) with a well-formed result table; any tuple it
+    # reports is for the requested flow.
+    assert all(t.values[0].value == route.prefix for t in table)
+    assert stats.tuples_generated >= len(table)
+
+
+def test_injection_off_is_byte_identical_with_zero_unknowns(compiled):
+    _, compiled_fw = compiled
+    exact = exact_analyzer(compiled_fw)
+
+    governor = Governor(deadline_seconds=300.0, solver_call_budget=10**9)
+    governor.start()
+    solver = ConditionSolver(compiled_fw.domains, governor=governor)
+    governed = ReachabilityAnalyzer(compiled_fw.database(), solver, per_flow=True)
+    governed.compute()
+
+    assert [(t.values, t.condition) for t in governed.reach_table] == [
+        (t.values, t.condition) for t in exact.reach_table
+    ]
+    assert governor.events.unknown_verdicts == 0
+    assert solver.stats.unknown_verdicts == 0
+    assert governed.stats.unknown_kept == 0

@@ -1,0 +1,114 @@
+"""Verification under budget pressure: INCONCLUSIVE, never wrong.
+
+A budget-starved check must say so explicitly — an INCONCLUSIVE verdict
+with the reason — rather than hang or report a wrong HOLDS.  And because
+verification is where definite answers matter, the verifier escalates:
+retry the direct check with multiplied budgets until it decides or the
+retry allowance runs out.
+"""
+
+import pytest
+
+from repro.ctable.condition import eq, ne
+from repro.ctable.table import Database
+from repro.ctable.terms import CVariable
+from repro.robustness import FaultInjector, FaultPlan, Governor
+from repro.solver.domains import BOOL_DOMAIN, DomainMap
+from repro.solver.interface import ConditionSolver
+from repro.verify.constraints import Constraint, Status
+from repro.verify.verifier import Level, RelativeCompleteVerifier
+
+x = CVariable("x")
+DOMAINS = DomainMap({x: BOOL_DOMAIN})
+
+#: Panic iff some Link row is down (value 0) — conditional on x.
+CONSTRAINT = "panic :- Link(u, s), s == 0."
+
+
+def state_database():
+    db = Database()
+    link = db.create_table("Link", ["u", "s"])
+    link.add(["a", x])  # up iff x == 1
+    link.add(["b", 1])
+    return db
+
+
+def plain_check():
+    solver = ConditionSolver(DOMAINS)
+    constraint = Constraint.from_text("links-up", CONSTRAINT)
+    return constraint.check(state_database(), solver)
+
+
+def test_ungoverned_check_is_conditional():
+    result = plain_check()
+    assert result.status is Status.CONDITIONAL
+
+
+def test_injected_budget_yields_inconclusive_not_wrong():
+    governor = Governor(
+        injector=FaultInjector(FaultPlan(timeout_every=1)), on_budget="degrade"
+    )
+    governor.start()
+    solver = ConditionSolver(DOMAINS, governor=governor)
+    constraint = Constraint.from_text("links-up", CONSTRAINT)
+    result = constraint.check(state_database(), solver)
+    assert result.status is Status.INCONCLUSIVE
+    assert "budget" in result.detail
+
+
+def test_call_budget_exhaustion_yields_inconclusive():
+    governor = Governor(solver_call_budget=1, on_budget="degrade")
+    governor.start()
+    solver = ConditionSolver(DOMAINS, governor=governor)
+    constraint = Constraint.from_text("links-up", CONSTRAINT)
+    result = constraint.check(state_database(), solver)
+    assert result.status is Status.INCONCLUSIVE
+
+
+def test_verifier_retries_with_larger_budget_until_definite():
+    # Budget of 1 call starves the first direct check; one x4 escalation
+    # is enough for this tiny instance, so the ladder ends CONDITIONAL.
+    governor = Governor(solver_call_budget=1, on_budget="degrade")
+    governor.start()
+    solver = ConditionSolver(DOMAINS, governor=governor)
+    verifier = RelativeCompleteVerifier(
+        [], solver, budget_retries=3, budget_growth=4.0
+    )
+    target = Constraint.from_text("links-up", CONSTRAINT)
+    verdict = verifier.verify(target, state=state_database())
+    assert verdict.status is Status.CONDITIONAL
+    assert verdict.decided_by is Level.STATE
+    assert governor.events.retries >= 1
+    assert any("budget x" in step for step in verdict.trail)
+
+
+def test_verifier_reports_inconclusive_when_retries_exhausted():
+    # A permanent 100% fault rate cannot be out-scaled: after the retry
+    # allowance the verifier must surface INCONCLUSIVE (ok is False).
+    governor = Governor(
+        injector=FaultInjector(FaultPlan(timeout_every=1)), on_budget="degrade"
+    )
+    governor.start()
+    solver = ConditionSolver(DOMAINS, governor=governor)
+    verifier = RelativeCompleteVerifier([], solver, budget_retries=2)
+    target = Constraint.from_text("links-up", CONSTRAINT)
+    verdict = verifier.verify(target, state=state_database())
+    assert verdict.status is Status.INCONCLUSIVE
+    assert not verdict.ok
+    assert governor.events.retries == 2
+
+
+def test_violation_direction_stays_sound_under_injection():
+    # Panic under TRUE (certain violation): even with a 50% fault rate
+    # the check must never answer HOLDS.
+    db = Database()
+    link = db.create_table("Link", ["u", "s"])
+    link.add(["a", 0])
+    governor = Governor(
+        injector=FaultInjector(FaultPlan(timeout_every=2)), on_budget="degrade"
+    )
+    governor.start()
+    solver = ConditionSolver(DOMAINS, governor=governor)
+    constraint = Constraint.from_text("links-up", CONSTRAINT)
+    result = constraint.check(db, solver)
+    assert result.status in (Status.VIOLATED, Status.INCONCLUSIVE)
