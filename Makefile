@@ -1,35 +1,50 @@
 # Developer conveniences for the fauré reproduction.
+#
+# Every target that runs code uses PYTHONPATH=src — the tier-1 invocation
+# documented in ROADMAP.md/README.md — so the repo works without an
+# editable install.
 
 PYTHON ?= python3
+RUN = PYTHONPATH=src $(PYTHON)
 
-.PHONY: install test test-robustness bench bench-tables examples lint-self clean
+.PHONY: install test test-oracle test-robustness bench bench-memo bench-tables examples lint-self clean
 
 install:
 	pip install -e . --no-build-isolation
 
+# tier-1: the whole suite, matching ROADMAP.md exactly
 test:
-	$(PYTHON) -m pytest tests/
+	$(RUN) -m pytest -x -q
+
+# differential world-enumeration oracle only
+test-oracle:
+	$(RUN) -m pytest tests/oracle/ -q
 
 # governor / degradation / fault-injection suite only
 test-robustness:
-	PYTHONPATH=src $(PYTHON) -m pytest tests/robustness/ -q
+	$(RUN) -m pytest tests/robustness/ -q
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(RUN) -m pytest benchmarks/ --benchmark-only
+
+# canonical interning + shared memoization decision-call comparison
+bench-memo:
+	$(RUN) benchmarks/bench_memo.py
 
 # the paper's tables/figures in their printed layout
 bench-tables:
-	$(PYTHON) benchmarks/bench_table4.py
-	$(PYTHON) benchmarks/bench_lossless.py
-	$(PYTHON) benchmarks/bench_verification.py
-	$(PYTHON) benchmarks/bench_ablation.py
-	$(PYTHON) benchmarks/bench_scale.py
-	$(PYTHON) benchmarks/bench_incremental.py
+	$(RUN) benchmarks/bench_table4.py
+	$(RUN) benchmarks/bench_lossless.py
+	$(RUN) benchmarks/bench_verification.py
+	$(RUN) benchmarks/bench_ablation.py
+	$(RUN) benchmarks/bench_scale.py
+	$(RUN) benchmarks/bench_memo.py --smoke
+	$(RUN) benchmarks/bench_incremental.py
 
 examples:
 	@for f in examples/*.py; do \
 		echo "=== $$f ==="; \
-		$(PYTHON) $$f || exit 1; \
+		PYTHONPATH=src $(PYTHON) $$f || exit 1; \
 		echo; \
 	done
 

@@ -1,0 +1,161 @@
+"""Decision-call savings from canonical interning + shared memoization.
+
+The Table-4 RIB workload runs as a multi-stage pipeline: the recursive
+q4/q5 fixpoint computes R, then the q6 and q8 failure-pattern queries
+nest over it.  Each stage historically built its own
+:class:`ConditionSolver` with a cold structural cache, so semantically
+repeated conditions re-entered the enumeration/DPLL machinery at every
+stage.  This benchmark runs the identical workload twice —
+
+* **memo**: every stage's solver shares one :class:`MemoTable`
+  (canonical-form verdict cache), as the pipeline now does by default;
+* **no-memo**: ``memo=None`` everywhere (the ``--no-memo`` CLI path);
+
+— and reports the reduction in *backend decision calls*
+(``SolverStats.decisions`` = enumeration + DPLL invocations, the
+expensive part) plus wall-clock.  The rendered query outputs of both
+runs are asserted byte-identical: memoization changes how much work is
+done, never what is answered.
+
+Run: ``python benchmarks/bench_memo.py`` (``--smoke`` for the CI-sized
+instance) or ``pytest benchmarks/bench_memo.py``.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.network.forwarding import compile_forwarding
+from repro.network.reachability import ReachabilityAnalyzer
+from repro.solver.interface import ConditionSolver
+from repro.solver.memo import MemoTable
+from repro.workloads.failures import at_least_k_failures, exactly_k_failures
+from repro.workloads.ribgen import RibConfig, generate_rib
+
+#: Floor demanded of decisions(no-memo) / decisions(memo).
+REQUIRED_RATIO = 1.5
+
+
+def run_workload(prefixes: int, memo):
+    """The three-stage Table-4 pipeline with per-stage fresh solvers.
+
+    ``memo`` is a :class:`MemoTable` shared by every stage, or ``None``
+    to disable memoization.  Returns ``(decisions, seconds, output)``
+    where ``output`` is the full rendering of every result table.
+    """
+    routes = generate_rib(
+        RibConfig(prefixes=prefixes, as_count=max(60, prefixes // 4), seed=20210610)
+    )
+    compiled = compile_forwarding(routes)
+    outputs = []
+    decisions = 0
+    start = time.perf_counter()
+
+    # Stage 1: q4/q5 recursive fixpoint computes R.
+    solver = ConditionSolver(compiled.domains, memo=memo)
+    analyzer = ReachabilityAnalyzer(compiled.database(), solver, per_flow=True)
+    outputs.append(analyzer.compute().pretty(max_rows=None))
+    decisions += solver.stats.decisions
+
+    # Stages 2-4: the q6 / q7 / q8 failure patterns of Table 4, each
+    # stage with a *fresh* solver (cold structural cache — only the
+    # shared memo carries over between stages).
+    for kind in ("q6", "q7", "q8"):
+        stage_solver = ConditionSolver(compiled.domains, memo=memo)
+        analyzer.solver = stage_solver
+        for route in routes:
+            variables = list(compiled.variables_of(route.prefix))
+            if len(variables) < 2:
+                continue
+            if kind == "q6":
+                pattern = exactly_k_failures(variables, len(variables) - 1)
+                table, _ = analyzer.under_pattern(
+                    pattern, flow=route.prefix, name="T1"
+                )
+            elif kind == "q7":
+                pattern = exactly_k_failures(variables, len(variables) - 1)
+                table, _ = analyzer.under_pattern(
+                    pattern,
+                    flow=route.prefix,
+                    source=route.paths[0][0],
+                    dest=route.paths[0][-1],
+                    name="T2",
+                )
+            else:
+                pattern = at_least_k_failures(variables, 1)
+                table, _ = analyzer.under_pattern(
+                    pattern, flow=route.prefix, name="T3"
+                )
+            outputs.append(table.pretty(max_rows=None))
+        decisions += stage_solver.stats.decisions
+
+    return decisions, time.perf_counter() - start, "\n".join(outputs)
+
+
+def compare(prefixes: int):
+    """Run memo-on and memo-off; return the report dict."""
+    memo = MemoTable()
+    with_memo = run_workload(prefixes, memo)
+    without = run_workload(prefixes, None)
+    return {
+        "prefixes": prefixes,
+        "decisions_memo": with_memo[0],
+        "decisions_no_memo": without[0],
+        "seconds_memo": with_memo[1],
+        "seconds_no_memo": without[1],
+        "identical_output": with_memo[2] == without[2],
+        "memo_counters": memo.counters(),
+    }
+
+
+def test_memo_reduces_decisions_with_identical_output():
+    """CI guard: the ratio floor and byte-identical output both hold."""
+    report = compare(prefixes=12)
+    assert report["identical_output"], "memoized output diverged from baseline"
+    assert report["decisions_memo"] > 0
+    ratio = report["decisions_no_memo"] / report["decisions_memo"]
+    assert ratio >= REQUIRED_RATIO, (
+        f"decision-call reduction {ratio:.2f}x below the {REQUIRED_RATIO}x floor "
+        f"({report['decisions_no_memo']} vs {report['decisions_memo']})"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized instance (a few seconds)"
+    )
+    parser.add_argument(
+        "--prefixes", type=int, default=None, help="override the RIB size"
+    )
+    args = parser.parse_args(argv)
+    prefixes = args.prefixes if args.prefixes else (12 if args.smoke else 50)
+
+    report = compare(prefixes)
+    ratio = (
+        report["decisions_no_memo"] / report["decisions_memo"]
+        if report["decisions_memo"]
+        else float("inf")
+    )
+    print(f"Table-4 RIB workload, {prefixes} prefixes (q4-q5 + q6-q8):")
+    print(
+        f"  decisions   no-memo={report['decisions_no_memo']:>6} "
+        f"memo={report['decisions_memo']:>6}   reduction={ratio:.2f}x"
+    )
+    print(
+        f"  wall-clock  no-memo={report['seconds_no_memo']:.3f}s "
+        f"memo={report['seconds_memo']:.3f}s"
+    )
+    counters = report["memo_counters"]
+    print(
+        f"  memo        hits={counters['memo_hits']} misses={counters['memo_misses']} "
+        f"entries={counters['memo_entries']} interned={counters['interned']}"
+    )
+    print(f"  output      byte-identical: {report['identical_output']}")
+    ok = report["identical_output"] and ratio >= REQUIRED_RATIO
+    print(f"  verdict     {'PASS' if ok else 'FAIL'} (floor {REQUIRED_RATIO}x)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

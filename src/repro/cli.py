@@ -37,7 +37,7 @@ from .network.forwarding import compile_forwarding
 from .network.reachability import ReachabilityAnalyzer
 from .robustness.errors import BudgetExceeded, ConditionTooLarge, FaureError, SolverFailure
 from .robustness.governor import Governor, ON_BUDGET_MODES
-from .solver.interface import ConditionSolver
+from .solver.interface import SHARED_MEMO, ConditionSolver
 from .verify.constraints import Constraint
 from .verify.verifier import RelativeCompleteVerifier
 from .workloads.ribgen import RibConfig, dump_rib, generate_rib, parse_rib
@@ -82,6 +82,16 @@ def _add_governor_args(parser: argparse.ArgumentParser) -> None:
         default="degrade",
         help="on budget exhaustion: degrade soundly (default) or fail",
     )
+    parser.add_argument(
+        "--no-memo",
+        action="store_true",
+        help="disable the shared canonical-form verdict memoization",
+    )
+
+
+def _memo_from_args(args):
+    """``memo=`` argument for ConditionSolver honoring ``--no-memo``."""
+    return None if getattr(args, "no_memo", False) else SHARED_MEMO
 
 
 def _governor_from_args(args) -> Optional[Governor]:
@@ -167,7 +177,7 @@ def _cmd_rib_analyze(args) -> int:
     routes = parse_rib(Path(args.rib).read_text())
     compiled = compile_forwarding(routes)
     governor = _governor_from_args(args)
-    solver = ConditionSolver(compiled.domains, governor=governor)
+    solver = ConditionSolver(compiled.domains, governor=governor, memo=_memo_from_args(args))
     analyzer = ReachabilityAnalyzer(compiled.database(), solver, per_flow=True)
     reach = analyzer.compute()
     stats = analyzer.stats
@@ -188,7 +198,7 @@ def _cmd_query(args) -> int:
         text = args.program
     program = parse_program(text)
     governor = _governor_from_args(args)
-    solver = ConditionSolver(domains, governor=governor)
+    solver = ConditionSolver(domains, governor=governor, memo=_memo_from_args(args))
     stats = EvalStats()
     result = evaluate(program, db, solver=solver, stats=stats)
     names = [args.output] if args.output else sorted(result.names())
@@ -224,6 +234,7 @@ def _cmd_verify(args) -> int:
     solver = ConditionSolver(
         domains if domains is not None else DomainMap(default=Unbounded("any")),
         governor=governor,
+        memo=_memo_from_args(args),
     )
     verifier = RelativeCompleteVerifier(known, solver)
     verdict = verifier.verify(target, update=update, state=state)
@@ -245,7 +256,9 @@ def _cmd_sql(args) -> int:
 
         db, domains = Database(), DomainMap(default=Unbounded("any"))
     governor = _governor_from_args(args)
-    engine = SqlEngine(db, solver=ConditionSolver(domains, governor=governor))
+    engine = SqlEngine(
+        db, solver=ConditionSolver(domains, governor=governor, memo=_memo_from_args(args))
+    )
     statements = (
         Path(args.script).read_text() if args.script else " ".join(args.statement)
     )

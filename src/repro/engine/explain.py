@@ -72,8 +72,13 @@ def _children(node: PlanNode) -> List[PlanNode]:
     return []
 
 
-def explain(plan: PlanNode, db: Database) -> str:
-    """The operator tree, one node per line, children indented."""
+def explain(plan: PlanNode, db: Database, solver=None) -> str:
+    """The operator tree, one node per line, children indented.
+
+    With a ``solver``, a trailing ``[memo]`` line reports the shared
+    verdict cache: hits/misses observed by this solver instance plus the
+    process-wide entry/intern counts (omitted when memoization is off).
+    """
     lines: List[str] = []
 
     def walk(node: PlanNode, depth: int) -> None:
@@ -86,4 +91,15 @@ def explain(plan: PlanNode, db: Database) -> str:
             walk(child, depth + 1)
 
     walk(plan, 0)
+    if solver is not None and getattr(solver, "memo", None) is not None:
+        shared = solver.memo.counters()
+        lines.append(
+            "[memo] hits={} misses={} collapses={} | shared entries={} interned={}".format(
+                solver.stats.memo_hits,
+                solver.stats.memo_misses,
+                solver.stats.canonical_collapses,
+                shared["memo_entries"],
+                shared["interned"],
+            )
+        )
     return "\n".join(lines)

@@ -31,6 +31,25 @@ from .stats import EvalStats, Stopwatch
 __all__ = ["run_lazy", "run_eager", "solver_prune"]
 
 
+def _memo_snapshot(solver: ConditionSolver) -> Tuple[int, int, int]:
+    s = solver.stats
+    return (s.memo_hits, s.memo_misses, s.canonical_collapses)
+
+
+def _record_memo_delta(
+    stats: EvalStats, solver: ConditionSolver, before: Tuple[int, int, int]
+) -> None:
+    """Fold this phase's shared-memo activity into ``stats.extra``."""
+    hits, misses, collapses = _memo_snapshot(solver)
+    for key, delta in (
+        ("memo_hits", hits - before[0]),
+        ("memo_misses", misses - before[1]),
+        ("canonical_collapses", collapses - before[2]),
+    ):
+        if delta:
+            stats.extra[key] = stats.extra.get(key, 0) + delta
+
+
 def solver_prune(
     table: CTable, solver: ConditionSolver, stats: Optional[EvalStats] = None
 ) -> CTable:
@@ -43,6 +62,7 @@ def solver_prune(
     """
     stats = stats if stats is not None else EvalStats()
     watch = Stopwatch()
+    before = _memo_snapshot(solver)
     out = CTable(table.name, table.schema)
     with watch.measure():
         for tup in table:
@@ -54,6 +74,7 @@ def solver_prune(
                 stats.unknown_kept += 1
             out.add(tup)
     stats.solver_seconds += watch.seconds
+    _record_memo_delta(stats, solver, before)
     return out
 
 
@@ -82,5 +103,7 @@ def run_eager(
     stats = stats if stats is not None else EvalStats()
     if solver.governor is not None:
         solver.governor.ensure_started()
+    before = _memo_snapshot(solver)
     result = evaluate_plan(plan, db, solver=solver, prune=True, stats=stats)
+    _record_memo_delta(stats, solver, before)
     return result, stats

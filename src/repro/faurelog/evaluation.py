@@ -40,10 +40,19 @@ __all__ = ["FaureEvaluator", "evaluate"]
 
 
 class _ConditionIndex:
-    """Per-relation map: data part → conditions recorded so far."""
+    """Per-relation map: data part → conditions recorded so far.
+
+    Alongside each recorded (original) condition, the *canonical* form is
+    kept in a set, so a re-derived condition that is semantically equal
+    but syntactically different — reordered conjuncts, un-folded
+    constants — is recognised by a set lookup instead of a solver
+    implication call.  Recorded originals are what end up in the result
+    table, so output stays byte-identical with memoization on or off.
+    """
 
     def __init__(self) -> None:
         self._by_key: Dict[Tuple[Term, ...], List[Condition]] = {}
+        self._canon_by_key: Dict[Tuple[Term, ...], set] = {}
 
     def is_new(
         self,
@@ -60,6 +69,11 @@ class _ConditionIndex:
             return False
         if solver is None:
             return True
+        # Canonical membership: equivalent-by-rewriting conditions skip
+        # the implication solver entirely (sound — the solver's verdict
+        # for them is necessarily TRUE).
+        if solver.memo is not None and solver.canonical(condition) in self._canon_by_key[key]:
+            return False
         # Three-valued dedup: only a *definite* "implied by what's
         # recorded" may skip the insert.  UNKNOWN (budget exhausted)
         # treats the tuple as new — recording a redundant condition is
@@ -67,8 +81,16 @@ class _ConditionIndex:
         # would lose worlds.
         return solver.implies_verdict(condition, disjoin(existing)) is not Trivalent.TRUE
 
-    def record(self, key: Tuple[Term, ...], condition: Condition) -> None:
+    def record(
+        self,
+        key: Tuple[Term, ...],
+        condition: Condition,
+        solver: Optional[ConditionSolver] = None,
+    ) -> None:
         self._by_key.setdefault(key, []).append(condition)
+        canon = self._canon_by_key.setdefault(key, set())
+        if solver is not None and solver.memo is not None:
+            canon.add(solver.canonical(condition))
 
 
 class FaureEvaluator:
@@ -250,7 +272,7 @@ class FaureEvaluator:
                 self.stats.solver_seconds += time.perf_counter() - start
             if not new:
                 return False
-            index.record(head_values, condition)
+            index.record(head_values, condition, self.solver)
             working.indexed(predicate).add(list(head_values), condition)
             self.stats.tuples_generated += 1
             if self.record_provenance:

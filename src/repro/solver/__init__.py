@@ -18,9 +18,11 @@ package implements the decidable fragment fauré actually needs:
 from ..robustness.errors import BudgetExceeded, ConditionTooLarge, FaureError, SolverFailure
 from ..robustness.governor import Governor
 from ..robustness.verdict import Trivalent, Verdict
+from .canonical import InternTable, canonicalize
 from .domains import BOOL_DOMAIN, Domain, DomainMap, FiniteDomain, IntRange, Unbounded
 from .enumerate import Assignment, count_models, find_model, iter_models
-from .interface import ConditionSolver, SolverStats
+from .interface import SHARED_MEMO, ConditionSolver, SolverStats
+from .memo import MemoTable, reset_shared_memo, shared_memo
 from .minimize import MinimizeError, minimize
 from .theory import UnsupportedCondition, check_conjunction
 
@@ -44,6 +46,12 @@ __all__ = [
     "iter_models",
     "ConditionSolver",
     "SolverStats",
+    "SHARED_MEMO",
+    "canonicalize",
+    "InternTable",
+    "MemoTable",
+    "shared_memo",
+    "reset_shared_memo",
     "MinimizeError",
     "minimize",
     "UnsupportedCondition",

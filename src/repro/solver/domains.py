@@ -208,6 +208,21 @@ class DomainMap:
             total *= size
         return total
 
+    def fingerprint(self, variables: Iterable[CVariable]) -> Tuple:
+        """Hashable signature of the domains of the listed variables.
+
+        Two domain maps that agree on ``variables`` produce the same
+        fingerprint, so solver verdicts memoized under it are shared
+        exactly when they are sound to share (undeclared variables
+        contribute the map's default domain).
+        """
+        return tuple(
+            sorted(
+                ((v.name, self.domain_of(v)) for v in set(variables)),
+                key=lambda pair: pair[0],
+            )
+        )
+
     def copy(self) -> "DomainMap":
         clone = DomainMap(default=self._default)
         clone._map = dict(self._map)

@@ -51,8 +51,12 @@ from ..robustness.verdict import Trivalent, Verdict
 from .domains import DomainMap
 from .dpll import is_satisfiable_dpll
 from .enumerate import Assignment, count_models, find_model, iter_models
+from .memo import MemoTable, shared_memo
 
-__all__ = ["ConditionSolver", "SolverStats"]
+__all__ = ["ConditionSolver", "SolverStats", "SHARED_MEMO"]
+
+#: Sentinel: "use the process-wide shared memo table" (the default).
+SHARED_MEMO = object()
 
 #: Failure classes the governor can signal from inside a decision call.
 _GOVERNED_FAILURES = (BudgetExceeded, SolverFailure, ConditionTooLarge)
@@ -71,6 +75,13 @@ class SolverStats:
     unknown_verdicts: int = 0
     budget_hits: int = 0
     fallbacks: int = 0
+    #: Shared-memo accounting (zero when memoization is disabled):
+    #: verdicts served from the process-wide table, verdicts this solver
+    #: had to compute and store, and decisions the canonicalizer settled
+    #: outright (condition collapsed to TRUE/FALSE before any backend).
+    memo_hits: int = 0
+    memo_misses: int = 0
+    canonical_collapses: int = 0
 
     def reset(self) -> None:
         self.sat_calls = 0
@@ -82,6 +93,14 @@ class SolverStats:
         self.unknown_verdicts = 0
         self.budget_hits = 0
         self.fallbacks = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.canonical_collapses = 0
+
+    @property
+    def decisions(self) -> int:
+        """Backend decision-procedure invocations (the expensive part)."""
+        return self.enumeration_used + self.dpll_used
 
 
 class ConditionSolver:
@@ -97,6 +116,13 @@ class ConditionSolver:
     governor:
         Optional resource governor; see the module docstring.  ``None``
         (the default) disables governance entirely.
+    memo:
+        Shared verdict memoization keyed on canonical condition forms.
+        The default (:data:`SHARED_MEMO`) attaches the process-wide
+        :class:`~repro.solver.memo.MemoTable`, so every solver in a
+        pipeline run shares one warm cache; pass an explicit table to
+        scope sharing, or ``None`` (CLI: ``--no-memo``) to disable
+        canonicalization and cross-solver sharing entirely.
     """
 
     def __init__(
@@ -104,12 +130,20 @@ class ConditionSolver:
         domains: Optional[DomainMap] = None,
         enumeration_limit: int = 1 << 20,
         governor: Optional[Governor] = None,
+        memo=SHARED_MEMO,
     ):
         self.domains = domains if domains is not None else DomainMap()
         self.enumeration_limit = enumeration_limit
         self.governor = governor
+        self.memo: Optional[MemoTable] = shared_memo() if memo is SHARED_MEMO else memo
         self.stats = SolverStats()
         self._sat_cache: Dict[Condition, bool] = {}
+
+    def canonical(self, condition: Condition) -> Condition:
+        """The interned canonical form (the input when memoization is off)."""
+        if self.memo is None:
+            return condition
+        return self.memo.canonical(condition)
 
     # -- core decisions ----------------------------------------------------
 
@@ -129,9 +163,32 @@ class ConditionSolver:
         if cached is not None:
             self.stats.cache_hits += 1
             return Verdict.from_bool(cached)
+        memo = self.memo
+        memo_key = None
         start = time.perf_counter()
         try:
-            result = self._decide_sat(condition)
+            if memo is not None:
+                # The governor's size ceiling applies *before* interning:
+                # an oversized condition is refused without paying for
+                # canonicalization or polluting the intern table.
+                if self.governor is not None:
+                    self.governor.admit(condition)
+                canon = memo.canonical(condition)
+                if isinstance(canon, (TrueCond, FalseCond)):
+                    self.stats.canonical_collapses += 1
+                    result = isinstance(canon, TrueCond)
+                else:
+                    memo_key = memo.sat_key(canon, self.domains)
+                    hit = memo.get(memo_key)
+                    if hit is not None:
+                        self.stats.memo_hits += 1
+                        memo_key = None  # already stored
+                        result = hit
+                    else:
+                        self.stats.memo_misses += 1
+                        result = self._decide_sat(canon)
+            else:
+                result = self._decide_sat(condition)
         except _GOVERNED_FAILURES as exc:
             if isinstance(exc, BudgetExceeded):
                 self.stats.budget_hits += 1
@@ -139,11 +196,14 @@ class ConditionSolver:
                 raise
             self.stats.unknown_verdicts += 1
             self.governor.events.unknown_verdicts += 1
+            # UNKNOWN is never cached — neither here nor in the memo.
             return Verdict.UNKNOWN
         finally:
             # try/finally so wall-clock is accounted even when a solver
             # routine raises (budget exhaustion, injected faults, ...).
             self.stats.time_seconds += time.perf_counter() - start
+        if memo_key is not None:
+            memo.put(memo_key, result)
         self._sat_cache[condition] = result
         return Verdict.from_bool(result)
 
@@ -202,16 +262,46 @@ class ConditionSolver:
         return self.valid_verdict(condition).as_bool()
 
     def implies_verdict(self, antecedent: Condition, consequent: Condition) -> Trivalent:
-        """Three-valued entailment."""
+        """Three-valued entailment (memoized on the canonical pair)."""
         self.stats.implication_calls += 1
         if isinstance(consequent, TrueCond) or isinstance(antecedent, FalseCond):
             return Trivalent.TRUE
         if antecedent == consequent:
             return Trivalent.TRUE
+        memo = self.memo
+        memo_key = None
+        if memo is not None:
+            try:
+                if self.governor is not None:
+                    self.governor.admit(antecedent)
+                    self.governor.admit(consequent)
+            except ConditionTooLarge:
+                if not self.governor.degrade:
+                    raise
+                self.stats.unknown_verdicts += 1
+                self.governor.events.unknown_verdicts += 1
+                return Trivalent.UNKNOWN
+            canon_a = memo.canonical(antecedent)
+            canon_b = memo.canonical(consequent)
+            if canon_a is canon_b or canon_a == canon_b:
+                return Trivalent.TRUE
+            if isinstance(canon_b, TrueCond) or isinstance(canon_a, FalseCond):
+                return Trivalent.TRUE
+            memo_key = memo.implies_key(canon_a, canon_b, self.domains)
+            hit = memo.get(memo_key)
+            if hit is not None:
+                self.stats.memo_hits += 1
+                return Trivalent.TRUE if hit else Trivalent.FALSE
+            self.stats.memo_misses += 1
+            antecedent, consequent = canon_a, canon_b
         verdict = self.sat_verdict(conjoin([antecedent, consequent.negate()]))
         if verdict is Verdict.UNSAT:
+            if memo_key is not None:
+                memo.put(memo_key, True)
             return Trivalent.TRUE
         if verdict is Verdict.SAT:
+            if memo_key is not None:
+                memo.put(memo_key, False)
             return Trivalent.FALSE
         return Trivalent.UNKNOWN
 
@@ -307,4 +397,6 @@ class ConditionSolver:
 
     def with_domains(self, domains: DomainMap) -> "ConditionSolver":
         """A sibling solver over different domain declarations."""
-        return ConditionSolver(domains, self.enumeration_limit, governor=self.governor)
+        return ConditionSolver(
+            domains, self.enumeration_limit, governor=self.governor, memo=self.memo
+        )

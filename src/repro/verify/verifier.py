@@ -49,6 +49,10 @@ class Verdict:
     decided_by: Optional[Level] = None
     violation_condition: Condition = FALSE
     trail: List[str] = field(default_factory=list)
+    #: Shared-memo activity attributable to this verification run
+    #: (``memo_hits``/``memo_misses``/``canonical_collapses`` deltas of
+    #: the verifier's solver); empty when memoization is disabled.
+    memo_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -107,6 +111,17 @@ class RelativeCompleteVerifier:
         """
         trail: List[str] = []
         degrade = self.solver.governor is not None and self.solver.governor.degrade
+        stats = self.solver.stats
+        memo_before = (stats.memo_hits, stats.memo_misses, stats.canonical_collapses)
+
+        def finish(verdict: Verdict) -> Verdict:
+            if self.solver.memo is not None:
+                verdict.memo_stats = {
+                    "memo_hits": stats.memo_hits - memo_before[0],
+                    "memo_misses": stats.memo_misses - memo_before[1],
+                    "canonical_collapses": stats.canonical_collapses - memo_before[2],
+                }
+            return verdict
 
         # Level 1: constraints only.  The subsumption tests internally
         # demand definite solver answers; under a degrading governor a
@@ -128,7 +143,7 @@ class RelativeCompleteVerifier:
         else:
             trail.append(f"category(i) subsumption: {sub}")
             if sub.verdict is SubsumptionVerdict.SUBSUMED:
-                return Verdict(Status.HOLDS, Level.CONSTRAINTS, trail=trail)
+                return finish(Verdict(Status.HOLDS, Level.CONSTRAINTS, trail=trail))
 
         # Level 2: + update.
         if update is not None:
@@ -149,7 +164,7 @@ class RelativeCompleteVerifier:
             else:
                 trail.append(f"category(ii) rewrite+subsumption: {sub2}")
                 if sub2.verdict is SubsumptionVerdict.SUBSUMED:
-                    return Verdict(Status.HOLDS, Level.UPDATE, trail=trail)
+                    return finish(Verdict(Status.HOLDS, Level.UPDATE, trail=trail))
 
         # Level 3: + full state (direct, possibly conditional, check).
         if state is not None:
@@ -173,11 +188,13 @@ class RelativeCompleteVerifier:
                 trail.append(
                     f"direct check (budget x{self.budget_growth ** attempt:g}): {result}"
                 )
-            return Verdict(
-                result.status,
-                Level.STATE,
-                violation_condition=result.violation_condition,
-                trail=trail,
+            return finish(
+                Verdict(
+                    result.status,
+                    Level.STATE,
+                    violation_condition=result.violation_condition,
+                    trail=trail,
+                )
             )
 
-        return Verdict(Status.UNKNOWN, None, trail=trail)
+        return finish(Verdict(Status.UNKNOWN, None, trail=trail))

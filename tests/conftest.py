@@ -26,9 +26,22 @@ from repro.network.enterprise import (
 )
 from repro.network.frr import paper_figure1
 from repro.solver import BOOL_DOMAIN, ConditionSolver, DomainMap, FiniteDomain, Unbounded
+from repro.solver.memo import reset_shared_memo
 
 
 _TEST_TIMEOUT_SECONDS = float(os.environ.get("FAURE_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_memo():
+    """Clear the process-wide solver memo between tests.
+
+    The memo table is deliberately process-global (that is the point of
+    the feature), but tests asserting on backend-usage counters must not
+    observe verdicts another test already paid for.
+    """
+    reset_shared_memo()
+    yield
 
 
 @pytest.hookimpl(hookwrapper=True)

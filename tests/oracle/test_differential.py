@@ -1,0 +1,57 @@
+"""Differential tests: fauré answers vs. the world-enumeration oracle.
+
+Three regimes per representative program:
+
+* **memo on** (a fresh shared table) — the default pipeline setup;
+* **memo off** (``memo=None``) — the ``--no-memo`` escape hatch; the
+  rendered answers must be *byte-identical* to the memoized run;
+* **fault injection** — ≥30% of governed solver calls raise, the
+  governor degrades them to UNKNOWN, and the (less simplified) answer
+  must still match ground truth in every world, with memoization both
+  on and off.
+"""
+
+import pytest
+
+from repro.robustness.faultinject import FaultInjector, FaultPlan
+from repro.robustness.governor import Governor
+from repro.solver.memo import MemoTable
+
+from .oracle import CASES, assert_matches_worlds, render_result, run_faure
+
+
+@pytest.fixture(params=CASES, ids=[c.name for c in CASES])
+def case(request):
+    return request.param
+
+
+def test_memo_on_matches_every_world(case):
+    result = run_faure(case, memo=MemoTable())
+    worlds = assert_matches_worlds(case, result)
+    assert worlds > 1  # the database really is uncertain
+
+
+def test_memo_off_matches_every_world(case):
+    result = run_faure(case, memo=None)
+    assert_matches_worlds(case, result)
+
+
+def test_memo_on_off_byte_identical(case):
+    with_memo = run_faure(case, memo=MemoTable())
+    without = run_faure(case, memo=None)
+    assert render_result(with_memo, case.outputs) == render_result(
+        without, case.outputs
+    )
+
+
+@pytest.mark.parametrize("memo_factory", [MemoTable, lambda: None], ids=["memo", "no-memo"])
+def test_fault_injection_matches_every_world(case, memo_factory):
+    """≥30% injected faults: degraded answers keep per-world semantics."""
+    injector = FaultInjector(FaultPlan(timeout_every=2))
+    governor = Governor(on_budget="degrade", injector=injector)
+    governor.start()
+    result = run_faure(case, memo=memo_factory(), governor=governor)
+    assert_matches_worlds(case, result)
+    assert injector.calls > 0, "fault plan never exercised"
+    ratio = injector.total_injected / injector.calls
+    assert ratio >= 0.3, f"injected only {ratio:.0%} of solver calls"

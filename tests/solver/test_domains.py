@@ -104,3 +104,42 @@ class TestDomainMap:
         merged = a.merged_with(b)
         assert merged.domain_of(X) == FiniteDomain([5])
         assert Y in merged
+
+
+class TestFingerprint:
+    """The memo-key signature: share exactly when sharing is sound."""
+
+    def test_agreeing_maps_share(self):
+        a = DomainMap({X: BOOL_DOMAIN, Y: FiniteDomain([1, 2])})
+        b = DomainMap({Y: FiniteDomain([2, 1]), X: FiniteDomain([0, 1])})
+        assert a.fingerprint([X, Y]) == b.fingerprint([X, Y])
+
+    def test_differing_domain_splits(self):
+        a = DomainMap({X: BOOL_DOMAIN})
+        b = DomainMap({X: IntRange(0, 1)})
+        # FiniteDomain([0,1]) and IntRange(0,1) denote the same values but
+        # are distinct Domain objects; distinct fingerprints only cost a
+        # recomputation, never soundness.
+        assert a.fingerprint([X]) != b.fingerprint([X])
+
+    def test_default_applies_to_undeclared(self):
+        strings = DomainMap(default=Unbounded("string"))
+        ints = DomainMap(default=Unbounded("int"))
+        assert strings.fingerprint([X]) != ints.fingerprint([X])
+        assert strings.fingerprint([X]) == DomainMap(default=Unbounded("string")).fingerprint([X])
+
+    def test_order_and_duplicate_invariant(self):
+        m = DomainMap({X: BOOL_DOMAIN, Y: BOOL_DOMAIN})
+        assert m.fingerprint([X, Y]) == m.fingerprint([Y, X, X])
+
+    def test_hashable(self):
+        m = DomainMap({X: BOOL_DOMAIN})
+        assert hash(m.fingerprint([X, Y])) == hash(m.fingerprint([Y, X]))
+
+    def test_irrelevant_declarations_ignored(self):
+        a = DomainMap({X: BOOL_DOMAIN})
+        b = DomainMap({X: BOOL_DOMAIN, Y: FiniteDomain([9])})
+        assert a.fingerprint([X]) == b.fingerprint([X])
+
+    def test_empty_variable_set(self):
+        assert DomainMap().fingerprint([]) == ()

@@ -112,3 +112,44 @@ def test_minimize_never_grows_model_count(cond):
     assert count_models(out, BOOLS, variables=cvars) == count_models(
         cond, BOOLS, variables=cvars
     )
+
+
+# -- round-trip invariants ---------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(conditions())
+def test_minimize_idempotent(cond):
+    """Minimization is a function of the model set, so it is a fixpoint."""
+    out = minimize(cond, BOOLS)
+    assert minimize(out, BOOLS) == out
+
+
+@settings(max_examples=60, deadline=None)
+@given(conditions())
+def test_prune_leaves_minimized_alone(cond):
+    """An exact minimizer already did prune's job: TRUE/FALSE collapse
+    happened, and anything else is satisfiable-but-not-valid."""
+    solver = ConditionSolver(BOOLS, memo=None)
+    out = minimize(cond, BOOLS)
+    assert solver.prune(out) == out
+
+
+@settings(max_examples=60, deadline=None)
+@given(conditions())
+def test_simplify_round_trip_preserves_equivalence(cond):
+    solver = ConditionSolver(BOOLS, memo=None)
+    simplified = solver.simplify(cond)
+    assert solver.equivalent(simplified, cond)
+    # ... and minimizing the simplified form meets minimize(cond): both
+    # are the canonical cube synthesis of the same model set.
+    assert minimize(simplified, BOOLS) == minimize(cond, BOOLS)
+
+
+@settings(max_examples=60, deadline=None)
+@given(conditions())
+def test_canonicalize_commutes_with_minimize_semantics(cond):
+    from repro.solver.canonical import canonicalize
+
+    solver = ConditionSolver(BOOLS, memo=None)
+    assert solver.equivalent(minimize(canonicalize(cond), BOOLS), minimize(cond, BOOLS))
