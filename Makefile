@@ -7,7 +7,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src $(PYTHON)
 
-.PHONY: install test test-oracle test-robustness bench bench-memo bench-tables examples lint-self clean
+.PHONY: install test test-oracle test-robustness bench bench-memo bench-tables examples lint-programs typecheck lint-self clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -40,6 +40,28 @@ bench-tables:
 	$(RUN) benchmarks/bench_scale.py
 	$(RUN) benchmarks/bench_memo.py --smoke
 	$(RUN) benchmarks/bench_incremental.py
+
+# static analysis gate over every bundled fauré-log program: the clean
+# and warn fixture sets plus the example programs must carry no
+# error-severity findings; each bad fixture must produce at least one.
+lint-programs:
+	$(RUN) -m repro lint examples/programs/*.fl \
+		tests/fixtures/programs/clean/*.fl \
+		tests/fixtures/programs/warn/*.fl
+	@for f in tests/fixtures/programs/bad/*.fl; do \
+		if $(RUN) -m repro lint $$f >/dev/null 2>&1; then \
+			echo "FAIL: expected error-severity findings in $$f"; exit 1; \
+		else \
+			echo "ok (errors reported): $$f"; \
+		fi; \
+	done
+
+# mypy over the analysis subsystem and the modules this PR touched;
+# config lives in pyproject.toml ([tool.mypy]).
+typecheck:
+	$(RUN) -m mypy src/repro/analysis src/repro/faurelog/analyze.py \
+		src/repro/faurelog/ast.py src/repro/faurelog/parser.py \
+		src/repro/ctable/parse.py src/repro/engine/explain.py src/repro/cli.py
 
 examples:
 	@for f in examples/*.py; do \

@@ -1,0 +1,144 @@
+"""Static cardinality and cost estimation.
+
+Two consumers share one tiny System-R-style model:
+
+* ``EXPLAIN`` (:mod:`repro.engine.explain`) — estimated row counts for
+  computed plan nodes, so plans read like a database's would instead of
+  showing ``?`` everywhere;
+* the lint pipeline — per-rule join cost estimates (``F015``) and the
+  cross-product detector's cost rationale.
+
+The selectivity constants are the classic folklore defaults (equality
+1/10, inequality 1/3, equijoin ``|L||R|/max``); with no table statistics
+beyond live row counts they are order-of-magnitude tools, which is all
+a lint gate needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..ctable.table import Database
+from ..engine.algebra import (
+    AntiJoin,
+    ConditionSelection,
+    Distinct,
+    Join,
+    PlanNode,
+    Product,
+    Projection,
+    Rename,
+    Scan,
+    Selection,
+    Union,
+)
+from ..faurelog.ast import Program, Rule
+
+__all__ = [
+    "EQUALITY_SELECTIVITY",
+    "INEQUALITY_SELECTIVITY",
+    "DEFAULT_RELATION_SIZE",
+    "estimate_rows",
+    "estimate_rule_cost",
+]
+
+EQUALITY_SELECTIVITY = 0.1
+INEQUALITY_SELECTIVITY = 1 / 3
+CONDITION_SELECTIVITY = 0.5
+ANTIJOIN_SELECTIVITY = 0.5
+
+#: Assumed size of a relation with no statistics (lint-time estimates).
+DEFAULT_RELATION_SIZE = 1000
+
+
+def estimate_rows(node: PlanNode, db: Database) -> Optional[float]:
+    """Estimated output rows of a plan node, or ``None`` with no basis.
+
+    Stored tables contribute exact counts; everything above them flows
+    through the selectivity model.  ``None`` propagates upward — an
+    estimate is only produced when every leaf has one.
+    """
+    if isinstance(node, Scan):
+        return float(len(db.table(node.table_name))) if node.table_name in db else None
+    if isinstance(node, Selection):
+        child = estimate_rows(node.child, db)
+        if child is None:
+            return None
+        sel = 1.0
+        for pred in node.predicates:
+            sel *= EQUALITY_SELECTIVITY if pred.op == "=" else INEQUALITY_SELECTIVITY
+        return child * sel
+    if isinstance(node, ConditionSelection):
+        child = estimate_rows(node.child, db)
+        return None if child is None else child * CONDITION_SELECTIVITY
+    if isinstance(node, (Projection, Rename)):
+        return estimate_rows(node.child, db)
+    if isinstance(node, Distinct):
+        return estimate_rows(node.child, db)
+    if isinstance(node, Join):
+        left = estimate_rows(node.left, db)
+        right = estimate_rows(node.right, db)
+        if left is None or right is None:
+            return None
+        if not node.on:
+            return left * right
+        return left * right / max(left, right, 1.0)
+    if isinstance(node, AntiJoin):
+        left = estimate_rows(node.left, db)
+        return None if left is None else left * ANTIJOIN_SELECTIVITY
+    if isinstance(node, Product):
+        left = estimate_rows(node.left, db)
+        right = estimate_rows(node.right, db)
+        if left is None or right is None:
+            return None
+        return left * right
+    if isinstance(node, Union):
+        total = 0.0
+        for child in node.children:
+            est = estimate_rows(child, db)
+            if est is None:
+                return None
+            total += est
+        return total
+    return None
+
+
+def _shares_terms(a, b) -> bool:
+    terms_a = set(a.atom.variables()) | set(a.atom.cvariables())
+    terms_b = set(b.atom.variables()) | set(b.atom.cvariables())
+    return bool(terms_a & terms_b)
+
+
+def estimate_rule_cost(
+    rule: Rule,
+    sizes: Optional[Mapping[str, int]] = None,
+) -> float:
+    """Worst-case intermediate cardinality of evaluating one rule.
+
+    Joins the positive literals left to right: a literal sharing a
+    variable with the partial join contributes an equijoin
+    (``|acc||R|/max``); an unconnected one contributes a full cross
+    product.  ``sizes`` maps predicate names to row counts; missing
+    predicates assume :data:`DEFAULT_RELATION_SIZE`.
+    """
+    sizes = sizes or {}
+    positives = list(rule.positive_literals())
+    if not positives:
+        return 1.0
+
+    def size_of(lit) -> float:
+        return float(sizes.get(lit.predicate, DEFAULT_RELATION_SIZE))
+
+    acc = size_of(positives[0])
+    joined = [positives[0]]
+    for lit in positives[1:]:
+        right = size_of(lit)
+        if any(_shares_terms(lit, prev) for prev in joined):
+            acc = acc * right / max(acc, right, 1.0)
+        else:
+            acc = acc * right
+        joined.append(lit)
+    # Comparisons filter the joined intermediate.
+    for _ in rule.comparisons():
+        acc *= INEQUALITY_SELECTIVITY
+    return acc

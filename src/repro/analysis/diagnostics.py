@@ -1,0 +1,206 @@
+"""Typed diagnostics: stable codes, severities, and source spans.
+
+Every finding of the static analysis engine is a :class:`Diagnostic`
+carrying a **stable code** (``F001``, ``F002``, ...) from the registry
+below, a :class:`~repro.analysis.diagnostics.Severity`, a human message,
+and — when the program was parsed from text — the :class:`Span` of the
+offending construct.  Codes are append-only: a code's meaning never
+changes across releases, so ``--select``/``--ignore`` lists and CI
+gates stay stable.  docs/ANALYSIS.md documents each code with an
+example trigger and the recommended fix.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..ctable.parse import Span
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "CodeInfo",
+    "CODES",
+    "code_info",
+    "filter_diagnostics",
+    "render_text",
+    "render_json",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ordering is by badness."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code."""
+
+    code: str
+    default_severity: Severity
+    title: str
+
+
+#: The stable code registry.  Append-only — never renumber.
+CODES: Dict[str, CodeInfo] = {
+    info.code: info
+    for info in (
+        CodeInfo("F001", Severity.ERROR, "unsafe rule: head variable not range-restricted"),
+        CodeInfo("F002", Severity.ERROR, "unsafe rule: variable occurs only under negation"),
+        CodeInfo("F003", Severity.ERROR, "unsafe rule: comparison variable unbound"),
+        CodeInfo("F004", Severity.ERROR, "predicate used with inconsistent arities"),
+        CodeInfo("F005", Severity.ERROR, "undefined predicate"),
+        CodeInfo("F006", Severity.ERROR, "unstratifiable: negation inside a recursive cycle"),
+        CodeInfo("F007", Severity.WARNING, "singleton variable"),
+        CodeInfo("F008", Severity.WARNING, "duplicate rule (up to condition equivalence)"),
+        CodeInfo("F009", Severity.WARNING, "predicate unreachable from any output"),
+        CodeInfo("F010", Severity.WARNING, "condition atom is a tautology"),
+        CodeInfo("F011", Severity.WARNING, "rule conditions are contradictory: rule can never fire"),
+        CodeInfo("F012", Severity.WARNING, "comparison mixes c-domain sorts"),
+        CodeInfo("F013", Severity.WARNING, "order comparison over non-numeric sort"),
+        CodeInfo("F014", Severity.WARNING, "rule joins relations with no shared variables (cross product)"),
+        CodeInfo("F015", Severity.INFO, "static cost estimate"),
+    )
+}
+
+
+def code_info(code: str) -> CodeInfo:
+    """Registry lookup; raises ``KeyError`` for unknown codes."""
+    return CODES[code]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding."""
+
+    code: str
+    message: str
+    severity: Severity = field(default=Severity.WARNING)
+    span: Optional[Span] = None
+    rule: Optional[str] = None
+    file: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @classmethod
+    def make(
+        cls,
+        code: str,
+        message: str,
+        span: Optional[Span] = None,
+        rule: Optional[str] = None,
+        severity: Optional[Severity] = None,
+        file: Optional[str] = None,
+    ) -> "Diagnostic":
+        """Build a diagnostic with the code's registered default severity."""
+        if code not in CODES:
+            raise ValueError(f"unknown diagnostic code {code!r}")
+        return cls(
+            code=code,
+            message=message,
+            severity=severity if severity is not None else CODES[code].default_severity,
+            span=span,
+            rule=rule,
+            file=file,
+        )
+
+    @property
+    def location(self) -> str:
+        """``file:line:col`` (pieces omitted when unknown)."""
+        parts = []
+        if self.file:
+            parts.append(self.file)
+        if self.span is not None:
+            parts.append(f"{self.span.line}:{self.span.col}")
+        else:
+            parts.append("-")
+        return ":".join(parts)
+
+    def __str__(self) -> str:
+        where = f" [{self.rule}]" if self.rule else ""
+        return f"{self.location}: {self.code} {self.severity}{where}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.file:
+            out["file"] = self.file
+        if self.rule:
+            out["rule"] = self.rule
+        if self.span is not None:
+            out["line"] = self.span.line
+            out["col"] = self.span.col
+            out["end_line"] = self.span.end_line
+            out["end_col"] = self.span.end_col
+        return out
+
+
+def _normalize_codes(codes: Optional[Iterable[str]]) -> Optional[List[str]]:
+    if codes is None:
+        return None
+    out: List[str] = []
+    for chunk in codes:
+        out.extend(c.strip() for c in chunk.split(",") if c.strip())
+    for code in out:
+        if code not in CODES:
+            raise ValueError(f"unknown diagnostic code {code!r}")
+    return out
+
+
+def filter_diagnostics(
+    diagnostics: Sequence[Diagnostic],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Keep only selected codes, then drop ignored ones.
+
+    Both arguments accept iterables of codes; elements may themselves be
+    comma-separated lists (CLI convenience).  Unknown codes raise
+    ``ValueError`` so typos fail loudly rather than silently selecting
+    nothing.
+    """
+    selected = _normalize_codes(select)
+    ignored = set(_normalize_codes(ignore) or ())
+    out = []
+    for diag in diagnostics:
+        if selected is not None and diag.code not in selected:
+            continue
+        if diag.code in ignored:
+            continue
+        out.append(diag)
+    return out
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """One finding per line, followed by a severity tally."""
+    lines = [str(d) for d in diagnostics]
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    warnings = sum(1 for d in diagnostics if d.severity is Severity.WARNING)
+    lines.append(
+        f"{len(diagnostics)} finding(s): {errors} error(s), {warnings} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """The findings as a JSON array (stable key order)."""
+    return json.dumps([d.to_dict() for d in diagnostics], indent=2, sort_keys=True)

@@ -1,0 +1,165 @@
+"""C-domain sort inference for fauré-log programs.
+
+The c-domain is untyped — a constant is just a payload — but real
+network programs draw from a handful of recognizable *sorts*: IP
+addresses, IP prefixes, AS paths, numbers, and symbolic node/subnet
+identifiers.  Mixing them in one comparison (``$dest = 8``, where
+``$dest`` rides in an address column) almost always spells a typo, and
+lexicographically ordering addresses (``"10.0.0.9" < "10.0.0.10"`` is
+*false* as strings) is a classic silent bug.
+
+This module infers, for each predicate column and each variable, the
+set of sorts observed across the program: constants contribute their
+own sort, and variables adopt the sorts of every column they occupy.
+The inference is deliberately may-analysis shaped — an empty sort set
+means "no evidence", and checks only fire when *both* sides of a
+comparison carry evidence that cannot overlap.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from ..ctable.condition import Comparison, Condition, LinearAtom
+from ..ctable.terms import Constant, CVariable, Term, Variable
+from ..faurelog.ast import Program, Rule
+
+__all__ = [
+    "SORT_NUMBER",
+    "SORT_ADDRESS",
+    "SORT_PREFIX",
+    "SORT_PATH",
+    "SORT_SYMBOL",
+    "sort_of_value",
+    "SortInference",
+    "infer_sorts",
+]
+
+Sort = str
+
+SORT_NUMBER: Sort = "number"
+SORT_ADDRESS: Sort = "ip-address"
+SORT_PREFIX: Sort = "ip-prefix"
+SORT_PATH: Sort = "path"
+SORT_SYMBOL: Sort = "symbol"
+
+#: Sorts with a meaningful total order (everything else orders only
+#: lexicographically, which is almost never what the author meant).
+ORDERED_SORTS: FrozenSet[Sort] = frozenset({SORT_NUMBER})
+
+_ADDR_RE = re.compile(r"^\d{1,3}(\.\d{1,3}){3}$|^[0-9a-fA-F:]*::[0-9a-fA-F:]*$")
+_PREFIX_RE = re.compile(r"^\d{1,3}(\.\d{1,3}){3}/\d{1,3}$|^[0-9a-fA-F:]+::?/\d{1,3}$")
+
+
+def sort_of_value(value: object) -> Sort:
+    """The sort of a raw constant payload."""
+    if isinstance(value, bool) or isinstance(value, (int, float)):
+        return SORT_NUMBER
+    if isinstance(value, tuple):
+        return SORT_PATH
+    if isinstance(value, str):
+        if _PREFIX_RE.match(value):
+            return SORT_PREFIX
+        if _ADDR_RE.match(value):
+            return SORT_ADDRESS
+        return SORT_SYMBOL
+    return SORT_SYMBOL
+
+
+#: Key for a variable: c-variables are program-global, program variables
+#: are scoped to their rule (index).
+VarKey = Union[CVariable, Tuple[int, Variable]]
+
+
+@dataclass
+class SortInference:
+    """Observed sorts per predicate column and per variable."""
+
+    column_sorts: Dict[Tuple[str, int], Set[Sort]] = field(default_factory=dict)
+    var_sorts: Dict[VarKey, Set[Sort]] = field(default_factory=dict)
+
+    def sorts_of_term(self, term: Term, rule_index: int) -> FrozenSet[Sort]:
+        """Evidence for one term (empty set = no evidence)."""
+        if isinstance(term, Constant):
+            return frozenset({sort_of_value(term.value)})
+        key = self._var_key(term, rule_index)
+        if key is None:
+            return frozenset()
+        return frozenset(self.var_sorts.get(key, ()))
+
+    @staticmethod
+    def _var_key(term: Term, rule_index: int) -> Optional[VarKey]:
+        if isinstance(term, CVariable):
+            return term
+        if isinstance(term, Variable):
+            return (rule_index, term)
+        return None
+
+
+def _atoms_of(rule: Rule):
+    yield rule.head
+    for lit in rule.literals():
+        yield lit.atom
+
+
+def _conditions_of(rule: Rule):
+    """Every condition attached to the rule (comparisons + annotations)."""
+    for cond in rule.comparisons():
+        yield cond
+    for lit in rule.literals():
+        yield lit.annotation
+
+
+def infer_sorts(program: Program) -> SortInference:
+    """Two-phase may-inference: constants → columns → variables.
+
+    A second column pass folds variable evidence back into columns so a
+    column whose every occupant is, say, compared to numbers still gets
+    ``number`` evidence; the analysis stays a may-analysis (over-approx
+    of observed sorts), which is what the comparison checks need.
+    """
+    inference = SortInference()
+    columns = inference.column_sorts
+    variables = inference.var_sorts
+
+    def note_var(key: Optional[VarKey], sorts) -> None:
+        if key is not None and sorts:
+            variables.setdefault(key, set()).update(sorts)
+
+    # Phase 1: constants pin down column sorts.
+    for rule in program:
+        for atom in _atoms_of(rule):
+            for idx, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    columns.setdefault((atom.predicate, idx), set()).add(
+                        sort_of_value(term.value)
+                    )
+
+    # Phase 2: variables adopt the sorts of the columns they occupy.
+    # Deliberately *not* the constants they are compared against — that
+    # evidence would make every cross-sort comparison self-consistent
+    # and un-flaggable.  Linear arithmetic does count: it only makes
+    # sense over numbers.
+    for rule_index, rule in enumerate(program):
+        for atom in _atoms_of(rule):
+            for idx, term in enumerate(atom.terms):
+                key = SortInference._var_key(term, rule_index)
+                note_var(key, columns.get((atom.predicate, idx), ()))
+        for cond in _conditions_of(rule):
+            for atom in cond.atoms():
+                if isinstance(atom, LinearAtom):
+                    for var, _coeff in atom.coeffs:
+                        note_var(var, {SORT_NUMBER})
+
+    # Phase 3: fold variable evidence back into their columns.
+    for rule_index, rule in enumerate(program):
+        for atom in _atoms_of(rule):
+            for idx, term in enumerate(atom.terms):
+                key = SortInference._var_key(term, rule_index)
+                if key is not None and key in variables:
+                    columns.setdefault((atom.predicate, idx), set()).update(
+                        variables[key]
+                    )
+    return inference

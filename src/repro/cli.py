@@ -15,6 +15,11 @@ Commands
     Run the relative-complete verification ladder on constraint files,
     optionally with an update (``+Pred(a,b)`` / ``-Pred(a,b)`` specs)
     and/or a state database.
+``lint``
+    Static analysis of fauré-log files: typed ``F0xx`` diagnostics with
+    source spans, ``--select``/``--ignore`` code filters, text or JSON
+    output, and in-file ``% edb:`` / ``% outputs:`` pragmas.  Exit code
+    1 when any error-severity finding survives filtering.
 ``examples``
     List the bundled example scripts.
 """
@@ -42,7 +47,7 @@ from .verify.constraints import Constraint
 from .verify.verifier import RelativeCompleteVerifier
 from .workloads.ribgen import RibConfig, dump_rib, generate_rib, parse_rib
 
-__all__ = ["main", "parse_update_spec"]
+__all__ = ["main", "parse_update_spec", "parse_lint_pragmas"]
 
 # Distinct exit codes so scripts can tell failure classes apart:
 #   2 — parse/usage errors (bad program text, malformed specs, missing files)
@@ -271,17 +276,80 @@ def _cmd_sql(args) -> int:
     return 0
 
 
-def _cmd_lint(args) -> int:
-    from .faurelog.analyze import lint_program
+#: ``% key: values`` pragma lines recognised at the top of lint inputs.
+_LINT_PRAGMAS = ("edb", "outputs", "size", "lint-ignore")
 
-    program = parse_program(Path(args.program).read_text())
-    findings = lint_program(
-        program, edb=args.edb or (), outputs=args.outputs or ()
+
+def parse_lint_pragmas(text: str) -> dict:
+    """Extract lint directives from ``%`` comment lines.
+
+    Recognised forms (anywhere in the file, one per line)::
+
+        % edb: R Fw Lb          declared stored relations
+        % outputs: panic        output predicates for reachability
+        % size: R 5000          row-count hint for cost estimates
+        % lint-ignore: F007     per-file ignored diagnostic codes
+
+    Returns ``{"edb": [...], "outputs": [...], "sizes": {...},
+    "ignore": [...]}`` with empty defaults.
+    """
+    import re
+
+    out = {"edb": [], "outputs": [], "sizes": {}, "ignore": []}
+    pattern = re.compile(
+        r"^\s*%\s*(" + "|".join(_LINT_PRAGMAS) + r")\s*:\s*(.*?)\s*$"
     )
-    for finding in findings:
-        print(finding)
-    errors = sum(1 for f in findings if f.severity == "error")
-    print(f"{len(findings)} finding(s), {errors} error(s)")
+    for line in text.splitlines():
+        match = pattern.match(line)
+        if not match:
+            continue
+        key, rest = match.group(1), match.group(2).split()
+        if key == "edb":
+            out["edb"].extend(rest)
+        elif key == "outputs":
+            out["outputs"].extend(rest)
+        elif key == "lint-ignore":
+            out["ignore"].extend(rest)
+        elif key == "size":
+            if len(rest) != 2:
+                raise ValueError(
+                    f"malformed size pragma (want '% size: Pred N'): {line.strip()!r}"
+                )
+            out["sizes"][rest[0]] = int(rest[1])
+    return out
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import Severity, analyze_text, render_json, render_text
+
+    findings = []
+    parse_failed = False
+    for path in args.programs:
+        text = Path(path).read_text()
+        pragmas = parse_lint_pragmas(text)
+        ignore = list(args.ignore or []) + pragmas["ignore"]
+        try:
+            findings.extend(
+                analyze_text(
+                    text,
+                    edb=list(args.edb or []) + pragmas["edb"],
+                    outputs=list(args.outputs or []) + pragmas["outputs"],
+                    file=path,
+                    sizes=pragmas["sizes"],
+                    select=args.select,
+                    ignore=ignore or None,
+                )
+            )
+        except ParseError as exc:
+            print(f"{path}: error: {exc}", file=sys.stderr)
+            parse_failed = True
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    if parse_failed:
+        return EXIT_PARSE_ERROR
+    errors = sum(1 for d in findings if d.severity is Severity.ERROR)
     return 1 if errors else 0
 
 
@@ -351,10 +419,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_governor_args(sql)
     sql.set_defaults(func=_cmd_sql)
 
-    lint = sub.add_parser("lint", help="static checks on a fauré-log file")
-    lint.add_argument("program", help="program file")
+    lint = sub.add_parser("lint", help="static checks on fauré-log files")
+    lint.add_argument("programs", nargs="+", help="program file(s)")
     lint.add_argument("--edb", nargs="*", help="declared stored relations")
     lint.add_argument("--outputs", nargs="*", help="output predicates")
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="only report these comma-separated codes (e.g. F011,F008)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="drop these comma-separated codes",
+    )
     lint.set_defaults(func=_cmd_lint)
 
     examples = sub.add_parser("examples", help="list bundled examples")

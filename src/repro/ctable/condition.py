@@ -218,11 +218,14 @@ class Comparison(Condition):
         lhs = as_term(lhs)
         rhs = as_term(rhs)
         # Canonical orientation: constants on the right when possible, and
-        # symmetric operators sorted by repr for structural dedup.
+        # symmetric operators over two non-constants sorted by repr for
+        # structural dedup.  (The repr sort must not touch var-vs-const
+        # atoms, or the two construction orders would orient differently
+        # and negation would not round-trip structurally.)
         if lhs.is_constant and not rhs.is_constant:
             lhs, rhs = rhs, lhs
             op = _FLIPPED_OP[op]
-        elif op in ("=", "!=") and repr(rhs) < repr(lhs):
+        elif op in ("=", "!=") and not rhs.is_constant and repr(rhs) < repr(lhs):
             lhs, rhs = rhs, lhs
         object.__setattr__(self, "lhs", lhs)
         object.__setattr__(self, "op", op)

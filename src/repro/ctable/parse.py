@@ -21,22 +21,76 @@ identifier means, which is the only point where the two dialects differ.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple, Union
 
 from .condition import Comparison, Condition, LinearAtom, conjoin, disjoin
 from .terms import Constant, CVariable, Term, Variable
 
-__all__ = ["Token", "tokenize", "TokenStream", "parse_term", "parse_condition", "ParseError"]
+__all__ = [
+    "Token",
+    "tokenize",
+    "TokenStream",
+    "parse_term",
+    "parse_condition",
+    "ParseError",
+    "Span",
+    "line_col",
+]
+
+
+def line_col(text: str, position: int) -> Tuple[int, int]:
+    """1-based (line, column) of a character offset into ``text``."""
+    if position < 0:
+        return (1, 1)
+    position = min(position, len(text))
+    line = text.count("\n", 0, position) + 1
+    last_nl = text.rfind("\n", 0, position)
+    return (line, position - last_nl)
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open source region, 1-based lines and columns.
+
+    ``end_line``/``end_col`` point one past the last character, so a
+    zero-width span has ``col == end_col``.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+
+    @classmethod
+    def from_offsets(cls, text: str, start: int, end: int) -> "Span":
+        sl, sc = line_col(text, start)
+        el, ec = line_col(text, end)
+        return cls(sl, sc, el, ec)
+
+    def merge(self, other: Optional["Span"]) -> "Span":
+        """The smallest span covering both."""
+        if other is None:
+            return self
+        start = min((self.line, self.col), (other.line, other.col))
+        end = max((self.end_line, self.end_col), (other.end_line, other.end_col))
+        return Span(start[0], start[1], end[0], end[1])
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
 
 
 class ParseError(ValueError):
-    """Syntax error with position information."""
+    """Syntax error with position information (line:col when known)."""
 
     def __init__(self, message: str, position: int = -1, text: str = ""):
         context = ""
+        self.line: Optional[int] = None
+        self.col: Optional[int] = None
         if position >= 0 and text:
+            self.line, self.col = line_col(text, position)
             snippet = text[max(0, position - 20):position + 20]
-            context = f" near ...{snippet!r}..."
+            context = f" at line {self.line}, column {self.col} near ...{snippet!r}..."
         super().__init__(f"{message}{context}")
         self.position = position
 
@@ -118,6 +172,8 @@ class TokenStream:
         self.tokens = tokens
         self.text = text
         self.index = 0
+        #: End offset of the last consumed token (for span construction).
+        self.last_end = 0
 
     def peek(self, ahead: int = 0) -> Token:
         i = min(self.index + ahead, len(self.tokens) - 1)
@@ -127,7 +183,12 @@ class TokenStream:
         tok = self.peek()
         if tok[0] != "eof":
             self.index += 1
+            self.last_end = tok[2] + len(tok[1])
         return tok
+
+    def span_from(self, start: int) -> Span:
+        """Span from offset ``start`` to the end of the last consumed token."""
+        return Span.from_offsets(self.text, start, max(start, self.last_end))
 
     def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
         tok = self.peek()

@@ -2,9 +2,10 @@
 
 Mirrors the database habit the engine stands in for — before trusting an
 execution strategy, look at the plan.  ``explain(plan, db)`` renders the
-operator tree with schemas and estimated input cardinalities (exact for
-stored tables; children of computed nodes show "?" since the engine does
-not keep statistics).
+operator tree with schemas and cardinalities: exact ``[N rows]`` counts
+for stored tables, and System-R-style ``[~N rows]`` estimates from
+:mod:`repro.analysis.cost` for the computed nodes above them (omitted
+when a leaf has no stored table to anchor the estimate).
 """
 
 from __future__ import annotations
@@ -79,14 +80,26 @@ def explain(plan: PlanNode, db: Database, solver=None) -> str:
     verdict cache: hits/misses observed by this solver instance plus the
     process-wide entry/intern counts (omitted when memoization is off).
     """
+    from ..analysis.cost import estimate_rows  # local: avoids import cycle
+
     lines: List[str] = []
+
+    def estimate(node: PlanNode) -> str:
+        if isinstance(node, Scan):
+            return ""  # exact count already shown by _describe
+        est = estimate_rows(node, db)
+        if est is None:
+            return ""
+        return f" [~{est:g} rows]"
 
     def walk(node: PlanNode, depth: int) -> None:
         try:
             schema = " (" + ", ".join(node.schema(db)) + ")"
         except Exception:
             schema = ""
-        lines.append("  " * depth + "-> " + _describe(node, db) + schema)
+        lines.append(
+            "  " * depth + "-> " + _describe(node, db) + estimate(node) + schema
+        )
         for child in _children(node):
             walk(child, depth + 1)
 

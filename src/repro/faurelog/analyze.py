@@ -1,36 +1,28 @@
-"""Static analysis (linting) of fauré-log programs.
+"""Static analysis (linting) of fauré-log programs — legacy facade.
 
-The paper leans on "static analysis readily available in pure datalog";
-beyond stratification and containment, this module provides the
-workaday checks that catch real mistakes in constraint files before
-they silently verify nothing:
-
-* **singleton variables** — a program variable used exactly once is
-  usually a typo (it matches anything);
-* **undefined predicates** — referenced but neither defined by a rule
-  nor declared as a stored relation;
-* **unused predicates** — defined but unreachable from any output;
-* **duplicate rules** — identical rules add nothing;
-* **degenerate comparisons** — conditions that fold to TRUE/FALSE make a
-  rule vacuous or dead.
+The actual analyses live in :mod:`repro.analysis`: a pass manager runs
+typed passes over the program and emits :class:`~repro.analysis.Diagnostic`
+findings with stable ``F0xx`` codes, severities, and source spans.  This
+module keeps the original flat API — :class:`Lint` records and
+:func:`lint_program` — for callers that predate the pass framework; new
+code should call :func:`repro.analysis.analyze_program` directly and get
+codes and spans too.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import Iterable, List, Optional
 
-from ..ctable.condition import FalseCond, TrueCond
-from ..ctable.terms import Variable
-from .ast import Literal, Program, Rule
-from .stratify import dependency_graph
+from ..analysis.manager import analyze_program
+from .ast import Program
 
 __all__ = ["Lint", "lint_program"]
 
 
 @dataclass(frozen=True)
 class Lint:
-    """One finding: severity ('warning'|'error'), rule context, message."""
+    """One finding: severity ('warning'|'error'|'info'), rule, message."""
 
     severity: str
     message: str
@@ -41,10 +33,6 @@ class Lint:
         return f"{self.severity}{where}: {self.message}"
 
 
-def _rule_name(rule: Rule) -> str:
-    return rule.label or str(rule.head)
-
-
 def lint_program(
     program: Program,
     edb: Iterable[str] = (),
@@ -52,91 +40,13 @@ def lint_program(
 ) -> List[Lint]:
     """Run all checks; ``edb`` declares stored relations, ``outputs`` the
     predicates whose reachability matters (default: all rule heads that
-    nothing else consumes)."""
-    findings: List[Lint] = []
-    edb_set = set(edb)
-    idb = program.idb_predicates()
+    nothing else consumes).
 
-    # -- singleton variables --------------------------------------------
-    for rule in program:
-        counts: Dict[Variable, int] = {}
-        for atom in [rule.head] + [l.atom for l in rule.literals()]:
-            for term in atom.terms:
-                if isinstance(term, Variable):
-                    counts[term] = counts.get(term, 0) + 1
-        for cond in rule.comparisons():
-            for a in cond.atoms():
-                for term in getattr(a, "lhs", None), getattr(a, "rhs", None):
-                    if isinstance(term, Variable):
-                        counts[term] = counts.get(term, 0) + 1
-        for var, n in counts.items():
-            if n == 1:
-                findings.append(
-                    Lint(
-                        "warning",
-                        f"variable {var} occurs only once (matches anything)",
-                        _rule_name(rule),
-                    )
-                )
-
-    # -- undefined predicates ---------------------------------------------
-    for rule in program:
-        for literal in rule.literals():
-            pred = literal.predicate
-            if pred not in idb and edb_set and pred not in edb_set:
-                findings.append(
-                    Lint(
-                        "error",
-                        f"predicate {pred} is neither defined nor a declared relation",
-                        _rule_name(rule),
-                    )
-                )
-
-    # -- unused predicates ----------------------------------------------------
-    graph = dependency_graph(program)
-    consumed: Set[str] = set()
-    for rule in program:
-        consumed |= rule.body_predicates()
-    sinks = set(outputs) or (idb - consumed)
-    reachable: Set[str] = set()
-    frontier = list(sinks)
-    while frontier:
-        pred = frontier.pop()
-        if pred in reachable:
-            continue
-        reachable.add(pred)
-        for src, dst in graph.in_edges(pred):
-            frontier.append(src)
-    for pred in sorted(idb - reachable):
-        findings.append(
-            Lint("warning", f"predicate {pred} is never used by any output")
-        )
-
-    # -- duplicate rules -------------------------------------------------------
-    seen: Dict = {}
-    for rule in program:
-        key = (rule.head, rule.body)
-        if key in seen:
-            findings.append(
-                Lint(
-                    "warning",
-                    f"rule duplicates {seen[key]}",
-                    _rule_name(rule),
-                )
-            )
-        else:
-            seen[key] = _rule_name(rule)
-
-    # -- degenerate comparisons ----------------------------------------------------
-    for rule in program:
-        for cond in rule.comparisons():
-            if isinstance(cond, TrueCond):
-                findings.append(
-                    Lint("warning", "comparison is always true", _rule_name(rule))
-                )
-            elif isinstance(cond, FalseCond):
-                findings.append(
-                    Lint("warning", "comparison is always false: rule can never fire",
-                         _rule_name(rule))
-                )
-    return findings
+    Thin wrapper over :func:`repro.analysis.analyze_program` that drops
+    codes and spans to preserve the original return type.
+    """
+    findings = analyze_program(program, edb=edb, outputs=outputs)
+    return [
+        Lint(d.severity.value, d.message, d.rule)
+        for d in findings
+    ]

@@ -34,9 +34,10 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..ctable.condition import Condition, TRUE, conjoin
+from ..ctable.parse import Span
 from ..ctable.terms import Constant, CVariable, Term, Variable, as_term
 
-__all__ = ["Atom", "Literal", "BodyItem", "Rule", "Program", "ProgramError"]
+__all__ = ["Atom", "Literal", "BodyItem", "Rule", "Program", "ProgramError", "SafetyViolation"]
 
 
 class ProgramError(ValueError):
@@ -44,15 +45,21 @@ class ProgramError(ValueError):
 
 
 class Atom:
-    """A predicate applied to terms: ``R(f, n1, $x)``."""
+    """A predicate applied to terms: ``R(f, n1, $x)``.
 
-    __slots__ = ("predicate", "terms")
+    ``span`` records where the atom was parsed from (``None`` for atoms
+    built programmatically); it is carried for diagnostics only and is
+    transparent to equality and hashing.
+    """
 
-    def __init__(self, predicate: str, terms: Sequence = ()):
+    __slots__ = ("predicate", "terms", "span")
+
+    def __init__(self, predicate: str, terms: Sequence = (), span: Optional[Span] = None):
         if not predicate:
             raise ProgramError("empty predicate name")
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(self, "terms", tuple(as_term(t) for t in terms))
+        object.__setattr__(self, "span", span)
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability
         raise AttributeError("Atom is immutable")
@@ -91,10 +98,12 @@ class Literal:
 
     ``condition_var`` names the captured tuple condition (``[phi]``);
     ``annotation`` is a filter condition conjoined onto the match
-    (``[$x != Mkt]``).  Both may be present.
+    (``[$x != Mkt]``).  Both may be present.  ``span`` (diagnostics
+    only, equality-transparent) covers the whole literal including any
+    negation marker and annotation.
     """
 
-    __slots__ = ("atom", "negated", "condition_var", "annotation")
+    __slots__ = ("atom", "negated", "condition_var", "annotation", "span")
 
     def __init__(
         self,
@@ -102,11 +111,13 @@ class Literal:
         negated: bool = False,
         condition_var: Optional[str] = None,
         annotation: Condition = TRUE,
+        span: Optional[Span] = None,
     ):
         object.__setattr__(self, "atom", atom)
         object.__setattr__(self, "negated", bool(negated))
         object.__setattr__(self, "condition_var", condition_var)
         object.__setattr__(self, "annotation", annotation)
+        object.__setattr__(self, "span", span if span is not None else atom.span)
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability
         raise AttributeError("Literal is immutable")
@@ -151,10 +162,25 @@ class Literal:
 BodyItem = Union[Literal, Condition]
 
 
-class Rule:
-    """One fauré-log rule; facts are rules with an empty body."""
+#: One range-restriction violation: ``kind`` is ``"head"`` (head variable
+#: unbound), ``"negation"`` (variable only under negation) or
+#: ``"comparison"`` (comparison variable unbound); ``where`` locates the
+#: offending span when known.
+SafetyViolation = Tuple[str, Variable, Optional[Span]]
 
-    __slots__ = ("head", "body", "label", "head_annotation")
+
+class Rule:
+    """One fauré-log rule; facts are rules with an empty body.
+
+    ``span`` / ``body_spans`` (diagnostics only, equality-transparent)
+    locate the rule and each body item in the source text.  With
+    ``check_safety=False`` unsafe rules are admitted — the static
+    analyzer uses this to *report* range-restriction violations (with
+    positions) instead of dying on the first one; evaluation always
+    re-validates via the default strict mode.
+    """
+
+    __slots__ = ("head", "body", "label", "head_annotation", "span", "body_spans")
 
     def __init__(
         self,
@@ -162,16 +188,30 @@ class Rule:
         body: Sequence[BodyItem] = (),
         label: Optional[str] = None,
         head_annotation: Optional[str] = None,
+        span: Optional[Span] = None,
+        body_spans: Optional[Sequence[Optional[Span]]] = None,
+        check_safety: bool = True,
     ):
         body = tuple(body)
         for item in body:
             if not isinstance(item, (Literal, Condition)):
                 raise ProgramError(f"bad body item {item!r}")
+        if body_spans is not None:
+            spans = tuple(body_spans)
+        else:
+            spans = tuple(
+                item.span if isinstance(item, Literal) else None for item in body
+            )
+        if len(spans) != len(body):
+            raise ProgramError("body_spans must align with body")
         object.__setattr__(self, "head", head)
         object.__setattr__(self, "body", body)
         object.__setattr__(self, "label", label)
         object.__setattr__(self, "head_annotation", head_annotation)
-        self._check_safety()
+        object.__setattr__(self, "span", span if span is not None else head.span)
+        object.__setattr__(self, "body_spans", spans)
+        if check_safety:
+            self._check_safety()
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability
         raise AttributeError("Rule is immutable")
@@ -220,7 +260,13 @@ class Rule:
 
     # -- safety ----------------------------------------------------------------
 
-    def _check_safety(self) -> None:
+    def safety_violations(self) -> List[SafetyViolation]:
+        """All range-restriction violations of this rule (empty = safe).
+
+        C-variables are exempt throughout: unbound ones are references
+        to the database's global c-variables, not errors.
+        """
+        out: List[SafetyViolation] = []
         bound: Set[Term] = set()
         for lit in self.positive_literals():
             for t in lit.atom.terms:
@@ -229,25 +275,35 @@ class Rule:
         # Head variables must be bound by some positive literal.
         for t in self.head.terms:
             if isinstance(t, Variable) and t not in bound:
-                raise ProgramError(
-                    f"unsafe rule {self}: head variable {t} not bound in body"
-                )
+                out.append(("head", t, self.head.span))
         # Negated-literal variables must be bound positively.
         for lit in self.negative_literals():
             for t in lit.atom.terms:
                 if isinstance(t, Variable) and t not in bound:
-                    raise ProgramError(
-                        f"unsafe rule {self}: variable {t} occurs only under negation"
-                    )
-        # Comparison variables must be bound positively (c-variables are
-        # exempt: unbound ones are global references).
-        for cond in self.comparisons():
-            for atom in cond.atoms():
+                    out.append(("negation", t, lit.span))
+        # Comparison variables must be bound positively.
+        for i, item in enumerate(self.body):
+            if not isinstance(item, Condition):
+                continue
+            for atom in item.atoms():
                 for t in _condition_terms(atom):
                     if isinstance(t, Variable) and t not in bound:
-                        raise ProgramError(
-                            f"unsafe rule {self}: comparison variable {t} unbound"
-                        )
+                        out.append(("comparison", t, self.body_spans[i]))
+        return out
+
+    def _check_safety(self) -> None:
+        for kind, term, _span in self.safety_violations():
+            if kind == "head":
+                raise ProgramError(
+                    f"unsafe rule {self}: head variable {term} not bound in body"
+                )
+            if kind == "negation":
+                raise ProgramError(
+                    f"unsafe rule {self}: variable {term} occurs only under negation"
+                )
+            raise ProgramError(
+                f"unsafe rule {self}: comparison variable {term} unbound"
+            )
 
     def __eq__(self, other) -> bool:
         return isinstance(other, Rule) and self.head == other.head and self.body == other.body
@@ -278,14 +334,33 @@ def _condition_terms(atom) -> Iterator[Term]:
 
 
 class Program:
-    """A finite collection of fauré-log rules."""
+    """A finite collection of fauré-log rules.
 
-    def __init__(self, rules: Iterable[Rule] = ()):
+    ``check_arities=False`` admits arity-inconsistent programs so the
+    static analyzer can report every clash (see :meth:`arity_clashes`)
+    instead of raising on the first; evaluation uses the strict default.
+    ``source`` optionally retains the program text for diagnostics.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] = (),
+        check_arities: bool = True,
+        source: Optional[str] = None,
+    ):
         self.rules: List[Rule] = list(rules)
-        self._check_arities()
+        self.source = source
+        self._strict_arities = check_arities
+        if check_arities:
+            self._check_arities()
 
-    def _check_arities(self) -> None:
+    def arity_clashes(self) -> List[Tuple[Atom, int]]:
+        """Atoms whose arity disagrees with the first use of their predicate.
+
+        Returns ``(atom, expected_arity)`` pairs in program order.
+        """
         arities: Dict[str, int] = {}
+        clashes: List[Tuple[Atom, int]] = []
         for rule in self.rules:
             atoms = [rule.head] + [lit.atom for lit in rule.literals()]
             for atom in atoms:
@@ -293,13 +368,19 @@ class Program:
                 if known is None:
                     arities[atom.predicate] = atom.arity
                 elif known != atom.arity:
-                    raise ProgramError(
-                        f"predicate {atom.predicate} used with arities {known} and {atom.arity}"
-                    )
+                    clashes.append((atom, known))
+        return clashes
+
+    def _check_arities(self) -> None:
+        for atom, expected in self.arity_clashes():
+            raise ProgramError(
+                f"predicate {atom.predicate} used with arities {expected} and {atom.arity}"
+            )
 
     def add(self, rule: Rule) -> None:
         self.rules.append(rule)
-        self._check_arities()
+        if self._strict_arities:
+            self._check_arities()
 
     def idb_predicates(self) -> FrozenSet[str]:
         """Predicates defined by some rule head."""

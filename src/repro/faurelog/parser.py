@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 from ..ctable.condition import Condition, TRUE, conjoin
 from ..ctable.parse import (
     ParseError,
+    Span,
     TokenStream,
     default_resolver,
     parse_condition,
@@ -70,7 +71,7 @@ def _parse_atom(stream: TokenStream) -> Atom:
             if stream.accept("op", ")"):
                 break
             stream.expect("op", ",")
-    return Atom(predicate, terms)
+    return Atom(predicate, terms, span=stream.span_from(tok[2]))
 
 
 def _parse_annotation(stream: TokenStream) -> Tuple[Optional[str], Condition]:
@@ -106,6 +107,7 @@ def _parse_annotation(stream: TokenStream) -> Tuple[Optional[str], Condition]:
 
 
 def _parse_literal(stream: TokenStream) -> Literal:
+    start = stream.peek()[2]
     negated = False
     if (
         stream.accept("kw", "NOT")
@@ -118,7 +120,13 @@ def _parse_literal(stream: TokenStream) -> Literal:
     annotation: Condition = TRUE
     if stream.accept("op", "["):
         cond_var, annotation = _parse_annotation(stream)
-    return Literal(atom, negated=negated, condition_var=cond_var, annotation=annotation)
+    return Literal(
+        atom,
+        negated=negated,
+        condition_var=cond_var,
+        annotation=annotation,
+        span=stream.span_from(start),
+    )
 
 
 def _parse_body_item(stream: TokenStream) -> BodyItem:
@@ -133,10 +141,11 @@ def _parse_body_item(stream: TokenStream) -> BodyItem:
     return parse_condition(stream, default_resolver)
 
 
-def parse_rule(stream: TokenStream) -> Rule:
+def parse_rule(stream: TokenStream, check_safety: bool = True) -> Rule:
     """Parse one rule (label optional, terminating '.' required)."""
     label: Optional[str] = None
     tok = stream.peek()
+    start = tok[2]
     nxt = stream.peek(1)
     if tok[0] == "ident" and nxt[0] == "op" and nxt[1] == ":":
         label = tok[1]
@@ -153,19 +162,36 @@ def parse_rule(stream: TokenStream) -> Rule:
             parts.append(str(filters))
         head_annotation = " AND ".join(parts) if parts else None
     body: List[BodyItem] = []
+    body_spans: List[Optional[Span]] = []
     if stream.accept("op", ":-"):
         while True:
+            item_start = stream.peek()[2]
             body.append(_parse_body_item(stream))
+            body_spans.append(stream.span_from(item_start))
             if not stream.accept("op", ","):
                 break
     stream.expect("op", ".")
-    return Rule(head, body, label=label, head_annotation=head_annotation)
+    return Rule(
+        head,
+        body,
+        label=label,
+        head_annotation=head_annotation,
+        span=stream.span_from(start),
+        body_spans=body_spans,
+        check_safety=check_safety,
+    )
 
 
-def parse_program(text: str) -> Program:
-    """Parse a whole program (rule labels may be written ``qN:``)."""
+def parse_program(text: str, check_safety: bool = True, check_arities: bool = True) -> Program:
+    """Parse a whole program (rule labels may be written ``qN:``).
+
+    The relaxed flags admit unsafe / arity-inconsistent programs so the
+    static analyzer (:mod:`repro.analysis`) can report *every* problem
+    with source positions instead of dying on the first; evaluation
+    entry points keep the strict defaults.
+    """
     stream = TokenStream(tokenize(text), text)
     rules: List[Rule] = []
     while not stream.exhausted:
-        rules.append(parse_rule(stream))
-    return Program(rules)
+        rules.append(parse_rule(stream, check_safety=check_safety))
+    return Program(rules, check_arities=check_arities, source=text)

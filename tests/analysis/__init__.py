@@ -1,0 +1,1 @@
+"""Tests for the static analysis subsystem (repro.analysis)."""

@@ -1,0 +1,100 @@
+"""Diagnostic records, the code registry, filtering, renderers."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    code_info,
+    filter_diagnostics,
+    render_json,
+    render_text,
+)
+from repro.ctable.parse import Span
+
+
+class TestRegistry:
+    def test_codes_are_stable_format(self):
+        for code in CODES:
+            assert code.startswith("F") and len(code) == 4 and code[1:].isdigit()
+
+    def test_contiguous_from_f001(self):
+        numbers = sorted(int(c[1:]) for c in CODES)
+        assert numbers == list(range(1, len(CODES) + 1))
+
+    def test_registry_lookup(self):
+        assert code_info("F011").default_severity is Severity.WARNING
+        with pytest.raises(KeyError):
+            code_info("F999")
+
+    def test_severity_rank_order(self):
+        assert Severity.INFO.rank < Severity.WARNING.rank < Severity.ERROR.rank
+
+
+class TestDiagnostic:
+    def test_make_uses_registered_severity(self):
+        d = Diagnostic.make("F005", "msg")
+        assert d.severity is Severity.ERROR
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic.make("F999", "msg")
+
+    def test_str_with_span_and_rule(self):
+        span = Span(line=3, col=7, end_line=3, end_col=12)
+        d = Diagnostic.make("F007", "singleton", span=span, rule="q1", file="a.fl")
+        assert str(d) == "a.fl:3:7: F007 warning [q1]: singleton"
+
+    def test_str_without_span(self):
+        d = Diagnostic.make("F009", "dead")
+        assert str(d) == "-: F009 warning: dead"
+
+    def test_to_dict_round_trips_span(self):
+        span = Span(line=2, col=1, end_line=2, end_col=9)
+        d = Diagnostic.make("F011", "contradiction", span=span, rule="q2")
+        payload = d.to_dict()
+        assert payload["code"] == "F011"
+        assert payload["line"] == 2 and payload["end_col"] == 9
+        assert payload["severity"] == "warning"
+
+
+class TestFiltering:
+    def _findings(self):
+        return [
+            Diagnostic.make("F005", "a"),
+            Diagnostic.make("F007", "b"),
+            Diagnostic.make("F011", "c"),
+        ]
+
+    def test_select(self):
+        kept = filter_diagnostics(self._findings(), select=["F007,F011"])
+        assert [d.code for d in kept] == ["F007", "F011"]
+
+    def test_ignore(self):
+        kept = filter_diagnostics(self._findings(), ignore=["F007"])
+        assert [d.code for d in kept] == ["F005", "F011"]
+
+    def test_select_then_ignore(self):
+        kept = filter_diagnostics(
+            self._findings(), select=["F005", "F007"], ignore=["F007"]
+        )
+        assert [d.code for d in kept] == ["F005"]
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValueError):
+            filter_diagnostics(self._findings(), select=["F123"])
+        with pytest.raises(ValueError):
+            filter_diagnostics(self._findings(), ignore=["nonsense"])
+
+
+class TestRenderers:
+    def test_text_tally(self):
+        out = render_text([Diagnostic.make("F005", "a"), Diagnostic.make("F007", "b")])
+        assert out.endswith("2 finding(s): 1 error(s), 1 warning(s)")
+
+    def test_json_parses(self):
+        payload = json.loads(render_json([Diagnostic.make("F005", "a")]))
+        assert payload == [{"code": "F005", "severity": "error", "message": "a"}]

@@ -1,0 +1,112 @@
+"""Source positions: spans on AST nodes, positioned parse errors."""
+
+import pytest
+
+from repro.ctable.parse import ParseError, Span, line_col
+from repro.faurelog.parser import parse_program, parse_rule
+from repro.ctable.parse import TokenStream, tokenize
+
+
+class TestLineCol:
+    def test_first_char(self):
+        assert line_col("abc", 0) == (1, 1)
+
+    def test_after_newline(self):
+        assert line_col("ab\ncd", 3) == (2, 1)
+        assert line_col("ab\ncd", 4) == (2, 2)
+
+    def test_end_of_text(self):
+        assert line_col("ab\ncd", 5) == (2, 3)
+
+
+class TestSpan:
+    def test_from_offsets(self):
+        span = Span.from_offsets("ab\ncdef", 3, 7)
+        assert (span.line, span.col) == (2, 1)
+        assert (span.end_line, span.end_col) == (2, 5)
+
+    def test_str_is_line_col(self):
+        assert str(Span(3, 7, 3, 10)) == "3:7"
+
+    def test_merge(self):
+        merged = Span.merge(Span(1, 5, 1, 9), Span(2, 1, 2, 4))
+        assert (merged.line, merged.col) == (1, 5)
+        assert (merged.end_line, merged.end_col) == (2, 4)
+
+
+class TestAstSpans:
+    def test_atom_spans(self):
+        program = parse_program("q1: Out(x) :- A(x), B(x).")
+        rule = program.rules[0]
+        assert rule.head.span is not None
+        assert (rule.head.span.line, rule.head.span.col) == (1, 5)
+        literals = list(rule.literals())
+        assert (literals[0].span.line, literals[0].span.col) == (1, 15)
+        assert (literals[1].span.line, literals[1].span.col) == (1, 21)
+
+    def test_negated_literal_span_covers_not(self):
+        program = parse_program("q1: Out(x) :- A(x), B(x), not C(x).")
+        negated = [l for l in program.rules[0].literals() if l.negated]
+        assert negated[0].span.col == 27  # the 'not' keyword
+
+    def test_rule_span_and_body_spans_align(self):
+        text = "q1: Out($x) :- A($x), $x < 5."
+        rule = parse_program(text).rules[0]
+        assert rule.span is not None and rule.span.col == 1
+        assert len(rule.body_spans) == len(rule.body)
+        # the bare comparison's span points into the rule text
+        comparison_span = rule.body_spans[-1]
+        assert comparison_span is not None and comparison_span.col == 23
+
+    def test_multiline_positions(self):
+        text = "q1: Out(x) :- A(x).\nq2: Out2(y) :- B(y).\n"
+        program = parse_program(text)
+        assert program.rules[0].span.line == 1
+        assert program.rules[1].span.line == 2
+
+    def test_spans_do_not_affect_equality(self):
+        with_spans = parse_program("q1: Out(x) :- A(x).").rules[0]
+        stream = TokenStream(tokenize("q1: Out(x) :- A(x)."), "q1: Out(x) :- A(x).")
+        other = parse_rule(stream)
+        assert with_spans == other
+        assert hash(with_spans.head) == hash(other.head)
+
+
+class TestParseErrorPositions:
+    def test_error_carries_line_col(self):
+        try:
+            parse_program("q1: Out(x) :- A(x).\nq2: Bad( :- B(y).\n")
+        except ParseError as exc:
+            assert exc.line == 2
+            assert "line 2" in str(exc)
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_error_on_first_line(self):
+        with pytest.raises(ParseError, match="line 1"):
+            parse_program("q1: Out( :- A(x).")
+
+    def test_lexer_error_positioned(self):
+        with pytest.raises(ParseError, match="line 1"):
+            parse_program("q1: Out(x) :- A(x) & B(x).")
+
+
+class TestRelaxedParsing:
+    def test_unsafe_program_parses_relaxed(self):
+        text = "q1: Out(x, y) :- A(x)."
+        program = parse_program(text, check_safety=False)
+        violations = program.rules[0].safety_violations()
+        kinds = [v[0] for v in violations]
+        assert "head" in kinds
+
+    def test_arity_clash_collected_not_raised(self):
+        text = "q1: Out(x) :- A(x, y), A(x, y, y)."
+        program = parse_program(text, check_safety=False, check_arities=False)
+        clashes = program.arity_clashes()
+        assert clashes and clashes[0][0].predicate == "A"
+
+    def test_strict_mode_unchanged(self):
+        from repro.faurelog.ast import ProgramError
+
+        with pytest.raises(ProgramError):
+            parse_program("q1: Out(x, y) :- A(x).")

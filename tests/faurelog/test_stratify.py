@@ -79,6 +79,90 @@ class TestStratify:
         assert all("B" not in s for s in strata)
 
 
+class TestNegationInRecursion:
+    def test_self_negation_rejected(self):
+        p = parse_program("P(a) :- N(a), not P(a).")
+        with pytest.raises(ProgramError):
+            stratify(p)
+
+    def test_negation_through_long_cycle_rejected(self):
+        p = parse_program(
+            """
+            A(x) :- N(x), not C(x).
+            B(x) :- A(x).
+            C(x) :- B(x).
+            """
+        )
+        with pytest.raises(ProgramError):
+            stratify(p)
+
+    def test_negative_edge_outside_cycle_accepted(self):
+        # A and B are mutually recursive; the negation targets a lower
+        # stratum, so the program is fine.
+        p = parse_program(
+            """
+            A(x) :- N(x), B(x), not D(x).
+            B(x) :- A(x).
+            D(x) :- N(x).
+            """
+        )
+        strata = stratify(p)
+        assert strata.index(frozenset({"D"})) < strata.index(frozenset({"A", "B"}))
+
+
+class TestMultiSccGraphs:
+    PROGRAM = """
+        E(a, b) :- L(a, b).
+        E(a, b) :- L(a, c), E(c, b).
+        F(a, b) :- M(a, b).
+        F(a, b) :- M(a, c), F(c, b).
+        Top(a, b) :- E(a, b), not F(a, b).
+        """
+
+    def test_independent_sccs_stratify(self):
+        p = parse_program(self.PROGRAM)
+        strata = stratify(p)
+        assert frozenset({"E"}) in strata and frozenset({"F"}) in strata
+        assert strata.index(frozenset({"F"})) < strata.index(frozenset({"Top"}))
+
+    def test_scc_structure(self):
+        import networkx as nx
+
+        p = parse_program(self.PROGRAM)
+        g = dependency_graph(p)
+        sccs = [s for s in nx.strongly_connected_components(g) if len(s) > 1 or
+                any(g.has_edge(n, n) for n in s)]
+        assert {frozenset(s) for s in sccs} == {frozenset({"E"}), frozenset({"F"})}
+
+    def test_negation_between_sccs_is_fine(self):
+        p = parse_program(self.PROGRAM)
+        strata = stratify(p)  # must not raise
+        assert any("Top" in s for s in strata)
+
+
+class TestSelfLoops:
+    def test_self_loop_edge_recorded(self):
+        p = parse_program("R(a, b) :- R(a, c), S(c, b).")
+        g = dependency_graph(p)
+        assert g.has_edge("R", "R")
+        assert not g["R"]["R"]["negative"]
+
+    def test_positive_self_loop_stratifies(self):
+        p = parse_program("R(a, b) :- R(a, c), S(c, b).")
+        assert frozenset({"R"}) in stratify(p)
+
+    def test_self_loop_is_recursive(self):
+        p = parse_program("R(a, b) :- R(a, c), S(c, b).")
+        assert is_recursive(p)
+
+    def test_negative_self_loop_rejected(self):
+        p = parse_program("P(a) :- N(a), not P(a).")
+        g = dependency_graph(p)
+        assert g.has_edge("P", "P") and g["P"]["P"]["negative"]
+        with pytest.raises(ProgramError):
+            stratify(p)
+
+
 class TestIsRecursive:
     def test_nonrecursive(self):
         p = parse_program("H(a) :- B(a). G(a) :- H(a).")
