@@ -7,7 +7,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src $(PYTHON)
 
-.PHONY: install test test-oracle test-robustness bench bench-memo bench-tables examples lint-programs typecheck lint-self clean
+.PHONY: install test test-oracle test-robustness bench bench-memo bench-tables bench-smoke examples lint-programs typecheck lint-self clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -31,7 +31,9 @@ bench:
 bench-memo:
 	$(RUN) benchmarks/bench_memo.py
 
-# the paper's tables/figures in their printed layout
+# the paper's tables/figures in their printed layout, plus the
+# machine-readable BENCH_table4.json / BENCH_parallel.json artifacts
+# (serial vs --jobs comparison; see docs/PERFORMANCE.md)
 bench-tables:
 	$(RUN) benchmarks/bench_table4.py
 	$(RUN) benchmarks/bench_lossless.py
@@ -40,6 +42,14 @@ bench-tables:
 	$(RUN) benchmarks/bench_scale.py
 	$(RUN) benchmarks/bench_memo.py --smoke
 	$(RUN) benchmarks/bench_incremental.py
+	$(RUN) benchmarks/report.py --jobs 4
+
+# CI-sized parallel gate: smallest prefix size, --jobs 2; exits
+# non-zero unless both JSON artifacts parse and the serial/parallel
+# generated-tuple counts agree exactly.
+bench-smoke:
+	$(RUN) benchmarks/bench_table4.py --jobs 2 --sizes 20
+	$(RUN) benchmarks/report.py --smoke --sizes 20
 
 # static analysis gate over every bundled fauré-log program: the clean
 # and warn fixture sets plus the example programs must carry no

@@ -1,0 +1,187 @@
+"""Machine-readable benchmark reports for the Table-4 RIB workload.
+
+Produces two JSON artifacts next to the repo root (or ``--out-dir``):
+
+* ``BENCH_table4.json`` — the paper's Table 4 measurements (per query
+  and prefix size: sql/solver/wall seconds and generated tuple counts)
+  at ``jobs=1``, i.e. the serial reproduction;
+* ``BENCH_parallel.json`` — the same q6/q7/q8 sweep at ``jobs=1`` vs
+  ``--jobs N`` side by side, with per-row ``speedup_vs_serial`` and the
+  host's ``cpu_count`` so a reader can judge whether a speedup was
+  physically possible on the measuring machine.
+
+Both runs must generate identical tuple counts (``jobs`` changes how
+the work is scheduled, never what is answered); the report asserts this
+and exits non-zero on divergence, which is what the CI ``bench-smoke``
+job leans on.
+
+Run: ``python benchmarks/report.py`` (full sweep, jobs=4) or
+``python benchmarks/report.py --smoke`` (smallest prefix, jobs=2).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+from repro.network.forwarding import compile_forwarding
+from repro.workloads.ribgen import RibConfig, generate_rib
+
+try:  # package-relative when imported by pytest
+    from .bench_table4 import _fresh_analyzer, _pattern_stats
+    from .conftest import PREFIX_SIZES
+except ImportError:  # python benchmarks/report.py
+    from bench_table4 import _fresh_analyzer, _pattern_stats
+    from conftest import PREFIX_SIZES
+
+QUERIES = ("q6", "q7", "q8")
+
+
+def run_sweep(prefixes: int, jobs: int) -> List[Dict]:
+    """One Table-4 column: q4–q5 then q6/q7/q8 at the given job count.
+
+    Returns one row dict per query with the ISSUE's report schema:
+    query, prefixes, sql_s, solver_s, wall_s, tuples, jobs.
+    """
+    routes = generate_rib(
+        RibConfig(prefixes=prefixes, as_count=max(60, prefixes // 4), seed=20210610)
+    )
+    compiled = compile_forwarding(routes)
+    analyzer = _fresh_analyzer(compiled, jobs=jobs)
+    start = time.perf_counter()
+    analyzer.compute()
+    rows = [
+        {
+            "query": "q4-q5",
+            "prefixes": prefixes,
+            "sql_s": round(analyzer.stats.sql_seconds, 4),
+            "solver_s": round(analyzer.stats.solver_seconds, 4),
+            "wall_s": round(time.perf_counter() - start, 4),
+            "tuples": analyzer.stats.tuples_generated,
+            "jobs": 1,  # the recursive fixpoint is inherently serial
+        }
+    ]
+    for query in QUERIES:
+        start = time.perf_counter()
+        stats = _pattern_stats(analyzer, compiled, routes, query, jobs=jobs)
+        rows.append(
+            {
+                "query": query,
+                "prefixes": prefixes,
+                "sql_s": round(stats.sql_seconds, 4),
+                "solver_s": round(stats.solver_seconds, 4),
+                "wall_s": round(time.perf_counter() - start, 4),
+                "tuples": stats.tuples_generated,
+                "jobs": jobs,
+            }
+        )
+    return rows
+
+
+def build_reports(sizes: List[int], jobs: int) -> Dict[str, Dict]:
+    """Run the serial and parallel sweeps; assemble both report dicts."""
+    serial_rows: List[Dict] = []
+    parallel_rows: List[Dict] = []
+    mismatches: List[str] = []
+    for prefixes in sizes:
+        serial = run_sweep(prefixes, jobs=1)
+        parallel = run_sweep(prefixes, jobs=jobs) if jobs > 1 else serial
+        serial_rows.extend(serial)
+        for s_row, p_row in zip(serial, parallel):
+            if s_row["tuples"] != p_row["tuples"]:
+                mismatches.append(
+                    f"{s_row['query']}@{prefixes}: serial {s_row['tuples']} "
+                    f"vs jobs={jobs} {p_row['tuples']} tuples"
+                )
+            parallel_rows.append({**s_row, "speedup_vs_serial": 1.0})
+            # q4-q5 is serial in both runs (row carries jobs=1); its wall
+            # delta between the two sweeps is noise, so skip the duplicate.
+            if jobs > 1 and p_row["jobs"] > 1:
+                parallel_rows.append(
+                    {
+                        **p_row,
+                        "speedup_vs_serial": round(
+                            s_row["wall_s"] / p_row["wall_s"], 3
+                        )
+                        if p_row["wall_s"]
+                        else 1.0,
+                    }
+                )
+    meta = {
+        "workload": "table4-rib",
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "prefix_sizes": sizes,
+        "tuple_counts_agree": not mismatches,
+        "tuple_mismatches": mismatches,
+    }
+    return {
+        "BENCH_table4.json": {**meta, "jobs": 1, "rows": serial_rows},
+        "BENCH_parallel.json": {**meta, "rows": parallel_rows},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="parallel worker count (default 4)"
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help=f"prefix sizes to sweep (default {PREFIX_SIZES})",
+    )
+    parser.add_argument(
+        "--out-dir", default=".", help="directory for the JSON artifacts"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: smallest prefix size only, jobs=2 unless --jobs given",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        sizes = args.sizes or [min(PREFIX_SIZES)]
+        jobs = args.jobs if args.jobs != parser.get_default("jobs") else 2
+    else:
+        sizes = args.sizes or list(PREFIX_SIZES)
+        jobs = args.jobs
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    reports = build_reports(sizes, jobs)
+    for name, payload in reports.items():
+        path = os.path.join(args.out_dir, name)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        # Round-trip so a malformed artifact fails loudly here, not in CI.
+        with open(path) as handle:
+            json.load(handle)
+        print(f"wrote {path} ({len(payload['rows'])} rows)")
+
+    parallel = reports["BENCH_parallel.json"]
+    if not parallel["tuple_counts_agree"]:
+        for line in parallel["tuple_mismatches"]:
+            print(f"MISMATCH: {line}", file=sys.stderr)
+        return 1
+    best = max(
+        (
+            row["speedup_vs_serial"]
+            for row in parallel["rows"]
+            if row["jobs"] > 1 and row["query"] in QUERIES
+        ),
+        default=1.0,
+    )
+    print(
+        f"serial/parallel tuple counts agree; best q6-q8 speedup "
+        f"{best:.2f}x at jobs={jobs} on a {parallel['cpu_count']}-cpu host"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,16 @@ def _add_governor_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the shared canonical-form verdict memoization",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for parallelizable phases (batched condition "
+            "pruning, pattern fan-out, per-constraint verification); "
+            "default 1 = fully serial"
+        ),
+    )
 
 
 def _memo_from_args(args):
@@ -183,7 +193,9 @@ def _cmd_rib_analyze(args) -> int:
     compiled = compile_forwarding(routes)
     governor = _governor_from_args(args)
     solver = ConditionSolver(compiled.domains, governor=governor, memo=_memo_from_args(args))
-    analyzer = ReachabilityAnalyzer(compiled.database(), solver, per_flow=True)
+    analyzer = ReachabilityAnalyzer(
+        compiled.database(), solver, per_flow=True, jobs=getattr(args, "jobs", 1)
+    )
     reach = analyzer.compute()
     stats = analyzer.stats
     print(f"prefixes:       {len(routes)}")
@@ -221,9 +233,10 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    target = Constraint(
-        Path(args.target).stem, parse_program(Path(args.target).read_text())
-    )
+    targets = [
+        Constraint(Path(p).stem, parse_program(Path(p).read_text()))
+        for p in args.target
+    ]
     known = [
         Constraint(Path(p).stem, parse_program(Path(p).read_text()))
         for p in args.known
@@ -242,12 +255,15 @@ def _cmd_verify(args) -> int:
         memo=_memo_from_args(args),
     )
     verifier = RelativeCompleteVerifier(known, solver)
-    verdict = verifier.verify(target, update=update, state=state)
-    print(f"{target.name}: {verdict}")
-    for step in verdict.trail:
-        print(f"  {step}")
+    verdicts = verifier.verify_many(
+        targets, update=update, state=state, jobs=getattr(args, "jobs", 1)
+    )
+    for target, verdict in zip(targets, verdicts):
+        print(f"{target.name}: {verdict}")
+        for step in verdict.trail:
+            print(f"  {step}")
     _report_governor(governor)
-    return 0 if verdict.ok else 1
+    return 0 if all(v.ok for v in verdicts) else 1
 
 
 def _cmd_sql(args) -> int:
@@ -262,7 +278,9 @@ def _cmd_sql(args) -> int:
         db, domains = Database(), DomainMap(default=Unbounded("any"))
     governor = _governor_from_args(args)
     engine = SqlEngine(
-        db, solver=ConditionSolver(domains, governor=governor, memo=_memo_from_args(args))
+        db,
+        solver=ConditionSolver(domains, governor=governor, memo=_memo_from_args(args)),
+        jobs=getattr(args, "jobs", 1),
     )
     statements = (
         Path(args.script).read_text() if args.script else " ".join(args.statement)
@@ -401,7 +419,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.set_defaults(func=_cmd_query)
 
     verify = sub.add_parser("verify", help="relative-complete verification")
-    verify.add_argument("--target", required=True, help="target constraint file")
+    verify.add_argument(
+        "--target",
+        required=True,
+        nargs="+",
+        help="target constraint file(s); several fan out across --jobs",
+    )
     verify.add_argument("--known", nargs="*", default=[], help="known constraint files")
     verify.add_argument(
         "--update", nargs="*", help="update specs like '+Lb(R&D, GS)' '-Lb(Mkt, CS)'"

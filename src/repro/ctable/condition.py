@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple
 
-from .terms import Constant, CVariable, Term, Variable, as_term
+from .terms import Constant, CVariable, SlotPickleMixin, Term, Variable, as_term
 
 __all__ = [
     "Condition",
@@ -87,7 +87,7 @@ def _apply_op(op: Op, a, b) -> bool:
     raise ValueError(f"unknown operator {op!r}")
 
 
-class Condition:
+class Condition(SlotPickleMixin):
     """Abstract base of condition trees."""
 
     __slots__ = ()
@@ -200,6 +200,20 @@ class FalseCond(Condition):
 
 TRUE = TrueCond()
 FALSE = FalseCond()
+
+
+def _restore_true() -> TrueCond:
+    return TRUE
+
+
+def _restore_false() -> FalseCond:
+    return FALSE
+
+
+# Pickle round-trips preserve the singletons, so identity checks like
+# ``condition is TRUE`` keep working across process boundaries.
+TrueCond.__reduce__ = lambda self: (_restore_true, ())  # type: ignore[assignment]
+FalseCond.__reduce__ = lambda self: (_restore_false, ())  # type: ignore[assignment]
 
 
 class Comparison(Condition):

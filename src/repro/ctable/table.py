@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .condition import Condition, TRUE, conjoin
-from .terms import Constant, CVariable, Term, as_term
+from .terms import Constant, CVariable, SlotPickleMixin, Term, as_term
 
 __all__ = ["CTuple", "CTable", "Schema", "Database"]
 
@@ -21,7 +21,7 @@ __all__ = ["CTuple", "CTable", "Schema", "Database"]
 Schema = Tuple[str, ...]
 
 
-class CTuple:
+class CTuple(SlotPickleMixin):
     """One conditional tuple: a row of c-domain terms plus a condition."""
 
     __slots__ = ("values", "condition")

@@ -16,6 +16,7 @@ import re
 from typing import Iterable, Union
 
 __all__ = [
+    "SlotPickleMixin",
     "Term",
     "Constant",
     "CVariable",
@@ -34,7 +35,31 @@ Value = Union[str, int, float, bool, tuple]
 _NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.&-]*$")
 
 
-class Term:
+class SlotPickleMixin:
+    """Pickle support for immutable ``__slots__`` classes.
+
+    The immutable classes in this package block ``__setattr__``, which
+    breaks pickle's default slot-state restoration (it calls ``setattr``).
+    This mixin restores state through ``object.__setattr__`` instead, so
+    terms, conditions, and tuples can cross process boundaries (the
+    parallel execution layer ships them to worker processes).
+    """
+
+    __slots__ = ()
+
+    def __getstate__(self):
+        state = {}
+        for cls in type(self).__mro__:
+            for name in getattr(cls, "__slots__", ()):
+                state[name] = getattr(self, name)
+        return state
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
+
+class Term(SlotPickleMixin):
     """Base class for every member of the c-domain plus program variables."""
 
     __slots__ = ()

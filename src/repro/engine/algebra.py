@@ -188,17 +188,31 @@ class Pred:
 
 
 class ExecutionContext:
-    """Carries the solver, pruning policy, and timing accumulators."""
+    """Carries the solver, pruning policy, and timing accumulators.
+
+    With ``jobs > 1`` the context runs in *batch* mode: per-tuple
+    :meth:`keep` checks degrade to the structural FALSE filter, and each
+    operator instead hands its whole output to :meth:`finish`, which
+    prunes it in one batched (and sharded) solver pass.  Note one
+    accounting nuance: in batch mode ``tuples_generated`` counts tuples
+    *before* the operator's prune (the serial eager path counts only
+    survivors); pruned/kept counts are unchanged.
+    """
 
     def __init__(
         self,
         solver: Optional[ConditionSolver] = None,
         prune: bool = True,
         stats: Optional[EvalStats] = None,
+        jobs: int = 1,
+        executor=None,
     ):
         self.solver = solver
         self.prune = prune and solver is not None
         self.stats = stats if stats is not None else EvalStats()
+        self.jobs = max(1, int(jobs))
+        self.executor = executor
+        self.batch = self.prune and self.jobs > 1
         self._solver_watch = Stopwatch()
 
     def keep(self, condition: Condition) -> bool:
@@ -211,7 +225,7 @@ class ExecutionContext:
         if isinstance(condition, FalseCond):
             self.stats.tuples_pruned += 1
             return False
-        if not self.prune:
+        if not self.prune or self.batch:
             return True
         start_seconds = self._solver_watch.seconds
         with self._solver_watch.measure():
@@ -223,6 +237,20 @@ class ExecutionContext:
         if verdict is Verdict.UNKNOWN:
             self.stats.unknown_kept += 1
         return True
+
+    def finish(self, table: CTable) -> CTable:
+        """Batch-prune an operator's output (identity outside batch mode)."""
+        if not self.batch:
+            return table
+        from ..parallel.batch import prune_batched
+
+        start_seconds = self._solver_watch.seconds
+        with self._solver_watch.measure():
+            out = prune_batched(
+                table, self.solver, self.stats, jobs=self.jobs, executor=self.executor
+            )
+        self.stats.solver_seconds += self._solver_watch.seconds - start_seconds
+        return out
 
 
 class PlanNode:
@@ -282,7 +310,7 @@ class Selection(PlanNode):
             if ctx.keep(combined):
                 out.add(tup.values, combined)
                 ctx.stats.tuples_generated += 1
-        return out
+        return ctx.finish(out)
 
 
 class ConditionSelection(PlanNode):
@@ -313,7 +341,7 @@ class ConditionSelection(PlanNode):
             if ctx.keep(combined):
                 out.add(tup.values, combined)
                 ctx.stats.tuples_generated += 1
-        return out
+        return ctx.finish(out)
 
 
 class Projection(PlanNode):
@@ -336,7 +364,7 @@ class Projection(PlanNode):
                 vals = [tup.values[i] for i in idx]
                 out.add(vals, tup.condition)
                 ctx.stats.tuples_generated += 1
-            return out
+            return ctx.finish(out)
         merged: Dict[Tuple[Term, ...], List[Condition]] = {}
         order: List[Tuple[Term, ...]] = []
         for tup in src:
@@ -350,7 +378,7 @@ class Projection(PlanNode):
             if ctx.keep(cond):
                 out.add(key, cond)
                 ctx.stats.tuples_generated += 1
-        return out
+        return ctx.finish(out)
 
 
 class Rename(PlanNode):
@@ -397,7 +425,7 @@ class Product(PlanNode):
                 if ctx.keep(cond):
                     out.add(tuple(lt.values) + tuple(rt.values), cond)
                     ctx.stats.tuples_generated += 1
-        return out
+        return ctx.finish(out)
 
 
 class Join(PlanNode):
@@ -408,7 +436,9 @@ class Join(PlanNode):
     symbolic equality to the output condition (the c-table join of §3).
     The hash index buckets right-hand tuples by their constant join keys
     so constant-constant matches don't scan; tuples with c-variable keys
-    go to a wildcard bucket probed for every left tuple.
+    go to a wildcard bucket probed for every left tuple.  Mixed left
+    keys probe a lazily-built partial-key index over their constant
+    positions instead of scanning every bucket.
     """
 
     def __init__(
@@ -449,26 +479,52 @@ class Join(PlanNode):
 
         # Bucket right tuples: all-constant join keys hash directly;
         # tuples with any c-variable key are wildcard candidates.
-        buckets: Dict[Tuple[Term, ...], List[CTuple]] = {}
-        wildcards: List[CTuple] = []
-        for rt in right:
+        right_rows = list(right)
+        buckets: Dict[Tuple[Term, ...], List[int]] = {}
+        wildcards: List[int] = []
+        for j, rt in enumerate(right_rows):
             key = tuple(rt.values[i] for i in r_idx)
             if all(isinstance(v, Constant) for v in key):
-                buckets.setdefault(key, []).append(rt)
+                buckets.setdefault(key, []).append(j)
             else:
-                wildcards.append(rt)
+                wildcards.append(j)
+
+        # Mixed left keys (some positions constant, some c-variable)
+        # probe a partial-key index over just their constant positions,
+        # built lazily per distinct position mask: a right tuple can only
+        # match if it agrees on those constants or is symbolic there.
+        # Right tuples disagreeing on a constant position would have
+        # produced a constant-folded FALSE equality anyway, so skipping
+        # them never changes the output — it only avoids the full scan.
+        partial: Dict[Tuple[int, ...], Tuple[Dict[Tuple[Term, ...], List[int]], List[int]]] = {}
+
+        def candidates_for(lkey: Tuple[Term, ...]) -> Sequence[int]:
+            mask = tuple(i for i, v in enumerate(lkey) if isinstance(v, Constant))
+            if len(mask) == len(lkey):
+                return list(buckets.get(lkey, ())) + wildcards
+            if not mask:
+                return range(len(right_rows))
+            index = partial.get(mask)
+            if index is None:
+                exact: Dict[Tuple[Term, ...], List[int]] = {}
+                symbolic: List[int] = []
+                for j, rt in enumerate(right_rows):
+                    sub = tuple(rt.values[r_idx[i]] for i in mask)
+                    if all(isinstance(v, Constant) for v in sub):
+                        exact.setdefault(sub, []).append(j)
+                    else:
+                        symbolic.append(j)
+                index = (exact, symbolic)
+                partial[mask] = index
+            exact, symbolic = index
+            sub = tuple(lkey[i] for i in mask)
+            return sorted(exact.get(sub, []) + symbolic)
 
         out = CTable(self.name, tuple(left.schema) + tuple(keep_right))
         for lt in left:
             lkey = tuple(lt.values[i] for i in l_idx)
-            candidates: List[CTuple] = []
-            if all(isinstance(v, Constant) for v in lkey):
-                candidates.extend(buckets.get(lkey, ()))
-            else:
-                for bucket in buckets.values():
-                    candidates.extend(bucket)
-            candidates.extend(wildcards)
-            for rt in candidates:
+            for j in candidates_for(lkey):
+                rt = right_rows[j]
                 conds = [lt.condition, rt.condition]
                 dead = False
                 for li, ri in zip(l_idx, r_idx):
@@ -485,7 +541,7 @@ class Join(PlanNode):
                     row = tuple(lt.values) + tuple(rt.values[i] for i in keep_idx)
                     out.add(row, cond)
                     ctx.stats.tuples_generated += 1
-        return out
+        return ctx.finish(out)
 
 
 class AntiJoin(PlanNode):
@@ -543,7 +599,7 @@ class AntiJoin(PlanNode):
             if ctx.keep(combined):
                 out.add(lt.values, combined)
                 ctx.stats.tuples_generated += 1
-        return out
+        return ctx.finish(out)
 
 
 class Union(PlanNode):
@@ -593,7 +649,7 @@ class Distinct(PlanNode):
             cond = disjoin(merged[key])
             if ctx.keep(cond):
                 out.add(key, cond)
-        return out
+        return ctx.finish(out)
 
 
 def evaluate_plan(
@@ -602,13 +658,18 @@ def evaluate_plan(
     solver: Optional[ConditionSolver] = None,
     prune: bool = True,
     stats: Optional[EvalStats] = None,
+    jobs: int = 1,
+    executor=None,
 ) -> CTable:
     """Execute a plan, timing relational work as "sql" seconds.
 
     Solver time is subtracted out of the wall measurement so the two
-    buckets are disjoint, matching Table 4's reporting.
+    buckets are disjoint, matching Table 4's reporting.  ``jobs > 1``
+    switches pruning operators to batched (sharded) pruning of whole
+    operator outputs; see :class:`ExecutionContext`.
     """
-    ctx = ExecutionContext(solver=solver, prune=prune, stats=stats)
+    ctx = ExecutionContext(solver=solver, prune=prune, stats=stats, jobs=jobs,
+                           executor=executor)
     solver_before = ctx.stats.solver_seconds
     watch = Stopwatch()
     with watch.measure():

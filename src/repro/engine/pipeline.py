@@ -23,7 +23,6 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..ctable.table import CTable, Database
-from ..robustness.verdict import Verdict
 from ..solver.interface import ConditionSolver
 from .algebra import PlanNode, evaluate_plan
 from .stats import EvalStats, Stopwatch
@@ -51,7 +50,11 @@ def _record_memo_delta(
 
 
 def solver_prune(
-    table: CTable, solver: ConditionSolver, stats: Optional[EvalStats] = None
+    table: CTable,
+    solver: ConditionSolver,
+    stats: Optional[EvalStats] = None,
+    jobs: int = 1,
+    executor=None,
 ) -> CTable:
     """Phase 3: drop tuples whose conditions are unsatisfiable.
 
@@ -59,20 +62,20 @@ def solver_prune(
     tuple whose condition comes back ``UNKNOWN`` under a resource
     governor is *kept* (counted in ``stats.unknown_kept``), leaving the
     result loss-less but less simplified.
+
+    The table is pruned by canonical equivalence class — one solver
+    decision per distinct condition form, verdicts fanned back to the
+    member tuples — and with ``jobs > 1`` residual undecided classes
+    are sharded across a worker pool (:mod:`repro.parallel.batch`).
+    The output table is identical for every ``jobs`` value.
     """
+    from ..parallel.batch import prune_batched
+
     stats = stats if stats is not None else EvalStats()
     watch = Stopwatch()
     before = _memo_snapshot(solver)
-    out = CTable(table.name, table.schema)
     with watch.measure():
-        for tup in table:
-            verdict = solver.sat_verdict(tup.condition)
-            if verdict is Verdict.UNSAT:
-                stats.tuples_pruned += 1
-                continue
-            if verdict is Verdict.UNKNOWN:
-                stats.unknown_kept += 1
-            out.add(tup)
+        out = prune_batched(table, solver, stats, jobs=jobs, executor=executor)
     stats.solver_seconds += watch.seconds
     _record_memo_delta(stats, solver, before)
     return out
@@ -83,13 +86,15 @@ def run_lazy(
     db: Database,
     solver: ConditionSolver,
     stats: Optional[EvalStats] = None,
+    jobs: int = 1,
+    executor=None,
 ) -> Tuple[CTable, EvalStats]:
     """Phases 1–2 without pruning, then one final solver pass (phase 3)."""
     stats = stats if stats is not None else EvalStats()
     if solver.governor is not None:
         solver.governor.ensure_started()
     raw = evaluate_plan(plan, db, solver=None, prune=False, stats=stats)
-    pruned = solver_prune(raw, solver, stats)
+    pruned = solver_prune(raw, solver, stats, jobs=jobs, executor=executor)
     return pruned, stats
 
 
@@ -98,12 +103,16 @@ def run_eager(
     db: Database,
     solver: ConditionSolver,
     stats: Optional[EvalStats] = None,
+    jobs: int = 1,
+    executor=None,
 ) -> Tuple[CTable, EvalStats]:
     """Prune inside every operator (intermediate relations stay small)."""
     stats = stats if stats is not None else EvalStats()
     if solver.governor is not None:
         solver.governor.ensure_started()
     before = _memo_snapshot(solver)
-    result = evaluate_plan(plan, db, solver=solver, prune=True, stats=stats)
+    result = evaluate_plan(
+        plan, db, solver=solver, prune=True, stats=stats, jobs=jobs, executor=executor
+    )
     _record_memo_delta(stats, solver, before)
     return result, stats

@@ -89,10 +89,12 @@ class SqlEngine:
         db: Optional[Database] = None,
         solver: Optional[ConditionSolver] = None,
         prune: bool = True,
+        jobs: int = 1,
     ):
         self.db = db if db is not None else Database()
         self.solver = solver
         self.prune = prune
+        self.jobs = max(1, int(jobs))
         self.stats = EvalStats()
 
     # -- public API --------------------------------------------------------
@@ -363,7 +365,8 @@ class SqlEngine:
             raise SqlError(f"trailing input after SELECT: {stream.peek()[1]!r}")
 
         result = evaluate_plan(
-            plan, self.db, solver=self.solver, prune=self.prune, stats=self.stats
+            plan, self.db, solver=self.solver, prune=self.prune, stats=self.stats,
+            jobs=self.jobs,
         )
         if into is not None:
             stored = CTable(into, result.schema)

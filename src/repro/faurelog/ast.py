@@ -35,7 +35,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 from ..ctable.condition import Condition, TRUE, conjoin
 from ..ctable.parse import Span
-from ..ctable.terms import Constant, CVariable, Term, Variable, as_term
+from ..ctable.terms import Constant, CVariable, SlotPickleMixin, Term, Variable, as_term
 
 __all__ = ["Atom", "Literal", "BodyItem", "Rule", "Program", "ProgramError", "SafetyViolation"]
 
@@ -44,7 +44,7 @@ class ProgramError(ValueError):
     """A malformed program (unsafe rule, arity clash, bad stratification)."""
 
 
-class Atom:
+class Atom(SlotPickleMixin):
     """A predicate applied to terms: ``R(f, n1, $x)``.
 
     ``span`` records where the atom was parsed from (``None`` for atoms
@@ -93,7 +93,7 @@ class Atom:
         return f"{self.predicate}({', '.join(str(t) for t in self.terms)})"
 
 
-class Literal:
+class Literal(SlotPickleMixin):
     """A possibly negated atom with an optional condition annotation.
 
     ``condition_var`` names the captured tuple condition (``[phi]``);
@@ -169,7 +169,7 @@ BodyItem = Union[Literal, Condition]
 SafetyViolation = Tuple[str, Variable, Optional[Span]]
 
 
-class Rule:
+class Rule(SlotPickleMixin):
     """One fauré-log rule; facts are rules with an empty body.
 
     ``span`` / ``body_spans`` (diagnostics only, equality-transparent)

@@ -16,6 +16,8 @@ examples) are one-liners.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..ctable.condition import Condition, LinearAtom, TRUE, conjoin, eq
@@ -27,7 +29,50 @@ from ..faurelog.evaluation import FaureEvaluator
 from ..ctable.terms import Variable
 from ..solver.interface import ConditionSolver
 
-__all__ = ["reachability_program", "ReachabilityAnalyzer"]
+__all__ = [
+    "reachability_program",
+    "ReachabilityAnalyzer",
+    "PatternQuery",
+    "run_pattern_query",
+]
+
+
+@dataclass(frozen=True)
+class PatternQuery:
+    """One failure-pattern query (q6–q8 shape), picklable for fan-out."""
+
+    pattern: Condition
+    name: str = "T"
+    source: Optional[Hashable] = None
+    dest: Optional[Hashable] = None
+    flow: Optional[Hashable] = None
+
+
+def run_pattern_query(
+    reach_db: Database,
+    solver: ConditionSolver,
+    per_flow: bool,
+    query: PatternQuery,
+    storage=None,
+) -> Tuple[CTable, EvalStats]:
+    """Evaluate one pattern query over a computed reachability database.
+
+    Module-level (rather than a method) so worker processes can run it
+    against initializer-shipped state; :meth:`ReachabilityAnalyzer.
+    under_pattern` is a thin wrapper over it.
+    """
+    args: List = []
+    if per_flow:
+        args.append(Constant(query.flow) if query.flow is not None else Variable("f"))
+    args.append(Constant(query.source) if query.source is not None else Variable("n1"))
+    args.append(Constant(query.dest) if query.dest is not None else Variable("n2"))
+    body: List = [Literal(Atom("R", args))]
+    if query.pattern is not TRUE:
+        body.append(query.pattern)
+    rule = Rule(Atom(query.name, args), body)
+    evaluator = FaureEvaluator(reach_db, solver=solver, storage=storage)
+    result = evaluator.evaluate(Program([rule]))
+    return result.table(query.name), evaluator.stats
 
 
 def reachability_program(
@@ -96,11 +141,14 @@ class ReachabilityAnalyzer:
         solver: ConditionSolver,
         forwarding: str = "F",
         per_flow: bool = False,
+        jobs: int = 1,
     ):
         self.database = database
         self.solver = solver
         self.forwarding = forwarding
         self.per_flow = per_flow
+        #: Default worker count for :meth:`under_patterns` fan-out.
+        self.jobs = max(1, int(jobs))
         self.stats = EvalStats()
         self._reach_db: Optional[Database] = None
         self._reach_storage = None
@@ -143,21 +191,89 @@ class ReachabilityAnalyzer:
         """
         if self._reach_db is None:
             self.compute()
-        args: List = []
-        if self.per_flow:
-            args.append(Constant(flow) if flow is not None else Variable("f"))
-        args.append(Constant(source) if source is not None else Variable("n1"))
-        args.append(Constant(dest) if dest is not None else Variable("n2"))
-        body: List = [Literal(Atom("R", args))]
-        if pattern is not TRUE:
-            body.append(pattern)
-        rule = Rule(Atom(name, args), body)
-        evaluator = FaureEvaluator(
-            self._reach_db, solver=self.solver, storage=self._reach_storage
+        query = PatternQuery(pattern, name=name, source=source, dest=dest, flow=flow)
+        table, stats = run_pattern_query(
+            self._reach_db, self.solver, self.per_flow, query,
+            storage=self._reach_storage,
         )
-        result = evaluator.evaluate(Program([rule]))
-        self.stats.add(evaluator.stats)
-        return result.table(name), evaluator.stats
+        self.stats.add(stats)
+        return table, stats
+
+    def under_patterns(
+        self,
+        queries: Sequence[PatternQuery],
+        jobs: Optional[int] = None,
+        executor=None,
+    ) -> List[Tuple[CTable, EvalStats]]:
+        """Run independent pattern queries, optionally across a pool.
+
+        ``jobs=1`` is exactly a loop over :meth:`under_pattern`.  With
+        ``jobs > 1`` the computed reachability database ships to each
+        worker once (pool initializer) and queries fan out; results and
+        their :class:`EvalStats` merge back **in query order**, with
+        worker CPU accounted in ``stats.extra["parallel_cpu_seconds"]``
+        and shard/wall counters alongside.  Each parallel query runs
+        under a governor rebuilt from the parent's remaining budgets,
+        with its own deterministic per-query fault schedule.
+        """
+        if self._reach_db is None:
+            self.compute()
+        jobs = self.jobs if jobs is None else jobs
+        if jobs <= 1 or len(queries) <= 1:
+            return [
+                self.under_pattern(
+                    q.pattern, name=q.name, source=q.source, dest=q.dest, flow=q.flow
+                )
+                for q in queries
+            ]
+        from ..parallel.executor import ParallelExecutor
+        from ..parallel.spec import GovernorSpec
+        from ..parallel.worker import init_pattern_worker, run_pattern_task
+
+        executor = executor or ParallelExecutor(jobs)
+        spec = GovernorSpec.from_governor(self.solver.governor)
+        start = time.perf_counter()
+        results = executor.map(
+            run_pattern_task,
+            list(queries),
+            initializer=init_pattern_worker,
+            initargs=(
+                self._reach_db,
+                self.solver.domains,
+                self.per_flow,
+                spec,
+                self.solver.enumeration_limit,
+                self.solver.memo is not None,
+            ),
+        )
+        wall = time.perf_counter() - start
+        out: List[Tuple[CTable, EvalStats]] = []
+        governor = self.solver.governor
+        for res in results:
+            stats: EvalStats = res["stats"]
+            self.stats.add(stats)
+            solver_stats = res["solver_stats"]
+            for field_name, value in solver_stats.items():
+                if field_name == "time_seconds":
+                    self.stats.extra["parallel_cpu_seconds"] = (
+                        self.stats.extra.get("parallel_cpu_seconds", 0.0) + value
+                    )
+                    continue
+                setattr(
+                    self.solver.stats,
+                    field_name,
+                    getattr(self.solver.stats, field_name) + value,
+                )
+            if res.get("events") is not None and governor is not None:
+                governor.absorb(res["events"])
+            out.append((res["table"], stats))
+        self.stats.extra["parallel_shards"] = (
+            self.stats.extra.get("parallel_shards", 0) + len(queries)
+        )
+        self.stats.extra["parallel_wall_seconds"] = (
+            self.stats.extra.get("parallel_wall_seconds", 0.0) + wall
+        )
+        return out
 
     def exactly_k_up(
         self, variables: Sequence[CVariable], k: int, name: str = "T"

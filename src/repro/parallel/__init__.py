@@ -1,0 +1,27 @@
+"""Batched and multiprocess execution for the evaluation pipeline.
+
+Two independent levers, both off (``jobs=1``) by default:
+
+* **batched pruning** (:func:`prune_batched`) — group a c-table by
+  canonical condition form so each equivalence class is decided once,
+  then shard the residual undecided classes across a worker pool;
+* **shard execution** (:class:`ParallelExecutor`) — fan independent
+  per-prefix queries and per-constraint verification ladders across the
+  same pool with deterministic merge order.
+
+See ``docs/PERFORMANCE.md`` for the design and the soundness argument
+for cross-process memo fold-back.
+"""
+
+from .batch import group_classes, prune_batched
+from .executor import ParallelExecutor
+from .spec import GovernorSpec, ScheduledFaultInjector, fault_directive
+
+__all__ = [
+    "ParallelExecutor",
+    "GovernorSpec",
+    "ScheduledFaultInjector",
+    "fault_directive",
+    "group_classes",
+    "prune_batched",
+]

@@ -1,0 +1,78 @@
+"""Multiprocess shard executor with deterministic merge order.
+
+:class:`ParallelExecutor` is the one place the pipeline touches
+``multiprocessing``: it fans a list of picklable tasks across a worker
+pool and returns results **in submission order**, so every caller's
+merge is deterministic regardless of which worker finished first.
+Worker-side state that is expensive to ship per task (a pickled
+:class:`~repro.solver.domains.DomainMap`, the reachability c-table, a
+:class:`~repro.parallel.spec.GovernorSpec`) goes through the pool
+initializer instead, paying the serialization cost once per worker.
+
+``jobs=1`` never creates a pool — tasks run inline in the parent, in
+order, so the serial path is byte-identical to a pipeline without this
+module.  The executor prefers the ``fork`` start method where available
+(cheap worker startup, no re-import); ``spawn`` is the portable
+fallback and works because every payload is explicitly picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["ParallelExecutor"]
+
+
+class ParallelExecutor:
+    """Fan picklable tasks across a process pool, merging in task order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (the default) runs everything inline
+        in the parent process without touching ``multiprocessing``.
+    start_method:
+        Override the multiprocessing start method (``"fork"``,
+        ``"spawn"``, ``"forkserver"``).  Default: ``fork`` when the
+        platform offers it, else ``spawn``.
+    """
+
+    def __init__(self, jobs: int = 1, start_method: Optional[str] = None):
+        self.jobs = max(1, int(jobs))
+        self._start_method = start_method
+
+    def _context(self):
+        methods = multiprocessing.get_all_start_methods()
+        method = self._start_method or ("fork" if "fork" in methods else "spawn")
+        return multiprocessing.get_context(method)
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+        chunksize: Optional[int] = None,
+    ) -> List[Any]:
+        """``[fn(t) for t in tasks]`` across the pool, in task order.
+
+        A worker exception propagates to the caller (first by task
+        order), matching the serial path's behavior under ``on_budget=
+        "fail"``.
+        """
+        tasks = list(tasks)
+        if self.jobs == 1 or len(tasks) <= 1:
+            if initializer is not None:
+                initializer(*initargs)
+            return [fn(t) for t in tasks]
+        workers = min(self.jobs, len(tasks))
+        if chunksize is None:
+            chunksize = max(1, len(tasks) // (workers * 4))
+        ctx = self._context()
+        pool = ctx.Pool(processes=workers, initializer=initializer, initargs=initargs)
+        try:
+            return pool.map(fn, tasks, chunksize=chunksize)
+        finally:
+            pool.close()
+            pool.join()

@@ -1,0 +1,151 @@
+"""Picklable snapshots of governance state for worker processes.
+
+The robustness contracts of the serial pipeline (PR 1) must survive the
+process boundary: a worker deciding a shard of conditions has to honor
+the same wall-clock deadline, the same per-call step budget, the same
+condition-size ceiling, and the same deterministic fault schedule the
+parent would have applied.  Two pieces make that possible:
+
+* :class:`GovernorSpec` — an immutable snapshot of a
+  :class:`~repro.robustness.governor.Governor` taken at fan-out time.
+  The deadline serializes as *remaining* seconds (workers re-arm their
+  own monotonic clock), budgets serialize as their remaining values, and
+  the degradation policy travels verbatim.  ``build()`` reconstitutes a
+  fresh, armed governor inside the worker.
+
+* :class:`ScheduledFaultInjector` — a per-shard fault schedule computed
+  by the parent *before* sharding.  Faults are assigned per condition
+  class from the parent injector's :class:`FaultPlan` applied to the
+  class's global decision index, so the schedule is a pure function of
+  the workload — the same classes fault regardless of how many workers
+  the classes are sharded across.  This is what makes ``jobs=4`` and
+  ``jobs=1`` byte-identical even under injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..robustness.errors import BudgetExceeded, ConditionTooLarge, SolverFailure
+from ..robustness.faultinject import FaultInjector, FaultPlan
+from ..robustness.governor import Governor
+
+__all__ = ["GovernorSpec", "ScheduledFaultInjector", "fault_directive"]
+
+
+def fault_directive(plan: Optional[FaultPlan], call_index: int) -> Optional[str]:
+    """The fault kind ``plan`` fires on the 1-based ``call_index``-th call.
+
+    Mirrors :meth:`FaultInjector.on_solver_call` exactly (including the
+    timeout > failure > oversize precedence), but as a pure function, so
+    the parent can precompute a shard's schedule from global call
+    indices.
+    """
+    if plan is None:
+        return None
+    n = call_index - plan.start_after
+    if n <= 0:
+        return None
+    if plan.timeout_every is not None and n % plan.timeout_every == 0:
+        return "timeout"
+    if plan.failure_every is not None and n % plan.failure_every == 0:
+        return "failure"
+    if plan.oversize_every is not None and n % plan.oversize_every == 0:
+        return "oversize"
+    return None
+
+
+class ScheduledFaultInjector:
+    """Fires an explicit per-call fault schedule inside a worker.
+
+    ``schedule[i]`` is ``None`` or ``(kind, global_call)`` for the
+    worker's ``i``-th solver call, where ``global_call`` is the call
+    index the *serial* path would have used — so an injected fault
+    raises with exactly the message the parent's live
+    :class:`FaultInjector` would have produced.  Calls beyond the
+    schedule pass through untouched.  Plugs into
+    :meth:`Governor.begin_solver_call` exactly like
+    :class:`FaultInjector`, so injected faults take the same
+    degradation path real exhaustion does.
+    """
+
+    def __init__(self, schedule: Sequence[Optional[tuple]]):
+        self.schedule = list(schedule)
+        self.calls = 0
+        self.injected: Dict[str, int] = {"timeout": 0, "failure": 0, "oversize": 0}
+
+    def on_solver_call(self, governor=None) -> None:
+        self.calls += 1
+        entry = (
+            self.schedule[self.calls - 1]
+            if self.calls <= len(self.schedule)
+            else None
+        )
+        if entry is None:
+            return
+        kind, global_call = entry
+        self.injected[kind] += 1
+        if governor is not None:
+            governor.events.injected_faults += 1
+        if kind == "timeout":
+            raise BudgetExceeded(
+                f"injected solver timeout (call #{global_call})",
+                resource="injected",
+            )
+        if kind == "failure":
+            raise SolverFailure(f"injected solver failure (call #{global_call})")
+        raise ConditionTooLarge(
+            f"injected oversized condition (call #{global_call})"
+        )
+
+
+@dataclass(frozen=True)
+class GovernorSpec:
+    """Immutable, picklable snapshot of a governor at fan-out time."""
+
+    deadline_remaining: Optional[float] = None
+    solver_call_budget: Optional[int] = None
+    steps_per_call: Optional[int] = None
+    max_condition_atoms: Optional[int] = None
+    on_budget: str = "degrade"
+    fault_plan: Optional[FaultPlan] = None
+
+    @classmethod
+    def from_governor(cls, governor: Optional[Governor]) -> Optional["GovernorSpec"]:
+        """Snapshot ``governor`` (``None`` passes through as ``None``)."""
+        if governor is None:
+            return None
+        remaining = governor.remaining_seconds()
+        if remaining is None:
+            remaining = governor.deadline_seconds  # configured but not armed
+        plan = None
+        if isinstance(governor.injector, FaultInjector):
+            plan = governor.injector.plan
+        return cls(
+            deadline_remaining=remaining,
+            solver_call_budget=governor.remaining_calls(),
+            steps_per_call=governor.steps_per_call,
+            max_condition_atoms=governor.max_condition_atoms,
+            on_budget=governor.on_budget,
+            fault_plan=plan,
+        )
+
+    def build(self, injector=None) -> Governor:
+        """An armed worker-side governor honoring this snapshot.
+
+        An already-expired deadline (``deadline_remaining <= 0``) stays
+        expired: the rebuilt governor raises on its first check, so a
+        mid-run deadline degrades worker decisions to ``UNKNOWN`` just
+        as it would have in the parent.
+        """
+        governor = Governor(
+            deadline_seconds=self.deadline_remaining,
+            solver_call_budget=self.solver_call_budget,
+            steps_per_call=self.steps_per_call,
+            max_condition_atoms=self.max_condition_atoms,
+            on_budget=self.on_budget,
+            injector=injector,
+        )
+        governor.start()
+        return governor

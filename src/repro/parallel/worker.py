@@ -1,0 +1,245 @@
+"""Module-level worker functions for the process pool.
+
+Everything here must be importable by name in a worker process (the
+``multiprocessing`` pickling contract), so the functions live at module
+level and per-worker state travels through pool initializers into the
+module-global ``_*_STATE`` dicts.
+
+Three worker families:
+
+* **prune workers** — decide a shard of residual canonical condition
+  classes (:mod:`repro.parallel.batch`).  Each worker builds its own
+  :class:`~repro.solver.interface.ConditionSolver` over the pickled
+  :class:`~repro.solver.domains.DomainMap`, governed by the parent's
+  :class:`~repro.parallel.spec.GovernorSpec` and the shard's
+  precomputed fault schedule;
+* **pattern workers** — run independent per-prefix failure-pattern
+  queries over a shipped reachability c-table
+  (:meth:`~repro.network.reachability.ReachabilityAnalyzer.under_patterns`);
+* **verify workers** — run the relative-complete ladder on independent
+  target constraints
+  (:meth:`~repro.verify.verifier.RelativeCompleteVerifier.verify_many`).
+
+Workers return plain picklable records (verdict names, c-tables, stats
+dicts); all folding into shared state — the parent's
+:class:`~repro.solver.memo.MemoTable`, governor ledger, and
+:class:`~repro.engine.stats.EvalStats` — happens in the parent, in
+deterministic task order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..robustness.errors import BudgetExceeded, ConditionTooLarge, SolverFailure
+from ..solver.interface import ConditionSolver, SolverStats
+from ..solver.memo import MemoTable
+from .spec import GovernorSpec, ScheduledFaultInjector
+
+__all__ = [
+    "solver_stats_dict",
+    "init_prune_worker",
+    "run_prune_shard",
+    "init_pattern_worker",
+    "run_pattern_task",
+    "init_verify_worker",
+    "run_verify_task",
+]
+
+#: Counters a worker reports back; ``time_seconds`` is kept separate so
+#: the parent can account worker CPU apart from its own wall-clock.
+_STAT_FIELDS = (
+    "sat_calls",
+    "implication_calls",
+    "cache_hits",
+    "enumeration_used",
+    "dpll_used",
+    "unknown_verdicts",
+    "budget_hits",
+    "fallbacks",
+    "memo_hits",
+    "memo_misses",
+    "canonical_collapses",
+    "time_seconds",
+)
+
+
+def solver_stats_dict(stats: SolverStats) -> Dict[str, float]:
+    """Flatten a worker's :class:`SolverStats` for the return trip."""
+    return {name: getattr(stats, name) for name in _STAT_FIELDS}
+
+
+def _worker_memo(memo_enabled: bool) -> Optional[MemoTable]:
+    """A worker-private memo table (processes cannot share the parent's).
+
+    When the parent runs with memoization disabled (``--no-memo``) the
+    workers honor that: no canonicalization, no verdict sharing.
+    """
+    return MemoTable() if memo_enabled else None
+
+
+# -- batched prune shards ---------------------------------------------------
+
+_PRUNE_STATE: Dict[str, Any] = {}
+
+
+def init_prune_worker(domains, spec: Optional[GovernorSpec], enumeration_limit: int,
+                      memo_enabled: bool) -> None:
+    _PRUNE_STATE.update(
+        domains=domains,
+        spec=spec,
+        enumeration_limit=enumeration_limit,
+        memo_enabled=memo_enabled,
+    )
+
+
+def run_prune_shard(shard: List[Tuple[int, Any, Optional[tuple]]]) -> Dict[str, Any]:
+    """Decide one shard of ``(global_index, condition, fault directive)``.
+
+    Returns the per-class verdict names plus the worker's solver stats
+    and governor events, all keyed for deterministic parent-side
+    folding.  ``UNKNOWN`` is reported but (by construction) never enters
+    any cache — the worker's memo dies with the process and the parent
+    only folds definite verdicts.
+    """
+    spec: Optional[GovernorSpec] = _PRUNE_STATE["spec"]
+    injector = None
+    governor = None
+    if spec is not None:
+        injector = ScheduledFaultInjector([kind for _, _, kind in shard])
+        governor = spec.build(injector)
+    solver = ConditionSolver(
+        _PRUNE_STATE["domains"],
+        _PRUNE_STATE["enumeration_limit"],
+        governor=governor,
+        memo=_worker_memo(_PRUNE_STATE["memo_enabled"]),
+    )
+    verdicts = []
+    error = None
+    for index, condition, _kind in shard:
+        try:
+            verdicts.append((index, solver.sat_verdict(condition).name))
+        except (BudgetExceeded, SolverFailure, ConditionTooLarge) as exc:
+            # on_budget="fail": ship the failure home instead of letting
+            # the pool surface an arbitrary shard's exception first; the
+            # parent re-raises the lowest class index deterministically.
+            error = (index, exc)
+            break
+    return {
+        "verdicts": verdicts,
+        "error": error,
+        "stats": solver_stats_dict(solver.stats),
+        "events": governor.events.as_dict() if governor is not None else None,
+        "injected": dict(injector.injected) if injector is not None else None,
+    }
+
+
+# -- per-prefix pattern queries ---------------------------------------------
+
+_PATTERN_STATE: Dict[str, Any] = {}
+
+
+def init_pattern_worker(reach_db, domains, per_flow: bool,
+                        spec: Optional[GovernorSpec], enumeration_limit: int,
+                        memo_enabled: bool) -> None:
+    from ..engine.storage import Storage
+
+    _PATTERN_STATE.update(
+        reach_db=reach_db,
+        storage=Storage(reach_db),
+        domains=domains,
+        per_flow=per_flow,
+        spec=spec,
+        enumeration_limit=enumeration_limit,
+        memo_enabled=memo_enabled,
+        memo=_worker_memo(memo_enabled),
+    )
+
+
+def run_pattern_task(task) -> Dict[str, Any]:
+    """Run one failure-pattern query; ``task`` is a ``PatternQuery``.
+
+    Governance is rebuilt per task (fresh fault-injector schedule per
+    query), so each query's faults are a deterministic function of the
+    query alone, independent of worker count and assignment.
+    """
+    from ..network.reachability import run_pattern_query
+    from ..robustness.faultinject import FaultInjector
+
+    spec: Optional[GovernorSpec] = _PATTERN_STATE["spec"]
+    governor = None
+    if spec is not None:
+        injector = FaultInjector(spec.fault_plan) if spec.fault_plan else None
+        governor = spec.build(injector)
+    solver = ConditionSolver(
+        _PATTERN_STATE["domains"],
+        _PATTERN_STATE["enumeration_limit"],
+        governor=governor,
+        memo=_PATTERN_STATE["memo"],  # warm within one worker across tasks
+    )
+    table, stats = run_pattern_query(
+        _PATTERN_STATE["reach_db"],
+        solver,
+        _PATTERN_STATE["per_flow"],
+        task,
+        storage=_PATTERN_STATE["storage"],
+    )
+    return {
+        "table": table,
+        "stats": stats,
+        "solver_stats": solver_stats_dict(solver.stats),
+        "events": governor.events.as_dict() if governor is not None else None,
+    }
+
+
+# -- relative-complete verification ladders ---------------------------------
+
+_VERIFY_STATE: Dict[str, Any] = {}
+
+
+def init_verify_worker(known, schemas, column_domains, generic_rows,
+                       budget_retries, budget_growth, domains,
+                       enumeration_limit: int, spec: Optional[GovernorSpec],
+                       memo_enabled: bool) -> None:
+    _VERIFY_STATE.update(
+        known=known,
+        schemas=schemas,
+        column_domains=column_domains,
+        generic_rows=generic_rows,
+        budget_retries=budget_retries,
+        budget_growth=budget_growth,
+        domains=domains,
+        enumeration_limit=enumeration_limit,
+        spec=spec,
+        memo_enabled=memo_enabled,
+        memo=_worker_memo(memo_enabled),
+    )
+
+
+def run_verify_task(task) -> Any:
+    """Run the ladder on one ``(target, update, state)`` task."""
+    from ..robustness.faultinject import FaultInjector
+    from ..verify.verifier import RelativeCompleteVerifier
+
+    target, update, state = task
+    spec: Optional[GovernorSpec] = _VERIFY_STATE["spec"]
+    governor = None
+    if spec is not None:
+        injector = FaultInjector(spec.fault_plan) if spec.fault_plan else None
+        governor = spec.build(injector)
+    solver = ConditionSolver(
+        _VERIFY_STATE["domains"],
+        _VERIFY_STATE["enumeration_limit"],
+        governor=governor,
+        memo=_VERIFY_STATE["memo"],
+    )
+    verifier = RelativeCompleteVerifier(
+        _VERIFY_STATE["known"],
+        solver,
+        schemas=_VERIFY_STATE["schemas"],
+        column_domains=_VERIFY_STATE["column_domains"],
+        generic_rows=_VERIFY_STATE["generic_rows"],
+        budget_retries=_VERIFY_STATE["budget_retries"],
+        budget_growth=_VERIFY_STATE["budget_growth"],
+    )
+    return verifier.verify(target, update=update, state=state)

@@ -201,6 +201,24 @@ class Governor:
         self.events.retries += 1
         return self
 
+    def remaining_calls(self) -> Optional[int]:
+        """Solver calls left in the budget (``None`` when unbounded)."""
+        if self.solver_call_budget is None:
+            return None
+        return max(0, self.solver_call_budget - self._calls_used)
+
+    def absorb(self, events: Dict[str, int], calls: int = 0) -> None:
+        """Fold a worker governor's event ledger into this one.
+
+        ``calls`` additionally advances the call-budget counter, so a
+        parallel phase consumes the same budget the serial path would
+        have; the *next* call past an exhausted budget raises, exactly
+        as in the serial path.
+        """
+        for key, value in events.items():
+            setattr(self.events, key, getattr(self.events, key) + value)
+        self._calls_used += calls
+
     # -- checks ------------------------------------------------------------
 
     def remaining_seconds(self) -> Optional[float]:

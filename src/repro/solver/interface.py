@@ -215,6 +215,57 @@ class ConditionSolver:
         """
         return self.sat_verdict(condition).as_bool()
 
+    def sat_verdict_cached(self, condition: Condition) -> Optional[Verdict]:
+        """The cheap prefix of :meth:`sat_verdict`: no backend work.
+
+        Answers from trivial structure, the per-solver cache, canonical
+        collapse, or a memo *peek* — and returns ``None`` when only a
+        real decision procedure could answer.  Used by the batched
+        pruner to split condition classes into resolved and residual.
+
+        Accounting: a resolved probe counts exactly what
+        :meth:`sat_verdict` would have counted on the same hit path; an
+        unresolved probe counts nothing at all (the later real
+        :meth:`sat_verdict` call does its own full accounting).
+        """
+        if isinstance(condition, TrueCond):
+            self.stats.sat_calls += 1
+            return Verdict.SAT
+        if isinstance(condition, FalseCond):
+            self.stats.sat_calls += 1
+            return Verdict.UNSAT
+        cached = self._sat_cache.get(condition)
+        if cached is not None:
+            self.stats.sat_calls += 1
+            self.stats.cache_hits += 1
+            return Verdict.from_bool(cached)
+        memo = self.memo
+        if memo is None:
+            return None
+        # Honor the size ceiling *before* interning, as sat_verdict does
+        # — but without counting a rejection event: the caller routes
+        # oversized conditions to the real (per-tuple) path, which
+        # performs the governed rejection itself.
+        if self.governor is not None:
+            gov = self.governor
+            if gov.max_condition_atoms is not None:
+                if sum(1 for _ in condition.atoms()) > gov.max_condition_atoms:
+                    return None
+        canon = memo.canonical(condition)
+        if isinstance(canon, (TrueCond, FalseCond)):
+            self.stats.sat_calls += 1
+            self.stats.canonical_collapses += 1
+            result = isinstance(canon, TrueCond)
+            self._sat_cache[condition] = result
+            return Verdict.from_bool(result)
+        hit = memo.peek(memo.sat_key(canon, self.domains))
+        if hit is not None:
+            self.stats.sat_calls += 1
+            self.stats.memo_hits += 1
+            self._sat_cache[condition] = hit
+            return Verdict.from_bool(hit)
+        return None
+
     def _decide_sat(self, condition: Condition) -> bool:
         """Two-stage decision with governed escalation.
 

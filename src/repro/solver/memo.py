@@ -118,6 +118,21 @@ class MemoTable:
         self.hits += 1
         return got
 
+    def peek(self, key: Tuple) -> Optional[bool]:
+        """Like :meth:`get`, but a miss is *not* counted as a miss.
+
+        The batched pruner probes the memo before deciding whether a
+        condition class needs real solving; an absent entry there is
+        followed by a real :meth:`get` on the same key, so counting the
+        probe too would double-book every miss.
+        """
+        got = self._entries.get(key)
+        if got is None:
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return got
+
     def put(self, key: Tuple, value: bool) -> None:
         """Record a *definite* verdict.  Callers must never pass UNKNOWN."""
         if not isinstance(value, bool):

@@ -198,3 +198,51 @@ class RelativeCompleteVerifier:
             )
 
         return finish(Verdict(Status.UNKNOWN, None, trail=trail))
+
+    def verify_many(
+        self,
+        targets: Sequence[Constraint],
+        update: Optional[Update] = None,
+        state: Optional[Database] = None,
+        jobs: int = 1,
+        executor=None,
+    ) -> List[Verdict]:
+        """Run the ladder on independent target constraints, in order.
+
+        ``jobs=1`` is exactly a loop over :meth:`verify`.  With ``jobs >
+        1`` the verifier's configuration (known constraints, schemas,
+        domains, budgets) ships to each worker once, each target climbs
+        its own ladder under a governor rebuilt from the parent's
+        remaining budgets, and picklable :class:`Verdict` objects come
+        back in target order.  Worker memo tables are private to their
+        process — definite verdicts computed in workers are *not* folded
+        back into the parent's memo (unlike batched pruning, the ladder
+        mixes sat and implication keys whose conditions stay
+        worker-side), so a later serial run may redo that work; results
+        are unaffected.
+        """
+        if jobs <= 1 or len(targets) <= 1:
+            return [self.verify(t, update=update, state=state) for t in targets]
+        from ..parallel.executor import ParallelExecutor
+        from ..parallel.spec import GovernorSpec
+        from ..parallel.worker import init_verify_worker, run_verify_task
+
+        executor = executor or ParallelExecutor(jobs)
+        spec = GovernorSpec.from_governor(self.solver.governor)
+        return executor.map(
+            run_verify_task,
+            [(t, update, state) for t in targets],
+            initializer=init_verify_worker,
+            initargs=(
+                self.known,
+                self.schemas,
+                self.column_domains,
+                self.generic_rows,
+                self.budget_retries,
+                self.budget_growth,
+                self.solver.domains,
+                self.solver.enumeration_limit,
+                spec,
+                self.solver.memo is not None,
+            ),
+        )

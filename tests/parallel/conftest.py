@@ -1,0 +1,58 @@
+"""Shared workloads for the parallel-pruning suite.
+
+The invariance tests need a c-table that looks like what phase 3
+actually sees: many tuples, heavy semantic repetition in the
+conditions, and a sprinkle of genuinely distinct classes.  Both a
+synthetic table (fast, exact class counts known) and the RIB
+reachability workload (realistic, exercised end-to-end) are provided.
+"""
+
+import pytest
+
+from repro.ctable import CTable
+from repro.ctable.condition import And, Comparison, Or
+from repro.ctable.terms import Constant, CVariable
+from repro.network.forwarding import compile_forwarding
+from repro.solver import BOOL_DOMAIN, DomainMap
+from repro.workloads.ribgen import RibConfig, generate_rib
+
+RIB_PREFIXES = 12
+
+
+@pytest.fixture(scope="session")
+def rib():
+    """A small but real RIB workload: (routes, compiled forwarding)."""
+    routes = generate_rib(
+        RibConfig(prefixes=RIB_PREFIXES, as_count=60, seed=20210610)
+    )
+    return routes, compile_forwarding(routes)
+
+
+def boolean_domains(names):
+    return DomainMap({CVariable(n): BOOL_DOMAIN for n in names})
+
+
+def repeated_condition_table(tuples: int = 40, variables: int = 4):
+    """A c-table of ``tuples`` rows over ``variables`` boolean c-vars.
+
+    Conditions cycle through ``3 * variables`` forms (SAT, UNSAT, and
+    commuted duplicates that only canonicalization identifies), so the
+    table has far fewer equivalence classes than rows — the shape the
+    batched pruner exploits.  Returns ``(table, domains)``.
+    """
+    cvars = [CVariable(f"x{i}") for i in range(variables)]
+    forms = []
+    for v in cvars:
+        up = Comparison(v, "=", Constant(1))
+        down = Comparison(v, "=", Constant(0))
+        forms.append(up)  # satisfiable
+        forms.append(And([up, down]))  # contradictory
+        forms.append(Or([down, up]))  # satisfiable, canonical dup of Or([up, down])
+    table = CTable("W", ("a", "b"))
+    for i in range(tuples):
+        table.add([Constant(i), Constant(i % 7)], forms[i % len(forms)])
+    return table, boolean_domains(v.name for v in cvars)
+
+
+def rendered(table: CTable) -> str:
+    return table.pretty(max_rows=None)

@@ -1,0 +1,97 @@
+"""``--jobs`` threading through the CLI surfaces."""
+
+from repro.cli import main
+
+
+class TestRibAnalyzeJobs:
+    def test_jobs_output_matches_serial(self, tmp_path, capsys):
+        rib_path = tmp_path / "rib.txt"
+        assert (
+            main(
+                [
+                    "rib",
+                    "generate",
+                    "--prefixes",
+                    "6",
+                    "--ases",
+                    "30",
+                    "-o",
+                    str(rib_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()  # drop the generate message
+
+        def counts(out):
+            # Timings vary run to run; compare everything else.
+            return [line for line in out.splitlines() if "seconds" not in line]
+
+        assert main(["rib", "analyze", str(rib_path)]) == 0
+        serial = counts(capsys.readouterr().out)
+        assert main(["rib", "analyze", str(rib_path), "--jobs", "2"]) == 0
+        parallel = counts(capsys.readouterr().out)
+        assert serial == parallel and any("R tuples" in line for line in serial)
+
+
+class TestVerifyJobs:
+    def test_multiple_targets_fan_out(self, tmp_path, capsys):
+        t1 = tmp_path / "T1.fl"
+        t1.write_text("panic :- R(Mkt, CS, $p), not Fw(Mkt, CS).")
+        t2 = tmp_path / "T2.fl"
+        t2.write_text("panic :- R(Mkt, CS, $q), not Fw(Mkt, CS).")
+        known = tmp_path / "Cs.fl"
+        known.write_text(
+            """
+            panic :- Vs(x, y, p).
+            Vs($x, $y, $p) :- R($x, $y, $p), not Fw($x, $y).
+            """
+        )
+        code = main(
+            ["verify", "--target", str(t1), str(t2), "--known", str(known)]
+        )
+        assert code == 0
+        serial = capsys.readouterr().out
+        code = main(
+            [
+                "verify",
+                "--target",
+                str(t1),
+                str(t2),
+                "--known",
+                str(known),
+                "--jobs",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == serial
+        assert serial.count("holds") >= 2
+
+    def test_one_failing_target_fails_the_run(self, tmp_path, capsys):
+        good = tmp_path / "T1.fl"
+        good.write_text("panic :- R(Mkt, CS, $p), not Fw(Mkt, CS).")
+        bad = tmp_path / "T2.fl"
+        bad.write_text("panic :- R(Mkt, CS, $p), not Zz(Mkt, CS).")
+        known = tmp_path / "Cs.fl"
+        known.write_text(
+            """
+            panic :- Vs(x, y, p).
+            Vs($x, $y, $p) :- R($x, $y, $p), not Fw($x, $y).
+            """
+        )
+        code = main(
+            [
+                "verify",
+                "--target",
+                str(good),
+                str(bad),
+                "--known",
+                str(known),
+                "--jobs",
+                "2",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "holds" in out and "unknown" in out

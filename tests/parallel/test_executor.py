@@ -1,0 +1,154 @@
+"""Executor, governor-spec, and fault-directive plumbing.
+
+These are the deterministic building blocks the batched pruner leans
+on: results come back in task order whatever the pool does, governor
+budgets survive the serialize/rebuild trip (including an already-blown
+deadline), and the precomputed fault schedule matches what a live
+:class:`FaultInjector` would have fired call-for-call.
+"""
+
+import os
+
+import pytest
+
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.spec import GovernorSpec, ScheduledFaultInjector, fault_directive
+from repro.robustness.errors import (
+    BudgetExceeded,
+    ConditionTooLarge,
+    SolverFailure,
+)
+from repro.robustness.faultinject import FaultInjector, FaultPlan
+from repro.robustness.governor import Governor
+
+_STATE = {"initialized": False}
+
+
+def _init(value):
+    _STATE["initialized"] = value
+
+
+def _task(item):
+    return (item * 2, os.getpid())
+
+
+def _initialized_task(item):
+    return _STATE["initialized"]
+
+
+class TestParallelExecutor:
+    def test_results_in_task_order(self):
+        results = ParallelExecutor(3).map(_task, list(range(9)))
+        assert [r[0] for r in results] == [i * 2 for i in range(9)]
+
+    def test_single_job_runs_inline(self):
+        results = ParallelExecutor(1).map(_task, [1, 2, 3])
+        assert all(pid == os.getpid() for _, pid in results)
+
+    def test_single_task_runs_inline_even_with_jobs(self):
+        results = ParallelExecutor(4).map(_task, [5])
+        assert results == [(10, os.getpid())]
+
+    def test_inline_path_still_runs_initializer(self):
+        _STATE["initialized"] = False
+        results = ParallelExecutor(1).map(
+            _initialized_task, [0], initializer=_init, initargs=(True,)
+        )
+        assert results == [True]
+
+    def test_empty_tasks(self):
+        assert ParallelExecutor(4).map(_task, []) == []
+
+
+class TestFaultDirective:
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            FaultPlan(timeout_every=3),
+            FaultPlan(failure_every=2, start_after=3),
+            FaultPlan(timeout_every=2, failure_every=3, oversize_every=5),
+        ],
+    )
+    def test_matches_live_injector(self, plan):
+        """directive(i) == what call i of a live injector would fire."""
+        live = FaultInjector(plan)
+        governor = Governor(injector=live, on_budget="degrade")
+        governor.start()
+        for call in range(1, 31):
+            fired_before = dict(live.injected)
+            try:
+                governor.begin_solver_call()
+            except (BudgetExceeded, SolverFailure, ConditionTooLarge):
+                pass  # the solver catches these and degrades; we just count
+            fired = [k for k in live.injected if live.injected[k] > fired_before[k]]
+            expected = fault_directive(plan, call)
+            assert (fired[0] if fired else None) == expected, f"call {call}"
+
+    def test_none_plan(self):
+        assert fault_directive(None, 7) is None
+
+
+class TestScheduledFaultInjector:
+    def test_fires_schedule_in_order(self):
+        injector = ScheduledFaultInjector(
+            [None, ("timeout", 2), None, ("failure", 4)]
+        )
+        injector.on_solver_call()  # 1: clean
+        with pytest.raises(BudgetExceeded):
+            injector.on_solver_call()  # 2: timeout
+        injector.on_solver_call()  # 3: clean
+        with pytest.raises(SolverFailure):
+            injector.on_solver_call()  # 4: failure
+        assert injector.injected == {"timeout": 1, "failure": 1, "oversize": 0}
+
+    def test_oversize(self):
+        injector = ScheduledFaultInjector([("oversize", 1)])
+        with pytest.raises(ConditionTooLarge):
+            injector.on_solver_call()
+
+    def test_message_carries_the_global_call_index(self):
+        """Worker faults must read like the serial injector's faults."""
+        injector = ScheduledFaultInjector([("timeout", 17)])
+        with pytest.raises(BudgetExceeded, match=r"call #17"):
+            injector.on_solver_call()
+
+    def test_past_schedule_is_clean(self):
+        injector = ScheduledFaultInjector([("timeout", 1)])
+        with pytest.raises(BudgetExceeded):
+            injector.on_solver_call()
+        injector.on_solver_call()  # beyond the schedule: no fault
+        assert injector.calls == 2
+
+
+class TestGovernorSpec:
+    def test_budgets_travel_verbatim(self):
+        governor = Governor(
+            solver_call_budget=10,
+            steps_per_call=1234,
+            max_condition_atoms=9,
+            on_budget="fail",
+        )
+        governor.start()
+        rebuilt = GovernorSpec.from_governor(governor).build(None)
+        assert rebuilt.solver_call_budget == 10
+        assert rebuilt.steps_per_call == 1234
+        assert rebuilt.max_condition_atoms == 9
+        assert not rebuilt.degrade
+
+    def test_deadline_serializes_as_remaining_time(self):
+        governor = Governor(deadline_seconds=1000.0)
+        governor.start()
+        spec = GovernorSpec.from_governor(governor)
+        assert spec.deadline_remaining is not None
+        assert 0 < spec.deadline_remaining <= 1000.0
+
+    def test_expired_deadline_stays_expired(self):
+        governor = Governor(deadline_seconds=0.0, on_budget="degrade")
+        governor.start()
+        rebuilt = GovernorSpec.from_governor(governor).build(None)
+        rebuilt.ensure_started()
+        with pytest.raises(BudgetExceeded):
+            rebuilt.check_deadline()
+
+    def test_none_governor(self):
+        assert GovernorSpec.from_governor(None) is None

@@ -1,0 +1,173 @@
+"""Query- and constraint-level fan-out: same answers at any ``jobs``.
+
+Covers the two shard-executor surfaces above the pruner: the
+reachability analyzer's per-prefix pattern queries (the q6/q7/q8 loops)
+and the verifier's per-constraint ladder.
+"""
+
+import pytest
+
+from repro.network.enterprise import (
+    EnterpriseModel,
+    SCHEMAS,
+    column_domains,
+    constraint_T1,
+    constraint_T2,
+    listing4_update,
+    policy_C_lb,
+    policy_C_s,
+)
+from repro.network.reachability import PatternQuery, ReachabilityAnalyzer
+from repro.robustness.faultinject import FaultInjector, FaultPlan
+from repro.robustness.governor import Governor
+from repro.solver.interface import ConditionSolver
+from repro.solver.memo import MemoTable
+from repro.verify.constraints import Constraint
+from repro.verify.verifier import RelativeCompleteVerifier
+from repro.workloads.failures import at_least_k_failures, exactly_k_failures
+
+JOBS = 4
+
+
+def pattern_queries(rib):
+    routes, compiled = rib
+    queries = []
+    for route in routes:
+        variables = list(compiled.variables_of(route.prefix))
+        if len(variables) < 2:
+            continue
+        queries.append(
+            PatternQuery(
+                exactly_k_failures(variables, len(variables) - 1),
+                name="T1",
+                flow=route.prefix,
+            )
+        )
+        queries.append(
+            PatternQuery(
+                at_least_k_failures(variables, 1), name="T3", flow=route.prefix
+            )
+        )
+    return queries
+
+
+def analyzer_for(rib, plan=None, **governor_kwargs):
+    routes, compiled = rib
+    governor = None
+    if plan is not None or governor_kwargs:
+        injector = FaultInjector(plan) if plan is not None else None
+        governor = Governor(injector=injector, **governor_kwargs).start()
+    solver = ConditionSolver(compiled.domains, governor=governor, memo=MemoTable())
+    return ReachabilityAnalyzer(compiled.database(), solver, per_flow=True)
+
+
+class TestUnderPatterns:
+    def run(self, rib, jobs, plan=None, **governor_kwargs):
+        analyzer = analyzer_for(rib, plan=plan, **governor_kwargs)
+        results = analyzer.under_patterns(pattern_queries(rib), jobs=jobs)
+        tables = "\n".join(t.pretty(max_rows=None) for t, _ in results)
+        return tables, analyzer
+
+    def test_jobs_invariant_tables(self, rib):
+        serial, s_analyzer = self.run(rib, 1)
+        parallel, p_analyzer = self.run(rib, JOBS)
+        assert serial == parallel
+        assert (
+            s_analyzer.stats.tuples_generated == p_analyzer.stats.tuples_generated
+        )
+        assert s_analyzer.stats.tuples_pruned == p_analyzer.stats.tuples_pruned
+
+    def test_parallel_accounting(self, rib):
+        _, analyzer = self.run(rib, JOBS)
+        n_queries = len(pattern_queries(rib))
+        assert analyzer.stats.extra["parallel_shards"] == n_queries
+        assert analyzer.stats.extra["parallel_wall_seconds"] > 0.0
+        assert analyzer.stats.extra["parallel_cpu_seconds"] > 0.0
+
+    def test_fault_injection_is_deterministic_per_query(self, rib):
+        """Under injection, repeated parallel runs are byte-identical.
+
+        Unlike batched pruning (where the parent precomputes each
+        class's fault from its *global* call index, making ``jobs=N``
+        equal to ``jobs=1`` even under faults), the query fan-out
+        rebuilds a fresh injector per task: each query's schedule is a
+        pure function of the query itself, so a degraded run is exactly
+        reproducible — and degradation only ever *keeps* tuples, never
+        invents or drops certain answers.
+        """
+        plan = FaultPlan(timeout_every=3)
+        first, first_analyzer = self.run(rib, JOBS, plan=plan, on_budget="degrade")
+        second, second_analyzer = self.run(rib, JOBS, plan=plan, on_budget="degrade")
+        assert first == second
+        assert (
+            first_analyzer.stats.unknown_kept
+            == second_analyzer.stats.unknown_kept
+            > 0
+        )
+        assert (
+            first_analyzer.solver.stats.unknown_verdicts
+            == second_analyzer.solver.stats.unknown_verdicts
+            > 0
+        )
+
+    def test_explicit_jobs_overrides_constructor_default(self, rib):
+        routes, compiled = rib
+        solver = ConditionSolver(compiled.domains, memo=MemoTable())
+        analyzer = ReachabilityAnalyzer(
+            compiled.database(), solver, per_flow=True, jobs=JOBS
+        )
+        queries = pattern_queries(rib)[:4]
+        defaulted = analyzer.under_patterns(queries)
+        explicit = analyzer.under_patterns(queries, jobs=1)
+        assert [t.pretty(max_rows=None) for t, _ in defaulted] == [
+            t.pretty(max_rows=None) for t, _ in explicit
+        ]
+
+
+class TestVerifyMany:
+    @pytest.fixture()
+    def scenario(self):
+        model = EnterpriseModel.paper_state()
+        return {
+            "model": model,
+            "known": [
+                Constraint("C_lb", policy_C_lb()),
+                Constraint("C_s", policy_C_s()),
+            ],
+            "targets": [
+                Constraint("T1", constraint_T1()),
+                Constraint("T2", constraint_T2()),
+            ],
+            "update": listing4_update(),
+            "state": model.database(),
+        }
+
+    def run(self, scenario, jobs):
+        solver = ConditionSolver(scenario["model"].domain_map(), memo=MemoTable())
+        verifier = RelativeCompleteVerifier(
+            scenario["known"],
+            solver,
+            schemas=SCHEMAS,
+            column_domains=column_domains(),
+        )
+        return verifier.verify_many(
+            scenario["targets"],
+            update=scenario["update"],
+            state=scenario["state"],
+            jobs=jobs,
+        )
+
+    def test_verdicts_jobs_invariant(self, scenario):
+        serial = self.run(scenario, 1)
+        parallel = self.run(scenario, JOBS)
+        assert len(serial) == len(parallel) == 2
+        for s, p in zip(serial, parallel):
+            assert s.status == p.status
+            assert s.decided_by == p.decided_by
+            assert s.trail == p.trail
+
+    def test_single_target_stays_serial(self, scenario):
+        verdicts = self.run(
+            {**scenario, "targets": scenario["targets"][:1]}, JOBS
+        )
+        assert len(verdicts) == 1 and verdicts[0].ok

@@ -1,0 +1,201 @@
+"""``jobs=N`` must be observably identical to ``jobs=1`` — always.
+
+The acceptance bar from the issue: identical pruned tables and verdicts
+on the RIB workload, *including* under heavy (≥30%) fault injection and
+an exhausted governor — where worker UNKNOWNs merge as kept tuples and
+never enter the shared memo.  Sharding is a scheduling decision; it may
+never change an answer, a counter, or which call a fault fires on.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.ctable import CTable, CTuple
+from repro.ctable.condition import conjoin
+from repro.engine.stats import EvalStats
+from repro.network.reachability import ReachabilityAnalyzer
+from repro.parallel.batch import prune_batched
+from repro.robustness.errors import BudgetExceeded
+from repro.robustness.faultinject import FaultInjector, FaultPlan
+from repro.robustness.governor import Governor
+from repro.solver.interface import ConditionSolver
+from repro.solver.memo import MemoTable
+from repro.workloads.failures import at_least_k_failures
+
+from .conftest import repeated_condition_table, rendered
+
+JOBS = 4
+
+
+@pytest.fixture(scope="module")
+def rib_prune_table(rib):
+    """An unpruned q8-shaped c-table over the real RIB reachability set.
+
+    Conjoins the at-least-one-failure pattern onto every R tuple's
+    condition, which is exactly the table phase 3 sees before the solver
+    pass in the lazy pipeline.
+    """
+    routes, compiled = rib
+    solver = ConditionSolver(compiled.domains, memo=MemoTable())
+    analyzer = ReachabilityAnalyzer(compiled.database(), solver, per_flow=True)
+    r_table = analyzer.compute()
+    table = CTable("Q8", r_table.schema)
+    for tup in r_table:
+        prefix = tup.values[0].value
+        variables = list(compiled.variables_of(prefix))
+        condition = tup.condition
+        if len(variables) >= 2:
+            condition = conjoin([condition, at_least_k_failures(variables, 1)])
+        table.add(CTuple(tup.values, condition))
+    assert len(list(table)) > 20
+    return table, compiled.domains
+
+
+def governed_solver(domains, plan=None, **governor_kwargs):
+    injector = FaultInjector(plan) if plan is not None else None
+    governor = Governor(injector=injector, **governor_kwargs).start()
+    return ConditionSolver(domains, governor=governor, memo=MemoTable())
+
+
+def run_prune(table, domains, jobs, plan=None, **governor_kwargs):
+    solver = governed_solver(domains, plan=plan, **governor_kwargs)
+    stats = EvalStats()
+    out = prune_batched(table, solver, stats, jobs=jobs)
+    return out, stats, solver
+
+
+def assert_equivalent(table, domains, plan=None, **governor_kwargs):
+    serial = run_prune(table, domains, 1, plan=plan, **governor_kwargs)
+    parallel = run_prune(table, domains, JOBS, plan=plan, **governor_kwargs)
+    s_out, s_stats, s_solver = serial
+    p_out, p_stats, p_solver = parallel
+    assert rendered(s_out) == rendered(p_out)
+    assert s_stats.tuples_pruned == p_stats.tuples_pruned
+    assert s_stats.unknown_kept == p_stats.unknown_kept
+    assert dataclasses.asdict(s_solver.governor.events) == dataclasses.asdict(
+        p_solver.governor.events
+    )
+    if s_solver.governor.injector is not None:
+        assert s_solver.governor.injector.calls == p_solver.governor.injector.calls
+        assert (
+            s_solver.governor.injector.injected
+            == p_solver.governor.injector.injected
+        )
+    return serial, parallel
+
+
+class TestRibWorkload:
+    def test_clean_run(self, rib_prune_table):
+        table, domains = rib_prune_table
+        (s_out, s_stats, _), _ = assert_equivalent(
+            table, domains, on_budget="degrade"
+        )
+        assert s_stats.tuples_pruned > 0 or len(list(s_out)) > 0
+
+    def test_heavy_fault_injection(self, rib_prune_table):
+        """Every third call faults (≥30%); outputs stay jobs-invariant."""
+        table, domains = rib_prune_table
+        serial, _ = assert_equivalent(
+            table,
+            domains,
+            plan=FaultPlan(timeout_every=3),
+            on_budget="degrade",
+        )
+        _, s_stats, s_solver = serial
+        assert s_solver.governor.events.injected_faults > 0
+        assert s_stats.unknown_kept > 0
+
+    def test_mixed_fault_kinds(self, rib_prune_table):
+        table, domains = rib_prune_table
+        assert_equivalent(
+            table,
+            domains,
+            plan=FaultPlan(timeout_every=3, failure_every=4),
+            on_budget="degrade",
+        )
+
+    def test_exhausted_deadline_keeps_everything_uncached(self, rib_prune_table):
+        """Governor deadline gone mid-workload: kept-not-cached UNKNOWNs."""
+        table, domains = rib_prune_table
+        serial, parallel = assert_equivalent(
+            table, domains, deadline_seconds=0.0, on_budget="degrade"
+        )
+        for out, stats, solver in (serial, parallel):
+            # Nothing prunable without solver answers → everything kept...
+            assert len(list(out)) == len(list(table))
+            assert stats.unknown_kept > 0
+            # ...and no UNKNOWN ever enters the shared memo.
+            assert len(solver.memo) == 0
+
+    def test_call_budget_exhausts_mid_run(self, rib_prune_table):
+        """Budget covers some classes; the rest degrade identically."""
+        table, domains = rib_prune_table
+        serial, parallel = assert_equivalent(
+            table, domains, solver_call_budget=5, on_budget="degrade"
+        )
+        _, s_stats, s_solver = serial
+        assert s_stats.unknown_kept > 0
+        assert s_solver.governor.events.budget_hits > 0
+        # Only the in-budget definite verdicts were memoized.
+        assert len(s_solver.memo) <= 5
+        assert len(parallel[2].memo) == len(s_solver.memo)
+
+    def test_budget_with_injection_composes(self, rib_prune_table):
+        table, domains = rib_prune_table
+        assert_equivalent(
+            table,
+            domains,
+            plan=FaultPlan(timeout_every=3),
+            solver_call_budget=6,
+            on_budget="degrade",
+        )
+
+    def test_fail_mode_raises_identically(self, rib_prune_table):
+        table, domains = rib_prune_table
+        errors = []
+        for jobs in (1, JOBS):
+            solver = governed_solver(
+                domains, plan=FaultPlan(timeout_every=3), on_budget="fail"
+            )
+            with pytest.raises(BudgetExceeded) as excinfo:
+                prune_batched(table, solver, EvalStats(), jobs=jobs)
+            errors.append(str(excinfo.value))
+        assert errors[0] == errors[1]
+
+
+class TestSyntheticWorkload:
+    """Same contracts on the synthetic table (exact class counts known)."""
+
+    def test_fault_injection_jobs_sweep(self):
+        table, domains = repeated_condition_table(tuples=60, variables=5)
+        outputs = []
+        for jobs in (1, 2, 3, 4):
+            out, stats, solver = run_prune(
+                table,
+                domains,
+                jobs,
+                plan=FaultPlan(timeout_every=3),
+                on_budget="degrade",
+            )
+            outputs.append(
+                (rendered(out), stats.unknown_kept, solver.governor.injector.calls)
+            )
+        assert len(set(outputs)) == 1
+
+    def test_unknown_members_all_kept(self):
+        """A degraded class keeps *every* member tuple, not just one.
+
+        Contradictory conditions canonically collapse to FALSE without a
+        solver call, so they prune even under an expired deadline; every
+        remaining class degrades to UNKNOWN and keeps all its members.
+        """
+        table, domains = repeated_condition_table(tuples=40, variables=4)
+        out, stats, solver = run_prune(
+            table, domains, JOBS, deadline_seconds=0.0, on_budget="degrade"
+        )
+        kept = len(list(out))
+        assert stats.unknown_kept == kept > 0
+        assert stats.tuples_pruned == 40 - kept
+        assert solver.stats.canonical_collapses > 0
+        assert len(solver.memo) == 0
