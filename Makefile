@@ -7,7 +7,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src $(PYTHON)
 
-.PHONY: install test test-oracle test-robustness bench bench-memo bench-tables bench-smoke examples lint-programs typecheck lint-self clean
+.PHONY: install test test-oracle test-robustness test-chaos bench bench-memo bench-tables bench-smoke examples lint-programs typecheck lint-self clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,12 @@ test-oracle:
 # governor / degradation / fault-injection suite only
 test-robustness:
 	$(RUN) -m pytest tests/robustness/ -q
+
+# supervised-execution chaos suite: SIGKILLed workers, hung tasks,
+# kill-mid-checkpoint resume — every run must stay byte-identical to a
+# clean serial one (see docs/ROBUSTNESS.md)
+test-chaos:
+	$(RUN) -m pytest tests/chaos/ -q
 
 bench:
 	$(RUN) -m pytest benchmarks/ --benchmark-only

@@ -39,8 +39,17 @@ from .faurelog.evaluation import evaluate
 from .faurelog.parser import parse_program
 from .faurelog.rewrite import Deletion, Insertion
 from .network.forwarding import compile_forwarding
-from .network.reachability import ReachabilityAnalyzer
-from .robustness.errors import BudgetExceeded, ConditionTooLarge, FaureError, SolverFailure
+from .network.reachability import PatternQuery, ReachabilityAnalyzer
+from .parallel.supervisor import ON_WORKER_LOSS_MODES, SupervisedExecutor
+from .robustness.checkpoint import CheckpointJournal, fingerprint_of
+from .robustness.errors import (
+    BudgetExceeded,
+    CheckpointError,
+    ConditionTooLarge,
+    FaureError,
+    SolverFailure,
+    WorkerLost,
+)
 from .robustness.governor import Governor, ON_BUDGET_MODES
 from .solver.interface import SHARED_MEMO, ConditionSolver
 from .verify.constraints import Constraint
@@ -50,12 +59,17 @@ from .workloads.ribgen import RibConfig, dump_rib, generate_rib, parse_rib
 __all__ = ["main", "parse_update_spec", "parse_lint_pragmas"]
 
 # Distinct exit codes so scripts can tell failure classes apart:
-#   2 — parse/usage errors (bad program text, malformed specs, missing files)
+#   2 — parse/usage errors (bad program text, malformed specs, missing files,
+#       checkpoint fingerprint mismatches)
 #   3 — a resource budget or deadline ran out (``--on-budget fail``)
 #   4 — a solver routine failed outright
+#   5 — a worker process was lost past the supervised retry budget and the
+#       worker-loss policy forbade recovery (``--on-worker-loss fail``, or a
+#       call-site with no sound partial answer)
 EXIT_PARSE_ERROR = 2
 EXIT_BUDGET = 3
 EXIT_SOLVER_FAILURE = 4
+EXIT_WORKER_FAILURE = 5
 
 
 def _add_governor_args(parser: argparse.ArgumentParser) -> None:
@@ -102,6 +116,28 @@ def _add_governor_args(parser: argparse.ArgumentParser) -> None:
             "default 1 = fully serial"
         ),
     )
+    supervision = parser.add_argument_group("worker supervision (with --jobs > 1)")
+    supervision.add_argument(
+        "--task-timeout",
+        type=float,
+        help="wall-clock seconds one parallel task may run before its worker "
+        "is killed and the task retried",
+    )
+    supervision.add_argument(
+        "--task-retries",
+        type=int,
+        default=2,
+        help="re-submissions of a crashed/timed-out task before the "
+        "worker-loss policy applies (default: 2)",
+    )
+    supervision.add_argument(
+        "--on-worker-loss",
+        choices=ON_WORKER_LOSS_MODES,
+        default="inline",
+        help="past the retry budget: re-run the task inline in the parent "
+        "(default, byte-identical to --jobs 1), degrade soundly, or fail "
+        f"with exit code {EXIT_WORKER_FAILURE}",
+    )
 
 
 def _memo_from_args(args):
@@ -130,6 +166,42 @@ def _governor_from_args(args) -> Optional[Governor]:
     return governor
 
 
+def _executor_from_args(args) -> Optional[SupervisedExecutor]:
+    """A supervised executor honoring the CLI's supervision knobs.
+
+    ``None`` for serial runs — the jobs=1 paths never build a pool.
+    """
+    jobs = getattr(args, "jobs", 1)
+    if jobs <= 1:
+        return None
+    return SupervisedExecutor(
+        jobs,
+        task_timeout=getattr(args, "task_timeout", None),
+        task_retries=getattr(args, "task_retries", 2),
+        on_worker_loss=getattr(args, "on_worker_loss", "inline"),
+    )
+
+
+def _open_checkpoint(args, *fingerprint_parts: Optional[str]):
+    """Open ``--checkpoint`` (when given) against the inputs' fingerprint."""
+    path = getattr(args, "checkpoint", None)
+    if not path:
+        return None
+    return CheckpointJournal.open(path, fingerprint_of(*fingerprint_parts))
+
+
+def _close_checkpoint(checkpoint) -> None:
+    """Summarize (to stderr — stdout stays byte-identical on resume)."""
+    if checkpoint is None:
+        return
+    print(
+        f"-- checkpoint: {checkpoint.replayed} unit(s) replayed, "
+        f"{checkpoint.recorded} recorded -> {checkpoint.path}",
+        file=sys.stderr,
+    )
+    checkpoint.close()
+
+
 def _report_governor(governor: Optional[Governor]) -> None:
     if governor is None:
         return
@@ -141,6 +213,20 @@ def _report_governor(governor: Optional[Governor]) -> None:
             f"{events.fallbacks} fallback(s), "
             f"{events.condition_rejections} oversized condition(s)"
         )
+
+
+def _report_supervision(executor: Optional[SupervisedExecutor]) -> None:
+    """Failure accounting goes to stderr: a supervised run that recovered
+    must keep stdout byte-identical to an undisturbed serial run."""
+    if executor is None or not executor.failures.any:
+        return
+    f = executor.failures
+    print(
+        f"-- supervision: {f.worker_crashes} worker crash(es), "
+        f"{f.task_timeouts} timeout(s), {f.task_retries} retried, "
+        f"{f.tasks_quarantined} quarantined, {f.tasks_lost} lost",
+        file=sys.stderr,
+    )
 
 
 def parse_update_spec(spec: str):
@@ -189,21 +275,56 @@ def _cmd_rib_generate(args) -> int:
 
 
 def _cmd_rib_analyze(args) -> int:
-    routes = parse_rib(Path(args.rib).read_text())
+    rib_text = Path(args.rib).read_text()
+    routes = parse_rib(rib_text)
     compiled = compile_forwarding(routes)
     governor = _governor_from_args(args)
-    solver = ConditionSolver(compiled.domains, governor=governor, memo=_memo_from_args(args))
-    analyzer = ReachabilityAnalyzer(
-        compiled.database(), solver, per_flow=True, jobs=getattr(args, "jobs", 1)
+    memo = _memo_from_args(args)
+    solver = ConditionSolver(compiled.domains, governor=governor, memo=memo)
+    checkpoint = _open_checkpoint(
+        args, "rib-analyze", rib_text, "patterns" if args.patterns else None
     )
-    reach = analyzer.compute()
-    stats = analyzer.stats
-    print(f"prefixes:       {len(routes)}")
-    print(f"F entries:      {len(compiled.table)}")
-    print(f"R tuples:       {len(reach)}")
-    print(f"sql seconds:    {stats.sql_seconds:.3f}")
-    print(f"solver seconds: {stats.solver_seconds:.3f}")
-    _report_governor(governor)
+    if checkpoint is not None and solver.memo is not None:
+        # Replay journaled definite verdicts, then stream new ones.
+        checkpoint.attach(solver.memo, compiled.domains)
+    executor = _executor_from_args(args)
+    analyzer = ReachabilityAnalyzer(
+        compiled.database(),
+        solver,
+        per_flow=True,
+        jobs=getattr(args, "jobs", 1),
+        checkpoint=checkpoint,
+    )
+    try:
+        reach = analyzer.compute()
+        print(f"prefixes:       {len(routes)}")
+        print(f"F entries:      {len(compiled.table)}")
+        print(f"R tuples:       {len(reach)}")
+        if args.patterns:
+            from .workloads.failures import at_least_k_failures
+
+            queries = []
+            for route in routes:
+                variables = list(compiled.variables_of(route.prefix))
+                if len(variables) < 2:
+                    continue
+                queries.append(
+                    PatternQuery(
+                        at_least_k_failures(variables, 1),
+                        name="T3",
+                        flow=route.prefix,
+                    )
+                )
+            results = analyzer.under_patterns(queries, executor=executor)
+            for query, (table, _stats) in zip(queries, results):
+                print(f"pattern {query.flow}: {len(table)} tuple(s)")
+        stats = analyzer.stats
+        print(f"sql seconds:    {stats.sql_seconds:.3f}")
+        print(f"solver seconds: {stats.solver_seconds:.3f}")
+        _report_governor(governor)
+        _report_supervision(executor)
+    finally:
+        _close_checkpoint(checkpoint)
     return 0
 
 
@@ -249,20 +370,40 @@ def _cmd_verify(args) -> int:
     from .solver.domains import DomainMap, Unbounded
 
     governor = _governor_from_args(args)
-    solver = ConditionSolver(
-        domains if domains is not None else DomainMap(default=Unbounded("any")),
-        governor=governor,
-        memo=_memo_from_args(args),
+    memo = _memo_from_args(args)
+    effective_domains = (
+        domains if domains is not None else DomainMap(default=Unbounded("any"))
     )
+    solver = ConditionSolver(effective_domains, governor=governor, memo=memo)
+    checkpoint = _open_checkpoint(
+        args,
+        "verify",
+        *[Path(p).read_text() for p in args.target],
+        *[Path(p).read_text() for p in args.known],
+        *(args.update or []),
+        Path(args.db).read_text() if args.db else None,
+    )
+    if checkpoint is not None and solver.memo is not None:
+        checkpoint.attach(solver.memo, effective_domains)
+    executor = _executor_from_args(args)
     verifier = RelativeCompleteVerifier(known, solver)
-    verdicts = verifier.verify_many(
-        targets, update=update, state=state, jobs=getattr(args, "jobs", 1)
-    )
-    for target, verdict in zip(targets, verdicts):
-        print(f"{target.name}: {verdict}")
-        for step in verdict.trail:
-            print(f"  {step}")
-    _report_governor(governor)
+    try:
+        verdicts = verifier.verify_many(
+            targets,
+            update=update,
+            state=state,
+            jobs=getattr(args, "jobs", 1),
+            executor=executor,
+            checkpoint=checkpoint,
+        )
+        for target, verdict in zip(targets, verdicts):
+            print(f"{target.name}: {verdict}")
+            for step in verdict.trail:
+                print(f"  {step}")
+        _report_governor(governor)
+        _report_supervision(executor)
+    finally:
+        _close_checkpoint(checkpoint)
     return 0 if all(v.ok for v in verdicts) else 1
 
 
@@ -277,20 +418,39 @@ def _cmd_sql(args) -> int:
 
         db, domains = Database(), DomainMap(default=Unbounded("any"))
     governor = _governor_from_args(args)
-    engine = SqlEngine(
-        db,
-        solver=ConditionSolver(domains, governor=governor, memo=_memo_from_args(args)),
-        jobs=getattr(args, "jobs", 1),
-    )
+    memo = _memo_from_args(args)
     statements = (
         Path(args.script).read_text() if args.script else " ".join(args.statement)
     )
-    result = engine.script(statements)
-    if result is not None:
-        print(result.pretty(max_rows=args.limit))
-    if args.save:
-        Path(args.save).write_text(dump_database(db, domains))
-        print(f"saved database to {args.save}")
+    checkpoint = _open_checkpoint(
+        args,
+        "sql",
+        statements,
+        Path(args.db).read_text() if args.db else None,
+    )
+    solver = ConditionSolver(domains, governor=governor, memo=memo)
+    if checkpoint is not None and solver.memo is not None:
+        # The SQL path checkpoints at memo granularity: every definite
+        # verdict the batch pruner computes is durable, so a resumed
+        # script replays them instead of re-solving.
+        checkpoint.attach(solver.memo, domains)
+    executor = _executor_from_args(args)
+    engine = SqlEngine(
+        db,
+        solver=solver,
+        jobs=getattr(args, "jobs", 1),
+        executor=executor,
+    )
+    try:
+        result = engine.script(statements)
+        if result is not None:
+            print(result.pretty(max_rows=args.limit))
+        if args.save:
+            Path(args.save).write_text(dump_database(db, domains))
+            print(f"saved database to {args.save}")
+        _report_supervision(executor)
+    finally:
+        _close_checkpoint(checkpoint)
     return 0
 
 
@@ -405,6 +565,17 @@ def build_parser() -> argparse.ArgumentParser:
     gen.set_defaults(func=_cmd_rib_generate)
     ana = rib_sub.add_parser("analyze", help="reachability analysis of a dump")
     ana.add_argument("rib")
+    ana.add_argument(
+        "--patterns",
+        action="store_true",
+        help="additionally run a per-prefix at-least-one-failure pattern "
+        "query (q8 shape) for every multi-path prefix; fans out across --jobs",
+    )
+    ana.add_argument(
+        "--checkpoint",
+        help="journal completed units to this file and resume from it "
+        "(killed runs re-run zero completed units)",
+    )
     _add_governor_args(ana)
     ana.set_defaults(func=_cmd_rib_analyze)
 
@@ -430,6 +601,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--update", nargs="*", help="update specs like '+Lb(R&D, GS)' '-Lb(Mkt, CS)'"
     )
     verify.add_argument("--db", help="state database JSON (enables level 3)")
+    verify.add_argument(
+        "--checkpoint",
+        help="journal per-target verdicts (and memo entries) to this file; "
+        "a resumed run re-verifies nothing already decided",
+    )
     _add_governor_args(verify)
     verify.set_defaults(func=_cmd_verify)
 
@@ -439,6 +615,11 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--script", help="file of statements instead of inline")
     sql.add_argument("--save", help="write the resulting database JSON here")
     sql.add_argument("--limit", type=int, default=30)
+    sql.add_argument(
+        "--checkpoint",
+        help="journal definite solver verdicts to this file; a resumed "
+        "script replays them instead of re-solving",
+    )
     _add_governor_args(sql)
     sql.set_defaults(func=_cmd_sql)
 
@@ -479,6 +660,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (BudgetExceeded, ConditionTooLarge) as exc:
         print(f"budget error: {exc}", file=sys.stderr)
         return EXIT_BUDGET
+    except WorkerLost as exc:
+        print(f"worker failure: {exc}", file=sys.stderr)
+        return EXIT_WORKER_FAILURE
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
     except SolverFailure as exc:
         print(f"solver error: {exc}", file=sys.stderr)
         return EXIT_SOLVER_FAILURE

@@ -93,6 +93,10 @@ def run_lazy(
     stats = stats if stats is not None else EvalStats()
     if solver.governor is not None:
         solver.governor.ensure_started()
+    if executor is None and jobs > 1:
+        from ..parallel.supervisor import SupervisedExecutor
+
+        executor = SupervisedExecutor(jobs)
     raw = evaluate_plan(plan, db, solver=None, prune=False, stats=stats)
     pruned = solver_prune(raw, solver, stats, jobs=jobs, executor=executor)
     return pruned, stats
@@ -110,6 +114,12 @@ def run_eager(
     stats = stats if stats is not None else EvalStats()
     if solver.governor is not None:
         solver.governor.ensure_started()
+    if executor is None and jobs > 1:
+        # One supervised executor shared across every operator's prune,
+        # so failure accounting accumulates over the whole evaluation.
+        from ..parallel.supervisor import SupervisedExecutor
+
+        executor = SupervisedExecutor(jobs)
     before = _memo_snapshot(solver)
     result = evaluate_plan(
         plan, db, solver=solver, prune=True, stats=stats, jobs=jobs, executor=executor

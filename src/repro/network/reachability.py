@@ -142,6 +142,7 @@ class ReachabilityAnalyzer:
         forwarding: str = "F",
         per_flow: bool = False,
         jobs: int = 1,
+        checkpoint=None,
     ):
         self.database = database
         self.solver = solver
@@ -149,6 +150,11 @@ class ReachabilityAnalyzer:
         self.per_flow = per_flow
         #: Default worker count for :meth:`under_patterns` fan-out.
         self.jobs = max(1, int(jobs))
+        #: Optional :class:`~repro.robustness.checkpoint.CheckpointJournal`;
+        #: when set, the computed R table and every pattern-query result
+        #: become durable as they finish, and a resumed run replays them
+        #: instead of recomputing.
+        self.checkpoint = checkpoint
         self.stats = EvalStats()
         self._reach_db: Optional[Database] = None
         self._reach_storage = None
@@ -156,14 +162,41 @@ class ReachabilityAnalyzer:
     # -- the recursive core (q4-q5) -------------------------------------------
 
     def compute(self) -> CTable:
-        """Run q4/q5 to fixpoint; caches and returns the R table."""
+        """Run q4/q5 to fixpoint; caches and returns the R table.
+
+        With a checkpoint attached, a durable R table from an earlier
+        (killed) run is replayed instead of re-running the fixpoint,
+        and a freshly computed table is journaled before returning.
+        """
         from ..engine.storage import Storage
+
+        reach_key = {"unit": "reach", "per_flow": self.per_flow}
+        if self.checkpoint is not None:
+            from ..robustness.checkpoint import stats_from_obj, table_from_obj
+
+            payload = self.checkpoint.get("table", reach_key)
+            if payload is not None:
+                self._reach_db = Database([table_from_obj(payload["table"])])
+                self._reach_storage = Storage(self._reach_db)
+                self.stats.add(stats_from_obj(payload["stats"]))
+                return self._reach_db.table("R")
 
         program = reachability_program(self.forwarding, "R", self.per_flow)
         evaluator = FaureEvaluator(self.database, solver=self.solver)
         self._reach_db = evaluator.evaluate(program)
         self._reach_storage = Storage(self._reach_db)
         self.stats.add(evaluator.stats)
+        if self.checkpoint is not None:
+            from ..robustness.checkpoint import stats_to_obj, table_to_obj
+
+            self.checkpoint.record(
+                "table",
+                reach_key,
+                {
+                    "table": table_to_obj(self._reach_db.table("R")),
+                    "stats": stats_to_obj(evaluator.stats),
+                },
+            )
         return self._reach_db.table("R")
 
     @property
@@ -199,6 +232,20 @@ class ReachabilityAnalyzer:
         self.stats.add(stats)
         return table, stats
 
+    def _query_key(self, query: PatternQuery) -> Dict:
+        """The checkpoint identity of one pattern query."""
+        from ..ctable.io import condition_to_obj
+
+        return {
+            "unit": "pattern",
+            "pattern": condition_to_obj(query.pattern),
+            "name": query.name,
+            "source": query.source,
+            "dest": query.dest,
+            "flow": query.flow,
+            "per_flow": self.per_flow,
+        }
+
     def under_patterns(
         self,
         queries: Sequence[PatternQuery],
@@ -215,10 +262,56 @@ class ReachabilityAnalyzer:
         and shard/wall counters alongside.  Each parallel query runs
         under a governor rebuilt from the parent's remaining budgets,
         with its own deterministic per-query fault schedule.
+
+        With a checkpoint attached, queries whose results are already
+        durable are replayed (never re-run), and each freshly computed
+        result is journaled as it completes — so a killed run resumes
+        with zero repeated queries.
         """
         if self._reach_db is None:
             self.compute()
         jobs = self.jobs if jobs is None else jobs
+
+        results: Dict[int, Tuple[CTable, EvalStats]] = {}
+        pending: List[Tuple[int, PatternQuery]] = []
+        if self.checkpoint is not None:
+            from ..robustness.checkpoint import stats_from_obj, table_from_obj
+
+            for i, q in enumerate(queries):
+                payload = self.checkpoint.get("pattern", self._query_key(q))
+                if payload is None:
+                    pending.append((i, q))
+                    continue
+                stats = stats_from_obj(payload["stats"])
+                self.stats.add(stats)
+                results[i] = (table_from_obj(payload["table"]), stats)
+        else:
+            pending = list(enumerate(queries))
+
+        if pending:
+            computed = self._run_patterns([q for _, q in pending], jobs, executor)
+            for (i, q), outcome in zip(pending, computed):
+                if self.checkpoint is not None:
+                    from ..robustness.checkpoint import stats_to_obj, table_to_obj
+
+                    self.checkpoint.record(
+                        "pattern",
+                        self._query_key(q),
+                        {
+                            "table": table_to_obj(outcome[0]),
+                            "stats": stats_to_obj(outcome[1]),
+                        },
+                    )
+                results[i] = outcome
+        return [results[i] for i in range(len(queries))]
+
+    def _run_patterns(
+        self,
+        queries: Sequence[PatternQuery],
+        jobs: int,
+        executor,
+    ) -> List[Tuple[CTable, EvalStats]]:
+        """The actual serial-or-parallel pattern execution."""
         if jobs <= 1 or len(queries) <= 1:
             return [
                 self.under_pattern(
@@ -226,30 +319,47 @@ class ReachabilityAnalyzer:
                 )
                 for q in queries
             ]
-        from ..parallel.executor import ParallelExecutor
         from ..parallel.spec import GovernorSpec
+        from ..parallel.supervisor import SupervisedExecutor, TaskLost, fold_failures
         from ..parallel.worker import init_pattern_worker, run_pattern_task
+        from ..robustness.errors import WorkerLost
 
-        executor = executor or ParallelExecutor(jobs)
-        spec = GovernorSpec.from_governor(self.solver.governor)
+        executor = executor or SupervisedExecutor(jobs)
+        governor = self.solver.governor
+
+        def _initargs() -> tuple:
+            # Re-snapshot the live governor on every (re)spawn so a
+            # retried query honors the original deadline — the spec
+            # serializes *remaining* seconds (see GovernorSpec).
+            return (
+                self._reach_db,
+                self.solver.domains,
+                self.per_flow,
+                GovernorSpec.from_governor(governor),
+                self.solver.enumeration_limit,
+                self.solver.memo is not None,
+            )
+
         start = time.perf_counter()
         results = executor.map(
             run_pattern_task,
             list(queries),
             initializer=init_pattern_worker,
-            initargs=(
-                self._reach_db,
-                self.solver.domains,
-                self.per_flow,
-                spec,
-                self.solver.enumeration_limit,
-                self.solver.memo is not None,
-            ),
+            initargs=_initargs(),
+            refresh_initargs=_initargs,
         )
         wall = time.perf_counter() - start
+        fold_failures(executor, governor=governor, stats=self.stats)
         out: List[Tuple[CTable, EvalStats]] = []
-        governor = self.solver.governor
         for res in results:
+            if isinstance(res, TaskLost):
+                # Unlike pruning (keep the tuple) or verification
+                # (INCONCLUSIVE), a missing pattern-query answer has no
+                # sound partial form — the loss must surface.
+                raise WorkerLost(
+                    f"pattern query {res.task_index} lost: {res.reason}",
+                    task_index=res.task_index,
+                )
             stats: EvalStats = res["stats"]
             self.stats.add(stats)
             solver_stats = res["solver_stats"]

@@ -7,18 +7,29 @@ Two independent levers, both off (``jobs=1``) by default:
   then shard the residual undecided classes across a worker pool;
 * **shard execution** (:class:`ParallelExecutor`) — fan independent
   per-prefix queries and per-constraint verification ladders across the
-  same pool with deterministic merge order.
+  same pool with deterministic merge order;
+* **supervised execution** (:class:`SupervisedExecutor`) — the
+  production default for ``jobs > 1``: worker crash detection, per-task
+  wall-clock timeouts, deterministic retry with backoff, and inline
+  quarantine of unrecoverable tasks, keeping results byte-identical to
+  the serial path (see ``docs/ROBUSTNESS.md``).
 
 See ``docs/PERFORMANCE.md`` for the design and the soundness argument
 for cross-process memo fold-back.
 """
 
 from .batch import group_classes, prune_batched
-from .executor import ParallelExecutor
+from .executor import ParallelExecutor, inline_state_guard
 from .spec import GovernorSpec, ScheduledFaultInjector, fault_directive
+from .supervisor import SupervisedExecutor, TaskFailures, TaskLost, fold_failures
 
 __all__ = [
     "ParallelExecutor",
+    "SupervisedExecutor",
+    "TaskFailures",
+    "TaskLost",
+    "fold_failures",
+    "inline_state_guard",
     "GovernorSpec",
     "ScheduledFaultInjector",
     "fault_directive",

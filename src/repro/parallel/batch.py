@@ -55,6 +55,7 @@ from ..robustness.verdict import Verdict
 from ..solver.interface import ConditionSolver
 from .executor import ParallelExecutor
 from .spec import GovernorSpec, fault_directive
+from .supervisor import SupervisedExecutor, TaskLost, fold_failures
 from .worker import init_prune_worker, run_prune_shard
 
 __all__ = ["group_classes", "prune_batched"]
@@ -194,14 +195,29 @@ def _decide_residual_parallel(
     budget = governor.remaining_calls() if governor is not None else None
     decided_n = len(residual) if budget is None else min(budget, len(residual))
 
-    spec = GovernorSpec.from_governor(governor)
-    if spec is not None:
-        # The parent enforces the call budget globally (each worker would
-        # otherwise spend the whole remainder) and replaces the plan with
-        # the per-shard schedule computed above.
-        spec = replace(spec, solver_call_budget=None, fault_plan=None)
+    def _initargs() -> tuple:
+        """Initializer args with a *live* governor snapshot.
 
-    executor = executor or ParallelExecutor(jobs)
+        Also the supervised executor's ``refresh_initargs`` hook: the
+        spec serializes the deadline as *remaining* seconds, so a worker
+        respawned for a retry must re-snapshot from the parent's live
+        governor — a stale spec would re-arm the full original deadline
+        and let a retried task outlive the query's wall-clock budget.
+        """
+        spec = GovernorSpec.from_governor(governor)
+        if spec is not None:
+            # The parent enforces the call budget globally (each worker
+            # would otherwise spend the whole remainder) and replaces the
+            # plan with the per-shard schedule computed above.
+            spec = replace(spec, solver_call_budget=None, fault_plan=None)
+        return (
+            solver.domains,
+            spec,
+            solver.enumeration_limit,
+            solver.memo is not None,
+        )
+
+    executor = executor or SupervisedExecutor(jobs)
     shards = [
         [
             (residual[r][0], residual[r][1], directives[r])
@@ -215,14 +231,24 @@ def _decide_residual_parallel(
         run_prune_shard,
         shards,
         initializer=init_prune_worker,
-        initargs=(solver.domains, spec, solver.enumeration_limit, solver.memo is not None),
+        initargs=_initargs(),
+        refresh_initargs=_initargs,
     )
     wall = time.perf_counter() - start
+    fold_failures(executor, governor=governor, stats=stats)
 
     verdicts: Dict[int, Verdict] = {}
     first_error: Optional[Tuple[int, BaseException]] = None
     injected_totals = {"timeout": 0, "failure": 0, "oversize": 0}
     for shard, result in zip(shards, results):
+        if isinstance(result, TaskLost):
+            # Unrecoverable shard under on_worker_loss="degrade": every
+            # class in it degrades to UNKNOWN — member tuples are kept,
+            # never pruned on missing evidence (sound, like budget
+            # exhaustion; the loss is visible in the failure counters).
+            for class_index, _cond, _kind in shard:
+                verdicts[class_index] = Verdict.UNKNOWN
+            continue
         error = result.get("error")
         if error is not None and (first_error is None or error[0] < first_error[0]):
             first_error = error

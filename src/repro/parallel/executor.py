@@ -1,27 +1,64 @@
 """Multiprocess shard executor with deterministic merge order.
 
-:class:`ParallelExecutor` is the one place the pipeline touches
-``multiprocessing``: it fans a list of picklable tasks across a worker
-pool and returns results **in submission order**, so every caller's
-merge is deterministic regardless of which worker finished first.
-Worker-side state that is expensive to ship per task (a pickled
-:class:`~repro.solver.domains.DomainMap`, the reachability c-table, a
-:class:`~repro.parallel.spec.GovernorSpec`) goes through the pool
-initializer instead, paying the serialization cost once per worker.
+:class:`ParallelExecutor` is the plain pool executor: it fans a list of
+picklable tasks across a worker pool and returns results **in
+submission order**, so every caller's merge is deterministic regardless
+of which worker finished first.  Worker-side state that is expensive to
+ship per task (a pickled :class:`~repro.solver.domains.DomainMap`, the
+reachability c-table, a :class:`~repro.parallel.spec.GovernorSpec`)
+goes through the pool initializer instead, paying the serialization
+cost once per worker.
 
 ``jobs=1`` never creates a pool — tasks run inline in the parent, in
 order, so the serial path is byte-identical to a pipeline without this
-module.  The executor prefers the ``fork`` start method where available
+module.  The inline path snapshots and restores the worker module's
+state dicts (see :data:`repro.parallel.worker.INLINE_STATE_DICTS`), so
+calling the initializer in the parent cannot leak worker globals across
+calls.  The executor prefers the ``fork`` start method where available
 (cheap worker startup, no re-import); ``spawn`` is the portable
 fallback and works because every payload is explicitly picklable.
+
+This executor trusts its workers: a worker killed mid-task (OOM,
+SIGKILL) aborts or hangs the whole map.  Production paths use
+:class:`~repro.parallel.supervisor.SupervisedExecutor`, which adds
+crash detection, per-task timeouts, deterministic retry, and inline
+quarantine on top of the same interface.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Any, Callable, List, Optional, Sequence
+import sys
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Sequence
 
-__all__ = ["ParallelExecutor"]
+__all__ = ["ParallelExecutor", "inline_state_guard"]
+
+
+@contextmanager
+def inline_state_guard(initializer: Optional[Callable]) -> Iterator[None]:
+    """Snapshot/restore worker-module globals around an inline run.
+
+    Pool initializers stash per-worker state in module-level dicts
+    (:mod:`repro.parallel.worker`); running one *in the parent* (the
+    ``jobs=1`` path, or a quarantined task) would otherwise leak that
+    state into the parent process across calls.  The initializer's
+    module declares the dicts to protect in ``INLINE_STATE_DICTS``;
+    modules without the attribute are left alone.
+    """
+    module = (
+        sys.modules.get(getattr(initializer, "__module__", None))
+        if initializer is not None
+        else None
+    )
+    guarded = getattr(module, "INLINE_STATE_DICTS", ()) if module else ()
+    snapshots = [dict(d) for d in guarded]
+    try:
+        yield
+    finally:
+        for state, snapshot in zip(guarded, snapshots):
+            state.clear()
+            state.update(snapshot)
 
 
 class ParallelExecutor:
@@ -47,6 +84,19 @@ class ParallelExecutor:
         method = self._start_method or ("fork" if "fork" in methods else "spawn")
         return multiprocessing.get_context(method)
 
+    def _run_inline(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        initializer: Optional[Callable],
+        initargs: tuple,
+    ) -> List[Any]:
+        """The serial path: initializer + tasks in the parent, guarded."""
+        with inline_state_guard(initializer):
+            if initializer is not None:
+                initializer(*initargs)
+            return [fn(t) for t in tasks]
+
     def map(
         self,
         fn: Callable[[Any], Any],
@@ -54,25 +104,33 @@ class ParallelExecutor:
         initializer: Optional[Callable] = None,
         initargs: tuple = (),
         chunksize: Optional[int] = None,
+        refresh_initargs: Optional[Callable[[], tuple]] = None,
     ) -> List[Any]:
         """``[fn(t) for t in tasks]`` across the pool, in task order.
 
         A worker exception propagates to the caller (first by task
         order), matching the serial path's behavior under ``on_budget=
-        "fail"``.
+        "fail"``.  ``refresh_initargs`` is accepted for interface parity
+        with the supervised executor but unused here — a plain pool
+        never re-initializes a worker mid-run.
         """
+        del refresh_initargs  # only meaningful under supervision
         tasks = list(tasks)
         if self.jobs == 1 or len(tasks) <= 1:
-            if initializer is not None:
-                initializer(*initargs)
-            return [fn(t) for t in tasks]
+            return self._run_inline(fn, tasks, initializer, initargs)
         workers = min(self.jobs, len(tasks))
         if chunksize is None:
             chunksize = max(1, len(tasks) // (workers * 4))
         ctx = self._context()
         pool = ctx.Pool(processes=workers, initializer=initializer, initargs=initargs)
         try:
-            return pool.map(fn, tasks, chunksize=chunksize)
-        finally:
-            pool.close()
+            results = pool.map(fn, tasks, chunksize=chunksize)
+        except BaseException:
+            # On any error (including KeyboardInterrupt) close()+join()
+            # could block forever on live workers — kill them instead.
+            pool.terminate()
             pool.join()
+            raise
+        pool.close()
+        pool.join()
+        return results

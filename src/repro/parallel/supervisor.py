@@ -1,0 +1,548 @@
+"""Supervised execution: crash recovery, per-task timeouts, quarantine.
+
+:class:`SupervisedExecutor` is the fault-tolerant replacement for the
+bare pool of :class:`~repro.parallel.executor.ParallelExecutor`.  The
+plain executor's ``Pool.map`` has three production failure modes the
+ROADMAP's scale target cannot live with:
+
+* a worker killed mid-shard (OOM, SIGKILL) hangs or aborts the whole
+  map — partial work is lost and the parent may block forever;
+* a stuck solver call in one worker stalls the pool with no recourse;
+* there is no retry: one transient loss restarts the run from zero.
+
+Supervision replaces ``Pool.map`` with per-worker channels and a
+sentinel-watch loop:
+
+* every worker is a directly-managed ``Process`` with its own task
+  queue **and its own result pipe**, so the parent always knows which
+  task a dead worker was holding (``Process.exitcode`` is the death
+  sentinel) — and a SIGKILL can only ever corrupt the dead worker's
+  private channel, never a lock shared with surviving workers (the
+  shared-``Queue`` design deadlocks when a worker dies holding the
+  queue's cross-process write lock);
+* each task gets a wall-clock **timeout**; an overdue worker is killed
+  and its task treated like a crash;
+* a crashed/timed-out task is **retried** up to ``task_retries`` times
+  with deterministic exponential backoff (seeded jitter, injectable
+  clock/sleep — tests pin both), on a **respawned** worker whose
+  initializer arguments are *re-snapshotted* via ``refresh_initargs``
+  so governor deadlines keep honoring the original wall-clock budget;
+* past the retry budget the task is **quarantined**: re-executed inline
+  in the parent through the exact ``jobs=1`` path (worker-module state
+  snapshotted/restored), so the final results are byte-identical to a
+  serial run no matter which workers died.  Callers that prefer sound
+  degradation (``on_worker_loss="degrade"``) get a :class:`TaskLost`
+  marker instead; ``"fail"`` raises
+  :class:`~repro.robustness.errors.WorkerLost`.
+
+Application-level exceptions (a worker *returning* a failure, e.g.
+``on_budget="fail"`` budget errors) are **not** retried — they are
+deterministic answers, not infrastructure failures — and propagate to
+the caller first-by-task-order, exactly like the plain executor.
+
+Chaos hooks: the worker loop and the checkpoint journal honor the
+``FAURE_CHAOS`` environment variable (see :func:`chaos_directives`), so
+the chaos suite (``tests/chaos/``) can SIGKILL a worker on a chosen
+task, hang a task past its timeout, or kill a run mid-checkpoint —
+deterministically, through the real production code path.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_ready
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..robustness.errors import WorkerLost
+from .executor import ParallelExecutor, inline_state_guard
+
+__all__ = [
+    "SupervisedExecutor",
+    "TaskFailures",
+    "TaskLost",
+    "ON_WORKER_LOSS_MODES",
+    "chaos_directives",
+    "fold_failures",
+]
+
+#: Accepted unrecoverable-task policies.
+ON_WORKER_LOSS_MODES = ("inline", "degrade", "fail")
+
+#: Seconds the parent waits on the result pipes per watch-loop pass.
+_POLL_SECONDS = 0.02
+
+#: Set in every supervised worker process, so chaos task functions can
+#: tell "running under a worker" from "running inline in the parent".
+_WORKER_ENV = "FAURE_SUPERVISED_WORKER"
+
+
+# -- chaos hooks -------------------------------------------------------------
+
+
+def chaos_directives(env: Optional[str] = None) -> List[Tuple[str, ...]]:
+    """Parse the ``FAURE_CHAOS`` fault schedule.
+
+    The value is ``;``-separated directives:
+
+    * ``kill:<task>:<sentinel>`` — SIGKILL the worker the first time it
+      picks up task ``<task>`` (0-based submission index); the sentinel
+      file records that the fault already fired, so the retry succeeds;
+    * ``kill-always:<task>`` — SIGKILL on *every* attempt (models a
+      poison task / deterministic OOM);
+    * ``hang:<task>:<seconds>:<sentinel>`` — sleep ``<seconds>`` before
+      running the task, once (drives the per-task timeout path);
+    * ``die-after-records:<n>:<sentinel>`` — hard-exit the process after
+      the checkpoint journal appends ``<n>`` records, once (consumed by
+      :mod:`repro.robustness.checkpoint`, not by workers).
+
+    Used only by the chaos test harness; unset means no faults.
+    """
+    raw = os.environ.get("FAURE_CHAOS", "") if env is None else env
+    directives: List[Tuple[str, ...]] = []
+    for part in raw.split(";"):
+        part = part.strip()
+        if part:
+            directives.append(tuple(part.split(":")))
+    return directives
+
+
+def _sentinel_fires(path: str) -> bool:
+    """Atomically claim a once-only fault; False if it already fired."""
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _maybe_worker_chaos(task_index: int) -> None:
+    """Fire any scheduled worker fault for ``task_index`` (test hook)."""
+    for directive in chaos_directives():
+        kind = directive[0]
+        if kind == "kill" and int(directive[1]) == task_index:
+            if _sentinel_fires(directive[2]):
+                os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "kill-always" and int(directive[1]) == task_index:
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "hang" and int(directive[1]) == task_index:
+            if _sentinel_fires(directive[3]):
+                time.sleep(float(directive[2]))
+
+
+# -- the worker loop ---------------------------------------------------------
+
+
+def _supervised_worker(task_queue, result_conn, fn, initializer, initargs) -> None:
+    """Body of one supervised worker process.
+
+    Receives ``(task_index, payload)`` messages, answers
+    ``(task_index, ok, result_or_error)`` on this worker's private
+    result pipe; a ``None`` message is the shutdown sentinel.
+    Application exceptions ship home as values — only an actual process
+    death is a crash from the parent's view.
+    """
+    os.environ[_WORKER_ENV] = "1"
+    if initializer is not None:
+        initializer(*initargs)
+    while True:
+        try:
+            message = task_queue.get()
+        except (EOFError, OSError):
+            return  # parent is gone
+        if message is None:
+            return
+        task_index, payload = message
+        _maybe_worker_chaos(task_index)
+        try:
+            result = (task_index, True, fn(payload))
+        except BaseException as exc:  # noqa: BLE001 — shipped, not handled
+            result = (task_index, False, exc)
+        try:
+            result_conn.send(result)
+        except (EOFError, OSError):
+            return
+
+
+# -- parent-side bookkeeping -------------------------------------------------
+
+
+@dataclass
+class TaskFailures:
+    """Per-map ledger of supervision events (mirrors GovernorEvents)."""
+
+    worker_crashes: int = 0
+    task_timeouts: int = 0
+    task_retries: int = 0
+    tasks_quarantined: int = 0
+    tasks_lost: int = 0
+
+    @property
+    def any(self) -> bool:
+        return bool(
+            self.worker_crashes
+            or self.task_timeouts
+            or self.task_retries
+            or self.tasks_quarantined
+            or self.tasks_lost
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "worker_crashes": self.worker_crashes,
+            "task_timeouts": self.task_timeouts,
+            "task_retries": self.task_retries,
+            "tasks_quarantined": self.tasks_quarantined,
+            "tasks_lost": self.tasks_lost,
+        }
+
+    def add(self, other: "TaskFailures") -> None:
+        self.worker_crashes += other.worker_crashes
+        self.task_timeouts += other.task_timeouts
+        self.task_retries += other.task_retries
+        self.tasks_quarantined += other.tasks_quarantined
+        self.tasks_lost += other.tasks_lost
+
+
+@dataclass(frozen=True)
+class TaskLost:
+    """Placed in a result slot under ``on_worker_loss="degrade"``.
+
+    Call-sites translate it into their sound fallback: batched pruning
+    degrades the shard's classes to UNKNOWN (tuples kept), the verifier
+    reports INCONCLUSIVE, the pattern fan-out — which has no sound
+    partial answer — raises :class:`WorkerLost`.
+    """
+
+    task_index: int
+    reason: str
+
+
+def fold_failures(executor, governor=None, stats=None) -> None:
+    """Fold an executor's last-map failure ledger into caller surfaces.
+
+    No-ops for plain executors (no ledger) and clean maps.  Counters go
+    to the governor's event ledger (when governed) and to
+    ``EvalStats.extra`` (always), so a degraded-by-worker-loss run is
+    visible in exactly the places budget degradation already is.
+    """
+    failures: Optional[TaskFailures] = getattr(executor, "last_failures", None)
+    if failures is None or not failures.any:
+        return
+    if governor is not None:
+        events = governor.events
+        events.worker_crashes += failures.worker_crashes
+        events.task_timeouts += failures.task_timeouts
+        events.task_retries += failures.task_retries
+        events.tasks_quarantined += failures.tasks_quarantined
+        events.tasks_lost += failures.tasks_lost
+    if stats is not None:
+        for key, value in failures.as_dict().items():
+            if value:
+                stats.extra[key] = stats.extra.get(key, 0) + value
+
+
+class _Worker:
+    """One supervised worker: process, private task queue, result pipe."""
+
+    __slots__ = ("process", "queue", "reader", "current", "deadline")
+
+    def __init__(self, process, queue, reader):
+        self.process = process
+        self.queue = queue
+        self.reader = reader  # parent end of the private result pipe
+        self.current: Optional[int] = None  # task index in flight
+        self.deadline: Optional[float] = None
+
+
+class SupervisedExecutor(ParallelExecutor):
+    """Crash-recovering, timeout-enforcing, retrying shard executor.
+
+    Drop-in for :class:`ParallelExecutor` — same ``map`` contract (task
+    order preserved, first-by-task-order application errors) plus the
+    supervision knobs:
+
+    Parameters
+    ----------
+    task_timeout:
+        Wall-clock seconds one task may run in a worker before the
+        worker is killed and the task counted as timed out; ``None``
+        (default) disables the timeout.  Quarantined inline re-runs are
+        *not* preempted — inline is the serial path, and serial has no
+        timeout either.
+    task_retries:
+        How many times a crashed/timed-out task is re-submitted before
+        the ``on_worker_loss`` policy applies.
+    on_worker_loss:
+        ``"inline"`` (default) — quarantine: run the task inline in the
+        parent, guaranteeing completion and byte-identical results;
+        ``"degrade"`` — give the caller a :class:`TaskLost` marker to
+        absorb soundly; ``"fail"`` — raise :class:`WorkerLost`.
+    backoff_base / backoff_seed:
+        Retry ``k`` (1-based, across all tasks of one map) sleeps
+        ``backoff_base * 2**(k-1) * jitter`` with jitter drawn
+        deterministically from ``Random(backoff_seed)`` in [0.5, 1.0) —
+        the schedule is a pure function of the seed and the failure
+        sequence, so tests replay it exactly.
+    clock / sleep:
+        Injectable time sources (tests pin them; production defaults).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        start_method: Optional[str] = None,
+        task_timeout: Optional[float] = None,
+        task_retries: int = 2,
+        on_worker_loss: str = "inline",
+        backoff_base: float = 0.05,
+        backoff_seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        super().__init__(jobs, start_method)
+        if on_worker_loss not in ON_WORKER_LOSS_MODES:
+            raise ValueError(
+                f"on_worker_loss must be one of {ON_WORKER_LOSS_MODES}, "
+                f"got {on_worker_loss!r}"
+            )
+        self.task_timeout = task_timeout
+        self.task_retries = max(0, int(task_retries))
+        self.on_worker_loss = on_worker_loss
+        self.backoff_base = backoff_base
+        self.backoff_seed = backoff_seed
+        self.clock = clock
+        self.sleep = sleep
+        #: Ledger of the most recent :meth:`map` call.
+        self.last_failures = TaskFailures()
+        #: Cumulative ledger across the executor's lifetime.
+        self.failures = TaskFailures()
+
+    # -- public API ----------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+        chunksize: Optional[int] = None,
+        refresh_initargs: Optional[Callable[[], tuple]] = None,
+    ) -> List[Any]:
+        """Supervised ``[fn(t) for t in tasks]``, in task order.
+
+        ``refresh_initargs`` (when given) produces fresh initializer
+        arguments every time a worker is (re)spawned and for the
+        quarantine path — the hook callers use to re-snapshot a live
+        governor so a retried task honors the *original* deadline
+        rather than re-arming a fresh one.
+        """
+        del chunksize  # supervision assigns one task at a time
+        self.last_failures = TaskFailures()
+        tasks = list(tasks)
+        if self.jobs == 1 or len(tasks) <= 1:
+            return self._run_inline(fn, tasks, initializer, initargs)
+        try:
+            return self._map_supervised(fn, tasks, initializer, initargs, refresh_initargs)
+        finally:
+            self.failures.add(self.last_failures)
+
+    # -- supervision internals ----------------------------------------------
+
+    def _spawn(self, ctx, fn, initializer, initargs, refresh) -> _Worker:
+        if refresh is not None:
+            initargs = refresh()
+        queue = ctx.Queue()
+        reader, writer = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_supervised_worker,
+            args=(queue, writer, fn, initializer, initargs),
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the write end: once the worker dies,
+        # the pipe reads EOF instead of blocking forever.
+        writer.close()
+        return _Worker(process, queue, reader)
+
+    def _stop_worker(self, worker: _Worker, kill: bool) -> None:
+        try:
+            if kill:
+                worker.process.kill()
+            else:
+                worker.queue.put(None)
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=2.0)
+        finally:
+            worker.queue.close()
+            worker.reader.close()
+
+    @staticmethod
+    def _drain_worker(worker: _Worker, outcomes: Dict[int, Tuple[bool, Any]]) -> None:
+        """Record every complete result the worker has sent so far.
+
+        A worker SIGKILLed mid-``send`` leaves a torn message on its
+        pipe; the resulting ``EOFError``/``OSError`` is swallowed — the
+        sentinel watch claims the in-flight task as a crash.
+        """
+        try:
+            while worker.reader.poll(0):
+                index, ok, payload = worker.reader.recv()
+                outcomes[index] = (ok, payload)
+                if worker.current == index:
+                    worker.current, worker.deadline = None, None
+        except (EOFError, OSError):
+            pass
+
+    def _backoff(self, rng: random.Random, retry_number: int) -> None:
+        delay = self.backoff_base * (2 ** (retry_number - 1))
+        self.sleep(delay * (0.5 + rng.random() / 2))
+
+    def _map_supervised(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: List[Any],
+        initializer: Optional[Callable],
+        initargs: tuple,
+        refresh: Optional[Callable[[], tuple]],
+    ) -> List[Any]:
+        ctx = self._context()
+        failures = self.last_failures
+        rng = random.Random(self.backoff_seed)
+        retry_number = 0
+
+        pending: List[int] = list(range(len(tasks)))  # task indices to run
+        attempts: Dict[int, int] = {}
+        outcomes: Dict[int, Tuple[bool, Any]] = {}  # index -> (ok, payload)
+        quarantined: List[int] = []
+        workers: List[_Worker] = []
+
+        def unresolved() -> int:
+            return len(tasks) - len(outcomes) - len(quarantined)
+
+        def task_failed(worker: _Worker, why: str) -> None:
+            """One crash/timeout: respawn the worker, retry or give up."""
+            nonlocal retry_number
+            index = worker.current
+            worker.current, worker.deadline = None, None
+            attempts[index] = attempts.get(index, 0) + 1
+            if attempts[index] <= self.task_retries:
+                failures.task_retries += 1
+                retry_number += 1
+                self._backoff(rng, retry_number)
+                pending.insert(0, index)
+            elif self.on_worker_loss == "inline":
+                failures.tasks_quarantined += 1
+                quarantined.append(index)
+            else:
+                failures.tasks_lost += 1
+                outcomes[index] = (True, TaskLost(index, why))
+                if self.on_worker_loss == "fail":
+                    raise WorkerLost(
+                        f"task {index} lost after {attempts[index]} attempt(s): {why}",
+                        task_index=index,
+                    )
+
+        try:
+            for _ in range(min(self.jobs, len(tasks))):
+                workers.append(self._spawn(ctx, fn, initializer, initargs, refresh))
+
+            while unresolved() > 0:
+                # Assign work to idle live workers, respawning as needed.
+                for slot, worker in enumerate(workers):
+                    if not pending:
+                        break
+                    if worker.current is not None:
+                        continue
+                    if worker.process.exitcode is not None:
+                        # Died idle (or crashed after answering): replace.
+                        self._stop_worker(worker, kill=True)
+                        worker = self._spawn(ctx, fn, initializer, initargs, refresh)
+                        workers[slot] = worker
+                    index = pending.pop(0)
+                    worker.current = index
+                    worker.deadline = (
+                        self.clock() + self.task_timeout
+                        if self.task_timeout is not None
+                        else None
+                    )
+                    worker.queue.put((index, tasks[index]))
+
+                # Drain finished results from the private pipes.
+                busy = [worker for worker in workers if worker.current is not None]
+                if busy:
+                    ready = _wait_ready(
+                        [worker.reader for worker in busy], timeout=_POLL_SECONDS
+                    )
+                    for worker in busy:
+                        if worker.reader in ready:
+                            self._drain_worker(worker, outcomes)
+                else:
+                    time.sleep(_POLL_SECONDS)
+
+                # Sentinel watch: dead or overdue workers lose their task.
+                now = self.clock()
+                for slot, worker in enumerate(workers):
+                    if worker.current is None:
+                        continue
+                    crashed = worker.process.exitcode is not None
+                    overdue = worker.deadline is not None and now > worker.deadline
+                    if not crashed and not overdue:
+                        continue
+                    # A worker may answer and then die, or answer right at
+                    # its deadline; whatever made it onto the pipe is an
+                    # answer, not a casualty.
+                    self._drain_worker(worker, outcomes)
+                    if worker.current is None:  # answered after all
+                        if crashed:
+                            self._stop_worker(worker, kill=True)
+                            workers[slot] = self._spawn(
+                                ctx, fn, initializer, initargs, refresh
+                            )
+                        continue
+                    if crashed:
+                        failures.worker_crashes += 1
+                        why = f"worker died (exitcode {worker.process.exitcode})"
+                    else:
+                        failures.task_timeouts += 1
+                        why = f"task exceeded its {self.task_timeout:g}s timeout"
+                    self._stop_worker(worker, kill=True)
+                    replacement = self._spawn(ctx, fn, initializer, initargs, refresh)
+                    replacement.current = worker.current
+                    workers[slot] = replacement
+                    task_failed(replacement, why)
+
+            for worker in workers:
+                self._stop_worker(worker, kill=False)
+            workers = []
+        except BaseException:
+            for worker in workers:
+                self._stop_worker(worker, kill=True)
+            raise
+
+        # Quarantine: the unrecoverable tasks run inline in the parent,
+        # through the exact serial path — byte-identical by construction.
+        if quarantined:
+            current_args = refresh() if refresh is not None else initargs
+            for index in sorted(quarantined):
+                try:
+                    result = self._run_inline(
+                        fn, [tasks[index]], initializer, current_args
+                    )
+                except BaseException as exc:  # noqa: BLE001 — reordered below
+                    outcomes[index] = (False, exc)
+                else:
+                    outcomes[index] = (True, result[0])
+
+        # First application error by task order, like the plain executor.
+        for index in range(len(tasks)):
+            ok, payload = outcomes[index]
+            if not ok:
+                raise payload
+        return [outcomes[index][1] for index in range(len(tasks))]

@@ -44,6 +44,7 @@ __all__ = [
     "run_pattern_task",
     "init_verify_worker",
     "run_verify_task",
+    "INLINE_STATE_DICTS",
 ]
 
 #: Counters a worker reports back; ``time_seconds`` is kept separate so
@@ -214,6 +215,13 @@ def init_verify_worker(known, schemas, column_domains, generic_rows,
         memo_enabled=memo_enabled,
         memo=_worker_memo(memo_enabled),
     )
+
+
+#: Module-global state dicts the executors must snapshot/restore when an
+#: initializer runs *in the parent* (the jobs=1 inline path and the
+#: supervised executor's quarantine path) — without the guard, inline
+#: runs would leak worker state into the parent across calls.
+INLINE_STATE_DICTS = (_PRUNE_STATE, _PATTERN_STATE, _VERIFY_STATE)
 
 
 def run_verify_task(task) -> Any:

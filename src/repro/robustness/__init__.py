@@ -15,7 +15,11 @@ out:
   degrade-vs-fail policy;
 * :mod:`~repro.robustness.faultinject` — deterministic injection of
   timeouts, failures, and oversized conditions, so every degradation
-  path is provably exercised.
+  path is provably exercised;
+* :mod:`~repro.robustness.checkpoint` — a durable journal of completed
+  work units (definite memo verdicts, pattern-query results, verify
+  verdicts) so a killed run resumes byte-for-byte, re-running zero
+  completed units.
 
 Soundness contract (see ``docs/ROBUSTNESS.md``): on ``UNKNOWN`` every
 call-site keeps the tuple / skips the merge / reports inconclusive, so
@@ -23,7 +27,15 @@ the possible-worlds semantics of every result is preserved — degraded
 output is merely *less simplified*, never wrong.
 """
 
-from .errors import BudgetExceeded, ConditionTooLarge, FaureError, SolverFailure
+from .checkpoint import CheckpointJournal, fingerprint_of
+from .errors import (
+    BudgetExceeded,
+    CheckpointError,
+    ConditionTooLarge,
+    FaureError,
+    SolverFailure,
+    WorkerLost,
+)
 from .faultinject import FaultInjector, FaultPlan
 from .governor import Governor, GovernorEvents, ON_BUDGET_MODES, WorkTicket
 from .verdict import Trivalent, Verdict
@@ -33,6 +45,10 @@ __all__ = [
     "BudgetExceeded",
     "SolverFailure",
     "ConditionTooLarge",
+    "WorkerLost",
+    "CheckpointError",
+    "CheckpointJournal",
+    "fingerprint_of",
     "Verdict",
     "Trivalent",
     "Governor",

@@ -19,7 +19,14 @@ less simplified), which is what every governed call-site does in
 
 from __future__ import annotations
 
-__all__ = ["FaureError", "BudgetExceeded", "SolverFailure", "ConditionTooLarge"]
+__all__ = [
+    "FaureError",
+    "BudgetExceeded",
+    "SolverFailure",
+    "ConditionTooLarge",
+    "WorkerLost",
+    "CheckpointError",
+]
 
 
 class FaureError(Exception):
@@ -53,3 +60,32 @@ class ConditionTooLarge(FaureError):
         super().__init__(message)
         self.atoms = atoms
         self.limit = limit
+
+
+class WorkerLost(FaureError):
+    """A worker process died and its task could not be recovered.
+
+    Raised by the supervised executor when a task exhausts its retry
+    budget and the caller's worker-loss policy forbids both inline
+    quarantine and sound degradation.  ``task_index`` names the task (by
+    submission order) when known.  Unlike the three errors above this is
+    *not* always safe to degrade on — whether a lost task can be
+    absorbed depends on the call-site (prune: keep-as-UNKNOWN; verify:
+    INCONCLUSIVE; pattern fan-out: no sound partial answer exists, so
+    the loss propagates).
+    """
+
+    def __init__(self, message: str, task_index: int = None):
+        super().__init__(message)
+        self.task_index = task_index
+
+
+class CheckpointError(FaureError):
+    """A checkpoint journal cannot be used for this run.
+
+    Raised when a journal's header is malformed or its workload
+    fingerprint does not match the current inputs — resuming from a
+    checkpoint of a *different* workload would silently splice foreign
+    results into this run, so the mismatch is a hard error rather than
+    a warning.
+    """

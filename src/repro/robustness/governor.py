@@ -56,6 +56,12 @@ class GovernorEvents:
     unknown_verdicts: int = 0  # calls degraded to UNKNOWN
     injected_faults: int = 0  # faults fired by the injector
     retries: int = 0  # retry-with-larger-budget escalations
+    # Supervised-execution failure accounting (repro.parallel.supervisor):
+    worker_crashes: int = 0  # worker processes found dead mid-task
+    task_timeouts: int = 0  # tasks killed for exceeding their wall-clock cap
+    task_retries: int = 0  # task re-submissions after a crash/timeout
+    tasks_quarantined: int = 0  # tasks re-run inline after the retry budget
+    tasks_lost: int = 0  # tasks degraded/failed after the retry budget
 
     def reset(self) -> None:
         self.solver_calls = 0
@@ -65,6 +71,11 @@ class GovernorEvents:
         self.unknown_verdicts = 0
         self.injected_faults = 0
         self.retries = 0
+        self.worker_crashes = 0
+        self.task_timeouts = 0
+        self.task_retries = 0
+        self.tasks_quarantined = 0
+        self.tasks_lost = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -75,6 +86,11 @@ class GovernorEvents:
             "unknown_verdicts": self.unknown_verdicts,
             "injected_faults": self.injected_faults,
             "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "task_timeouts": self.task_timeouts,
+            "task_retries": self.task_retries,
+            "tasks_quarantined": self.tasks_quarantined,
+            "tasks_lost": self.tasks_lost,
         }
 
 

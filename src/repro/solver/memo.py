@@ -71,6 +71,10 @@ class MemoTable:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Optional ``callback(key, value)`` invoked on every :meth:`put`
+        #: — the checkpoint journal's hook for persisting definite
+        #: verdicts as they are computed (repro.robustness.checkpoint).
+        self.observer = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -142,10 +146,13 @@ class MemoTable:
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+        if self.observer is not None:
+            self.observer(key, value)
 
     # -- bookkeeping --------------------------------------------------------
 
     def clear(self) -> None:
+        self.observer = None
         self._entries.clear()
         self._canon.clear()
         self.interner.clear()

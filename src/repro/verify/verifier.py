@@ -206,6 +206,7 @@ class RelativeCompleteVerifier:
         state: Optional[Database] = None,
         jobs: int = 1,
         executor=None,
+        checkpoint=None,
     ) -> List[Verdict]:
         """Run the ladder on independent target constraints, in order.
 
@@ -220,20 +221,69 @@ class RelativeCompleteVerifier:
         mixes sat and implication keys whose conditions stay
         worker-side), so a later serial run may redo that work; results
         are unaffected.
+
+        A target whose worker is lost past the supervised executor's
+        retry budget (``on_worker_loss="degrade"``) reports
+        ``INCONCLUSIVE`` — never a silently missing or fabricated
+        verdict.  With ``checkpoint`` (a
+        :class:`~repro.robustness.checkpoint.CheckpointJournal`),
+        already-durable verdicts are replayed and fresh ones journaled
+        per target, so a killed run resumes re-verifying nothing.
         """
+        verdicts: Dict[int, Verdict] = {}
+        pending: List[tuple] = []
+        for i, target in enumerate(targets):
+            payload = None
+            if checkpoint is not None:
+                from ..robustness.checkpoint import verdict_from_obj
+
+                payload = checkpoint.get(
+                    "verify", {"unit": "verify", "target": target.name, "index": i}
+                )
+            if payload is not None:
+                verdicts[i] = verdict_from_obj(payload)
+            else:
+                pending.append((i, target))
+
+        if pending:
+            computed = self._verify_pending(
+                [t for _, t in pending], update, state, jobs, executor
+            )
+            for (i, target), verdict in zip(pending, computed):
+                if checkpoint is not None:
+                    from ..robustness.checkpoint import verdict_to_obj
+
+                    checkpoint.record(
+                        "verify",
+                        {"unit": "verify", "target": target.name, "index": i},
+                        verdict_to_obj(verdict),
+                    )
+                verdicts[i] = verdict
+        return [verdicts[i] for i in range(len(targets))]
+
+    def _verify_pending(
+        self,
+        targets: Sequence[Constraint],
+        update: Optional[Update],
+        state: Optional[Database],
+        jobs: int,
+        executor,
+    ) -> List[Verdict]:
+        """The actual serial-or-parallel ladder execution."""
         if jobs <= 1 or len(targets) <= 1:
             return [self.verify(t, update=update, state=state) for t in targets]
-        from ..parallel.executor import ParallelExecutor
         from ..parallel.spec import GovernorSpec
+        from ..parallel.supervisor import SupervisedExecutor, TaskLost, fold_failures
         from ..parallel.worker import init_verify_worker, run_verify_task
 
-        executor = executor or ParallelExecutor(jobs)
-        spec = GovernorSpec.from_governor(self.solver.governor)
-        return executor.map(
-            run_verify_task,
-            [(t, update, state) for t in targets],
-            initializer=init_verify_worker,
-            initargs=(
+        executor = executor or SupervisedExecutor(jobs)
+        governor = self.solver.governor
+
+        def _initargs() -> tuple:
+            # Re-snapshot the live governor on every (re)spawn: the spec
+            # carries the deadline as *remaining* seconds, so a retried
+            # target must not be handed the full original budget again.
+            return (
                 self.known,
                 self.schemas,
                 self.column_domains,
@@ -242,7 +292,30 @@ class RelativeCompleteVerifier:
                 self.budget_growth,
                 self.solver.domains,
                 self.solver.enumeration_limit,
-                spec,
+                GovernorSpec.from_governor(governor),
                 self.solver.memo is not None,
-            ),
+            )
+
+        results = executor.map(
+            run_verify_task,
+            [(t, update, state) for t in targets],
+            initializer=init_verify_worker,
+            initargs=_initargs(),
+            refresh_initargs=_initargs,
         )
+        fold_failures(executor, governor=governor)
+        out: List[Verdict] = []
+        for res in results:
+            if isinstance(res, TaskLost):
+                # Worker loss degrades to INCONCLUSIVE — an explicit
+                # "more resources needed", never a silent partial answer.
+                out.append(
+                    Verdict(
+                        Status.INCONCLUSIVE,
+                        None,
+                        trail=[f"worker lost: {res.reason}"],
+                    )
+                )
+            else:
+                out.append(res)
+        return out

@@ -1,0 +1,302 @@
+"""The acceptance bar: chaos must not change a single byte of output.
+
+A worker SIGKILLed mid-shard, a task hung past its timeout — after
+recovery (respawn + deterministic retry, quarantine as the last
+resort) every analysis surface must produce output identical to a
+clean ``jobs=1`` run.  Supervision counters are the only permitted
+difference, and they live in the governor event ledger / stderr, never
+in the analysis results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.ctable import CTable, CTuple
+from repro.ctable.condition import conjoin
+from repro.engine.stats import EvalStats
+from repro.network.enterprise import (
+    SCHEMAS,
+    EnterpriseModel,
+    column_domains,
+    constraint_T1,
+    constraint_T2,
+    listing4_update,
+    policy_C_lb,
+    policy_C_s,
+)
+from repro.network.reachability import PatternQuery, ReachabilityAnalyzer
+from repro.parallel.batch import prune_batched
+from repro.parallel.supervisor import SupervisedExecutor
+from repro.solver.interface import ConditionSolver
+from repro.solver.memo import MemoTable
+from repro.verify.constraints import Constraint
+from repro.verify.verifier import RelativeCompleteVerifier
+from repro.workloads.failures import at_least_k_failures
+from repro.workloads.ribgen import dump_rib
+
+JOBS = 3
+
+#: Failure accounting is *allowed* to differ between clean and chaotic
+#: runs — it records the recovery work itself.  Everything else is not.
+SUPERVISION_KEYS = frozenset(
+    ("worker_crashes", "task_timeouts", "task_retries", "tasks_quarantined",
+     "tasks_lost")
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def rendered(table: CTable) -> str:
+    return table.pretty(max_rows=None)
+
+
+def semantic_events(governor) -> dict:
+    """Governor events minus the supervision ledger."""
+    events = dataclasses.asdict(governor.events)
+    return {k: v for k, v in events.items() if k not in SUPERVISION_KEYS}
+
+
+def chaotic_executor(**kwargs) -> SupervisedExecutor:
+    kwargs.setdefault("backoff_base", 0.001)
+    kwargs.setdefault("task_retries", 2)
+    return SupervisedExecutor(JOBS, **kwargs)
+
+
+# -- batched pruning ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def q8_table(rib):
+    """The phase-3 c-table: R tuples with failure patterns conjoined."""
+    routes, compiled = rib
+    solver = ConditionSolver(compiled.domains, memo=MemoTable())
+    analyzer = ReachabilityAnalyzer(compiled.database(), solver, per_flow=True)
+    r_table = analyzer.compute()
+    table = CTable("Q8", r_table.schema)
+    for tup in r_table:
+        prefix = tup.values[0].value
+        variables = list(compiled.variables_of(prefix))
+        condition = tup.condition
+        if len(variables) >= 2:
+            condition = conjoin([condition, at_least_k_failures(variables, 1)])
+        table.add(CTuple(tup.values, condition))
+    return table, compiled.domains
+
+
+def run_prune(table, domains, jobs=1, executor=None):
+    from repro.robustness.governor import Governor
+
+    solver = ConditionSolver(domains, governor=Governor().start(), memo=MemoTable())
+    stats = EvalStats()
+    out = prune_batched(table, solver, stats, jobs=jobs, executor=executor)
+    return out, stats, solver
+
+
+class TestPruneInvariance:
+    def assert_identical(self, q8_table, executor):
+        table, domains = q8_table
+        s_out, s_stats, s_solver = run_prune(table, domains, jobs=1)
+        p_out, p_stats, p_solver = run_prune(
+            table, domains, jobs=JOBS, executor=executor
+        )
+        assert rendered(s_out) == rendered(p_out)
+        assert s_stats.tuples_pruned == p_stats.tuples_pruned
+        assert s_stats.unknown_kept == p_stats.unknown_kept
+        assert semantic_events(s_solver.governor) == semantic_events(
+            p_solver.governor
+        )
+        return p_solver, executor
+
+    def test_sigkill_mid_shard(self, q8_table, chaos_env):
+        chaos_env("kill:1:{s}")
+        executor = chaotic_executor()
+        p_solver, executor = self.assert_identical(q8_table, executor)
+        assert executor.last_failures.worker_crashes == 1
+        assert executor.last_failures.task_retries == 1
+        # The recovery is *visible* in the governor's event ledger.
+        assert p_solver.governor.events.worker_crashes == 1
+
+    def test_hung_shard_times_out_and_retries(self, q8_table, chaos_env):
+        chaos_env("hang:0:30:{s}")
+        executor = chaotic_executor(task_timeout=1.0)
+        self.assert_identical(q8_table, executor)
+        assert executor.last_failures.task_timeouts == 1
+        assert executor.last_failures.task_retries == 1
+
+    def test_kill_and_hang_composed(self, q8_table, chaos_env):
+        chaos_env("kill:2:{s}", "hang:0:30:{s}")
+        executor = chaotic_executor(task_timeout=1.0)
+        self.assert_identical(q8_table, executor)
+        assert executor.last_failures.worker_crashes == 1
+        assert executor.last_failures.task_timeouts == 1
+
+    def test_unrecoverable_shard_quarantines_byte_identical(
+        self, q8_table, chaos_env
+    ):
+        """kill-always exhausts retries; the inline re-run still matches."""
+        chaos_env("kill-always:1")
+        executor = chaotic_executor(task_retries=1)
+        self.assert_identical(q8_table, executor)
+        assert executor.last_failures.tasks_quarantined == 1
+
+
+# -- pattern fan-out ----------------------------------------------------------
+
+
+def pattern_queries(rib):
+    routes, compiled = rib
+    queries = []
+    for route in routes:
+        variables = list(compiled.variables_of(route.prefix))
+        if len(variables) < 2:
+            continue
+        queries.append(
+            PatternQuery(
+                at_least_k_failures(variables, 1), name="T3", flow=route.prefix
+            )
+        )
+    return queries
+
+
+class TestPatternInvariance:
+    def run(self, rib, jobs=1, executor=None):
+        routes, compiled = rib
+        solver = ConditionSolver(compiled.domains, memo=MemoTable())
+        analyzer = ReachabilityAnalyzer(compiled.database(), solver, per_flow=True)
+        results = analyzer.under_patterns(
+            pattern_queries(rib), jobs=jobs, executor=executor
+        )
+        return "\n".join(rendered(t) for t, _ in results), analyzer
+
+    def test_sigkill_mid_query(self, rib, chaos_env):
+        serial, s_analyzer = self.run(rib)
+        chaos_env("kill:0:{s}")
+        executor = chaotic_executor()
+        chaotic, p_analyzer = self.run(rib, jobs=JOBS, executor=executor)
+        assert serial == chaotic
+        assert executor.last_failures.worker_crashes == 1
+        assert s_analyzer.stats.tuples_generated == p_analyzer.stats.tuples_generated
+        assert s_analyzer.stats.tuples_pruned == p_analyzer.stats.tuples_pruned
+
+    def test_hang_mid_query(self, rib, chaos_env):
+        serial, _ = self.run(rib)
+        chaos_env("hang:1:30:{s}")
+        executor = chaotic_executor(task_timeout=1.0)
+        chaotic, _ = self.run(rib, jobs=JOBS, executor=executor)
+        assert serial == chaotic
+        assert executor.last_failures.task_timeouts == 1
+
+
+# -- verification -------------------------------------------------------------
+
+
+class TestVerifyInvariance:
+    @pytest.fixture()
+    def scenario(self):
+        model = EnterpriseModel.paper_state()
+        return {
+            "model": model,
+            "known": [
+                Constraint("C_lb", policy_C_lb()),
+                Constraint("C_s", policy_C_s()),
+            ],
+            "targets": [
+                Constraint("T1", constraint_T1()),
+                Constraint("T2", constraint_T2()),
+            ],
+            "update": listing4_update(),
+            "state": model.database(),
+        }
+
+    def run(self, scenario, jobs=1, executor=None):
+        solver = ConditionSolver(scenario["model"].domain_map(), memo=MemoTable())
+        verifier = RelativeCompleteVerifier(
+            scenario["known"],
+            solver,
+            schemas=SCHEMAS,
+            column_domains=column_domains(),
+        )
+        return verifier.verify_many(
+            scenario["targets"],
+            update=scenario["update"],
+            state=scenario["state"],
+            jobs=jobs,
+            executor=executor,
+        )
+
+    def test_sigkilled_target_worker_same_verdicts(self, scenario, chaos_env):
+        serial = self.run(scenario)
+        chaos_env("kill:0:{s}")
+        executor = SupervisedExecutor(2, backoff_base=0.001, task_retries=2)
+        chaotic = self.run(scenario, jobs=2, executor=executor)
+        assert executor.last_failures.worker_crashes == 1
+        assert len(serial) == len(chaotic) == 2
+        for s, p in zip(serial, chaotic):
+            assert s.status == p.status
+            assert s.decided_by == p.decided_by
+            assert s.trail == p.trail
+
+
+# -- the CLI, end to end ------------------------------------------------------
+
+
+def stable_lines(output: str) -> str:
+    """Everything but wall-clock timings (the only permitted variance)."""
+    return "\n".join(
+        line for line in output.splitlines() if "seconds" not in line
+    )
+
+
+def run_cli(args, env_extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("FAURE_CHAOS", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=240,
+    )
+
+
+class TestCliByteIdentity:
+    """ISSUE acceptance: chaotic ``--jobs 4`` stdout == clean ``--jobs 1``."""
+
+    def test_analyze_with_kill_and_hang_matches_serial(self, rib, tmp_path):
+        routes, _ = rib
+        rib_file = tmp_path / "rib.txt"
+        rib_file.write_text(dump_rib(routes))
+
+        clean = run_cli(
+            ["rib", "analyze", str(rib_file), "--patterns", "--jobs", "1"]
+        )
+        assert clean.returncode == 0, clean.stderr
+
+        chaos = (
+            f"kill:0:{tmp_path / 'kill-sentinel'};"
+            f"hang:1:30:{tmp_path / 'hang-sentinel'}"
+        )
+        chaotic = run_cli(
+            [
+                "rib", "analyze", str(rib_file), "--patterns",
+                "--jobs", "4", "--task-timeout", "2", "--task-retries", "2",
+            ],
+            env_extra={"FAURE_CHAOS": chaos},
+        )
+        assert chaotic.returncode == 0, chaotic.stderr
+        assert stable_lines(chaotic.stdout) == stable_lines(clean.stdout)
+        # The recovery is reported — but on stderr, never stdout.
+        assert "supervision" in chaotic.stderr
+        assert "1 worker crash(es)" in chaotic.stderr
+        assert "1 timeout(s)" in chaotic.stderr
+        assert "supervision" not in chaotic.stdout

@@ -1,0 +1,255 @@
+"""Unit tests of the supervised executor's failure machinery.
+
+Worker deaths are real SIGKILLs (delivered by the worker loop's chaos
+hook), timeouts are real wall-clock overruns — nothing is mocked except
+the backoff clock in the determinism tests.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel.supervisor import (
+    SupervisedExecutor,
+    TaskLost,
+    chaos_directives,
+    fold_failures,
+)
+from repro.robustness.errors import WorkerLost
+from repro.robustness.governor import Governor
+from repro.engine.stats import EvalStats
+
+from .conftest import (
+    _GUARDED_STATE,
+    double,
+    failing_task,
+    pid_task,
+    slow_double,
+    stateful_init,
+    stateful_task,
+)
+
+TASKS = list(range(6))
+EXPECT = [x * 2 for x in TASKS]
+
+
+def make_executor(**kwargs) -> SupervisedExecutor:
+    kwargs.setdefault("backoff_base", 0.001)
+    return SupervisedExecutor(2, **kwargs)
+
+
+class TestChaosProtocol:
+    def test_parses_directives(self, monkeypatch):
+        monkeypatch.setenv("FAURE_CHAOS", "kill:3:/tmp/s1; hang:1:5:/tmp/s2;")
+        assert chaos_directives() == [
+            ("kill", "3", "/tmp/s1"),
+            ("hang", "1", "5", "/tmp/s2"),
+        ]
+
+    def test_empty_means_no_faults(self, monkeypatch):
+        monkeypatch.delenv("FAURE_CHAOS", raising=False)
+        assert chaos_directives() == []
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_is_respawned_and_task_retried(self, chaos_env):
+        chaos_env("kill:2:{s}")
+        executor = make_executor()
+        assert executor.map(double, TASKS) == EXPECT
+        failures = executor.last_failures
+        assert failures.worker_crashes == 1
+        assert failures.task_retries == 1
+        assert failures.tasks_quarantined == 0
+        assert failures.tasks_lost == 0
+
+    def test_multiple_crashes_across_tasks(self, chaos_env):
+        chaos_env("kill:0:{s}", "kill:4:{s}")
+        executor = make_executor()
+        assert executor.map(double, TASKS) == EXPECT
+        assert executor.last_failures.worker_crashes == 2
+        assert executor.last_failures.task_retries == 2
+
+    def test_cumulative_ledger_spans_maps(self, chaos_env):
+        chaos_env("kill:1:{s}")
+        executor = make_executor()
+        executor.map(double, TASKS)
+        executor.map(double, TASKS)  # sentinel consumed: clean second map
+        assert executor.last_failures.worker_crashes == 0
+        assert executor.failures.worker_crashes == 1
+
+
+class TestTimeouts:
+    def test_hung_task_is_killed_and_retried(self, chaos_env):
+        chaos_env("hang:3:30:{s}")
+        executor = make_executor(task_timeout=0.5)
+        assert executor.map(double, TASKS) == EXPECT
+        assert executor.last_failures.task_timeouts == 1
+        assert executor.last_failures.task_retries == 1
+
+    def test_no_timeout_without_configuration(self, chaos_env):
+        chaos_env("hang:3:0.2:{s}")  # brief hang, no timeout armed
+        executor = make_executor()
+        assert executor.map(double, TASKS) == EXPECT
+        assert executor.last_failures.task_timeouts == 0
+
+
+class TestWorkerLossPolicies:
+    def test_inline_quarantine_is_default_and_completes(self, chaos_env):
+        chaos_env("kill-always:2")
+        executor = make_executor(task_retries=1)
+        assert executor.map(double, TASKS) == EXPECT
+        failures = executor.last_failures
+        assert failures.tasks_quarantined == 1
+        assert failures.tasks_lost == 0
+        assert failures.task_retries == 1
+
+    def test_quarantined_task_runs_in_parent(self, chaos_env):
+        chaos_env("kill-always:0")
+        executor = make_executor(task_retries=0)
+        pids = executor.map(pid_task, [0, 1])
+        assert pids[0] == os.getpid()  # quarantined: ran inline
+        assert pids[1] != os.getpid()  # survived: ran in a worker
+
+    def test_degrade_yields_task_lost_marker(self, chaos_env):
+        chaos_env("kill-always:2")
+        executor = make_executor(task_retries=1, on_worker_loss="degrade")
+        results = executor.map(double, TASKS)
+        assert isinstance(results[2], TaskLost)
+        assert results[2].task_index == 2
+        assert [r for i, r in enumerate(results) if i != 2] == [
+            x * 2 for x in TASKS if x != 2
+        ]
+        assert executor.last_failures.tasks_lost == 1
+
+    def test_fail_raises_worker_lost(self, chaos_env):
+        chaos_env("kill-always:2")
+        executor = make_executor(task_retries=1, on_worker_loss="fail")
+        with pytest.raises(WorkerLost) as excinfo:
+            executor.map(double, TASKS)
+        assert excinfo.value.task_index == 2
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            SupervisedExecutor(2, on_worker_loss="panic")
+
+
+class TestApplicationErrors:
+    def test_app_exception_is_not_retried(self):
+        """A worker *returning* an error is an answer, not a crash."""
+        executor = make_executor()
+        with pytest.raises(ValueError, match="bad input 0"):
+            executor.map(failing_task, TASKS)
+        assert executor.last_failures.task_retries == 0
+        assert executor.last_failures.worker_crashes == 0
+
+    def test_lowest_task_index_error_wins(self):
+        # Tasks 0 and 3 both raise; the serial path would surface 0's.
+        executor = make_executor()
+        with pytest.raises(ValueError, match="bad input 0"):
+            executor.map(failing_task, [0, 3, 1, 2])
+
+
+class TestDeterministicBackoff:
+    def run_with_fake_time(self, chaos_env, tmp_path, tag):
+        sleeps = []
+        clock = [0.0]
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            clock[0] += seconds
+
+        chaos_env(f"kill:0:{tmp_path}/{tag}-a", f"kill:3:{tmp_path}/{tag}-b")
+        executor = make_executor(
+            backoff_base=0.25, backoff_seed=7, sleep=fake_sleep
+        )
+        assert executor.map(double, TASKS) == EXPECT
+        return sleeps
+
+    def test_schedule_is_a_pure_function_of_seed_and_failures(
+        self, chaos_env, tmp_path
+    ):
+        first = self.run_with_fake_time(chaos_env, tmp_path, "one")
+        second = self.run_with_fake_time(chaos_env, tmp_path, "two")
+        assert len(first) == 2  # one backoff per retried task
+        assert first == second
+        # Exponential base with seeded jitter in [0.5, 1.0).
+        assert 0.125 <= first[0] < 0.25
+        assert 0.25 <= first[1] < 0.5
+
+
+class TestInlineStateGuard:
+    def test_jobs1_initializer_state_does_not_leak(self):
+        _GUARDED_STATE.clear()
+        _GUARDED_STATE["tag"] = "parent"
+        executor = SupervisedExecutor(1)
+        out = executor.map(
+            stateful_task, [1, 2], initializer=stateful_init, initargs=("inline",)
+        )
+        assert out == ["inline:1", "inline:2"]
+        assert _GUARDED_STATE["tag"] == "parent"  # snapshot restored
+
+    def test_quarantine_path_is_guarded_too(self, chaos_env):
+        _GUARDED_STATE.clear()
+        _GUARDED_STATE["tag"] = "parent"
+        chaos_env("kill-always:0")
+        executor = make_executor(task_retries=0)
+        out = executor.map(
+            stateful_task,
+            [1, 2],
+            initializer=stateful_init,
+            initargs=("q",),
+        )
+        assert out == ["q:1", "q:2"]
+        assert _GUARDED_STATE["tag"] == "parent"
+
+
+class TestRefreshInitargs:
+    def test_refresh_called_per_spawn_and_respawn(self, chaos_env):
+        chaos_env("kill:1:{s}")
+        calls = []
+
+        def refresh():
+            calls.append(len(calls))
+            return ("refreshed",)
+
+        executor = make_executor()
+        out = executor.map(
+            stateful_task,
+            TASKS,
+            initializer=stateful_init,
+            initargs=("stale",),
+            refresh_initargs=refresh,
+        )
+        assert out == [f"refreshed:{x}" for x in TASKS]
+        # 2 initial spawns + at least 1 respawn after the kill.
+        assert len(calls) >= 3
+
+
+class TestFoldFailures:
+    def test_folds_into_governor_and_stats(self, chaos_env):
+        chaos_env("kill:0:{s}")
+        executor = make_executor()
+        executor.map(double, TASKS)
+        governor = Governor()
+        stats = EvalStats()
+        fold_failures(executor, governor=governor, stats=stats)
+        assert governor.events.worker_crashes == 1
+        assert governor.events.task_retries == 1
+        assert stats.extra["worker_crashes"] == 1
+
+    def test_noop_for_clean_maps_and_plain_executors(self):
+        executor = make_executor()
+        executor.map(double, TASKS)
+        governor = Governor()
+        fold_failures(executor, governor=governor)
+        fold_failures(object(), governor=governor)  # no ledger: ignored
+        assert governor.events.worker_crashes == 0
+
+
+class TestSlowPathStillOrders:
+    def test_results_keep_task_order_under_contention(self):
+        executor = SupervisedExecutor(3, backoff_base=0.001)
+        tasks = list(range(12))
+        assert executor.map(slow_double, tasks) == [x * 2 for x in tasks]
