@@ -7,7 +7,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src $(PYTHON)
 
-.PHONY: install test test-oracle test-robustness test-chaos bench bench-memo bench-tables bench-smoke examples lint-programs typecheck lint-self clean
+.PHONY: install test test-oracle test-robustness test-chaos test-serve bench bench-memo bench-incremental bench-tables bench-smoke examples lint-programs typecheck lint-self clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,9 +33,19 @@ test-chaos:
 bench:
 	$(RUN) -m pytest benchmarks/ --benchmark-only
 
+# serve daemon: WAL recovery, epoch isolation, admission control
+test-serve:
+	$(RUN) -m pytest tests/serve/ -q
+
 # canonical interning + shared memoization decision-call comparison
 bench-memo:
 	$(RUN) benchmarks/bench_memo.py
+
+# incremental maintenance vs recompute-from-scratch; the JSON artifact
+# (per-update latency + speedup) is emitted by report.py as
+# BENCH_incremental.json
+bench-incremental:
+	$(RUN) benchmarks/bench_incremental.py
 
 # the paper's tables/figures in their printed layout, plus the
 # machine-readable BENCH_table4.json / BENCH_parallel.json artifacts

@@ -33,12 +33,12 @@ EVENTS = 12
 PROGRAM = reachability_program(per_flow=True)
 
 
-def _workload():
-    routes = generate_rib(RibConfig(prefixes=BASE_PREFIXES, as_count=70, seed=23))
+def _workload(prefixes: int = BASE_PREFIXES, events_count: int = EVENTS):
+    routes = generate_rib(RibConfig(prefixes=prefixes, as_count=70, seed=23))
     compiled = compile_forwarding(routes)
     # the event stream: fresh edges extending existing flows
     events = []
-    for i, route in enumerate(routes[:EVENTS]):
+    for i, route in enumerate(routes[:events_count]):
         head = route.paths[0][0]
         events.append((route.prefix, f"NEW{i}", head))
     return compiled, events
@@ -76,6 +76,71 @@ def test_recompute(benchmark):
     total = benchmark.pedantic(run_recompute, rounds=1, iterations=1)
     benchmark.extra_info["events"] = EVENTS
     benchmark.extra_info["final_tuples"] = total
+
+
+def build_report(prefixes: int = BASE_PREFIXES, events_count: int = EVENTS) -> dict:
+    """Per-event latency rows for the ``BENCH_incremental.json`` artifact.
+
+    Measures, over the same announcement stream:
+
+    * ``incremental_s`` — one :meth:`IncrementalEvaluator.insert` (the
+      serve daemon's per-update apply cost);
+    * ``recompute_s`` — a full q4/q5 re-evaluation after the same edge
+      lands (the stateless baseline);
+    * ``speedup`` — their ratio, per event and in aggregate.
+
+    Both sides must agree on the final ``R`` cardinality; the report
+    records the check so CI can gate on it.
+    """
+    import time
+
+    compiled, events = _workload(prefixes, events_count)
+    solver = ConditionSolver(compiled.domains)
+    start = time.perf_counter()
+    inc = IncrementalEvaluator(PROGRAM, compiled.database(), solver=solver)
+    initial_s = time.perf_counter() - start
+
+    recompute_db = compiled.database()
+    recompute_solver = ConditionSolver(compiled.domains)
+    rows = []
+    for i, (flow, src, dst) in enumerate(events):
+        start = time.perf_counter()
+        derived = inc.insert("F", [flow, src, dst])
+        incremental_s = time.perf_counter() - start
+
+        recompute_db.table("F").add([flow, src, dst])
+        start = time.perf_counter()
+        result = evaluate(PROGRAM, recompute_db, solver=recompute_solver)
+        recompute_s = time.perf_counter() - start
+        rows.append(
+            {
+                "event": i,
+                "new_derivations": derived,
+                "incremental_s": round(incremental_s, 6),
+                "recompute_s": round(recompute_s, 6),
+                "speedup": round(recompute_s / max(incremental_s, 1e-9), 2),
+            }
+        )
+    incremental_total = sum(row["incremental_s"] for row in rows)
+    recompute_total = sum(row["recompute_s"] for row in rows)
+    latencies = sorted(row["incremental_s"] for row in rows)
+    return {
+        "workload": "incremental-announcements",
+        "prefixes": prefixes,
+        "events": len(rows),
+        "initial_eval_s": round(initial_s, 4),
+        "final_tuples_agree": len(inc.table("R")) == len(result.table("R")),
+        "incremental_total_s": round(incremental_total, 4),
+        "recompute_total_s": round(recompute_total, 4),
+        "speedup_vs_recompute": round(
+            recompute_total / max(incremental_total, 1e-9), 2
+        ),
+        "update_latency_max_s": round(latencies[-1], 6) if latencies else 0.0,
+        "update_latency_p50_s": round(latencies[len(latencies) // 2], 6)
+        if latencies
+        else 0.0,
+        "rows": rows,
+    }
 
 
 def main() -> None:

@@ -1,6 +1,6 @@
 """Machine-readable benchmark reports for the Table-4 RIB workload.
 
-Produces two JSON artifacts next to the repo root (or ``--out-dir``):
+Produces three JSON artifacts next to the repo root (or ``--out-dir``):
 
 * ``BENCH_table4.json`` — the paper's Table 4 measurements (per query
   and prefix size: sql/solver/wall seconds and generated tuple counts)
@@ -8,7 +8,10 @@ Produces two JSON artifacts next to the repo root (or ``--out-dir``):
 * ``BENCH_parallel.json`` — the same q6/q7/q8 sweep at ``jobs=1`` vs
   ``--jobs N`` side by side, with per-row ``speedup_vs_serial`` and the
   host's ``cpu_count`` so a reader can judge whether a speedup was
-  physically possible on the measuring machine.
+  physically possible on the measuring machine;
+* ``BENCH_incremental.json`` — per-announcement update latency for
+  semi-naive incremental maintenance vs recompute-from-scratch (the
+  serve daemon's per-update apply cost; see bench_incremental.py).
 
 Both runs must generate identical tuple counts (``jobs`` changes how
 the work is scheduled, never what is answered); the report asserts this
@@ -30,9 +33,11 @@ from repro.network.forwarding import compile_forwarding
 from repro.workloads.ribgen import RibConfig, generate_rib
 
 try:  # package-relative when imported by pytest
+    from .bench_incremental import build_report as build_incremental_report
     from .bench_table4 import _fresh_analyzer, _pattern_stats
     from .conftest import PREFIX_SIZES
 except ImportError:  # python benchmarks/report.py
+    from bench_incremental import build_report as build_incremental_report
     from bench_table4 import _fresh_analyzer, _pattern_stats
     from conftest import PREFIX_SIZES
 
@@ -123,6 +128,11 @@ def build_reports(sizes: List[int], jobs: int) -> Dict[str, Dict]:
     }
 
 
+#: (prefixes, events) for the incremental-maintenance artifact.
+INCREMENTAL_FULL = (40, 12)
+INCREMENTAL_SMOKE = (20, 4)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -153,6 +163,10 @@ def main(argv=None) -> int:
 
     os.makedirs(args.out_dir, exist_ok=True)
     reports = build_reports(sizes, jobs)
+    inc_prefixes, inc_events = INCREMENTAL_SMOKE if args.smoke else INCREMENTAL_FULL
+    reports["BENCH_incremental.json"] = build_incremental_report(
+        inc_prefixes, inc_events
+    )
     for name, payload in reports.items():
         path = os.path.join(args.out_dir, name)
         with open(path, "w") as handle:
@@ -179,6 +193,19 @@ def main(argv=None) -> int:
     print(
         f"serial/parallel tuple counts agree; best q6-q8 speedup "
         f"{best:.2f}x at jobs={jobs} on a {parallel['cpu_count']}-cpu host"
+    )
+    incremental = reports["BENCH_incremental.json"]
+    if not incremental["final_tuples_agree"]:
+        print(
+            "MISMATCH: incremental maintenance and recompute-from-scratch "
+            "disagree on the final R cardinality",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"incremental maintenance: {incremental['events']} events, "
+        f"p50 update latency {incremental['update_latency_p50_s']}s, "
+        f"{incremental['speedup_vs_recompute']:.1f}x vs recompute"
     )
     return 0
 

@@ -66,10 +66,14 @@ __all__ = ["main", "parse_update_spec", "parse_lint_pragmas"]
 #   5 — a worker process was lost past the supervised retry budget and the
 #       worker-loss policy forbade recovery (``--on-worker-loss fail``, or a
 #       call-site with no sound partial answer)
+#   6 — the serve daemon failed: could not bind its endpoint, or the ingest
+#       thread hit an infrastructure failure it could not recover from
+#       (the WAL remains authoritative for the next start)
 EXIT_PARSE_ERROR = 2
 EXIT_BUDGET = 3
 EXIT_SOLVER_FAILURE = 4
 EXIT_WORKER_FAILURE = 5
+EXIT_SERVE_FAILURE = 6
 
 
 def _add_governor_args(parser: argparse.ArgumentParser) -> None:
@@ -531,6 +535,82 @@ def _cmd_lint(args) -> int:
     return 1 if errors else 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the crash-safe incremental verification daemon."""
+    import json
+    import os
+    import signal
+
+    from .serve.server import FaureServer
+    from .serve.state import ServeBudgets, ServeState
+
+    program_text = (
+        Path(args.program_file).read_text() if args.program_file else args.program
+    )
+    database_text = Path(args.db).read_text()
+    budgets = ServeBudgets(
+        deadline_seconds=args.deadline,
+        solver_call_budget=args.solver_budget,
+        steps_per_call=args.solver_steps,
+        max_condition_atoms=args.max_condition_atoms,
+    )
+    state = ServeState(program_text, database_text, args.wal, budgets=budgets)
+    try:
+        server = FaureServer(
+            state,
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            shed_retry_after=args.retry_after,
+        )
+    except OSError as exc:
+        print(f"serve failure: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        state.close()
+        return EXIT_SERVE_FAILURE
+    host, port = server.address
+    snapshot = state.epochs.current()
+    # The ready line: tests and scripts parse this to find the ephemeral
+    # port; everything after it speaks the wire protocol, not stdout.
+    print(
+        json.dumps(
+            {
+                "serving": {
+                    "host": host,
+                    "port": port,
+                    "pid": os.getpid(),
+                    "epoch": snapshot.epoch,
+                    "seq": snapshot.seq,
+                    "replayed": len(state.wal),
+                    "wal": args.wal,
+                }
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ),
+        flush=True,
+    )
+
+    def _graceful(_signum, _frame):  # type: ignore[no-untyped-def]
+        server.stop()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    code = server.serve_forever()
+    if code != 0:
+        print(f"serve failure: {server.fatal}", file=sys.stderr)
+        return EXIT_SERVE_FAILURE
+    print(
+        f"-- serve: {state.counters['updates_applied']} update(s) applied, "
+        f"{state.counters['updates_rejected']} rejected, "
+        f"{server.counters['shed']} shed, "
+        f"{state.counters['recoveries']} recover(ies); "
+        f"wal={state.wal.path} seq={state.wal.last_seq}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_examples(_args) -> int:
     examples = [
         ("quickstart.py", "c-tables + fauré-log on the paper's Table 2"),
@@ -622,6 +702,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_governor_args(sql)
     sql.set_defaults(func=_cmd_sql)
+
+    serve = sub.add_parser(
+        "serve",
+        help="crash-safe incremental verification daemon "
+        "(WAL-backed updates, snapshot-isolated queries)",
+    )
+    serve.add_argument("--db", required=True, help="seed database JSON file")
+    serve_group = serve.add_mutually_exclusive_group(required=True)
+    serve_group.add_argument("--program", help="inline program text")
+    serve_group.add_argument("--program-file", help="program file")
+    serve.add_argument(
+        "--wal",
+        required=True,
+        help="write-ahead log path; replayed on start, fsync'd before "
+        "every apply (fingerprint-guarded against foreign workloads)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0 = ephemeral; the bound port is printed "
+        "in the ready line)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="bounded ingest queue size; a full queue sheds updates with "
+        "an explicit OVERLOADED/retry-after response (default: 64)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.1,
+        help="retry hint (seconds) carried by shed responses",
+    )
+    serve_budgets = serve.add_argument_group(
+        "per-request budgets (degrade to INCONCLUSIVE, never stall)"
+    )
+    serve_budgets.add_argument(
+        "--deadline", type=float, help="per-request wall-clock deadline in seconds"
+    )
+    serve_budgets.add_argument(
+        "--solver-budget", type=int, help="solver calls per request"
+    )
+    serve_budgets.add_argument(
+        "--solver-steps", type=int, help="cooperative step budget per solver call"
+    )
+    serve_budgets.add_argument(
+        "--max-condition-atoms",
+        type=int,
+        help="refuse conditions with more atoms than this",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     lint = sub.add_parser("lint", help="static checks on fauré-log files")
     lint.add_argument("programs", nargs="+", help="program file(s)")

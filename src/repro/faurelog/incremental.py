@@ -95,13 +95,23 @@ class IncrementalEvaluator:
                     f"flows through negation of {u} into {v}"
                 )
 
+    def check_insertable(self, predicate: str) -> None:
+        """Raise :class:`ProgramError` if ``predicate`` cannot grow.
+
+        The serve daemon calls this *before* an update becomes durable:
+        an insert into a derived relation, or one whose growth flows
+        through negation, must be rejected without a WAL append so
+        replay never meets an entry the evaluator would refuse.
+        """
+        if predicate in self.program.idb_predicates():
+            raise ProgramError(f"{predicate} is derived; insert into the EDB only")
+        self._check_monotone(predicate)
+
     # -- the maintenance operations ------------------------------------------
 
     def insert(self, predicate: str, values: Sequence, condition: Condition = TRUE) -> int:
         """Add an EDB fact; returns the number of new IDB derivations."""
-        if predicate in self.program.idb_predicates():
-            raise ProgramError(f"{predicate} is derived; insert into the EDB only")
-        self._check_monotone(predicate)
+        self.check_insertable(predicate)
         table = self._combined.table(predicate)
         added = self._storage.indexed(predicate).add(list(values), condition)
         # mirror into the caller's database so both views stay consistent
@@ -116,6 +126,25 @@ class IncrementalEvaluator:
     def weaken(self, predicate: str, values: Sequence, extra_condition: Condition) -> int:
         """Widen a fact's worlds: add the same data part under a new condition."""
         return self.insert(predicate, values, extra_condition)
+
+    def apply(
+        self,
+        kind: str,
+        predicate: str,
+        values: Sequence,
+        condition: Condition = TRUE,
+    ) -> int:
+        """Dispatch one maintenance operation by name.
+
+        The serve daemon's WAL replay funnels through this single entry
+        point so a recovered state runs exactly the code a live update
+        ran.  ``kind`` is ``"insert"`` or ``"weaken"``.
+        """
+        if kind == "insert":
+            return self.insert(predicate, values, condition)
+        if kind == "weaken":
+            return self.weaken(predicate, values, condition)
+        raise ProgramError(f"unknown maintenance operation {kind!r}")
 
     # -- propagation ------------------------------------------------------------
 
@@ -180,3 +209,12 @@ class IncrementalEvaluator:
     def table(self, predicate: str) -> CTable:
         """Current state of an IDB (or EDB) relation."""
         return self._combined.table(predicate)
+
+    def relations(self) -> Tuple[str, ...]:
+        """Names of every maintained relation (EDB and IDB)."""
+        return self._combined.names()
+
+    @property
+    def combined(self) -> Database:
+        """The live combined EDB+IDB view (mutates as updates apply)."""
+        return self._combined

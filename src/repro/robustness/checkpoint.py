@@ -276,16 +276,22 @@ class CheckpointJournal:
             if self._appended >= int(directive[1]) and _sentinel_fires(directive[2]):
                 os._exit(1)
 
-    def record(self, kind: str, key: Any, payload: Any) -> None:
-        """Durably append one completed unit (idempotent per kind+key)."""
+    def record(self, kind: str, key: Any, payload: Any) -> bool:
+        """Durably append one completed unit (idempotent per kind+key).
+
+        Returns ``True`` when the unit was appended, ``False`` when it
+        was already durable (so callers — e.g. the serve-mode WAL — can
+        tell a fresh write from a replayed duplicate).
+        """
         digest = key if isinstance(key, str) else digest_key(key)
         if (kind, digest) in self._seen:
-            return
+            return False
         self._seen[(kind, digest)] = payload
         self._append({"kind": kind, "key": digest, "payload": payload})
         self.recorded += 1
         self._appended += 1
         self._maybe_die()
+        return True
 
     def get(self, kind: str, key: Any) -> Optional[Any]:
         """The payload of a completed unit, or ``None`` if not durable."""
@@ -293,9 +299,20 @@ class CheckpointJournal:
         return self._seen.get((kind, digest))
 
     def entries(self, kind: str) -> Iterable[Tuple[str, Any]]:
+        """Durable units of one kind, in append order.
+
+        Append order is load order: ``_seen`` is an insertion-ordered
+        dict rebuilt line-by-line on :meth:`open`, so consumers that
+        need a total order (the serve WAL replays updates by sequence
+        number) observe records exactly as they were made durable.
+        """
         for (record_kind, digest), payload in self._seen.items():
             if record_kind == kind:
                 yield digest, payload
+
+    def count(self, kind: str) -> int:
+        """Number of durable units of one kind."""
+        return sum(1 for record_kind, _ in self._seen if record_kind == kind)
 
     # -- the memo bridge -----------------------------------------------------
 

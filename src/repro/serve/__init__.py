@@ -1,0 +1,44 @@
+"""Crash-safe incremental verification daemon (serve mode).
+
+The long-lived counterpart of the one-shot CLI commands: a resident
+:class:`~repro.ctable.table.Database` plus
+:class:`~repro.faurelog.incremental.IncrementalEvaluator` behind a
+line-protocol endpoint, ingesting a stream of updates (RIB
+announcements, ACL rows) and answering concurrent queries against
+consistent snapshots.  Robustness properties:
+
+* **write-ahead logging** (:mod:`repro.serve.wal`): every accepted
+  update is fsync'd with a monotone sequence number *before* it is
+  applied, so a SIGKILL at any point replays to a state identical to a
+  from-scratch run over the full update stream;
+* **epoch/snapshot isolation** (:mod:`repro.serve.epochs`): in-flight
+  queries read an immutable pre-update snapshot while the next epoch
+  applies;
+* **admission control and graceful degradation**
+  (:mod:`repro.serve.server`): a bounded ingest queue sheds overload
+  with explicit retry-after responses, per-request governor budgets
+  degrade queries to ``INCONCLUSIVE`` instead of stalling, and
+  malformed updates are rejected without poisoning the resident state.
+
+See ``docs/ROBUSTNESS.md`` §serve for the full contract.
+"""
+
+# NOTE: .client is deliberately not imported here — it doubles as
+# ``python -m repro.serve.client`` and importing it from the package
+# would shadow the runpy execution of the same module.
+from .epochs import EpochManager, RelationView, Snapshot
+from .protocol import ServeRequestError
+from .server import FaureServer
+from .state import ServeState
+from .wal import UpdateEntry, WriteAheadLog
+
+__all__ = [
+    "EpochManager",
+    "FaureServer",
+    "RelationView",
+    "ServeRequestError",
+    "ServeState",
+    "Snapshot",
+    "UpdateEntry",
+    "WriteAheadLog",
+]

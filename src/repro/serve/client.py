@@ -1,0 +1,216 @@
+"""A minimal client for the serve protocol, usable as a library or CLI.
+
+Library::
+
+    with ServeClient("127.0.0.1", 4711) as client:
+        client.update("F", ["p1", "A", "B"], txid="announce-17")
+        answer = client.query("R", where="$a == 1")
+
+CLI (one request per invocation, JSON response on stdout)::
+
+    python -m repro.serve.client --port 4711 health
+    python -m repro.serve.client --port 4711 update F p1 A B --txid k1
+    python -m repro.serve.client --port 4711 query R --where '$a == 1'
+    python -m repro.serve.client --port 4711 shutdown
+
+The CLI prints the response as compact key-sorted JSON, so two runs
+against equal daemon states are byte-identical — which is what the CI
+kill/restart smoke job diffs.  Exit code 0 for ``ok`` responses, the
+response's ``errno`` otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from .protocol import MAX_LINE_BYTES, encode
+
+__all__ = ["ServeClient", "main"]
+
+
+class ServeClient:
+    """One persistent connection speaking the line protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # -- connection management -----------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    @classmethod
+    def wait_until_up(
+        cls, host: str, port: int, deadline: float = 10.0
+    ) -> "ServeClient":
+        """Poll until the daemon accepts connections (startup race helper)."""
+        end = time.monotonic() + deadline
+        last: Optional[Exception] = None
+        while time.monotonic() < end:
+            try:
+                client = cls(host, port).connect()
+                client.health()
+                return client
+            except OSError as exc:
+                last = exc
+                time.sleep(0.05)
+        raise ConnectionError(f"serve daemon not up at {host}:{port}: {last}")
+
+    # -- request plumbing ----------------------------------------------------
+
+    def request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        self.connect()
+        assert self._sock is not None and self._file is not None
+        self._sock.sendall(encode(obj))
+        line = self._file.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ConnectionError("serve daemon closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    # -- the protocol surface ------------------------------------------------
+
+    def update(
+        self,
+        relation: str,
+        values: Sequence[str],
+        condition: Optional[str] = None,
+        txid: Optional[str] = None,
+        weaken: bool = False,
+    ) -> Dict[str, Any]:
+        obj: Dict[str, Any] = {
+            "op": "update",
+            "relation": relation,
+            "values": list(values),
+        }
+        if condition is not None:
+            obj["condition"] = condition
+        if txid is not None:
+            obj["txid"] = txid
+        if weaken:
+            obj["weaken"] = True
+        return self.request(obj)
+
+    def query(
+        self,
+        relation: str,
+        where: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        obj: Dict[str, Any] = {"op": "query", "relation": relation}
+        if where is not None:
+            obj["where"] = where
+        if limit is not None:
+            obj["limit"] = limit
+        return self.request(obj)
+
+    def health(self) -> Dict[str, Any]:
+        return self.request({"op": "health"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+
+# -- the CLI face -------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.client", description="serve-protocol client"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--wait", action="store_true", help="poll until the daemon is up first"
+    )
+    sub = parser.add_subparsers(dest="op", required=True)
+
+    update = sub.add_parser("update", help="insert (or weaken) one EDB fact")
+    update.add_argument("relation")
+    update.add_argument("values", nargs="+")
+    update.add_argument("--condition")
+    update.add_argument("--txid")
+    update.add_argument("--weaken", action="store_true")
+
+    query = sub.add_parser("query", help="read one relation from the snapshot")
+    query.add_argument("relation")
+    query.add_argument("--where")
+    query.add_argument("--limit", type=int)
+    query.add_argument(
+        "--rows-only",
+        action="store_true",
+        help="print only the state-dependent fields (relation/schema/"
+        "status/rows/total), dropping epoch/seq — byte-comparable across "
+        "daemon restarts",
+    )
+
+    sub.add_parser("health", help="daemon health/status")
+    sub.add_parser("shutdown", help="graceful daemon shutdown")
+
+    args = parser.parse_args(argv)
+    if args.wait:
+        client = ServeClient.wait_until_up(args.host, args.port)
+        client.timeout = args.timeout
+    else:
+        client = ServeClient(args.host, args.port, timeout=args.timeout)
+    try:
+        with client:
+            if args.op == "update":
+                response = client.update(
+                    args.relation,
+                    args.values,
+                    condition=args.condition,
+                    txid=args.txid,
+                    weaken=args.weaken,
+                )
+            elif args.op == "query":
+                response = client.query(args.relation, where=args.where, limit=args.limit)
+                if args.rows_only and response.get("ok"):
+                    keep = ("relation", "schema", "status", "rows", "total", "truncated")
+                    response = {k: response[k] for k in keep if k in response}
+                    response["ok"] = True
+            elif args.op == "health":
+                response = client.health()
+            else:
+                response = client.shutdown()
+    except (ConnectionError, OSError) as exc:
+        # The daemon died mid-request (or was never up): a clean typed
+        # failure, not a traceback — the caller decides whether to retry.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, sort_keys=True, separators=(",", ":")))
+    if response.get("ok"):
+        return 0
+    return int(response.get("errno", 1))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

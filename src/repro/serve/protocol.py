@@ -1,0 +1,192 @@
+"""The serve wire protocol: newline-delimited JSON requests/responses.
+
+One request per line, one response line per request, over a plain TCP
+stream.  Requests::
+
+    {"op": "update",  "relation": "F", "values": ["p1", "A", "B"],
+     "condition": "$x == 1"?, "txid": "client-key"?, "weaken": bool?}
+    {"op": "query",   "relation": "R", "where": "$x == 1"?, "limit": 10?}
+    {"op": "health"}
+    {"op": "shutdown"}
+
+Responses always carry ``"ok"``.  Failures mirror the CLI's exit-code
+taxonomy in an ``"errno"`` field so scripts can classify them the same
+way (2 = malformed request — the exit-code-2 class —, 3 = budget
+exhausted, 6 = server-side failure), plus a symbolic ``"code"``::
+
+    {"ok": false, "code": "MALFORMED", "errno": 2, "error": "..."}
+    {"ok": false, "code": "OVERLOADED", "errno": 6, "retry_after": 0.05}
+
+Degraded (but sound) answers are *successes* with a status field:
+a query that exhausted its budget returns ``"status": "INCONCLUSIVE"``
+with every definite row plus the rows it could not decide flagged
+``"unknown": true`` — partial information, never a stall.
+
+Validation happens *before* the write-ahead log sees an update: a
+request that fails :func:`validate_update` is rejected without a log
+append, so replay never encounters a malformed entry and a bad client
+cannot poison the resident state.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..ctable.parse import ParseError, TokenStream, parse_condition, parse_term, tokenize
+from ..ctable.terms import Constant
+from .wal import UpdateEntry
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ServeRequestError",
+    "decode_request",
+    "encode",
+    "error_response",
+    "validate_update",
+    "parse_values",
+    "parse_where",
+]
+
+#: Requests larger than this are refused outright (a malformed or
+#: hostile client must not make the daemon buffer without bound).
+MAX_LINE_BYTES = 1 << 20
+
+#: errno values mirroring the CLI exit codes (see repro.cli).
+ERRNO_MALFORMED = 2
+ERRNO_BUDGET = 3
+ERRNO_SERVE = 6
+
+#: Symbolic code -> errno. Everything in the exit-code-2 class is a
+#: request the server refused to even log; OVERLOADED/INTERNAL are
+#: server-side conditions.
+ERRNO_OF = {
+    "MALFORMED": ERRNO_MALFORMED,
+    "UNKNOWN_RELATION": ERRNO_MALFORMED,
+    "ARITY": ERRNO_MALFORMED,
+    "IDB_INSERT": ERRNO_MALFORMED,
+    "NON_MONOTONE": ERRNO_MALFORMED,
+    "BUDGET": ERRNO_BUDGET,
+    "OVERLOADED": ERRNO_SERVE,
+    "INTERNAL": ERRNO_SERVE,
+}
+
+_OPS = ("update", "query", "health", "shutdown")
+
+
+class ServeRequestError(Exception):
+    """A request the server refuses; carries the protocol error code."""
+
+    def __init__(self, code: str, message: str):
+        if code not in ERRNO_OF:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.errno = ERRNO_OF[code]
+
+    def response(self, **extra: Any) -> Dict[str, Any]:
+        return error_response(self.code, str(self), **extra)
+
+
+def error_response(code: str, message: str, **extra: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "ok": False,
+        "code": code,
+        "errno": ERRNO_OF[code],
+        "error": message,
+    }
+    out.update(extra)
+    return out
+
+
+def encode(obj: Dict[str, Any]) -> bytes:
+    """One response/request as a wire line (compact, key-sorted JSON)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_request(line: bytes) -> Dict[str, Any]:
+    """Parse and shape-check one request line."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ServeRequestError("MALFORMED", "request exceeds the line size limit")
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServeRequestError("MALFORMED", f"not a JSON request: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ServeRequestError("MALFORMED", "request must be a JSON object")
+    op = obj.get("op")
+    if op not in _OPS:
+        raise ServeRequestError("MALFORMED", f"unknown op {op!r} (want one of {_OPS})")
+    return obj
+
+
+# -- update validation (parse-before-log) ------------------------------------
+
+
+def parse_values(raw_values: List[Any]) -> List[Any]:
+    """Parse raw value strings into terms, CLI update-spec style.
+
+    Identifiers resolve to constants (an update carries data, not
+    program variables); ``$x`` spellings resolve to c-variables through
+    the shared term grammar.
+    """
+    terms = []
+    for raw in raw_values:
+        if not isinstance(raw, str) or not raw.strip():
+            raise ServeRequestError("MALFORMED", f"bad value {raw!r}: want a term string")
+        try:
+            stream = TokenStream(tokenize(raw), raw)
+            term = parse_term(stream, resolve_ident=lambda n: Constant(n))
+            if not stream.exhausted:
+                tok = stream.peek()
+                raise ParseError(f"trailing input {tok[1]!r}", tok[2], raw)
+        except ParseError as exc:
+            raise ServeRequestError("MALFORMED", f"bad value {raw!r}: {exc}") from exc
+        terms.append(term)
+    return terms
+
+
+def parse_where(raw: Optional[str]):
+    """Parse an optional condition string (update condition or query filter)."""
+    if raw is None:
+        return None
+    if not isinstance(raw, str):
+        raise ServeRequestError("MALFORMED", f"bad condition {raw!r}: want a string")
+    try:
+        return parse_condition(raw)
+    except ParseError as exc:
+        raise ServeRequestError("MALFORMED", f"bad condition {raw!r}: {exc}") from exc
+
+
+def validate_update(obj: Dict[str, Any]) -> UpdateEntry:
+    """Shape-check an update request into an (unsequenced) WAL entry.
+
+    Only wire-level validation happens here (field types, term and
+    condition grammar); the state layer separately checks the entry
+    against the schema and the program (relation exists, arity,
+    EDB-only, monotone) — both before the WAL append.
+    """
+    relation = obj.get("relation")
+    if not isinstance(relation, str) or not relation:
+        raise ServeRequestError("MALFORMED", "update needs a 'relation' string")
+    raw_values = obj.get("values")
+    if not isinstance(raw_values, list) or not raw_values:
+        raise ServeRequestError("MALFORMED", "update needs a non-empty 'values' list")
+    parse_values(raw_values)  # grammar check; terms are rebuilt at apply
+    condition = obj.get("condition")
+    parse_where(condition)
+    txid = obj.get("txid")
+    if txid is not None and not isinstance(txid, str):
+        raise ServeRequestError("MALFORMED", "'txid' must be a string")
+    weaken = obj.get("weaken", False)
+    if not isinstance(weaken, bool):
+        raise ServeRequestError("MALFORMED", "'weaken' must be a boolean")
+    if weaken and condition is None:
+        raise ServeRequestError("MALFORMED", "a weaken update needs a 'condition'")
+    return UpdateEntry(
+        kind="weaken" if weaken else "insert",
+        relation=relation,
+        values=tuple(raw_values),
+        condition=condition,
+        txid=txid,
+    )

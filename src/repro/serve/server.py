@@ -1,0 +1,271 @@
+"""The serve daemon: a threaded line-protocol endpoint over ServeState.
+
+Request handling is split by contention class:
+
+* **queries and health** run directly on the handler thread against the
+  current immutable snapshot — any number run concurrently, and none
+  can observe a half-applied update (epoch isolation);
+* **updates** funnel through a *bounded* ingest queue drained by a
+  single ingest thread, which serializes the WAL-append→apply→publish
+  sequence.  When the queue is full the request is **shed** with an
+  explicit ``OVERLOADED`` + ``retry_after`` response — the daemon under
+  overload answers honestly instead of stalling or dying;
+* a request the ingest thread cannot apply for *infrastructure* reasons
+  (not a validation reject — those never reach the queue) marks the
+  daemon failed: in-flight requests get ``INTERNAL`` responses and the
+  process exits with code 6 (``EXIT_SERVE_FAILURE``), leaving the WAL
+  as the authoritative state for the next start.
+
+Chaos hooks: the ingest loop honors the ``FAURE_CHAOS`` directive
+``serve-hang-apply:<seconds>:<sentinel>`` (sleep once before the next
+apply), which the overload tests use to make shedding deterministic;
+the WAL inherits ``die-after-records`` from the checkpoint journal, so
+the chaos suite can SIGKILL the daemon mid-ingest through the exact
+production append path.
+"""
+
+from __future__ import annotations
+
+import queue
+import socketserver
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..parallel.supervisor import _sentinel_fires, chaos_directives
+from .protocol import (
+    MAX_LINE_BYTES,
+    ServeRequestError,
+    decode_request,
+    encode,
+    error_response,
+    validate_update,
+)
+from .state import ServeState
+
+__all__ = ["FaureServer"]
+
+#: Seconds an update handler waits for the ingest thread before giving
+#: up with INTERNAL — a backstop, not a normal path (the queue bound is
+#: the real admission control).
+_INGEST_WAIT_SECONDS = 120.0
+
+
+class _Box:
+    """One in-flight update's rendezvous between handler and ingest."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[BaseException] = None
+
+
+def _maybe_chaos_hang() -> None:
+    """Fire a scheduled ``serve-hang-apply`` directive (test hook)."""
+    for directive in chaos_directives():
+        if directive[0] == "serve-hang-apply" and _sentinel_fires(directive[2]):
+            time.sleep(float(directive[1]))
+
+
+class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    faure: "FaureServer"
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: FaureServer = self.server.faure  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline(MAX_LINE_BYTES + 1)
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return
+            if not line.strip():
+                continue
+            response, close = server.dispatch(line.strip())
+            try:
+                self.wfile.write(encode(response))
+                self.wfile.flush()
+            except (ConnectionError, OSError):
+                return
+            if close:
+                return
+
+
+class FaureServer:
+    """Lifecycle owner: TCP endpoint, ingest thread, graceful shutdown."""
+
+    def __init__(
+        self,
+        state: ServeState,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_limit: int = 64,
+        shed_retry_after: float = 0.1,
+    ):
+        self.state = state
+        self.queue_limit = queue_limit
+        self.shed_retry_after = shed_retry_after
+        self.started = time.monotonic()
+        self.counters: Dict[str, int] = {"requests": 0, "shed": 0, "protocol_errors": 0}
+        self.fatal: Optional[BaseException] = None
+        self._stopping = threading.Event()
+        self._queue: "queue.Queue[Optional[Tuple[Any, _Box]]]" = queue.Queue(
+            maxsize=max(1, queue_limit)
+        )
+        self._tcp = _ThreadedTCPServer((host, port), _Handler)
+        self._tcp.faure = self
+        self._ingest = threading.Thread(
+            target=self._ingest_loop, name="faure-ingest", daemon=True
+        )
+        self._ingest.start()
+
+    # -- addresses -----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` to the real one."""
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
+
+    # -- the ingest thread ---------------------------------------------------
+
+    def _ingest_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            entry, box = item
+            _maybe_chaos_hang()
+            try:
+                box.result = self.state.submit(entry)
+            except ServeRequestError as exc:
+                box.error = exc
+            except BaseException as exc:  # infrastructure failure: daemon is done
+                self.fatal = exc
+                box.error = exc
+                box.event.set()
+                self._request_stop(drain=False)
+                return
+            box.event.set()
+
+    # -- request dispatch ----------------------------------------------------
+
+    def dispatch(self, line: bytes) -> Tuple[Dict[str, Any], bool]:
+        """Answer one request line; returns (response, close_connection)."""
+        self.counters["requests"] += 1
+        try:
+            obj = decode_request(line)
+        except ServeRequestError as exc:
+            self.counters["protocol_errors"] += 1
+            return exc.response(), False
+        op = obj["op"]
+        if op == "health":
+            return self._health(), False
+        if op == "shutdown":
+            self._request_stop(drain=True)
+            return {"ok": True, "shutdown": True}, True
+        if op == "query":
+            return self._query(obj), False
+        return self._update(obj), False
+
+    def _health(self) -> Dict[str, Any]:
+        health = self.state.health()
+        health["uptime_s"] = round(time.monotonic() - self.started, 3)
+        health["queue_depth"] = self._queue.qsize()
+        health["queue_limit"] = self.queue_limit
+        health["server"] = dict(self.counters)
+        return health
+
+    def _query(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        relation = obj.get("relation")
+        if not isinstance(relation, str) or not relation:
+            return error_response("MALFORMED", "query needs a 'relation' string")
+        limit = obj.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            return error_response("MALFORMED", "'limit' must be a non-negative integer")
+        try:
+            return self.state.query(relation, where=obj.get("where"), limit=limit)
+        except ServeRequestError as exc:
+            return exc.response()
+
+    def _update(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        if self._stopping.is_set():
+            return error_response(
+                "OVERLOADED",
+                "daemon is shutting down",
+                retry_after=self.shed_retry_after,
+                status="OVERLOADED",
+            )
+        try:
+            entry = validate_update(obj)
+        except ServeRequestError as exc:
+            self.state.counters["updates_rejected"] += 1
+            return exc.response()
+        box = _Box()
+        try:
+            self._queue.put_nowait((entry, box))
+        except queue.Full:
+            # Admission control: shed with an explicit, retryable answer
+            # instead of blocking the handler on a saturated ingest.
+            self.counters["shed"] += 1
+            return error_response(
+                "OVERLOADED",
+                f"ingest queue full ({self.queue_limit}); retry later",
+                retry_after=self.shed_retry_after,
+                status="OVERLOADED",
+            )
+        if not box.event.wait(timeout=_INGEST_WAIT_SECONDS):
+            return error_response("INTERNAL", "ingest did not answer in time")
+        if box.error is not None:
+            if isinstance(box.error, ServeRequestError):
+                return box.error.response()
+            return error_response("INTERNAL", f"apply failed: {box.error}")
+        assert box.result is not None
+        return box.result
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self) -> int:
+        """Block until shutdown; returns 0 (graceful) or 6 (failed)."""
+        try:
+            self._tcp.serve_forever(poll_interval=0.05)
+        finally:
+            self._finish()
+        return 6 if self.fatal is not None else 0
+
+    def _request_stop(self, drain: bool) -> None:
+        """Initiate shutdown from any thread (idempotent)."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        if not drain:
+            # Fail fast: wake every parked update handler with INTERNAL.
+            try:
+                while True:
+                    item = self._queue.get_nowait()
+                    if item is not None:
+                        item[1].error = RuntimeError("daemon failed")
+                        item[1].event.set()
+            except queue.Empty:
+                pass
+        # serve_forever must be stopped from a different thread.
+        threading.Thread(target=self._tcp.shutdown, daemon=True).start()
+
+    def stop(self) -> None:
+        """Graceful stop for in-process (test) embeddings."""
+        self._request_stop(drain=True)
+
+    def _finish(self) -> None:
+        """Drain the ingest queue, stop the ingest thread, close the WAL."""
+        self._stopping.set()
+        if self._ingest.is_alive():
+            self._queue.put(None)  # FIFO: everything queued drains first
+            self._ingest.join(timeout=_INGEST_WAIT_SECONDS)
+        self._tcp.server_close()
+        self.state.close()

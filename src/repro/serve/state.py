@@ -1,0 +1,313 @@
+"""The daemon's resident state: WAL-fronted evaluator + snapshots.
+
+:class:`ServeState` owns the recovery invariant of serve mode:
+
+    resident state  ==  initial evaluation of (program, seed database)
+                        + replay of every durable WAL entry, in order.
+
+Every mutation path preserves it:
+
+* a live update is validated, made durable (:meth:`WriteAheadLog.append`
+  fsyncs before returning), applied, and published as the next epoch;
+* a crash at any point recovers by :meth:`ServeState.__init__` running
+  the right-hand side from scratch — which is *the same code path* a
+  live update takes (:meth:`IncrementalEvaluator.apply`), so recovered
+  answers are byte-identical to an uninterrupted run's;
+* an apply that blows up *after* its entry became durable triggers an
+  in-process rebuild from the log (the entry replays as part of it), so
+  a poisoned apply degrades to a recovery, never to a half-applied
+  resident state.
+
+Queries never touch the evaluator: they read the epoch manager's
+current immutable snapshot, with an optional condition filter decided
+by a **per-request** governed solver — budget exhaustion degrades the
+answer to ``INCONCLUSIVE`` (undecided rows flagged, definite rows
+intact) instead of stalling the daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..ctable.condition import TRUE, TrueCond, conjoin
+from ..ctable.io import condition_to_obj, load_database, term_to_obj
+from ..ctable.table import CTuple
+from ..faurelog.ast import ProgramError
+from ..faurelog.incremental import IncrementalEvaluator
+from ..faurelog.parser import parse_program
+from ..robustness.governor import Governor
+from ..robustness.verdict import Verdict
+from ..solver.interface import ConditionSolver
+from ..solver.memo import MemoTable
+from .epochs import EpochManager, Snapshot
+from .protocol import ServeRequestError, parse_values, parse_where
+from .wal import UpdateEntry, WriteAheadLog, wal_fingerprint
+
+__all__ = ["ServeBudgets", "ServeState", "row_to_obj"]
+
+
+@dataclass(frozen=True)
+class ServeBudgets:
+    """Per-request resource budgets (update apply and query filtering)."""
+
+    deadline_seconds: Optional[float] = None
+    solver_call_budget: Optional[int] = None
+    steps_per_call: Optional[int] = None
+    max_condition_atoms: Optional[int] = None
+
+    @property
+    def any(self) -> bool:
+        return any(
+            v is not None
+            for v in (
+                self.deadline_seconds,
+                self.solver_call_budget,
+                self.steps_per_call,
+                self.max_condition_atoms,
+            )
+        )
+
+    def governor(self) -> Optional[Governor]:
+        """A fresh armed governor, or ``None`` when nothing is bounded.
+
+        Always ``on_budget="degrade"``: a daemon answers degraded, it
+        does not die because one request was expensive.
+        """
+        if not self.any:
+            return None
+        return Governor(
+            deadline_seconds=self.deadline_seconds,
+            solver_call_budget=self.solver_call_budget,
+            steps_per_call=self.steps_per_call,
+            max_condition_atoms=self.max_condition_atoms,
+            on_budget="degrade",
+        ).start()
+
+
+def row_to_obj(tup: CTuple, unknown: bool = False) -> Dict[str, Any]:
+    """One snapshot row in the wire encoding (ctable interchange terms)."""
+    row: Dict[str, Any] = {"values": [term_to_obj(v) for v in tup.values]}
+    if not isinstance(tup.condition, TrueCond):
+        row["condition"] = condition_to_obj(tup.condition)
+    if unknown:
+        row["unknown"] = True
+    return row
+
+
+class ServeState:
+    """Resident database + evaluator behind a write-ahead log."""
+
+    def __init__(
+        self,
+        program_text: str,
+        database_text: str,
+        wal_path: str,
+        budgets: Optional[ServeBudgets] = None,
+    ):
+        self.program_text = program_text
+        self.database_text = database_text
+        self.budgets = budgets or ServeBudgets()
+        self.program = parse_program(program_text)
+        self.epochs = EpochManager()
+        self._epoch = 0
+        self._lock = threading.Lock()  # serializes submit/recovery
+        self.counters: Dict[str, int] = {
+            "updates_applied": 0,
+            "updates_duplicate": 0,
+            "updates_rejected": 0,
+            "queries": 0,
+            "queries_inconclusive": 0,
+            "recoveries": 0,
+        }
+        self.wal = WriteAheadLog.open(
+            wal_path, wal_fingerprint(program_text, database_text)
+        )
+        self._rebuild()
+        self._publish()
+
+    # -- build / recover -----------------------------------------------------
+
+    def _rebuild(self) -> None:
+        """(Re)create the evaluator from the seed and replay the WAL."""
+        database, domains = load_database(self.database_text)
+        self.domains = domains
+        self._memo = MemoTable()
+        self._update_governor = self.budgets.governor()
+        solver = ConditionSolver(
+            domains, governor=self._update_governor, memo=self._memo
+        )
+        self.evaluator = IncrementalEvaluator(
+            self.program, database, solver=solver
+        )
+        for entry in self.wal.entries():
+            self._apply_entry(entry)
+
+    def _publish(self) -> None:
+        self._epoch += 1
+        self.epochs.publish(
+            Snapshot.capture(self.evaluator.combined, self._epoch, self.wal.last_seq)
+        )
+
+    def close(self) -> None:
+        self.wal.close()
+
+    # -- update path ---------------------------------------------------------
+
+    def _apply_entry(self, entry: UpdateEntry) -> int:
+        """Apply one durable entry; live updates and replay both land here."""
+        terms = parse_values(list(entry.values))
+        condition = parse_where(entry.condition)
+        if self._update_governor is not None:
+            self._update_governor.start()  # re-arm the per-update deadline
+        return self.evaluator.apply(
+            entry.kind, entry.relation, terms, condition if condition is not None else TRUE
+        )
+
+    def admit(self, entry: UpdateEntry) -> None:
+        """Semantic validation against schema and program — pre-durability.
+
+        Raises :class:`ServeRequestError`; a rejected update never
+        reaches the WAL, so replay cannot meet an entry the evaluator
+        would refuse and a malformed client cannot poison the state.
+        """
+        if entry.relation in self.program.idb_predicates():
+            raise ServeRequestError(
+                "IDB_INSERT",
+                f"{entry.relation} is derived; updates may only touch the EDB",
+            )
+        if entry.relation not in self.evaluator.database:
+            raise ServeRequestError(
+                "UNKNOWN_RELATION", f"no stored relation {entry.relation!r}"
+            )
+        table = self.evaluator.database.table(entry.relation)
+        if len(entry.values) != table.arity:
+            raise ServeRequestError(
+                "ARITY",
+                f"{entry.relation} has arity {table.arity}, "
+                f"got {len(entry.values)} value(s)",
+            )
+        try:
+            self.evaluator.check_insertable(entry.relation)
+        except ProgramError as exc:
+            raise ServeRequestError("NON_MONOTONE", str(exc)) from exc
+
+    def submit(self, entry: UpdateEntry) -> Dict[str, Any]:
+        """Admit, log, apply, publish — the full life of one update."""
+        with self._lock:
+            if entry.txid is not None:
+                seen = self.wal.seen_txid(entry.txid)
+                if seen is not None:
+                    # A retried update the client never got an ack for:
+                    # answer with the original sequence, no double-apply.
+                    self.counters["updates_duplicate"] += 1
+                    snapshot = self.epochs.current()
+                    return {
+                        "ok": True,
+                        "seq": seen,
+                        "epoch": snapshot.epoch,
+                        "duplicate": True,
+                    }
+            try:
+                self.admit(entry)
+            except ServeRequestError:
+                self.counters["updates_rejected"] += 1
+                raise
+            sequenced = self.wal.append(entry)  # durable *before* apply
+            recovered = False
+            try:
+                derived = self._apply_entry(sequenced)
+            except Exception:
+                # The resident state may be half-applied; rebuild it from
+                # the log (which includes the entry that just blew up).
+                self.counters["recoveries"] += 1
+                self._rebuild()
+                derived = None
+                recovered = True
+            self._publish()
+            self.counters["updates_applied"] += 1
+            response: Dict[str, Any] = {
+                "ok": True,
+                "seq": sequenced.seq,
+                "epoch": self._epoch,
+                "derived": derived,
+            }
+            if recovered:
+                response["recovered"] = True
+            return response
+
+    # -- query path ----------------------------------------------------------
+
+    def query(
+        self,
+        relation: str,
+        where: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Answer from the current snapshot; never blocks an ingest.
+
+        With a ``where`` filter, each row's condition conjoined with the
+        filter goes to a fresh per-request governed solver: ``SAT`` rows
+        are returned, ``UNSAT`` rows dropped, and ``UNKNOWN`` (budget
+        ran out) rows returned flagged — the response degrades to
+        ``status: INCONCLUSIVE`` rather than stalling or failing.
+        """
+        snapshot = self.epochs.current()
+        try:
+            view = snapshot.relation(relation)
+        except KeyError:
+            raise ServeRequestError(
+                "UNKNOWN_RELATION", f"no relation {relation!r}"
+            ) from None
+        condition = parse_where(where)
+        self.counters["queries"] += 1
+        rows = []
+        status = "OK"
+        if condition is None:
+            for tup in view.tuples:
+                rows.append(row_to_obj(tup))
+        else:
+            solver = ConditionSolver(
+                self.domains, governor=self.budgets.governor(), memo=self._memo
+            )
+            for tup in view.tuples:
+                verdict = solver.sat_verdict(conjoin([tup.condition, condition]))
+                if verdict is Verdict.UNSAT:
+                    continue
+                unknown = verdict is Verdict.UNKNOWN
+                if unknown:
+                    status = "INCONCLUSIVE"
+                rows.append(row_to_obj(tup, unknown=unknown))
+        if status == "INCONCLUSIVE":
+            self.counters["queries_inconclusive"] += 1
+        total = len(rows)
+        truncated = limit is not None and total > limit
+        if truncated:
+            rows = rows[:limit]
+        response: Dict[str, Any] = {
+            "ok": True,
+            "epoch": snapshot.epoch,
+            "seq": snapshot.seq,
+            "relation": relation,
+            "schema": list(view.schema),
+            "status": status,
+            "rows": rows,
+            "total": total,
+        }
+        if truncated:
+            response["truncated"] = True
+        return response
+
+    # -- health --------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        snapshot = self.epochs.current()
+        return {
+            "ok": True,
+            "epoch": snapshot.epoch,
+            "seq": snapshot.seq,
+            "relations": {name: len(snapshot.relation(name)) for name in snapshot.names()},
+            "wal_entries": len(self.wal),
+            "counters": dict(self.counters),
+        }

@@ -1,0 +1,233 @@
+"""Serve-daemon chaos: SIGKILL mid-ingest, overload shedding.
+
+Both faults are driven through the production ``FAURE_CHAOS`` protocol:
+``die-after-records:<n>:<sentinel>`` hard-exits the daemon the instant
+its WAL makes the *n*-th update durable (the checkpoint journal's own
+chaos hook — the serve WAL rides the same append path), and
+``serve-hang-apply:<seconds>:<sentinel>`` stalls the ingest thread so
+the bounded queue overflows deterministically.
+
+The acceptance bar (mirrored by the CI ``serve-chaos`` job):
+
+* a daemon killed mid-ingest restarts to query answers **byte-identical**
+  to a never-killed daemon's over the same update stream, with client
+  txid retries deduplicated across the crash;
+* under overload, shed updates get an explicit ``OVERLOADED`` +
+  ``retry_after`` response while queries and health keep answering, and
+  the daemon keeps ingesting afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+from ..serve.conftest import PROGRAM_TEXT, seed_database_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The announcement stream both daemons see (txid, relation, values, cond).
+UPDATES = [
+    ("a1", "F", ["p1", "C", "D"], None),
+    ("a2", "F", ["p2", "E", "G"], "$up == 1"),
+    ("a3", "F", ["p1", "D", "A"], None),
+]
+
+
+def daemon_env(**extra: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("FAURE_CHAOS", None)
+    env.update(extra)
+    return env
+
+
+@pytest.fixture
+def workload(tmp_path):
+    program = tmp_path / "prog.fl"
+    program.write_text(PROGRAM_TEXT)
+    db = tmp_path / "db.json"
+    db.write_text(seed_database_text())
+    return program, db
+
+
+def start_daemon(workload, wal, *extra, env=None):
+    program, db = workload
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--db",
+            str(db),
+            "--program-file",
+            str(program),
+            "--wal",
+            str(wal),
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env or daemon_env(),
+        cwd=str(REPO_ROOT),
+    )
+    ready = json.loads(proc.stdout.readline())["serving"]
+    return proc, ready
+
+
+def rows_only(client: ServeClient, relation: str) -> str:
+    """The restart-stable projection the CI smoke job diffs."""
+    answer = client.query(relation)
+    assert answer["ok"]
+    keep = ("relation", "schema", "status", "rows", "total")
+    return json.dumps({k: answer[k] for k in keep}, sort_keys=True)
+
+
+def drive(client: ServeClient, updates):
+    """Send updates, tolerating the daemon dying mid-request."""
+    acked = []
+    for txid, relation, values, condition in updates:
+        try:
+            response = client.update(relation, values, condition=condition, txid=txid)
+        except (ConnectionError, OSError):
+            break
+        if not response.get("ok"):
+            break
+        acked.append(txid)
+    return acked
+
+
+def test_sigkill_mid_ingest_recovers_byte_identical(workload, tmp_path):
+    # The reference: a daemon that is never killed.
+    proc, ready = start_daemon(workload, tmp_path / "clean.wal")
+    try:
+        with ServeClient("127.0.0.1", ready["port"]) as client:
+            assert drive(client, UPDATES) == ["a1", "a2", "a3"]
+            expected_r = rows_only(client, "R")
+            expected_f = rows_only(client, "F")
+            client.shutdown()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+
+    # The victim: hard-killed the moment update #2 becomes durable —
+    # after the fsync, before the apply/ack, the worst possible instant.
+    wal = tmp_path / "victim.wal"
+    sentinel = tmp_path / "die.sentinel"
+    proc, ready = start_daemon(
+        workload,
+        wal,
+        env=daemon_env(FAURE_CHAOS=f"die-after-records:2:{sentinel}"),
+    )
+    with ServeClient("127.0.0.1", ready["port"]) as client:
+        acked = drive(client, UPDATES)
+    assert acked == ["a1"], "the daemon should die before acking update #2"
+    assert proc.wait(timeout=30) != 0
+    assert sentinel.exists()
+
+    # Restart on the same WAL; the client retries its unacked updates.
+    proc, ready = start_daemon(workload, wal)
+    try:
+        assert ready["replayed"] == 2, "the durable-but-unacked update replays"
+        with ServeClient("127.0.0.1", ready["port"]) as client:
+            retry = client.update("F", ["p2", "E", "G"], condition="$up == 1", txid="a2")
+            assert retry["ok"] and retry["duplicate"] and retry["seq"] == 2
+            assert client.update("F", ["p1", "D", "A"], txid="a3")["seq"] == 3
+            assert rows_only(client, "R") == expected_r
+            assert rows_only(client, "F") == expected_f
+            client.shutdown()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+
+
+def test_overload_sheds_explicitly_and_keeps_serving(workload, tmp_path):
+    sentinel = tmp_path / "hang.sentinel"
+    proc, ready = start_daemon(
+        workload,
+        tmp_path / "serve.wal",
+        "--queue-limit",
+        "1",
+        "--retry-after",
+        "0.5",
+        env=daemon_env(FAURE_CHAOS=f"serve-hang-apply:2.5:{sentinel}"),
+    )
+    try:
+        port = ready["port"]
+        results = {}
+
+        def send(name, values):
+            with ServeClient("127.0.0.1", port) as c:
+                results[name] = c.update("F", values, txid=name)
+
+        # u1 hangs inside the ingest thread; u2 fills the size-1 queue;
+        # u3 must be shed immediately with an explicit retryable answer.
+        t1 = threading.Thread(target=send, args=("u1", ["p1", "C", "D"]))
+        t1.start()
+        deadline = time.monotonic() + 10
+        while not sentinel.exists() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert sentinel.exists(), "the ingest hang never fired"
+        t2 = threading.Thread(target=send, args=("u2", ["p1", "D", "E"]))
+        t2.start()
+
+        with ServeClient("127.0.0.1", port) as probe:
+            # wait until u2 is visibly parked in the (size-1) queue
+            while time.monotonic() < deadline:
+                if probe.health()["queue_depth"] >= 1:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("update u2 never reached the ingest queue")
+            shed = probe.update("F", ["p1", "E", "G"], txid="u3")
+            assert shed["ok"] is False, "the overloaded daemon never shed"
+            assert shed["code"] == "OVERLOADED" and shed["errno"] == 6
+            assert shed["retry_after"] == 0.5
+            assert shed["status"] == "OVERLOADED"
+
+            # ... while reads keep answering from the current snapshot.
+            assert probe.query("R")["ok"]
+            health = probe.health()
+            assert health["ok"] and health["server"]["shed"] >= 1
+
+        t1.join(timeout=30)
+        t2.join(timeout=30)
+        assert results["u1"]["ok"] and results["u2"]["ok"]
+
+        # After the stall clears, the shed client's retry succeeds.
+        with ServeClient("127.0.0.1", port) as c:
+            retried = c.update("F", ["p1", "E", "G"], txid="u3")
+            assert retried["ok"] and not retried.get("duplicate")
+            c.shutdown()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+
+
+def test_degraded_query_is_flagged_over_the_wire(workload, tmp_path):
+    proc, ready = start_daemon(
+        workload, tmp_path / "serve.wal", "--solver-budget", "0"
+    )
+    try:
+        with ServeClient("127.0.0.1", ready["port"]) as client:
+            answer = client.query("F", where="$up == 1")
+            assert answer["ok"] and answer["status"] == "INCONCLUSIVE"
+            assert any(row.get("unknown") for row in answer["rows"])
+            client.shutdown()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)

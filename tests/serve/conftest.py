@@ -1,0 +1,103 @@
+"""Shared serve-mode fixtures: a tiny reachability workload + daemon.
+
+The workload: per-flow reachability over a forwarding EDB ``F`` whose
+seed rows include one conditional edge guarded by the boolean
+c-variable ``$up`` — enough to exercise condition-carrying updates,
+where-filtered queries, and solver-budget degradation without making
+the suite slow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ctable.io import dump_database
+from repro.ctable.table import Database
+from repro.ctable.terms import CVariable
+from repro.ctable.condition import eq
+from repro.serve.state import ServeBudgets, ServeState
+from repro.solver.domains import BOOL_DOMAIN, DomainMap, Unbounded
+
+#: The maintained program: q4/q5 per-flow reachability.
+PROGRAM_TEXT = (
+    "R(f, x, y) :- F(f, x, y).\n"
+    "R(f, x, z) :- R(f, x, y), F(f, y, z).\n"
+)
+
+#: A program with negation downstream of F (non-monotone growth).
+NEGATION_PROGRAM_TEXT = (
+    "Blocked(f, x, y) :- F(f, x, y), not Acl(x, y).\n"
+)
+
+
+def seed_database_text() -> str:
+    db = Database()
+    f = db.create_table("F", ["flow", "src", "dst"])
+    f.add(["p1", "A", "B"])
+    f.add(["p1", "B", "C"])
+    f.add(["p2", "A", "E"], eq(CVariable("up"), 1))
+    domains = DomainMap(
+        {CVariable("up"): BOOL_DOMAIN}, default=Unbounded("any")
+    )
+    return dump_database(db, domains)
+
+
+@pytest.fixture
+def db_text() -> str:
+    return seed_database_text()
+
+
+@pytest.fixture
+def make_state(tmp_path, db_text):
+    """Factory for ServeStates sharing one WAL path (restart simulation)."""
+    states = []
+
+    def build(
+        wal_name: str = "serve.wal",
+        program_text: str = PROGRAM_TEXT,
+        database_text: str = None,
+        budgets: ServeBudgets = None,
+    ) -> ServeState:
+        state = ServeState(
+            program_text,
+            database_text if database_text is not None else db_text,
+            str(tmp_path / wal_name),
+            budgets=budgets,
+        )
+        states.append(state)
+        return state
+
+    yield build
+    for state in states:
+        state.close()
+
+
+@pytest.fixture
+def server_factory(make_state):
+    """In-process daemon + connected client, torn down after the test."""
+    import threading
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import FaureServer
+
+    servers = []
+
+    def build(state=None, **server_kwargs):
+        if state is None:
+            state = make_state()
+        server = FaureServer(state, **server_kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.address
+        client = ServeClient(host, port, timeout=30.0).connect()
+        servers.append((server, thread, client))
+        return server, client
+
+    yield build
+    for server, thread, client in servers:
+        try:
+            client.close()
+        except OSError:
+            pass
+        server.stop()
+        thread.join(timeout=30)

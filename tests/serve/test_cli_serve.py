@@ -1,0 +1,184 @@
+"""The ``serve`` subcommand end-to-end: real processes, real sockets."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+from .conftest import PROGRAM_TEXT, seed_database_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def daemon_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("FAURE_CHAOS", None)
+    return env
+
+
+@pytest.fixture
+def workload(tmp_path):
+    program = tmp_path / "prog.fl"
+    program.write_text(PROGRAM_TEXT)
+    db = tmp_path / "db.json"
+    db.write_text(seed_database_text())
+    return program, db, tmp_path / "wal.jsonl"
+
+
+def start_daemon(workload, *extra, env=None):
+    program, db, wal = workload
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--db",
+            str(db),
+            "--program-file",
+            str(program),
+            "--wal",
+            str(wal),
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env or daemon_env(),
+        cwd=str(REPO_ROOT),
+    )
+    ready_line = proc.stdout.readline().decode()
+    assert ready_line, proc.stderr.read().decode()
+    ready = json.loads(ready_line)["serving"]
+    return proc, ready
+
+
+def rows_only(client: ServeClient, relation: str) -> str:
+    """The restart-stable projection of a query (what the CI job diffs)."""
+    answer = client.query(relation)
+    assert answer["ok"]
+    keep = ("relation", "schema", "status", "rows", "total")
+    return json.dumps({k: answer[k] for k in keep}, sort_keys=True)
+
+
+def test_serve_round_trip_and_graceful_shutdown(workload):
+    proc, ready = start_daemon(workload)
+    try:
+        assert ready["replayed"] == 0 and ready["seq"] == 0
+        with ServeClient("127.0.0.1", ready["port"]) as client:
+            assert client.update("F", ["p1", "C", "D"], txid="u1")["seq"] == 1
+            answer = client.query("R", where="$up == 1")
+            assert answer["ok"] and answer["total"] >= 4
+            assert client.shutdown()["shutdown"] is True
+        assert proc.wait(timeout=30) == 0
+        summary = proc.stderr.read().decode()
+        assert "-- serve:" in summary and "1 update(s) applied" in summary
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+
+
+def test_sigkill_then_restart_replays_byte_identical(workload):
+    proc, ready = start_daemon(workload)
+    with ServeClient("127.0.0.1", ready["port"]) as client:
+        client.update("F", ["p1", "C", "D"], txid="a1")
+        client.update("F", ["p2", "E", "G"], condition="$up == 1", txid="a2")
+        expected = rows_only(client, "R")
+    os.kill(proc.pid, signal.SIGKILL)
+    assert proc.wait(timeout=30) == -signal.SIGKILL
+
+    proc, ready = start_daemon(workload)
+    try:
+        assert ready["replayed"] == 2 and ready["seq"] == 2
+        with ServeClient("127.0.0.1", ready["port"]) as client:
+            assert rows_only(client, "R") == expected
+            # an unacked retry from before the crash: same seq, no re-apply
+            retry = client.update(
+                "F", ["p2", "E", "G"], condition="$up == 1", txid="a2"
+            )
+            assert retry["duplicate"] and retry["seq"] == 2
+            client.shutdown()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+
+
+def test_client_cli_speaks_the_protocol(workload):
+    proc, ready = start_daemon(workload)
+    try:
+        def client_cli(*args):
+            return subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.serve.client",
+                    "--port",
+                    str(ready["port"]),
+                    *args,
+                ],
+                capture_output=True,
+                env=daemon_env(),
+                cwd=str(REPO_ROOT),
+            )
+
+        good = client_cli("update", "F", "p1", "C", "D", "--txid", "k1")
+        assert good.returncode == 0, good.stderr.decode()
+        assert json.loads(good.stdout)["seq"] == 1
+
+        rejected = client_cli("update", "R", "x", "y", "z")
+        assert rejected.returncode == 2  # errno mirrors the CLI parse exit code
+        assert json.loads(rejected.stdout)["code"] == "IDB_INSERT"
+
+        queried = client_cli("query", "R", "--rows-only")
+        assert queried.returncode == 0
+        payload = json.loads(queried.stdout)
+        assert payload["relation"] == "R" and "epoch" not in payload
+
+        assert client_cli("shutdown").returncode == 0
+        assert proc.wait(timeout=30) == 0
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+
+
+def test_bind_failure_exits_with_serve_failure_code(workload):
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    port = blocker.getsockname()[1]
+    try:
+        program, db, wal = workload
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--db",
+                str(db),
+                "--program-file",
+                str(program),
+                "--wal",
+                str(wal),
+                "--port",
+                str(port),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=daemon_env(),
+            cwd=str(REPO_ROOT),
+        )
+        assert proc.wait(timeout=30) == 6
+        assert b"serve failure" in proc.stderr.read()
+    finally:
+        blocker.close()

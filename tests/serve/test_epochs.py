@@ -1,0 +1,44 @@
+"""Epoch manager and snapshot immutability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ctable.table import Database
+from repro.serve.epochs import EpochManager, Snapshot
+
+
+def _db():
+    db = Database()
+    table = db.create_table("F", ["src", "dst"])
+    table.add(["A", "B"])
+    return db
+
+
+def test_snapshot_is_isolated_from_later_mutation():
+    db = _db()
+    snapshot = Snapshot.capture(db, epoch=1, seq=0)
+    db.table("F").add(["B", "C"])  # the next epoch applying
+    assert len(snapshot.relation("F")) == 1  # the reader's view is frozen
+    assert len(db.table("F")) == 2
+    fresh = Snapshot.capture(db, epoch=2, seq=1)
+    assert len(fresh.relation("F")) == 2
+
+
+def test_snapshot_unknown_relation():
+    snapshot = Snapshot.capture(_db(), epoch=1, seq=0)
+    with pytest.raises(KeyError, match="no relation 'R'"):
+        snapshot.relation("R")
+    assert snapshot.names() == ("F",)
+
+
+def test_manager_requires_monotone_epochs():
+    manager = EpochManager()
+    with pytest.raises(RuntimeError, match="no snapshot"):
+        manager.current()
+    manager.publish(Snapshot.capture(_db(), epoch=1, seq=0))
+    assert manager.current().epoch == 1
+    with pytest.raises(ValueError, match="must advance"):
+        manager.publish(Snapshot.capture(_db(), epoch=1, seq=1))
+    manager.publish(Snapshot.capture(_db(), epoch=5, seq=1))
+    assert manager.current().epoch == 5

@@ -1,0 +1,88 @@
+"""Wire protocol: shape checks, error taxonomy, validation-before-log."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ServeRequestError,
+    decode_request,
+    encode,
+    error_response,
+    validate_update,
+)
+
+
+def test_decode_rejects_non_json():
+    with pytest.raises(ServeRequestError) as exc:
+        decode_request(b"not json at all")
+    assert exc.value.code == "MALFORMED"
+    assert exc.value.errno == 2
+
+
+def test_decode_rejects_non_object_and_unknown_op():
+    with pytest.raises(ServeRequestError):
+        decode_request(b"[1, 2]")
+    with pytest.raises(ServeRequestError, match="unknown op"):
+        decode_request(b'{"op": "explode"}')
+
+
+def test_decode_rejects_oversized_line():
+    line = b'{"op": "health", "pad": "' + b"x" * (1 << 20) + b'"}'
+    with pytest.raises(ServeRequestError, match="line size"):
+        decode_request(line)
+
+
+def test_encode_is_deterministic():
+    assert encode({"b": 1, "a": 2}) == b'{"a":2,"b":1}\n'
+
+
+@pytest.mark.parametrize(
+    "obj, fragment",
+    [
+        ({}, "relation"),
+        ({"relation": "F"}, "values"),
+        ({"relation": "F", "values": []}, "values"),
+        ({"relation": "F", "values": [42]}, "bad value"),
+        ({"relation": "F", "values": ["((("]}, "bad value"),
+        ({"relation": "F", "values": ["A"], "condition": "$x =="}, "bad condition"),
+        ({"relation": "F", "values": ["A"], "txid": 7}, "txid"),
+        ({"relation": "F", "values": ["A"], "weaken": "yes"}, "weaken"),
+        ({"relation": "F", "values": ["A"], "weaken": True}, "condition"),
+    ],
+)
+def test_validate_update_rejects_malformed(obj, fragment):
+    with pytest.raises(ServeRequestError, match=fragment) as exc:
+        validate_update(obj)
+    assert exc.value.errno == 2
+
+
+def test_validate_update_builds_wire_entry():
+    entry = validate_update(
+        {
+            "relation": "F",
+            "values": ["p1", "A", "B"],
+            "condition": "$up == 1",
+            "txid": "k",
+            "weaken": True,
+        }
+    )
+    assert entry.kind == "weaken"
+    assert entry.values == ("p1", "A", "B")
+    assert entry.condition == "$up == 1"
+    assert entry.seq == 0  # the WAL assigns sequence numbers, not the wire
+
+
+def test_error_response_carries_exit_code_style_errno():
+    shed = error_response("OVERLOADED", "queue full", retry_after=0.25)
+    assert shed == {
+        "ok": False,
+        "code": "OVERLOADED",
+        "errno": 6,
+        "error": "queue full",
+        "retry_after": 0.25,
+    }
+    assert error_response("BUDGET", "out of steps")["errno"] == 3
+    assert json.loads(encode(shed).decode())["errno"] == 6
