@@ -39,8 +39,8 @@ except ImportError:  # python benchmarks/bench_table4.py
     from conftest import PREFIX_SIZES
 
 
-def _fresh_analyzer(compiled, jobs: int = 1):
-    solver = ConditionSolver(compiled.domains)
+def _fresh_analyzer(compiled, jobs: int = 1, fast_path: bool = True):
+    solver = ConditionSolver(compiled.domains, fast_path=fast_path)
     return ReachabilityAnalyzer(compiled.database(), solver, per_flow=True, jobs=jobs)
 
 

@@ -44,6 +44,19 @@ except ImportError:  # python benchmarks/report.py
 QUERIES = ("q6", "q7", "q8")
 
 
+def _fast_path_hit_rate(stats):
+    """Share of solver decisions the interval/atom fast path settled.
+
+    ``None`` when the phase recorded no fast-path activity at all
+    (e.g. every verdict came from a cache).
+    """
+    extra = getattr(stats, "extra", None) or {}
+    hits = extra.get("fast_path_hits", 0)
+    misses = extra.get("fast_path_misses", 0)
+    total = hits + misses
+    return round(hits / total, 4) if total else None
+
+
 def run_sweep(prefixes: int, jobs: int) -> List[Dict]:
     """One Table-4 column: q4–q5 then q6/q7/q8 at the given job count.
 
@@ -66,6 +79,7 @@ def run_sweep(prefixes: int, jobs: int) -> List[Dict]:
             "wall_s": round(time.perf_counter() - start, 4),
             "tuples": analyzer.stats.tuples_generated,
             "jobs": 1,  # the recursive fixpoint is inherently serial
+            "fast_path_hit_rate": _fast_path_hit_rate(analyzer.stats),
         }
     ]
     for query in QUERIES:
@@ -80,6 +94,7 @@ def run_sweep(prefixes: int, jobs: int) -> List[Dict]:
                 "wall_s": round(time.perf_counter() - start, 4),
                 "tuples": stats.tuples_generated,
                 "jobs": jobs,
+                "fast_path_hit_rate": _fast_path_hit_rate(stats),
             }
         )
     return rows

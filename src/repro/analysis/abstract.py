@@ -1,9 +1,12 @@
 """A sound interval + equality abstract domain over conditions.
 
-The NP-complete condition solver (:mod:`repro.solver`) decides exact
-satisfiability; this module answers the *cheap* version of the question
-with a one-sided guarantee, so the lint pipeline can flag contradictory
-and vacuous conditions without ever invoking a decision procedure:
+The machinery now lives in :mod:`repro.solver.atoms`, where it doubles
+as the solver's interval/atom fast path; this module re-exports the
+lint-facing surface so the analysis pipeline and the solver can never
+disagree — F010/F011 (contradiction/tautology) diagnostics and the
+solver's tier-0 verdicts are computed by the *same* functions.
+
+The one-sided contract is unchanged:
 
 * :func:`prove_unsat` returns ``True`` only when the condition is
   unsatisfiable under **every** assignment of its variables — whatever
@@ -11,299 +14,27 @@ and vacuous conditions without ever invoking a decision procedure:
 * :func:`prove_valid` returns ``True`` only when the condition holds
   under every assignment (it proves the *negation* unsatisfiable).
 
-Soundness argument
-------------------
-The abstraction reasons over the free structure of the condition: it
-assumes nothing about domains, so any contradiction it finds (interval
-emptiness, equality/disequality clashes, strict-order cycles) falsifies
-the condition pointwise for *arbitrary* values.  Restricting variables
-to declared domains only removes assignments, so
-
-* ``prove_unsat(c)``  ⇒  ``ConditionSolver.is_satisfiable(c) is False``
-* ``prove_valid(c)``  ⇒  ``ConditionSolver.is_valid(c) is True``
-
-for every domain map.  The converse never holds in general (the
-abstraction may answer ``UNKNOWN`` on conditions the solver settles,
-e.g. finite-domain exhaustion arguments), which is exactly the
-contract: **no false positives**, verified differentially against the
-solver in ``tests/analysis/test_differential.py``.
-
-Machinery
----------
-Conditions are first rewritten into the canonical normal form of
-:mod:`repro.solver.canonical` (negation pushed to atoms, per-variable
-interval tightening, absorption).  On the canonical form:
-
-* a conjunction merges ``=``-linked terms with a union-find, pools the
-  ``term op constant`` literals of each equivalence class into one
-  interval/equality group (re-using the canonicalizer's group
-  tightening), rejects disequalities within a class, evaluates
-  comparisons between constant-pinned classes, and looks for a strict
-  edge inside a cycle of the ``<``/``≤`` graph;
-* linear atoms with identical coefficient vectors are pooled the same
-  way, treating the linear form as a pseudo-variable;
-* a disjunction is unsatisfiable only when every child is;
-* a disjunction nested inside a conjunction is expanded by case split
-  (each disjunct conjoined with the remaining facts) under a small
-  budget — beyond the budget the verdict degrades to ``UNKNOWN``.
-
-Program variables are treated exactly like c-variables: both stand for
-unknown values, and the proofs quantify over all of them.
+Both may answer ``UNKNOWN`` (via :func:`abstract_sat`) on conditions
+the full solver settles; they never report a false positive.  See the
+docstrings in :mod:`repro.solver.atoms` for the soundness argument and
+``tests/analysis/test_differential.py`` for the differential check
+against the solver.
 """
 
 from __future__ import annotations
 
-import enum
-import itertools
-from typing import Dict, List, Optional, Sequence, Set, Tuple
-
-from ..ctable.condition import (
-    _FLIPPED_OP,
-    And,
-    Comparison,
-    Condition,
-    FalseCond,
-    LinearAtom,
-    Or,
-    TrueCond,
-    conjoin,
+from ..solver.atoms import (  # noqa: F401  (re-exported surface)
+    _DEPTH_BUDGET,
+    _SPLIT_BUDGET,
+    AbstractResult,
+    _UnionFind,
+    _conjunction_unsat,
+    _is_unknown_term,
+    _strict_cycle,
+    _unsat,
+    abstract_sat,
+    prove_unsat,
+    prove_valid,
 )
-from ..ctable.terms import Constant, CVariable, Term, Variable
-from ..solver.canonical import _Group, _cmp, canonicalize
 
 __all__ = ["AbstractResult", "abstract_sat", "prove_unsat", "prove_valid"]
-
-#: Maximum case splits (product of disjunct counts) expanded inside one
-#: conjunction before the verdict degrades to UNKNOWN.
-_SPLIT_BUDGET = 64
-
-#: Maximum recursion depth through nested ∧/∨ alternations.
-_DEPTH_BUDGET = 6
-
-
-class AbstractResult(enum.Enum):
-    """Verdict of the abstract analysis; UNKNOWN is always permitted."""
-
-    UNSAT = "unsat"
-    VALID = "valid"
-    UNKNOWN = "unknown"
-
-
-class _UnionFind:
-    """Union-find over terms (program variables and c-variables alike)."""
-
-    def __init__(self) -> None:
-        self._parent: Dict[Term, Term] = {}
-
-    def find(self, term: Term) -> Term:
-        parent = self._parent.get(term, term)
-        if parent is term:
-            return term
-        root = self.find(parent)
-        self._parent[term] = root
-        return root
-
-    def union(self, a: Term, b: Term) -> None:
-        ra, rb = self.find(a), self.find(b)
-        if ra is not rb and ra != rb:
-            self._parent[ra] = rb
-
-
-def _is_unknown_term(term: Term) -> bool:
-    return isinstance(term, (CVariable, Variable))
-
-
-def _strict_cycle(
-    edges: List[Tuple[Term, Term, bool]], uf: _UnionFind
-) -> bool:
-    """True when the </≤ graph has a cycle through a strict edge.
-
-    Edges are (smaller, larger, strict) over union-find representatives.
-    A strict self-loop (x < x after equality merging) is the degenerate
-    case.  The search is a DFS reachability check per strict edge —
-    fine at lint scale (conditions have tens of atoms).
-    """
-    adjacency: Dict[Term, Set[Term]] = {}
-    for lo, hi, _ in edges:
-        adjacency.setdefault(uf.find(lo), set()).add(uf.find(hi))
-    for lo, hi, strict in edges:
-        if not strict:
-            continue
-        lo, hi = uf.find(lo), uf.find(hi)
-        if lo == hi:
-            return True  # x < x
-        # strict edge lo -> hi: contradiction if hi reaches lo again.
-        seen: Set[Term] = set()
-        stack = [hi]
-        while stack:
-            node = stack.pop()
-            if node == lo:
-                return True
-            if node in seen:
-                continue
-            seen.add(node)
-            stack.extend(adjacency.get(node, ()))
-    return False
-
-
-def _conjunction_unsat(children: Sequence[Condition], depth: int) -> bool:
-    """Sound unsatisfiability check for a conjunction of canonical facts."""
-    uf = _UnionFind()
-    var_const: List[Comparison] = []
-    neq_pairs: List[Tuple[Term, Term]] = []
-    order_edges: List[Tuple[Term, Term, bool]] = []  # (lo, hi, strict)
-    linear: List[LinearAtom] = []
-    disjunctions: List[Or] = []
-
-    for child in children:
-        if isinstance(child, FalseCond):
-            return True
-        if isinstance(child, TrueCond):
-            continue
-        if isinstance(child, Or):
-            disjunctions.append(child)
-            continue
-        if isinstance(child, And):  # canonical forms are flat, but be safe
-            if _conjunction_unsat(child.children, depth):
-                return True
-            continue
-        if isinstance(child, LinearAtom):
-            linear.append(child)
-            continue
-        if not isinstance(child, Comparison):
-            continue  # unknown node kind: ignore, stays sound
-        lhs, op, rhs = child.lhs, child.op, child.rhs
-        if isinstance(lhs, Constant) and _is_unknown_term(rhs):
-            # Normalize constant-left atoms so the pooling below sees
-            # every var-vs-const fact in one orientation.
-            lhs, op, rhs = rhs, _FLIPPED_OP[op], lhs
-            child = Comparison(lhs, op, rhs)
-            lhs, op, rhs = child.lhs, child.op, child.rhs
-        if _is_unknown_term(lhs) and isinstance(rhs, Constant):
-            var_const.append(child)
-        elif _is_unknown_term(lhs) and _is_unknown_term(rhs):
-            if op == "=":
-                uf.union(lhs, rhs)
-            elif op == "!=":
-                neq_pairs.append((lhs, rhs))
-            elif op == "<":
-                order_edges.append((lhs, rhs, True))
-            elif op == "<=":
-                order_edges.append((lhs, rhs, False))
-            elif op == ">":
-                order_edges.append((rhs, lhs, True))
-            elif op == ">=":
-                order_edges.append((rhs, lhs, False))
-        # Constant-vs-constant atoms were folded away by canonicalize.
-
-    # Pool the var-op-const literals of each equivalence class.
-    groups: Dict[Term, _Group] = {}
-    for cmp_atom in var_const:
-        rep = uf.find(cmp_atom.lhs)
-        group = groups.get(rep)
-        if group is None:
-            anchor = rep if isinstance(rep, CVariable) else CVariable(f"_class_{id(rep)}")
-            group = _Group(anchor)
-            groups[rep] = group
-        assert isinstance(cmp_atom.rhs, Constant)
-        group.add(cmp_atom.op, cmp_atom.rhs.value)
-    for group in groups.values():
-        if group.tighten_and() is None:
-            return True
-
-    # Disequalities: within one class, or between constant-pinned classes.
-    def pinned(rep: Term) -> Optional[object]:
-        group = groups.get(rep)
-        if group is not None and group.eqs:
-            return group.eqs[0]
-        return None
-
-    for a, b in neq_pairs:
-        ra, rb = uf.find(a), uf.find(b)
-        if ra == rb:
-            return True  # x = y ∧ x ≠ y
-        va, vb = pinned(ra), pinned(rb)
-        if va is not None and vb is not None and va == vb:
-            return True  # both pinned to the same constant
-
-    # Order comparisons between constant-pinned classes, plus equal
-    # classes under a strict order, plus strict cycles.
-    for lo, hi, strict in order_edges:
-        rlo, rhi = uf.find(lo), uf.find(hi)
-        if rlo == rhi and strict:
-            return True  # x = y ∧ x < y
-        vlo, vhi = pinned(rlo), pinned(rhi)
-        if vlo is not None and vhi is not None:
-            try:
-                holds = _cmp("<" if strict else "<=", vlo, vhi)
-            except TypeError:
-                holds = True  # incomparable payloads: no conclusion
-            if not holds:
-                return True
-    if _strict_cycle(order_edges, uf):
-        return True
-
-    # Linear atoms: pool by coefficient vector, treat the linear form as
-    # one pseudo-variable and reuse the interval tightening.
-    by_coeffs: Dict[Tuple, _Group] = {}
-    for atom in linear:
-        group = by_coeffs.get(atom.coeffs)
-        if group is None:
-            group = _Group(CVariable(f"_lin_{len(by_coeffs)}"))
-            by_coeffs[atom.coeffs] = group
-        group.add(atom.op, atom.bound)
-    for group in by_coeffs.values():
-        if group.tighten_and() is None:
-            return True
-
-    # Case-split over nested disjunctions, under budget.
-    if disjunctions and depth < _DEPTH_BUDGET:
-        splits = 1
-        for dis in disjunctions:
-            splits *= len(dis.children)
-        if splits <= _SPLIT_BUDGET:
-            plain = [c for c in children if not isinstance(c, Or)]
-            for combo in itertools.product(*[d.children for d in disjunctions]):
-                arm = canonicalize(conjoin(plain + list(combo)))
-                if not _unsat(arm, depth + 1):
-                    return False
-            return True
-    return False
-
-
-def _unsat(canonical: Condition, depth: int) -> bool:
-    """Unsatisfiability of an already-canonical condition."""
-    if isinstance(canonical, FalseCond):
-        return True
-    if isinstance(canonical, (TrueCond, Comparison, LinearAtom)):
-        # canonicalize folds every decidable atom; a surviving atom has a
-        # free unknown, hence a satisfying assignment over *some* value.
-        # (Its domain might still rule it out — that is the solver's
-        # business, and answering False here keeps us sound.)
-        return False
-    if depth >= _DEPTH_BUDGET:
-        return False
-    if isinstance(canonical, Or):
-        return all(_unsat(child, depth + 1) for child in canonical.children)
-    if isinstance(canonical, And):
-        return _conjunction_unsat(canonical.children, depth)
-    return False
-
-
-def prove_unsat(condition: Condition) -> bool:
-    """True only when ``condition`` is unsatisfiable over every domain."""
-    return _unsat(canonicalize(condition), 0)
-
-
-def prove_valid(condition: Condition) -> bool:
-    """True only when ``condition`` holds under every assignment."""
-    return _unsat(canonicalize(condition.negate()), 0)
-
-
-def abstract_sat(condition: Condition) -> AbstractResult:
-    """Classify a condition: proven UNSAT, proven VALID, else UNKNOWN."""
-    if prove_unsat(condition):
-        return AbstractResult.UNSAT
-    if prove_valid(condition):
-        return AbstractResult.VALID
-    return AbstractResult.UNKNOWN

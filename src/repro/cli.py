@@ -111,6 +111,12 @@ def _add_governor_args(parser: argparse.ArgumentParser) -> None:
         help="disable the shared canonical-form verdict memoization",
     )
     parser.add_argument(
+        "--no-fast-path",
+        action="store_true",
+        help="disable the interval/atom semi-decision fast path (every "
+        "solver decision routes to enumeration/DPLL; verdicts identical)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -147,6 +153,11 @@ def _add_governor_args(parser: argparse.ArgumentParser) -> None:
 def _memo_from_args(args):
     """``memo=`` argument for ConditionSolver honoring ``--no-memo``."""
     return None if getattr(args, "no_memo", False) else SHARED_MEMO
+
+
+def _fast_path_from_args(args) -> bool:
+    """``fast_path=`` argument honoring ``--no-fast-path``."""
+    return not getattr(args, "no_fast_path", False)
 
 
 def _governor_from_args(args) -> Optional[Governor]:
@@ -284,7 +295,12 @@ def _cmd_rib_analyze(args) -> int:
     compiled = compile_forwarding(routes)
     governor = _governor_from_args(args)
     memo = _memo_from_args(args)
-    solver = ConditionSolver(compiled.domains, governor=governor, memo=memo)
+    solver = ConditionSolver(
+        compiled.domains,
+        governor=governor,
+        memo=memo,
+        fast_path=_fast_path_from_args(args),
+    )
     checkpoint = _open_checkpoint(
         args, "rib-analyze", rib_text, "patterns" if args.patterns else None
     )
@@ -340,7 +356,12 @@ def _cmd_query(args) -> int:
         text = args.program
     program = parse_program(text)
     governor = _governor_from_args(args)
-    solver = ConditionSolver(domains, governor=governor, memo=_memo_from_args(args))
+    solver = ConditionSolver(
+        domains,
+        governor=governor,
+        memo=_memo_from_args(args),
+        fast_path=_fast_path_from_args(args),
+    )
     stats = EvalStats()
     result = evaluate(program, db, solver=solver, stats=stats)
     names = [args.output] if args.output else sorted(result.names())
@@ -378,7 +399,12 @@ def _cmd_verify(args) -> int:
     effective_domains = (
         domains if domains is not None else DomainMap(default=Unbounded("any"))
     )
-    solver = ConditionSolver(effective_domains, governor=governor, memo=memo)
+    solver = ConditionSolver(
+        effective_domains,
+        governor=governor,
+        memo=memo,
+        fast_path=_fast_path_from_args(args),
+    )
     checkpoint = _open_checkpoint(
         args,
         "verify",
@@ -432,7 +458,12 @@ def _cmd_sql(args) -> int:
         statements,
         Path(args.db).read_text() if args.db else None,
     )
-    solver = ConditionSolver(domains, governor=governor, memo=memo)
+    solver = ConditionSolver(
+        domains,
+        governor=governor,
+        memo=memo,
+        fast_path=_fast_path_from_args(args),
+    )
     if checkpoint is not None and solver.memo is not None:
         # The SQL path checkpoints at memo granularity: every definite
         # verdict the batch pruner computes is durable, so a resumed

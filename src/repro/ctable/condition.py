@@ -93,10 +93,18 @@ class Condition(SlotPickleMixin):
     __slots__ = ()
 
     def cvariables(self) -> FrozenSet[CVariable]:
-        """All c-variables occurring in this condition."""
+        """All c-variables occurring in this condition (cached)."""
+        cached = getattr(self, "_cvars", None)
+        if cached is not None:
+            return cached
         out: set = set()
         self._collect_cvars(out)
-        return frozenset(out)
+        result = frozenset(out)
+        try:
+            object.__setattr__(self, "_cvars", result)
+        except AttributeError:
+            pass  # TrueCond/FalseCond carry no cache slot
+        return result
 
     def _collect_cvars(self, out: set) -> None:
         raise NotImplementedError
@@ -224,7 +232,7 @@ class Comparison(Condition):
     contain variables (the valuation removes them).
     """
 
-    __slots__ = ("lhs", "op", "rhs")
+    __slots__ = ("lhs", "op", "rhs", "_hash", "_cvars")
 
     def __init__(self, lhs, op: Op, rhs):
         if op not in _OPS:
@@ -244,6 +252,8 @@ class Comparison(Condition):
         object.__setattr__(self, "lhs", lhs)
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "rhs", rhs)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_cvars", None)
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability
         raise AttributeError("Comparison is immutable")
@@ -290,14 +300,25 @@ class Comparison(Condition):
         return self
 
     def evaluate(self, assignment) -> bool:
-        def val(t: Term):
-            if isinstance(t, Constant):
-                return t.value
-            if isinstance(t, CVariable):
-                return assignment[t].value
-            raise TypeError(f"cannot evaluate program variable {t!r}")
-
-        return _apply_op(self.op, val(self.lhs), val(self.rhs))
+        lhs, rhs = self.lhs, self.rhs
+        if isinstance(lhs, Constant):
+            a = lhs.value
+        elif isinstance(lhs, CVariable):
+            a = assignment[lhs].value
+        else:
+            raise TypeError(f"cannot evaluate program variable {lhs!r}")
+        if isinstance(rhs, Constant):
+            b = rhs.value
+        elif isinstance(rhs, CVariable):
+            b = assignment[rhs].value
+        else:
+            raise TypeError(f"cannot evaluate program variable {rhs!r}")
+        op = self.op
+        if op == "=":
+            return a == b
+        if op == "!=":
+            return a != b
+        return _apply_op(op, a, b)
 
     def atoms(self):
         yield self
@@ -314,7 +335,14 @@ class Comparison(Condition):
         )
 
     def __hash__(self) -> int:
-        return hash(("cmp", self.lhs, self.op, self.rhs))
+        # Immutable nodes cache their hash: the memo/canonicalization
+        # layers hash the same (often large) trees over and over, and
+        # recomputing structurally is the solver hot path's top cost.
+        h = self._hash
+        if h is None:
+            h = hash(("cmp", self.lhs, self.op, self.rhs))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return f"Comparison({self.lhs!r}, {self.op!r}, {self.rhs!r})"
@@ -331,7 +359,7 @@ class LinearAtom(Condition):
     must range over numeric domains.
     """
 
-    __slots__ = ("coeffs", "op", "bound")
+    __slots__ = ("coeffs", "op", "bound", "_hash", "_cvars")
 
     def __init__(self, coeffs, op: Op, bound):
         if op not in _OPS:
@@ -354,6 +382,8 @@ class LinearAtom(Condition):
         object.__setattr__(self, "coeffs", frozen)
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "bound", bound)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_cvars", None)
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability
         raise AttributeError("LinearAtom is immutable")
@@ -409,7 +439,11 @@ class LinearAtom(Condition):
         )
 
     def __hash__(self) -> int:
-        return hash(("lin", self.coeffs, self.op, self.bound))
+        h = self._hash
+        if h is None:
+            h = hash(("lin", self.coeffs, self.op, self.bound))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return f"LinearAtom({dict(self.coeffs)!r}, {self.op!r}, {self.bound!r})"
@@ -424,7 +458,7 @@ class LinearAtom(Condition):
 class _NaryCondition(Condition):
     """Shared machinery of :class:`And` / :class:`Or`."""
 
-    __slots__ = ("children",)
+    __slots__ = ("children", "_hash", "_cvars")
     _symbol = "?"
 
     def __init__(self, children: Sequence[Condition]):
@@ -444,13 +478,19 @@ class _NaryCondition(Condition):
                 seen.add(child)
                 uniq.append(child)
         object.__setattr__(self, "children", tuple(uniq))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_cvars", None)
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability
         raise AttributeError("condition nodes are immutable")
 
     def _collect_cvars(self, out: set) -> None:
         for child in self.children:
-            child._collect_cvars(out)
+            cached = getattr(child, "_cvars", None)
+            if cached is not None:
+                out.update(cached)
+            else:
+                child._collect_cvars(out)
 
     def atoms(self):
         for child in self.children:
@@ -460,7 +500,11 @@ class _NaryCondition(Condition):
         return type(self) is type(other) and self.children == other.children
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.children))
+        h = self._hash
+        if h is None:
+            h = hash((type(self).__name__, self.children))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({list(self.children)!r})"
@@ -480,7 +524,10 @@ class And(_NaryCondition):
         return conjoin([c.substitute(mapping) for c in self.children])
 
     def evaluate(self, assignment) -> bool:
-        return all(c.evaluate(assignment) for c in self.children)
+        for c in self.children:
+            if not c.evaluate(assignment):
+                return False
+        return True
 
     def negate(self) -> Condition:
         return disjoin([c.negate() for c in self.children])
@@ -496,7 +543,10 @@ class Or(_NaryCondition):
         return disjoin([c.substitute(mapping) for c in self.children])
 
     def evaluate(self, assignment) -> bool:
-        return any(c.evaluate(assignment) for c in self.children)
+        for c in self.children:
+            if c.evaluate(assignment):
+                return True
+        return False
 
     def negate(self) -> Condition:
         return conjoin([c.negate() for c in self.children])
@@ -505,12 +555,14 @@ class Or(_NaryCondition):
 class Not(Condition):
     """Negation of a compound condition (atoms negate into atoms)."""
 
-    __slots__ = ("child",)
+    __slots__ = ("child", "_hash", "_cvars")
 
     def __init__(self, child: Condition):
         if not isinstance(child, Condition):
             raise TypeError(f"non-condition child {child!r}")
         object.__setattr__(self, "child", child)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_cvars", None)
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability
         raise AttributeError("Not is immutable")
@@ -534,7 +586,11 @@ class Not(Condition):
         return isinstance(other, Not) and self.child == other.child
 
     def __hash__(self) -> int:
-        return hash(("not", self.child))
+        h = self._hash
+        if h is None:
+            h = hash(("not", self.child))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return f"Not({self.child!r})"

@@ -51,12 +51,19 @@ class SlotPickleMixin:
         state = {}
         for cls in type(self).__mro__:
             for name in getattr(cls, "__slots__", ()):
+                # Cached hash values are process-local (string hashing is
+                # randomized per interpreter) and must never cross a
+                # process boundary; cached cvariable sets just bloat the
+                # payload.  The receiver recomputes both lazily.
+                if name in ("_hash", "_cvars"):
+                    continue
                 state[name] = getattr(self, name)
         return state
 
     def __setstate__(self, state) -> None:
-        for name, value in state.items():
-            object.__setattr__(self, name, value)
+        for cls in type(self).__mro__:
+            for name in getattr(cls, "__slots__", ()):
+                object.__setattr__(self, name, state.get(name))
 
 
 class Term(SlotPickleMixin):
@@ -84,7 +91,7 @@ class Constant(Term):
     the paper's Table 2.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value: Value):
         if isinstance(value, Constant):
@@ -94,6 +101,7 @@ class Constant(Term):
         if not isinstance(value, (str, int, float, bool, tuple)):
             raise TypeError(f"unsupported constant payload: {value!r}")
         object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability
         raise AttributeError("Constant is immutable")
@@ -102,7 +110,11 @@ class Constant(Term):
         return isinstance(other, Constant) and self.value == other.value
 
     def __hash__(self) -> int:
-        return hash(("const", self.value))
+        h = self._hash
+        if h is None:
+            h = hash(("const", self.value))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return f"Constant({self.value!r})"
@@ -120,12 +132,13 @@ class CVariable(Term):
     declared separately in a :class:`repro.solver.domains.DomainMap`.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __init__(self, name: str):
         if not isinstance(name, str) or not _NAME_RE.match(name):
             raise ValueError(f"invalid c-variable name: {name!r}")
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability
         raise AttributeError("CVariable is immutable")
@@ -134,7 +147,11 @@ class CVariable(Term):
         return isinstance(other, CVariable) and self.name == other.name
 
     def __hash__(self) -> int:
-        return hash(("cvar", self.name))
+        h = self._hash
+        if h is None:
+            h = hash(("cvar", self.name))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return f"CVariable({self.name!r})"
@@ -150,12 +167,13 @@ class Variable(Term):
     appear inside a stored c-table.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __init__(self, name: str):
         if not isinstance(name, str) or not _NAME_RE.match(name):
             raise ValueError(f"invalid variable name: {name!r}")
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name, value):  # pragma: no cover - immutability
         raise AttributeError("Variable is immutable")
@@ -164,7 +182,11 @@ class Variable(Term):
         return isinstance(other, Variable) and self.name == other.name
 
     def __hash__(self) -> int:
-        return hash(("var", self.name))
+        h = self._hash
+        if h is None:
+            h = hash(("var", self.name))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"

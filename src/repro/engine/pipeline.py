@@ -30,21 +30,33 @@ from .stats import EvalStats, Stopwatch
 __all__ = ["run_lazy", "run_eager", "solver_prune"]
 
 
-def _memo_snapshot(solver: ConditionSolver) -> Tuple[int, int, int]:
+def _memo_snapshot(solver: ConditionSolver) -> Tuple[int, int, int, int, int]:
     s = solver.stats
-    return (s.memo_hits, s.memo_misses, s.canonical_collapses)
+    return (
+        s.memo_hits,
+        s.memo_misses,
+        s.canonical_collapses,
+        s.fast_path_hits,
+        s.fast_path_misses,
+    )
 
 
 def _record_memo_delta(
-    stats: EvalStats, solver: ConditionSolver, before: Tuple[int, int, int]
+    stats: EvalStats,
+    solver: ConditionSolver,
+    before: Tuple[int, int, int, int, int],
 ) -> None:
-    """Fold this phase's shared-memo activity into ``stats.extra``."""
-    hits, misses, collapses = _memo_snapshot(solver)
-    for key, delta in (
-        ("memo_hits", hits - before[0]),
-        ("memo_misses", misses - before[1]),
-        ("canonical_collapses", collapses - before[2]),
-    ):
+    """Fold this phase's memo and fast-path activity into ``stats.extra``."""
+    after = _memo_snapshot(solver)
+    keys = (
+        "memo_hits",
+        "memo_misses",
+        "canonical_collapses",
+        "fast_path_hits",
+        "fast_path_misses",
+    )
+    for key, prev, now in zip(keys, before, after):
+        delta = now - prev
         if delta:
             stats.extra[key] = stats.extra.get(key, 0) + delta
 

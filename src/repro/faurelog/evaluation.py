@@ -53,6 +53,10 @@ class _ConditionIndex:
     def __init__(self) -> None:
         self._by_key: Dict[Tuple[Term, ...], List[Condition]] = {}
         self._canon_by_key: Dict[Tuple[Term, ...], set] = {}
+        # Cache of disjoin(existing) per key, invalidated on record():
+        # is_new is called once per derived tuple, so rebuilding the
+        # disjunction each time dominates dedup cost on wide keys.
+        self._disjoined: Dict[Tuple[Term, ...], Condition] = {}
 
     def is_new(
         self,
@@ -79,7 +83,11 @@ class _ConditionIndex:
         # treats the tuple as new — recording a redundant condition is
         # sound (possible worlds are unchanged), dropping a novel one
         # would lose worlds.
-        return solver.implies_verdict(condition, disjoin(existing)) is not Trivalent.TRUE
+        disjoined = self._disjoined.get(key)
+        if disjoined is None:
+            disjoined = disjoin(existing)
+            self._disjoined[key] = disjoined
+        return solver.implies_verdict(condition, disjoined) is not Trivalent.TRUE
 
     def record(
         self,
@@ -88,6 +96,7 @@ class _ConditionIndex:
         solver: Optional[ConditionSolver] = None,
     ) -> None:
         self._by_key.setdefault(key, []).append(condition)
+        self._disjoined.pop(key, None)
         canon = self._canon_by_key.setdefault(key, set())
         if solver is not None and solver.memo is not None:
             canon.add(solver.canonical(condition))

@@ -23,6 +23,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence,
 from ..ctable.condition import Condition, LinearAtom, TRUE, conjoin, eq
 from ..ctable.table import CTable, CTuple, Database
 from ..ctable.terms import Constant, CVariable
+from ..engine.pipeline import _memo_snapshot, _record_memo_delta
 from ..engine.stats import EvalStats
 from ..faurelog.ast import Atom, Literal, Program, Rule
 from ..faurelog.evaluation import FaureEvaluator
@@ -71,7 +72,10 @@ def run_pattern_query(
         body.append(query.pattern)
     rule = Rule(Atom(query.name, args), body)
     evaluator = FaureEvaluator(reach_db, solver=solver, storage=storage)
+    before = _memo_snapshot(solver) if solver is not None else None
     result = evaluator.evaluate(Program([rule]))
+    if before is not None:
+        _record_memo_delta(evaluator.stats, solver, before)
     return result.table(query.name), evaluator.stats
 
 
@@ -183,7 +187,10 @@ class ReachabilityAnalyzer:
 
         program = reachability_program(self.forwarding, "R", self.per_flow)
         evaluator = FaureEvaluator(self.database, solver=self.solver)
+        before = _memo_snapshot(self.solver) if self.solver is not None else None
         self._reach_db = evaluator.evaluate(program)
+        if before is not None:
+            _record_memo_delta(evaluator.stats, self.solver, before)
         self._reach_storage = Storage(self._reach_db)
         self.stats.add(evaluator.stats)
         if self.checkpoint is not None:
@@ -338,6 +345,7 @@ class ReachabilityAnalyzer:
                 GovernorSpec.from_governor(governor),
                 self.solver.enumeration_limit,
                 self.solver.memo is not None,
+                self.solver.fast_path,
             )
 
         start = time.perf_counter()

@@ -74,6 +74,8 @@ _FOLD_FIELDS = (
     "memo_hits",
     "memo_misses",
     "canonical_collapses",
+    "fast_path_hits",
+    "fast_path_misses",
 )
 
 
@@ -215,6 +217,7 @@ def _decide_residual_parallel(
             spec,
             solver.enumeration_limit,
             solver.memo is not None,
+            solver.fast_path,
         )
 
     executor = executor or SupervisedExecutor(jobs)

@@ -61,6 +61,8 @@ _STAT_FIELDS = (
     "memo_hits",
     "memo_misses",
     "canonical_collapses",
+    "fast_path_hits",
+    "fast_path_misses",
     "time_seconds",
 )
 
@@ -85,12 +87,13 @@ _PRUNE_STATE: Dict[str, Any] = {}
 
 
 def init_prune_worker(domains, spec: Optional[GovernorSpec], enumeration_limit: int,
-                      memo_enabled: bool) -> None:
+                      memo_enabled: bool, fast_path: bool = True) -> None:
     _PRUNE_STATE.update(
         domains=domains,
         spec=spec,
         enumeration_limit=enumeration_limit,
         memo_enabled=memo_enabled,
+        fast_path=fast_path,
     )
 
 
@@ -114,6 +117,7 @@ def run_prune_shard(shard: List[Tuple[int, Any, Optional[tuple]]]) -> Dict[str, 
         _PRUNE_STATE["enumeration_limit"],
         governor=governor,
         memo=_worker_memo(_PRUNE_STATE["memo_enabled"]),
+        fast_path=_PRUNE_STATE.get("fast_path", True),
     )
     verdicts = []
     error = None
@@ -142,7 +146,7 @@ _PATTERN_STATE: Dict[str, Any] = {}
 
 def init_pattern_worker(reach_db, domains, per_flow: bool,
                         spec: Optional[GovernorSpec], enumeration_limit: int,
-                        memo_enabled: bool) -> None:
+                        memo_enabled: bool, fast_path: bool = True) -> None:
     from ..engine.storage import Storage
 
     _PATTERN_STATE.update(
@@ -154,6 +158,7 @@ def init_pattern_worker(reach_db, domains, per_flow: bool,
         enumeration_limit=enumeration_limit,
         memo_enabled=memo_enabled,
         memo=_worker_memo(memo_enabled),
+        fast_path=fast_path,
     )
 
 
@@ -177,6 +182,7 @@ def run_pattern_task(task) -> Dict[str, Any]:
         _PATTERN_STATE["enumeration_limit"],
         governor=governor,
         memo=_PATTERN_STATE["memo"],  # warm within one worker across tasks
+        fast_path=_PATTERN_STATE.get("fast_path", True),
     )
     table, stats = run_pattern_query(
         _PATTERN_STATE["reach_db"],
@@ -201,7 +207,7 @@ _VERIFY_STATE: Dict[str, Any] = {}
 def init_verify_worker(known, schemas, column_domains, generic_rows,
                        budget_retries, budget_growth, domains,
                        enumeration_limit: int, spec: Optional[GovernorSpec],
-                       memo_enabled: bool) -> None:
+                       memo_enabled: bool, fast_path: bool = True) -> None:
     _VERIFY_STATE.update(
         known=known,
         schemas=schemas,
@@ -214,6 +220,7 @@ def init_verify_worker(known, schemas, column_domains, generic_rows,
         spec=spec,
         memo_enabled=memo_enabled,
         memo=_worker_memo(memo_enabled),
+        fast_path=fast_path,
     )
 
 
@@ -240,6 +247,7 @@ def run_verify_task(task) -> Any:
         _VERIFY_STATE["enumeration_limit"],
         governor=governor,
         memo=_VERIFY_STATE["memo"],
+        fast_path=_VERIFY_STATE.get("fast_path", True),
     )
     verifier = RelativeCompleteVerifier(
         _VERIFY_STATE["known"],

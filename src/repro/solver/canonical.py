@@ -48,6 +48,7 @@ from ..ctable.condition import (
     FALSE,
     FalseCond,
     LinearAtom,
+    NEGATED_OP,
     Not,
     Op,
     Or,
@@ -123,13 +124,16 @@ def _is_numeric(value) -> bool:
 
 def _comparable(values: Sequence) -> bool:
     """True when order reasoning over these constants is well-defined."""
-    if not values:
-        return True
-    if all(_is_numeric(v) for v in values):
-        return True
-    if all(isinstance(v, str) for v in values):
-        return True
-    return False
+    all_numeric = True
+    all_str = True
+    for v in values:
+        if all_numeric and not isinstance(v, (int, float)):
+            all_numeric = False
+        if all_str and not isinstance(v, str):
+            all_str = False
+        if not all_numeric and not all_str:
+            return False
+    return True
 
 
 def _cmp(op: Op, a, b) -> bool:
@@ -200,6 +204,11 @@ class _Group:
 
     def tighten_and(self) -> Optional[List[Condition]]:
         """The tightened conjuncts for this variable; ``None`` means ⊥."""
+        if len(self.eqs) == 1 and not self.neqs and not self.lowers and not self.uppers:
+            # Dominant shape — one pinned equality.  The comparable and
+            # the generic paths both reduce to exactly this atom, so the
+            # classification work can be skipped outright.
+            return [self._atom("=", self.eqs[0])]
         if not _comparable(self.values()):
             return self._generic_and()
         if len(self.eqs) >= 2:
@@ -385,16 +394,32 @@ def _assemble(
         else:
             flat.append(child)
 
-    # Dedup structurally, then detect complementary atom pairs.
+    # Dedup structurally, then detect complementary atom pairs.  For
+    # comparisons the complement test runs on (op, lhs, rhs) key tuples
+    # — same structural identity as ``child.negate() in seen`` without
+    # constructing a fresh negated atom per literal.
     seen = set()
+    cmp_keys = set()
+    lin_keys = set()
     uniq: List[Condition] = []
     for child in flat:
         if child not in seen:
             seen.add(child)
             uniq.append(child)
+            if isinstance(child, Comparison):
+                cmp_keys.add((child.op, child.lhs, child.rhs))
+            elif isinstance(child, LinearAtom):
+                lin_keys.add((child.coeffs, child.op, child.bound))
     for child in uniq:
-        if isinstance(child, (Comparison, LinearAtom)) and child.negate() in seen:
-            return short  # a ∧ ¬a → ⊥ / a ∨ ¬a → ⊤
+        if isinstance(child, Comparison):
+            if (NEGATED_OP[child.op], child.lhs, child.rhs) in cmp_keys:
+                return short  # a ∧ ¬a → ⊥ / a ∨ ¬a → ⊤
+        elif isinstance(child, LinearAtom):
+            # Same structural identity as ``child.negate() in seen``
+            # (negate flips only the operator) without rebuilding the
+            # normalized atom per literal.
+            if (child.coeffs, NEGATED_OP[child.op], child.bound) in lin_keys:
+                return short
 
     # Per-variable literal tightening over var-op-constant comparisons.
     groups: Dict[CVariable, _Group] = {}

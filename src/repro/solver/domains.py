@@ -33,6 +33,10 @@ class Domain:
         """Enumerate the domain (finite domains only)."""
         raise NotImplementedError
 
+    def raw_values(self) -> Tuple:
+        """Enumerate the domain as raw payloads (finite domains only)."""
+        return tuple(const.value for const in self.values())
+
     def contains(self, value) -> bool:
         """Membership test for a raw Python value."""
         raise NotImplementedError
@@ -45,7 +49,7 @@ class Domain:
 class FiniteDomain(Domain):
     """An explicit finite set of values."""
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_raw", "_raw_set", "numeric", "_sorted_raw")
 
     def __init__(self, values: Iterable):
         vals = []
@@ -58,6 +62,21 @@ class FiniteDomain(Domain):
         if not vals:
             raise ValueError("finite domain must be non-empty")
         self._values: Tuple[Constant, ...] = tuple(vals)
+        self._raw: Tuple = tuple(const.value for const in self._values)
+        # O(1) membership for the solver's candidate scans.  Hash
+        # equality coincides with ``==`` for the payload types Constant
+        # admits (equal values hash equal across int/float/bool).
+        self._raw_set: FrozenSet = frozenset(self._raw)
+        numeric = True
+        for v in self._raw:
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                numeric = False
+                break
+        #: Whether every payload is a non-bool number (solver fast path).
+        self.numeric: bool = numeric
+        self._sorted_raw: Tuple = (
+            tuple(sorted(self._raw)) if numeric and len(self._raw) > 1 else self._raw
+        )
 
     @property
     def is_finite(self) -> bool:
@@ -66,9 +85,24 @@ class FiniteDomain(Domain):
     def values(self) -> Tuple[Constant, ...]:
         return self._values
 
+    def raw_values(self) -> Tuple:
+        return self._raw
+
     def contains(self, value) -> bool:
         const = value if isinstance(value, Constant) else Constant(value)
         return const in self._values
+
+    def admits_raw(self, value) -> bool:
+        """``==``-membership for a raw payload, set-backed when hashable."""
+        try:
+            return value in self._raw_set
+        except TypeError:  # unhashable payload: fall back to the == scan
+            return value in self._raw
+
+    def sorted_raw(self) -> Tuple:
+        """Raw payloads, ascending when all-numeric (declaration order
+        otherwise) — the candidate order the solver fast path expects."""
+        return self._sorted_raw
 
     def size(self) -> int:
         return len(self._values)
@@ -86,20 +120,29 @@ class FiniteDomain(Domain):
 class IntRange(Domain):
     """Integers in ``[lo, hi]`` inclusive — finite, but compactly stored."""
 
-    __slots__ = ("lo", "hi")
+    __slots__ = ("lo", "hi", "_cached", "_raw_cached")
 
     def __init__(self, lo: int, hi: int):
         if lo > hi:
             raise ValueError(f"empty integer range [{lo}, {hi}]")
         self.lo = int(lo)
         self.hi = int(hi)
+        self._cached: Optional[Tuple[Constant, ...]] = None
+        self._raw_cached: Optional[Tuple] = None
 
     @property
     def is_finite(self) -> bool:
         return True
 
     def values(self) -> Tuple[Constant, ...]:
-        return tuple(Constant(i) for i in range(self.lo, self.hi + 1))
+        if self._cached is None:
+            self._cached = tuple(Constant(i) for i in range(self.lo, self.hi + 1))
+        return self._cached
+
+    def raw_values(self) -> Tuple:
+        if self._raw_cached is None:
+            self._raw_cached = tuple(range(self.lo, self.hi + 1))
+        return self._raw_cached
 
     def contains(self, value) -> bool:
         if isinstance(value, Constant):

@@ -6,12 +6,15 @@ with unsatisfiable conditions), implication (condition subsumption during
 fixpoint dedup and containment checking), equivalence, model enumeration
 (the possible-worlds oracle), and simplification.
 
-Routing: conditions whose c-variables all carry finite domains of
-tractable product size go through exact enumeration; everything else
-through the DPLL(T) branch-and-check driver.  Verdicts are cached per
-condition, and wall-clock spent inside the solver is accounted in
-:class:`SolverStats` so the benchmark harness can report the paper's
-"sql time vs Z3 time" split.
+Routing — the decision ladder: the interval/atom semi-decision fast
+path (:func:`repro.solver.atoms.fast_sat`) answers definite SAT/UNSAT
+on the common-case conditions without search; on a miss, conditions
+whose c-variables all carry finite domains of tractable product size go
+through exact enumeration; everything else through the DPLL(T)
+branch-and-check driver.  Verdicts are cached per condition, and
+wall-clock spent inside the solver is accounted in :class:`SolverStats`
+so the benchmark harness can report the paper's "sql time vs Z3 time"
+split.
 
 Resource governance: when a
 :class:`~repro.robustness.governor.Governor` is attached, every
@@ -32,7 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..ctable.condition import (
     And,
@@ -48,6 +51,7 @@ from ..ctable.terms import Constant, CVariable
 from ..robustness.errors import BudgetExceeded, ConditionTooLarge, SolverFailure
 from ..robustness.governor import Governor
 from ..robustness.verdict import Trivalent, Verdict
+from .atoms import fast_implies, fast_sat
 from .domains import DomainMap
 from .dpll import is_satisfiable_dpll
 from .enumerate import Assignment, count_models, find_model, iter_models
@@ -82,6 +86,11 @@ class SolverStats:
     memo_hits: int = 0
     memo_misses: int = 0
     canonical_collapses: int = 0
+    #: Interval/atom fast-path accounting: decisions the semi-decision
+    #: procedure settled outright vs. ones that fell through to the
+    #: complete backends (enumeration/DPLL).
+    fast_path_hits: int = 0
+    fast_path_misses: int = 0
 
     def reset(self) -> None:
         self.sat_calls = 0
@@ -96,11 +105,14 @@ class SolverStats:
         self.memo_hits = 0
         self.memo_misses = 0
         self.canonical_collapses = 0
+        self.fast_path_hits = 0
+        self.fast_path_misses = 0
 
     @property
     def decisions(self) -> int:
-        """Backend decision-procedure invocations (the expensive part)."""
-        return self.enumeration_used + self.dpll_used
+        """Decision-procedure invocations that had to *compute* a verdict
+        (fast-path, enumeration, or DPLL) rather than serve a cache."""
+        return self.enumeration_used + self.dpll_used + self.fast_path_hits
 
 
 class ConditionSolver:
@@ -123,6 +135,13 @@ class ConditionSolver:
         pipeline run shares one warm cache; pass an explicit table to
         scope sharing, or ``None`` (CLI: ``--no-memo``) to disable
         canonicalization and cross-solver sharing entirely.
+    fast_path:
+        Enable the interval/atom semi-decision fast path
+        (:func:`repro.solver.atoms.fast_sat`) as the first tier of the
+        decision ladder.  ``False`` (CLI: ``--no-fast-path``) routes
+        every decision straight to enumeration/DPLL; verdicts are
+        byte-identical either way — the fast path only answers when its
+        answer is provably the one the complete backends would give.
     """
 
     def __init__(
@@ -131,13 +150,16 @@ class ConditionSolver:
         enumeration_limit: int = 1 << 20,
         governor: Optional[Governor] = None,
         memo=SHARED_MEMO,
+        fast_path: bool = True,
     ):
         self.domains = domains if domains is not None else DomainMap()
         self.enumeration_limit = enumeration_limit
         self.governor = governor
         self.memo: Optional[MemoTable] = shared_memo() if memo is SHARED_MEMO else memo
+        self.fast_path = fast_path
         self.stats = SolverStats()
         self._sat_cache: Dict[Condition, bool] = {}
+        self._implies_cache: Dict[Tuple[Condition, Condition], Trivalent] = {}
 
     def canonical(self, condition: Condition) -> Condition:
         """The interned canonical form (the input when memoization is off)."""
@@ -267,17 +289,32 @@ class ConditionSolver:
         return None
 
     def _decide_sat(self, condition: Condition) -> bool:
-        """Two-stage decision with governed escalation.
+        """The decision ladder, with governed escalation.
 
-        Stage 1 — exact enumeration when every domain is finite and the
+        Tier 0 — the interval/atom semi-decision fast path: equality
+        chains, pooled intervals, and unit-coefficient linear atoms
+        settle the common case without search (definite verdicts only;
+        a miss costs one linear scan).  It runs *after*
+        ``begin_solver_call`` so call budgets and injected-fault
+        schedules are identical with the fast path on or off.
+        Tier 1 — exact enumeration when every domain is finite and the
         product is tractable, under half the per-call step budget.
-        Stage 2 — on a stage-1 step-budget exhaustion, *fall over* to
+        Tier 2 — on a tier-1 step-budget exhaustion, *fall over* to
         the DPLL(T) driver with the remaining budget (its theory-guided
         pruning often decides instances enumeration cannot).  A failure
         in the final stage propagates to :meth:`sat_verdict`.
         """
         gov = self.governor
         ticket = gov.begin_solver_call(condition) if gov is not None else None
+        if self.fast_path:
+            # The memoized path hands us the canonical form already.
+            verdict = fast_sat(
+                condition, self.domains, assume_canonical=self.memo is not None
+            )
+            if verdict is not None:
+                self.stats.fast_path_hits += 1
+                return verdict
+            self.stats.fast_path_misses += 1
         cvars = condition.cvariables()
         size = self.domains.enumeration_size(cvars)
         if size is not None and size <= self.enumeration_limit:
@@ -319,6 +356,29 @@ class ConditionSolver:
             return Trivalent.TRUE
         if antecedent == consequent:
             return Trivalent.TRUE
+        # Raw-pair cache (the implication analogue of ``_sat_cache``):
+        # the fixpoint dedup loop re-asks identical pairs every round a
+        # tuple is re-derived, so definite answers are replayed without
+        # touching the fast path, memo, or backends.
+        raw_pair = (antecedent, consequent)
+        cached_pair = self._implies_cache.get(raw_pair)
+        if cached_pair is not None:
+            self.stats.cache_hits += 1
+            return cached_pair
+        # Tier 0 — the fast path on the *raw* pair: a forced antecedent
+        # assignment decides entailment with two evaluations, skipping
+        # canonicalization of both sides and of the conjoined refutation
+        # condition (the dominant cost of the c-table dedup hot path).
+        if self.fast_path:
+            start = time.perf_counter()
+            fast = fast_implies(antecedent, consequent, self.domains)
+            self.stats.time_seconds += time.perf_counter() - start
+            if fast is not None:
+                self.stats.fast_path_hits += 1
+                result = Trivalent.TRUE if fast else Trivalent.FALSE
+                self._implies_cache[raw_pair] = result
+                return result
+            self.stats.fast_path_misses += 1
         memo = self.memo
         memo_key = None
         if memo is not None:
@@ -335,24 +395,30 @@ class ConditionSolver:
             canon_a = memo.canonical(antecedent)
             canon_b = memo.canonical(consequent)
             if canon_a is canon_b or canon_a == canon_b:
+                self._implies_cache[raw_pair] = Trivalent.TRUE
                 return Trivalent.TRUE
             if isinstance(canon_b, TrueCond) or isinstance(canon_a, FalseCond):
+                self._implies_cache[raw_pair] = Trivalent.TRUE
                 return Trivalent.TRUE
             memo_key = memo.implies_key(canon_a, canon_b, self.domains)
             hit = memo.get(memo_key)
             if hit is not None:
                 self.stats.memo_hits += 1
-                return Trivalent.TRUE if hit else Trivalent.FALSE
+                result = Trivalent.TRUE if hit else Trivalent.FALSE
+                self._implies_cache[raw_pair] = result
+                return result
             self.stats.memo_misses += 1
             antecedent, consequent = canon_a, canon_b
         verdict = self.sat_verdict(conjoin([antecedent, consequent.negate()]))
         if verdict is Verdict.UNSAT:
             if memo_key is not None:
                 memo.put(memo_key, True)
+            self._implies_cache[raw_pair] = Trivalent.TRUE
             return Trivalent.TRUE
         if verdict is Verdict.SAT:
             if memo_key is not None:
                 memo.put(memo_key, False)
+            self._implies_cache[raw_pair] = Trivalent.FALSE
             return Trivalent.FALSE
         return Trivalent.UNKNOWN
 
@@ -449,5 +515,9 @@ class ConditionSolver:
     def with_domains(self, domains: DomainMap) -> "ConditionSolver":
         """A sibling solver over different domain declarations."""
         return ConditionSolver(
-            domains, self.enumeration_limit, governor=self.governor, memo=self.memo
+            domains,
+            self.enumeration_limit,
+            governor=self.governor,
+            memo=self.memo,
+            fast_path=self.fast_path,
         )

@@ -294,6 +294,7 @@ class RelativeCompleteVerifier:
                 self.solver.enumeration_limit,
                 GovernorSpec.from_governor(governor),
                 self.solver.memo is not None,
+                self.solver.fast_path,
             )
 
         results = executor.map(

@@ -1,0 +1,152 @@
+"""Property-based tests for the interval/atom semi-decision procedure.
+
+:mod:`repro.solver.atoms` may answer ``None`` whenever it likes, but a
+``True``/``False`` is a claim of proof.  Hypothesis hunts for inputs
+where a claim disagrees with the exact enumeration backend, plus the
+algebraic invariants the procedure leans on: permutation-invariance of
+equality chains, satisfiability-preservation of interval splits, and
+the mutual exclusion of ``prove_unsat`` / ``prove_valid``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ctable.condition import (
+    TRUE,
+    Comparison,
+    Condition,
+    LinearAtom,
+    conjoin,
+    disjoin,
+    eq,
+)
+from repro.ctable.terms import Constant, CVariable
+from repro.solver.atoms import fast_implies, fast_sat, prove_unsat, prove_valid
+from repro.solver.domains import DomainMap, FiniteDomain, IntRange
+from repro.solver.enumerate import is_satisfiable_enum
+
+VARS = [CVariable(f"v{i}") for i in range(4)]
+VALUES = [0, 1, 2]
+DOMAINS = DomainMap({v: FiniteDomain(VALUES) for v in VARS})
+
+
+def atoms() -> st.SearchStrategy[Condition]:
+    comparison = st.builds(
+        Comparison,
+        st.sampled_from(VARS),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.one_of(
+            st.sampled_from(VARS),
+            st.sampled_from([Constant(v) for v in VALUES + [-1, 3]]),
+        ),
+    )
+    linear = st.builds(
+        lambda vs, op, bound: LinearAtom(list(vs), op, bound),
+        st.lists(st.sampled_from(VARS), min_size=1, max_size=3, unique=True),
+        st.sampled_from(["=", "!=", "<=", ">="]),
+        st.integers(min_value=-1, max_value=7),
+    )
+    return st.one_of(comparison, linear)
+
+
+def conditions(depth: int = 2) -> st.SearchStrategy[Condition]:
+    if depth == 0:
+        return atoms()
+    sub = conditions(depth - 1)
+    return st.one_of(
+        atoms(),
+        st.builds(conjoin, st.lists(sub, min_size=1, max_size=3)),
+        st.builds(disjoin, st.lists(sub, min_size=1, max_size=3)),
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(conditions())
+def test_fast_sat_sound_vs_enumeration(cond):
+    fast = fast_sat(cond, DOMAINS)
+    if fast is not None:
+        assert fast == is_satisfiable_enum(cond, DOMAINS)
+
+
+@settings(max_examples=100, deadline=None)
+@given(conditions(), conditions())
+def test_fast_implies_sound_vs_enumeration(antecedent, consequent):
+    fast = fast_implies(antecedent, consequent, DOMAINS)
+    if fast is not None:
+        # a ⊨ b  ⟺  a ∧ ¬b is unsatisfiable.
+        refutation = conjoin([antecedent, consequent.negate()])
+        assert fast == (not is_satisfiable_enum(refutation, DOMAINS))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.permutations(
+        [eq(VARS[0], VARS[1]), eq(VARS[1], VARS[2]), eq(VARS[2], VARS[3])]
+    ),
+    st.lists(atoms(), min_size=0, max_size=3),
+)
+def test_equality_chain_union_order_independent(chain, extra):
+    """Union-find must not care which order the chain arrives in."""
+    reference = fast_sat(conjoin(list(chain) + extra), DOMAINS)
+    reordered = fast_sat(conjoin(extra + list(reversed(chain))), DOMAINS)
+    if reference is not None and reordered is not None:
+        assert reference == reordered
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=0, max_value=8),
+    st.lists(atoms(), min_size=0, max_size=2),
+)
+def test_interval_split_preserves_satisfiability(a, b, c, extra):
+    """``lo ≤ v ≤ hi`` ⟺ split at any interior point — same verdict."""
+    lo, mid, hi = sorted((a, b, c))
+    v = VARS[0]
+    domains = DomainMap({v: IntRange(0, 8)})
+    for var in VARS[1:]:
+        domains.declare(var, FiniteDomain(VALUES))
+    whole = conjoin(
+        [Comparison(v, ">=", Constant(lo)), Comparison(v, "<=", Constant(hi))] + extra
+    )
+    split = disjoin(
+        [
+            conjoin(
+                [
+                    Comparison(v, ">=", Constant(lo)),
+                    Comparison(v, "<", Constant(mid)),
+                ]
+                + extra
+            ),
+            conjoin(
+                [
+                    Comparison(v, ">=", Constant(mid)),
+                    Comparison(v, "<=", Constant(hi)),
+                ]
+                + extra
+            ),
+        ]
+    )
+    assert is_satisfiable_enum(whole, domains) == is_satisfiable_enum(split, domains)
+    fast_whole = fast_sat(whole, domains)
+    fast_split = fast_sat(split, domains)
+    for fast in (fast_whole, fast_split):
+        if fast is not None:
+            assert fast == is_satisfiable_enum(whole, domains)
+
+
+@settings(max_examples=150, deadline=None)
+@given(conditions())
+def test_prove_unsat_prove_valid_mutually_exclusive(cond):
+    unsat, valid = prove_unsat(cond), prove_valid(cond)
+    assert not (unsat and valid)
+    # Domain-free claims must hold over the finite test domains too.
+    if unsat:
+        assert not is_satisfiable_enum(cond, DOMAINS)
+    if valid:
+        assert not is_satisfiable_enum(cond.negate(), DOMAINS)
+
+
+def test_prove_valid_trivial():
+    assert prove_valid(TRUE)
+    assert prove_unsat(TRUE.negate())

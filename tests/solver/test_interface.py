@@ -34,13 +34,30 @@ class TestSat:
         assert bools.is_satisfiable(TRUE)
         assert not bools.is_satisfiable(FALSE)
 
-    def test_enumeration_route(self, bools):
+    def test_enumeration_route(self):
+        # fast_path=False: this test pins the *backend* routing.
+        bools = ConditionSolver(
+            DomainMap({X: BOOL_DOMAIN, Y: BOOL_DOMAIN, Z: BOOL_DOMAIN}),
+            fast_path=False,
+        )
         assert bools.is_satisfiable(LinearAtom([X, Y, Z], "=", 2))
         assert not bools.is_satisfiable(LinearAtom([X, Y, Z], "=", 5))
         assert bools.stats.enumeration_used > 0
         assert bools.stats.dpll_used == 0
 
-    def test_dpll_route(self, unbounded):
+    def test_fast_path_route(self, bools):
+        # The same decisions with the fast path on: no backend at all.
+        assert bools.is_satisfiable(LinearAtom([X, Y, Z], "=", 2))
+        assert not bools.is_satisfiable(LinearAtom([X, Y, Z], "=", 5))
+        assert bools.stats.fast_path_hits == 2
+        assert bools.stats.enumeration_used == 0
+        assert bools.stats.dpll_used == 0
+        assert bools.stats.decisions == 2
+
+    def test_dpll_route(self):
+        unbounded = ConditionSolver(
+            DomainMap(default=Unbounded("any")), fast_path=False
+        )
         assert unbounded.is_satisfiable(eq(X, "a"))
         assert unbounded.stats.dpll_used > 0
 
@@ -53,7 +70,7 @@ class TestSat:
 
     def test_enumeration_limit_falls_back_to_dpll(self):
         domains = DomainMap({X: FiniteDomain(list(range(100))), Y: FiniteDomain(list(range(100)))})
-        solver = ConditionSolver(domains, enumeration_limit=10)
+        solver = ConditionSolver(domains, enumeration_limit=10, fast_path=False)
         assert solver.is_satisfiable(eq(X, Y))
         assert solver.stats.dpll_used == 1
 

@@ -37,19 +37,23 @@ class TestSharing:
         assert second.stats.decisions == 0
 
     def test_implies_memoized_on_canonical_pair(self):
+        # fast_path=False: this test pins the canonical-pair memo route
+        # (with the fast path on, tier 0 answers before the memo).
         memo = MemoTable()
         a = Comparison(X, ">=", Constant(3))
         b = Comparison(X, ">=", Constant(1))
-        first = ConditionSolver(DOMAINS, memo=memo)
+        first = ConditionSolver(DOMAINS, memo=memo, fast_path=False)
         assert first.implies_verdict(a, b) is Trivalent.TRUE
-        second = ConditionSolver(DOMAINS, memo=memo)
+        second = ConditionSolver(DOMAINS, memo=memo, fast_path=False)
         assert second.implies_verdict(a, b) is Trivalent.TRUE
         assert second.stats.decisions == 0
         assert second.stats.memo_hits >= 1
 
     def test_equivalent_pair_settled_without_solver(self):
+        # fast_path=False: this test pins the canonical-equality route
+        # (with the fast path on, tier 0 answers first and counts a hit).
         memo = MemoTable()
-        solver = ConditionSolver(DOMAINS, memo=memo)
+        solver = ConditionSolver(DOMAINS, memo=memo, fast_path=False)
         a = conjoin([eq(X, 5), Comparison(X, ">=", Constant(3))])
         assert solver.implies_verdict(a, eq(X, 5)) is Trivalent.TRUE
         assert solver.stats.decisions == 0
