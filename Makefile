@@ -7,7 +7,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src $(PYTHON)
 
-.PHONY: install test test-oracle test-robustness test-chaos test-serve bench bench-memo bench-incremental bench-tables bench-smoke examples lint-programs typecheck lint-self clean
+.PHONY: install test test-oracle test-robustness test-chaos test-serve test-dataflow bench bench-memo bench-incremental bench-tables bench-smoke examples lint-programs lint-sarif typecheck lint-self clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -66,6 +66,24 @@ bench-tables:
 bench-smoke:
 	$(RUN) benchmarks/bench_table4.py --jobs 2 --sizes 20
 	$(RUN) benchmarks/report.py --smoke --sizes 20
+
+# static-optimizer gate: ≥300 seeded random programs must render
+# byte-identical bytes with the optimizer on vs. off (incl. under fault
+# injection), every F016/F017 finding is validated against the
+# world-enumeration oracle (see docs/ANALYSIS.md §dataflow).
+test-dataflow:
+	$(RUN) -m pytest tests/analysis/test_dataflow_oracle.py -q
+
+# SARIF 2.1.0 lint log over the bundled programs (CI annotation surface);
+# jq-less validation: the log must parse as JSON and carry a runs[] array.
+lint-sarif:
+	$(RUN) -m repro lint examples/programs/*.fl \
+		tests/fixtures/programs/clean/*.fl \
+		tests/fixtures/programs/warn/*.fl \
+		--format sarif > lint.sarif
+	$(PYTHON) -c "import json; log = json.load(open('lint.sarif')); \
+		assert log['version'] == '2.1.0' and log['runs'], 'bad SARIF log'; \
+		print('lint.sarif:', len(log['runs'][0]['results']), 'result(s)')"
 
 # static analysis gate over every bundled fauré-log program: the clean
 # and warn fixture sets plus the example programs must carry no

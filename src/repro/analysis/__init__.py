@@ -11,10 +11,23 @@ decided by a sound, solver-free abstract domain
 :mod:`~repro.analysis.sorts`; cardinalities estimated by
 :mod:`~repro.analysis.cost`.
 
+The whole-program half lives in :mod:`~repro.analysis.dataflow` (the
+abstract interpreter over the rule dependency graph) and
+:mod:`~repro.analysis.optimize` (the ``--optimize`` pass deriving domain
+narrowing, query-driven relevance slicing, and static condition
+classification from it).
+
 See docs/ANALYSIS.md for the code catalog and the soundness argument.
 """
 
 from .abstract import AbstractResult, abstract_sat, prove_unsat, prove_valid
+from .dataflow import (
+    AbstractValue,
+    DataflowResult,
+    NarrowingResult,
+    analyze,
+    narrow_domains,
+)
 from .diagnostics import (
     CODES,
     CodeInfo,
@@ -22,24 +35,41 @@ from .diagnostics import (
     Severity,
     filter_diagnostics,
     render_json,
+    render_sarif,
     render_text,
 )
 from .manager import DEFAULT_PASSES, PassManager, analyze_program, analyze_text
+from .optimize import (
+    ConditionPrecheck,
+    OptimizationResult,
+    optimize_program,
+    sequence_transforms_allowed,
+)
 
 __all__ = [
     "AbstractResult",
     "abstract_sat",
     "prove_unsat",
     "prove_valid",
+    "AbstractValue",
+    "DataflowResult",
+    "NarrowingResult",
+    "analyze",
+    "narrow_domains",
     "CODES",
     "CodeInfo",
     "Diagnostic",
     "Severity",
     "filter_diagnostics",
     "render_json",
+    "render_sarif",
     "render_text",
     "DEFAULT_PASSES",
     "PassManager",
     "analyze_program",
     "analyze_text",
+    "ConditionPrecheck",
+    "OptimizationResult",
+    "optimize_program",
+    "sequence_transforms_allowed",
 ]

@@ -32,7 +32,7 @@ from ..engine.algebra import (
     Selection,
     Union,
 )
-from ..faurelog.ast import Program, Rule
+from ..faurelog.ast import Literal, Program, Rule
 
 __all__ = [
     "EQUALITY_SELECTIVITY",
@@ -103,7 +103,7 @@ def estimate_rows(node: PlanNode, db: Database) -> Optional[float]:
     return None
 
 
-def _shares_terms(a, b) -> bool:
+def _shares_terms(a: Literal, b: Literal) -> bool:
     terms_a = set(a.atom.variables()) | set(a.atom.cvariables())
     terms_b = set(b.atom.variables()) | set(b.atom.cvariables())
     return bool(terms_a & terms_b)
@@ -126,7 +126,7 @@ def estimate_rule_cost(
     if not positives:
         return 1.0
 
-    def size_of(lit) -> float:
+    def size_of(lit: Literal) -> float:
         return float(sizes.get(lit.predicate, DEFAULT_RELATION_SIZE))
 
     acc = size_of(positives[0])

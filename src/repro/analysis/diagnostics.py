@@ -28,6 +28,7 @@ __all__ = [
     "filter_diagnostics",
     "render_text",
     "render_json",
+    "render_sarif",
 ]
 
 
@@ -74,6 +75,11 @@ CODES: Dict[str, CodeInfo] = {
         CodeInfo("F013", Severity.WARNING, "order comparison over non-numeric sort"),
         CodeInfo("F014", Severity.WARNING, "rule joins relations with no shared variables (cross product)"),
         CodeInfo("F015", Severity.INFO, "static cost estimate"),
+        CodeInfo("F016", Severity.WARNING, "rule unreachable under the declared domains"),
+        CodeInfo("F017", Severity.WARNING, "vacuous condition: conjunct holds in every world"),
+        CodeInfo("F018", Severity.INFO, "domain narrowed by static analysis"),
+        CodeInfo("F019", Severity.INFO, "rule sliced: irrelevant to the requested query"),
+        CodeInfo("F020", Severity.INFO, "widening applied during the dataflow fixpoint"),
     )
 }
 
@@ -204,3 +210,66 @@ def render_text(diagnostics: Sequence[Diagnostic]) -> str:
 def render_json(diagnostics: Sequence[Diagnostic]) -> str:
     """The findings as a JSON array (stable key order)."""
     return json.dumps([d.to_dict() for d in diagnostics], indent=2, sort_keys=True)
+
+
+_SARIF_LEVEL = {"info": "note", "warning": "warning", "error": "error"}
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic], tool_version: str = "0.1.0") -> str:
+    """The findings as a SARIF 2.1.0 log (for CI annotation surfaces).
+
+    Every code the run *could* emit is listed under ``rules`` so viewers
+    can show titles for clean runs too; results reference rules by id.
+    Spans map to one-based ``startLine``/``startColumn`` with the
+    half-open end column SARIF expects (exclusive ``endColumn``).
+    """
+    rules = [
+        {
+            "id": info.code,
+            "shortDescription": {"text": info.title},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVEL[str(info.default_severity)]
+            },
+        }
+        for info in CODES.values()
+    ]
+    results: List[Dict[str, object]] = []
+    for diag in diagnostics:
+        result: Dict[str, object] = {
+            "ruleId": diag.code,
+            "level": _SARIF_LEVEL[str(diag.severity)],
+            "message": {"text": diag.message},
+        }
+        location: Dict[str, object] = {}
+        if diag.file:
+            location["artifactLocation"] = {"uri": diag.file}
+        if diag.span is not None:
+            location["region"] = {
+                "startLine": diag.span.line,
+                "startColumn": diag.span.col,
+                "endLine": diag.span.end_line,
+                "endColumn": diag.span.end_col,
+            }
+        if location:
+            result["locations"] = [{"physicalLocation": location}]
+        if diag.rule:
+            result["properties"] = {"rule": diag.rule}
+        results.append(result)
+    log = {
+        "version": "2.1.0",
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://github.com/faure-repro/repro",
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -64,7 +64,7 @@ def _sort_key(diag: Diagnostic) -> Tuple:
 class PassManager:
     """Runs an ordered set of analyses and post-processes the findings."""
 
-    def __init__(self, passes: Optional[Sequence[AnalysisPass]] = None):
+    def __init__(self, passes: Optional[Sequence[AnalysisPass]] = None) -> None:
         self.passes: List[AnalysisPass] = list(
             passes if passes is not None else DEFAULT_PASSES
         )

@@ -223,7 +223,7 @@ def stratification_pass(ctx: AnalysisContext) -> Iterator[Diagnostic]:
 def _variable_occurrences(rule: Rule) -> Dict[Variable, int]:
     counts: Dict[Variable, int] = {}
 
-    def bump(term) -> None:
+    def bump(term: object) -> None:
         if isinstance(term, Variable):
             counts[term] = counts.get(term, 0) + 1
 

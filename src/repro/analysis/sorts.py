@@ -24,7 +24,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..ctable.condition import Comparison, Condition, LinearAtom
 from ..ctable.terms import Constant, CVariable, Term, Variable
-from ..faurelog.ast import Program, Rule
+from ..faurelog.ast import Atom, Program, Rule
 
 __all__ = [
     "SORT_NUMBER",
@@ -98,13 +98,13 @@ class SortInference:
         return None
 
 
-def _atoms_of(rule: Rule):
+def _atoms_of(rule: Rule) -> Iterator[Atom]:
     yield rule.head
     for lit in rule.literals():
         yield lit.atom
 
 
-def _conditions_of(rule: Rule):
+def _conditions_of(rule: Rule) -> Iterator[Condition]:
     """Every condition attached to the rule (comparisons + annotations)."""
     for cond in rule.comparisons():
         yield cond
@@ -124,7 +124,7 @@ def infer_sorts(program: Program) -> SortInference:
     columns = inference.column_sorts
     variables = inference.var_sorts
 
-    def note_var(key: Optional[VarKey], sorts) -> None:
+    def note_var(key: Optional[VarKey], sorts: Set[Sort]) -> None:
         if key is not None and sorts:
             variables.setdefault(key, set()).update(sorts)
 

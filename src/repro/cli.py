@@ -117,6 +117,14 @@ def _add_governor_args(parser: argparse.ArgumentParser) -> None:
         "solver decision routes to enumeration/DPLL; verdicts identical)",
     )
     parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the whole-program static optimizer before evaluation: "
+        "narrow domains, slice query-irrelevant rules, and pre-classify "
+        "condition conjuncts so statically decided verdicts skip the "
+        "solver (results byte-identical with or without)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -314,6 +322,7 @@ def _cmd_rib_analyze(args) -> int:
         per_flow=True,
         jobs=getattr(args, "jobs", 1),
         checkpoint=checkpoint,
+        optimize=getattr(args, "optimize", False),
     )
     try:
         reach = analyzer.compute()
@@ -356,14 +365,32 @@ def _cmd_query(args) -> int:
         text = args.program
     program = parse_program(text)
     governor = _governor_from_args(args)
+    effective_domains = domains
+    precheck = None
+    inactive = None
+    optimization = None
+    if getattr(args, "optimize", False):
+        from .analysis.optimize import optimize_program
+
+        optimization = optimize_program(
+            program, db, domains,
+            outputs=[args.output] if args.output else None,
+        )
+        program = optimization.sliced
+        effective_domains = optimization.narrowed
+        precheck = optimization.precheck_for(governor)
+        inactive = optimization.inactive_for(governor)
     solver = ConditionSolver(
-        domains,
+        effective_domains,
         governor=governor,
         memo=_memo_from_args(args),
         fast_path=_fast_path_from_args(args),
     )
     stats = EvalStats()
-    result = evaluate(program, db, solver=solver, stats=stats)
+    result = evaluate(
+        program, db, solver=solver, stats=stats,
+        precheck=precheck, inactive_rules=inactive,
+    )
     names = [args.output] if args.output else sorted(result.names())
     for name in names:
         print(result.table(name).pretty(max_rows=args.limit))
@@ -374,6 +401,10 @@ def _cmd_query(args) -> int:
         f"(sql {stats.sql_seconds:.3f}s, solver {stats.solver_seconds:.3f}s, "
         f"{stats.unknown_kept} kept-unknown){status}"
     )
+    if optimization is not None:
+        summary = optimization.describe()
+        if summary:
+            print(summary)
     _report_governor(governor)
     return 0
 
@@ -533,7 +564,13 @@ def parse_lint_pragmas(text: str) -> dict:
 
 
 def _cmd_lint(args) -> int:
-    from .analysis import Severity, analyze_text, render_json, render_text
+    from .analysis import (
+        Severity,
+        analyze_text,
+        render_json,
+        render_sarif,
+        render_text,
+    )
 
     findings = []
     parse_failed = False
@@ -553,17 +590,63 @@ def _cmd_lint(args) -> int:
                     ignore=ignore or None,
                 )
             )
+            if getattr(args, "optimize_report", False):
+                findings.extend(
+                    _optimizer_findings(
+                        text,
+                        path,
+                        outputs=list(args.outputs or []) + pragmas["outputs"],
+                        select=args.select,
+                        ignore=ignore or None,
+                    )
+                )
         except ParseError as exc:
             print(f"{path}: error: {exc}", file=sys.stderr)
             parse_failed = True
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "sarif":
+        print(render_sarif(findings))
     else:
         print(render_text(findings))
     if parse_failed:
         return EXIT_PARSE_ERROR
     errors = sum(1 for d in findings if d.severity is Severity.ERROR)
     return 1 if errors else 0
+
+
+def _optimizer_findings(text, path, outputs=None, select=None, ignore=None):
+    """F016–F020 findings from the static optimizer (``--optimize-report``).
+
+    The optimizer needs a database for its EDB seeding; linting has none,
+    so the whole-program pass runs with an empty database and the
+    *declared* (unbounded-by-default) domains — exactly the subset of its
+    reasoning that depends on the program text alone.
+    """
+    from .analysis import filter_diagnostics
+    from .analysis.optimize import optimize_program
+    from .ctable.table import Database
+    from .faurelog.ast import ProgramError
+    from .faurelog.parser import parse_program
+    from .solver.domains import DomainMap, Unbounded
+
+    try:
+        program = parse_program(text)
+    except ParseError:
+        return []
+    try:
+        result = optimize_program(
+            program,
+            Database(),
+            DomainMap(default=Unbounded("any")),
+            outputs=outputs or None,
+        )
+    except ProgramError:
+        return []
+    import dataclasses
+
+    findings = [dataclasses.replace(d, file=path) for d in result.diagnostics]
+    return filter_diagnostics(findings, select=select, ignore=ignore)
 
 
 def _cmd_serve(args) -> int:
@@ -585,7 +668,13 @@ def _cmd_serve(args) -> int:
         steps_per_call=args.solver_steps,
         max_condition_atoms=args.max_condition_atoms,
     )
-    state = ServeState(program_text, database_text, args.wal, budgets=budgets)
+    state = ServeState(
+        program_text,
+        database_text,
+        args.wal,
+        budgets=budgets,
+        optimize=getattr(args, "optimize", False),
+    )
     try:
         server = FaureServer(
             state,
@@ -787,6 +876,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="refuse conditions with more atoms than this",
     )
+    serve.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the static optimizer over the resident program: "
+        "pre-admission impact slicing plus solver-free condition "
+        "prechecks on the update path (answers byte-identical)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     lint = sub.add_parser("lint", help="static checks on fauré-log files")
@@ -795,9 +891,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--outputs", nargs="*", help="output predicates")
     lint.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); sarif emits a SARIF 2.1.0 "
+        "log for CI annotation surfaces",
+    )
+    lint.add_argument(
+        "--optimize-report",
+        action="store_true",
+        help="also run the whole-program static optimizer and report its "
+        "F016-F020 findings (unreachable rules, vacuous conditions, "
+        "narrowed domains, query slicing, widening)",
     )
     lint.add_argument(
         "--select",

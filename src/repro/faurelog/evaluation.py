@@ -21,7 +21,10 @@ same split Table 4 reports.
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis imports ast)
+    from ..analysis.optimize import ConditionPrecheck
 
 from ..ctable.condition import Condition, FalseCond, TRUE, disjoin
 from ..ctable.table import CTable, Database
@@ -63,6 +66,8 @@ class _ConditionIndex:
         key: Tuple[Term, ...],
         condition: Condition,
         solver: Optional[ConditionSolver],
+        precheck: Optional["ConditionPrecheck"] = None,
+        stats: Optional[EvalStats] = None,
     ) -> bool:
         existing = self._by_key.get(key)
         if existing is None:
@@ -87,6 +92,18 @@ class _ConditionIndex:
         if disjoined is None:
             disjoined = disjoin(existing)
             self._disjoined[key] = disjoined
+        if precheck is not None:
+            # The static classifier's entailment semi-decision is one-sided
+            # and provably agrees with the solver: True ⇒ the solver's
+            # verdict is TRUE (drop), False ⇒ it is FALSE (record).  Only
+            # None falls through to a (budgeted, counted) solver call.
+            hint = precheck.implies_hint(condition, disjoined)
+            if hint is not None:
+                if stats is not None:
+                    stats.extra["static_implies_hits"] = (
+                        stats.extra.get("static_implies_hits", 0) + 1
+                    )
+                return not hint
         return solver.implies_verdict(condition, disjoined) is not Trivalent.TRUE
 
     def record(
@@ -138,6 +155,8 @@ class FaureEvaluator:
         storage: Optional[Storage] = None,
         record_provenance: bool = False,
         governor: Optional[Governor] = None,
+        precheck: Optional["ConditionPrecheck"] = None,
+        inactive_rules: Optional[Iterable[int]] = None,
     ):
         self.database = database
         self.solver = solver
@@ -148,6 +167,18 @@ class FaureEvaluator:
         self.governor = governor if governor is not None else (
             solver.governor if solver is not None else None
         )
+        #: Static optimizer hooks (``--optimize``): a solver-free
+        #: precheck for per-tuple sat/entailment, and rule indices the
+        #: optimizer proved can never contribute (kept in the program so
+        #: their head tables still materialize empty).  Both change the
+        #: solver *call sequence*, so they stand down when the governor
+        #: carries an armed fault injector — deterministic chaos
+        #: schedules are call-indexed and must see the original sequence.
+        self.precheck = precheck
+        self.inactive_rules: FrozenSet[int] = frozenset(inactive_rules or ())
+        if self.governor is not None and self.governor.injector is not None:
+            self.precheck = None
+            self.inactive_rules = frozenset()
         #: True when the last evaluation was cut short by a budget.
         self.partial = False
         #: (predicate, data part, condition, rule label) per derived tuple,
@@ -172,6 +203,21 @@ class FaureEvaluator:
             return False
         if not self.prune:
             return True
+        if self.precheck is not None:
+            # Statically classified conditions skip the solver: True ⇒
+            # the solver would answer SAT (keep), False ⇒ UNSAT (prune).
+            hint = self.precheck.sat_hint(condition)
+            if hint is False:
+                self.stats.tuples_pruned += 1
+                self.stats.extra["static_unsat_hits"] = (
+                    self.stats.extra.get("static_unsat_hits", 0) + 1
+                )
+                return False
+            if hint is True:
+                self.stats.extra["static_sat_hits"] = (
+                    self.stats.extra.get("static_sat_hits", 0) + 1
+                )
+                return True
         verdict = self._timed_sat_verdict(condition)
         if verdict is Verdict.UNSAT:
             self.stats.tuples_pruned += 1
@@ -266,7 +312,11 @@ class FaureEvaluator:
         tables: Dict[str, CTable],
         indexes: Dict[str, _ConditionIndex],
     ) -> None:
-        rules = [r for r in program if r.head.predicate in stratum]
+        rules = [
+            r
+            for index, r in enumerate(program)
+            if r.head.predicate in stratum and index not in self.inactive_rules
+        ]
 
         def insert(rule: Rule, head_values: Tuple[Term, ...], condition: Condition) -> bool:
             predicate = rule.head.predicate
@@ -276,7 +326,10 @@ class FaureEvaluator:
                 return False
             start = time.perf_counter()
             try:
-                new = index.is_new(head_values, condition, self.solver)
+                new = index.is_new(
+                    head_values, condition, self.solver,
+                    precheck=self.precheck, stats=self.stats,
+                )
             finally:
                 self.stats.solver_seconds += time.perf_counter() - start
             if not new:
@@ -347,6 +400,8 @@ def evaluate(
     max_iterations: Optional[int] = None,
     prune: bool = True,
     governor: Optional[Governor] = None,
+    precheck: Optional["ConditionPrecheck"] = None,
+    inactive_rules: Optional[Iterable[int]] = None,
 ) -> Database:
     """One-shot convenience wrapper around :class:`FaureEvaluator`.
 
@@ -359,6 +414,8 @@ def evaluate(
         max_iterations=max_iterations,
         prune=prune,
         governor=governor,
+        precheck=precheck,
+        inactive_rules=inactive_rules,
     )
     result = evaluator.evaluate(program)
     if stats is not None:

@@ -25,9 +25,12 @@ path from the touched relation) are rejected.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.optimize import ConditionPrecheck
 
 from ..ctable.condition import Condition, TRUE, disjoin
 from ..ctable.table import CTable, Database
@@ -51,11 +54,31 @@ class IncrementalEvaluator:
         program: Program,
         database: Database,
         solver: Optional[ConditionSolver] = None,
+        precheck: Optional["ConditionPrecheck"] = None,
     ):
         self.program = program
         self.database = database
         self.solver = solver
         self.stats = EvalStats()
+        # Static pre-admission impact slicing (``--optimize``): rules are
+        # indexed by the predicates their bodies read, so a delta only
+        # visits its reader rules.  Iteration order (program order per
+        # round) is unchanged — a non-reader rule can never match the
+        # delta, so skipping it is behavior-neutral under any governor.
+        self.precheck = precheck
+        if (
+            solver is not None
+            and solver.governor is not None
+            and solver.governor.injector is not None
+        ):
+            # Call-indexed fault schedules must see the original sequence.
+            self.precheck = None
+        self._readers: Dict[str, List[Rule]] = {}
+        for rule in program:
+            for literal in rule.positive_literals():
+                bucket = self._readers.setdefault(literal.predicate, [])
+                if not bucket or bucket[-1] is not rule:
+                    bucket.append(rule)
         self._graph = dependency_graph(program)
         self._strata = stratify(program)
         self._stratum_of: Dict[str, int] = {}
@@ -63,7 +86,7 @@ class IncrementalEvaluator:
             for pred in stratum:
                 self._stratum_of[pred] = i
         # initial full evaluation
-        evaluator = FaureEvaluator(database, solver=solver)
+        evaluator = FaureEvaluator(database, solver=solver, precheck=self.precheck)
         self.result = evaluator.evaluate(program)
         self.stats.add(evaluator.stats)
         # combined EDB+IDB view used for incremental matching
@@ -148,6 +171,15 @@ class IncrementalEvaluator:
 
     # -- propagation ------------------------------------------------------------
 
+    def impact(self, predicate: str) -> Tuple[str, ...]:
+        """IDB predicates a change to ``predicate`` can actually reach.
+
+        The serve daemon consults this before admitting an update: an
+        empty impact set means the delta can only touch its own relation
+        and propagation is a no-op for every derived table.
+        """
+        return tuple(sorted(self._affected_predicates(predicate)))
+
     def _is_new(self, predicate: str, key: Tuple[Term, ...], condition: Condition) -> bool:
         per = self._conditions.setdefault(predicate, {})
         existing = per.get(key)
@@ -157,7 +189,28 @@ class IncrementalEvaluator:
             return False
         if self.solver is None:
             return True
-        return not self.solver.implies(condition, disjoin(existing))
+        disjoined = disjoin(existing)
+        if self.precheck is not None:
+            hint = self.precheck.implies_hint(condition, disjoined)
+            if hint is not None:
+                self.stats.extra["static_implies_hits"] = (
+                    self.stats.extra.get("static_implies_hits", 0) + 1
+                )
+                return not hint
+        return not self.solver.implies(condition, disjoined)
+
+    def _delta_satisfiable(self, condition: Condition) -> bool:
+        """Satisfiability for delta pruning, via the static precheck when
+        it can answer (definite verdicts agree with the solver)."""
+        if self.precheck is not None:
+            hint = self.precheck.sat_hint(condition)
+            if hint is not None:
+                self.stats.extra["static_sat_hits"] = (
+                    self.stats.extra.get("static_sat_hits", 0) + 1
+                )
+                return hint
+        assert self.solver is not None
+        return self.solver.is_satisfiable(condition)
 
     def _record(self, predicate: str, key: Tuple[Term, ...], condition: Condition) -> None:
         self._conditions.setdefault(predicate, {}).setdefault(key, []).append(condition)
@@ -173,7 +226,18 @@ class IncrementalEvaluator:
             if not delta_indexed:
                 break
             next_delta: Dict[str, CTable] = {}
+            # Reader-index slicing: only rules with a positive body
+            # literal over a delta predicate can fire this round, and
+            # they are visited in program order — exactly the rules the
+            # unsliced loop's membership check would have let through.
+            reader_ids = {
+                id(rule)
+                for name in delta_indexed
+                for rule in self._readers.get(name, ())
+            }
             for rule in self.program:
+                if id(rule) not in reader_ids:
+                    continue
                 positives = list(rule.positive_literals())
                 for position, literal in enumerate(positives):
                     if literal.predicate not in delta_indexed:
@@ -184,7 +248,7 @@ class IncrementalEvaluator:
                         delta_override=delta_indexed,
                         delta_position=position,
                     ):
-                        if self.solver is not None and not self.solver.is_satisfiable(
+                        if self.solver is not None and not self._delta_satisfiable(
                             condition
                         ):
                             self.stats.tuples_pruned += 1

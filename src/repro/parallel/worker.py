@@ -146,9 +146,18 @@ _PATTERN_STATE: Dict[str, Any] = {}
 
 def init_pattern_worker(reach_db, domains, per_flow: bool,
                         spec: Optional[GovernorSpec], enumeration_limit: int,
-                        memo_enabled: bool, fast_path: bool = True) -> None:
+                        memo_enabled: bool, fast_path: bool = True,
+                        optimize: bool = False) -> None:
     from ..engine.storage import Storage
 
+    precheck = None
+    if optimize:
+        # Worker-private static precheck (caches cannot cross processes);
+        # the evaluator stands it down itself when the rebuilt governor
+        # carries a fault injector.
+        from ..analysis.optimize import ConditionPrecheck
+
+        precheck = ConditionPrecheck(domains)
     _PATTERN_STATE.update(
         reach_db=reach_db,
         storage=Storage(reach_db),
@@ -159,6 +168,7 @@ def init_pattern_worker(reach_db, domains, per_flow: bool,
         memo_enabled=memo_enabled,
         memo=_worker_memo(memo_enabled),
         fast_path=fast_path,
+        precheck=precheck,
     )
 
 
@@ -190,6 +200,7 @@ def run_pattern_task(task) -> Dict[str, Any]:
         _PATTERN_STATE["per_flow"],
         task,
         storage=_PATTERN_STATE["storage"],
+        precheck=_PATTERN_STATE.get("precheck"),
     )
     return {
         "table": table,

@@ -105,10 +105,12 @@ class ServeState:
         database_text: str,
         wal_path: str,
         budgets: Optional[ServeBudgets] = None,
+        optimize: bool = False,
     ):
         self.program_text = program_text
         self.database_text = database_text
         self.budgets = budgets or ServeBudgets()
+        self.optimize = optimize
         self.program = parse_program(program_text)
         self.epochs = EpochManager()
         self._epoch = 0
@@ -138,8 +140,19 @@ class ServeState:
         solver = ConditionSolver(
             domains, governor=self._update_governor, memo=self._memo
         )
+        precheck = None
+        if self.optimize:
+            # Static pre-admission slicing: the optimizer's precheck gives
+            # per-update sat/entailment verdicts without solver calls and
+            # arms the evaluator's reader-index impact slicing.  Replay
+            # runs the identical optimized path, so recovered answers stay
+            # byte-identical to the uninterrupted run's.
+            from ..analysis.optimize import optimize_program
+
+            optimization = optimize_program(self.program, database, domains)
+            precheck = optimization.precheck_for(self._update_governor)
         self.evaluator = IncrementalEvaluator(
-            self.program, database, solver=solver
+            self.program, database, solver=solver, precheck=precheck
         )
         for entry in self.wal.entries():
             self._apply_entry(entry)

@@ -112,6 +112,51 @@ class TestLintCommand:
         assert "~7 rows" in capsys.readouterr().out
 
 
+class TestSarifFormat:
+    def write(self, tmp_path, text, name="p.fl"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_sarif_format(self, tmp_path, capsys):
+        path = self.write(tmp_path, "q1: Out(x) :- A(x), B(y).\n")
+        assert main(["lint", path, "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        f007 = next(r for r in run["results"] if r["ruleId"] == "F007")
+        (loc,) = f007["locations"]
+        assert loc["physicalLocation"]["artifactLocation"]["uri"] == path
+
+    def test_sarif_clean_run_keeps_rule_table(self, tmp_path, capsys):
+        path = self.write(tmp_path, "% edb: A\n% outputs: Out\nq1: Out(x) :- A(x).\n")
+        assert main(["lint", path, "--format", "sarif"]) == 0
+        (run,) = json.loads(capsys.readouterr().out)["runs"]
+        assert run["results"] == []
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} >= {"F001", "F016"}
+
+    def test_optimize_report_flags_dead_rule(self, tmp_path, capsys):
+        text = (
+            "% edb: A\n% outputs: Out\n"
+            "q1: Out(x) :- A(x).\n"
+            "q2: Out(x) :- A(x), $u = 1, $u != 1.\n"
+        )
+        path = self.write(tmp_path, text)
+        main(["lint", path, "--optimize-report"])
+        out = capsys.readouterr().out
+        assert "F016" in out
+
+    def test_optimize_report_off_by_default(self, tmp_path, capsys):
+        text = (
+            "% edb: A\n% outputs: Out\n"
+            "q1: Out(x) :- A(x).\n"
+            "q2: Out(x) :- A(x), $u = 1, $u != 1.\n"
+        )
+        path = self.write(tmp_path, text)
+        main(["lint", path])
+        assert "F016" not in capsys.readouterr().out
+
+
 class TestBundledProgramGate:
     """The same invariants `make lint-programs` enforces in CI."""
 

@@ -1,0 +1,288 @@
+"""Differential fuzz: the static optimizer vs. the unoptimized evaluator.
+
+Gate for the ``--optimize`` pass, in the mold of the memo / fast-path /
+chaos gates before it:
+
+* **≥300 seeded random programs**: evaluating with the optimizer on
+  (narrowed domains + precheck + deactivated rules) must render the
+  exact same bytes as evaluating without it;
+* **query-driven slicing**: when an output is requested, the sliced
+  program's answer for that output is byte-identical to the full run's;
+* **fault injection**: with ≥30% of governed solver calls raising, the
+  sequence-changing transformations stand down (the call-indexed fault
+  schedule must not shift) and the rendered output stays byte-identical
+  to the unoptimized faulted run;
+* **zero false positives**: every F016 (unreachable rule) is validated
+  by evaluating with and without the flagged rule — same bytes; every
+  static-true / static-false conjunct (F017 family) is validated by
+  enumerating *all* assignments over the declared domains.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.analysis.dataflow import analyze
+from repro.analysis.optimize import OptimizationResult, optimize_program
+from repro.ctable.condition import TRUE, eq, ne
+from repro.ctable.table import CTable, Database
+from repro.ctable.terms import CVariable
+from repro.ctable.worlds import iter_assignments
+from repro.faurelog.ast import Program
+from repro.faurelog.evaluation import evaluate
+from repro.faurelog.parser import parse_program
+from repro.robustness.faultinject import FaultInjector, FaultPlan
+from repro.robustness.governor import Governor
+from repro.solver.domains import DomainMap, FiniteDomain
+from repro.solver.interface import ConditionSolver
+
+from tests.oracle.oracle import render_result
+
+SEED_COUNT = 300
+
+#: Head predicates are distinct per template so any subset composes into
+#: an arity-consistent program.  ``{k}`` draws from 0..3 while the
+#: condition variables range over {0,1,2} — k=3 manufactures statically
+#: false conjuncts (the F016/F017 raw material).
+_TEMPLATES = [
+    "O1(x, y) :- E(x, y).",
+    "O2(x, z) :- E(x, y), E(y, z).",
+    "O3(x, y) :- E(x, y), x != y.",
+    "O4(x, y) :- E(x, y), $u = {k}.",
+    "O5(x, y) :- E(x, y), $u != {k}.",
+    "O6(x, y) :- E(x, y), $v = {k2}, $v != {k2}.",
+    "P(x, y) :- E(x, y).\nP(x, z) :- P(x, y), E(y, z).",
+    "Dead(x, y) :- E(x, y), $u = 9.",
+    "N(x) :- E(x, y).\nM(x) :- E(x, x).\nO8(x) :- N(x), not M(x).",
+]
+
+
+def _random_case(seed: int) -> Tuple[Program, Database, DomainMap, List[str]]:
+    rng = random.Random(seed)
+    u, v = CVariable("u"), CVariable("v")
+    domains = DomainMap({u: FiniteDomain([0, 1, 2]), v: FiniteDomain([0, 1, 2])})
+
+    db = Database()
+    table = db.create_table("E", ["a", "b"])
+    conditions = [
+        lambda: TRUE,
+        lambda: eq(u, rng.randint(0, 2)),
+        lambda: ne(u, rng.randint(0, 2)),
+        lambda: eq(v, rng.randint(0, 2)),
+        lambda: ne(v, rng.randint(0, 2)),
+    ]
+    for _ in range(rng.randint(2, 5)):
+        row = [rng.randint(0, 2), rng.randint(0, 2)]
+        table.add(row, rng.choice(conditions)())
+
+    chosen = rng.sample(_TEMPLATES, rng.randint(1, 3))
+    text = "\n".join(
+        t.format(k=rng.randint(0, 3), k2=rng.randint(0, 3)) for t in chosen
+    )
+    program = parse_program(text)
+    outputs = sorted(program.idb_predicates())
+    return program, db, domains, outputs
+
+
+def _run_plain(
+    program: Program,
+    db: Database,
+    domains: DomainMap,
+    governor: Optional[Governor] = None,
+) -> Database:
+    solver = ConditionSolver(domains, governor=governor, memo=None)
+    return evaluate(program, db, solver=solver, governor=governor)
+
+
+def _run_optimized(
+    program: Program,
+    db: Database,
+    domains: DomainMap,
+    opt: OptimizationResult,
+    governor: Optional[Governor] = None,
+) -> Database:
+    solver = ConditionSolver(opt.narrowed, governor=governor, memo=None)
+    return evaluate(
+        opt.sliced,
+        db,
+        solver=solver,
+        governor=governor,
+        precheck=opt.precheck_for(governor),
+        inactive_rules=opt.inactive_for(governor),
+    )
+
+
+# -- byte-identity over random programs --------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(SEED_COUNT))
+def test_optimizer_on_off_byte_identical(seed):
+    program, db, domains, outputs = _random_case(seed)
+    opt = optimize_program(program, db, domains)
+    baseline = render_result(_run_plain(program, db, domains), outputs)
+    optimized = render_result(
+        _run_optimized(program, db, domains, opt), outputs
+    )
+    assert optimized == baseline, f"seed {seed} diverged"
+
+
+@pytest.mark.parametrize("seed", range(0, SEED_COUNT, 7))
+def test_query_slicing_preserves_requested_output(seed):
+    program, db, domains, outputs = _random_case(seed)
+    target = outputs[seed % len(outputs)]
+    opt = optimize_program(program, db, domains, outputs=[target])
+    baseline = render_result(_run_plain(program, db, domains), [target])
+    optimized = render_result(
+        _run_optimized(program, db, domains, opt), [target]
+    )
+    assert optimized == baseline, f"seed {seed}/{target} diverged under slicing"
+
+
+# -- fault injection ---------------------------------------------------------
+
+
+def _faulted_governor() -> Tuple[Governor, FaultInjector]:
+    injector = FaultInjector(FaultPlan(timeout_every=2))
+    governor = Governor(on_budget="degrade", injector=injector)
+    governor.start()
+    return governor, injector
+
+
+@pytest.mark.parametrize("seed", range(0, SEED_COUNT, 5))
+def test_fault_injection_byte_identical(seed):
+    """Sequence-changing transforms stand down; output bytes still match."""
+    program, db, domains, outputs = _random_case(seed)
+    opt = optimize_program(program, db, domains)
+
+    gov_plain, _ = _faulted_governor()
+    baseline = render_result(
+        _run_plain(program, db, domains, governor=gov_plain), outputs
+    )
+    gov_opt, injector = _faulted_governor()
+    optimized = render_result(
+        _run_optimized(program, db, domains, opt, governor=gov_opt), outputs
+    )
+    assert optimized == baseline, f"seed {seed} diverged under fault injection"
+    if injector.calls >= 2:  # the every-2nd-call plan needs 2 calls to fire
+        ratio = injector.total_injected / injector.calls
+        assert ratio >= 0.3, f"injected only {ratio:.0%} of solver calls"
+
+
+def test_fault_injection_exercised():
+    """Across the sweep the fault plan actually fires (≥30% of calls)."""
+    calls = injected = 0
+    for seed in range(0, SEED_COUNT, 5):
+        program, db, domains, outputs = _random_case(seed)
+        opt = optimize_program(program, db, domains)
+        governor, injector = _faulted_governor()
+        _run_optimized(program, db, domains, opt, governor=governor)
+        calls += injector.calls
+        injected += injector.total_injected
+    assert calls > 0, "fault plan never exercised"
+    assert injected / calls >= 0.3
+
+
+def test_transforms_stand_down_under_injection():
+    program, db, domains, _ = _random_case(11)
+    opt = optimize_program(program, db, domains)
+    governor, _ = _faulted_governor()
+    assert opt.precheck_for(governor) is None
+    assert opt.inactive_for(governor) == frozenset()
+    assert opt.precheck_for(None) is opt.precheck
+    plain = Governor(on_budget="degrade")
+    plain.start()
+    assert opt.precheck_for(plain) is opt.precheck
+    assert opt.inactive_for(plain) == opt.inactive
+
+
+# -- zero false positives ----------------------------------------------------
+
+
+def _f016_seeds() -> List[int]:
+    hits = []
+    for seed in range(SEED_COUNT):
+        program, db, domains, _ = _random_case(seed)
+        opt = optimize_program(program, db, domains)
+        if opt.inactive:
+            hits.append(seed)
+        if len(hits) >= 25:
+            break
+    return hits
+
+
+@pytest.mark.parametrize("seed", _f016_seeds())
+def test_f016_rules_truly_contribute_nothing(seed):
+    """Deactivating every F016-flagged rule in the *unoptimized* pipeline
+    must not change a single output byte — the enumeration oracle for
+    'this rule can never contribute'."""
+    program, db, domains, outputs = _random_case(seed)
+    opt = optimize_program(program, db, domains)
+    assert opt.inactive
+    with_rules = render_result(_run_plain(program, db, domains), outputs)
+    solver = ConditionSolver(domains, memo=None)
+    without = render_result(
+        evaluate(program, db, solver=solver, inactive_rules=opt.inactive),
+        outputs,
+    )
+    assert without == with_rules
+
+
+def test_f017_conjuncts_hold_in_every_world():
+    """Every static-true conjunct holds, and every static-false conjunct
+    fails, under *all* assignments over the declared domains."""
+    checked = 0
+    for seed in range(SEED_COUNT):
+        program, db, domains, _ = _random_case(seed)
+        opt = optimize_program(program, db, domains)
+        for cls in opt.classifications:
+            for conjunct in cls.conjuncts:
+                if conjunct.tag not in ("static-true", "static-false"):
+                    continue
+                cvars = sorted(conjunct.condition.cvariables(), key=lambda c: c.name)
+                verdicts = {
+                    conjunct.condition.evaluate(assignment)
+                    for assignment in iter_assignments(cvars, domains)
+                }
+                if conjunct.tag == "static-true":
+                    assert verdicts == {True}, (seed, str(conjunct.condition))
+                else:
+                    assert verdicts == {False}, (seed, str(conjunct.condition))
+                checked += 1
+        if checked >= 60:
+            break
+    assert checked > 0, "fuzz corpus produced no statically classified conjuncts"
+
+
+# -- dataflow facts are sound over-approximations ----------------------------
+
+
+@pytest.mark.parametrize("seed", range(0, SEED_COUNT, 11))
+def test_dataflow_facts_over_approximate_every_world(seed):
+    """Any value a predicate argument takes in any possible world must be
+    contained in the abstract fact the fixpoint computed for that slot."""
+    program, db, domains, outputs = _random_case(seed)
+    flow = analyze(program, db, domains)
+    result = _run_plain(program, db, domains)
+    # Both declared variables, not just the database's: rule conjuncts can
+    # mention $u/$v even when no stored row does.
+    cvars = [CVariable("u"), CVariable("v")]
+    for assignment in iter_assignments(cvars, domains):
+        for name in outputs:
+            if name not in result:
+                continue
+            for tup in result.table(name):
+                if not tup.condition.evaluate(assignment):
+                    continue
+                for index, term in enumerate(tup.values):
+                    if isinstance(term, CVariable):
+                        value = assignment[term].value
+                    else:
+                        value = term.value
+                    fact = flow.fact(name, index)
+                    assert fact.contains(value), (
+                        f"seed {seed}: {name}[{index}] = {value!r} "
+                        f"outside abstract value {fact.describe()}"
+                    )

@@ -11,6 +11,7 @@ from repro.analysis.diagnostics import (
     code_info,
     filter_diagnostics,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.ctable.parse import Span
@@ -98,3 +99,60 @@ class TestRenderers:
     def test_json_parses(self):
         payload = json.loads(render_json([Diagnostic.make("F005", "a")]))
         assert payload == [{"code": "F005", "severity": "error", "message": "a"}]
+
+    def test_json_includes_span_end_columns(self):
+        span = Span(line=4, col=2, end_line=4, end_col=11)
+        payload = json.loads(
+            render_json([Diagnostic.make("F016", "dead", span=span)])
+        )
+        (entry,) = payload
+        assert entry["line"] == 4 and entry["col"] == 2
+        assert entry["end_line"] == 4 and entry["end_col"] == 11
+
+
+class TestSarif:
+    def _log(self, findings):
+        return json.loads(render_sarif(findings))
+
+    def test_envelope(self):
+        log = self._log([])
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        assert run["results"] == []
+
+    def test_every_code_registered_as_driver_rule(self):
+        (run,) = self._log([])["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == sorted(CODES)
+        for rule in rules:
+            assert rule["shortDescription"]["text"]
+
+    def test_result_region_and_level(self):
+        span = Span(line=3, col=7, end_line=3, end_col=12)
+        findings = [
+            Diagnostic.make("F018", "narrowed", span=span, rule="q1", file="a.fl"),
+            Diagnostic.make("F005", "bad arity"),
+        ]
+        (run,) = self._log(findings)["runs"]
+        narrowed, arity = run["results"]
+        assert narrowed["ruleId"] == "F018"
+        assert narrowed["level"] == "note"  # info maps to SARIF "note"
+        assert narrowed["properties"]["rule"] == "q1"
+        (loc,) = narrowed["locations"]
+        phys = loc["physicalLocation"]
+        assert phys["artifactLocation"]["uri"] == "a.fl"
+        region = phys["region"]
+        assert region == {
+            "startLine": 3,
+            "startColumn": 7,
+            "endLine": 3,
+            "endColumn": 12,
+        }
+        assert arity["ruleId"] == "F005" and arity["level"] == "error"
+        assert "locations" not in arity
+
+    def test_warning_level_passthrough(self):
+        (run,) = self._log([Diagnostic.make("F016", "unreachable")])["runs"]
+        (result,) = run["results"]
+        assert result["level"] == "warning"

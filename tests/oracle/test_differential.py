@@ -55,3 +55,52 @@ def test_fault_injection_matches_every_world(case, memo_factory):
     assert injector.calls > 0, "fault plan never exercised"
     ratio = injector.total_injected / injector.calls
     assert ratio >= 0.3, f"injected only {ratio:.0%} of solver calls"
+
+
+def _run_optimized(case, governor=None):
+    """Evaluate with the ``--optimize`` pipeline: narrowed solver,
+    precheck, deactivated rules (no slicing — every output is compared)."""
+    from repro.analysis.optimize import optimize_program
+    from repro.faurelog.evaluation import FaureEvaluator
+    from repro.solver.interface import ConditionSolver
+
+    opt = optimize_program(case.program, case.database, case.domains)
+    solver = ConditionSolver(opt.narrowed, governor=governor, memo=None)
+    evaluator = FaureEvaluator(
+        case.database,
+        solver=solver,
+        governor=governor,
+        precheck=opt.precheck_for(governor),
+        inactive_rules=opt.inactive_for(governor),
+    )
+    return evaluator.evaluate(opt.sliced)
+
+
+def test_optimizer_on_off_byte_identical(case):
+    baseline = run_faure(case, memo=None)
+    optimized = _run_optimized(case)
+    assert render_result(optimized, case.outputs) == render_result(
+        baseline, case.outputs
+    )
+
+
+def test_optimizer_fault_injection_byte_identical(case):
+    """Under ≥30% injected faults the optimizer's sequence-changing
+    transformations stand down and the rendered bytes still match."""
+
+    def faulted():
+        injector = FaultInjector(FaultPlan(timeout_every=2))
+        governor = Governor(on_budget="degrade", injector=injector)
+        governor.start()
+        return governor, injector
+
+    gov_plain, _ = faulted()
+    baseline = run_faure(case, memo=None, governor=gov_plain)
+    gov_opt, injector = faulted()
+    optimized = _run_optimized(case, governor=gov_opt)
+    assert render_result(optimized, case.outputs) == render_result(
+        baseline, case.outputs
+    )
+    assert injector.calls > 0, "fault plan never exercised"
+    ratio = injector.total_injected / injector.calls
+    assert ratio >= 0.3, f"injected only {ratio:.0%} of solver calls"
