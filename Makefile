@@ -7,7 +7,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src $(PYTHON)
 
-.PHONY: install test test-oracle test-robustness test-chaos test-serve test-dataflow bench bench-memo bench-incremental bench-tables bench-smoke examples lint-programs lint-sarif typecheck lint-self clean
+.PHONY: install test test-oracle test-robustness test-chaos test-serve test-dataflow bench bench-memo bench-incremental bench-tables bench-smoke bench-parallel examples lint-programs lint-sarif typecheck lint-self clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -66,6 +66,14 @@ bench-tables:
 bench-smoke:
 	$(RUN) benchmarks/bench_table4.py --jobs 2 --sizes 20
 	$(RUN) benchmarks/report.py --smoke --sizes 20
+
+# Full parallel gate, re-baselining BENCH_parallel.json: serial vs
+# jobs=2 vs jobs=4 sweep.  Exits non-zero unless tuple counts agree,
+# jobs=2 q6-q8 wall stays within 1.25x of serial, summed worker
+# solver CPU at jobs=4 stays within 1.5x of serial on q6/q8, and (on a
+# multi-core host) the best q6-q8 speedup reaches 1.5x.
+bench-parallel:
+	$(RUN) benchmarks/report.py --jobs 4
 
 # static-optimizer gate: ≥300 seeded random programs must render
 # byte-identical bytes with the optimizer on vs. off (incl. under fault

@@ -134,6 +134,14 @@ def _add_governor_args(parser: argparse.ArgumentParser) -> None:
             "default 1 = fully serial"
         ),
     )
+    parser.add_argument(
+        "--shared-memo",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share solver verdicts across --jobs workers through the "
+        "crash-tolerant append-only verdict log (default: on; answers "
+        "are identical either way — sharing only removes repeated work)",
+    )
     supervision = parser.add_argument_group("worker supervision (with --jobs > 1)")
     supervision.add_argument(
         "--task-timeout",
@@ -202,6 +210,7 @@ def _executor_from_args(args) -> Optional[SupervisedExecutor]:
         task_timeout=getattr(args, "task_timeout", None),
         task_retries=getattr(args, "task_retries", 2),
         on_worker_loss=getattr(args, "on_worker_loss", "inline"),
+        shared_memo=getattr(args, "shared_memo", True),
     )
 
 

@@ -15,7 +15,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
-__all__ = ["EvalStats", "Stopwatch"]
+from ..clock import phase_clock, use_cpu_clock
+
+__all__ = ["EvalStats", "Stopwatch", "phase_clock", "use_cpu_clock"]
 
 
 class Stopwatch:
@@ -26,11 +28,11 @@ class Stopwatch:
 
     @contextmanager
     def measure(self) -> Iterator[None]:
-        start = time.perf_counter()
+        start = phase_clock()
         try:
             yield
         finally:
-            self.seconds += time.perf_counter() - start
+            self.seconds += phase_clock() - start
 
     def reset(self) -> None:
         self.seconds = 0.0

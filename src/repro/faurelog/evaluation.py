@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis imports ast
 from ..ctable.condition import Condition, FalseCond, TRUE, disjoin
 from ..ctable.table import CTable, Database
 from ..ctable.terms import Term
-from ..engine.stats import EvalStats
+from ..engine.stats import EvalStats, phase_clock
 from ..engine.storage import IndexedTable, Storage
 from ..robustness.errors import BudgetExceeded
 from ..robustness.governor import Governor
@@ -191,11 +191,11 @@ class FaureEvaluator:
     # -- solver accounting ---------------------------------------------------
 
     def _timed_sat_verdict(self, condition: Condition) -> Verdict:
-        start = time.perf_counter()
+        start = phase_clock()
         try:
             return self.solver.sat_verdict(condition)
         finally:
-            self.stats.solver_seconds += time.perf_counter() - start
+            self.stats.solver_seconds += phase_clock() - start
 
     def _keep(self, condition: Condition) -> bool:
         if isinstance(condition, FalseCond):
@@ -235,7 +235,7 @@ class FaureEvaluator:
         The result database contains one c-table per IDB predicate
         (empty predicates yield empty tables when their arity is known).
         """
-        wall_start = time.perf_counter()
+        wall_start = phase_clock()
         solver_before = self.stats.solver_seconds
         self.partial = False
         if self.governor is not None:
@@ -243,7 +243,7 @@ class FaureEvaluator:
         try:
             result = self._evaluate_inner(program)
         finally:
-            wall = time.perf_counter() - wall_start
+            wall = phase_clock() - wall_start
             solver_delta = self.stats.solver_seconds - solver_before
             self.stats.sql_seconds += max(0.0, wall - solver_delta)
         return result
@@ -324,14 +324,14 @@ class FaureEvaluator:
             index = indexes[predicate]
             if not self._keep(condition):
                 return False
-            start = time.perf_counter()
+            start = phase_clock()
             try:
                 new = index.is_new(
                     head_values, condition, self.solver,
                     precheck=self.precheck, stats=self.stats,
                 )
             finally:
-                self.stats.solver_seconds += time.perf_counter() - start
+                self.stats.solver_seconds += phase_clock() - start
             if not new:
                 return False
             index.record(head_values, condition, self.solver)

@@ -343,18 +343,31 @@ class ReachabilityAnalyzer:
                 )
                 for q in queries
             ]
+        from ..parallel.executor import balanced_shards
+        from ..parallel.shared_memo import reads_allowed, session_for
         from ..parallel.spec import GovernorSpec
         from ..parallel.supervisor import SupervisedExecutor, TaskLost, fold_failures
-        from ..parallel.worker import init_pattern_worker, run_pattern_task
+        from ..parallel.worker import init_pattern_worker, run_pattern_shard
         from ..robustness.errors import WorkerLost
 
         executor = executor or SupervisedExecutor(jobs)
         governor = self.solver.governor
+        session = session_for(self.solver.memo, executor)
+        reads = reads_allowed(governor)
+        store_hits_before = 0
+        if session is not None:
+            session.enable_parent_reads(reads)
+            store_hits_before = session.store.hits
 
         def _initargs() -> tuple:
             # Re-snapshot the live governor on every (re)spawn so a
             # retried query honors the original deadline — the spec
             # serializes *remaining* seconds (see GovernorSpec).
+            # The memo seed and the warm storage ride along only for
+            # ungoverned runs (same rule as store reads): a warm worker
+            # memo changes governed call sequences.  Under fork both are
+            # copy-on-write, so a worker starts exactly as warm as the
+            # serial path instead of re-solving the compute phase.
             return (
                 self._reach_db,
                 self.solver.domains,
@@ -364,12 +377,21 @@ class ReachabilityAnalyzer:
                 self.solver.memo is not None,
                 self.solver.fast_path,
                 self.optimize,
+                session.handle(reads) if session is not None else None,
+                self.solver.memo._entries
+                if reads and self.solver.memo is not None
+                else None,
+                self._reach_storage,
             )
 
+        # Coarse sharding: a few queries per pickle instead of one task
+        # per query — 2 shards per worker keeps the pool load-balanced
+        # when query costs are skewed without reverting to per-query IPC.
+        shards = balanced_shards(list(queries), jobs * 2)
         start = time.perf_counter()
         results = executor.map(
-            run_pattern_task,
-            list(queries),
+            run_pattern_shard,
+            shards,
             initializer=init_pattern_worker,
             initargs=_initargs(),
             refresh_initargs=_initargs,
@@ -377,38 +399,55 @@ class ReachabilityAnalyzer:
         wall = time.perf_counter() - start
         fold_failures(executor, governor=governor, stats=self.stats)
         out: List[Tuple[CTable, EvalStats]] = []
-        for res in results:
-            if isinstance(res, TaskLost):
+        for shard_index, shard_res in enumerate(results):
+            if isinstance(shard_res, TaskLost):
                 # Unlike pruning (keep the tuple) or verification
                 # (INCONCLUSIVE), a missing pattern-query answer has no
                 # sound partial form — the loss must surface.
                 raise WorkerLost(
-                    f"pattern query {res.task_index} lost: {res.reason}",
-                    task_index=res.task_index,
+                    f"pattern shard {shard_res.task_index} "
+                    f"({len(shards[shard_index])} queries) lost: {shard_res.reason}",
+                    task_index=shard_res.task_index,
                 )
-            stats: EvalStats = res["stats"]
-            self.stats.add(stats)
-            solver_stats = res["solver_stats"]
-            for field_name, value in solver_stats.items():
-                if field_name == "time_seconds":
-                    self.stats.extra["parallel_cpu_seconds"] = (
-                        self.stats.extra.get("parallel_cpu_seconds", 0.0) + value
+            for res in shard_res["results"]:
+                stats: EvalStats = res["stats"]
+                self.stats.add(stats)
+                solver_stats = res["solver_stats"]
+                for field_name, value in solver_stats.items():
+                    if field_name == "time_seconds":
+                        self.stats.extra["parallel_cpu_seconds"] = (
+                            self.stats.extra.get("parallel_cpu_seconds", 0.0) + value
+                        )
+                        continue
+                    setattr(
+                        self.solver.stats,
+                        field_name,
+                        getattr(self.solver.stats, field_name) + value,
                     )
-                    continue
-                setattr(
-                    self.solver.stats,
-                    field_name,
-                    getattr(self.solver.stats, field_name) + value,
-                )
-            if res.get("events") is not None and governor is not None:
-                governor.absorb(res["events"])
-            out.append((res["table"], stats))
+                if res.get("events") is not None and governor is not None:
+                    governor.absorb(res["events"])
+                out.append((res["table"], stats))
+            shared = shard_res.get("shared_memo")
+            if shared is not None:
+                for field_name, value in shared.items():
+                    key = f"shared_memo_{field_name}"
+                    self.stats.extra[key] = self.stats.extra.get(key, 0) + value
         self.stats.extra["parallel_shards"] = (
-            self.stats.extra.get("parallel_shards", 0) + len(queries)
+            self.stats.extra.get("parallel_shards", 0) + len(shards)
         )
         self.stats.extra["parallel_wall_seconds"] = (
             self.stats.extra.get("parallel_wall_seconds", 0.0) + wall
         )
+        self.stats.extra["parallel_tasks"] = (
+            self.stats.extra.get("parallel_tasks", 0) + executor.last_tasks
+        )
+        self.stats.extra["ipc_bytes"] = (
+            self.stats.extra.get("ipc_bytes", 0) + executor.last_ipc_bytes
+        )
+        if session is not None:
+            self.stats.extra["shared_memo_hits"] = self.stats.extra.get(
+                "shared_memo_hits", 0
+            ) + (session.store.hits - store_hits_before)
         return out
 
     def exactly_k_up(

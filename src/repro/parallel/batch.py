@@ -15,14 +15,19 @@ pattern attached to many routes).  This module prunes in three stages:
    that survive the probe are the **residual** — the ones that need a
    real decision procedure.
 3. **Decide** the residual classes: inline for ``jobs=1``; for
-   ``jobs>1`` sharded round-robin across a process pool where each
-   worker owns a :class:`ConditionSolver` over the pickled
-   :class:`DomainMap` and a governor rebuilt from the parent's
-   :class:`~repro.parallel.spec.GovernorSpec`.  Workers return
-   ``(class index, verdict)`` pairs; the parent folds definite verdicts
-   into the shared :class:`~repro.solver.memo.MemoTable` and fans all
-   verdicts back to member tuples **in original table order**, so the
-   output table is byte-identical whatever ``jobs`` was.
+   ``jobs>1`` sharded at canonical-class-*group* granularity — classes
+   ordered by their c-variable footprint and cut into one contiguous,
+   size-balanced shard per worker (one pickle per shard, not per
+   class) — across a process pool where each worker owns a
+   :class:`ConditionSolver` over the pickled :class:`DomainMap` and a
+   governor rebuilt from the parent's
+   :class:`~repro.parallel.spec.GovernorSpec`.  Workers share verdicts
+   through the cross-worker store
+   (:mod:`repro.parallel.shared_memo`) and return ``(class index,
+   verdict)`` pairs; the parent folds definite verdicts into the shared
+   :class:`~repro.solver.memo.MemoTable` and fans all verdicts back to
+   member tuples **in original table order**, so the output table is
+   byte-identical whatever ``jobs`` was.
 
 Robustness contracts preserved across the process boundary:
 
@@ -53,7 +58,8 @@ from ..robustness.errors import BudgetExceeded
 from ..robustness.faultinject import FaultInjector
 from ..robustness.verdict import Verdict
 from ..solver.interface import ConditionSolver
-from .executor import ParallelExecutor
+from .executor import ParallelExecutor, balanced_shards
+from .shared_memo import reads_allowed, session_for
 from .spec import GovernorSpec, fault_directive
 from .supervisor import SupervisedExecutor, TaskLost, fold_failures
 from .worker import init_prune_worker, run_prune_shard
@@ -197,6 +203,13 @@ def _decide_residual_parallel(
     budget = governor.remaining_calls() if governor is not None else None
     decided_n = len(residual) if budget is None else min(budget, len(residual))
 
+    executor = executor or SupervisedExecutor(jobs)
+    session = session_for(solver.memo, executor)
+    reads = reads_allowed(governor)
+    if session is not None:
+        session.enable_parent_reads(reads)
+        store_hits_before = session.store.hits
+
     def _initargs() -> tuple:
         """Initializer args with a *live* governor snapshot.
 
@@ -218,17 +231,31 @@ def _decide_residual_parallel(
             solver.enumeration_limit,
             solver.memo is not None,
             solver.fast_path,
+            session.handle(reads) if session is not None else None,
         )
 
-    executor = executor or SupervisedExecutor(jobs)
-    shards = [
-        [
+    # Canonical-class-group sharding: order the in-budget residual by
+    # the classes' c-variable footprint so one shard holds conditions
+    # over the same variables (shared interning, adjacent memo keys),
+    # then cut contiguous balanced runs — one pickle per shard instead
+    # of one per class.  Each entry carries its own precomputed fault
+    # directive, so *any* partition preserves the jobs=1 schedule; the
+    # class index keys the verdict fan-out, so the grouping order never
+    # reaches the output.
+    def _locality_key(entry):
+        return (
+            tuple(sorted(v.name for v in entry[1].cvariables())),
+            entry[0],
+        )
+
+    entries = sorted(
+        (
             (residual[r][0], residual[r][1], directives[r])
-            for r in range(w, decided_n, jobs)
-        ]
-        for w in range(jobs)
-    ]
-    shards = [s for s in shards if s]
+            for r in range(decided_n)
+        ),
+        key=_locality_key,
+    )
+    shards = balanced_shards(entries, jobs)
     start = time.perf_counter()
     results = executor.map(
         run_prune_shard,
@@ -265,6 +292,11 @@ def _decide_residual_parallel(
         stats.extra["parallel_cpu_seconds"] = (
             stats.extra.get("parallel_cpu_seconds", 0.0) + worker_stats["time_seconds"]
         )
+        shared = result.get("shared_memo")
+        if shared is not None:
+            for field, value in shared.items():
+                key = f"shared_memo_{field}"
+                stats.extra[key] = stats.extra.get(key, 0) + value
         events = result.get("events")
         if events is not None and governor is not None:
             decided = len(result["verdicts"]) + (1 if error is not None else 0)
@@ -305,6 +337,17 @@ def _decide_residual_parallel(
     stats.extra["parallel_wall_seconds"] = (
         stats.extra.get("parallel_wall_seconds", 0.0) + wall
     )
+    stats.extra["parallel_tasks"] = (
+        stats.extra.get("parallel_tasks", 0) + executor.last_tasks
+    )
+    stats.extra["ipc_bytes"] = (
+        stats.extra.get("ipc_bytes", 0) + executor.last_ipc_bytes
+    )
+    if session is not None:
+        # Parent-side backing hits (probe phase and verdict fold-back).
+        stats.extra["shared_memo_hits"] = stats.extra.get("shared_memo_hits", 0) + (
+            session.store.hits - store_hits_before
+        )
     return verdicts
 
 

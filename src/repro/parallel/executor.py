@@ -32,7 +32,27 @@ import sys
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, List, Optional, Sequence
 
-__all__ = ["ParallelExecutor", "inline_state_guard"]
+__all__ = ["ParallelExecutor", "inline_state_guard", "balanced_shards"]
+
+
+def balanced_shards(items: Sequence[Any], shards: int) -> List[List[Any]]:
+    """Split ``items`` into ≤ ``shards`` contiguous, size-balanced runs.
+
+    Contiguity is what makes coarse sharding free to merge: flattening
+    the shard results in shard order *is* the original item order, so
+    callers keep their deterministic in-order fold.  Sizes differ by at
+    most one; empty shards are never returned.
+    """
+    items = list(items)
+    shards = max(1, min(int(shards), len(items))) if items else 0
+    out: List[List[Any]] = []
+    base, extra = divmod(len(items), shards) if shards else (0, 0)
+    at = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        out.append(items[at : at + size])
+        at += size
+    return out
 
 
 @contextmanager
@@ -73,11 +93,28 @@ class ParallelExecutor:
         Override the multiprocessing start method (``"fork"``,
         ``"spawn"``, ``"forkserver"``).  Default: ``fork`` when the
         platform offers it, else ``spawn``.
+    shared_memo:
+        Whether call sites may share solver verdicts across workers
+        through this executor (the cross-worker verdict store,
+        :mod:`repro.parallel.shared_memo`).  CLI: ``--no-shared-memo``.
     """
 
-    def __init__(self, jobs: int = 1, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        start_method: Optional[str] = None,
+        shared_memo: bool = True,
+    ):
         self.jobs = max(1, int(jobs))
         self._start_method = start_method
+        self.shared_memo = shared_memo
+        #: Task messages submitted by the most recent :meth:`map`.
+        self.last_tasks = 0
+        #: Exact task+result bytes moved over IPC by the most recent
+        #: :meth:`map`; 0 on the inline path (nothing crosses a process
+        #: boundary) and for the plain pool (which does not meter its
+        #: internal queue).  The supervised executor meters both ways.
+        self.last_ipc_bytes = 0
 
     def _context(self):
         methods = multiprocessing.get_all_start_methods()
@@ -116,6 +153,8 @@ class ParallelExecutor:
         """
         del refresh_initargs  # only meaningful under supervision
         tasks = list(tasks)
+        self.last_tasks = len(tasks)
+        self.last_ipc_bytes = 0
         if self.jobs == 1 or len(tasks) <= 1:
             return self._run_inline(fn, tasks, initializer, initargs)
         workers = min(self.jobs, len(tasks))

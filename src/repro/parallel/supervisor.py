@@ -50,6 +50,7 @@ deterministically, through the real production code path.
 from __future__ import annotations
 
 import os
+import pickle
 import random
 import signal
 import time
@@ -144,7 +145,9 @@ def _supervised_worker(task_queue, result_conn, fn, initializer, initargs) -> No
     ``(task_index, ok, result_or_error)`` on this worker's private
     result pipe; a ``None`` message is the shutdown sentinel.
     Application exceptions ship home as values — only an actual process
-    death is a crash from the parent's view.
+    death is a crash from the parent's view.  Results go over the pipe
+    as explicit pickle bytes (``send_bytes``), so the parent meters the
+    exact IPC volume without re-serializing anything.
     """
     os.environ[_WORKER_ENV] = "1"
     if initializer is not None:
@@ -163,7 +166,7 @@ def _supervised_worker(task_queue, result_conn, fn, initializer, initargs) -> No
         except BaseException as exc:  # noqa: BLE001 — shipped, not handled
             result = (task_index, False, exc)
         try:
-            result_conn.send(result)
+            result_conn.send_bytes(pickle.dumps(result))
         except (EOFError, OSError):
             return
 
@@ -303,8 +306,9 @@ class SupervisedExecutor(ParallelExecutor):
         backoff_seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        shared_memo: bool = True,
     ):
-        super().__init__(jobs, start_method)
+        super().__init__(jobs, start_method, shared_memo=shared_memo)
         if on_worker_loss not in ON_WORKER_LOSS_MODES:
             raise ValueError(
                 f"on_worker_loss must be one of {ON_WORKER_LOSS_MODES}, "
@@ -344,6 +348,8 @@ class SupervisedExecutor(ParallelExecutor):
         del chunksize  # supervision assigns one task at a time
         self.last_failures = TaskFailures()
         tasks = list(tasks)
+        self.last_tasks = len(tasks)
+        self.last_ipc_bytes = 0
         if self.jobs == 1 or len(tasks) <= 1:
             return self._run_inline(fn, tasks, initializer, initargs)
         try:
@@ -383,8 +389,9 @@ class SupervisedExecutor(ParallelExecutor):
             worker.queue.close()
             worker.reader.close()
 
-    @staticmethod
-    def _drain_worker(worker: _Worker, outcomes: Dict[int, Tuple[bool, Any]]) -> None:
+    def _drain_worker(
+        self, worker: _Worker, outcomes: Dict[int, Tuple[bool, Any]]
+    ) -> None:
         """Record every complete result the worker has sent so far.
 
         A worker SIGKILLed mid-``send`` leaves a torn message on its
@@ -393,7 +400,9 @@ class SupervisedExecutor(ParallelExecutor):
         """
         try:
             while worker.reader.poll(0):
-                index, ok, payload = worker.reader.recv()
+                data = worker.reader.recv_bytes()
+                self.last_ipc_bytes += len(data)
+                index, ok, payload = pickle.loads(data)
                 outcomes[index] = (ok, payload)
                 if worker.current == index:
                     worker.current, worker.deadline = None, None
@@ -472,7 +481,15 @@ class SupervisedExecutor(ParallelExecutor):
                         if self.task_timeout is not None
                         else None
                     )
-                    worker.queue.put((index, tasks[index]))
+                    message = (index, tasks[index])
+                    # Meter the submit side with an explicit dumps (the
+                    # queue pickles internally, where we cannot measure);
+                    # tasks per map are few under coarse sharding, so the
+                    # double serialization is noise.
+                    self.last_ipc_bytes += len(
+                        pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+                    worker.queue.put(message)
 
                 # Drain finished results from the private pipes.
                 busy = [worker for worker in workers if worker.current is not None]

@@ -29,11 +29,14 @@ deterministic task order.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import clock as _clock
 from ..robustness.errors import BudgetExceeded, ConditionTooLarge, SolverFailure
 from ..solver.interface import ConditionSolver, SolverStats
 from ..solver.memo import MemoTable
+from .shared_memo import SharedVerdictStore, StoreHandle
 from .spec import GovernorSpec, ScheduledFaultInjector
 
 __all__ = [
@@ -42,8 +45,10 @@ __all__ = [
     "run_prune_shard",
     "init_pattern_worker",
     "run_pattern_task",
+    "run_pattern_shard",
     "init_verify_worker",
     "run_verify_task",
+    "run_verify_shard",
     "INLINE_STATE_DICTS",
 ]
 
@@ -72,13 +77,93 @@ def solver_stats_dict(stats: SolverStats) -> Dict[str, float]:
     return {name: getattr(stats, name) for name in _STAT_FIELDS}
 
 
-def _worker_memo(memo_enabled: bool) -> Optional[MemoTable]:
+#: Open shared-verdict-store attachments, keyed by log path, so one
+#: worker process attaches once however many shards it runs.  Guarded by
+#: :data:`INLINE_STATE_DICTS` — an inline (in-parent) run must not leave
+#: a dangling attachment behind.
+_STORE_CACHE: Dict[str, SharedVerdictStore] = {}
+
+
+def _open_store(handle: Optional[StoreHandle]) -> Optional[SharedVerdictStore]:
+    """Attach to the parent's shared verdict log (cached per path).
+
+    A failed attach (the parent already tore the log down) degrades to
+    ``None`` — the worker just loses cross-process sharing.
+    """
+    if handle is None:
+        return None
+    store = _STORE_CACHE.get(handle.path)
+    if store is None:
+        store = handle.open()
+        if store is None:
+            return None
+        _STORE_CACHE[handle.path] = store
+    store.reads = handle.reads
+    return store
+
+
+def _worker_memo(
+    memo_enabled: bool,
+    store: Optional[SharedVerdictStore] = None,
+    seed: Optional[Dict] = None,
+) -> Optional[MemoTable]:
     """A worker-private memo table (processes cannot share the parent's).
 
     When the parent runs with memoization disabled (``--no-memo``) the
-    workers honor that: no canonicalization, no verdict sharing.
+    workers honor that: no canonicalization, no verdict sharing — and no
+    shared store either.  With a store attached, the memo's definite
+    verdicts stream to the shared log (writer observer) and, when the
+    parent enabled reads, local misses poll the log before solving.
+
+    ``seed`` is the parent memo's entry dict, shipped through the
+    initializer for ungoverned runs: under ``fork`` it arrives by
+    copy-on-write (no pickling, no log round-trip), so the worker starts
+    with the serial path's warm memo instead of re-deriving it record by
+    record through the store.  Seeding happens *before* the store
+    observer attaches — the session already seeded the log with the same
+    entries, so re-appending them would only duplicate dedup work.
+    Condition equality is structural, so parent-built keys match the
+    worker's own canonicalizations.
     """
-    return MemoTable() if memo_enabled else None
+    if not memo_enabled:
+        return None
+    memo = MemoTable()
+    if seed:
+        memo._entries.update(seed)
+    if store is not None:
+        memo.add_observer(store.append_key)
+        if store.reads:
+            memo.backing = store.lookup_key
+    return memo
+
+
+def _store_deltas(
+    store: Optional[SharedVerdictStore], before: Tuple[int, int]
+) -> Dict[str, int]:
+    """Hit/write deltas since ``before`` — one worker process runs many
+    shards against one cumulative store, so absolutes would double-count
+    when the parent folds every shard's report."""
+    if store is None:
+        return {"hits": 0, "writes": 0}
+    return {"hits": store.hits - before[0], "writes": store.writes - before[1]}
+
+
+def _store_marks(store: Optional[SharedVerdictStore]) -> Tuple[int, int]:
+    return (store.hits, store.writes) if store is not None else (0, 0)
+
+
+def _use_worker_clock() -> None:
+    """Account this worker's sql/solver phases on the CPU clock.
+
+    A worker's ``perf_counter`` keeps ticking while the process is
+    descheduled, so on a timeshared host the per-worker phase times sum
+    to far more than the actual work (the historical "summed sql_s
+    exceeds wall_s" benchmark artifact).  ``process_time`` measures only
+    this process's CPU, which *is* additive across workers.  The parent
+    keeps wall time — :data:`INLINE_STATE_DICTS` includes the clock so
+    inline initializer runs restore it.
+    """
+    _clock._CLOCK["now"] = time.process_time
 
 
 # -- batched prune shards ---------------------------------------------------
@@ -87,13 +172,16 @@ _PRUNE_STATE: Dict[str, Any] = {}
 
 
 def init_prune_worker(domains, spec: Optional[GovernorSpec], enumeration_limit: int,
-                      memo_enabled: bool, fast_path: bool = True) -> None:
+                      memo_enabled: bool, fast_path: bool = True,
+                      store: Optional[StoreHandle] = None) -> None:
+    _use_worker_clock()
     _PRUNE_STATE.update(
         domains=domains,
         spec=spec,
         enumeration_limit=enumeration_limit,
         memo_enabled=memo_enabled,
         fast_path=fast_path,
+        store=_open_store(store),
     )
 
 
@@ -112,11 +200,13 @@ def run_prune_shard(shard: List[Tuple[int, Any, Optional[tuple]]]) -> Dict[str, 
     if spec is not None:
         injector = ScheduledFaultInjector([kind for _, _, kind in shard])
         governor = spec.build(injector)
+    store: Optional[SharedVerdictStore] = _PRUNE_STATE.get("store")
+    marks = _store_marks(store)
     solver = ConditionSolver(
         _PRUNE_STATE["domains"],
         _PRUNE_STATE["enumeration_limit"],
         governor=governor,
-        memo=_worker_memo(_PRUNE_STATE["memo_enabled"]),
+        memo=_worker_memo(_PRUNE_STATE["memo_enabled"], store),
         fast_path=_PRUNE_STATE.get("fast_path", True),
     )
     verdicts = []
@@ -136,6 +226,7 @@ def run_prune_shard(shard: List[Tuple[int, Any, Optional[tuple]]]) -> Dict[str, 
         "stats": solver_stats_dict(solver.stats),
         "events": governor.events.as_dict() if governor is not None else None,
         "injected": dict(injector.injected) if injector is not None else None,
+        "shared_memo": _store_deltas(store, marks),
     }
 
 
@@ -147,8 +238,13 @@ _PATTERN_STATE: Dict[str, Any] = {}
 def init_pattern_worker(reach_db, domains, per_flow: bool,
                         spec: Optional[GovernorSpec], enumeration_limit: int,
                         memo_enabled: bool, fast_path: bool = True,
-                        optimize: bool = False) -> None:
+                        optimize: bool = False,
+                        store: Optional[StoreHandle] = None,
+                        memo_seed: Optional[Dict] = None,
+                        storage=None) -> None:
     from ..engine.storage import Storage
+
+    _use_worker_clock()
 
     precheck = None
     if optimize:
@@ -158,15 +254,19 @@ def init_pattern_worker(reach_db, domains, per_flow: bool,
         from ..analysis.optimize import ConditionPrecheck
 
         precheck = ConditionPrecheck(domains)
+    opened = _open_store(store)
     _PATTERN_STATE.update(
         reach_db=reach_db,
-        storage=Storage(reach_db),
+        # Prefer the parent's already-indexed storage (free under fork);
+        # rebuild only when it was not shipped.
+        storage=storage if storage is not None else Storage(reach_db),
         domains=domains,
         per_flow=per_flow,
         spec=spec,
         enumeration_limit=enumeration_limit,
         memo_enabled=memo_enabled,
-        memo=_worker_memo(memo_enabled),
+        store=opened,
+        memo=_worker_memo(memo_enabled, opened, memo_seed),
         fast_path=fast_path,
         precheck=precheck,
     )
@@ -210,6 +310,24 @@ def run_pattern_task(task) -> Dict[str, Any]:
     }
 
 
+def run_pattern_shard(shard: List[Any]) -> Dict[str, Any]:
+    """Run a batch of pattern queries in one task message.
+
+    Coarse sharding: one pickle ships N queries and one reply ships N
+    results, cutting the per-task IPC that dominated fine-grained
+    fan-out.  Each query still gets its own rebuilt governor and its own
+    deterministic fault schedule (``run_pattern_task``), so faults stay
+    a pure function of the query — independent of sharding and worker
+    count.  The shared-store counters are reported as shard deltas.
+    """
+    store: Optional[SharedVerdictStore] = _PATTERN_STATE.get("store")
+    marks = _store_marks(store)
+    return {
+        "results": [run_pattern_task(task) for task in shard],
+        "shared_memo": _store_deltas(store, marks),
+    }
+
+
 # -- relative-complete verification ladders ---------------------------------
 
 _VERIFY_STATE: Dict[str, Any] = {}
@@ -218,7 +336,12 @@ _VERIFY_STATE: Dict[str, Any] = {}
 def init_verify_worker(known, schemas, column_domains, generic_rows,
                        budget_retries, budget_growth, domains,
                        enumeration_limit: int, spec: Optional[GovernorSpec],
-                       memo_enabled: bool, fast_path: bool = True) -> None:
+                       memo_enabled: bool, fast_path: bool = True,
+                       store: Optional[StoreHandle] = None,
+                       update=None, state=None,
+                       memo_seed=None) -> None:
+    _use_worker_clock()
+    opened = _open_store(store)
     _VERIFY_STATE.update(
         known=known,
         schemas=schemas,
@@ -230,16 +353,27 @@ def init_verify_worker(known, schemas, column_domains, generic_rows,
         enumeration_limit=enumeration_limit,
         spec=spec,
         memo_enabled=memo_enabled,
-        memo=_worker_memo(memo_enabled),
+        store=opened,
+        memo=_worker_memo(memo_enabled, opened, memo_seed),
         fast_path=fast_path,
+        update=update,
+        state=state,
     )
 
 
 #: Module-global state dicts the executors must snapshot/restore when an
 #: initializer runs *in the parent* (the jobs=1 inline path and the
 #: supervised executor's quarantine path) — without the guard, inline
-#: runs would leak worker state into the parent across calls.
-INLINE_STATE_DICTS = (_PRUNE_STATE, _PATTERN_STATE, _VERIFY_STATE)
+#: runs would leak worker state into the parent across calls.  The store
+#: cache is guarded too: inline attachments must not outlive the call
+#: (the dropped store object closes its descriptors on GC).
+INLINE_STATE_DICTS = (
+    _PRUNE_STATE,
+    _PATTERN_STATE,
+    _VERIFY_STATE,
+    _STORE_CACHE,
+    _clock._CLOCK,
+)
 
 
 def run_verify_task(task) -> Any:
@@ -270,3 +404,20 @@ def run_verify_task(task) -> Any:
         budget_growth=_VERIFY_STATE["budget_growth"],
     )
     return verifier.verify(target, update=update, state=state)
+
+
+def run_verify_shard(shard: List[Any]) -> Dict[str, Any]:
+    """Run a batch of ladder targets in one task message.
+
+    The shared ``update``/``state`` pair ships once via the initializer
+    (they are identical for every target of one ``verify_many`` call);
+    the shard is just the bare targets.  Returns the verdicts in shard
+    order plus shard-delta shared-store counters.
+    """
+    store: Optional[SharedVerdictStore] = _VERIFY_STATE.get("store")
+    marks = _store_marks(store)
+    update, state = _VERIFY_STATE.get("update"), _VERIFY_STATE.get("state")
+    return {
+        "verdicts": [run_verify_task((target, update, state)) for target in shard],
+        "shared_memo": _store_deltas(store, marks),
+    }

@@ -346,7 +346,9 @@ class CheckpointJournal:
 
         Returns the number of replayed memo entries.  After this call
         every *new* definite verdict the run computes streams to the
-        journal as it lands in the memo.
+        journal as it lands in the memo.  Subscription goes through
+        :meth:`MemoTable.add_observer`, so the journal coexists with the
+        cross-worker shared verdict store's writer.
         """
         replayed = self.replay_memo(memo, domains)
 
@@ -355,5 +357,5 @@ class CheckpointJournal:
             if key_obj is not None:
                 self.record("memo", key_obj, {"key": key_obj, "value": value})
 
-        memo.observer = observe
+        memo.add_observer(observe)
         return replayed

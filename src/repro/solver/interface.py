@@ -48,6 +48,7 @@ from ..ctable.condition import (
     disjoin,
 )
 from ..ctable.terms import Constant, CVariable
+from ..clock import phase_clock
 from ..robustness.errors import BudgetExceeded, ConditionTooLarge, SolverFailure
 from ..robustness.governor import Governor
 from ..robustness.verdict import Trivalent, Verdict
@@ -187,7 +188,7 @@ class ConditionSolver:
             return Verdict.from_bool(cached)
         memo = self.memo
         memo_key = None
-        start = time.perf_counter()
+        start = phase_clock()
         try:
             if memo is not None:
                 # The governor's size ceiling applies *before* interning:
@@ -223,7 +224,7 @@ class ConditionSolver:
         finally:
             # try/finally so wall-clock is accounted even when a solver
             # routine raises (budget exhaustion, injected faults, ...).
-            self.stats.time_seconds += time.perf_counter() - start
+            self.stats.time_seconds += phase_clock() - start
         if memo_key is not None:
             memo.put(memo_key, result)
         self._sat_cache[condition] = result
@@ -370,9 +371,9 @@ class ConditionSolver:
         # canonicalization of both sides and of the conjoined refutation
         # condition (the dominant cost of the c-table dedup hot path).
         if self.fast_path:
-            start = time.perf_counter()
+            start = phase_clock()
             fast = fast_implies(antecedent, consequent, self.domains)
-            self.stats.time_seconds += time.perf_counter() - start
+            self.stats.time_seconds += phase_clock() - start
             if fast is not None:
                 self.stats.fast_path_hits += 1
                 result = Trivalent.TRUE if fast else Trivalent.FALSE
@@ -447,22 +448,22 @@ class ConditionSolver:
             return {} if self.is_satisfiable(condition) else None
         cvars = condition.cvariables()
         if self.domains.all_finite(cvars):
-            start = time.perf_counter()
+            start = phase_clock()
             try:
                 return find_model(condition, self.domains)
             finally:
-                self.stats.time_seconds += time.perf_counter() - start
+                self.stats.time_seconds += phase_clock() - start
         if self.is_satisfiable(condition):
             raise ValueError("model extraction requires finite domains")
         return None
 
     def model_count(self, condition: Condition) -> int:
         """Exact model count over the condition's c-variables."""
-        start = time.perf_counter()
+        start = phase_clock()
         try:
             return count_models(condition, self.domains)
         finally:
-            self.stats.time_seconds += time.perf_counter() - start
+            self.stats.time_seconds += phase_clock() - start
 
     # -- simplification --------------------------------------------------------
 

@@ -31,7 +31,7 @@ The default process-wide table is obtained with :func:`shared_memo`;
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..ctable.condition import Condition, FalseCond, TrueCond
 from ..ctable.terms import CVariable
@@ -71,13 +71,49 @@ class MemoTable:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        #: Optional ``callback(key, value)`` invoked on every :meth:`put`
-        #: — the checkpoint journal's hook for persisting definite
-        #: verdicts as they are computed (repro.robustness.checkpoint).
-        self.observer = None
+        #: ``callback(key, value)`` hooks invoked on every :meth:`put` —
+        #: the checkpoint journal persists definite verdicts as they are
+        #: computed (repro.robustness.checkpoint) and the cross-worker
+        #: shared verdict store appends them to its log
+        #: (repro.parallel.shared_memo); both can subscribe at once.
+        self.observers: List[Callable[[Tuple, bool], None]] = []
+        #: Optional ``callback(key) -> Optional[bool]`` consulted on a
+        #: local miss in :meth:`get`/:meth:`peek`; a definite answer is
+        #: folded into the table (and so re-observed) before returning.
+        #: The shared verdict store's read side plugs in here.
+        self.backing: Optional[Callable[[Tuple], Optional[bool]]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # -- observers ----------------------------------------------------------
+
+    def add_observer(self, callback: Callable[[Tuple, bool], None]) -> None:
+        """Subscribe ``callback(key, value)`` to every :meth:`put`."""
+        if callback not in self.observers:
+            self.observers.append(callback)
+
+    def remove_observer(self, callback: Callable[[Tuple, bool], None]) -> None:
+        """Unsubscribe; absent callbacks are ignored (idempotent)."""
+        try:
+            self.observers.remove(callback)
+        except ValueError:
+            pass
+
+    @property
+    def observer(self) -> Optional[Callable[[Tuple, bool], None]]:
+        """Back-compat single-observer view: the first subscriber.
+
+        Assigning replaces *all* subscribers (the historical single-slot
+        semantics); new code should use :meth:`add_observer` /
+        :meth:`remove_observer` so the checkpoint journal and the shared
+        verdict store can coexist.
+        """
+        return self.observers[0] if self.observers else None
+
+    @observer.setter
+    def observer(self, callback: Optional[Callable[[Tuple, bool], None]]) -> None:
+        self.observers = [] if callback is None else [callback]
 
     # -- canonicalization ---------------------------------------------------
 
@@ -113,11 +149,30 @@ class MemoTable:
 
     # -- verdict storage ----------------------------------------------------
 
+    def _from_backing(self, key: Tuple) -> Optional[bool]:
+        """Consult the read-through backing; fold a definite hit.
+
+        The fold goes through :meth:`put`, so observers see the verdict
+        too — a store-served answer is journaled/persisted exactly like
+        a locally computed one (the store's own writer deduplicates).
+        """
+        if self.backing is None:
+            return None
+        got = self.backing(key)
+        if got is None:
+            return None
+        self.put(key, got)
+        return got
+
     def get(self, key: Tuple) -> Optional[bool]:
         got = self._entries.get(key)
         if got is None:
-            self.misses += 1
-            return None
+            got = self._from_backing(key)
+            if got is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return got
         self._entries.move_to_end(key)
         self.hits += 1
         return got
@@ -132,7 +187,10 @@ class MemoTable:
         """
         got = self._entries.get(key)
         if got is None:
-            return None
+            got = self._from_backing(key)
+            if got is not None:
+                self.hits += 1
+            return got
         self._entries.move_to_end(key)
         self.hits += 1
         return got
@@ -146,13 +204,18 @@ class MemoTable:
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
-        if self.observer is not None:
-            self.observer(key, value)
+        for callback in self.observers:
+            callback(key, value)
 
     # -- bookkeeping --------------------------------------------------------
 
     def clear(self) -> None:
-        self.observer = None
+        session = getattr(self, "_store_session", None)
+        if session is not None:
+            self._store_session = None
+            session.close()
+        self.observers = []
+        self.backing = None
         self._entries.clear()
         self._canon.clear()
         self.interner.clear()

@@ -272,17 +272,25 @@ class RelativeCompleteVerifier:
         """The actual serial-or-parallel ladder execution."""
         if jobs <= 1 or len(targets) <= 1:
             return [self.verify(t, update=update, state=state) for t in targets]
+        from ..parallel.executor import balanced_shards
+        from ..parallel.shared_memo import reads_allowed, session_for
         from ..parallel.spec import GovernorSpec
         from ..parallel.supervisor import SupervisedExecutor, TaskLost, fold_failures
-        from ..parallel.worker import init_verify_worker, run_verify_task
+        from ..parallel.worker import init_verify_worker, run_verify_shard
 
         executor = executor or SupervisedExecutor(jobs)
         governor = self.solver.governor
+        session = session_for(self.solver.memo, executor)
+        reads = reads_allowed(governor)
+        if session is not None:
+            session.enable_parent_reads(reads)
 
         def _initargs() -> tuple:
             # Re-snapshot the live governor on every (re)spawn: the spec
             # carries the deadline as *remaining* seconds, so a retried
             # target must not be handed the full original budget again.
+            # The shared update/state pair ships here, once per worker,
+            # instead of riding along in every task payload.
             return (
                 self.known,
                 self.schemas,
@@ -295,28 +303,41 @@ class RelativeCompleteVerifier:
                 GovernorSpec.from_governor(governor),
                 self.solver.memo is not None,
                 self.solver.fast_path,
+                session.handle(reads) if session is not None else None,
+                update,
+                state,
+                # Warm worker memos from the parent's, ungoverned runs
+                # only (mirrors the store-read gating; see shared_memo).
+                self.solver.memo._entries
+                if reads and self.solver.memo is not None
+                else None,
             )
 
+        # Coarse sharding: a batch of targets per task message (2 shards
+        # per worker for load balance), not one task per target.
+        shards = balanced_shards(list(targets), jobs * 2)
         results = executor.map(
-            run_verify_task,
-            [(t, update, state) for t in targets],
+            run_verify_shard,
+            shards,
             initializer=init_verify_worker,
             initargs=_initargs(),
             refresh_initargs=_initargs,
         )
         fold_failures(executor, governor=governor)
         out: List[Verdict] = []
-        for res in results:
+        for shard, res in zip(shards, results):
             if isinstance(res, TaskLost):
-                # Worker loss degrades to INCONCLUSIVE — an explicit
-                # "more resources needed", never a silent partial answer.
-                out.append(
+                # Worker loss degrades every target of the shard to
+                # INCONCLUSIVE — an explicit "more resources needed",
+                # never a silent partial answer.
+                out.extend(
                     Verdict(
                         Status.INCONCLUSIVE,
                         None,
                         trail=[f"worker lost: {res.reason}"],
                     )
+                    for _ in shard
                 )
             else:
-                out.append(res)
+                out.extend(res["verdicts"])
         return out

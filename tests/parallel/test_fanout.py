@@ -80,9 +80,16 @@ class TestUnderPatterns:
     def test_parallel_accounting(self, rib):
         _, analyzer = self.run(rib, JOBS)
         n_queries = len(pattern_queries(rib))
-        assert analyzer.stats.extra["parallel_shards"] == n_queries
+        # Coarse sharding: a batch of queries per task message — two
+        # shards per worker, never more shards than queries.
+        assert (
+            analyzer.stats.extra["parallel_shards"]
+            == analyzer.stats.extra["parallel_tasks"]
+            == min(n_queries, JOBS * 2)
+        )
         assert analyzer.stats.extra["parallel_wall_seconds"] > 0.0
         assert analyzer.stats.extra["parallel_cpu_seconds"] > 0.0
+        assert analyzer.stats.extra["ipc_bytes"] > 0
 
     def test_fault_injection_is_deterministic_per_query(self, rib):
         """Under injection, repeated parallel runs are byte-identical.
