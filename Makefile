@@ -7,7 +7,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src $(PYTHON)
 
-.PHONY: install test test-oracle test-robustness test-chaos test-serve test-dataflow bench bench-memo bench-incremental bench-tables bench-smoke bench-parallel examples lint-programs lint-sarif typecheck lint-self clean
+.PHONY: install test test-oracle test-robustness test-chaos test-serve test-replication bench bench-memo bench-incremental bench-serve bench-tables bench-smoke bench-parallel test-dataflow examples lint-programs lint-sarif typecheck lint-self clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,9 +33,17 @@ test-chaos:
 bench:
 	$(RUN) -m pytest benchmarks/ --benchmark-only
 
-# serve daemon: WAL recovery, epoch isolation, admission control
+# serve daemon: WAL recovery, epoch isolation, admission control,
+# compaction, withdrawal, replicas, protocol negotiation
 test-serve:
 	$(RUN) -m pytest tests/serve/ -q
+
+# replication + compaction chaos: SIGKILL the primary mid-ingest with a
+# replica attached, kill a compaction between snapshot fsync and
+# segment retirement, SIGKILL a replica mid-tail — recovery and
+# convergence must stay byte-identical to a never-killed run
+test-replication:
+	$(RUN) -m pytest tests/chaos/test_replication_chaos.py -q
 
 # canonical interning + shared memoization decision-call comparison
 bench-memo:
@@ -46,6 +54,13 @@ bench-memo:
 # BENCH_incremental.json
 bench-incremental:
 	$(RUN) benchmarks/bench_incremental.py
+
+# serve daemon under multi-client load (query p50/p99, acked-ingest
+# throughput, shed rate, threshold compaction); exits non-zero unless a
+# cold restart answers byte-identically and the WAL stays bounded.  The
+# JSON artifact is emitted by report.py as BENCH_serve.json
+bench-serve:
+	$(RUN) benchmarks/bench_serve.py
 
 # the paper's tables/figures in their printed layout, plus the
 # machine-readable BENCH_table4.json / BENCH_parallel.json artifacts
@@ -58,6 +73,7 @@ bench-tables:
 	$(RUN) benchmarks/bench_scale.py
 	$(RUN) benchmarks/bench_memo.py --smoke
 	$(RUN) benchmarks/bench_incremental.py
+	$(RUN) benchmarks/bench_serve.py
 	$(RUN) benchmarks/report.py --jobs 4
 
 # CI-sized parallel gate: smallest prefix size, --jobs 2; exits

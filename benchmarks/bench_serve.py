@@ -1,0 +1,251 @@
+"""Serve daemon under multi-client load: latency, throughput, lifecycle.
+
+One ingest stream (plain, conditional, removable, and withdrawn facts —
+the full protocol-v2 mutation surface) runs against a live
+:class:`~repro.serve.server.FaureServer` while N query clients hammer
+the read path.  Threshold compaction (``--compact-every``) fires
+repeatedly mid-stream, so the numbers include the log-lifecycle cost a
+long-lived daemon actually pays.
+
+The report (``BENCH_serve.json`` via report.py) carries:
+
+* ``query_p50_s`` / ``query_p99_s`` — read latency under concurrent
+  ingest (reads are served lock-free from the published epoch snapshot,
+  so they should not degrade with writer activity);
+* ``ingest_per_s`` — acked durable updates per second (fsync-bound);
+* ``shed_rate`` — share of ingest requests refused with a typed
+  ``OVERLOADED`` (admission control working as designed, never a hang);
+* ``wal_bounded`` — after threshold compactions the live WAL suffix
+  must stay at or below the compaction interval (the flat-recovery
+  claim);
+* ``restart_rows_agree`` — the cardinality-agreement gate: a cold
+  restart on the same WAL (newest snapshot + suffix replay) must
+  answer the row projection byte-identically to the live daemon.
+
+Run: ``python benchmarks/bench_serve.py`` (or ``--smoke``), or
+``pytest benchmarks/bench_serve.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import FaureServer
+from repro.serve.state import ServeState
+
+PROGRAM_TEXT = "R(f, x, y) :- F(f, x, y).\nR(f, x, z) :- R(f, x, y), F(f, y, z).\n"
+
+#: (query clients, ingest updates, compaction interval)
+FULL = (4, 80, 16)
+SMOKE = (2, 24, 8)
+
+
+def database_text(flows: int = 3, hops: int = 3) -> str:
+    """A seed EDB: per-flow forwarding chains plus one conditional link."""
+    from repro.ctable.condition import eq
+    from repro.ctable.io import dump_database
+    from repro.ctable.table import Database
+    from repro.ctable.terms import CVariable
+    from repro.solver.domains import BOOL_DOMAIN, DomainMap, Unbounded
+
+    db = Database()
+    table = db.create_table("F", ["flow", "src", "dst"])
+    for f in range(flows):
+        for h in range(hops):
+            table.add([f"p{f}", f"n{h}", f"n{h + 1}"])
+    table.add(["p0", f"n{hops}", "edge"], eq(CVariable("up"), 1))
+    domains = DomainMap({CVariable("up"): BOOL_DOMAIN}, default=Unbounded("any"))
+    return dump_database(db, domains)
+
+
+def _rows_only(answer: dict) -> str:
+    keep = ("relation", "schema", "status", "rows", "total")
+    return json.dumps({k: answer[k] for k in keep}, sort_keys=True)
+
+
+def _query_worker(address, done, out):
+    latencies, shed = [], 0
+    client = ServeClient(*address).connect()
+    try:
+        while not done.is_set():
+            start = time.perf_counter()
+            answer = client.query("R")
+            latencies.append(time.perf_counter() - start)
+            if not answer.get("ok") and answer.get("code") == "OVERLOADED":
+                shed += 1
+    finally:
+        client.close()
+    out.append({"queries": len(latencies), "latencies": latencies, "shed": shed})
+
+
+def _percentile(sorted_vals, q):
+    if not sorted_vals:
+        return 0.0
+    index = min(len(sorted_vals) - 1, int(q * len(sorted_vals)))
+    return sorted_vals[index]
+
+
+def build_report(clients: int, updates: int, compact_every: int) -> dict:
+    """Drive the stress run; return the ``BENCH_serve.json`` payload."""
+    db_text = database_text()
+    with tempfile.TemporaryDirectory() as tmp:
+        wal = os.path.join(tmp, "bench.wal")
+        state = ServeState(PROGRAM_TEXT, db_text, wal, compact_every=compact_every)
+        server = FaureServer(state)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+
+        done = threading.Event()
+        worker_out: list = []
+        threads = [
+            threading.Thread(
+                target=_query_worker, args=(server.address, done, worker_out)
+            )
+            for _ in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+
+        ingest = ServeClient(*server.address).connect()
+        guards, shed, acked = [], 0, 0
+        start = time.perf_counter()
+        try:
+            for i in range(updates):
+                removable = i % 5 == 4
+                response = ingest.update(
+                    "F",
+                    [f"p{i % 3}", f"n{i}", f"x{i}"],
+                    condition="$up == 1" if i % 7 == 6 else None,
+                    removable=removable,
+                    txid=f"bench-{i}",
+                )
+                if not response.get("ok"):
+                    shed += 1
+                    continue
+                acked += 1
+                if removable:
+                    guards.append(response["guard"])
+            # withdraw half the removable facts through the same WAL path
+            withdrawn = guards[: len(guards) // 2]
+            for j, guard in enumerate(withdrawn):
+                response = ingest.withdraw(guard, txid=f"bench-wd-{j}")
+                if response.get("ok"):
+                    acked += 1
+                else:
+                    shed += 1
+            ingest_s = time.perf_counter() - start
+            done.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            live = _rows_only(ingest.query("R"))
+            status = ingest.admin("status")
+        finally:
+            done.set()
+            ingest.close()
+            server.stop()
+
+        # cardinality-agreement gate: a cold restart must answer the
+        # same projection from snapshot + WAL-suffix replay alone
+        restarted = ServeState(PROGRAM_TEXT, db_text, wal)
+        recovered = _rows_only(restarted.query("R"))
+
+    latencies = sorted(
+        lat for out in worker_out for lat in out["latencies"]
+    )
+    queries = sum(out["queries"] for out in worker_out)
+    requests = updates + len(withdrawn)
+    rows = [
+        {
+            "client": i,
+            "queries": out["queries"],
+            "p50_s": round(_percentile(sorted(out["latencies"]), 0.50), 6),
+            "p99_s": round(_percentile(sorted(out["latencies"]), 0.99), 6),
+            "shed": out["shed"],
+        }
+        for i, out in enumerate(worker_out)
+    ]
+    return {
+        "workload": "serve-stress",
+        "clients": clients,
+        "updates": requests,
+        "acked": acked,
+        "ingest_per_s": round(acked / max(ingest_s, 1e-9), 1),
+        "queries_total": queries,
+        "query_p50_s": round(_percentile(latencies, 0.50), 6),
+        "query_p99_s": round(_percentile(latencies, 0.99), 6),
+        "shed_rate": round(shed / max(requests, 1), 4),
+        "compactions": status["counters"]["compactions"],
+        "withdrawals": status["counters"]["withdrawals"],
+        "wal_entries": status["wal_entries"],
+        "wal_bounded": status["wal_entries"] <= compact_every,
+        "restart_rows_agree": recovered == live,
+        "rows": rows,
+    }
+
+
+def test_serve_stress(benchmark):
+    clients, updates, compact_every = SMOKE
+    report = benchmark.pedantic(
+        build_report, args=(clients, updates, compact_every), rounds=1, iterations=1
+    )
+    assert report["restart_rows_agree"], "restart diverged from the live daemon"
+    assert report["wal_bounded"], "threshold compaction failed to bound the WAL"
+    assert report["compactions"] >= 1
+    benchmark.extra_info.update(
+        {k: report[k] for k in ("ingest_per_s", "query_p50_s", "shed_rate")}
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    args = parser.parse_args(argv)
+    clients, updates, compact_every = SMOKE if args.smoke else FULL
+    report = build_report(clients, updates, compact_every)
+    print(
+        f"{clients} query clients over {report['updates']} updates "
+        f"(compact every {compact_every}):"
+    )
+    print(
+        f"  query latency: p50 {report['query_p50_s'] * 1e3:7.2f}ms  "
+        f"p99 {report['query_p99_s'] * 1e3:7.2f}ms  "
+        f"({report['queries_total']} queries)"
+    )
+    print(
+        f"  ingest       : {report['ingest_per_s']:7.1f} acked/s  "
+        f"shed rate {report['shed_rate']:.1%}"
+    )
+    print(
+        f"  lifecycle    : {report['compactions']} compactions, "
+        f"{report['withdrawals']} withdrawals, "
+        f"{report['wal_entries']} live WAL entries"
+    )
+    failures = []
+    if not report["restart_rows_agree"]:
+        failures.append("cold restart diverged from the live daemon's rows")
+    if not report["wal_bounded"]:
+        failures.append(
+            f"WAL not bounded: {report['wal_entries']} entries "
+            f"> compact_every={compact_every}"
+        )
+    if report["compactions"] < 1:
+        failures.append("threshold compaction never fired")
+    for line in failures:
+        print(f"FAIL: {line}")
+    if not failures:
+        print("  restart state byte-identical to live rows; WAL bounded")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

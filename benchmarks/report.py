@@ -22,7 +22,13 @@ Produces three JSON artifacts next to the repo root (or ``--out-dir``):
   store);
 * ``BENCH_incremental.json`` — per-announcement update latency for
   semi-naive incremental maintenance vs recompute-from-scratch (the
-  serve daemon's per-update apply cost; see bench_incremental.py).
+  serve daemon's per-update apply cost; see bench_incremental.py);
+* ``BENCH_serve.json`` — the serve daemon under multi-client load
+  (query p50/p99, acked-ingest throughput, shed rate, threshold
+  compactions) with two gates: a cold restart on the same WAL must
+  answer the row projection byte-identically to the live daemon, and
+  the live WAL suffix must stay bounded by the compaction interval
+  (see bench_serve.py).
 
 Both runs must generate identical tuple counts (``jobs`` changes how
 the work is scheduled, never what is answered); the report asserts this
@@ -45,10 +51,16 @@ from repro.workloads.ribgen import RibConfig, generate_rib
 
 try:  # package-relative when imported by pytest
     from .bench_incremental import build_report as build_incremental_report
+    from .bench_serve import FULL as SERVE_FULL
+    from .bench_serve import SMOKE as SERVE_SMOKE
+    from .bench_serve import build_report as build_serve_report
     from .bench_table4 import _fresh_analyzer, _pattern_stats, run_ablation
     from .conftest import PREFIX_SIZES
 except ImportError:  # python benchmarks/report.py
     from bench_incremental import build_report as build_incremental_report
+    from bench_serve import FULL as SERVE_FULL
+    from bench_serve import SMOKE as SERVE_SMOKE
+    from bench_serve import build_report as build_serve_report
     from bench_table4 import _fresh_analyzer, _pattern_stats, run_ablation
     from conftest import PREFIX_SIZES
 
@@ -240,6 +252,8 @@ def main(argv=None) -> int:
     reports["BENCH_incremental.json"] = build_incremental_report(
         inc_prefixes, inc_events
     )
+    serve_params = SERVE_SMOKE if args.smoke else SERVE_FULL
+    reports["BENCH_serve.json"] = build_serve_report(*serve_params)
     for name, payload in reports.items():
         path = os.path.join(args.out_dir, name)
         with open(path, "w") as handle:
@@ -362,6 +376,28 @@ def main(argv=None) -> int:
         f"incremental maintenance: {incremental['events']} events, "
         f"p50 update latency {incremental['update_latency_p50_s']}s, "
         f"{incremental['speedup_vs_recompute']:.1f}x vs recompute"
+    )
+    serve = reports["BENCH_serve.json"]
+    if not serve["restart_rows_agree"]:
+        print(
+            "MISMATCH: serve daemon cold restart (snapshot + WAL-suffix "
+            "replay) diverged from the live daemon's row projection",
+            file=sys.stderr,
+        )
+        return 1
+    if not serve["wal_bounded"]:
+        print(
+            f"FAIL: serve WAL unbounded after threshold compaction "
+            f"({serve['wal_entries']} live entries)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"serve stress: {serve['clients']} clients, query p50 "
+        f"{serve['query_p50_s']}s / p99 {serve['query_p99_s']}s, "
+        f"{serve['ingest_per_s']:.0f} acked updates/s, "
+        f"shed rate {serve['shed_rate']:.1%}, "
+        f"{serve['compactions']} compactions, restart byte-identical"
     )
     return 0
 

@@ -667,23 +667,55 @@ def _cmd_serve(args) -> int:
     from .serve.server import FaureServer
     from .serve.state import ServeBudgets, ServeState
 
-    program_text = (
-        Path(args.program_file).read_text() if args.program_file else args.program
-    )
-    database_text = Path(args.db).read_text()
     budgets = ServeBudgets(
         deadline_seconds=args.deadline,
         solver_call_budget=args.solver_budget,
         steps_per_call=args.solver_steps,
         max_condition_atoms=args.max_condition_atoms,
     )
-    state = ServeState(
-        program_text,
-        database_text,
-        args.wal,
+    state_kwargs = dict(
         budgets=budgets,
         optimize=getattr(args, "optimize", False),
+        compact_every=args.compact_every,
+        compact_bytes=args.compact_bytes,
     )
+    tailer = None
+    primary_addr = None
+    if args.replica_of:
+        # Replica: the workload (program + seed database) comes from the
+        # primary's snapshot, not from local flags.
+        from .serve.client import parse_hostport
+        from .serve.replica import ReplicaTailer, bootstrap_replica
+
+        if args.db or args.program or args.program_file:
+            print(
+                "serve failure: --replica-of takes its workload from the "
+                "primary's snapshot; drop --db/--program/--program-file",
+                file=sys.stderr,
+            )
+            return EXIT_PARSE_ERROR
+        primary_addr = parse_hostport(args.replica_of, args.host)
+        try:
+            state = bootstrap_replica(primary_addr, args.wal, **state_kwargs)
+        except (ConnectionError, OSError) as exc:
+            print(f"serve failure: cannot bootstrap replica: {exc}", file=sys.stderr)
+            return EXIT_SERVE_FAILURE
+        tailer = ReplicaTailer(
+            state, primary_addr, poll_interval=args.poll_interval
+        )
+    else:
+        if not args.db or not (args.program or args.program_file):
+            print(
+                "serve failure: a primary needs --db and --program/--program-file "
+                "(or start as a replica with --replica-of HOST:PORT)",
+                file=sys.stderr,
+            )
+            return EXIT_PARSE_ERROR
+        program_text = (
+            Path(args.program_file).read_text() if args.program_file else args.program
+        )
+        database_text = Path(args.db).read_text()
+        state = ServeState(program_text, database_text, args.wal, **state_kwargs)
     try:
         server = FaureServer(
             state,
@@ -691,12 +723,17 @@ def _cmd_serve(args) -> int:
             port=args.port,
             queue_limit=args.queue_limit,
             shed_retry_after=args.retry_after,
+            role="replica" if args.replica_of else "primary",
+            primary_addr=primary_addr,
         )
     except OSError as exc:
         print(f"serve failure: cannot bind {args.host}:{args.port}: {exc}",
               file=sys.stderr)
         state.close()
         return EXIT_SERVE_FAILURE
+    if tailer is not None:
+        server.tailer = tailer
+        tailer.start()
     host, port = server.address
     snapshot = state.epochs.current()
     # The ready line: tests and scripts parse this to find the ephemeral
@@ -712,6 +749,7 @@ def _cmd_serve(args) -> int:
                     "seq": snapshot.seq,
                     "replayed": len(state.wal),
                     "wal": args.wal,
+                    "role": server.role,
                 }
             },
             sort_keys=True,
@@ -733,11 +771,46 @@ def _cmd_serve(args) -> int:
         f"-- serve: {state.counters['updates_applied']} update(s) applied, "
         f"{state.counters['updates_rejected']} rejected, "
         f"{server.counters['shed']} shed, "
-        f"{state.counters['recoveries']} recover(ies); "
+        f"{state.counters['recoveries']} recover(ies), "
+        f"{state.counters['compactions']} compaction(s); "
         f"wal={state.wal.path} seq={state.wal.last_seq}",
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_serve_admin(args) -> int:
+    """Administer a running serve daemon (status / compact / snapshot)."""
+    import json
+
+    from .serve.client import ServeClient
+    from .serve.protocol import ServeRequestError
+
+    try:
+        if args.wait:
+            client = ServeClient.wait_until_up(args.host, args.port)
+            client.timeout = args.timeout
+        else:
+            client = ServeClient(args.host, args.port, timeout=args.timeout)
+        with client:
+            if args.action == "compact":
+                response = client.admin("compact", force=args.force)
+            elif args.action == "snapshot":
+                response = client.admin("snapshot")
+            else:
+                response = client.admin("status")
+    except ServeRequestError as exc:
+        # Old peer (no admin surface): typed refusal, errno-class exit.
+        response = exc.response()
+        print(json.dumps(response, sort_keys=True, separators=(",", ":")))
+        return int(response["errno"])
+    except (ConnectionError, OSError) as exc:
+        print(f"serve-admin failure: {exc}", file=sys.stderr)
+        return EXIT_SERVE_FAILURE
+    print(json.dumps(response, sort_keys=True, separators=(",", ":")))
+    if response.get("ok"):
+        return 0
+    return int(response.get("errno", EXIT_SERVE_FAILURE))
 
 
 def _cmd_examples(_args) -> int:
@@ -837,8 +910,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash-safe incremental verification daemon "
         "(WAL-backed updates, snapshot-isolated queries)",
     )
-    serve.add_argument("--db", required=True, help="seed database JSON file")
-    serve_group = serve.add_mutually_exclusive_group(required=True)
+    serve.add_argument(
+        "--db",
+        help="seed database JSON file (primaries; replicas take the "
+        "workload from the primary's snapshot)",
+    )
+    serve_group = serve.add_mutually_exclusive_group()
     serve_group.add_argument("--program", help="inline program text")
     serve_group.add_argument("--program-file", help="program file")
     serve.add_argument(
@@ -892,7 +969,61 @@ def build_parser() -> argparse.ArgumentParser:
         "pre-admission impact slicing plus solver-free condition "
         "prechecks on the update path (answers byte-identical)",
     )
+    serve_lifecycle = serve.add_argument_group(
+        "log lifecycle (WAL compaction into seed snapshots)"
+    )
+    serve_lifecycle.add_argument(
+        "--compact-every",
+        type=int,
+        help="fold the log into a snapshot whenever it holds this many "
+        "entries (keeps steady-state log size and open time bounded)",
+    )
+    serve_lifecycle.add_argument(
+        "--compact-bytes",
+        type=int,
+        help="fold the log into a snapshot whenever it exceeds this many "
+        "bytes on disk",
+    )
+    serve_replica = serve.add_argument_group("replication")
+    serve_replica.add_argument(
+        "--replica-of",
+        metavar="HOST:PORT",
+        help="start as a read replica of this primary: bootstrap from its "
+        "snapshot, tail its WAL, answer queries (ingest is redirected)",
+    )
+    serve_replica.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="replica tail poll interval in seconds when caught up "
+        "(default: 0.2)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    serve_admin = sub.add_parser(
+        "serve-admin",
+        help="administer a running serve daemon "
+        "(status, compact the WAL, write a snapshot)",
+    )
+    serve_admin.add_argument("--host", default="127.0.0.1")
+    serve_admin.add_argument("--port", type=int, required=True)
+    serve_admin.add_argument("--timeout", type=float, default=30.0)
+    serve_admin.add_argument(
+        "--wait", action="store_true", help="poll until the daemon is up first"
+    )
+    serve_admin.add_argument(
+        "action",
+        choices=["status", "compact", "snapshot"],
+        help="status: health + log/snapshot lifecycle; compact: fold the "
+        "WAL into a seed snapshot and retire folded segments; snapshot: "
+        "write a snapshot without retiring anything",
+    )
+    serve_admin.add_argument(
+        "--force",
+        action="store_true",
+        help="compact even when the log suffix is empty",
+    )
+    serve_admin.set_defaults(func=_cmd_serve_admin)
 
     lint = sub.add_parser("lint", help="static checks on fauré-log files")
     lint.add_argument("programs", nargs="+", help="program file(s)")

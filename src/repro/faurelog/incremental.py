@@ -55,6 +55,7 @@ class IncrementalEvaluator:
         database: Database,
         solver: Optional[ConditionSolver] = None,
         precheck: Optional["ConditionPrecheck"] = None,
+        restored_idb: Optional[Database] = None,
     ):
         self.program = program
         self.database = database
@@ -85,10 +86,19 @@ class IncrementalEvaluator:
         for i, stratum in enumerate(self._strata):
             for pred in stratum:
                 self._stratum_of[pred] = i
-        # initial full evaluation
-        evaluator = FaureEvaluator(database, solver=solver, precheck=self.precheck)
-        self.result = evaluator.evaluate(program)
-        self.stats.add(evaluator.stats)
+        if restored_idb is not None:
+            # Snapshot restore (serve-mode compaction / replica bootstrap):
+            # the IDB tables were serialized row-for-row from a state this
+            # same class produced, so adopting them verbatim — and then
+            # rebuilding the indexes and condition bookkeeping below from
+            # their insertion order — reproduces that state byte-exactly
+            # without re-running the initial evaluation.
+            self.result = restored_idb
+        else:
+            # initial full evaluation
+            evaluator = FaureEvaluator(database, solver=solver, precheck=self.precheck)
+            self.result = evaluator.evaluate(program)
+            self.stats.add(evaluator.stats)
         # combined EDB+IDB view used for incremental matching
         self._combined = Database(
             [t for t in database] + [t for t in self.result]

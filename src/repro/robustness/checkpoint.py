@@ -53,6 +53,8 @@ if TYPE_CHECKING:  # runtime imports stay lazy: ctable.io imports the
 __all__ = [
     "CheckpointJournal",
     "fingerprint_of",
+    "fsync_dir",
+    "rewrite_journal",
     "digest_key",
     "table_to_obj",
     "table_from_obj",
@@ -73,6 +75,45 @@ def fingerprint_of(*parts: Optional[str]) -> str:
         h.update(len(marker).to_bytes(8, "big"))
         h.update(marker)
     return h.hexdigest()
+
+
+def fsync_dir(path: str) -> None:
+    """fsync the directory containing ``path`` (make a rename durable)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def rewrite_journal(
+    path: str, fingerprint: str, records: Iterable[Tuple[str, Any, Any]]
+) -> "CheckpointJournal":
+    """Atomically replace the journal at ``path`` with the given records.
+
+    Used by serve-mode WAL compaction to retire a long log: the new
+    journal is written (and fsync'd, record by record) to a sibling
+    temp file, then ``os.replace``'d over the old one and the directory
+    fsync'd — a crash at any point leaves either the complete old log
+    or the complete new one, never a splice.  Returns a freshly opened
+    journal on the final path.
+    """
+    tmp = path + ".rewrite"
+    if os.path.exists(tmp):
+        os.remove(tmp)
+    staging = CheckpointJournal.open(tmp, fingerprint)
+    try:
+        for kind, key, payload in records:
+            staging.record(kind, key, payload)
+    finally:
+        staging.close()
+    os.replace(tmp, path)
+    fsync_dir(path)
+    return CheckpointJournal.open(path, fingerprint)
 
 
 def digest_key(obj: Any) -> str:

@@ -18,27 +18,48 @@ consistent snapshots.  Robustness properties:
   (:mod:`repro.serve.server`): a bounded ingest queue sheds overload
   with explicit retry-after responses, per-request governor budgets
   degrade queries to ``INCONCLUSIVE`` instead of stalling, and
-  malformed updates are rejected without poisoning the resident state.
+  malformed updates are rejected without poisoning the resident state;
+* **log lifecycle** (:mod:`repro.serve.snapshots`): WAL compaction
+  folds the durable prefix into fingerprint-stamped seed snapshots
+  (atomic write-new → rename, retire only after the fsync), keeping
+  both steady-state log size and daemon open time bounded;
+* **read replicas** (:mod:`repro.serve.replica`): pull-based followers
+  bootstrap from a primary snapshot, tail the WAL with a sequence
+  cursor, answer queries with an explicit ``lag_seqs`` staleness
+  contract, and survive the primary's SIGKILL serving consistent reads;
+* **withdrawal** (guard c-variables): facts ingested ``removable`` get
+  a fresh boolean guard conjoined onto their condition, and
+  ``withdraw`` is a WAL'd guard *assignment* — the paper's answer to
+  deletion, flowing through the same ordered replay as every insert.
 
-See ``docs/ROBUSTNESS.md`` §serve for the full contract.
+See ``docs/ROBUSTNESS.md`` §serve/§compaction/§replication/§withdrawal
+for the full contract.
 """
 
 # NOTE: .client is deliberately not imported here — it doubles as
 # ``python -m repro.serve.client`` and importing it from the package
 # would shadow the runpy execution of the same module.
 from .epochs import EpochManager, RelationView, Snapshot
-from .protocol import ServeRequestError
+from .protocol import FEATURES, PROTOCOL_VERSION, ServeRequestError
+from .replica import ReplicaTailer, bootstrap_replica
 from .server import FaureServer
+from .snapshots import load_latest_snapshot, write_snapshot
 from .state import ServeState
 from .wal import UpdateEntry, WriteAheadLog
 
 __all__ = [
     "EpochManager",
+    "FEATURES",
     "FaureServer",
+    "PROTOCOL_VERSION",
     "RelationView",
+    "ReplicaTailer",
     "ServeRequestError",
     "ServeState",
     "Snapshot",
     "UpdateEntry",
     "WriteAheadLog",
+    "bootstrap_replica",
+    "load_latest_snapshot",
+    "write_snapshot",
 ]

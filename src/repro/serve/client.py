@@ -1,8 +1,8 @@
-"""A minimal client for the serve protocol, usable as a library or CLI.
+"""A client for the serve protocol, usable as a library or CLI.
 
 Library::
 
-    with ServeClient("127.0.0.1", 4711) as client:
+    with ServeClient("127.0.0.1", 4711, replicas=[("127.0.0.1", 4712)]) as client:
         client.update("F", ["p1", "A", "B"], txid="announce-17")
         answer = client.query("R", where="$a == 1")
 
@@ -10,13 +10,30 @@ CLI (one request per invocation, JSON response on stdout)::
 
     python -m repro.serve.client --port 4711 health
     python -m repro.serve.client --port 4711 update F p1 A B --txid k1
-    python -m repro.serve.client --port 4711 query R --where '$a == 1'
+    python -m repro.serve.client --port 4711 update F p3 A B --removable
+    python -m repro.serve.client --port 4711 withdraw __g4
+    python -m repro.serve.client --port 4711 --replica 127.0.0.1:4712 query R
     python -m repro.serve.client --port 4711 shutdown
 
 The CLI prints the response as compact key-sorted JSON, so two runs
 against equal daemon states are byte-identical — which is what the CI
 kill/restart smoke job diffs.  Exit code 0 for ``ok`` responses, the
 response's ``errno`` otherwise.
+
+Failover: *reads* (query/health) fall back to the configured replicas
+when the primary is unreachable, and any answer obtained that way is
+stamped ``"stale": true`` — the caller always knows it is reading a
+consistent-but-possibly-behind prefix (the response's ``lag_seqs``
+quantifies how far).  Writes never fail over: a replica would only
+answer ``READ_ONLY``, and silently re-routing a write is how split
+brains are born.
+
+Negotiation: v2 operations (removable updates, withdraw, tail,
+snapshot, admin) are gated on the peer's advertised ``features`` (from
+its health response).  Against an old-style peer the client raises a
+typed :class:`ServeRequestError` with code ``UNSUPPORTED`` *before*
+sending anything the peer would mishandle — never a hang, never a raw
+traceback.
 """
 
 from __future__ import annotations
@@ -26,22 +43,52 @@ import json
 import socket
 import sys
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from .protocol import MAX_LINE_BYTES, encode
+from .protocol import MAX_BULK_BYTES, MAX_LINE_BYTES, ServeRequestError, encode
 
-__all__ = ["ServeClient", "main"]
+__all__ = ["ServeClient", "main", "parse_hostport"]
+
+#: Ops a v1 peer (PR 6) does not speak, and the feature each requires.
+_V2_OPS: Dict[str, str] = {
+    "withdraw": "withdraw",
+    "tail": "tail",
+    "snapshot": "snapshot",
+    "admin": "admin",
+}
+
+
+def parse_hostport(spec: str, default_host: str = "127.0.0.1") -> Tuple[str, int]:
+    """``host:port`` (or bare ``port``) → (host, port)."""
+    if ":" in spec:
+        host, _, port = spec.rpartition(":")
+        return host or default_host, int(port)
+    return default_host, int(spec)
 
 
 class ServeClient:
-    """One persistent connection speaking the line protocol."""
+    """One persistent connection speaking the line protocol.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    ``replicas`` is an optional list of ``(host, port)`` read replicas
+    used as query/health fallbacks when the primary is unreachable.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        replicas: Optional[Sequence[Tuple[str, int]]] = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.replicas: List[Tuple[str, int]] = [
+            (h, int(p)) for h, p in (replicas or [])
+        ]
         self._sock: Optional[socket.socket] = None
         self._file = None
+        self._features: Optional[Tuple[str, ...]] = None
 
     # -- connection management -----------------------------------------------
 
@@ -77,7 +124,7 @@ class ServeClient:
         while time.monotonic() < end:
             try:
                 client = cls(host, port).connect()
-                client.health()
+                client.request({"op": "health"})
                 return client
             except OSError as exc:
                 last = exc
@@ -86,14 +133,76 @@ class ServeClient:
 
     # -- request plumbing ----------------------------------------------------
 
-    def request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+    def request(self, obj: Dict[str, Any], bulk: bool = False) -> Dict[str, Any]:
+        """Send one request line, read one response line.
+
+        ``bulk`` raises the response-size cap to :data:`MAX_BULK_BYTES`
+        (snapshot transfers, tail batches).  A connection-level failure
+        drops the socket so the next request reconnects cleanly.
+        """
         self.connect()
         assert self._sock is not None and self._file is not None
-        self._sock.sendall(encode(obj))
-        line = self._file.readline(MAX_LINE_BYTES + 1)
+        limit = MAX_BULK_BYTES if bulk else MAX_LINE_BYTES
+        try:
+            self._sock.sendall(encode(obj))
+            line = self._file.readline(limit + 1)
+        except (ConnectionError, OSError):
+            self.close()
+            raise
         if not line:
+            self.close()
             raise ConnectionError("serve daemon closed the connection")
         return json.loads(line.decode("utf-8"))
+
+    def _read_request(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """A read (query/health): primary first, then replica failover.
+
+        A failover answer is stamped ``stale: true`` — it is a
+        consistent prefix of the primary's history, but possibly behind
+        it (``lag_seqs`` says by how much, when the replica knows).
+        """
+        try:
+            return self.request(obj)
+        except (ConnectionError, OSError):
+            if not self.replicas:
+                raise
+        last_exc: Optional[Exception] = None
+        for host, port in self.replicas:
+            fallback = ServeClient(host, port, timeout=self.timeout)
+            try:
+                with fallback:
+                    response = fallback.request(obj)
+            except (ConnectionError, OSError) as exc:
+                last_exc = exc
+                continue
+            response["stale"] = True
+            response.setdefault("served_by", {"host": host, "port": port})
+            return response
+        raise ConnectionError(
+            f"primary {self.host}:{self.port} and all "
+            f"{len(self.replicas)} replica(s) unreachable: {last_exc}"
+        )
+
+    # -- negotiation ----------------------------------------------------------
+
+    def features(self) -> Tuple[str, ...]:
+        """The peer's advertised capabilities (cached after first health)."""
+        if self._features is None:
+            health = self.request({"op": "health"})
+            advertised = health.get("features")
+            self._features = (
+                tuple(advertised) if isinstance(advertised, list) else ()
+            )
+        return self._features
+
+    def _require_feature(self, op: str, feature: str) -> None:
+        if feature not in self.features():
+            raise ServeRequestError(
+                "UNSUPPORTED",
+                f"peer {self.host}:{self.port} does not speak {op!r} "
+                f"(advertised features: {list(self.features()) or 'none'}); "
+                "upgrade the daemon to protocol v2",
+            )
 
     # -- the protocol surface ------------------------------------------------
 
@@ -104,7 +213,12 @@ class ServeClient:
         condition: Optional[str] = None,
         txid: Optional[str] = None,
         weaken: bool = False,
+        removable: bool = False,
     ) -> Dict[str, Any]:
+        if removable:
+            # An old peer would silently ignore the flag and store the
+            # fact *permanently* — refuse locally instead.
+            self._require_feature("update(removable)", "removable")
         obj: Dict[str, Any] = {
             "op": "update",
             "relation": relation,
@@ -116,6 +230,15 @@ class ServeClient:
             obj["txid"] = txid
         if weaken:
             obj["weaken"] = True
+        if removable:
+            obj["removable"] = True
+        return self.request(obj)
+
+    def withdraw(self, guard: str, txid: Optional[str] = None) -> Dict[str, Any]:
+        self._require_feature("withdraw", _V2_OPS["withdraw"])
+        obj: Dict[str, Any] = {"op": "withdraw", "guard": guard}
+        if txid is not None:
+            obj["txid"] = txid
         return self.request(obj)
 
     def query(
@@ -129,10 +252,29 @@ class ServeClient:
             obj["where"] = where
         if limit is not None:
             obj["limit"] = limit
-        return self.request(obj)
+        return self._read_request(obj)
 
     def health(self) -> Dict[str, Any]:
-        return self.request({"op": "health"})
+        return self._read_request({"op": "health"})
+
+    def tail(
+        self, after_seq: int = 0, max_entries: Optional[int] = None
+    ) -> Dict[str, Any]:
+        self._require_feature("tail", _V2_OPS["tail"])
+        obj: Dict[str, Any] = {"op": "tail", "after_seq": after_seq}
+        if max_entries is not None:
+            obj["max"] = max_entries
+        return self.request(obj, bulk=True)
+
+    def snapshot_fetch(self) -> Dict[str, Any]:
+        self._require_feature("snapshot", _V2_OPS["snapshot"])
+        return self.request({"op": "snapshot"}, bulk=True)
+
+    def admin(self, action: str, **extra: Any) -> Dict[str, Any]:
+        self._require_feature("admin", _V2_OPS["admin"])
+        obj: Dict[str, Any] = {"op": "admin", "action": action}
+        obj.update(extra)
+        return self.request(obj, bulk=True)
 
     def shutdown(self) -> Dict[str, Any]:
         return self.request({"op": "shutdown"})
@@ -149,6 +291,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--port", type=int, required=True)
     parser.add_argument("--timeout", type=float, default=30.0)
     parser.add_argument(
+        "--replica",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="read replica to fall back to when the primary is down "
+        "(repeatable; failover answers are stamped stale:true)",
+    )
+    parser.add_argument(
         "--wait", action="store_true", help="poll until the daemon is up first"
     )
     sub = parser.add_subparsers(dest="op", required=True)
@@ -159,6 +309,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     update.add_argument("--condition")
     update.add_argument("--txid")
     update.add_argument("--weaken", action="store_true")
+    update.add_argument(
+        "--removable",
+        action="store_true",
+        help="guard the fact with a fresh boolean c-variable so it can be "
+        "withdrawn later (the response carries the guard handle)",
+    )
+
+    withdraw = sub.add_parser(
+        "withdraw", help="assign a removable fact's guard to 0 (drop its worlds)"
+    )
+    withdraw.add_argument("guard")
+    withdraw.add_argument("--txid")
 
     query = sub.add_parser("query", help="read one relation from the snapshot")
     query.add_argument("relation")
@@ -176,11 +338,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sub.add_parser("shutdown", help="graceful daemon shutdown")
 
     args = parser.parse_args(argv)
+    replicas = [parse_hostport(spec, args.host) for spec in args.replica]
     if args.wait:
         client = ServeClient.wait_until_up(args.host, args.port)
         client.timeout = args.timeout
+        client.replicas = replicas
     else:
-        client = ServeClient(args.host, args.port, timeout=args.timeout)
+        client = ServeClient(
+            args.host, args.port, timeout=args.timeout, replicas=replicas
+        )
     try:
         with client:
             if args.op == "update":
@@ -190,7 +356,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     condition=args.condition,
                     txid=args.txid,
                     weaken=args.weaken,
+                    removable=args.removable,
                 )
+            elif args.op == "withdraw":
+                response = client.withdraw(args.guard, txid=args.txid)
             elif args.op == "query":
                 response = client.query(args.relation, where=args.where, limit=args.limit)
                 if args.rows_only and response.get("ok"):
@@ -201,6 +370,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 response = client.health()
             else:
                 response = client.shutdown()
+    except ServeRequestError as exc:
+        # Negotiation failure (old peer): typed, local, no bytes sent.
+        response = exc.response()
+        print(json.dumps(response, sort_keys=True, separators=(",", ":")))
+        return int(response.get("errno", 1))
     except (ConnectionError, OSError) as exc:
         # The daemon died mid-request (or was never up): a clean typed
         # failure, not a traceback — the caller decides whether to retry.

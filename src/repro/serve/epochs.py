@@ -23,10 +23,11 @@ ingest thread).  No reader ever blocks an ingest and vice versa.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..ctable.table import CTuple, Database
+from ..ctable.terms import Constant, CVariable
 
 __all__ = ["RelationView", "Snapshot", "EpochManager"]
 
@@ -49,12 +50,17 @@ class Snapshot:
 
     ``seq`` is the highest WAL sequence number applied when the
     snapshot was taken — the durability watermark a query's answer is
-    current *as of*.
+    current *as of*.  ``assignments`` maps withdrawn guard c-variables
+    to their assigned constants *as of this epoch*: queries substitute
+    them into row conditions, so a withdrawal becoming visible is an
+    epoch advance like any other update — a reader holding the prior
+    snapshot keeps seeing the prior (consistent) worlds.
     """
 
     epoch: int
     seq: int
     relations: Dict[str, RelationView]
+    assignments: Dict[CVariable, Constant] = field(default_factory=dict)
 
     def relation(self, name: str) -> RelationView:
         try:
@@ -66,7 +72,13 @@ class Snapshot:
         return tuple(sorted(self.relations))
 
     @classmethod
-    def capture(cls, database: Database, epoch: int, seq: int) -> "Snapshot":
+    def capture(
+        cls,
+        database: Database,
+        epoch: int,
+        seq: int,
+        assignments: Optional[Dict[CVariable, Constant]] = None,
+    ) -> "Snapshot":
         """Freeze the current contents of every table in ``database``."""
         relations = {
             table.name: RelationView(
@@ -76,7 +88,12 @@ class Snapshot:
             )
             for table in database
         }
-        return cls(epoch=epoch, seq=seq, relations=relations)
+        return cls(
+            epoch=epoch,
+            seq=seq,
+            relations=relations,
+            assignments=dict(assignments) if assignments else {},
+        )
 
 
 class EpochManager:

@@ -39,11 +39,15 @@ from .wal import UpdateEntry
 
 __all__ = [
     "MAX_LINE_BYTES",
+    "MAX_BULK_BYTES",
+    "PROTOCOL_VERSION",
+    "FEATURES",
     "ServeRequestError",
     "decode_request",
     "encode",
     "error_response",
     "validate_update",
+    "validate_withdraw",
     "parse_values",
     "parse_where",
 ]
@@ -52,6 +56,20 @@ __all__ = [
 #: hostile client must not make the daemon buffer without bound).
 MAX_LINE_BYTES = 1 << 20
 
+#: Cap on *bulk* response lines a client will read (snapshot transfer,
+#: tail batches) — large state is expected there, unbounded is not.
+MAX_BULK_BYTES = 64 << 20
+
+#: Wire protocol generation.  v1 (PR 6) speaks update/query/health/
+#: shutdown; v2 adds removable facts + withdraw, replica tail/snapshot,
+#: and the admin surface.  Servers advertise ``protocol`` and
+#: ``features`` in health responses; clients gate v2-only requests on
+#: that advertisement so an old peer produces a typed error, not a hang.
+PROTOCOL_VERSION = 2
+
+#: Capability names a v2 server advertises.
+FEATURES = ("removable", "withdraw", "tail", "snapshot", "admin", "compaction")
+
 #: errno values mirroring the CLI exit codes (see repro.cli).
 ERRNO_MALFORMED = 2
 ERRNO_BUDGET = 3
@@ -59,19 +77,36 @@ ERRNO_SERVE = 6
 
 #: Symbolic code -> errno. Everything in the exit-code-2 class is a
 #: request the server refused to even log; OVERLOADED/INTERNAL are
-#: server-side conditions.
+#: server-side conditions.  READ_ONLY (ingest sent to a replica),
+#: UNSUPPORTED (feature the peer does not speak), UNKNOWN_GUARD and
+#: COMPACTED (tail cursor below the primary's snapshot horizon) are all
+#: requests the server refuses without touching its log, so they share
+#: the exit-code-2 class.
 ERRNO_OF = {
     "MALFORMED": ERRNO_MALFORMED,
     "UNKNOWN_RELATION": ERRNO_MALFORMED,
     "ARITY": ERRNO_MALFORMED,
     "IDB_INSERT": ERRNO_MALFORMED,
     "NON_MONOTONE": ERRNO_MALFORMED,
+    "UNKNOWN_GUARD": ERRNO_MALFORMED,
+    "READ_ONLY": ERRNO_MALFORMED,
+    "UNSUPPORTED": ERRNO_MALFORMED,
+    "COMPACTED": ERRNO_MALFORMED,
     "BUDGET": ERRNO_BUDGET,
     "OVERLOADED": ERRNO_SERVE,
     "INTERNAL": ERRNO_SERVE,
 }
 
-_OPS = ("update", "query", "health", "shutdown")
+_OPS = (
+    "update",
+    "withdraw",
+    "query",
+    "health",
+    "shutdown",
+    "tail",
+    "snapshot",
+    "admin",
+)
 
 
 class ServeRequestError(Exception):
@@ -183,10 +218,50 @@ def validate_update(obj: Dict[str, Any]) -> UpdateEntry:
         raise ServeRequestError("MALFORMED", "'weaken' must be a boolean")
     if weaken and condition is None:
         raise ServeRequestError("MALFORMED", "a weaken update needs a 'condition'")
+    removable = obj.get("removable", False)
+    if not isinstance(removable, bool):
+        raise ServeRequestError("MALFORMED", "'removable' must be a boolean")
+    if removable and weaken:
+        raise ServeRequestError(
+            "MALFORMED",
+            "a weaken widens an existing fact's worlds; only a fresh insert "
+            "can be 'removable' (it gets its own guard c-variable)",
+        )
     return UpdateEntry(
         kind="weaken" if weaken else "insert",
         relation=relation,
         values=tuple(raw_values),
         condition=condition,
         txid=txid,
+        # The guard *name* is assigned at sequencing time (it embeds the
+        # WAL seq); the sentinel "" marks the entry as wanting one.
+        guard="" if removable else None,
+    )
+
+
+def validate_withdraw(obj: Dict[str, Any]) -> UpdateEntry:
+    """Shape-check a withdraw request into an (unsequenced) WAL entry.
+
+    Withdrawal is the paper's guard-variable encoding: the request names
+    the guard handle the original removable insert returned, and the
+    durable entry records an *assignment* of that guard — existence of
+    the guard (and whether it was already withdrawn) is the state
+    layer's admission check, exactly like schema checks for inserts.
+    """
+    guard = obj.get("guard")
+    if not isinstance(guard, str) or not guard:
+        raise ServeRequestError(
+            "MALFORMED",
+            "withdraw needs the 'guard' handle returned by the removable insert",
+        )
+    txid = obj.get("txid")
+    if txid is not None and not isinstance(txid, str):
+        raise ServeRequestError("MALFORMED", "'txid' must be a string")
+    return UpdateEntry(
+        kind="withdraw",
+        relation=obj.get("relation") if isinstance(obj.get("relation"), str) else "",
+        values=(),
+        condition=None,
+        txid=txid,
+        guard=guard,
     )

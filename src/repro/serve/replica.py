@@ -1,0 +1,232 @@
+"""Read replicas: bootstrap from a primary snapshot, tail its WAL.
+
+A replica is a full :class:`~repro.serve.state.ServeState` of its own —
+local WAL, local snapshots, the same recovery invariant — whose log is
+*fed* by the primary instead of by clients:
+
+* **bootstrap**: fetch the primary's consistent snapshot over the
+  ``snapshot`` op, write it durably as the local seed snapshot, and
+  build the state from it (replaying any local WAL suffix a previous
+  incarnation left behind).  When the primary is unreachable, fall back
+  to the newest *local* snapshot — a replica restart while the primary
+  is down serves stale-but-consistent reads immediately;
+* **tail**: :class:`ReplicaTailer` polls ``tail`` with a sequence
+  cursor (the local WAL's ``last_seq``, so resume-after-restart is
+  automatic), appends each batch gaplessly via
+  :meth:`ServeState.apply_replicated` (durable-before-apply, one
+  publish per batch — readers see a consistent prefix of the primary's
+  history, never a half-batch), and records the primary's ``last_seq``
+  so every replica response can report ``lag_seqs``;
+* **compaction race**: a ``COMPACTED`` answer means the cursor fell
+  below the primary's snapshot horizon — the tailer re-bootstraps via
+  :meth:`ServeState.adopt_bootstrap` and resumes tailing above the new
+  base.
+
+The pull model keeps the primary oblivious: it serves ``tail`` like any
+other read, holds no replica registry, and its SIGKILL at any point
+leaves every replica serving its last consistent prefix (marked by
+``primary_up: false``) until the primary returns.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from .protocol import ServeRequestError
+from .state import ServeState
+from .wal import UpdateEntry
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .client import ServeClient
+
+__all__ = ["ReplicaTailer", "bootstrap_replica", "peek_local_snapshot"]
+
+
+def _client_class():
+    # Imported lazily: repro.serve.client doubles as ``python -m
+    # repro.serve.client``, and importing it at package-import time
+    # would shadow that runpy execution (see repro.serve.__init__).
+    from .client import ServeClient
+
+    return ServeClient
+
+
+def peek_local_snapshot(wal_path: str) -> Optional[Dict[str, Any]]:
+    """The newest structurally-valid local snapshot, fingerprint unchecked.
+
+    Bootstrap chicken-and-egg breaker: the workload texts (and hence the
+    fingerprint) live *inside* the snapshot, so a replica starting with
+    the primary down reads them from here first; the subsequent
+    :class:`ServeState` construction re-validates the fingerprint.
+    """
+    import json
+    import os
+
+    from .snapshots import SNAPSHOT_MAGIC, list_snapshots
+
+    for _seq, path in list_snapshots(wal_path):
+        if not os.path.exists(path):
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                obj = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(obj, dict) and obj.get("magic") == SNAPSHOT_MAGIC:
+            if all(k in obj for k in ("program", "database", "seq")):
+                return obj
+    return None
+
+
+def bootstrap_replica(
+    primary: Tuple[str, int],
+    wal_path: str,
+    timeout: float = 30.0,
+    **state_kwargs: Any,
+) -> ServeState:
+    """Build a replica state: primary snapshot first, local fallback.
+
+    Raises :class:`ConnectionError` only when the primary is unreachable
+    *and* no local snapshot exists (a brand-new replica genuinely needs
+    one live fetch).
+    """
+    host, port = primary
+    try:
+        with _client_class()(host, port, timeout=timeout) as client:
+            response = client.snapshot_fetch()
+        if not response.get("ok"):
+            raise ServeRequestError(
+                response.get("code", "INTERNAL"),
+                response.get("error", "snapshot fetch failed"),
+            )
+        return ServeState.from_bootstrap(response["snapshot"], wal_path, **state_kwargs)
+    except (ConnectionError, OSError) as exc:
+        local = peek_local_snapshot(wal_path)
+        if local is None:
+            raise ConnectionError(
+                f"primary {host}:{port} unreachable and no local snapshot at "
+                f"{wal_path}: {exc}"
+            ) from exc
+        # Stale-but-consistent: local snapshot + local WAL suffix.
+        return ServeState(local["program"], local["database"], wal_path, **state_kwargs)
+
+
+class ReplicaTailer(threading.Thread):
+    """Background thread keeping a replica converged with its primary.
+
+    Exposes ``primary_seq`` (the primary's last durable sequence, as of
+    the last successful poll) and ``primary_up`` — the server stamps
+    both into every replica response as the staleness contract.
+    """
+
+    def __init__(
+        self,
+        state: ServeState,
+        primary: Tuple[str, int],
+        poll_interval: float = 0.2,
+        batch: int = 512,
+        timeout: float = 30.0,
+    ):
+        super().__init__(name="faure-replica-tail", daemon=True)
+        self.state = state
+        self.primary = primary
+        self.poll_interval = poll_interval
+        self.batch = batch
+        self.timeout = timeout
+        self.primary_seq: Optional[int] = None
+        self.primary_up = False
+        self.rebootstraps = 0
+        self.last_error: Optional[str] = None
+        self._halt = threading.Event()
+        self._client: Optional["ServeClient"] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self) -> None:
+        self._halt.set()
+        client, self._client = self._client, None
+        if client is not None:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - teardown best-effort
+                pass
+
+    def wait_caught_up(self, seq: int, deadline: float = 30.0) -> bool:
+        """Block until the local WAL reaches ``seq`` (test/ops helper)."""
+        end = time.monotonic() + deadline
+        while time.monotonic() < end:
+            if self.state.wal.last_seq >= seq:
+                return True
+            time.sleep(0.02)
+        return False
+
+    # -- the tail loop --------------------------------------------------------
+
+    def _connect(self) -> "ServeClient":
+        if self._client is None:
+            host, port = self.primary
+            self._client = _client_class()(host, port, timeout=self.timeout).connect()
+        return self._client
+
+    def _drop_connection(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration tests
+        backoff = self.poll_interval
+        while not self._halt.is_set():
+            try:
+                caught_up = self._poll_once()
+                self.primary_up = True
+                backoff = self.poll_interval
+                if caught_up:
+                    self._halt.wait(self.poll_interval)
+            except (ConnectionError, OSError) as exc:
+                # Primary down (or mid-restart): keep serving the local
+                # prefix, keep knocking with bounded backoff.
+                self.primary_up = False
+                self.last_error = str(exc)
+                self._drop_connection()
+                self._halt.wait(backoff)
+                backoff = min(backoff * 2, 2.0)
+            except Exception as exc:  # unexpected: record, back off, retry
+                self.primary_up = False
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                self._drop_connection()
+                self._halt.wait(backoff)
+                backoff = min(backoff * 2, 2.0)
+
+    def _poll_once(self) -> bool:
+        """One tail round-trip; returns True when fully caught up."""
+        client = self._connect()
+        cursor = self.state.wal.last_seq
+        response = client.tail(after_seq=cursor, max_entries=self.batch)
+        if not response.get("ok"):
+            if response.get("code") == "COMPACTED":
+                self._rebootstrap(client)
+                return False
+            raise ConnectionError(
+                f"tail refused: {response.get('code')}: {response.get('error')}"
+            )
+        self.primary_seq = int(response.get("last_seq", cursor))
+        entries = [UpdateEntry.from_obj(obj) for obj in response.get("entries", [])]
+        if entries:
+            self.state.apply_replicated(entries)
+        return self.state.wal.last_seq >= self.primary_seq
+
+    def _rebootstrap(self, client: ServeClient) -> None:
+        """Cursor fell below the primary's compaction horizon: start over."""
+        response = client.snapshot_fetch()
+        if not response.get("ok"):
+            raise ConnectionError(
+                f"re-bootstrap refused: {response.get('code')}: "
+                f"{response.get('error')}"
+            )
+        self.state.adopt_bootstrap(response["snapshot"])
+        self.rebootstraps += 1

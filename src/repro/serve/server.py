@@ -5,23 +5,35 @@ Request handling is split by contention class:
 * **queries and health** run directly on the handler thread against the
   current immutable snapshot — any number run concurrently, and none
   can observe a half-applied update (epoch isolation);
-* **updates** funnel through a *bounded* ingest queue drained by a
-  single ingest thread, which serializes the WAL-append→apply→publish
-  sequence.  When the queue is full the request is **shed** with an
-  explicit ``OVERLOADED`` + ``retry_after`` response — the daemon under
-  overload answers honestly instead of stalling or dying;
+* **updates and withdrawals** funnel through a *bounded* ingest queue
+  drained by a single ingest thread, which serializes the
+  WAL-append→apply→publish sequence.  When the queue is full the
+  request is **shed** with an explicit ``OVERLOADED`` + ``retry_after``
+  response — the daemon under overload answers honestly instead of
+  stalling or dying;
 * a request the ingest thread cannot apply for *infrastructure* reasons
   (not a validation reject — those never reach the queue) marks the
   daemon failed: in-flight requests get ``INTERNAL`` responses and the
   process exits with code 6 (``EXIT_SERVE_FAILURE``), leaving the WAL
   as the authoritative state for the next start.
 
+Replication surface (protocol v2): ``tail`` streams durable WAL
+entries above a cursor (handler-thread read — the WAL's in-memory list
+is copied, never locked against ingest), answering ``COMPACTED`` when
+the cursor fell below the compaction horizon; ``snapshot`` transfers a
+consistent bootstrap snapshot.  A server started with
+``role="replica"`` answers queries but refuses ingest with
+``READ_ONLY`` (redirecting to the primary), and stamps every response
+with ``lag_seqs``/``primary_up`` so clients can reason about staleness
+explicitly.
+
 Chaos hooks: the ingest loop honors the ``FAURE_CHAOS`` directive
 ``serve-hang-apply:<seconds>:<sentinel>`` (sleep once before the next
 apply), which the overload tests use to make shedding deterministic;
-the WAL inherits ``die-after-records`` from the checkpoint journal, so
-the chaos suite can SIGKILL the daemon mid-ingest through the exact
-production append path.
+the WAL inherits ``die-after-records`` from the checkpoint journal, and
+compaction honors ``compact-die`` (exit between snapshot fsync and
+segment retirement), so the chaos suite can SIGKILL the daemon at the
+exact production danger points.
 """
 
 from __future__ import annotations
@@ -34,12 +46,15 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..parallel.supervisor import _sentinel_fires, chaos_directives
 from .protocol import (
+    FEATURES,
     MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
     ServeRequestError,
     decode_request,
     encode,
     error_response,
     validate_update,
+    validate_withdraw,
 )
 from .state import ServeState
 
@@ -49,6 +64,9 @@ __all__ = ["FaureServer"]
 #: up with INTERNAL — a backstop, not a normal path (the queue bound is
 #: the real admission control).
 _INGEST_WAIT_SECONDS = 120.0
+
+#: Default max entries per tail batch (a client may ask for fewer).
+_TAIL_BATCH_MAX = 512
 
 
 class _Box:
@@ -93,7 +111,10 @@ class _Handler(socketserver.StreamRequestHandler):
                 self.wfile.flush()
             except (ConnectionError, OSError):
                 return
-            if close:
+            # A stopping daemon answers the in-flight request, then drops
+            # the connection — so tailing replicas and pooled clients see
+            # the stop as a disconnect, the same signal a crash gives.
+            if close or server._stopping.is_set():
                 return
 
 
@@ -107,8 +128,17 @@ class FaureServer:
         port: int = 0,
         queue_limit: int = 64,
         shed_retry_after: float = 0.1,
+        role: str = "primary",
+        primary_addr: Optional[Tuple[str, int]] = None,
     ):
+        if role not in ("primary", "replica"):
+            raise ValueError(f"unknown serve role {role!r}")
         self.state = state
+        self.role = role
+        self.primary_addr = primary_addr
+        #: Set by the replica runner: the tailer thread keeping this
+        #: replica converged (carries primary_seq / primary_up).
+        self.tailer: Optional[Any] = None
         self.queue_limit = queue_limit
         self.shed_retry_after = shed_retry_after
         self.started = time.monotonic()
@@ -163,16 +193,38 @@ class FaureServer:
             obj = decode_request(line)
         except ServeRequestError as exc:
             self.counters["protocol_errors"] += 1
-            return exc.response(), False
+            return self._stamp(exc.response()), False
         op = obj["op"]
+        close = False
         if op == "health":
-            return self._health(), False
-        if op == "shutdown":
+            response = self._health()
+        elif op == "shutdown":
             self._request_stop(drain=True)
-            return {"ok": True, "shutdown": True}, True
-        if op == "query":
-            return self._query(obj), False
-        return self._update(obj), False
+            response, close = {"ok": True, "shutdown": True}, True
+        elif op == "query":
+            response = self._query(obj)
+        elif op == "tail":
+            response = self._tail(obj)
+        elif op == "snapshot":
+            response = self._snapshot()
+        elif op == "admin":
+            response = self._admin(obj)
+        else:  # update / withdraw
+            response = self._update(obj)
+        return self._stamp(response), close
+
+    def _stamp(self, response: Dict[str, Any]) -> Dict[str, Any]:
+        """Replica staleness contract: lag in every response line."""
+        if self.role == "replica":
+            response.setdefault("role", "replica")
+            tailer = self.tailer
+            primary_seq = getattr(tailer, "primary_seq", None)
+            local_seq = self.state.wal.last_seq
+            response["lag_seqs"] = (
+                max(0, primary_seq - local_seq) if primary_seq is not None else None
+            )
+            response["primary_up"] = bool(getattr(tailer, "primary_up", False))
+        return response
 
     def _health(self) -> Dict[str, Any]:
         health = self.state.health()
@@ -180,7 +232,26 @@ class FaureServer:
         health["queue_depth"] = self._queue.qsize()
         health["queue_limit"] = self.queue_limit
         health["server"] = dict(self.counters)
+        health["protocol"] = PROTOCOL_VERSION
+        health["features"] = list(FEATURES)
+        health["role"] = self.role
         return health
+
+    def _status(self) -> Dict[str, Any]:
+        status = self.state.status()
+        status["uptime_s"] = round(time.monotonic() - self.started, 3)
+        status["queue_depth"] = self._queue.qsize()
+        status["queue_limit"] = self.queue_limit
+        status["server"] = dict(self.counters)
+        status["protocol"] = PROTOCOL_VERSION
+        status["features"] = list(FEATURES)
+        status["role"] = self.role
+        if self.primary_addr is not None:
+            status["primary"] = {
+                "host": self.primary_addr[0],
+                "port": self.primary_addr[1],
+            }
+        return status
 
     def _query(self, obj: Dict[str, Any]) -> Dict[str, Any]:
         relation = obj.get("relation")
@@ -194,7 +265,76 @@ class FaureServer:
         except ServeRequestError as exc:
             return exc.response()
 
+    def _tail(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """Durable entries above a cursor — the replica catch-up stream."""
+        after_seq = obj.get("after_seq", 0)
+        if not isinstance(after_seq, int) or after_seq < 0:
+            return error_response("MALFORMED", "'after_seq' must be a non-negative integer")
+        max_entries = obj.get("max", _TAIL_BATCH_MAX)
+        if not isinstance(max_entries, int) or max_entries <= 0:
+            return error_response("MALFORMED", "'max' must be a positive integer")
+        wal = self.state.wal
+        if after_seq < wal.base_seq:
+            # The cursor predates the compaction horizon: those entries
+            # were folded into a snapshot and no longer exist as log
+            # records.  The replica must re-bootstrap from the snapshot.
+            return error_response(
+                "COMPACTED",
+                f"entries through seq {wal.base_seq} were compacted into a "
+                "snapshot; re-bootstrap via the 'snapshot' op",
+                base_seq=wal.base_seq,
+            )
+        entries = wal.entries_after(after_seq, limit=min(max_entries, _TAIL_BATCH_MAX))
+        return {
+            "ok": True,
+            "entries": [e.to_obj() for e in entries],
+            "last_seq": wal.last_seq,
+            "base_seq": wal.base_seq,
+        }
+
+    def _snapshot(self) -> Dict[str, Any]:
+        """Consistent bootstrap snapshot (briefly excludes ingest)."""
+        try:
+            return {"ok": True, "snapshot": self.state.bootstrap_obj()}
+        except ServeRequestError as exc:
+            return exc.response()
+
+    def _admin(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        action = obj.get("action")
+        if action == "status":
+            return self._status()
+        if action == "compact":
+            if self._stopping.is_set():
+                return error_response("OVERLOADED", "daemon is shutting down")
+            try:
+                return self.state.compact(force=bool(obj.get("force", False)))
+            except ServeRequestError as exc:
+                return exc.response()
+        if action == "snapshot":
+            if self._stopping.is_set():
+                return error_response("OVERLOADED", "daemon is shutting down")
+            try:
+                return self.state.snapshot_now()
+            except ServeRequestError as exc:
+                return exc.response()
+        return error_response(
+            "MALFORMED",
+            f"unknown admin action {action!r} (want status, compact, or snapshot)",
+        )
+
     def _update(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        if self.role == "replica":
+            extra: Dict[str, Any] = {}
+            if self.primary_addr is not None:
+                extra["primary"] = {
+                    "host": self.primary_addr[0],
+                    "port": self.primary_addr[1],
+                }
+            return error_response(
+                "READ_ONLY",
+                "this node is a read replica; send updates to the primary",
+                **extra,
+            )
         if self._stopping.is_set():
             return error_response(
                 "OVERLOADED",
@@ -203,7 +343,10 @@ class FaureServer:
                 status="OVERLOADED",
             )
         try:
-            entry = validate_update(obj)
+            if obj.get("op") == "withdraw":
+                entry = validate_withdraw(obj)
+            else:
+                entry = validate_update(obj)
         except ServeRequestError as exc:
             self.state.counters["updates_rejected"] += 1
             return exc.response()
@@ -267,5 +410,11 @@ class FaureServer:
         if self._ingest.is_alive():
             self._queue.put(None)  # FIFO: everything queued drains first
             self._ingest.join(timeout=_INGEST_WAIT_SECONDS)
+        tailer = self.tailer
+        if tailer is not None:
+            try:
+                tailer.stop()
+            except Exception:  # pragma: no cover - shutdown best-effort
+                pass
         self._tcp.server_close()
         self.state.close()

@@ -1,0 +1,206 @@
+"""Seed snapshots: the WAL's compaction target and the replica's bootstrap.
+
+A snapshot folds "initial evaluation of (program, seed database) plus a
+durable WAL prefix" into one fingerprint-stamped JSON file, so that
+
+* **compaction** can retire the folded prefix from the log — recovery
+  becomes "load newest valid snapshot, replay the WAL suffix" instead
+  of "re-evaluate everything since the daemon was born";
+* a **read replica** can bootstrap from the primary's state without
+  replaying the primary's whole history (the same object travels over
+  the wire as the ``snapshot`` protocol op).
+
+Durability contract:
+
+* a snapshot is written to a sibling temp file, fsync'd, then
+  ``os.replace``'d to its final name ``<wal>.snap.<seq:016d>`` and the
+  directory fsync'd — the final name never holds a partial file;
+* WAL segments are retired (and older snapshots deleted) only *after*
+  the new snapshot is durable, so a crash between the two leaves a
+  snapshot at seq S plus a log still containing entries ``<= S`` —
+  recovery replays only the suffix ``> S`` and the overlap is harmless;
+* on load, candidates are tried newest-first and anything torn,
+  foreign-magic, or JSON-invalid **falls back to the previous one**
+  (a *fingerprint* mismatch on an otherwise valid snapshot is a hard
+  :class:`~repro.robustness.errors.CheckpointError`, exactly like the
+  WAL header check — never a silent splice of a different workload).
+
+The payload captures the resident state *byte-exactly*: EDB and IDB
+tables in ctable-interchange encoding with row order preserved, the
+domain map (including guard-variable domains), the guard registry and
+its withdrawal assignments, and the txid→seq dedup map — so a state
+restored from snapshot + suffix replay answers queries byte-identical
+to one that replayed the full log from the seed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..ctable.io import database_to_obj, domains_to_obj
+from ..robustness.errors import CheckpointError
+from ..robustness.checkpoint import fsync_dir
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "snapshot_path",
+    "list_snapshots",
+    "build_snapshot_obj",
+    "write_snapshot",
+    "load_latest_snapshot",
+    "retire_snapshots",
+]
+
+SNAPSHOT_MAGIC = "faure-seed-snapshot-v1"
+
+_SNAP_RE = re.compile(r"\.snap\.(\d{16})$")
+
+
+def snapshot_path(wal_path: str, seq: int) -> str:
+    """The canonical file name of the snapshot folding seqs ``1..seq``."""
+    return f"{wal_path}.snap.{seq:016d}"
+
+
+def list_snapshots(wal_path: str) -> List[Tuple[int, str]]:
+    """Existing snapshot files for this WAL, newest (highest seq) first."""
+    directory = os.path.dirname(os.path.abspath(wal_path)) or "."
+    base = os.path.basename(wal_path)
+    found = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    for name in names:
+        if not name.startswith(base + ".snap."):
+            continue
+        match = _SNAP_RE.search(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    found.sort(reverse=True)
+    return found
+
+
+def build_snapshot_obj(
+    fingerprint: str,
+    seq: int,
+    program_text: str,
+    database_text: str,
+    evaluator,
+    domains,
+    guards: Dict[str, Dict[str, Any]],
+    txids: Dict[str, int],
+) -> Dict[str, Any]:
+    """Serialize the resident state as of ``seq`` (caller holds the lock).
+
+    ``program_text``/``database_text`` ride along so a replica (or an
+    operator) can reconstruct the workload — and its fingerprint — from
+    the snapshot alone, with the primary unreachable.
+    """
+    edb_tables = database_to_obj(evaluator.database)["tables"]
+    edb_names = {t["name"] for t in edb_tables}
+    idb = [
+        t
+        for t in database_to_obj(evaluator.combined)["tables"]
+        if t["name"] not in edb_names
+    ]
+    return {
+        "magic": SNAPSHOT_MAGIC,
+        "fingerprint": fingerprint,
+        "seq": seq,
+        "program": program_text,
+        "database": database_text,
+        "domains": domains_to_obj(domains)["domains"],
+        "guards": {name: dict(info) for name, info in guards.items()},
+        "txids": dict(txids),
+        "edb": edb_tables,
+        "idb": idb,
+    }
+
+
+def write_snapshot(wal_path: str, obj: Dict[str, Any]) -> str:
+    """Durably write ``obj`` as the snapshot for its ``seq``; return path.
+
+    write-new → fsync → atomic rename → fsync dir.  The final name only
+    ever names a complete file; retiring anything (older snapshots, WAL
+    segments) is the *caller's* job and must happen after this returns.
+    """
+    final = snapshot_path(wal_path, int(obj["seq"]))
+    directory = os.path.dirname(os.path.abspath(final)) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(wal_path) + ".snaptmp.", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(obj, handle, separators=(",", ":"), sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        raise
+    fsync_dir(final)
+    return final
+
+
+def _validate(obj: Any, fingerprint: str, path: str) -> Dict[str, Any]:
+    if not isinstance(obj, dict) or obj.get("magic") != SNAPSHOT_MAGIC:
+        raise ValueError("not a seed snapshot")
+    for key in (
+        "fingerprint",
+        "seq",
+        "program",
+        "database",
+        "domains",
+        "guards",
+        "txids",
+        "edb",
+        "idb",
+    ):
+        if key not in obj:
+            raise ValueError(f"snapshot missing {key!r}")
+    if obj["fingerprint"] != fingerprint:
+        raise CheckpointError(
+            f"{path}: snapshot is for a different workload "
+            f"(fingerprint {obj['fingerprint'][:12]}… != {fingerprint[:12]}…); "
+            "refusing to splice foreign state — delete the file to start over"
+        )
+    return obj
+
+
+def load_latest_snapshot(
+    wal_path: str, fingerprint: str
+) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+    """Newest *valid* snapshot (object, path), or ``(None, None)``.
+
+    Torn or malformed candidates fall back to the next-older one;
+    a valid snapshot with a foreign fingerprint is a hard error.
+    """
+    for _seq, path in list_snapshots(wal_path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                obj = json.load(handle)
+        except (OSError, ValueError):
+            continue  # torn/partial: fall back to the previous snapshot
+        try:
+            return _validate(obj, fingerprint, path), path
+        except ValueError:
+            continue
+    return None, None
+
+
+def retire_snapshots(wal_path: str, keep_seq: int) -> int:
+    """Delete snapshots older than ``keep_seq``; returns how many."""
+    removed = 0
+    for seq, path in list_snapshots(wal_path):
+        if seq < keep_seq:
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:  # pragma: no cover - already gone
+                pass
+    return removed

@@ -19,18 +19,31 @@ Durability contract (the reason serve mode survives SIGKILL):
   died between fsync and reply) gets the original sequence number back
   instead of a double-apply.
 
+Log lifecycle (compaction): a log opened *above a snapshot* carries
+``base_seq`` — the highest sequence already folded into the seed
+snapshot.  Open-time cost is then proportional to the **suffix**, not
+the daemon's lifetime history, and the txid dedup map is seeded from
+the snapshot instead of rebuilt by scanning every entry ever logged.
+:meth:`WriteAheadLog.rewrite` atomically replaces the backing journal
+with just the suffix (write-new → rename), which is how compaction
+retires folded segments.
+
 Entries store the update in its *wire form* (raw value/condition
 strings), not parsed objects: replay re-parses through the same
 validation path a live request takes, keeping a recovered state
-byte-identical to an uninterrupted one.
+byte-identical to an uninterrupted one.  Removable facts additionally
+carry their **guard c-variable** name (assigned at sequencing time, so
+replay sees the same guard), and ``withdraw`` entries reference that
+guard — withdrawal is an *assignment*, not a retraction, so it flows
+through the same ordered replay as any other entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
-from ..robustness.checkpoint import CheckpointJournal, fingerprint_of
+from ..robustness.checkpoint import CheckpointJournal, fingerprint_of, rewrite_journal
 
 __all__ = ["UpdateEntry", "WriteAheadLog", "wal_fingerprint"]
 
@@ -47,9 +60,13 @@ def wal_fingerprint(program_text: str, database_text: str) -> str:
 class UpdateEntry:
     """One durable update, in wire form.
 
-    ``kind`` is ``"insert"`` or ``"weaken"``; ``values`` are the raw
-    term strings as received; ``condition`` is raw condition text or
-    ``None`` (unconditional).  ``seq`` is 0 until the log assigns one.
+    ``kind`` is ``"insert"``, ``"weaken"``, or ``"withdraw"``;
+    ``values`` are the raw term strings as received; ``condition`` is
+    raw condition text or ``None`` (unconditional).  ``guard`` is the
+    guard c-variable name: on an insert it marks the fact removable
+    (the daemon conjoins ``guard == 1`` onto the stored condition), on
+    a withdraw it names the guard being assigned 0.  ``seq`` is 0 until
+    the log assigns one.
     """
 
     kind: str
@@ -57,6 +74,7 @@ class UpdateEntry:
     values: tuple
     condition: Optional[str] = None
     txid: Optional[str] = None
+    guard: Optional[str] = None
     seq: int = 0
 
     def to_obj(self) -> Dict[str, Any]:
@@ -70,6 +88,8 @@ class UpdateEntry:
             obj["condition"] = self.condition
         if self.txid is not None:
             obj["txid"] = self.txid
+        if self.guard is not None:
+            obj["guard"] = self.guard
         return obj
 
     @classmethod
@@ -80,6 +100,7 @@ class UpdateEntry:
             values=tuple(obj["values"]),
             condition=obj.get("condition"),
             txid=obj.get("txid"),
+            guard=obj.get("guard"),
             seq=int(obj["seq"]),
         )
 
@@ -87,10 +108,16 @@ class UpdateEntry:
 class WriteAheadLog:
     """Monotone-sequence update log over a :class:`CheckpointJournal`."""
 
-    def __init__(self, journal: CheckpointJournal):
+    def __init__(
+        self,
+        journal: CheckpointJournal,
+        base_seq: int = 0,
+        seed_txids: Optional[Mapping[str, int]] = None,
+    ):
         self.journal = journal
+        self.base_seq = base_seq
         self._entries: List[UpdateEntry] = []
-        self._txids: Dict[str, int] = {}
+        self._txids: Dict[str, int] = dict(seed_txids or {})
         for _, payload in journal.entries(KIND):
             entry = UpdateEntry.from_obj(payload)
             self._entries.append(entry)
@@ -100,14 +127,32 @@ class WriteAheadLog:
         # monotonically, so this sort is a no-op on a well-formed log
         # and a repair on one hand-edited out of order.
         self._entries.sort(key=lambda e: e.seq)
-        self._next_seq = self._entries[-1].seq + 1 if self._entries else 1
+        last = self._entries[-1].seq if self._entries else 0
+        self._next_seq = max(last, base_seq) + 1
 
     # -- lifecycle -----------------------------------------------------------
 
     @classmethod
-    def open(cls, path: str, fingerprint: str) -> "WriteAheadLog":
-        """Open (or create) the log; replays durable entries into memory."""
-        return cls(CheckpointJournal.open(path, fingerprint))
+    def open(
+        cls,
+        path: str,
+        fingerprint: str,
+        base_seq: int = 0,
+        seed_txids: Optional[Mapping[str, int]] = None,
+    ) -> "WriteAheadLog":
+        """Open (or create) the log; replays durable entries into memory.
+
+        ``base_seq``/``seed_txids`` come from the seed snapshot when one
+        exists: sequences at or below ``base_seq`` are already folded in,
+        so replay (and a crash between snapshot-fsync and segment
+        retirement, which leaves the folded prefix still in the log)
+        only ever re-applies the suffix.
+        """
+        return cls(
+            CheckpointJournal.open(path, fingerprint),
+            base_seq=base_seq,
+            seed_txids=seed_txids,
+        )
 
     def close(self) -> None:
         self.journal.close()
@@ -120,7 +165,7 @@ class WriteAheadLog:
 
     @property
     def last_seq(self) -> int:
-        """Highest durable sequence number (0 when the log is empty)."""
+        """Highest durable sequence number (``base_seq`` when suffix-empty)."""
         return self._next_seq - 1
 
     def seen_txid(self, txid: str) -> Optional[int]:
@@ -142,18 +187,81 @@ class WriteAheadLog:
             values=entry.values,
             condition=entry.condition,
             txid=entry.txid,
+            guard=entry.guard,
             seq=self._next_seq,
         )
+        self._record(sequenced)
+        return sequenced
+
+    def append_replicated(self, entry: UpdateEntry) -> UpdateEntry:
+        """Durably append an already-sequenced entry tailed from a primary.
+
+        The entry must be the next expected sequence — replicas apply a
+        gapless prefix of the primary's log, never a sparse sample.
+        """
+        if entry.seq != self._next_seq:
+            raise ValueError(
+                f"replicated entry out of order: got seq {entry.seq}, "
+                f"expected {self._next_seq}"
+            )
+        self._record(entry)
+        return entry
+
+    def _record(self, sequenced: UpdateEntry) -> None:
         self.journal.record(KIND, f"{sequenced.seq:016d}", sequenced.to_obj())
-        self._next_seq += 1
+        self._next_seq = sequenced.seq + 1
         self._entries.append(sequenced)
         if sequenced.txid is not None:
             self._txids[sequenced.txid] = sequenced.seq
-        return sequenced
 
     def entries(self) -> List[UpdateEntry]:
         """All durable entries in sequence order (replay order)."""
         return list(self._entries)
+
+    def entries_after(self, seq: int, limit: Optional[int] = None) -> List[UpdateEntry]:
+        """Durable entries with sequence ``> seq``, oldest first.
+
+        Safe to call from reader threads while the ingest thread
+        appends: the list is copied before filtering.
+        """
+        suffix = [e for e in list(self._entries) if e.seq > seq]
+        return suffix[:limit] if limit is not None else suffix
+
+    def txids(self) -> Dict[str, int]:
+        """The full txid→seq dedup map (snapshot persistence)."""
+        return dict(self._txids)
+
+    def size_bytes(self) -> int:
+        """Current on-disk size of the backing journal."""
+        import os
+
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def rewrite(self, base_seq: int) -> None:
+        """Atomically drop every entry with seq ``<= base_seq`` from disk.
+
+        The compaction tail: the caller has already fsync'd a snapshot
+        folding the prefix.  The journal is rebuilt (write-new → rename)
+        with only the suffix, the in-memory entry list shrinks to match,
+        and the txid map keeps *all* txids (the folded ones live on in
+        the snapshot; keeping them here too preserves dedup between the
+        rewrite and the next snapshot load).
+        """
+        suffix = [e for e in self._entries if e.seq > base_seq]
+        fingerprint = self.journal.fingerprint
+        self.journal.close()
+        self.journal = rewrite_journal(
+            self.path,
+            fingerprint,
+            [(KIND, f"{e.seq:016d}", e.to_obj()) for e in suffix],
+        )
+        self._entries = suffix
+        self.base_seq = base_seq
+        last = suffix[-1].seq if suffix else 0
+        self._next_seq = max(last, base_seq) + 1
 
     def __len__(self) -> int:
         return len(self._entries)

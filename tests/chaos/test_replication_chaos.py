@@ -1,0 +1,241 @@
+"""Replication + compaction chaos: SIGKILL at the worst instants.
+
+Three danger points, each driven through production ``FAURE_CHAOS``
+hooks or a real SIGKILL:
+
+* the **primary** dies mid-ingest (``die-after-records`` — after the
+  fsync, before the ack) with a replica attached: the replica keeps
+  serving its consistent prefix, the restarted primary replays, and
+  the replica converges to answers byte-identical to a never-killed
+  run's;
+* a **compaction** dies between the snapshot fsync and segment
+  retirement (``compact-die``): recovery finds snapshot *and* full
+  log, replays only the suffix, and answers stay byte-identical;
+* the **replica** is SIGKILLed mid-tail and restarted on its own WAL:
+  its local recovery invariant plus the sequence-cursor resume
+  converge it without operator help.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+from .test_serve_chaos import daemon_env, drive, rows_only, start_daemon, workload  # noqa: F401
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: An ingest stream exercising plain, conditional, removable, and
+#: withdrawn facts — the full v2 mutation surface.
+UPDATES = [
+    ("a1", "F", ["p1", "C", "D"], None),
+    ("a2", "F", ["p2", "E", "G"], "$up == 1"),
+    ("a3", "F", ["p1", "D", "A"], None),
+]
+
+
+def start_replica(wal, primary_port, *extra, env=None):
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--replica-of",
+            f"127.0.0.1:{primary_port}",
+            "--wal",
+            str(wal),
+            "--poll-interval",
+            "0.05",
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env or daemon_env(),
+        cwd=str(REPO_ROOT),
+    )
+    ready = json.loads(proc.stdout.readline())["serving"]
+    assert ready["role"] == "replica"
+    return proc, ready
+
+
+def wait_replica_at(port, seq, deadline=30.0):
+    end = time.monotonic() + deadline
+    with ServeClient("127.0.0.1", port) as client:
+        while time.monotonic() < end:
+            health = client.health()
+            if health["seq"] >= seq:
+                return health
+            time.sleep(0.05)
+    pytest.fail(f"replica on port {port} never reached seq {seq}")
+
+
+def reference_answers(workload, tmp_path):
+    """What a never-killed daemon answers over the full stream."""
+    proc, ready = start_daemon(workload, tmp_path / "reference.wal")
+    try:
+        with ServeClient("127.0.0.1", ready["port"]) as client:
+            assert drive(client, UPDATES) == ["a1", "a2", "a3"]
+            removable = client.update("F", ["p3", "A", "C"], removable=True, txid="rm")
+            client.withdraw(removable["guard"], txid="wd")
+            answers = {rel: rows_only(client, rel) for rel in ("R", "F")}
+            client.shutdown()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+    return answers
+
+
+def test_sigkill_primary_with_replica_attached(workload, tmp_path):
+    expected = reference_answers(workload, tmp_path)
+
+    wal = tmp_path / "primary.wal"
+    sentinel = tmp_path / "die.sentinel"
+    proc, ready = start_daemon(
+        workload,
+        wal,
+        env=daemon_env(FAURE_CHAOS=f"die-after-records:2:{sentinel}"),
+    )
+    primary_port = ready["port"]
+    rproc, rready = start_replica(tmp_path / "replica.wal", primary_port)
+    try:
+        with ServeClient("127.0.0.1", primary_port) as client:
+            acked = drive(client, UPDATES)
+        assert acked == ["a1"], "the primary should die before acking update #2"
+        assert proc.wait(timeout=30) != 0
+
+        # The replica survives the primary's death serving a consistent
+        # prefix (seqs 1..2 — update #2 was durable before the kill, but
+        # the replica may or may not have seen it; whatever it serves is
+        # a prefix, and it keeps answering).
+        with ServeClient("127.0.0.1", rready["port"]) as rclient:
+            survived = rclient.query("R")
+            assert survived["ok"] and survived["role"] == "replica"
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and rclient.health()["primary_up"]:
+                time.sleep(0.05)
+            assert rclient.health()["primary_up"] is False
+
+        # Restart the primary on the same WAL and port; the client
+        # retries its unacked tail, including the withdraw flow.
+        proc2, ready2 = start_daemon(workload, wal, "--port", str(primary_port))
+        assert ready2["replayed"] == 2
+        with ServeClient("127.0.0.1", primary_port) as client:
+            retry = client.update("F", ["p2", "E", "G"], condition="$up == 1", txid="a2")
+            assert retry["duplicate"] and retry["seq"] == 2
+            client.update("F", ["p1", "D", "A"], txid="a3")
+            removable = client.update("F", ["p3", "A", "C"], removable=True, txid="rm")
+            last = client.withdraw(removable["guard"], txid="wd")
+
+        # The replica reconnects and converges; its answers are
+        # byte-identical to the never-killed run's.
+        wait_replica_at(rready["port"], last["seq"])
+        with ServeClient("127.0.0.1", rready["port"]) as rclient:
+            for rel in ("R", "F"):
+                assert rows_only(rclient, rel) == expected[rel]
+            health = rclient.health()
+            assert health["lag_seqs"] == 0 and health["primary_up"] is True
+        with ServeClient("127.0.0.1", primary_port) as client:
+            for rel in ("R", "F"):
+                assert rows_only(client, rel) == expected[rel]
+            client.shutdown()
+    finally:
+        rproc.kill()
+        rproc.wait(timeout=30)
+        proc.kill()
+        proc.wait(timeout=30)
+        try:
+            proc2.kill()
+            proc2.wait(timeout=30)
+        except NameError:
+            pass
+
+
+def test_compact_die_between_snapshot_and_retirement(workload, tmp_path):
+    expected = reference_answers(workload, tmp_path)
+
+    wal = tmp_path / "victim.wal"
+    sentinel = tmp_path / "compact.sentinel"
+    proc, ready = start_daemon(
+        workload,
+        wal,
+        env=daemon_env(FAURE_CHAOS=f"compact-die:{sentinel}"),
+    )
+    with ServeClient("127.0.0.1", ready["port"]) as client:
+        assert drive(client, UPDATES) == ["a1", "a2", "a3"]
+        removable = client.update("F", ["p3", "A", "C"], removable=True, txid="rm")
+        client.withdraw(removable["guard"], txid="wd")
+        # the compaction dies between the snapshot fsync and the WAL
+        # rewrite — the daemon hard-exits mid-admin-request
+        with pytest.raises((ConnectionError, OSError)):
+            client.admin("compact")
+    assert proc.wait(timeout=30) != 0
+    assert sentinel.exists()
+    # worst-instant invariant: snapshot durable AND full log still present
+    snapshots = [p for p in os.listdir(tmp_path) if ".snap." in p]
+    assert snapshots, "the snapshot must be durable before the crash point"
+    assert wal.stat().st_size > 0
+
+    # Recovery: snapshot + overlapping log replays to identical answers.
+    proc, ready = start_daemon(workload, wal)
+    try:
+        with ServeClient("127.0.0.1", ready["port"]) as client:
+            for rel in ("R", "F"):
+                assert rows_only(client, rel) == expected[rel]
+            # and a clean compact on the recovered daemon finishes the job
+            done = client.admin("compact")
+            assert done["compacted"] and done["wal_entries"] == 0
+            for rel in ("R", "F"):
+                assert rows_only(client, rel) == expected[rel]
+            client.shutdown()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+
+
+def test_sigkill_replica_mid_tail_recovers_and_converges(workload, tmp_path):
+    expected = reference_answers(workload, tmp_path)
+
+    proc, ready = start_daemon(workload, tmp_path / "primary.wal")
+    primary_port = ready["port"]
+    replica_wal = tmp_path / "replica.wal"
+    rproc, rready = start_replica(replica_wal, primary_port)
+    try:
+        with ServeClient("127.0.0.1", primary_port) as client:
+            assert drive(client, UPDATES[:2]) == ["a1", "a2"]
+        wait_replica_at(rready["port"], 2)
+        rproc.kill()  # SIGKILL: no shutdown, no drain
+        assert rproc.wait(timeout=30) != 0
+
+        # primary keeps ingesting while the replica is gone
+        with ServeClient("127.0.0.1", primary_port) as client:
+            drive(client, UPDATES[2:])
+            removable = client.update("F", ["p3", "A", "C"], removable=True, txid="rm")
+            last = client.withdraw(removable["guard"], txid="wd")
+
+        # restart on the same replica WAL: local replay + cursor resume
+        rproc2, rready2 = start_replica(replica_wal, primary_port)
+        wait_replica_at(rready2["port"], last["seq"])
+        with ServeClient("127.0.0.1", rready2["port"]) as rclient:
+            for rel in ("R", "F"):
+                assert rows_only(rclient, rel) == expected[rel]
+        rproc2.kill()
+        rproc2.wait(timeout=30)
+        with ServeClient("127.0.0.1", primary_port) as client:
+            client.shutdown()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        rproc.kill()
+        rproc.wait(timeout=30)
+        proc.kill()
+        proc.wait(timeout=30)

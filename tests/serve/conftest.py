@@ -57,12 +57,14 @@ def make_state(tmp_path, db_text):
         program_text: str = PROGRAM_TEXT,
         database_text: str = None,
         budgets: ServeBudgets = None,
+        **state_kwargs,
     ) -> ServeState:
         state = ServeState(
             program_text,
             database_text if database_text is not None else db_text,
             str(tmp_path / wal_name),
             budgets=budgets,
+            **state_kwargs,
         )
         states.append(state)
         return state

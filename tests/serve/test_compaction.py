@@ -1,0 +1,213 @@
+"""WAL compaction: snapshot folding, recovery fallback, bounded open cost."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.robustness.errors import CheckpointError
+from repro.serve.snapshots import (
+    list_snapshots,
+    load_latest_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.serve.wal import UpdateEntry
+
+from .conftest import PROGRAM_TEXT
+
+
+def insert(relation, values, condition=None, txid=None):
+    return UpdateEntry(
+        kind="insert",
+        relation=relation,
+        values=tuple(values),
+        condition=condition,
+        txid=txid,
+    )
+
+
+def rows_only(state, relation="R"):
+    answer = state.query(relation)
+    keep = ("relation", "schema", "status", "rows", "total")
+    return json.dumps({k: answer[k] for k in keep}, sort_keys=True)
+
+
+STREAM = [
+    insert("F", ("p1", "C", "D"), txid="a1"),
+    insert("F", ("p2", "E", "G"), condition="$up == 1", txid="a2"),
+    insert("F", ("p1", "D", "A"), txid="a3"),
+]
+
+
+def test_compact_then_restart_is_byte_identical(make_state):
+    live = make_state()
+    for entry in STREAM:
+        live.submit(entry)
+    before = rows_only(live)
+    result = live.compact()
+    assert result["compacted"] and result["seq"] == len(STREAM)
+    assert len(live.wal) == 0 and live.wal.base_seq == len(STREAM)
+    # resident state is untouched by compaction itself
+    assert rows_only(live) == before
+    live.close()
+
+    recovered = make_state()
+    assert recovered.wal.last_seq == len(STREAM)
+    assert rows_only(recovered) == before
+    # a never-compacted twin over the same stream agrees too
+    twin = make_state(wal_name="twin.wal")
+    for entry in STREAM:
+        twin.submit(
+            UpdateEntry(
+                kind=entry.kind,
+                relation=entry.relation,
+                values=entry.values,
+                condition=entry.condition,
+            )
+        )
+    assert rows_only(twin) == before
+
+
+def test_compaction_is_noop_on_empty_suffix(make_state):
+    state = make_state()
+    state.submit(STREAM[0])
+    assert state.compact()["compacted"]
+    again = state.compact()
+    assert not again["compacted"] and "empty" in again["reason"]
+
+
+def test_sequences_continue_above_the_snapshot(make_state):
+    state = make_state()
+    state.submit(STREAM[0])
+    state.submit(STREAM[1])
+    state.compact()
+    result = state.submit(STREAM[2])
+    assert result["seq"] == 3  # compaction never rewinds the sequence space
+    state.close()
+    recovered = make_state()
+    assert recovered.wal.last_seq == 3
+    assert len(recovered.wal) == 1  # only the suffix is resident log
+
+
+def test_txid_dedup_survives_compaction_and_restart(make_state):
+    state = make_state()
+    state.submit(STREAM[0])
+    state.submit(STREAM[1])
+    state.compact()
+    state.close()
+    recovered = make_state()
+    # a retry of a txid folded into the snapshot: duplicate, original seq
+    retry = recovered.submit(insert("F", ("p1", "C", "D"), txid="a1"))
+    assert retry["duplicate"] and retry["seq"] == 1
+
+
+def test_threshold_auto_compaction(make_state):
+    state = make_state(compact_every=2)
+    state.submit(STREAM[0])
+    assert state.counters["compactions"] == 0
+    state.submit(STREAM[1])
+    assert state.counters["compactions"] == 1
+    assert len(state.wal) == 0 and state.wal.base_seq == 2
+    state.submit(STREAM[2])
+    assert state.counters["compactions"] == 1  # suffix of 1 < threshold
+
+
+def test_byte_threshold_auto_compaction(make_state):
+    state = make_state(compact_bytes=1)  # every entry trips the threshold
+    state.submit(STREAM[0])
+    assert state.counters["compactions"] == 1
+    assert len(state.wal) == 0
+
+
+def test_torn_snapshot_falls_back_to_previous(make_state):
+    state = make_state()
+    state.submit(STREAM[0])
+    state.compact()
+    state.submit(STREAM[1])
+    state.compact()
+    good = rows_only(state)
+    fingerprint = state.fingerprint
+    wal_path = state.wal.path
+    state.close()
+    # older snapshots were retired by the second compact; fabricate a
+    # newer, torn one — recovery must fall back, not crash
+    older_obj, _ = load_latest_snapshot(wal_path, fingerprint)
+    torn = snapshot_path(wal_path, 99)
+    with open(torn, "w", encoding="utf-8") as handle:
+        handle.write('{"magic": "faure-seed-snapshot-v1", "seq": 99')  # no close
+    obj, path = load_latest_snapshot(wal_path, fingerprint)
+    assert obj == older_obj and not path.endswith("0000000000000099")
+    recovered = make_state()
+    assert rows_only(recovered) == good
+    os.remove(torn)
+
+
+def test_foreign_fingerprint_snapshot_is_a_hard_error(tmp_path, make_state):
+    state = make_state()
+    state.submit(STREAM[0])
+    state.compact()
+    wal_path = state.wal.path
+    obj, _ = load_latest_snapshot(wal_path, state.fingerprint)
+    state.close()
+    foreign = dict(obj, fingerprint="0" * 64, seq=int(obj["seq"]) + 1)
+    write_snapshot(wal_path, foreign)
+    with pytest.raises(CheckpointError, match="different workload"):
+        make_state()
+    os.remove(snapshot_path(wal_path, foreign["seq"]))
+
+
+def test_older_snapshots_are_retired(make_state):
+    state = make_state()
+    state.submit(STREAM[0])
+    state.compact()
+    state.submit(STREAM[1])
+    state.compact()
+    snaps = list_snapshots(state.wal.path)
+    assert [seq for seq, _ in snaps] == [2]
+
+
+def test_open_replay_stays_flat_as_history_grows(make_state):
+    """The open-time regression: compaction bounds replayed entries.
+
+    Without snapshots, every restart replays the daemon's whole life;
+    with ``compact_every=4`` the replayed suffix never exceeds the
+    threshold no matter how long the history grows.
+    """
+    state = make_state(compact_every=4)
+    for i in range(25):
+        state.submit(insert("F", (f"p{i}", "X", "Y"), txid=f"k{i}"))
+    assert state.wal.last_seq == 25
+    assert len(state.wal) <= 4  # resident suffix bounded
+    state.close()
+    recovered = make_state(compact_every=4)
+    # replay cost on open == suffix length, not history length
+    assert len(recovered.wal) <= 4
+    assert recovered.wal.last_seq == 25
+    # and the dedup map still covers the entire history
+    for i in range(25):
+        assert recovered.wal.seen_txid(f"k{i}") == i + 1
+
+
+def test_compaction_preserves_withdrawn_guards(make_state):
+    state = make_state()
+    first = state.submit(
+        UpdateEntry(kind="insert", relation="F", values=("p3", "A", "B"), guard="")
+    )
+    guard = first["guard"]
+    state.submit(
+        UpdateEntry(kind="withdraw", relation="", values=(), guard=guard)
+    )
+    before = rows_only(state)
+    state.compact()
+    state.close()
+    recovered = make_state()
+    assert rows_only(recovered) == before
+    assert recovered.guards[guard]["withdrawn"] is True
+    # withdrawing again after restart+compaction is an idempotent duplicate
+    again = recovered.submit(
+        UpdateEntry(kind="withdraw", relation="", values=(), guard=guard)
+    )
+    assert again["duplicate"] and again["withdrawn"]

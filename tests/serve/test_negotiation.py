@@ -1,0 +1,131 @@
+"""Protocol version/feature negotiation against old-style peers.
+
+A v1 daemon (PR 6) speaks update/query/health/shutdown only, and its
+health response carries no ``features``.  A v2 client must turn every
+v2-only request against such a peer into a *typed*
+:class:`ServeRequestError` (code ``UNSUPPORTED``, errno 2) — locally,
+before any bytes the peer would mishandle are sent; never a hang,
+never a raw traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import FEATURES, PROTOCOL_VERSION, ServeRequestError, encode
+
+
+class _OldStyleHandler(socketserver.StreamRequestHandler):
+    """What a PR-6 daemon looks like on the wire: v1 ops, no features."""
+
+    def handle(self) -> None:
+        while True:
+            line = self.rfile.readline(1 << 20)
+            if not line or not line.strip():
+                return
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                obj = {}
+            op = obj.get("op")
+            if op == "health":
+                response = {"ok": True, "epoch": 1, "seq": 0, "relations": {}}
+            elif op in ("update", "query", "shutdown"):
+                response = {"ok": True, "status": "OK", "rows": []}
+            else:
+                # v1 decode_request: unknown op -> MALFORMED
+                response = {
+                    "ok": False,
+                    "code": "MALFORMED",
+                    "errno": 2,
+                    "error": f"unknown op {op!r}",
+                }
+            self.wfile.write(encode(response))
+            self.wfile.flush()
+
+
+@pytest.fixture
+def old_peer():
+    server = socketserver.ThreadingTCPServer(("127.0.0.1", 0), _OldStyleHandler)
+    server.daemon_threads = True
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield str(host), int(port)
+    server.shutdown()
+    server.server_close()
+
+
+def test_v2_server_advertises_protocol_and_features(server_factory):
+    _server, client = server_factory()
+    health = client.health()
+    assert health["protocol"] == PROTOCOL_VERSION == 2
+    assert set(FEATURES) <= set(health["features"])
+    assert health["role"] == "primary"
+
+
+@pytest.mark.parametrize(
+    "invoke",
+    [
+        lambda c: c.withdraw("__g1"),
+        lambda c: c.tail(after_seq=0),
+        lambda c: c.snapshot_fetch(),
+        lambda c: c.admin("status"),
+        lambda c: c.update("F", ["p1", "A", "B"], removable=True),
+    ],
+    ids=["withdraw", "tail", "snapshot", "admin", "removable-update"],
+)
+def test_v2_ops_against_old_peer_raise_typed_error(old_peer, invoke):
+    host, port = old_peer
+    with ServeClient(host, port, timeout=5.0) as client:
+        with pytest.raises(ServeRequestError) as exc:
+            invoke(client)
+    assert exc.value.code == "UNSUPPORTED" and exc.value.errno == 2
+    assert "upgrade" in str(exc.value)
+
+
+def test_v1_ops_still_work_against_old_peer(old_peer):
+    host, port = old_peer
+    with ServeClient(host, port, timeout=5.0) as client:
+        assert client.health()["ok"]
+        assert client.query("R")["ok"]
+        assert client.update("F", ["p1", "A", "B"])["ok"]
+
+
+def test_feature_probe_is_cached(old_peer):
+    host, port = old_peer
+    with ServeClient(host, port, timeout=5.0) as client:
+        assert client.features() == ()
+        with pytest.raises(ServeRequestError):
+            client.withdraw("__g1")
+        with pytest.raises(ServeRequestError):
+            client.tail()
+        assert client.features() == ()  # still the one cached probe
+
+
+def test_cli_withdraw_against_old_peer_exits_with_errno(old_peer, capsys):
+    from repro.serve.client import main
+
+    host, port = old_peer
+    code = main(["--host", host, "--port", str(port), "withdraw", "__g1"])
+    assert code == 2
+    response = json.loads(capsys.readouterr().out.strip())
+    assert response["code"] == "UNSUPPORTED" and not response["ok"]
+
+
+def test_old_server_answers_unknown_ops_with_malformed(old_peer):
+    """The wire-level backstop even without client gating: typed error."""
+    host, port = old_peer
+    with ServeClient(host, port, timeout=5.0) as client:
+        response = client.request({"op": "tail", "after_seq": 0})
+    assert response == {
+        "ok": False,
+        "code": "MALFORMED",
+        "errno": 2,
+        "error": "unknown op 'tail'",
+    }

@@ -1,0 +1,201 @@
+"""Read replicas: bootstrap, tail convergence, staleness, failover."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.replica import ReplicaTailer, bootstrap_replica
+from repro.serve.server import FaureServer
+
+
+def rows_only(client, relation="R"):
+    answer = client.query(relation)
+    keep = ("relation", "schema", "status", "rows", "total")
+    return json.dumps({k: answer[k] for k in keep}, sort_keys=True)
+
+
+@pytest.fixture
+def replica_pair(tmp_path, make_state):
+    """A primary server plus an attached replica server, both in-process."""
+    built = {}
+
+    def build(**primary_state_kwargs):
+        pstate = make_state(wal_name="primary.wal", **primary_state_kwargs)
+        pserver = FaureServer(pstate)
+        threading.Thread(target=pserver.serve_forever, daemon=True).start()
+        phost, pport = pserver.address
+        rstate = bootstrap_replica((phost, pport), str(tmp_path / "replica.wal"))
+        tailer = ReplicaTailer(rstate, (phost, pport), poll_interval=0.02)
+        rserver = FaureServer(
+            rstate, role="replica", primary_addr=(phost, pport)
+        )
+        rserver.tailer = tailer
+        tailer.start()
+        threading.Thread(target=rserver.serve_forever, daemon=True).start()
+        built.update(
+            primary=pserver,
+            replica=rserver,
+            tailer=tailer,
+            pclient=ServeClient(*pserver.address).connect(),
+            rclient=ServeClient(*rserver.address).connect(),
+        )
+        return built
+
+    yield build
+    for key in ("pclient", "rclient"):
+        if key in built:
+            try:
+                built[key].close()
+            except OSError:
+                pass
+    if "tailer" in built:
+        built["tailer"].stop()
+    for key in ("replica", "primary"):
+        if key in built:
+            built[key].stop()
+
+
+def test_replica_bootstraps_and_converges(replica_pair):
+    pair = replica_pair()
+    pclient, rclient, tailer = pair["pclient"], pair["rclient"], pair["tailer"]
+    assert rows_only(rclient) == rows_only(pclient)  # bootstrap state agrees
+    last = None
+    for i in range(5):
+        last = pclient.update("F", [f"n{i}", "A", "B"], txid=f"t{i}")
+    assert tailer.wait_caught_up(last["seq"])
+    assert rows_only(rclient) == rows_only(pclient)
+    health = rclient.health()
+    assert health["role"] == "replica" and health["lag_seqs"] == 0
+    assert health["primary_up"] is True
+
+
+def test_every_replica_response_carries_lag(replica_pair):
+    pair = replica_pair()
+    rclient = pair["rclient"]
+    for response in (rclient.health(), rclient.query("R")):
+        assert "lag_seqs" in response and "primary_up" in response
+    bad = rclient.request({"op": "query", "relation": "NoSuch"})
+    assert not bad["ok"] and "lag_seqs" in bad  # even errors carry the contract
+
+
+def test_replica_rejects_ingest_with_redirect(replica_pair):
+    pair = replica_pair()
+    rclient = pair["rclient"]
+    refused = rclient.update("F", ["x", "A", "B"])
+    assert refused["code"] == "READ_ONLY" and refused["errno"] == 2
+    assert refused["primary"]["port"] == pair["primary"].address[1]
+    refused = rclient.request({"op": "withdraw", "guard": "__g1"})
+    assert refused["code"] == "READ_ONLY"
+
+
+def test_replica_serves_while_primary_down_and_client_fails_over(replica_pair):
+    pair = replica_pair()
+    pclient, rclient, tailer = pair["pclient"], pair["rclient"], pair["tailer"]
+    last = pclient.update("F", ["p9", "A", "B"])
+    assert tailer.wait_caught_up(last["seq"])
+    frozen = rows_only(rclient)
+    # primary goes away entirely
+    pair["primary"].stop()
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline and tailer.primary_up:
+        time.sleep(0.02)
+    assert not tailer.primary_up
+    # replica still answers, stale-but-consistent
+    assert rows_only(rclient) == frozen
+    health = rclient.health()
+    assert health["primary_up"] is False
+    # failover client: primary address dead, replica configured
+    failover = ServeClient(
+        *pair["primary"].address, replicas=[pair["replica"].address]
+    )
+    answer = failover.query("R")
+    assert answer["ok"] and answer["stale"] is True
+    assert answer["served_by"]["port"] == pair["replica"].address[1]
+    health = failover.health()
+    assert health["stale"] is True and health["role"] == "replica"
+    # writes never fail over
+    with pytest.raises((ConnectionError, OSError)):
+        failover.update("F", ["x", "A", "B"])
+
+
+def test_replica_rebootstraps_after_primary_compaction(replica_pair, tmp_path):
+    pair = replica_pair()
+    pclient, tailer = pair["pclient"], pair["tailer"]
+    last = None
+    for i in range(3):
+        last = pclient.update("F", [f"m{i}", "A", "B"])
+    assert tailer.wait_caught_up(last["seq"])
+    # detach the tailer (simulate a slow/partitioned replica) …
+    tailer.stop()
+    tailer.join(timeout=10)
+    for i in range(3, 6):
+        last = pclient.update("F", [f"m{i}", "A", "B"])
+    assert pclient.admin("compact")["compacted"]
+    # … and a fresh replica whose cursor is below the horizon
+    rstate = pair["replica"].state
+    tailer2 = ReplicaTailer(
+        rstate, pair["primary"].address, poll_interval=0.02
+    )
+    pair["replica"].tailer = tailer2
+    pair["tailer"] = tailer2
+    tailer2.start()
+    assert tailer2.wait_caught_up(last["seq"], deadline=10)
+    assert tailer2.rebootstraps >= 1
+    assert rows_only(pair["rclient"]) == rows_only(pclient)
+
+
+def test_tail_compacted_error_and_cursor_semantics(replica_pair):
+    pair = replica_pair()
+    pclient = pair["pclient"]
+    for i in range(3):
+        pclient.update("F", [f"q{i}", "A", "B"])
+    pclient.admin("compact")
+    # a cursor below the horizon gets the typed COMPACTED refusal
+    stale_tail = pclient.request({"op": "tail", "after_seq": 0})
+    assert stale_tail["code"] == "COMPACTED" and stale_tail["base_seq"] == 3
+    # at the horizon is fine (empty batch)
+    ok_tail = pclient.request({"op": "tail", "after_seq": 3})
+    assert ok_tail["ok"] and ok_tail["entries"] == []
+    assert ok_tail["last_seq"] == 3
+
+
+def test_withdraw_replicates(replica_pair):
+    pair = replica_pair()
+    pclient, rclient, tailer = pair["pclient"], pair["rclient"], pair["tailer"]
+    inserted = pclient.update("F", ["p7", "A", "B"], removable=True)
+    withdrawn = pclient.withdraw(inserted["guard"])
+    assert tailer.wait_caught_up(withdrawn["seq"])
+    assert rows_only(rclient) == rows_only(pclient)
+    assert pair["replica"].state.guards[inserted["guard"]]["withdrawn"] is True
+
+
+def test_replica_restart_without_primary(replica_pair, tmp_path):
+    """A replica restart with the primary dead recovers from local state."""
+    pair = replica_pair()
+    pclient, tailer = pair["pclient"], pair["tailer"]
+    last = pclient.update("F", ["p8", "A", "B"])
+    assert tailer.wait_caught_up(last["seq"])
+    expected = rows_only(pair["rclient"])
+    # force a local snapshot so the dead-primary bootstrap has a base
+    pair["rclient"].admin("snapshot")
+    tailer.stop()
+    pair["replica"].stop()
+    pair["primary"].stop()
+    time.sleep(0.2)
+    rebuilt = bootstrap_replica(
+        pair["primary"].address, str(tmp_path / "replica.wal"), timeout=1.0
+    )
+    server = FaureServer(rebuilt, role="replica", primary_addr=pair["primary"].address)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServeClient(*server.address).connect()
+    try:
+        assert rows_only(client) == expected
+        assert client.health()["primary_up"] is False
+    finally:
+        client.close()
+        server.stop()

@@ -1,0 +1,186 @@
+"""Guard-variable withdrawal: the paper's encoding of deletion.
+
+A removable fact's condition is conjoined with a fresh boolean guard
+(``__g<seq> == 1``); withdrawal assigns the guard 0 through the same
+WAL'd apply path as any insert.  The acceptance bar: after a withdraw,
+answers are exactly what a from-scratch evaluation *without* the
+withdrawn fact produces — and that equivalence survives restarts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import ServeRequestError, validate_update, validate_withdraw
+from repro.serve.wal import UpdateEntry
+
+from .conftest import PROGRAM_TEXT
+
+
+def removable(relation, values, condition=None, txid=None):
+    return UpdateEntry(
+        kind="insert",
+        relation=relation,
+        values=tuple(values),
+        condition=condition,
+        txid=txid,
+        guard="",
+    )
+
+
+def withdraw(guard, txid=None):
+    return UpdateEntry(
+        kind="withdraw", relation="", values=(), txid=txid, guard=guard
+    )
+
+
+def rows_only(state, relation="R", where=None):
+    answer = state.query(relation, where=where)
+    keep = ("relation", "schema", "status", "rows", "total")
+    return json.dumps({k: answer[k] for k in keep}, sort_keys=True)
+
+
+def test_removable_insert_returns_a_guard(make_state):
+    state = make_state()
+    result = state.submit(removable("F", ("p1", "C", "D")))
+    assert result["ok"] and result["guard"] == "__g1"
+    assert state.guards["__g1"] == {
+        "relation": "F",
+        "seq": 1,
+        "withdrawn": False,
+        "withdraw_seq": None,
+    }
+
+
+def test_guard_names_embed_the_sequence(make_state):
+    state = make_state()
+    state.submit(removable("F", ("p1", "C", "D")))
+    state.submit(
+        UpdateEntry(kind="insert", relation="F", values=("p1", "D", "E"))
+    )
+    third = state.submit(removable("F", ("p1", "E", "G")))
+    assert third["guard"] == "__g3"
+
+
+def test_withdraw_equals_never_inserted(make_state):
+    state = make_state()
+    result = state.submit(removable("F", ("p2", "E", "G")))
+    assert state.query("R", where="$up == 1")["total"] > 0
+    state.submit(withdraw(result["guard"]))
+    baseline = make_state(wal_name="baseline.wal")  # never saw the fact
+    for relation in ("R", "F"):
+        assert rows_only(state, relation) == rows_only(baseline, relation)
+    # and under a where filter exercising the solver path
+    assert rows_only(state, "R", where="$up == 1") == rows_only(
+        baseline, "R", where="$up == 1"
+    )
+
+
+def test_withdraw_only_drops_the_guarded_fact(make_state):
+    state = make_state()
+    keep = state.submit(removable("F", ("p1", "C", "D")))
+    drop = state.submit(removable("F", ("p1", "D", "E")))
+    state.submit(withdraw(drop["guard"]))
+    twin = make_state(wal_name="twin.wal")
+    twin.submit(removable("F", ("p1", "C", "D")))
+    assert rows_only(state) == rows_only(twin)
+    assert not state.guards[keep["guard"]]["withdrawn"]
+
+
+def test_withdraw_survives_restart_byte_identical(make_state):
+    state = make_state()
+    result = state.submit(removable("F", ("p2", "E", "G")))
+    state.submit(withdraw(result["guard"]))
+    before = rows_only(state)
+    state.close()
+    recovered = make_state()
+    assert rows_only(recovered) == before
+    assert recovered.guards[result["guard"]]["withdrawn"] is True
+
+
+def test_withdraw_is_idempotent(make_state):
+    state = make_state()
+    result = state.submit(removable("F", ("p1", "C", "D")))
+    first = state.submit(withdraw(result["guard"]))
+    assert first["withdrawn"] and "duplicate" not in first
+    second = state.submit(withdraw(result["guard"]))
+    assert second["duplicate"] and second["seq"] == first["seq"]
+    # idempotent at the WAL level too: only one withdraw entry durable
+    kinds = [e.kind for e in state.wal.entries()]
+    assert kinds.count("withdraw") == 1
+
+
+def test_unknown_guard_is_rejected_before_the_wal(make_state):
+    state = make_state()
+    durable_before = len(state.wal)
+    with pytest.raises(ServeRequestError) as exc:
+        state.submit(withdraw("__g99"))
+    assert exc.value.code == "UNKNOWN_GUARD" and exc.value.errno == 2
+    assert len(state.wal) == durable_before
+    assert state.counters["updates_rejected"] == 1
+
+
+def test_withdrawn_fact_invisible_to_unconditional_query(make_state):
+    """The guard substitution constant-folds: no residual guard atoms."""
+    state = make_state()
+    result = state.submit(removable("F", ("p1", "C", "D")))
+    state.submit(withdraw(result["guard"]))
+    answer = state.query("F")
+    assert all(
+        result["guard"] not in json.dumps(row) for row in answer["rows"]
+    )
+    values = [[v["const"] for v in row["values"]] for row in answer["rows"]]
+    assert ["p1", "C", "D"] not in values
+
+
+def test_surviving_removable_fact_keeps_its_guard_atom(make_state):
+    """Until withdrawn, the guard rides the condition (visible partiality)."""
+    state = make_state()
+    result = state.submit(removable("F", ("p1", "C", "D")))
+    answer = state.query("F")
+    assert any(result["guard"] in json.dumps(row) for row in answer["rows"])
+
+
+def test_removable_with_condition_conjoins_guard(make_state):
+    state = make_state()
+    result = state.submit(removable("F", ("p2", "E", "G"), condition="$up == 1"))
+    state.submit(withdraw(result["guard"]))
+    baseline = make_state(wal_name="baseline.wal")
+    assert rows_only(state) == rows_only(baseline)
+
+
+def test_wire_validation_round_trip():
+    entry = validate_update(
+        {
+            "op": "update",
+            "relation": "F",
+            "values": ["p1", "A", "B"],
+            "removable": True,
+        }
+    )
+    assert entry.guard == ""  # wants a guard; name minted at sequencing
+    entry = validate_withdraw({"op": "withdraw", "guard": "__g7", "txid": "t"})
+    assert entry.kind == "withdraw" and entry.guard == "__g7"
+    with pytest.raises(ServeRequestError, match="guard"):
+        validate_withdraw({"op": "withdraw"})
+    with pytest.raises(ServeRequestError, match="removable"):
+        validate_update(
+            {
+                "op": "update",
+                "relation": "F",
+                "values": ["p1", "A", "B"],
+                "condition": "$up == 1",
+                "weaken": True,
+                "removable": True,
+            }
+        )
+
+
+def test_withdraw_txid_dedup(make_state):
+    state = make_state()
+    result = state.submit(removable("F", ("p1", "C", "D")))
+    first = state.submit(withdraw(result["guard"], txid="w1"))
+    retry = state.submit(withdraw(result["guard"], txid="w1"))
+    assert retry["duplicate"] and retry["seq"] == first["seq"]
